@@ -1,0 +1,169 @@
+package phishinghook
+
+// Ablation benchmarks for the design choices DESIGN.md §6 calls out: each
+// sweeps one generator/model knob and reports its effect on the headline
+// classifier, quantifying how the synthetic substrate's parameters map to
+// detection difficulty.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/phishinghook/phishinghook/internal/dataset"
+	"github.com/phishinghook/phishinghook/internal/features"
+	"github.com/phishinghook/phishinghook/internal/ml/tree"
+	"github.com/phishinghook/phishinghook/internal/models"
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+// ablationAccuracy trains RF on a fresh corpus drawn with cfg and returns
+// holdout accuracy.
+func ablationAccuracy(b *testing.B, gen synth.Config, n int) float64 {
+	b.Helper()
+	g := synth.NewGenerator(gen)
+	ds := &dataset.Dataset{}
+	for i := 0; i < n; i++ {
+		cls, lbl := synth.Benign, dataset.Benign
+		if i%2 == 0 {
+			cls, lbl = synth.Phishing, dataset.Phishing
+		}
+		ds.Samples = append(ds.Samples, dataset.Sample{
+			Address: fmt.Sprint(i), Bytecode: g.Contract(cls, i%synth.NumMonths),
+			Label: lbl, Month: i % synth.NumMonths,
+		})
+	}
+	ds = ds.Shuffle(rand.New(rand.NewSource(gen.Seed)))
+	cut := n * 7 / 10
+	train := &dataset.Dataset{Samples: ds.Samples[:cut]}
+	test := &dataset.Dataset{Samples: ds.Samples[cut:]}
+	rf := models.NewRandomForest(gen.Seed)
+	if err := rf.Fit(train); err != nil {
+		b.Fatal(err)
+	}
+	pred, err := rf.Predict(test)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ok := 0
+	for i, p := range pred {
+		if p == int(test.Samples[i].Label) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pred))
+}
+
+// BenchmarkAblation_SignalStrength sweeps the class-distribution mixing
+// knob: accuracy must rise monotonically (in expectation) from chance at 0
+// toward the calibrated ~93% at the default 0.95.
+func BenchmarkAblation_SignalStrength(b *testing.B) {
+	for _, signal := range []float64{0.0, 0.25, 0.5, 0.75, 0.95} {
+		b.Run(fmt.Sprintf("signal=%.2f", signal), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				cfg := synth.DefaultConfig(int64(100 + i))
+				cfg.SignalStrength = signal
+				acc = ablationAccuracy(b, cfg, 400)
+			}
+			b.ReportMetric(acc, "rf_acc")
+		})
+	}
+}
+
+// BenchmarkAblation_LabelNoise sweeps explorer mislabelling: measured
+// accuracy must degrade roughly linearly (≈2× the flip rate).
+func BenchmarkAblation_LabelNoise(b *testing.B) {
+	for _, noise := range []float64{0.0, 0.015, 0.05, 0.1} {
+		b.Run(fmt.Sprintf("noise=%.3f", noise), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultSimulationConfig(int64(200 + i))
+				cfg.ObtainedPhishing = 400
+				cfg.UniquePhishing = 200
+				cfg.Benign = 200
+				cfg.LabelNoise = noise
+				sim, err := StartSimulation(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ds := sim.Dataset()
+				rng := rand.New(rand.NewSource(int64(i)))
+				folds := ds.KFold(3, rng)
+				spec, _ := ModelByName("Random Forest")
+				m := spec.New(1, DefaultNeuralConfig(1))
+				if err := m.Fit(ds.Subset(folds[0].Train)); err != nil {
+					b.Fatal(err)
+				}
+				test := ds.Subset(folds[0].Test)
+				pred, err := m.Predict(test)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ok := 0
+				for j, p := range pred {
+					if p == int(test.Samples[j].Label) {
+						ok++
+					}
+				}
+				acc = float64(ok) / float64(len(pred))
+				sim.Close()
+			}
+			b.ReportMetric(acc, "rf_acc")
+		})
+	}
+}
+
+// BenchmarkAblation_BodyCount sweeps contract size: more function bodies
+// per contract give the histogram more evidence and raise accuracy — the
+// statistical mechanism behind the calibration (DESIGN.md §6).
+func BenchmarkAblation_BodyCount(b *testing.B) {
+	for _, bodies := range []int{3, 8, 16, 28} {
+		b.Run(fmt.Sprintf("maxBodies=%d", bodies), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				cfg := synth.DefaultConfig(int64(300 + i))
+				cfg.MinBodies = bodies/2 + 1
+				cfg.MaxBodies = bodies
+				acc = ablationAccuracy(b, cfg, 400)
+			}
+			b.ReportMetric(acc, "rf_acc")
+		})
+	}
+}
+
+// BenchmarkAblation_ForestSize sweeps the ensemble size of the winning
+// model directly on the tree substrate: the accuracy/cost trade-off of the
+// headline classifier.
+func BenchmarkAblation_ForestSize(b *testing.B) {
+	g := synth.NewGenerator(synth.DefaultConfig(7))
+	var codes [][]byte
+	var y []int
+	for i := 0; i < 400; i++ {
+		cls, lbl := synth.Benign, 0
+		if i%2 == 0 {
+			cls, lbl = synth.Phishing, 1
+		}
+		codes = append(codes, g.Contract(cls, i%synth.NumMonths))
+		y = append(y, lbl)
+	}
+	cut := 280
+	hist := features.FitHistogram(codes[:cut])
+	X := hist.TransformAll(codes)
+	for _, trees := range []int{10, 50, 100, 200} {
+		b.Run(fmt.Sprintf("trees=%d", trees), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				f := tree.FitForest(X[:cut], y[:cut], tree.ForestConfig{Trees: trees, Seed: int64(i)})
+				ok := 0
+				for j := cut; j < len(X); j++ {
+					if f.Predict(X[j]) == y[j] {
+						ok++
+					}
+				}
+				acc = float64(ok) / float64(len(X)-cut)
+			}
+			b.ReportMetric(acc, "rf_acc")
+		})
+	}
+}

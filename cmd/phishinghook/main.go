@@ -1,0 +1,271 @@
+// Command phishinghook is the framework CLI. It drives the four modules
+// against any JSON-RPC + explorer endpoints (by default an in-process
+// simulated chain):
+//
+//	phishinghook gather    — list contract addresses in the study window (➊)
+//	phishinghook label     — scrape Phish/Hack flags (➋)
+//	phishinghook extract   — fetch bytecode for an address (➌, BEM)
+//	phishinghook disasm    — disassemble bytecode to opcodes (➎, BDM)
+//	phishinghook dataset   — build the balanced deduplicated dataset (➍)
+//	phishinghook evaluate  — cross-validate models on a dataset CSV (➐, MEM)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	ph "github.com/phishinghook/phishinghook"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("phishinghook: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "gather":
+		err = cmdGather(args)
+	case "label":
+		err = cmdLabel(args)
+	case "extract":
+		err = cmdExtract(args)
+	case "disasm":
+		err = cmdDisasm(args)
+	case "dataset":
+		err = cmdDataset(args)
+	case "evaluate":
+		err = cmdEvaluate(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate> [flags]
+run "phishinghook <command> -h" for command flags`)
+}
+
+// endpoints resolves the substrate: explicit URLs, or a fresh simulation.
+func endpoints(fs *flag.FlagSet) (rpcURL, explURL *string, seed *int64, start func() (*ph.Simulation, error)) {
+	rpcURL = fs.String("rpc", "", "JSON-RPC endpoint (default: in-process simulation)")
+	explURL = fs.String("explorer", "", "explorer endpoint (default: in-process simulation)")
+	seed = fs.Int64("seed", 1, "simulation / experiment seed")
+	start = func() (*ph.Simulation, error) {
+		if *rpcURL != "" && *explURL != "" {
+			return nil, nil
+		}
+		sim, err := ph.StartSimulation(ph.DefaultSimulationConfig(*seed))
+		if err != nil {
+			return nil, err
+		}
+		*rpcURL = sim.RPCURL()
+		*explURL = sim.ExplorerURL()
+		return sim, nil
+	}
+	return rpcURL, explURL, seed, start
+}
+
+func cmdGather(args []string) error {
+	fs := flag.NewFlagSet("gather", flag.ExitOnError)
+	rpcURL, explURL, _, start := endpoints(fs)
+	limit := fs.Int("limit", 20, "print at most this many addresses (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sim, err := start()
+	if err != nil {
+		return err
+	}
+	if sim != nil {
+		defer sim.Close()
+	}
+	f := ph.New(*rpcURL, *explURL)
+	addrs, err := f.GatherAddresses(context.Background(), 0, ^uint64(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d contracts in range\n", len(addrs))
+	n := len(addrs)
+	if *limit > 0 && n > *limit {
+		n = *limit
+	}
+	for _, a := range addrs[:n] {
+		fmt.Println(a)
+	}
+	return nil
+}
+
+func cmdLabel(args []string) error {
+	fs := flag.NewFlagSet("label", flag.ExitOnError)
+	rpcURL, explURL, _, start := endpoints(fs)
+	address := fs.String("address", "", "contract address (required with -rpc/-explorer; default: first simulated phishing hit)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sim, err := start()
+	if err != nil {
+		return err
+	}
+	if sim != nil {
+		defer sim.Close()
+	}
+	f := ph.New(*rpcURL, *explURL)
+	ctx := context.Background()
+	addrs := []string{*address}
+	if *address == "" {
+		all, err := f.GatherAddresses(ctx, 0, ^uint64(0))
+		if err != nil {
+			return err
+		}
+		addrs = all[:10]
+	}
+	labels, err := f.LabelAddresses(ctx, addrs)
+	if err != nil {
+		return err
+	}
+	for _, a := range addrs {
+		lbl := "-"
+		if labels[a] {
+			lbl = ph.PhishLabel
+		}
+		fmt.Printf("%s  %s\n", a, lbl)
+	}
+	return nil
+}
+
+func cmdExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	rpcURL, explURL, _, start := endpoints(fs)
+	address := fs.String("address", "", "contract address (default: first simulated contract)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sim, err := start()
+	if err != nil {
+		return err
+	}
+	if sim != nil {
+		defer sim.Close()
+	}
+	f := ph.New(*rpcURL, *explURL)
+	ctx := context.Background()
+	if *address == "" {
+		all, err := f.GatherAddresses(ctx, 0, ^uint64(0))
+		if err != nil {
+			return err
+		}
+		*address = all[0]
+	}
+	code, err := f.ExtractBytecode(ctx, *address)
+	if err != nil {
+		return err
+	}
+	if code == nil {
+		return fmt.Errorf("no code at %s", *address)
+	}
+	fmt.Println(ph.EncodeHex(code))
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	hexCode := fs.String("bytecode", "0x6080604052", "hex bytecode to disassemble")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	code, err := ph.DecodeHex(*hexCode)
+	if err != nil {
+		return err
+	}
+	for _, in := range ph.Disassemble(code) {
+		fmt.Printf("%06x  %s\n", in.Offset, in)
+	}
+	return nil
+}
+
+func cmdDataset(args []string) error {
+	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
+	rpcURL, explURL, seed, start := endpoints(fs)
+	out := fs.String("o", "dataset.csv", "output CSV path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sim, err := start()
+	if err != nil {
+		return err
+	}
+	if sim != nil {
+		defer sim.Close()
+	}
+	f := ph.New(*rpcURL, *explURL)
+	ds, err := f.BuildDataset(context.Background(), 0, ^uint64(0), *seed)
+	if err != nil {
+		return err
+	}
+	file, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if err := ds.WriteCSV(file); err != nil {
+		return err
+	}
+	nb, np := ds.Counts()
+	fmt.Printf("wrote %s: %d samples (%d benign / %d phishing)\n", *out, ds.Len(), nb, np)
+	return nil
+}
+
+func cmdEvaluate(args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+	rpcURL, explURL, seed, start := endpoints(fs)
+	modelsFlag := fs.String("models", "Random Forest", "comma-separated model names, or 'all'")
+	folds := fs.Int("folds", 3, "cross-validation folds")
+	runs := fs.Int("runs", 1, "cross-validation runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sim, err := start()
+	if err != nil {
+		return err
+	}
+	if sim == nil {
+		return fmt.Errorf("evaluate requires the simulation (dataset months come from the chain)")
+	}
+	defer sim.Close()
+	ds := sim.Dataset()
+
+	var specs []ph.ModelSpec
+	if *modelsFlag == "all" {
+		specs = ph.Models()
+	} else {
+		for _, name := range strings.Split(*modelsFlag, ",") {
+			spec, err := ph.ModelByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			specs = append(specs, spec)
+		}
+	}
+	f := ph.New(*rpcURL, *explURL)
+	t0 := time.Now()
+	results, err := f.Evaluate(specs, ds, ph.CVConfig{Folds: *folds, Runs: *runs, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	ph.RenderTable2(os.Stdout, results)
+	fmt.Printf("\nevaluated in %s\n", time.Since(t0).Round(time.Millisecond))
+	return nil
+}

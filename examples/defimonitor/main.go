@@ -1,0 +1,59 @@
+// Defimonitor: the paper's time-resistance scenario — a monitoring service
+// trains on historical contracts (Oct 2023 – Jan 2024) and keeps scanning
+// newly deployed contracts month after month while phishing patterns drift,
+// reporting the F1 decay curve and the Area-Under-Time robustness score
+// (paper Fig. 8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ph "github.com/phishinghook/phishinghook"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The time-resistance corpus matches benign deployments to the
+	// phishing monthly shape, as the paper's second dataset does.
+	cfg := ph.DefaultSimulationConfig(11)
+	cfg.MatchTemporal = true
+	sim, err := ph.StartSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+	ds := sim.Dataset()
+
+	months := ph.MonthLabels()
+	fmt.Println("training window: ", months[0], "…", months[3])
+	fmt.Println("monitoring window:", months[4], "…", months[len(months)-1])
+
+	spec, err := ph.ModelByName("Random Forest")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ph.RunTimeResistance(spec, ph.DefaultNeuralConfig(1), ds, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nmonthly scan quality (phishing class):")
+	for _, p := range res.Points {
+		bar := ""
+		for i := 0; i < int(p.Metrics.F1*40); i++ {
+			bar += "█"
+		}
+		fmt.Printf("  %s  F1=%.3f %s\n", months[p.Month+3], p.Metrics.F1, bar)
+	}
+	fmt.Printf("\nAUT (area under the F1-time curve): %.2f — ", res.AUT)
+	switch {
+	case res.AUT >= 0.85:
+		fmt.Println("robust to the observed pattern drift")
+	case res.AUT >= 0.7:
+		fmt.Println("mild decay; schedule periodic retraining")
+	default:
+		fmt.Println("significant decay; retrain now")
+	}
+}

@@ -1,0 +1,56 @@
+// Modelzoo: train one model from each of the paper's four families on the
+// same corpus and compare them — a miniature of the paper's Table II run,
+// including the train/inference cost trade-off of §IV-F.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	ph "github.com/phishinghook/phishinghook"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := ph.DefaultSimulationConfig(3)
+	cfg.ObtainedPhishing = 400
+	cfg.UniquePhishing = 200
+	cfg.Benign = 200
+	sim, err := ph.StartSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+	ds := sim.Dataset()
+	nb, np := ds.Counts()
+	fmt.Printf("corpus: %d samples (%d benign / %d phishing)\n\n", ds.Len(), nb, np)
+
+	// One representative per family (the paper's scalability trio plus the
+	// vulnerability detector as the cautionary tale).
+	var specs []ph.ModelSpec
+	for _, name := range []string{"Random Forest", "SCSGuard", "ECA+EfficientNet", "ESCORT"} {
+		spec, err := ph.ModelByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = append(specs, spec)
+	}
+
+	framework := ph.New(sim.RPCURL(), sim.ExplorerURL())
+	results, err := framework.Evaluate(specs, ds, ph.CVConfig{Folds: 3, Runs: 1, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ph.RenderTable2(os.Stdout, results)
+
+	fmt.Println("\ncost comparison (mean per fold):")
+	fmt.Printf("  %-20s %12s %12s\n", "model", "train", "inference")
+	for _, r := range results {
+		fmt.Printf("  %-20s %12s %12s\n", r.Model, r.MeanTrainTime().Round(1e6), r.MeanInferTime().Round(1e6))
+	}
+	fmt.Println("\nnote how the language model pays orders of magnitude more time")
+	fmt.Println("for its accuracy — the paper's Fig. 7 trade-off.")
+}

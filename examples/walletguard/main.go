@@ -1,0 +1,77 @@
+// Walletguard: the paper's motivating deployment — a crypto wallet checks a
+// contract *before the user signs*, fetching its deployed bytecode over
+// JSON-RPC and classifying it in-process within the seconds-long signing
+// window (paper §IV-F: "users interact with smart contracts in real-time,
+// often signing transactions within seconds").
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	ph "github.com/phishinghook/phishinghook"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sim, err := ph.StartSimulation(ph.DefaultSimulationConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+
+	// Train the guard model once, offline.
+	ds := sim.Dataset()
+	spec, err := ph.ModelByName("Random Forest")
+	if err != nil {
+		log.Fatal(err)
+	}
+	guard := spec.New(1, ph.DefaultNeuralConfig(1))
+	t0 := time.Now()
+	if err := guard.Fit(ds); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("guard model trained on %d contracts in %s\n", ds.Len(), time.Since(t0).Round(time.Millisecond))
+
+	// The wallet connects to a node like any other client.
+	framework := ph.New(sim.RPCURL(), sim.ExplorerURL())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Simulate the user being asked to approve transactions against a few
+	// contracts they have never seen.
+	addrs, err := framework.GatherAddresses(ctx, 0, ^uint64(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := framework.LabelAddresses(ctx, addrs[:8])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\npre-signing checks:")
+	for _, addr := range addrs[:8] {
+		start := time.Now()
+		code, err := framework.ExtractBytecode(ctx, addr) // BEM: eth_getCode
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, err := guard.Predict(&ph.Dataset{Samples: []ph.Sample{{Address: addr, Bytecode: code}}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		latency := time.Since(start)
+		verdict := "sign ✓"
+		if pred[0] == 1 {
+			verdict = "BLOCK ✗ (phishing suspected)"
+		}
+		agree := " "
+		if (pred[0] == 1) == truth[addr] {
+			agree = "(matches explorer label)"
+		}
+		fmt.Printf("  %s  %-28s %8s %s\n", addr[:10]+"…", verdict, latency.Round(time.Millisecond), agree)
+	}
+}

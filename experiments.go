@@ -1,0 +1,221 @@
+package phishinghook
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/phishinghook/phishinghook/internal/eval"
+	"github.com/phishinghook/phishinghook/internal/evm"
+	"github.com/phishinghook/phishinghook/internal/models"
+	"github.com/phishinghook/phishinghook/internal/report"
+	"github.com/phishinghook/phishinghook/internal/shap"
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+// Experiment result types, re-exported for downstream use.
+type (
+	// ScalabilityPoint is one (model, split) measurement (Figs. 5 & 7).
+	ScalabilityPoint = eval.ScalabilityPoint
+	// TimeResistanceResult is one model's decay curve with AUT (Fig. 8).
+	TimeResistanceResult = eval.TimeResistanceResult
+	// Influence is one opcode's SHAP summary (Fig. 9).
+	Influence = shap.Influence
+	// UsageRow is one opcode's class-conditional usage stats (Fig. 3).
+	UsageRow = report.OpcodeUsageRow
+)
+
+// Fig9Opcodes lists the opcodes the paper's Figs. 3 and 9 highlight.
+var Fig9Opcodes = []string{
+	"RETURNDATASIZE", "RETURNDATACOPY", "GAS", "OR", "ADDRESS", "STATICCALL",
+	"LT", "SHL", "LOG3", "RETURN", "PUSH1", "SWAP3", "REVERT", "MLOAD",
+	"CALLDATALOAD", "POP", "ISZERO", "SELFBALANCE", "MSTORE", "AND",
+}
+
+// OpcodeUsage computes the Fig. 3 distribution: per-opcode mean usage count
+// and fraction of contracts using the opcode, split by class.
+func OpcodeUsage(ds *Dataset, opcodes []string) []UsageRow {
+	type acc struct {
+		sum  float64
+		used int
+		n    int
+	}
+	perOp := make(map[string][2]acc, len(opcodes))
+	wanted := make(map[string]bool, len(opcodes))
+	for _, op := range opcodes {
+		wanted[op] = true
+	}
+	for _, s := range ds.Samples {
+		counts := map[string]float64{}
+		for _, in := range evm.Disassemble(s.Bytecode) {
+			if wanted[in.Mnemonic()] {
+				counts[in.Mnemonic()]++
+			}
+		}
+		cls := 0
+		if s.Label == Phishing {
+			cls = 1
+		}
+		for _, op := range opcodes {
+			pair := perOp[op]
+			pair[cls].sum += counts[op]
+			if counts[op] > 0 {
+				pair[cls].used++
+			}
+			pair[cls].n++
+			perOp[op] = pair
+		}
+	}
+	rows := make([]UsageRow, 0, len(opcodes))
+	for _, op := range opcodes {
+		pair := perOp[op]
+		row := UsageRow{Opcode: op}
+		if pair[0].n > 0 {
+			row.BenignMean = pair[0].sum / float64(pair[0].n)
+			row.BenignRate = float64(pair[0].used) / float64(pair[0].n)
+		}
+		if pair[1].n > 0 {
+			row.PhishingMean = pair[1].sum / float64(pair[1].n)
+			row.PhishingRate = float64(pair[1].used) / float64(pair[1].n)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// SHAPAnalysis reproduces Fig. 9: train the best classifier (HSC + Random
+// Forest) on one fold and compute TreeSHAP influences over that fold's test
+// split, returning the topK opcodes by mean |φ|.
+func SHAPAnalysis(ds *Dataset, seed int64, topK int) ([]Influence, error) {
+	rng := rand.New(rand.NewSource(seed))
+	folds := ds.KFold(10, rng)
+	train := ds.Subset(folds[0].Train)
+	test := ds.Subset(folds[0].Test)
+
+	rf := models.NewRandomForest(seed)
+	if err := rf.Fit(train); err != nil {
+		return nil, fmt.Errorf("phishinghook: SHAP fit: %w", err)
+	}
+	forest := rf.Forest()
+	if forest == nil {
+		return nil, fmt.Errorf("phishinghook: random forest unavailable for SHAP")
+	}
+	hist := rf.Histogram()
+	X := make([][]float64, test.Len())
+	for i, s := range test.Samples {
+		X[i] = hist.Transform(s.Bytecode)
+	}
+	return shap.Summarize(forest, X, hist.FeatureNames(), topK), nil
+}
+
+// ScalabilitySpecs returns the three models the paper's scalability and
+// time-resistance studies use: the best of each family.
+func ScalabilitySpecs() []ModelSpec {
+	var out []ModelSpec
+	for _, name := range []string{"Random Forest", "ECA+EfficientNet", "SCSGuard"} {
+		s, err := models.SpecByName(name)
+		if err != nil {
+			panic(err) // registry invariant
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// RunScalability runs the Figs. 5–7 experiment.
+func RunScalability(specs []ModelSpec, cfg NeuralConfig, ds *Dataset, seed int64) ([]ScalabilityPoint, error) {
+	return eval.Scalability(specs, cfg, ds, []float64{1.0 / 3, 2.0 / 3, 1}, seed)
+}
+
+// RunTimeResistance runs the Fig. 8 experiment: train on the first four
+// study months (Oct 2023 – Jan 2024), test on each later month.
+func RunTimeResistance(spec ModelSpec, cfg NeuralConfig, ds *Dataset, seed int64) (TimeResistanceResult, error) {
+	return eval.TimeResistance(spec, cfg, ds, 4, seed)
+}
+
+// MonthLabels exposes the study window month names.
+func MonthLabels() []string {
+	out := make([]string, synth.NumMonths)
+	copy(out, synth.MonthLabels[:])
+	return out
+}
+
+// Rendering re-exports: each emits one paper artefact as text.
+
+// RenderTable1 prints the Shanghai opcode table.
+func RenderTable1(w io.Writer) { report.Table1(w) }
+
+// RenderTable2 prints the per-model performance table.
+func RenderTable2(w io.Writer, results []CVResult) { report.Table2(w, results) }
+
+// RenderTable3 prints the Kruskal-Wallis table.
+func RenderTable3(w io.Writer, results []CVResult) error { return report.Table3(w, results) }
+
+// RenderFig2 prints the monthly phishing series.
+func RenderFig2(w io.Writer, sim *Simulation) {
+	obtained, unique := sim.MonthlyPhishing()
+	report.Fig2(w, obtained, unique)
+}
+
+// RenderFig3 prints the opcode usage distribution.
+func RenderFig3(w io.Writer, rows []UsageRow) { report.Fig3(w, rows) }
+
+// RenderFig4 prints Dunn's pairwise comparisons for one metric.
+func RenderFig4(w io.Writer, results []CVResult, metric string) error {
+	return report.Fig4(w, results, metric)
+}
+
+// RenderFig5 prints the scalability metric curves.
+func RenderFig5(w io.Writer, pts []ScalabilityPoint) { report.Fig5(w, pts) }
+
+// RenderFig6 prints the critical-difference analysis over scalability
+// results, one block per split.
+func RenderFig6(w io.Writer, pts []ScalabilityPoint, metric string) error {
+	names, blocks := scalabilityBlocks(pts, metric)
+	return report.Fig6(w, names, blocks, metric)
+}
+
+// scalabilityBlocks pivots scalability points into Friedman blocks
+// (rows = splits, columns = models).
+func scalabilityBlocks(pts []ScalabilityPoint, metric string) ([]string, [][]float64) {
+	var names []string
+	var splits []float64
+	idxModel := map[string]int{}
+	idxSplit := map[float64]int{}
+	for _, p := range pts {
+		if _, ok := idxModel[p.Model]; !ok {
+			idxModel[p.Model] = len(names)
+			names = append(names, p.Model)
+		}
+		if _, ok := idxSplit[p.Split]; !ok {
+			idxSplit[p.Split] = len(splits)
+			splits = append(splits, p.Split)
+		}
+	}
+	blocks := make([][]float64, len(splits))
+	for i := range blocks {
+		blocks[i] = make([]float64, len(names))
+	}
+	for _, p := range pts {
+		v := p.Metrics.Accuracy
+		switch metric {
+		case "f1":
+			v = p.Metrics.F1
+		case "precision":
+			v = p.Metrics.Precision
+		case "recall":
+			v = p.Metrics.Recall
+		}
+		blocks[idxSplit[p.Split]][idxModel[p.Model]] = v
+	}
+	return names, blocks
+}
+
+// RenderFig7 prints the time metrics per split.
+func RenderFig7(w io.Writer, pts []ScalabilityPoint) { report.Fig7(w, pts) }
+
+// RenderFig8 prints the time-resistance curves.
+func RenderFig8(w io.Writer, results []TimeResistanceResult) { report.Fig8(w, results) }
+
+// RenderFig9 prints the SHAP influence summary.
+func RenderFig9(w io.Writer, infl []Influence) { report.Fig9(w, infl) }

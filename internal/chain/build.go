@@ -1,0 +1,136 @@
+package chain
+
+import (
+	"fmt"
+
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+// BuildConfig describes a synthetic chain population.
+type BuildConfig struct {
+	// Generator drives all bytecode synthesis (and its RNG stream drives
+	// deployment placement). Required.
+	Generator *synth.Generator
+	// Timeline distributes phishing deployments over the study window:
+	// Unique[m] distinct bytecodes and Obtained[m] total contracts
+	// (clones included) per month.
+	Timeline synth.Timeline
+	// BenignPerMonth is the number of benign contracts deployed each month.
+	BenignPerMonth [synth.NumMonths]int
+	// ProxyFraction is the share of *unique* bytecodes (in both classes)
+	// that are EIP-1167 proxy stubs rather than full contracts. Proxy stubs
+	// carry almost no class signal (45 bytes, random implementation
+	// address), bounding achievable accuracy below 100% like the paper's
+	// real data does.
+	ProxyFraction float64
+}
+
+// UniformBenign fills BenignPerMonth with total spread evenly (residue to
+// the earliest months).
+func UniformBenign(total int) [synth.NumMonths]int {
+	var out [synth.NumMonths]int
+	base := total / synth.NumMonths
+	rem := total % synth.NumMonths
+	for m := range out {
+		out[m] = base
+		if m < rem {
+			out[m]++
+		}
+	}
+	return out
+}
+
+// MatchedBenign distributes benign contracts with the same monthly shape as
+// the phishing timeline (the paper's time-resistance dataset matches the
+// temporal distributions of the two classes).
+func MatchedBenign(total int, tl synth.Timeline) [synth.NumMonths]int {
+	obtained := tl.TotalObtained()
+	var out [synth.NumMonths]int
+	assigned := 0
+	for m := range out {
+		out[m] = total * tl.Obtained[m] / obtained
+		assigned += out[m]
+	}
+	out[3] += total - assigned
+	return out
+}
+
+// Build populates a chain per cfg and freezes it. All randomness flows from
+// cfg.Generator's stream, so builds are reproducible given a seed.
+func Build(cfg BuildConfig) (*Chain, error) {
+	if cfg.Generator == nil {
+		return nil, fmt.Errorf("chain: BuildConfig.Generator is required")
+	}
+	if cfg.ProxyFraction < 0 || cfg.ProxyFraction > 1 {
+		return nil, fmt.Errorf("chain: ProxyFraction %f outside [0,1]", cfg.ProxyFraction)
+	}
+	g := cfg.Generator
+	rng := g.Rand()
+	c := New()
+	seed := g.Config().Seed
+	var counter uint64
+
+	deploy := func(code []byte, phishing bool, month int) error {
+		counter++
+		ct := &Contract{
+			Addr:     DeriveAddress(seed, counter),
+			Code:     code,
+			Phishing: phishing,
+			Month:    month,
+			Block:    MonthStartBlock(month) + uint64(rng.Intn(BlocksPerMonth)),
+		}
+		return c.Deploy(ct)
+	}
+
+	for m := 0; m < synth.NumMonths; m++ {
+		// Unique phishing bytecodes for month m; the remaining obtained
+		// count is covered by bit-identical proxy clones of this month's
+		// proxy-family stubs.
+		uniques := cfg.Timeline.Unique[m]
+		obtained := cfg.Timeline.Obtained[m]
+		if uniques > obtained {
+			return nil, fmt.Errorf("chain: month %d has %d uniques > %d obtained", m, uniques, obtained)
+		}
+		type family struct{ code []byte }
+		var families []family
+		for i := 0; i < uniques; i++ {
+			var code []byte
+			if rng.Float64() < cfg.ProxyFraction {
+				code = synth.MinimalProxy(g.RandomAddress())
+				families = append(families, family{code})
+			} else {
+				code = g.Contract(synth.Phishing, m)
+			}
+			if err := deploy(code, true, m); err != nil {
+				return nil, err
+			}
+		}
+		// Clones: re-deploy existing family stubs bit-for-bit.
+		for i := uniques; i < obtained; i++ {
+			var code []byte
+			if len(families) > 0 {
+				code = families[rng.Intn(len(families))].code
+			} else {
+				// No proxy family this month: clone a fresh full drainer
+				// deployed behind distinct addresses (factory redeploys).
+				code = g.Contract(synth.Phishing, m)
+			}
+			if err := deploy(code, true, m); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < cfg.BenignPerMonth[m]; i++ {
+			var code []byte
+			if rng.Float64() < cfg.ProxyFraction {
+				code = synth.MinimalProxy(g.RandomAddress())
+			} else {
+				code = g.Contract(synth.Benign, m)
+			}
+			if err := deploy(code, false, m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c.Freeze()
+	return c, nil
+}

@@ -1,0 +1,206 @@
+// Package chain implements a simulated Ethereum blockchain state: contract
+// accounts deployed over a block timeline spanning the paper's study window
+// (October 2023 – October 2024, post-Shanghai).
+//
+// It substitutes for the real mainnet the paper crawls: the JSON-RPC node
+// (internal/ethrpc) and the explorer services (internal/explorer) serve this
+// state, so the whole BEM data-gathering pipeline runs end to end against it.
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+// Address is a 20-byte Ethereum account address.
+type Address [20]byte
+
+// String renders the address as 0x-prefixed lowercase hex.
+func (a Address) String() string { return "0x" + hex.EncodeToString(a[:]) }
+
+// ParseAddress parses a 0x-prefixed (or bare) 40-nibble hex address.
+func ParseAddress(s string) (Address, error) {
+	var a Address
+	s = strings.TrimPrefix(strings.TrimSpace(s), "0x")
+	s = strings.TrimPrefix(s, "0X")
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return a, fmt.Errorf("chain: invalid address %q: %w", s, err)
+	}
+	if len(b) != 20 {
+		return a, fmt.Errorf("chain: address %q has %d bytes, want 20", s, len(b))
+	}
+	copy(a[:], b)
+	return a, nil
+}
+
+// DeriveAddress deterministically derives a contract address from a stream
+// seed and a deployment counter. The paper's chain uses Keccak-256 of
+// (sender, nonce); SHA-256 substitutes under the stdlib-only constraint —
+// addresses are opaque identifiers in every experiment.
+func DeriveAddress(seed int64, counter uint64) Address {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(seed))
+	binary.BigEndian.PutUint64(buf[8:], counter)
+	sum := sha256.Sum256(buf[:])
+	var a Address
+	copy(a[:], sum[:20])
+	return a
+}
+
+// Block-timeline constants.
+const (
+	// ShanghaiBlock is where the paper's study begins (fork activation).
+	ShanghaiBlock = 17034870
+	// StudyStartBlock approximates the first block of October 2023.
+	StudyStartBlock = 18250000
+	// BlocksPerMonth is the average block count per month at 12 s blocks.
+	BlocksPerMonth = 216000
+)
+
+// MonthStartBlock returns the first block of study month m (0 = Oct 2023).
+func MonthStartBlock(m int) uint64 {
+	return StudyStartBlock + uint64(m)*BlocksPerMonth
+}
+
+// MonthOfBlock maps a block number back to a study month, clamping to the
+// window edges.
+func MonthOfBlock(b uint64) int {
+	if b < StudyStartBlock {
+		return 0
+	}
+	m := int((b - StudyStartBlock) / BlocksPerMonth)
+	if m >= synth.NumMonths {
+		return synth.NumMonths - 1
+	}
+	return m
+}
+
+// Contract is one deployed contract account.
+type Contract struct {
+	// Addr is the account address.
+	Addr Address
+	// Code is the deployed (runtime) bytecode returned by eth_getCode.
+	Code []byte
+	// Phishing is the ground-truth class (the label service adds noise on
+	// top of this when queried).
+	Phishing bool
+	// Month is the study month of deployment (0 = Oct 2023).
+	Month int
+	// Block is the deployment block number.
+	Block uint64
+}
+
+// Chain is an in-memory contract store ordered by deployment block. It is
+// safe for concurrent use.
+type Chain struct {
+	mu        sync.RWMutex
+	byAddr    map[Address]*Contract
+	deployed  []*Contract // sorted by (Block, Addr) after Freeze
+	headBlock uint64
+	frozen    bool
+}
+
+// New returns an empty chain.
+func New() *Chain {
+	return &Chain{byAddr: make(map[Address]*Contract)}
+}
+
+// Deploy records a contract. Deploying to an existing address or deploying
+// after Freeze is an error.
+func (c *Chain) Deploy(ct *Contract) error {
+	if ct == nil || len(ct.Code) == 0 {
+		return fmt.Errorf("chain: deploy of empty contract")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.frozen {
+		return fmt.Errorf("chain: deploy after freeze")
+	}
+	if _, dup := c.byAddr[ct.Addr]; dup {
+		return fmt.Errorf("chain: address collision at %s", ct.Addr)
+	}
+	c.byAddr[ct.Addr] = ct
+	c.deployed = append(c.deployed, ct)
+	if ct.Block > c.headBlock {
+		c.headBlock = ct.Block
+	}
+	return nil
+}
+
+// Freeze sorts the deployment log and marks the chain immutable; reads are
+// lock-free safe afterwards. Idempotent.
+func (c *Chain) Freeze() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.frozen {
+		return
+	}
+	sort.Slice(c.deployed, func(i, j int) bool {
+		if c.deployed[i].Block != c.deployed[j].Block {
+			return c.deployed[i].Block < c.deployed[j].Block
+		}
+		return c.deployed[i].Addr.String() < c.deployed[j].Addr.String()
+	})
+	c.frozen = true
+}
+
+// GetCode returns the deployed bytecode at addr, or nil if no contract
+// exists there (the JSON-RPC server renders that as "0x", like a real node).
+func (c *Chain) GetCode(addr Address) []byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if ct, ok := c.byAddr[addr]; ok {
+		return ct.Code
+	}
+	return nil
+}
+
+// Lookup returns the full contract record at addr.
+func (c *Chain) Lookup(addr Address) (*Contract, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ct, ok := c.byAddr[addr]
+	return ct, ok
+}
+
+// HeadBlock returns the highest deployment block seen.
+func (c *Chain) HeadBlock() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.headBlock
+}
+
+// Len returns the number of deployed contracts.
+func (c *Chain) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.byAddr)
+}
+
+// ContractsInRange returns contracts with Block in [from, to], in deployment
+// order. The chain must be frozen first.
+func (c *Chain) ContractsInRange(from, to uint64) []*Contract {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !c.frozen {
+		panic("chain: ContractsInRange before Freeze")
+	}
+	lo := sort.Search(len(c.deployed), func(i int) bool { return c.deployed[i].Block >= from })
+	hi := sort.Search(len(c.deployed), func(i int) bool { return c.deployed[i].Block > to })
+	out := make([]*Contract, hi-lo)
+	copy(out, c.deployed[lo:hi])
+	return out
+}
+
+// All returns every contract in deployment order. The chain must be frozen.
+func (c *Chain) All() []*Contract {
+	return c.ContractsInRange(0, ^uint64(0))
+}

@@ -1,0 +1,282 @@
+// Package dataset assembles, deduplicates, balances, splits and persists the
+// labelled bytecode corpus used by every experiment — the paper's "dataset
+// construction" step (17,455 crawled phishing contracts → 3,458 unique →
+// 7,000 balanced samples).
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"github.com/phishinghook/phishinghook/internal/evm"
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+// Label is a binary class label.
+type Label int
+
+// Class labels. The positive class (phishing) is 1 as in the paper's
+// binary classification task.
+const (
+	Benign   Label = 0
+	Phishing Label = 1
+)
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	switch l {
+	case Benign:
+		return "benign"
+	case Phishing:
+		return "phishing"
+	default:
+		return fmt.Sprintf("Label(%d)", int(l))
+	}
+}
+
+// Sample is one labelled contract bytecode.
+type Sample struct {
+	// Address identifies the contract on the (simulated) chain.
+	Address string
+	// Bytecode is the deployed runtime code.
+	Bytecode []byte
+	// Label is the class served by the label service (it may disagree with
+	// chain ground truth when label noise is on, exactly like Etherscan).
+	Label Label
+	// Month is the deployment month (0 = Oct 2023 … 12 = Oct 2024).
+	Month int
+}
+
+// Dataset is an ordered collection of samples.
+type Dataset struct {
+	Samples []Sample
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// Counts returns (benign, phishing) sample counts.
+func (d *Dataset) Counts() (benign, phishing int) {
+	for _, s := range d.Samples {
+		if s.Label == Phishing {
+			phishing++
+		} else {
+			benign++
+		}
+	}
+	return benign, phishing
+}
+
+// Labels returns the label vector as ints (model targets).
+func (d *Dataset) Labels() []int {
+	out := make([]int, len(d.Samples))
+	for i, s := range d.Samples {
+		out[i] = int(s.Label)
+	}
+	return out
+}
+
+// Dedup returns a new dataset keeping the first occurrence of every distinct
+// bytecode — the paper's minimal-proxy deduplication. Order is preserved.
+func (d *Dataset) Dedup() *Dataset {
+	seen := make(map[string]bool, len(d.Samples))
+	out := &Dataset{Samples: make([]Sample, 0, len(d.Samples))}
+	for _, s := range d.Samples {
+		key := string(s.Bytecode)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.Samples = append(out.Samples, s)
+	}
+	return out
+}
+
+// Balance downsamples the majority class to the minority count, choosing
+// removals uniformly from rng. Order of the survivors is preserved.
+func (d *Dataset) Balance(rng *rand.Rand) *Dataset {
+	nb, np := d.Counts()
+	major, keep := Benign, np
+	if np > nb {
+		major, keep = Phishing, nb
+	}
+	// Collect majority indices and choose survivors.
+	var majorIdx []int
+	for i, s := range d.Samples {
+		if s.Label == major {
+			majorIdx = append(majorIdx, i)
+		}
+	}
+	rng.Shuffle(len(majorIdx), func(i, j int) { majorIdx[i], majorIdx[j] = majorIdx[j], majorIdx[i] })
+	kept := make(map[int]bool, keep)
+	for _, i := range majorIdx[:keep] {
+		kept[i] = true
+	}
+	out := &Dataset{Samples: make([]Sample, 0, 2*keep)}
+	for i, s := range d.Samples {
+		if s.Label != major || kept[i] {
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	return out
+}
+
+// Shuffle returns a permuted copy.
+func (d *Dataset) Shuffle(rng *rand.Rand) *Dataset {
+	out := &Dataset{Samples: make([]Sample, len(d.Samples))}
+	copy(out.Samples, d.Samples)
+	rng.Shuffle(len(out.Samples), func(i, j int) {
+		out.Samples[i], out.Samples[j] = out.Samples[j], out.Samples[i]
+	})
+	return out
+}
+
+// Subset returns the dataset restricted to the given indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{Samples: make([]Sample, len(idx))}
+	for i, j := range idx {
+		out.Samples[i] = d.Samples[j]
+	}
+	return out
+}
+
+// Fraction returns a stratified prefix containing approximately frac of each
+// class, drawn without replacement — the paper's ⅓ / ⅔ / full scalability
+// splits.
+func (d *Dataset) Fraction(frac float64, rng *rand.Rand) *Dataset {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("dataset: fraction %f outside (0,1]", frac))
+	}
+	byClass := map[Label][]int{}
+	for i, s := range d.Samples {
+		byClass[s.Label] = append(byClass[s.Label], i)
+	}
+	var keep []int
+	for _, lbl := range []Label{Benign, Phishing} {
+		idx := byClass[lbl]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		n := int(float64(len(idx))*frac + 0.5)
+		keep = append(keep, idx[:n]...)
+	}
+	rng.Shuffle(len(keep), func(i, j int) { keep[i], keep[j] = keep[j], keep[i] })
+	return d.Subset(keep)
+}
+
+// MonthRange returns samples with Month in [from, to] inclusive.
+func (d *Dataset) MonthRange(from, to int) *Dataset {
+	out := &Dataset{}
+	for _, s := range d.Samples {
+		if s.Month >= from && s.Month <= to {
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	return out
+}
+
+// MonthHistogram counts samples per month for one class.
+func (d *Dataset) MonthHistogram(label Label) [synth.NumMonths]int {
+	var h [synth.NumMonths]int
+	for _, s := range d.Samples {
+		if s.Label == label && s.Month >= 0 && s.Month < synth.NumMonths {
+			h[s.Month]++
+		}
+	}
+	return h
+}
+
+// Fold is one cross-validation fold: indices into the parent dataset.
+type Fold struct {
+	Train []int
+	Test  []int
+}
+
+// KFold produces k stratified folds: each class is partitioned evenly across
+// test sets, matching scikit-learn's StratifiedKFold with shuffling.
+func (d *Dataset) KFold(k int, rng *rand.Rand) []Fold {
+	if k < 2 || k > d.Len() {
+		panic(fmt.Sprintf("dataset: k=%d invalid for %d samples", k, d.Len()))
+	}
+	byClass := map[Label][]int{}
+	for i, s := range d.Samples {
+		byClass[s.Label] = append(byClass[s.Label], i)
+	}
+	testSets := make([][]int, k)
+	for _, lbl := range []Label{Benign, Phishing} {
+		idx := byClass[lbl]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for i, j := range idx {
+			testSets[i%k] = append(testSets[i%k], j)
+		}
+	}
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		inTest := make(map[int]bool, len(testSets[f]))
+		for _, i := range testSets[f] {
+			inTest[i] = true
+		}
+		train := make([]int, 0, d.Len()-len(testSets[f]))
+		for i := range d.Samples {
+			if !inTest[i] {
+				train = append(train, i)
+			}
+		}
+		folds[f] = Fold{Train: train, Test: testSets[f]}
+	}
+	return folds
+}
+
+// WriteCSV persists the dataset as address,label,month,bytecode rows.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"address", "label", "month", "bytecode"}); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	for i, s := range d.Samples {
+		rec := []string{s.Address, strconv.Itoa(int(s.Label)), strconv.Itoa(s.Month), evm.EncodeHex(s.Bytecode)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return &Dataset{}, nil
+	}
+	d := &Dataset{Samples: make([]Sample, 0, len(rows)-1)}
+	for i, row := range rows[1:] {
+		if len(row) != 4 {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want 4", i+1, len(row))
+		}
+		lbl, err := strconv.Atoi(row[1])
+		if err != nil || (lbl != 0 && lbl != 1) {
+			return nil, fmt.Errorf("dataset: row %d has bad label %q", i+1, row[1])
+		}
+		month, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d has bad month %q", i+1, row[2])
+		}
+		code, err := evm.DecodeHex(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d: %w", i+1, err)
+		}
+		d.Samples = append(d.Samples, Sample{
+			Address:  row[0],
+			Bytecode: code,
+			Label:    Label(lbl),
+			Month:    month,
+		})
+	}
+	return d, nil
+}

@@ -1,0 +1,251 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mk builds a small synthetic dataset with nb benign and np phishing
+// samples; bytecodes are distinct unless dup is set.
+func mk(nb, np int, dup bool) *Dataset {
+	d := &Dataset{}
+	add := func(label Label, i int) {
+		code := []byte{byte(label), byte(i), byte(i >> 8), 0x60, 0x80}
+		if dup && i%3 == 0 {
+			code = []byte{byte(label), 0xEE, 0xEE} // shared bytecode
+		}
+		d.Samples = append(d.Samples, Sample{
+			Address:  string(rune('a' + i%26)),
+			Bytecode: code,
+			Label:    label,
+			Month:    i % 13,
+		})
+	}
+	for i := 0; i < nb; i++ {
+		add(Benign, i)
+	}
+	for i := 0; i < np; i++ {
+		add(Phishing, i+10000)
+	}
+	return d
+}
+
+func TestCounts(t *testing.T) {
+	d := mk(7, 5, false)
+	nb, np := d.Counts()
+	if nb != 7 || np != 5 {
+		t.Errorf("Counts = (%d,%d), want (7,5)", nb, np)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	d := mk(9, 9, true)
+	u := d.Dedup()
+	seen := map[string]bool{}
+	for _, s := range u.Samples {
+		if seen[string(s.Bytecode)] {
+			t.Fatal("Dedup left duplicate bytecode")
+		}
+		seen[string(s.Bytecode)] = true
+	}
+	if u.Len() >= d.Len() {
+		t.Errorf("Dedup did not shrink dataset with duplicates (%d -> %d)", d.Len(), u.Len())
+	}
+	// Idempotence.
+	if u.Dedup().Len() != u.Len() {
+		t.Error("Dedup not idempotent")
+	}
+}
+
+func TestDedupKeepsFirst(t *testing.T) {
+	d := &Dataset{Samples: []Sample{
+		{Address: "first", Bytecode: []byte{1}, Label: Phishing},
+		{Address: "second", Bytecode: []byte{1}, Label: Benign},
+	}}
+	u := d.Dedup()
+	if u.Len() != 1 || u.Samples[0].Address != "first" {
+		t.Errorf("Dedup kept %v, want the first occurrence", u.Samples)
+	}
+}
+
+func TestBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := mk(30, 10, false)
+	b := d.Balance(rng)
+	nb, np := b.Counts()
+	if nb != 10 || np != 10 {
+		t.Errorf("Balance = (%d,%d), want (10,10)", nb, np)
+	}
+	// Balancing an already balanced set is a no-op size-wise.
+	b2 := b.Balance(rng)
+	if b2.Len() != b.Len() {
+		t.Error("Balance changed an already balanced dataset")
+	}
+}
+
+func TestBalanceMajorityPhishing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := mk(5, 20, false)
+	nb, np := d.Balance(rng).Counts()
+	if nb != 5 || np != 5 {
+		t.Errorf("Balance = (%d,%d), want (5,5)", nb, np)
+	}
+}
+
+func TestFractionStratified(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := mk(90, 90, false)
+	third := d.Fraction(1.0/3, rng)
+	nb, np := third.Counts()
+	if nb != 30 || np != 30 {
+		t.Errorf("Fraction(1/3) = (%d,%d), want (30,30)", nb, np)
+	}
+	full := d.Fraction(1, rng)
+	if full.Len() != d.Len() {
+		t.Errorf("Fraction(1) dropped samples: %d of %d", full.Len(), d.Len())
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := mk(50, 50, false)
+	folds := d.KFold(10, rng)
+	if len(folds) != 10 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	seen := make(map[int]int)
+	for _, f := range folds {
+		if len(f.Train)+len(f.Test) != d.Len() {
+			t.Fatalf("fold sizes %d+%d != %d", len(f.Train), len(f.Test), d.Len())
+		}
+		for _, i := range f.Test {
+			seen[i]++
+		}
+		inTest := map[int]bool{}
+		for _, i := range f.Test {
+			inTest[i] = true
+		}
+		for _, i := range f.Train {
+			if inTest[i] {
+				t.Fatal("index in both train and test")
+			}
+		}
+		// Stratification: each fold's test set is balanced within ±1.
+		sub := d.Subset(f.Test)
+		nb, np := sub.Counts()
+		if nb < 4 || np < 4 || nb > 6 || np > 6 {
+			t.Errorf("fold test class balance (%d,%d) not stratified", nb, np)
+		}
+	}
+	// Every sample appears in exactly one test set.
+	for i := 0; i < d.Len(); i++ {
+		if seen[i] != 1 {
+			t.Fatalf("sample %d appears in %d test folds", i, seen[i])
+		}
+	}
+}
+
+func TestKFoldValidation(t *testing.T) {
+	d := mk(3, 3, false)
+	for _, k := range []int{0, 1, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("KFold(%d) did not panic", k)
+				}
+			}()
+			d.KFold(k, rand.New(rand.NewSource(1)))
+		}()
+	}
+}
+
+func TestMonthRangeAndHistogram(t *testing.T) {
+	d := mk(26, 26, false)
+	early := d.MonthRange(0, 3)
+	for _, s := range early.Samples {
+		if s.Month > 3 {
+			t.Fatalf("MonthRange(0,3) returned month %d", s.Month)
+		}
+	}
+	h := d.MonthHistogram(Phishing)
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	_, np := d.Counts()
+	if total != np {
+		t.Errorf("phishing month histogram sums to %d, want %d", total, np)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := mk(12, 12, true)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip %d -> %d samples", d.Len(), back.Len())
+	}
+	for i := range d.Samples {
+		a, b := d.Samples[i], back.Samples[i]
+		if a.Address != b.Address || a.Label != b.Label || a.Month != b.Month ||
+			!bytes.Equal(a.Bytecode, b.Bytecode) {
+			t.Fatalf("sample %d corrupted: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	bad := []string{
+		"address,label,month,bytecode\naddr,2,0,0x60\n",  // label out of range
+		"address,label,month,bytecode\naddr,1,x,0x60\n",  // bad month
+		"address,label,month,bytecode\naddr,1,0,0x6z0\n", // bad hex
+	}
+	for i, s := range bad {
+		if _, err := ReadCSV(bytes.NewReader([]byte(s))); err == nil {
+			t.Errorf("case %d: ReadCSV accepted malformed input", i)
+		}
+	}
+}
+
+func TestShuffleIsPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := mk(20, 20, false)
+		s := d.Shuffle(rand.New(rand.NewSource(seed)))
+		if s.Len() != d.Len() {
+			return false
+		}
+		count := map[string]int{}
+		for _, x := range d.Samples {
+			count[string(x.Bytecode)]++
+		}
+		for _, x := range s.Samples {
+			count[string(x.Bytecode)]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if Benign.String() != "benign" || Phishing.String() != "phishing" {
+		t.Error("label strings wrong")
+	}
+	if Label(9).String() == "" {
+		t.Error("unknown label should still render")
+	}
+}

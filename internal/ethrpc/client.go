@@ -1,0 +1,183 @@
+package ethrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/phishinghook/phishinghook/internal/chain"
+	"github.com/phishinghook/phishinghook/internal/evm"
+)
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (tests inject
+// httptest servers or failing transports).
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
+}
+
+// WithRetries sets the number of attempts per call (default 3) and the base
+// backoff between them (default 50ms, doubled each retry with jitter).
+func WithRetries(attempts int, backoff time.Duration) ClientOption {
+	return func(c *Client) {
+		if attempts > 0 {
+			c.attempts = attempts
+		}
+		if backoff > 0 {
+			c.backoff = backoff
+		}
+	}
+}
+
+// Client is a minimal JSON-RPC 2.0 client for the eth_* methods the BEM
+// needs. It is safe for concurrent use.
+type Client struct {
+	endpoint string
+	http     *http.Client
+	attempts int
+	backoff  time.Duration
+	nextID   atomic.Int64
+}
+
+// NewClient returns a client for the given endpoint URL.
+func NewClient(endpoint string, opts ...ClientOption) *Client {
+	c := &Client{
+		endpoint: endpoint,
+		http:     &http.Client{Timeout: 10 * time.Second},
+		attempts: 3,
+		backoff:  50 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// call performs one JSON-RPC call with retry on transport errors and 5xx
+// statuses. JSON-RPC application errors are not retried: the server has
+// answered authoritatively.
+func (c *Client) call(ctx context.Context, method string, params ...any) (json.RawMessage, error) {
+	id := c.nextID.Add(1)
+	reqBody, err := json.Marshal(map[string]any{
+		"jsonrpc": "2.0",
+		"id":      id,
+		"method":  method,
+		"params":  params,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ethrpc: marshal request: %w", err)
+	}
+	var lastErr error
+	backoff := c.backoff
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			jitter := time.Duration(rand.Int63n(int64(backoff)/2 + 1))
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff + jitter):
+			}
+			backoff *= 2
+		}
+		result, retryable, err := c.once(ctx, reqBody)
+		if err == nil {
+			return result, nil
+		}
+		lastErr = err
+		if !retryable {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("ethrpc: %s failed after %d attempts: %w", method, c.attempts, lastErr)
+}
+
+func (c *Client) once(ctx context.Context, body []byte) (result json.RawMessage, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, fmt.Errorf("ethrpc: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, true, fmt.Errorf("ethrpc: transport: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		return nil, true, fmt.Errorf("ethrpc: server status %d", resp.StatusCode)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("ethrpc: unexpected status %d", resp.StatusCode)
+	}
+	var rpcResp struct {
+		Result json.RawMessage `json:"result"`
+		Error  *rpcError       `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rpcResp); err != nil {
+		return nil, true, fmt.Errorf("ethrpc: decode response: %w", err)
+	}
+	if rpcResp.Error != nil {
+		return nil, false, rpcResp.Error
+	}
+	return rpcResp.Result, false, nil
+}
+
+// GetCode fetches the deployed bytecode at addr ("latest" block). A nil,
+// nil return means no code is deployed there (an EOA).
+func (c *Client) GetCode(ctx context.Context, addr chain.Address) ([]byte, error) {
+	raw, err := c.call(ctx, "eth_getCode", addr.String(), "latest")
+	if err != nil {
+		return nil, err
+	}
+	var hexCode string
+	if err := json.Unmarshal(raw, &hexCode); err != nil {
+		return nil, fmt.Errorf("ethrpc: eth_getCode result not a string: %w", err)
+	}
+	if hexCode == "0x" || hexCode == "" {
+		return nil, nil
+	}
+	code, err := evm.DecodeHex(hexCode)
+	if err != nil {
+		return nil, fmt.Errorf("ethrpc: eth_getCode returned bad hex: %w", err)
+	}
+	return code, nil
+}
+
+// BlockNumber returns the node's head block number.
+func (c *Client) BlockNumber(ctx context.Context) (uint64, error) {
+	raw, err := c.call(ctx, "eth_blockNumber")
+	if err != nil {
+		return 0, err
+	}
+	return parseHexUint(raw)
+}
+
+// ChainID returns the node's chain identifier.
+func (c *Client) ChainID(ctx context.Context) (uint64, error) {
+	raw, err := c.call(ctx, "eth_chainId")
+	if err != nil {
+		return 0, err
+	}
+	return parseHexUint(raw)
+}
+
+func parseHexUint(raw json.RawMessage) (uint64, error) {
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return 0, fmt.Errorf("ethrpc: result not a string: %w", err)
+	}
+	s = strings.TrimPrefix(s, "0x")
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("ethrpc: bad hex quantity %q: %w", s, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,218 @@
+package ethrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/phishinghook/phishinghook/internal/chain"
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+func testChain(t *testing.T) *chain.Chain {
+	t.Helper()
+	c, err := chain.Build(chain.BuildConfig{
+		Generator:      synth.NewGenerator(synth.DefaultConfig(5)),
+		Timeline:       synth.ScaledTimeline(40, 26),
+		BenignPerMonth: chain.UniformBenign(26),
+		ProxyFraction:  0.1,
+	})
+	if err != nil {
+		t.Fatalf("build chain: %v", err)
+	}
+	return c
+}
+
+func TestGetCodeRoundTrip(t *testing.T) {
+	c := testChain(t)
+	srv := httptest.NewServer(NewServer(c, 1))
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	ctx := context.Background()
+
+	for _, ct := range c.All()[:10] {
+		code, err := client.GetCode(ctx, ct.Addr)
+		if err != nil {
+			t.Fatalf("GetCode(%s): %v", ct.Addr, err)
+		}
+		if !bytes.Equal(code, ct.Code) {
+			t.Fatalf("GetCode(%s) returned %d bytes, want %d", ct.Addr, len(code), len(ct.Code))
+		}
+	}
+}
+
+func TestGetCodeAbsentAddress(t *testing.T) {
+	c := testChain(t)
+	srv := httptest.NewServer(NewServer(c, 1))
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	code, err := client.GetCode(context.Background(), chain.DeriveAddress(999, 999))
+	if err != nil {
+		t.Fatalf("GetCode absent: %v", err)
+	}
+	if code != nil {
+		t.Errorf("absent address returned %d bytes, want nil", len(code))
+	}
+}
+
+func TestBlockNumberAndChainID(t *testing.T) {
+	c := testChain(t)
+	srv := httptest.NewServer(NewServer(c, 1337))
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	ctx := context.Background()
+
+	bn, err := client.BlockNumber(ctx)
+	if err != nil {
+		t.Fatalf("BlockNumber: %v", err)
+	}
+	if bn != c.HeadBlock() {
+		t.Errorf("BlockNumber = %d, want %d", bn, c.HeadBlock())
+	}
+	id, err := client.ChainID(ctx)
+	if err != nil {
+		t.Fatalf("ChainID: %v", err)
+	}
+	if id != 1337 {
+		t.Errorf("ChainID = %d, want 1337", id)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	c := testChain(t)
+	srv := httptest.NewServer(NewServer(c, 1))
+	defer srv.Close()
+
+	post := func(body string) map[string]any {
+		resp, err := http.Post(srv.URL, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return out
+	}
+
+	tests := []struct {
+		name, body string
+	}{
+		{"parse error", "{not json"},
+		{"unknown method", `{"jsonrpc":"2.0","id":1,"method":"eth_call","params":[]}`},
+		{"bad params arity", `{"jsonrpc":"2.0","id":1,"method":"eth_getCode","params":[]}`},
+		{"bad address", `{"jsonrpc":"2.0","id":1,"method":"eth_getCode","params":["0x12","latest"]}`},
+		{"bad block tag", `{"jsonrpc":"2.0","id":1,"method":"eth_getCode","params":["0x0000000000000000000000000000000000000001","zzz"]}`},
+	}
+	for _, tt := range tests {
+		out := post(tt.body)
+		if out["error"] == nil {
+			t.Errorf("%s: no error in response %v", tt.name, out)
+		}
+	}
+}
+
+func TestServerRejectsGET(t *testing.T) {
+	c := testChain(t)
+	srv := httptest.NewServer(NewServer(c, 1))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	c := testChain(t)
+	inner := NewServer(c, 1)
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	client := NewClient(flaky.URL, WithRetries(4, time.Millisecond))
+	if _, err := client.BlockNumber(context.Background()); err != nil {
+		t.Fatalf("BlockNumber through flaky server: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3 (2 failures + success)", calls.Load())
+	}
+}
+
+func TestClientDoesNotRetryRPCErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"jsonrpc":"2.0","id":1,"error":{"code":-32601,"message":"nope"}}`))
+	}))
+	defer srv.Close()
+	client := NewClient(srv.URL, WithRetries(5, time.Millisecond))
+	if _, err := client.BlockNumber(context.Background()); err == nil {
+		t.Fatal("expected error")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("client retried an application error: %d calls", calls.Load())
+	}
+}
+
+func TestClientHonorsContextCancellation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(200 * time.Millisecond)
+	}))
+	defer srv.Close()
+	client := NewClient(srv.URL, WithHTTPClient(&http.Client{}))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.BlockNumber(ctx)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+func TestClientMalformedResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("{truncated"))
+	}))
+	defer srv.Close()
+	client := NewClient(srv.URL, WithRetries(2, time.Millisecond))
+	if _, err := client.BlockNumber(context.Background()); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestRequestCounter(t *testing.T) {
+	c := testChain(t)
+	s := NewServer(c, 1)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	for i := 0; i < 5; i++ {
+		if _, err := client.BlockNumber(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Requests() != 5 {
+		t.Errorf("Requests = %d, want 5", s.Requests())
+	}
+}

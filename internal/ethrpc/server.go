@@ -1,0 +1,137 @@
+// Package ethrpc implements the slice of the Ethereum JSON-RPC 2.0 protocol
+// the paper's Bytecode Extraction Module uses (eth_getCode, eth_blockNumber,
+// eth_chainId), as an http server backed by a simulated chain and a client
+// with timeouts and retry.
+package ethrpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"github.com/phishinghook/phishinghook/internal/chain"
+)
+
+// JSON-RPC 2.0 error codes used by the server.
+const (
+	codeParse          = -32700
+	codeInvalidRequest = -32600
+	codeMethodNotFound = -32601
+	codeInvalidParams  = -32602
+)
+
+type rpcRequest struct {
+	JSONRPC string            `json:"jsonrpc"`
+	ID      json.RawMessage   `json:"id"`
+	Method  string            `json:"method"`
+	Params  []json.RawMessage `json:"params"`
+}
+
+type rpcError struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *rpcError) Error() string {
+	return fmt.Sprintf("rpc error %d: %s", e.Code, e.Message)
+}
+
+type rpcResponse struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Result  any             `json:"result,omitempty"`
+	Error   *rpcError       `json:"error,omitempty"`
+}
+
+// Server serves eth_* methods over HTTP POST. It implements http.Handler.
+type Server struct {
+	chain   *chain.Chain
+	chainID uint64
+	// requests counts served calls (observability for the crawler tests).
+	requests atomic.Int64
+}
+
+// NewServer returns a JSON-RPC server over the given chain state.
+func NewServer(c *chain.Chain, chainID uint64) *Server {
+	return &Server{chain: c, chainID: chainID}
+}
+
+// Requests returns the number of RPC calls served so far.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// ServeHTTP handles a single (non-batched) JSON-RPC request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+	var req rpcRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeResponse(w, rpcResponse{JSONRPC: "2.0", Error: &rpcError{codeParse, "parse error: " + err.Error()}})
+		return
+	}
+	resp := rpcResponse{JSONRPC: "2.0", ID: req.ID}
+	result, rerr := s.dispatch(req)
+	if rerr != nil {
+		resp.Error = rerr
+	} else {
+		resp.Result = result
+	}
+	writeResponse(w, resp)
+}
+
+func writeResponse(w http.ResponseWriter, resp rpcResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	// Encoding of our own value types cannot fail; ignore the write error
+	// like net/http handlers conventionally do.
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) dispatch(req rpcRequest) (any, *rpcError) {
+	if req.JSONRPC != "2.0" && req.JSONRPC != "" {
+		return nil, &rpcError{codeInvalidRequest, "unsupported jsonrpc version"}
+	}
+	switch req.Method {
+	case "eth_blockNumber":
+		return hexUint(s.chain.HeadBlock()), nil
+	case "eth_chainId":
+		return hexUint(s.chainID), nil
+	case "eth_getCode":
+		return s.getCode(req.Params)
+	default:
+		return nil, &rpcError{codeMethodNotFound, "method not found: " + req.Method}
+	}
+}
+
+func (s *Server) getCode(params []json.RawMessage) (any, *rpcError) {
+	if len(params) < 1 || len(params) > 2 {
+		return nil, &rpcError{codeInvalidParams, "eth_getCode takes (address, blockTag)"}
+	}
+	var addrHex string
+	if err := json.Unmarshal(params[0], &addrHex); err != nil {
+		return nil, &rpcError{codeInvalidParams, "address must be a string"}
+	}
+	addr, err := chain.ParseAddress(addrHex)
+	if err != nil {
+		return nil, &rpcError{codeInvalidParams, err.Error()}
+	}
+	if len(params) == 2 {
+		var tag string
+		if err := json.Unmarshal(params[1], &tag); err != nil {
+			return nil, &rpcError{codeInvalidParams, "block tag must be a string"}
+		}
+		if tag != "latest" && tag != "pending" && !strings.HasPrefix(tag, "0x") {
+			return nil, &rpcError{codeInvalidParams, "unsupported block tag " + tag}
+		}
+	}
+	code := s.chain.GetCode(addr)
+	if code == nil {
+		return "0x", nil // match real node behaviour for EOAs / absent accounts
+	}
+	return "0x" + fmt.Sprintf("%x", code), nil
+}
+
+func hexUint(v uint64) string { return fmt.Sprintf("0x%x", v) }

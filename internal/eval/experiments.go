@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/phishinghook/phishinghook/internal/dataset"
+	"github.com/phishinghook/phishinghook/internal/models"
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+// ScalabilityPoint is one (model, split) measurement of Figs. 5 and 7.
+type ScalabilityPoint struct {
+	Model     string
+	Split     float64 // 1/3, 2/3, 1.0
+	Metrics   Metrics
+	TrainTime time.Duration
+	InferTime time.Duration
+}
+
+// Scalability trains each spec on growing stratified fractions of ds and
+// evaluates on a held-out test split — the paper's data-size study
+// (SCSGuard, ECA+EfficientNet, Random Forest on ⅓/⅔/full).
+func Scalability(specs []models.Spec, cfg models.NeuralConfig, ds *dataset.Dataset, splits []float64, seed int64) ([]ScalabilityPoint, error) {
+	rng := rand.New(rand.NewSource(seed))
+	shuffled := ds.Shuffle(rng)
+	// Hold out 20% as the fixed test set.
+	folds := shuffled.KFold(5, rng)
+	trainAll := shuffled.Subset(folds[0].Train)
+	test := shuffled.Subset(folds[0].Test)
+
+	var out []ScalabilityPoint
+	for _, spec := range specs {
+		for _, split := range splits {
+			frac := trainAll.Fraction(split, rand.New(rand.NewSource(seed+int64(split*100))))
+			model := spec.New(seed, cfg)
+			t0 := time.Now()
+			if err := model.Fit(frac); err != nil {
+				return nil, fmt.Errorf("eval: scalability fit %s@%.2f: %w", spec.Name, split, err)
+			}
+			trainTime := time.Since(t0)
+			t1 := time.Now()
+			pred, err := model.Predict(test)
+			if err != nil {
+				return nil, fmt.Errorf("eval: scalability predict %s@%.2f: %w", spec.Name, split, err)
+			}
+			inferTime := time.Since(t1)
+			m, err := Compute(pred, test.Labels())
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ScalabilityPoint{
+				Model: spec.Name, Split: split, Metrics: m,
+				TrainTime: trainTime, InferTime: inferTime,
+			})
+		}
+	}
+	return out, nil
+}
+
+// TimePoint is one month of the time-resistance evaluation.
+type TimePoint struct {
+	Month   int // test period index (1-based like the paper's x-axis)
+	Metrics Metrics
+}
+
+// TimeResistanceResult is one model's temporal decay curve with its AUT.
+type TimeResistanceResult struct {
+	Model  string
+	Points []TimePoint
+	// AUT is the area under the phishing F1 curve (Fig. 8).
+	AUT float64
+}
+
+// TimeResistance implements the paper's Fig. 8 protocol: train on the first
+// trainMonths of the study window, then evaluate on each subsequent month
+// separately.
+func TimeResistance(spec models.Spec, cfg models.NeuralConfig, ds *dataset.Dataset, trainMonths int, seed int64) (TimeResistanceResult, error) {
+	if trainMonths < 1 || trainMonths >= synth.NumMonths {
+		return TimeResistanceResult{}, fmt.Errorf("eval: trainMonths %d outside [1,%d)", trainMonths, synth.NumMonths)
+	}
+	train := ds.MonthRange(0, trainMonths-1)
+	if train.Len() == 0 {
+		return TimeResistanceResult{}, fmt.Errorf("eval: no training samples in months [0,%d)", trainMonths)
+	}
+	model := spec.New(seed, cfg)
+	if err := model.Fit(train); err != nil {
+		return TimeResistanceResult{}, fmt.Errorf("eval: time-resistance fit %s: %w", spec.Name, err)
+	}
+	res := TimeResistanceResult{Model: spec.Name}
+	var f1s []float64
+	for m := trainMonths; m < synth.NumMonths; m++ {
+		test := ds.MonthRange(m, m)
+		if test.Len() == 0 {
+			continue
+		}
+		pred, err := model.Predict(test)
+		if err != nil {
+			return TimeResistanceResult{}, err
+		}
+		met, err := Compute(pred, test.Labels())
+		if err != nil {
+			return TimeResistanceResult{}, err
+		}
+		res.Points = append(res.Points, TimePoint{Month: m - trainMonths + 1, Metrics: met})
+		f1s = append(f1s, met.F1)
+	}
+	res.AUT = AUT(f1s)
+	return res, nil
+}

@@ -1,0 +1,183 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/phishinghook/phishinghook/internal/dataset"
+	"github.com/phishinghook/phishinghook/internal/models"
+)
+
+// CVConfig controls a cross-validation experiment.
+type CVConfig struct {
+	// Folds is k (paper: 10).
+	Folds int
+	// Runs repeats the whole CV with reshuffled folds (paper: 3).
+	Runs int
+	// Seed derives all fold shuffles and model seeds.
+	Seed int64
+	// Workers bounds fold-level parallelism (default GOMAXPROCS).
+	// Each fold trains one model instance; classical models also
+	// parallelize internally.
+	Workers int
+}
+
+// TrialResult is one fold×run observation.
+type TrialResult struct {
+	Run, Fold  int
+	Metrics    Metrics
+	TrainTime  time.Duration
+	InferTime  time.Duration
+	TestSize   int
+	TrainSize  int
+	FoldSeed   int64
+	ModelName  string
+	FamilyName string
+}
+
+// CVResult aggregates all trials for one model.
+type CVResult struct {
+	Model  string
+	Family models.Family
+	Trials []TrialResult
+}
+
+// Mean returns the field-wise mean metrics over all trials.
+func (r CVResult) Mean() Metrics {
+	ms := make([]Metrics, len(r.Trials))
+	for i, t := range r.Trials {
+		ms[i] = t.Metrics
+	}
+	return Mean(ms)
+}
+
+// MetricSeries extracts one metric across trials (PAM input).
+func (r CVResult) MetricSeries(metric string) []float64 {
+	out := make([]float64, len(r.Trials))
+	for i, t := range r.Trials {
+		switch metric {
+		case "accuracy":
+			out[i] = t.Metrics.Accuracy
+		case "precision":
+			out[i] = t.Metrics.Precision
+		case "recall":
+			out[i] = t.Metrics.Recall
+		case "f1":
+			out[i] = t.Metrics.F1
+		default:
+			panic(fmt.Sprintf("eval: unknown metric %q", metric))
+		}
+	}
+	return out
+}
+
+// MeanTrainTime averages training wall-clock over trials.
+func (r CVResult) MeanTrainTime() time.Duration {
+	if len(r.Trials) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, t := range r.Trials {
+		total += t.TrainTime
+	}
+	return total / time.Duration(len(r.Trials))
+}
+
+// MeanInferTime averages inference wall-clock over trials.
+func (r CVResult) MeanInferTime() time.Duration {
+	if len(r.Trials) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, t := range r.Trials {
+		total += t.InferTime
+	}
+	return total / time.Duration(len(r.Trials))
+}
+
+// CrossValidate runs the paper's protocol (k-fold × runs) for one model
+// spec. Folds run in parallel; results are deterministic for a given seed
+// because each (run, fold) derives its own seed and fold layout up front.
+func CrossValidate(spec models.Spec, cfg models.NeuralConfig, ds *dataset.Dataset, cv CVConfig) (CVResult, error) {
+	if cv.Folds < 2 {
+		return CVResult{}, fmt.Errorf("eval: need >= 2 folds, got %d", cv.Folds)
+	}
+	if cv.Runs < 1 {
+		return CVResult{}, fmt.Errorf("eval: need >= 1 run, got %d", cv.Runs)
+	}
+	workers := cv.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		run, fold int
+		seed      int64
+		fold_     dataset.Fold
+	}
+	var jobs []job
+	for run := 0; run < cv.Runs; run++ {
+		rng := rand.New(rand.NewSource(cv.Seed + int64(run)*101))
+		folds := ds.KFold(cv.Folds, rng)
+		for f, fold := range folds {
+			jobs = append(jobs, job{
+				run: run, fold: f,
+				seed:  cv.Seed + int64(run)*1000 + int64(f),
+				fold_: fold,
+			})
+		}
+	}
+
+	res := CVResult{Model: spec.Name, Family: spec.Family, Trials: make([]TrialResult, len(jobs))}
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for ji, jb := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ji int, jb job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			train := ds.Subset(jb.fold_.Train)
+			test := ds.Subset(jb.fold_.Test)
+			model := spec.New(jb.seed, cfg)
+
+			t0 := time.Now()
+			if err := model.Fit(train); err != nil {
+				errs[ji] = fmt.Errorf("eval: fit %s run %d fold %d: %w", spec.Name, jb.run, jb.fold, err)
+				return
+			}
+			trainTime := time.Since(t0)
+
+			t1 := time.Now()
+			pred, err := model.Predict(test)
+			if err != nil {
+				errs[ji] = fmt.Errorf("eval: predict %s run %d fold %d: %w", spec.Name, jb.run, jb.fold, err)
+				return
+			}
+			inferTime := time.Since(t1)
+
+			m, err := Compute(pred, test.Labels())
+			if err != nil {
+				errs[ji] = err
+				return
+			}
+			res.Trials[ji] = TrialResult{
+				Run: jb.run, Fold: jb.fold, Metrics: m,
+				TrainTime: trainTime, InferTime: inferTime,
+				TestSize: test.Len(), TrainSize: train.Len(),
+				FoldSeed: jb.seed, ModelName: spec.Name, FamilyName: spec.Family.String(),
+			}
+		}(ji, jb)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return CVResult{}, err
+		}
+	}
+	return res, nil
+}

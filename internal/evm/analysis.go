@@ -1,0 +1,109 @@
+package evm
+
+// Static bytecode analysis helpers layered on the disassembler: the
+// structural facts the framework's post hoc discussions rely on (selector
+// dispatch, jump-destination validity, the solc metadata trailer).
+
+import "encoding/binary"
+
+// ValidJumpdests returns the set of byte offsets that are legal JUMP
+// targets: JUMPDEST opcodes not embedded in PUSH immediates (the EVM's
+// jump-validity rule).
+func ValidJumpdests(code []byte) map[int]bool {
+	out := make(map[int]bool)
+	for _, in := range Disassemble(code) {
+		if in.Op == JUMPDEST {
+			out[in.Offset] = true
+		}
+	}
+	return out
+}
+
+// FunctionSelectors extracts the 4-byte selectors compared in the
+// contract's dispatcher (PUSH4 s … EQ patterns), in order of appearance.
+// This recovers the contract's external ABI surface from bytecode alone.
+func FunctionSelectors(code []byte) [][4]byte {
+	ins := Disassemble(code)
+	var out [][4]byte
+	for i := 0; i+1 < len(ins); i++ {
+		if ins[i].Op != PUSH4 || len(ins[i].Operand) != 4 {
+			continue
+		}
+		// Allow one interleaved stack op between PUSH4 and EQ (solc
+		// sometimes emits DUPn in between).
+		j := i + 1
+		if ins[j].Op.IsDup() && j+1 < len(ins) {
+			j++
+		}
+		if ins[j].Op == EQ {
+			var sel [4]byte
+			copy(sel[:], ins[i].Operand)
+			out = append(out, sel)
+		}
+	}
+	return out
+}
+
+// MetadataSplit locates the solc-style metadata trailer: the final INVALID
+// instruction followed only by non-executable bytes. It returns the code
+// length without the trailer and whether a trailer was found.
+func MetadataSplit(code []byte) (codeLen int, found bool) {
+	// The trailer bytes are arbitrary (CBOR), so they may decode to any
+	// instruction; the reliable anchor is the last INVALID in the linear
+	// disassembly, accepted as the split when it sits in the back half of
+	// the contract (solc emits it right before the metadata).
+	last := -1
+	for _, in := range Disassemble(code) {
+		if in.Op == INVALID {
+			last = in.Offset
+		}
+	}
+	if last > len(code)/2 {
+		return last, true
+	}
+	return 0, false
+}
+
+// Stats summarizes structural properties of a contract's bytecode.
+type Stats struct {
+	// Instructions is the instruction count.
+	Instructions int
+	// Selectors is the dispatcher's selector count.
+	Selectors int
+	// Jumpdests is the count of valid jump targets.
+	Jumpdests int
+	// StaticGas sums static gas costs of all defined instructions.
+	StaticGas int
+	// HasSelfdestruct / HasDelegatecall flag high-risk opcodes.
+	HasSelfdestruct bool
+	HasDelegatecall bool
+	// UndefinedBytes counts bytes that decode to no Shanghai instruction.
+	UndefinedBytes int
+}
+
+// Analyze computes Stats in one pass.
+func Analyze(code []byte) Stats {
+	var s Stats
+	for _, in := range Disassemble(code) {
+		s.Instructions++
+		switch {
+		case in.Op == JUMPDEST:
+			s.Jumpdests++
+		case in.Op == SELFDESTRUCT:
+			s.HasSelfdestruct = true
+		case in.Op == DELEGATECALL:
+			s.HasDelegatecall = true
+		}
+		if !in.Op.Defined() {
+			s.UndefinedBytes++
+		}
+		if g := in.Op.Gas(); g != GasUndefined {
+			s.StaticGas += g
+		}
+	}
+	s.Selectors = len(FunctionSelectors(code))
+	return s
+}
+
+// SelectorUint converts a selector to its numeric form (diagnostics).
+func SelectorUint(sel [4]byte) uint32 { return binary.BigEndian.Uint32(sel[:]) }

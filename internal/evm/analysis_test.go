@@ -1,0 +1,97 @@
+package evm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidJumpdestsIgnoresPushImmediates(t *testing.T) {
+	// 0x5B inside a PUSH2 immediate is NOT a valid jump target.
+	code := []byte{byte(JUMPDEST), byte(PUSH2), 0x5B, 0x5B, byte(JUMPDEST)}
+	dests := ValidJumpdests(code)
+	if !dests[0] || !dests[4] {
+		t.Errorf("real JUMPDESTs missing: %v", dests)
+	}
+	if dests[2] || dests[3] {
+		t.Error("immediate bytes misread as JUMPDEST")
+	}
+	if len(dests) != 2 {
+		t.Errorf("got %d jumpdests, want 2", len(dests))
+	}
+}
+
+func TestFunctionSelectors(t *testing.T) {
+	// Dispatcher fragment: DUP1 PUSH4 a EQ … DUP1 PUSH4 b DUP2 EQ …
+	code := []byte{
+		byte(DUP1), byte(PUSH4), 0xa9, 0x05, 0x9c, 0xbb, byte(EQ),
+		byte(PUSH2), 0x00, 0x40, byte(JUMPI),
+		byte(DUP1), byte(PUSH4), 0x70, 0xa0, 0x82, 0x31, byte(DUP2), byte(EQ),
+		byte(PUSH2), 0x00, 0x80, byte(JUMPI),
+		byte(PUSH4), 0xde, 0xad, 0xbe, 0xef, byte(POP), // not a comparison
+	}
+	sels := FunctionSelectors(code)
+	if len(sels) != 2 {
+		t.Fatalf("got %d selectors, want 2: %x", len(sels), sels)
+	}
+	if SelectorUint(sels[0]) != 0xa9059cbb || SelectorUint(sels[1]) != 0x70a08231 {
+		t.Errorf("selectors = %x", sels)
+	}
+}
+
+func TestMetadataSplit(t *testing.T) {
+	body := make([]byte, 100)
+	for i := range body {
+		body[i] = byte(ADD)
+	}
+	withTrailer := append(append([]byte{}, body...), byte(INVALID), 0x12, 0x34, 0x56)
+	codeLen, found := MetadataSplit(withTrailer)
+	if !found || codeLen != 100 {
+		t.Errorf("MetadataSplit = (%d,%v), want (100,true)", codeLen, found)
+	}
+	// Code without any INVALID has no trailer.
+	noTrailer := append(append([]byte{}, body...), byte(STOP))
+	if _, found := MetadataSplit(noTrailer); found {
+		t.Error("STOP-terminated code misdetected as metadata")
+	}
+	// Early INVALID is not a trailer.
+	early := append([]byte{byte(INVALID)}, body...)
+	if _, found := MetadataSplit(early); found {
+		t.Error("early INVALID misdetected as metadata split")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	code := []byte{
+		byte(PUSH1), 0x80, byte(PUSH1), 0x40, byte(MSTORE), // 3+3+3 gas
+		byte(JUMPDEST),      // 1
+		byte(SELFDESTRUCT),  // 5000
+		byte(DELEGATECALL),  // 100
+		byte(INVALID), 0xEF, // NaN + undefined
+	}
+	s := Analyze(code)
+	if s.Instructions != 8 {
+		t.Errorf("Instructions = %d, want 8", s.Instructions)
+	}
+	if !s.HasSelfdestruct || !s.HasDelegatecall {
+		t.Error("risk flags not set")
+	}
+	if s.Jumpdests != 1 {
+		t.Errorf("Jumpdests = %d, want 1", s.Jumpdests)
+	}
+	if s.UndefinedBytes != 1 {
+		t.Errorf("UndefinedBytes = %d, want 1", s.UndefinedBytes)
+	}
+	if want := 3 + 3 + 3 + 1 + 5000 + 100; s.StaticGas != want {
+		t.Errorf("StaticGas = %d, want %d", s.StaticGas, want)
+	}
+}
+
+func TestAnalyzeNeverPanicsProperty(t *testing.T) {
+	f := func(code []byte) bool {
+		s := Analyze(code)
+		return s.Instructions >= 0 && s.StaticGas >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

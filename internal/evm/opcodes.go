@@ -1,0 +1,336 @@
+// Package evm implements the Ethereum Virtual Machine instruction set as of
+// the Shanghai fork (144 opcodes, including PUSH0 and the designated INVALID
+// instruction) together with a bytecode disassembler and assembler.
+//
+// The package is the reproduction of the paper's Bytecode Disassembler Module
+// (BDM): it turns raw deployed bytecode into (mnemonic, operand, gas) triples
+// exactly as the enhanced evmdasm library described in the paper does.
+package evm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Opcode is a single-byte EVM instruction identifier.
+type Opcode byte
+
+// GasUndefined marks instructions whose static gas cost is undefined
+// (the paper's table prints "NaN" for INVALID).
+const GasUndefined = -1
+
+// Named opcodes of the Shanghai instruction set. Push/dup/swap/log families
+// are addressed via their base members plus an offset (e.g. PUSH1+n).
+const (
+	STOP           Opcode = 0x00
+	ADD            Opcode = 0x01
+	MUL            Opcode = 0x02
+	SUB            Opcode = 0x03
+	DIV            Opcode = 0x04
+	SDIV           Opcode = 0x05
+	MOD            Opcode = 0x06
+	SMOD           Opcode = 0x07
+	ADDMOD         Opcode = 0x08
+	MULMOD         Opcode = 0x09
+	EXP            Opcode = 0x0A
+	SIGNEXTEND     Opcode = 0x0B
+	LT             Opcode = 0x10
+	GT             Opcode = 0x11
+	SLT            Opcode = 0x12
+	SGT            Opcode = 0x13
+	EQ             Opcode = 0x14
+	ISZERO         Opcode = 0x15
+	AND            Opcode = 0x16
+	OR             Opcode = 0x17
+	XOR            Opcode = 0x18
+	NOT            Opcode = 0x19
+	BYTE           Opcode = 0x1A
+	SHL            Opcode = 0x1B
+	SHR            Opcode = 0x1C
+	SAR            Opcode = 0x1D
+	SHA3           Opcode = 0x20
+	ADDRESS        Opcode = 0x30
+	BALANCE        Opcode = 0x31
+	ORIGIN         Opcode = 0x32
+	CALLER         Opcode = 0x33
+	CALLVALUE      Opcode = 0x34
+	CALLDATALOAD   Opcode = 0x35
+	CALLDATASIZE   Opcode = 0x36
+	CALLDATACOPY   Opcode = 0x37
+	CODESIZE       Opcode = 0x38
+	CODECOPY       Opcode = 0x39
+	GASPRICE       Opcode = 0x3A
+	EXTCODESIZE    Opcode = 0x3B
+	EXTCODECOPY    Opcode = 0x3C
+	RETURNDATASIZE Opcode = 0x3D
+	RETURNDATACOPY Opcode = 0x3E
+	EXTCODEHASH    Opcode = 0x3F
+	BLOCKHASH      Opcode = 0x40
+	COINBASE       Opcode = 0x41
+	TIMESTAMP      Opcode = 0x42
+	NUMBER         Opcode = 0x43
+	PREVRANDAO     Opcode = 0x44
+	GASLIMIT       Opcode = 0x45
+	CHAINID        Opcode = 0x46
+	SELFBALANCE    Opcode = 0x47
+	BASEFEE        Opcode = 0x48
+	POP            Opcode = 0x50
+	MLOAD          Opcode = 0x51
+	MSTORE         Opcode = 0x52
+	MSTORE8        Opcode = 0x53
+	SLOAD          Opcode = 0x54
+	SSTORE         Opcode = 0x55
+	JUMP           Opcode = 0x56
+	JUMPI          Opcode = 0x57
+	PC             Opcode = 0x58
+	MSIZE          Opcode = 0x59
+	GAS            Opcode = 0x5A
+	JUMPDEST       Opcode = 0x5B
+	PUSH0          Opcode = 0x5F
+	PUSH1          Opcode = 0x60
+	PUSH2          Opcode = 0x61
+	PUSH4          Opcode = 0x63
+	PUSH20         Opcode = 0x73
+	PUSH32         Opcode = 0x7F
+	DUP1           Opcode = 0x80
+	DUP2           Opcode = 0x81
+	DUP3           Opcode = 0x82
+	DUP4           Opcode = 0x83
+	DUP5           Opcode = 0x84
+	DUP6           Opcode = 0x85
+	DUP7           Opcode = 0x86
+	DUP8           Opcode = 0x87
+	DUP16          Opcode = 0x8F
+	SWAP1          Opcode = 0x90
+	SWAP2          Opcode = 0x91
+	SWAP3          Opcode = 0x92
+	SWAP4          Opcode = 0x93
+	SWAP5          Opcode = 0x94
+	SWAP6          Opcode = 0x95
+	SWAP16         Opcode = 0x9F
+	LOG0           Opcode = 0xA0
+	LOG1           Opcode = 0xA1
+	LOG2           Opcode = 0xA2
+	LOG3           Opcode = 0xA3
+	LOG4           Opcode = 0xA4
+	CREATE         Opcode = 0xF0
+	CALL           Opcode = 0xF1
+	CALLCODE       Opcode = 0xF2
+	RETURN         Opcode = 0xF3
+	DELEGATECALL   Opcode = 0xF4
+	CREATE2        Opcode = 0xF5
+	STATICCALL     Opcode = 0xFA
+	REVERT         Opcode = 0xFD
+	INVALID        Opcode = 0xFE
+	SELFDESTRUCT   Opcode = 0xFF
+)
+
+// opInfo describes one defined instruction.
+type opInfo struct {
+	name string
+	gas  int // static gas cost; GasUndefined when not statically defined
+}
+
+// shanghaiTable maps every defined Shanghai opcode to its mnemonic and static
+// gas cost (per evm.codes, ?fork=shanghai). Dynamic components (memory
+// expansion, cold access, …) are intentionally excluded: the paper's BDM
+// records the static cost column only.
+var shanghaiTable = buildShanghaiTable()
+
+func buildShanghaiTable() map[Opcode]opInfo {
+	t := map[Opcode]opInfo{
+		STOP:           {"STOP", 0},
+		ADD:            {"ADD", 3},
+		MUL:            {"MUL", 5},
+		SUB:            {"SUB", 3},
+		DIV:            {"DIV", 5},
+		SDIV:           {"SDIV", 5},
+		MOD:            {"MOD", 5},
+		SMOD:           {"SMOD", 5},
+		ADDMOD:         {"ADDMOD", 8},
+		MULMOD:         {"MULMOD", 8},
+		EXP:            {"EXP", 10},
+		SIGNEXTEND:     {"SIGNEXTEND", 5},
+		LT:             {"LT", 3},
+		GT:             {"GT", 3},
+		SLT:            {"SLT", 3},
+		SGT:            {"SGT", 3},
+		EQ:             {"EQ", 3},
+		ISZERO:         {"ISZERO", 3},
+		AND:            {"AND", 3},
+		OR:             {"OR", 3},
+		XOR:            {"XOR", 3},
+		NOT:            {"NOT", 3},
+		BYTE:           {"BYTE", 3},
+		SHL:            {"SHL", 3},
+		SHR:            {"SHR", 3},
+		SAR:            {"SAR", 3},
+		SHA3:           {"SHA3", 30},
+		ADDRESS:        {"ADDRESS", 2},
+		BALANCE:        {"BALANCE", 100},
+		ORIGIN:         {"ORIGIN", 2},
+		CALLER:         {"CALLER", 2},
+		CALLVALUE:      {"CALLVALUE", 2},
+		CALLDATALOAD:   {"CALLDATALOAD", 3},
+		CALLDATASIZE:   {"CALLDATASIZE", 2},
+		CALLDATACOPY:   {"CALLDATACOPY", 3},
+		CODESIZE:       {"CODESIZE", 2},
+		CODECOPY:       {"CODECOPY", 3},
+		GASPRICE:       {"GASPRICE", 2},
+		EXTCODESIZE:    {"EXTCODESIZE", 100},
+		EXTCODECOPY:    {"EXTCODECOPY", 100},
+		RETURNDATASIZE: {"RETURNDATASIZE", 2},
+		RETURNDATACOPY: {"RETURNDATACOPY", 3},
+		EXTCODEHASH:    {"EXTCODEHASH", 100},
+		BLOCKHASH:      {"BLOCKHASH", 20},
+		COINBASE:       {"COINBASE", 2},
+		TIMESTAMP:      {"TIMESTAMP", 2},
+		NUMBER:         {"NUMBER", 2},
+		PREVRANDAO:     {"PREVRANDAO", 2},
+		GASLIMIT:       {"GASLIMIT", 2},
+		CHAINID:        {"CHAINID", 2},
+		SELFBALANCE:    {"SELFBALANCE", 5},
+		BASEFEE:        {"BASEFEE", 2},
+		POP:            {"POP", 2},
+		MLOAD:          {"MLOAD", 3},
+		MSTORE:         {"MSTORE", 3},
+		MSTORE8:        {"MSTORE8", 3},
+		SLOAD:          {"SLOAD", 100},
+		SSTORE:         {"SSTORE", 100},
+		JUMP:           {"JUMP", 8},
+		JUMPI:          {"JUMPI", 10},
+		PC:             {"PC", 2},
+		MSIZE:          {"MSIZE", 2},
+		GAS:            {"GAS", 2},
+		JUMPDEST:       {"JUMPDEST", 1},
+		PUSH0:          {"PUSH0", 2},
+		CREATE:         {"CREATE", 32000},
+		CALL:           {"CALL", 100},
+		CALLCODE:       {"CALLCODE", 100},
+		RETURN:         {"RETURN", 0},
+		DELEGATECALL:   {"DELEGATECALL", 100},
+		CREATE2:        {"CREATE2", 32000},
+		STATICCALL:     {"STATICCALL", 100},
+		REVERT:         {"REVERT", 0},
+		INVALID:        {"INVALID", GasUndefined},
+		SELFDESTRUCT:   {"SELFDESTRUCT", 5000},
+	}
+	for n := 1; n <= 32; n++ {
+		t[Opcode(0x60+n-1)] = opInfo{fmt.Sprintf("PUSH%d", n), 3}
+	}
+	for n := 1; n <= 16; n++ {
+		t[Opcode(0x80+n-1)] = opInfo{fmt.Sprintf("DUP%d", n), 3}
+		t[Opcode(0x90+n-1)] = opInfo{fmt.Sprintf("SWAP%d", n), 3}
+	}
+	for n := 0; n <= 4; n++ {
+		t[Opcode(0xA0+n)] = opInfo{fmt.Sprintf("LOG%d", n), 375 * (n + 1)}
+	}
+	return t
+}
+
+// Defined reports whether op is part of the Shanghai instruction set.
+func (op Opcode) Defined() bool {
+	_, ok := shanghaiTable[op]
+	return ok
+}
+
+// Name returns the mnemonic of op, or "UNKNOWN_0xNN" for undefined bytes.
+// Undefined bytes are treated like evmdasm treats them: they disassemble to a
+// synthetic mnemonic so that no byte of a contract is silently dropped.
+func (op Opcode) Name() string {
+	if info, ok := shanghaiTable[op]; ok {
+		return info.name
+	}
+	return fmt.Sprintf("UNKNOWN_0x%02X", byte(op))
+}
+
+// Gas returns the static gas cost of op, or GasUndefined when the cost is not
+// statically defined (INVALID and undefined bytes).
+func (op Opcode) Gas() int {
+	if info, ok := shanghaiTable[op]; ok {
+		return info.gas
+	}
+	return GasUndefined
+}
+
+// GasFloat returns the static gas cost as a float64, with NaN standing for
+// undefined costs. This matches the paper's Table I rendering.
+func (op Opcode) GasFloat() float64 {
+	if g := op.Gas(); g != GasUndefined {
+		return float64(g)
+	}
+	return math.NaN()
+}
+
+// IsPush reports whether op is PUSH0..PUSH32.
+func (op Opcode) IsPush() bool { return op == PUSH0 || (op >= PUSH1 && op <= PUSH32) }
+
+// PushSize returns the number of immediate operand bytes following op.
+// It is zero for every instruction except PUSH1..PUSH32.
+func (op Opcode) PushSize() int {
+	if op >= PUSH1 && op <= PUSH32 {
+		return int(op-PUSH1) + 1
+	}
+	return 0
+}
+
+// IsDup reports whether op is DUP1..DUP16.
+func (op Opcode) IsDup() bool { return op >= DUP1 && op <= DUP16 }
+
+// IsSwap reports whether op is SWAP1..SWAP16.
+func (op Opcode) IsSwap() bool { return op >= SWAP1 && op <= SWAP16 }
+
+// IsLog reports whether op is LOG0..LOG4.
+func (op Opcode) IsLog() bool { return op >= LOG0 && op <= LOG4 }
+
+// IsTerminator reports whether op unconditionally ends the current execution
+// path (STOP, RETURN, REVERT, INVALID, SELFDESTRUCT, JUMP).
+func (op Opcode) IsTerminator() bool {
+	switch op {
+	case STOP, RETURN, REVERT, INVALID, SELFDESTRUCT, JUMP:
+		return true
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (op Opcode) String() string { return op.Name() }
+
+// OpcodeByName resolves a mnemonic to its opcode.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := nameIndex[name]
+	return op, ok
+}
+
+var nameIndex = buildNameIndex()
+
+func buildNameIndex() map[string]Opcode {
+	idx := make(map[string]Opcode, len(shanghaiTable))
+	for op, info := range shanghaiTable {
+		idx[info.name] = op
+	}
+	return idx
+}
+
+// AllOpcodes returns every defined Shanghai opcode in ascending byte order.
+func AllOpcodes() []Opcode {
+	ops := make([]Opcode, 0, len(shanghaiTable))
+	for b := 0; b < 256; b++ {
+		if op := Opcode(b); op.Defined() {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// AllMnemonics returns the mnemonics of every defined opcode in ascending
+// byte order; this is the canonical feature vocabulary used by the histogram
+// classifiers.
+func AllMnemonics() []string {
+	ops := AllOpcodes()
+	names := make([]string, len(ops))
+	for i, op := range ops {
+		names[i] = op.Name()
+	}
+	return names
+}

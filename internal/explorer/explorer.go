@@ -1,0 +1,203 @@
+// Package explorer simulates the two public data services the paper's
+// data-gathering phase relies on:
+//
+//   - a BigQuery-like *registry* that lists contract addresses deployed in a
+//     block range, with cursor pagination;
+//   - an Etherscan-like *label service* that flags phishing contracts with
+//     the "Phish/Hack" label, behind a token-bucket rate limit.
+//
+// A crawler client drives both with a bounded worker pool, honoring 429
+// backoff — the paper scraped 4 million hashes this way.
+package explorer
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/phishinghook/phishinghook/internal/chain"
+)
+
+// PhishLabel is the Etherscan flag the paper keys on.
+const PhishLabel = "Phish/Hack"
+
+// ServiceConfig tunes the simulated services.
+type ServiceConfig struct {
+	// LabelNoise is the probability that a contract's served label differs
+	// from ground truth (deterministic per address), modelling explorer
+	// mislabelling. The paper cites community-report bias as a real
+	// phenomenon; a small noise floor keeps classifiers below 100%.
+	LabelNoise float64
+	// NoiseSeed salts the per-address noise decision.
+	NoiseSeed int64
+	// RateLimit is the sustained label-queries-per-second the service
+	// allows before answering 429. Zero disables limiting.
+	RateLimit float64
+	// Burst is the token-bucket depth (defaults to RateLimit when zero).
+	Burst float64
+	// PageSize caps registry pages (default 256).
+	PageSize int
+}
+
+// Service hosts the registry and label endpoints over a chain snapshot.
+type Service struct {
+	cfg   ServiceConfig
+	chain *chain.Chain
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+// NewService builds a Service over a frozen chain.
+func NewService(c *chain.Chain, cfg ServiceConfig) *Service {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 256
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.RateLimit
+	}
+	s := &Service{cfg: cfg, chain: c, now: time.Now}
+	s.tokens = cfg.Burst
+	s.last = s.now()
+	return s
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	GET /registry/contracts?from=<block>&to=<block>&cursor=<n>
+//	GET /api/label?address=0x…
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/registry/contracts", s.handleRegistry)
+	mux.HandleFunc("/api/label", s.handleLabel)
+	return mux
+}
+
+// RegistryPage is one page of the registry listing.
+type RegistryPage struct {
+	Addresses  []string `json:"addresses"`
+	NextCursor int      `json:"next_cursor"` // -1 when exhausted
+	Total      int      `json:"total"`
+}
+
+func (s *Service) handleRegistry(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err1 := strconv.ParseUint(defaultStr(q.Get("from"), "0"), 10, 64)
+	to, err2 := strconv.ParseUint(defaultStr(q.Get("to"), strconv.FormatUint(^uint64(0), 10)), 10, 64)
+	cursor, err3 := strconv.Atoi(defaultStr(q.Get("cursor"), "0"))
+	if err1 != nil || err2 != nil || err3 != nil || cursor < 0 {
+		http.Error(w, "bad query parameters", http.StatusBadRequest)
+		return
+	}
+	all := s.chain.ContractsInRange(from, to)
+	page := RegistryPage{Total: len(all), NextCursor: -1}
+	end := cursor + s.cfg.PageSize
+	if cursor > len(all) {
+		cursor = len(all)
+	}
+	if end > len(all) {
+		end = len(all)
+	} else {
+		page.NextCursor = end
+	}
+	for _, ct := range all[cursor:end] {
+		page.Addresses = append(page.Addresses, ct.Addr.String())
+	}
+	writeJSON(w, page)
+}
+
+// LabelResponse is the label endpoint's payload.
+type LabelResponse struct {
+	Address string `json:"address"`
+	Label   string `json:"label"` // PhishLabel or ""
+}
+
+func (s *Service) handleLabel(w http.ResponseWriter, r *http.Request) {
+	if !s.allow() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "rate limited", http.StatusTooManyRequests)
+		return
+	}
+	addr, err := chain.ParseAddress(r.URL.Query().Get("address"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ct, ok := s.chain.Lookup(addr)
+	if !ok {
+		http.Error(w, "unknown contract", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, LabelResponse{Address: addr.String(), Label: s.LabelFor(ct)})
+}
+
+// LabelFor returns the label the service would serve for ct: ground truth
+// flipped with probability LabelNoise, deterministically per address.
+func (s *Service) LabelFor(ct *chain.Contract) string {
+	phishing := ct.Phishing
+	if s.cfg.LabelNoise > 0 && addressNoise(s.cfg.NoiseSeed, ct.Addr) < s.cfg.LabelNoise {
+		phishing = !phishing
+	}
+	if phishing {
+		return PhishLabel
+	}
+	return ""
+}
+
+// addressNoise maps (seed, address) to a uniform [0,1) value.
+func addressNoise(seed int64, addr chain.Address) float64 {
+	var buf [28]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(seed))
+	copy(buf[8:], addr[:])
+	sum := sha256.Sum256(buf[:])
+	v := binary.BigEndian.Uint64(sum[:8])
+	return float64(v) / float64(^uint64(0))
+}
+
+// allow implements the token bucket.
+func (s *Service) allow() bool {
+	if s.cfg.RateLimit <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	s.tokens += now.Sub(s.last).Seconds() * s.cfg.RateLimit
+	if s.tokens > s.cfg.Burst {
+		s.tokens = s.cfg.Burst
+	}
+	s.last = now
+	if s.tokens < 1 {
+		return false
+	}
+	s.tokens--
+	return true
+}
+
+func defaultStr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; nothing useful to do in a handler.
+		_ = err
+	}
+}
+
+// String describes the service configuration (diagnostics).
+func (s *Service) String() string {
+	return fmt.Sprintf("explorer.Service{noise=%.3f rate=%.1f/s page=%d}",
+		s.cfg.LabelNoise, s.cfg.RateLimit, s.cfg.PageSize)
+}

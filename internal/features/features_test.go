@@ -1,0 +1,324 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/phishinghook/phishinghook/internal/evm"
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+func corpus(t testing.TB, n int, seed int64) [][]byte {
+	t.Helper()
+	g := synth.NewGenerator(synth.DefaultConfig(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		class := synth.Benign
+		if i%2 == 0 {
+			class = synth.Phishing
+		}
+		out[i] = g.Contract(class, i%synth.NumMonths)
+	}
+	return out
+}
+
+func TestHistogramVocabularyFromTrainingSet(t *testing.T) {
+	train := corpus(t, 20, 1)
+	h := FitHistogram(train)
+	if h.Dim() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	names := h.FeatureNames()
+	if len(names) != h.Dim() {
+		t.Fatalf("FeatureNames length %d != Dim %d", len(names), h.Dim())
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("feature names not sorted/deduplicated")
+		}
+	}
+}
+
+func TestHistogramCountsExactly(t *testing.T) {
+	code := []byte{
+		byte(evm.PUSH1), 0x80, byte(evm.PUSH1), 0x40, byte(evm.MSTORE),
+		byte(evm.ADD), byte(evm.ADD),
+	}
+	h := FitHistogram([][]byte{code})
+	v := h.Transform(code)
+	byName := map[string]float64{}
+	for i, n := range h.FeatureNames() {
+		byName[n] = v[i]
+	}
+	if byName["PUSH1"] != 2 || byName["MSTORE"] != 1 || byName["ADD"] != 2 {
+		t.Errorf("histogram = %v", byName)
+	}
+}
+
+func TestHistogramLinearityProperty(t *testing.T) {
+	// hist(a || b) == hist(a) + hist(b) when a ends on an instruction
+	// boundary — guaranteed by construction from assembled instructions.
+	train := corpus(t, 10, 2)
+	h := FitHistogram(train)
+	f := func(i, j uint8) bool {
+		a := train[int(i)%len(train)]
+		b := train[int(j)%len(train)]
+		ia := evm.Disassemble(a)
+		if len(ia) > 0 && ia[len(ia)-1].Truncated {
+			// A truncated trailing PUSH absorbs b's first bytes on
+			// concatenation; linearity only holds on clean boundaries.
+			return true
+		}
+		va, vb := h.Transform(a), h.Transform(b)
+		vc := h.Transform(append(append([]byte{}, a...), b...))
+		for k := range vc {
+			if vc[k] != va[k]+vb[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramUnknownOpcodesDropped(t *testing.T) {
+	h := FitHistogram([][]byte{{byte(evm.ADD)}})
+	v := h.Transform([]byte{byte(evm.MUL), byte(evm.ADD)})
+	if len(v) != 1 || v[0] != 1 {
+		t.Errorf("unknown mnemonic leaked into features: %v", v)
+	}
+}
+
+func TestR2D2ImageLayout(t *testing.T) {
+	code := []byte{0xFF, 0x00, 0x80}
+	img := R2D2Image(code, 4)
+	if len(img) != 4*4*3 {
+		t.Fatalf("image length %d, want 48", len(img))
+	}
+	if img[0] != 1.0 || img[1] != 0 || img[2] != float64(0x80)/255 {
+		t.Errorf("first pixel = %v,%v,%v", img[0], img[1], img[2])
+	}
+	for _, v := range img[3:] {
+		if v != 0 {
+			t.Fatal("padding not zero")
+		}
+	}
+}
+
+func TestR2D2ImageTruncates(t *testing.T) {
+	big := make([]byte, 1000)
+	for i := range big {
+		big[i] = 0xFF
+	}
+	img := R2D2Image(big, 2) // capacity 12
+	if len(img) != 12 {
+		t.Fatalf("len = %d", len(img))
+	}
+	for _, v := range img {
+		if v != 1 {
+			t.Fatal("truncated image should be saturated")
+		}
+	}
+}
+
+func TestR2D2ImageRangeProperty(t *testing.T) {
+	f := func(code []byte) bool {
+		img := R2D2Image(code, 8)
+		min, max, _ := ImageStats(img)
+		return min >= 0 && max <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreqEncoder(t *testing.T) {
+	train := corpus(t, 20, 3)
+	enc := FitFreqEncoder(train)
+	img := enc.Transform(train[0], 16)
+	if len(img) != 16*16*3 {
+		t.Fatalf("image length %d", len(img))
+	}
+	min, max, mean := ImageStats(img)
+	if min < 0 || max > 1 {
+		t.Errorf("intensities outside [0,1]: min=%f max=%f", min, max)
+	}
+	if mean == 0 {
+		t.Error("image all zero — lookup table not applied")
+	}
+	// The most frequent mnemonic in the corpus must get intensity 1.0.
+	counts := map[string]int{}
+	for _, code := range train {
+		for _, in := range evm.Disassemble(code) {
+			counts[in.Mnemonic()]++
+		}
+	}
+	top, topN := "", 0
+	for m, n := range counts {
+		if n > topN || (n == topN && m > top) {
+			top, topN = m, n
+		}
+	}
+	ins := evm.Disassemble(train[0])
+	for i, in := range ins {
+		if in.Mnemonic() == top && (i*3+2) < len(img) {
+			if img[i*3] != 1.0 {
+				t.Errorf("%s intensity = %f, want 1.0 (most frequent)", top, img[i*3])
+			}
+			break
+		}
+	}
+}
+
+func TestFreqEncoderUnseenSymbols(t *testing.T) {
+	enc := FitFreqEncoder([][]byte{{byte(evm.ADD)}})
+	img := enc.Transform([]byte{byte(evm.MUL)}, 2)
+	if img[0] != 0 {
+		t.Errorf("unseen mnemonic got intensity %f, want 0", img[0])
+	}
+}
+
+func TestBigramEncoding(t *testing.T) {
+	train := corpus(t, 10, 4)
+	v := FitBigrams(train)
+	if v.Size() <= firstSymbolID {
+		t.Fatal("empty bigram vocabulary")
+	}
+	seq := v.Encode(train[0], 64)
+	if len(seq) != 64 {
+		t.Fatalf("sequence length %d, want 64", len(seq))
+	}
+	for _, id := range seq {
+		if id < 0 || id >= v.Size() {
+			t.Fatalf("token id %d outside vocabulary [0,%d)", id, v.Size())
+		}
+	}
+}
+
+func TestBigramUnknownAndPadding(t *testing.T) {
+	v := FitBigrams([][]byte{{0x01, 0x02, 0x03}})
+	seq := v.Encode([]byte{0xAA, 0xBB, 0xCC}, 4)
+	if seq[0] != UnkID {
+		t.Errorf("unseen gram = %d, want UNK", seq[0])
+	}
+	if seq[1] != PadID || seq[3] != PadID {
+		t.Error("short sequence not padded")
+	}
+}
+
+func TestSplitGramsCoversAllNibbles(t *testing.T) {
+	f := func(code []byte) bool {
+		total := 0
+		for _, g := range splitGrams(code) {
+			total += len(g)
+		}
+		return total == 2*len(code)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpcodeVocabCoversISA(t *testing.T) {
+	v := NewOpcodeVocab()
+	if v.Size() != 144+firstSymbolID {
+		t.Fatalf("vocab size %d, want %d", v.Size(), 144+firstSymbolID)
+	}
+	toks := v.Tokens([]byte{byte(evm.PUSH1), 0x80, byte(evm.ADD), 0xEF})
+	if len(toks) != 3 {
+		t.Fatalf("token count %d, want 3", len(toks))
+	}
+	if toks[2] != UnkID {
+		t.Errorf("undefined byte token = %d, want UNK", toks[2])
+	}
+	if toks[0] == toks[1] {
+		t.Error("distinct opcodes share a token id")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	toks := []int{5, 6, 7, 8}
+	short := Truncate(toks, 2)
+	if len(short) != 2 || short[0] != 5 || short[1] != 6 {
+		t.Errorf("Truncate to 2 = %v", short)
+	}
+	long := Truncate(toks, 6)
+	if len(long) != 6 || long[4] != PadID || long[5] != PadID {
+		t.Errorf("Truncate to 6 = %v", long)
+	}
+}
+
+func TestSlidingWindows(t *testing.T) {
+	toks := []int{2, 3, 4, 5, 6, 7, 8}
+	wins := SlidingWindows(toks, 4, 2)
+	if len(wins) < 2 {
+		t.Fatalf("got %d windows", len(wins))
+	}
+	if wins[0][0] != 2 || wins[1][0] != 4 {
+		t.Errorf("window starts = %d,%d, want 2,4", wins[0][0], wins[1][0])
+	}
+	for _, w := range wins {
+		if len(w) != 4 {
+			t.Fatal("window not padded to length")
+		}
+	}
+	// Every token must appear in some window.
+	seen := map[int]bool{}
+	for _, w := range wins {
+		for _, tk := range w {
+			seen[tk] = true
+		}
+	}
+	for _, tk := range toks {
+		if !seen[tk] {
+			t.Errorf("token %d lost by windowing", tk)
+		}
+	}
+}
+
+func TestSlidingWindowsEmptyInput(t *testing.T) {
+	wins := SlidingWindows(nil, 4, 2)
+	if len(wins) != 1 {
+		t.Fatalf("empty input yielded %d windows, want 1", len(wins))
+	}
+	for _, tk := range wins[0] {
+		if tk != PadID {
+			t.Fatal("empty-input window should be all padding")
+		}
+	}
+}
+
+func TestSlidingWindowsPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero stride")
+		}
+	}()
+	SlidingWindows([]int{1}, 4, 0)
+}
+
+func TestDeterminismAcrossProcessRuns(t *testing.T) {
+	// Vocabularies and encoders must not depend on map iteration order.
+	train := corpus(t, 15, 5)
+	h1, h2 := FitHistogram(train), FitHistogram(train)
+	if len(h1.names) != len(h2.names) {
+		t.Fatal("histogram vocab size differs")
+	}
+	for i := range h1.names {
+		if h1.names[i] != h2.names[i] {
+			t.Fatal("histogram vocab order differs")
+		}
+	}
+	e1, e2 := FitFreqEncoder(train), FitFreqEncoder(train)
+	img1 := e1.Transform(train[3], 8)
+	img2 := e2.Transform(train[3], 8)
+	for i := range img1 {
+		if img1[i] != img2[i] {
+			t.Fatal("freq encoding differs between identical fits")
+		}
+	}
+	_ = rand.Int // keep math/rand import honest if corpus changes
+}

@@ -1,0 +1,72 @@
+// Package features turns raw or disassembled bytecode into the four model
+// input representations the paper evaluates: opcode histograms (HSCs),
+// RGB byte images (ViT+R2D2, ECA+EfficientNet), frequency-encoded opcode
+// images (ViT+Freq), hex bigram sequences (SCSGuard) and opcode token
+// sequences (GPT-2, T5, ESCORT).
+package features
+
+import (
+	"sort"
+
+	"github.com/phishinghook/phishinghook/internal/evm"
+)
+
+// Histogram builds opcode-occurrence vectors. Following the paper's HSC
+// description, the vocabulary is the set of distinct opcodes *observed in
+// the training set* (not the full ISA) and counts are served raw — no
+// normalization or standardization.
+type Histogram struct {
+	vocab map[string]int // mnemonic -> feature index
+	names []string       // index -> mnemonic
+}
+
+// FitHistogram scans the training bytecodes and fixes the vocabulary.
+func FitHistogram(corpus [][]byte) *Histogram {
+	set := make(map[string]bool)
+	for _, code := range corpus {
+		for _, in := range evm.Disassemble(code) {
+			set[in.Mnemonic()] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for m := range set {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	vocab := make(map[string]int, len(names))
+	for i, m := range names {
+		vocab[m] = i
+	}
+	return &Histogram{vocab: vocab, names: names}
+}
+
+// Dim returns the feature vector length.
+func (h *Histogram) Dim() int { return len(h.names) }
+
+// FeatureNames returns the mnemonic behind each feature index.
+func (h *Histogram) FeatureNames() []string {
+	out := make([]string, len(h.names))
+	copy(out, h.names)
+	return out
+}
+
+// Transform counts opcode occurrences. Mnemonics unseen at fit time are
+// dropped (the fixed-vocabulary behaviour of the paper's pipeline).
+func (h *Histogram) Transform(code []byte) []float64 {
+	v := make([]float64, len(h.names))
+	for _, in := range evm.Disassemble(code) {
+		if i, ok := h.vocab[in.Mnemonic()]; ok {
+			v[i]++
+		}
+	}
+	return v
+}
+
+// TransformAll vectorizes a whole corpus.
+func (h *Histogram) TransformAll(corpus [][]byte) [][]float64 {
+	out := make([][]float64, len(corpus))
+	for i, code := range corpus {
+		out[i] = h.Transform(code)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package features
+
+import (
+	"math"
+	"sort"
+
+	"github.com/phishinghook/phishinghook/internal/evm"
+)
+
+// R2D2Image renders bytecode as an RGB image tensor following the R2D2
+// Android-malware encoding the paper adopts: consecutive bytes become
+// consecutive channel intensities, laid out row-major into a side×side×3
+// tensor, zero-padded (or truncated) as needed. Values are scaled to [0,1].
+//
+// The paper uses side=224 for the pretrained ViT-B/16; the scaled-down
+// models here default to a smaller side (see internal/models) — the encoding
+// is identical, only the resolution differs.
+func R2D2Image(code []byte, side int) []float64 {
+	n := side * side * 3
+	img := make([]float64, n)
+	limit := len(code)
+	if limit > n {
+		limit = n
+	}
+	for i := 0; i < limit; i++ {
+		img[i] = float64(code[i]) / 255
+	}
+	return img
+}
+
+// FreqEncoder implements the ViT+Freq lookup table: each disassembled
+// instruction contributes a pixel whose R, G and B intensities encode the
+// training-set frequency of its mnemonic, operand and gas value
+// respectively. The table is built exactly once on the training corpus.
+type FreqEncoder struct {
+	mnemonic map[string]float64
+	operand  map[string]float64
+	gas      map[string]float64
+}
+
+// FitFreqEncoder builds the frequency lookup table from training bytecodes.
+// Frequencies are rank-scaled to (0,1]: the most frequent value maps to 1,
+// giving the "higher intensity for more frequent symbols" encoding.
+func FitFreqEncoder(corpus [][]byte) *FreqEncoder {
+	mn := make(map[string]int)
+	op := make(map[string]int)
+	gs := make(map[string]int)
+	for _, code := range corpus {
+		for _, in := range evm.Disassemble(code) {
+			mn[in.Mnemonic()]++
+			op[in.OperandHex()]++
+			gs[in.GasString()]++
+		}
+	}
+	return &FreqEncoder{
+		mnemonic: rankScale(mn),
+		operand:  rankScale(op),
+		gas:      rankScale(gs),
+	}
+}
+
+// rankScale maps counts to (0,1] by ascending-frequency rank; ties broken
+// lexicographically for determinism.
+func rankScale(counts map[string]int) map[string]float64 {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] < counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	out := make(map[string]float64, len(keys))
+	for i, k := range keys {
+		out[k] = float64(i+1) / float64(len(keys))
+	}
+	return out
+}
+
+// Transform renders the disassembly of code as a side×side×3 tensor of
+// frequency intensities, zero-padded/truncated like R2D2Image. Symbols
+// unseen at fit time get intensity 0.
+func (f *FreqEncoder) Transform(code []byte, side int) []float64 {
+	n := side * side * 3
+	img := make([]float64, n)
+	ins := evm.Disassemble(code)
+	for i, in := range ins {
+		base := i * 3
+		if base+2 >= n {
+			break
+		}
+		img[base] = f.mnemonic[in.Mnemonic()]
+		img[base+1] = f.operand[in.OperandHex()]
+		img[base+2] = f.gas[in.GasString()]
+	}
+	return img
+}
+
+// ImageStats summarizes an image tensor (diagnostics and tests).
+func ImageStats(img []float64) (min, max, mean float64) {
+	if len(img) == 0 {
+		return 0, 0, 0
+	}
+	min, max = math.Inf(1), math.Inf(-1)
+	sum := 0.0
+	for _, v := range img {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return min, max, sum / float64(len(img))
+}

@@ -1,0 +1,180 @@
+package features
+
+import (
+	"encoding/hex"
+	"sort"
+
+	"github.com/phishinghook/phishinghook/internal/evm"
+)
+
+// Reserved token IDs shared by all sequence vocabularies.
+const (
+	// PadID pads sequences to uniform length.
+	PadID = 0
+	// UnkID stands in for symbols unseen at fit time.
+	UnkID = 1
+	// firstSymbolID is the first ID assigned to real symbols.
+	firstSymbolID = 2
+)
+
+// BigramVocab implements SCSGuard's input encoding: the bytecode's hex
+// string is read as non-overlapping 6-hex-character grams ("bigrams" in the
+// paper's terminology, i.e. 3 bytes), each mapped to an integer ID.
+type BigramVocab struct {
+	ids map[string]int
+}
+
+// FitBigrams builds the gram vocabulary from training bytecodes.
+func FitBigrams(corpus [][]byte) *BigramVocab {
+	v := &BigramVocab{ids: make(map[string]int)}
+	for _, code := range corpus {
+		for _, g := range splitGrams(code) {
+			if _, ok := v.ids[g]; !ok {
+				v.ids[g] = firstSymbolID + len(v.ids)
+			}
+		}
+	}
+	return v
+}
+
+// FitBigramsCapped keeps only the maxVocab most frequent grams (ties broken
+// lexicographically); the rest map to UNK. Real contract corpora contain
+// millions of distinct grams (random addresses, salts), so SCSGuard-style
+// models cap the embedding table.
+func FitBigramsCapped(corpus [][]byte, maxVocab int) *BigramVocab {
+	counts := make(map[string]int)
+	for _, code := range corpus {
+		for _, g := range splitGrams(code) {
+			counts[g]++
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for g := range counts {
+		keys = append(keys, g)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if maxVocab > 0 && len(keys) > maxVocab {
+		keys = keys[:maxVocab]
+	}
+	v := &BigramVocab{ids: make(map[string]int, len(keys))}
+	for _, g := range keys {
+		v.ids[g] = firstSymbolID + len(v.ids)
+	}
+	return v
+}
+
+// Size returns the vocabulary size including PAD and UNK.
+func (v *BigramVocab) Size() int { return firstSymbolID + len(v.ids) }
+
+// Encode maps bytecode to a gram ID sequence, padded or truncated to maxLen.
+func (v *BigramVocab) Encode(code []byte, maxLen int) []int {
+	grams := splitGrams(code)
+	out := make([]int, maxLen)
+	for i := 0; i < maxLen; i++ {
+		if i >= len(grams) {
+			out[i] = PadID
+			continue
+		}
+		if id, ok := v.ids[grams[i]]; ok {
+			out[i] = id
+		} else {
+			out[i] = UnkID
+		}
+	}
+	return out
+}
+
+// splitGrams renders code as hex and splits it into 6-character grams; a
+// short trailing gram is kept as-is.
+func splitGrams(code []byte) []string {
+	h := hex.EncodeToString(code)
+	grams := make([]string, 0, len(h)/6+1)
+	for i := 0; i < len(h); i += 6 {
+		end := i + 6
+		if end > len(h) {
+			end = len(h)
+		}
+		grams = append(grams, h[i:end])
+	}
+	return grams
+}
+
+// OpcodeVocab maps opcode mnemonics to token IDs for the language models
+// (GPT-2, T5) and the ESCORT embedding. The vocabulary is the full Shanghai
+// ISA plus PAD/UNK so it never depends on the training split.
+type OpcodeVocab struct {
+	ids map[string]int
+}
+
+// NewOpcodeVocab builds the fixed ISA vocabulary.
+func NewOpcodeVocab() *OpcodeVocab {
+	v := &OpcodeVocab{ids: make(map[string]int)}
+	for i, m := range evm.AllMnemonics() {
+		v.ids[m] = firstSymbolID + i
+	}
+	return v
+}
+
+// Size returns the vocabulary size including PAD and UNK.
+func (v *OpcodeVocab) Size() int { return firstSymbolID + len(v.ids) }
+
+// Tokens converts bytecode to its full opcode ID sequence (undefined bytes
+// become UNK), without padding.
+func (v *OpcodeVocab) Tokens(code []byte) []int {
+	ins := evm.Disassemble(code)
+	out := make([]int, len(ins))
+	for i, in := range ins {
+		if id, ok := v.ids[in.Mnemonic()]; ok {
+			out[i] = id
+		} else {
+			out[i] = UnkID
+		}
+	}
+	return out
+}
+
+// Truncate implements the paper's α variant: the sequence is cut (or padded)
+// to maxLen tokens to fit model limits.
+func Truncate(tokens []int, maxLen int) []int {
+	out := make([]int, maxLen)
+	n := copy(out, tokens)
+	for i := n; i < maxLen; i++ {
+		out[i] = PadID
+	}
+	return out
+}
+
+// SlidingWindows implements the paper's β variant: the full sequence is
+// processed in overlapping chunks of window tokens with the given stride;
+// each chunk is padded to window length. At least one window is always
+// returned.
+func SlidingWindows(tokens []int, window, stride int) [][]int {
+	if window <= 0 || stride <= 0 {
+		panic("features: window and stride must be positive")
+	}
+	var out [][]int
+	for start := 0; ; start += stride {
+		end := start + window
+		chunk := make([]int, window)
+		var n int
+		if start < len(tokens) {
+			upper := end
+			if upper > len(tokens) {
+				upper = len(tokens)
+			}
+			n = copy(chunk, tokens[start:upper])
+		}
+		for i := n; i < window; i++ {
+			chunk[i] = PadID
+		}
+		out = append(out, chunk)
+		if end >= len(tokens) {
+			return out
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package hpo is an Optuna-like define-by-run hyperparameter search used by
+// the paper's §IV-C tuning step: trials draw parameters from declared
+// spaces, an objective scores them (cross-validated accuracy), and the best
+// trial wins. Grid and random samplers are provided.
+package hpo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Trial exposes the define-by-run parameter API to an objective.
+type Trial struct {
+	study  *Study
+	params map[string]float64
+	fixed  map[string]float64 // grid assignment when grid-sampling
+}
+
+// SuggestFloat draws a float uniformly from [lo, hi] (log-uniform when
+// logScale).
+func (t *Trial) SuggestFloat(name string, lo, hi float64, logScale bool) float64 {
+	if v, ok := t.fixed[name]; ok {
+		t.params[name] = v
+		return v
+	}
+	var v float64
+	if logScale {
+		v = math.Exp(t.study.rng.Float64()*(math.Log(hi)-math.Log(lo)) + math.Log(lo))
+	} else {
+		v = lo + t.study.rng.Float64()*(hi-lo)
+	}
+	t.params[name] = v
+	return v
+}
+
+// SuggestInt draws an integer uniformly from [lo, hi].
+func (t *Trial) SuggestInt(name string, lo, hi int) int {
+	if v, ok := t.fixed[name]; ok {
+		t.params[name] = v
+		return int(v)
+	}
+	v := lo + t.study.rng.Intn(hi-lo+1)
+	t.params[name] = float64(v)
+	return v
+}
+
+// SuggestCategorical draws one of the given options.
+func (t *Trial) SuggestCategorical(name string, options []float64) float64 {
+	if v, ok := t.fixed[name]; ok {
+		t.params[name] = v
+		return v
+	}
+	v := options[t.study.rng.Intn(len(options))]
+	t.params[name] = v
+	return v
+}
+
+// Params returns the parameters the trial drew.
+func (t *Trial) Params() map[string]float64 {
+	out := make(map[string]float64, len(t.params))
+	for k, v := range t.params {
+		out[k] = v
+	}
+	return out
+}
+
+// Result is one completed trial.
+type Result struct {
+	Params map[string]float64
+	Value  float64
+}
+
+// Objective scores one trial (higher is better).
+type Objective func(t *Trial) (float64, error)
+
+// Study runs trials and tracks the best.
+type Study struct {
+	rng     *rand.Rand
+	results []Result
+}
+
+// NewStudy builds a study with a deterministic sampler.
+func NewStudy(seed int64) *Study {
+	return &Study{rng: rand.New(rand.NewSource(seed))}
+}
+
+// OptimizeRandom runs n random-sampling trials.
+func (s *Study) OptimizeRandom(obj Objective, n int) error {
+	for i := 0; i < n; i++ {
+		t := &Trial{study: s, params: map[string]float64{}}
+		v, err := obj(t)
+		if err != nil {
+			return fmt.Errorf("hpo: trial %d: %w", i, err)
+		}
+		s.results = append(s.results, Result{Params: t.Params(), Value: v})
+	}
+	return nil
+}
+
+// GridAxis declares one grid dimension.
+type GridAxis struct {
+	Name   string
+	Values []float64
+}
+
+// OptimizeGrid exhaustively evaluates the cartesian product of the axes —
+// the paper's §IV-C protocol ("grid search over an arbitrary search space").
+func (s *Study) OptimizeGrid(obj Objective, axes []GridAxis) error {
+	if len(axes) == 0 {
+		return fmt.Errorf("hpo: empty grid")
+	}
+	idx := make([]int, len(axes))
+	for {
+		fixed := make(map[string]float64, len(axes))
+		for d, ax := range axes {
+			if len(ax.Values) == 0 {
+				return fmt.Errorf("hpo: axis %q has no values", ax.Name)
+			}
+			fixed[ax.Name] = ax.Values[idx[d]]
+		}
+		t := &Trial{study: s, params: map[string]float64{}, fixed: fixed}
+		v, err := obj(t)
+		if err != nil {
+			return fmt.Errorf("hpo: grid point %v: %w", fixed, err)
+		}
+		s.results = append(s.results, Result{Params: t.Params(), Value: v})
+		// Advance the odometer.
+		d := 0
+		for d < len(axes) {
+			idx[d]++
+			if idx[d] < len(axes[d].Values) {
+				break
+			}
+			idx[d] = 0
+			d++
+		}
+		if d == len(axes) {
+			return nil
+		}
+	}
+}
+
+// Best returns the highest-value trial.
+func (s *Study) Best() (Result, error) {
+	if len(s.results) == 0 {
+		return Result{}, fmt.Errorf("hpo: no completed trials")
+	}
+	best := s.results[0]
+	for _, r := range s.results[1:] {
+		if r.Value > best.Value {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// Results returns all trials sorted by descending value.
+func (s *Study) Results() []Result {
+	out := append([]Result(nil), s.results...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Value > out[j].Value })
+	return out
+}

@@ -1,0 +1,138 @@
+package hpo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandomSearchFindsOptimum(t *testing.T) {
+	s := NewStudy(1)
+	// Maximize -(x-3)^2 over [0,10]: optimum at x=3.
+	err := s.OptimizeRandom(func(tr *Trial) (float64, error) {
+		x := tr.SuggestFloat("x", 0, 10, false)
+		return -(x - 3) * (x - 3), nil
+	}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := s.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(best.Params["x"]-3) > 0.5 {
+		t.Errorf("best x = %f, want ≈3", best.Params["x"])
+	}
+}
+
+func TestGridSearchExhaustive(t *testing.T) {
+	s := NewStudy(2)
+	var seen [][2]float64
+	err := s.OptimizeGrid(func(tr *Trial) (float64, error) {
+		a := tr.SuggestFloat("a", 0, 0, false)
+		b := tr.SuggestFloat("b", 0, 0, false)
+		seen = append(seen, [2]float64{a, b})
+		return a * b, nil
+	}, []GridAxis{
+		{Name: "a", Values: []float64{1, 2, 3}},
+		{Name: "b", Values: []float64{10, 20}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("grid evaluated %d points, want 6", len(seen))
+	}
+	uniq := map[[2]float64]bool{}
+	for _, p := range seen {
+		uniq[p] = true
+	}
+	if len(uniq) != 6 {
+		t.Error("grid points not distinct")
+	}
+	best, _ := s.Best()
+	if best.Value != 60 {
+		t.Errorf("best value = %f, want 60", best.Value)
+	}
+}
+
+func TestSuggestIntAndCategorical(t *testing.T) {
+	s := NewStudy(3)
+	err := s.OptimizeRandom(func(tr *Trial) (float64, error) {
+		k := tr.SuggestInt("k", 1, 9)
+		if k < 1 || k > 9 {
+			t.Fatalf("k = %d outside range", k)
+		}
+		c := tr.SuggestCategorical("c", []float64{0.1, 0.5})
+		if c != 0.1 && c != 0.5 {
+			t.Fatalf("c = %f not in options", c)
+		}
+		return float64(k) + c, nil
+	}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := s.Best()
+	if best.Value != 9.5 {
+		t.Errorf("best = %f, want 9.5", best.Value)
+	}
+}
+
+func TestLogScaleSampling(t *testing.T) {
+	s := NewStudy(4)
+	err := s.OptimizeRandom(func(tr *Trial) (float64, error) {
+		lr := tr.SuggestFloat("lr", 1e-5, 1e-1, true)
+		if lr < 1e-5 || lr > 1e-1 {
+			t.Fatalf("lr = %g outside range", lr)
+		}
+		return 0, nil
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultsSorted(t *testing.T) {
+	s := NewStudy(5)
+	vals := []float64{3, 1, 2}
+	i := 0
+	err := s.OptimizeRandom(func(tr *Trial) (float64, error) {
+		v := vals[i]
+		i++
+		return v, nil
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := s.Results()
+	if rs[0].Value != 3 || rs[1].Value != 2 || rs[2].Value != 1 {
+		t.Errorf("results not sorted: %v", rs)
+	}
+}
+
+func TestEmptyStudyErrors(t *testing.T) {
+	s := NewStudy(6)
+	if _, err := s.Best(); err == nil {
+		t.Error("Best on empty study succeeded")
+	}
+	if err := s.OptimizeGrid(func(*Trial) (float64, error) { return 0, nil }, nil); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	run := func() []float64 {
+		s := NewStudy(7)
+		var xs []float64
+		_ = s.OptimizeRandom(func(tr *Trial) (float64, error) {
+			xs = append(xs, tr.SuggestFloat("x", 0, 1, false))
+			return 0, nil
+		}, 10)
+		return xs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed studies sampled differently")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %f, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAddScaled(t *testing.T) {
+	dst := []float64{1, 1}
+	AddScaled(dst, 2, []float64{3, 4})
+	if dst[0] != 7 || dst[1] != 9 {
+		t.Errorf("AddScaled = %v", dst)
+	}
+}
+
+func TestSqDistAndNorm(t *testing.T) {
+	if got := SqDist([]float64{0, 0}, []float64{3, 4}); got != 25 {
+		t.Errorf("SqDist = %f, want 25", got)
+	}
+	if got := Norm([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm = %f, want 5", got)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(v); m != 5 {
+		t.Errorf("Mean = %f, want 5", m)
+	}
+	if va := Variance(v); va != 4 {
+		t.Errorf("Variance = %f, want 4", va)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty-input mean/variance should be 0")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if i := ArgMax([]float64{1, 5, 3, 5}); i != 1 {
+		t.Errorf("ArgMax = %d, want 1 (first max)", i)
+	}
+	if ArgMax(nil) != -1 {
+		t.Error("ArgMax(nil) != -1")
+	}
+}
+
+func TestSigmoidProperties(t *testing.T) {
+	if s := Sigmoid(0); s != 0.5 {
+		t.Errorf("Sigmoid(0) = %f", s)
+	}
+	// Symmetry and bounds hold for arbitrary inputs, including extremes.
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		s := Sigmoid(x)
+		sym := Sigmoid(-x)
+		return s >= 0 && s <= 1 && math.Abs(s+sym-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if Sigmoid(1000) != 1 || Sigmoid(-1000) != 0 {
+		t.Error("sigmoid saturation wrong at extremes")
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if math.Abs(got-math.Log(6)) > 1e-12 {
+		t.Errorf("LogSumExp = %f, want log(6)", got)
+	}
+	// Stability with huge values.
+	got = LogSumExp([]float64{1000, 1000})
+	if math.Abs(got-(1000+math.Log(2))) > 1e-9 {
+		t.Errorf("LogSumExp overflowed: %f", got)
+	}
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("LogSumExp(nil) should be -Inf")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := []float64{1, 2}
+	b := Clone(a)
+	b[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone aliases input")
+	}
+}
+
+func TestScale(t *testing.T) {
+	v := []float64{1, -2}
+	Scale(v, -3)
+	if v[0] != -3 || v[1] != 6 {
+		t.Errorf("Scale = %v", v)
+	}
+}

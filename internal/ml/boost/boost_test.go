@@ -1,0 +1,181 @@
+package boost
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func blobs(n int, sep float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		cls := i % 2
+		y[i] = cls
+		off := -sep
+		if cls == 1 {
+			off = sep
+		}
+		X[i] = []float64{off + rng.NormFloat64(), off + rng.NormFloat64(), rng.NormFloat64()}
+	}
+	return X, y
+}
+
+func xorData(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		X[i] = []float64{a, b}
+		if (a > 0) != (b > 0) {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func accuracy(m *Model, X [][]float64, y []int) float64 {
+	ok := 0
+	for i := range X {
+		if m.Predict(X[i]) == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(y))
+}
+
+func TestAllStylesLearnBlobs(t *testing.T) {
+	Xtr, ytr := blobs(400, 1.0, 1)
+	Xte, yte := blobs(200, 1.0, 2)
+	for _, style := range []Style{XGB, LGBM, Cat} {
+		m := Fit(Xtr, ytr, Config{Style: style, Rounds: 30})
+		if acc := accuracy(m, Xte, yte); acc < 0.85 {
+			t.Errorf("%v test accuracy %.3f < 0.85", style, acc)
+		}
+	}
+}
+
+func TestAllStylesLearnXOR(t *testing.T) {
+	// XOR requires depth ≥ 2 interactions — linear models fail here; all
+	// three boosters must succeed.
+	Xtr, ytr := xorData(600, 3)
+	Xte, yte := xorData(300, 4)
+	for _, style := range []Style{XGB, LGBM, Cat} {
+		m := Fit(Xtr, ytr, Config{Style: style, Rounds: 40, MaxDepth: 3})
+		if acc := accuracy(m, Xte, yte); acc < 0.9 {
+			t.Errorf("%v XOR test accuracy %.3f < 0.9", style, acc)
+		}
+	}
+}
+
+func TestMoreRoundsImproveTrainingFit(t *testing.T) {
+	X, y := blobs(300, 0.4, 5)
+	short := Fit(X, y, Config{Style: XGB, Rounds: 3})
+	long := Fit(X, y, Config{Style: XGB, Rounds: 60})
+	if accuracy(long, X, y) < accuracy(short, X, y) {
+		t.Error("more boosting rounds reduced training accuracy")
+	}
+}
+
+func TestSubsampling(t *testing.T) {
+	X, y := blobs(300, 1.0, 6)
+	m := Fit(X, y, Config{Style: XGB, Rounds: 25, Subsample: 0.5, Seed: 1})
+	if acc := accuracy(m, X, y); acc < 0.85 {
+		t.Errorf("subsampled model accuracy %.3f < 0.85", acc)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	X, y := blobs(200, 0.8, 7)
+	for _, style := range []Style{XGB, LGBM, Cat} {
+		m1 := Fit(X, y, Config{Style: style, Rounds: 10, Seed: 3})
+		m2 := Fit(X, y, Config{Style: style, Rounds: 10, Seed: 3})
+		for i := range X {
+			if m1.PredictProba(X[i]) != m2.PredictProba(X[i]) {
+				t.Fatalf("%v not deterministic at sample %d", style, i)
+			}
+		}
+	}
+}
+
+func TestProbaBounds(t *testing.T) {
+	X, y := blobs(200, 1.0, 8)
+	m := Fit(X, y, Config{Style: LGBM, Rounds: 20})
+	for _, x := range X {
+		p := m.PredictProba(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %f outside [0,1]", p)
+		}
+	}
+}
+
+func TestImbalancedBaseRate(t *testing.T) {
+	// 90/10 imbalance: base log-odds must reflect the prior, and the model
+	// must still learn the minority class from a clean signal.
+	rng := rand.New(rand.NewSource(9))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 500; i++ {
+		if i%10 == 0 {
+			X = append(X, []float64{5 + rng.NormFloat64()})
+			y = append(y, 1)
+		} else {
+			X = append(X, []float64{-5 + rng.NormFloat64()})
+			y = append(y, 0)
+		}
+	}
+	m := Fit(X, y, Config{Style: XGB, Rounds: 20})
+	if m.base >= 0 {
+		t.Errorf("base log-odds %f should be negative for 10%% positives", m.base)
+	}
+	if acc := accuracy(m, X, y); acc < 0.98 {
+		t.Errorf("accuracy %.3f on cleanly separable imbalanced data", acc)
+	}
+}
+
+func TestHistBinnerMonotone(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
+	b := fitBins(X, 4)
+	prev := -1
+	for _, x := range X {
+		bin := b.bin(0, x[0])
+		if bin < prev {
+			t.Fatalf("bin not monotone in value: %d after %d", bin, prev)
+		}
+		prev = bin
+	}
+}
+
+func TestRoundsAccessor(t *testing.T) {
+	X, y := blobs(60, 1.0, 10)
+	m := Fit(X, y, Config{Style: Cat, Rounds: 7})
+	if m.Rounds() != 7 {
+		t.Errorf("Rounds() = %d, want 7", m.Rounds())
+	}
+}
+
+func TestInvalidStylePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid style")
+		}
+	}()
+	Fit([][]float64{{1}}, []int{0}, Config{Style: Style(99)})
+}
+
+func BenchmarkXGBFit(b *testing.B) {
+	X, y := blobs(500, 0.8, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Fit(X, y, Config{Style: XGB, Rounds: 10})
+	}
+}
+
+func BenchmarkLGBMFit(b *testing.B) {
+	X, y := blobs(500, 0.8, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Fit(X, y, Config{Style: LGBM, Rounds: 10})
+	}
+}

@@ -1,0 +1,343 @@
+package boost
+
+import (
+	"math"
+	"sort"
+)
+
+// ---- exact greedy, level-wise (XGB style) ----
+
+func buildExact(X [][]float64, grad, hess []float64, idx []int, cfg Config) regTree {
+	t := regTree{}
+	var grow func(idx []int, depth int) int
+	grow = func(idx []int, depth int) int {
+		var g, h float64
+		for _, i := range idx {
+			g += grad[i]
+			h += hess[i]
+		}
+		self := len(t.nodes)
+		t.nodes = append(t.nodes, node{Feature: -1, Value: leafWeight(g, h, cfg.Lambda)})
+		if depth >= cfg.MaxDepth || len(idx) < 2 {
+			return self
+		}
+		feat, thr, gain := bestExactSplit(X, grad, hess, idx, cfg.Lambda)
+		if gain <= cfg.Gamma {
+			return self
+		}
+		var left, right []int
+		for _, i := range idx {
+			if X[i][feat] <= thr {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			return self
+		}
+		t.nodes[self].Feature = feat
+		t.nodes[self].Threshold = thr
+		l := grow(left, depth+1)
+		r := grow(right, depth+1)
+		t.nodes[self].Left = l
+		t.nodes[self].Right = r
+		return self
+	}
+	grow(idx, 0)
+	return t
+}
+
+func bestExactSplit(X [][]float64, grad, hess []float64, idx []int, lambda float64) (feat int, thr, gain float64) {
+	d := len(X[0])
+	gain = math.Inf(-1)
+	var gTot, hTot float64
+	for _, i := range idx {
+		gTot += grad[i]
+		hTot += hess[i]
+	}
+	sorted := make([]int, len(idx))
+	for f := 0; f < d; f++ {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return X[sorted[a]][f] < X[sorted[b]][f] })
+		var gl, hl float64
+		for k := 0; k < len(sorted)-1; k++ {
+			i := sorted[k]
+			gl += grad[i]
+			hl += hess[i]
+			if X[i][f] == X[sorted[k+1]][f] {
+				continue
+			}
+			g := splitGain(gl, hl, gTot-gl, hTot-hl, lambda)
+			if g > gain {
+				gain = g
+				feat = f
+				thr = (X[i][f] + X[sorted[k+1]][f]) / 2
+			}
+		}
+	}
+	return feat, thr, gain
+}
+
+// ---- histogram-binned, leaf-wise (LGBM style) ----
+
+// histBinner quantizes each feature into at most Bins buckets using
+// training-set quantiles.
+type histBinner struct {
+	edges [][]float64 // per feature, ascending upper edges (len <= bins-1)
+}
+
+func fitBins(X [][]float64, bins int) *histBinner {
+	d := len(X[0])
+	b := &histBinner{edges: make([][]float64, d)}
+	vals := make([]float64, len(X))
+	for f := 0; f < d; f++ {
+		for i := range X {
+			vals[i] = X[i][f]
+		}
+		sort.Float64s(vals)
+		var edges []float64
+		for q := 1; q < bins; q++ {
+			v := vals[q*(len(vals)-1)/bins]
+			if len(edges) == 0 || v > edges[len(edges)-1] {
+				edges = append(edges, v)
+			}
+		}
+		b.edges[f] = edges
+	}
+	return b
+}
+
+// bin maps a value to its bucket index for feature f.
+func (b *histBinner) bin(f int, v float64) int {
+	e := b.edges[f]
+	return sort.SearchFloat64s(e, v) // 0..len(e)
+}
+
+// upperEdge returns the split threshold for "bin <= k".
+func (b *histBinner) upperEdge(f, k int) float64 {
+	e := b.edges[f]
+	if k < len(e) {
+		return e[k]
+	}
+	return math.Inf(1)
+}
+
+type leafCandidate struct {
+	nodeID int
+	idx    []int
+	gain   float64
+	feat   int
+	thr    float64
+}
+
+func buildLeafwise(X [][]float64, grad, hess []float64, idx []int, cfg Config, binner *histBinner) regTree {
+	maxLeaves := 1 << cfg.MaxDepth
+	t := regTree{}
+	mkLeaf := func(idx []int) int {
+		var g, h float64
+		for _, i := range idx {
+			g += grad[i]
+			h += hess[i]
+		}
+		t.nodes = append(t.nodes, node{Feature: -1, Value: leafWeight(g, h, cfg.Lambda)})
+		return len(t.nodes) - 1
+	}
+	root := mkLeaf(idx)
+	frontier := []leafCandidate{evalLeaf(X, grad, hess, idx, cfg, binner, root)}
+	leaves := 1
+	for leaves < maxLeaves {
+		// Pick the frontier leaf with the best gain.
+		best := -1
+		for i, c := range frontier {
+			if c.gain > cfg.Gamma && (best < 0 || c.gain > frontier[best].gain) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := frontier[best]
+		frontier = append(frontier[:best], frontier[best+1:]...)
+		var left, right []int
+		for _, i := range c.idx {
+			if X[i][c.feat] <= c.thr {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			continue
+		}
+		l := mkLeaf(left)
+		r := mkLeaf(right)
+		t.nodes[c.nodeID].Feature = c.feat
+		t.nodes[c.nodeID].Threshold = c.thr
+		t.nodes[c.nodeID].Left = l
+		t.nodes[c.nodeID].Right = r
+		leaves++
+		frontier = append(frontier,
+			evalLeaf(X, grad, hess, left, cfg, binner, l),
+			evalLeaf(X, grad, hess, right, cfg, binner, r))
+	}
+	return t
+}
+
+// evalLeaf finds the best histogram split for a leaf.
+func evalLeaf(X [][]float64, grad, hess []float64, idx []int, cfg Config, binner *histBinner, nodeID int) leafCandidate {
+	d := len(X[0])
+	c := leafCandidate{nodeID: nodeID, idx: idx, gain: math.Inf(-1)}
+	var gTot, hTot float64
+	for _, i := range idx {
+		gTot += grad[i]
+		hTot += hess[i]
+	}
+	for f := 0; f < d; f++ {
+		nb := len(binner.edges[f]) + 1
+		if nb < 2 {
+			continue
+		}
+		gh := make([]float64, nb)
+		hh := make([]float64, nb)
+		for _, i := range idx {
+			b := binner.bin(f, X[i][f])
+			gh[b] += grad[i]
+			hh[b] += hess[i]
+		}
+		var gl, hl float64
+		for k := 0; k < nb-1; k++ {
+			gl += gh[k]
+			hl += hh[k]
+			if hl == 0 || hTot-hl == 0 {
+				continue
+			}
+			g := splitGain(gl, hl, gTot-gl, hTot-hl, cfg.Lambda)
+			if g > c.gain {
+				c.gain = g
+				c.feat = f
+				c.thr = binner.upperEdge(f, k)
+			}
+		}
+	}
+	return c
+}
+
+// ---- oblivious trees (CatBoost style) ----
+
+// buildOblivious grows a symmetric tree: every node at a level shares the
+// same (feature, threshold) split, yielding 2^depth leaves addressed by the
+// bit-path of split outcomes.
+func buildOblivious(X [][]float64, grad, hess []float64, idx []int, cfg Config) regTree {
+	depth := cfg.MaxDepth
+	if depth > 10 {
+		depth = 10
+	}
+	// leaf assignment of each sample (bit path), grown level by level
+	assign := make(map[int]uint32, len(idx))
+	for _, i := range idx {
+		assign[i] = 0
+	}
+	type split struct {
+		feat int
+		thr  float64
+	}
+	var splits []split
+	for level := 0; level < depth; level++ {
+		feat, thr, gain := bestObliviousSplit(X, grad, hess, idx, assign, cfg.Lambda)
+		if gain <= cfg.Gamma {
+			break
+		}
+		splits = append(splits, split{feat, thr})
+		for _, i := range idx {
+			assign[i] <<= 1
+			if X[i][feat] > thr {
+				assign[i] |= 1
+			}
+		}
+	}
+	// Leaf weights.
+	nLeaves := 1 << len(splits)
+	gs := make([]float64, nLeaves)
+	hs := make([]float64, nLeaves)
+	for _, i := range idx {
+		gs[assign[i]] += grad[i]
+		hs[assign[i]] += hess[i]
+	}
+	// Materialize as a regular tree (complete binary tree).
+	t := regTree{}
+	var build func(level int, path uint32) int
+	build = func(level int, path uint32) int {
+		self := len(t.nodes)
+		if level == len(splits) {
+			t.nodes = append(t.nodes, node{Feature: -1, Value: leafWeight(gs[path], hs[path], cfg.Lambda)})
+			return self
+		}
+		t.nodes = append(t.nodes, node{Feature: splits[level].feat, Threshold: splits[level].thr})
+		l := build(level+1, path<<1)
+		r := build(level+1, path<<1|1)
+		t.nodes[self].Left = l
+		t.nodes[self].Right = r
+		return self
+	}
+	build(0, 0)
+	return t
+}
+
+// bestObliviousSplit evaluates a shared split across all current leaves:
+// the gain is summed over leaves.
+func bestObliviousSplit(X [][]float64, grad, hess []float64, idx []int, assign map[int]uint32, lambda float64) (feat int, thr, gain float64) {
+	d := len(X[0])
+	gain = math.Inf(-1)
+	// Candidate thresholds per feature: quantile sample to keep this
+	// near-linear (CatBoost quantizes features the same way).
+	const candidates = 16
+	sorted := make([]int, len(idx))
+	for f := 0; f < d; f++ {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return X[sorted[a]][f] < X[sorted[b]][f] })
+		prev := math.Inf(-1)
+		for c := 1; c < candidates; c++ {
+			i := sorted[c*(len(sorted)-1)/candidates]
+			t := X[i][f]
+			if t == prev {
+				continue
+			}
+			prev = t
+			g := obliviousGain(X, grad, hess, idx, assign, f, t, lambda)
+			if g > gain {
+				gain = g
+				feat = f
+				thr = t
+			}
+		}
+	}
+	return feat, thr, gain
+}
+
+func obliviousGain(X [][]float64, grad, hess []float64, idx []int, assign map[int]uint32, f int, thr, lambda float64) float64 {
+	type acc struct{ gl, hl, gr, hr float64 }
+	leaves := make(map[uint32]*acc)
+	for _, i := range idx {
+		a := leaves[assign[i]]
+		if a == nil {
+			a = &acc{}
+			leaves[assign[i]] = a
+		}
+		if X[i][f] <= thr {
+			a.gl += grad[i]
+			a.hl += hess[i]
+		} else {
+			a.gr += grad[i]
+			a.hr += hess[i]
+		}
+	}
+	total := 0.0
+	for _, a := range leaves {
+		if a.hl == 0 && a.hr == 0 {
+			continue
+		}
+		total += splitGain(a.gl, a.hl, a.gr, a.hr, lambda)
+	}
+	return total
+}

@@ -1,0 +1,64 @@
+// Package knn implements brute-force k-nearest-neighbours classification,
+// one of the paper's HSC back-ends.
+package knn
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/phishinghook/phishinghook/internal/mat"
+)
+
+// Model is a fitted (memorized) kNN classifier.
+type Model struct {
+	k int
+	x [][]float64
+	y []int
+}
+
+// Fit memorizes the training set. k defaults to 5 (scikit-learn's default).
+func Fit(X [][]float64, y []int, k int) *Model {
+	if len(X) == 0 || len(X) != len(y) {
+		panic(fmt.Sprintf("knn: bad training shape n=%d labels=%d", len(X), len(y)))
+	}
+	if k <= 0 {
+		k = 5
+	}
+	if k > len(X) {
+		k = len(X)
+	}
+	return &Model{k: k, x: X, y: y}
+}
+
+// PredictProba returns the positive-class vote share among the k nearest
+// training points (Euclidean metric; distance ties broken by index for
+// determinism).
+func (m *Model) PredictProba(q []float64) float64 {
+	type cand struct {
+		d   float64
+		idx int
+	}
+	cands := make([]cand, len(m.x))
+	for i, x := range m.x {
+		cands[i] = cand{mat.SqDist(q, x), i}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	pos := 0
+	for _, c := range cands[:m.k] {
+		pos += m.y[c.idx]
+	}
+	return float64(pos) / float64(m.k)
+}
+
+// Predict thresholds the vote at 0.5.
+func (m *Model) Predict(q []float64) int {
+	if m.PredictProba(q) >= 0.5 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,90 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKNNBasic(t *testing.T) {
+	X := [][]float64{{0, 0}, {0, 1}, {1, 0}, {10, 10}, {10, 11}, {11, 10}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	m := Fit(X, y, 3)
+	if m.Predict([]float64{0.5, 0.5}) != 0 {
+		t.Error("query near cluster 0 classified as 1")
+	}
+	if m.Predict([]float64{10.5, 10.5}) != 1 {
+		t.Error("query near cluster 1 classified as 0")
+	}
+}
+
+func TestKNNProbaIsVoteShare(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []int{0, 0, 1, 1}
+	m := Fit(X, y, 4)
+	if p := m.PredictProba([]float64{1.5}); p != 0.5 {
+		t.Errorf("4-NN over 2/2 labels gave %f, want 0.5", p)
+	}
+}
+
+func TestKNNK1MemorizesTrainingSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X := make([][]float64, 50)
+	y := make([]int, 50)
+	for i := range X {
+		X[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+		y[i] = rng.Intn(2)
+	}
+	m := Fit(X, y, 1)
+	for i := range X {
+		if m.Predict(X[i]) != y[i] {
+			t.Fatalf("1-NN failed to memorize sample %d", i)
+		}
+	}
+}
+
+func TestKNNKClamped(t *testing.T) {
+	X := [][]float64{{0}, {1}}
+	y := []int{0, 1}
+	m := Fit(X, y, 100)
+	// k clamps to n=2; proba is then always 0.5 — must not panic.
+	if p := m.PredictProba([]float64{0.5}); p != 0.5 {
+		t.Errorf("clamped-k proba = %f, want 0.5", p)
+	}
+}
+
+func TestKNNDeterministicTieBreak(t *testing.T) {
+	X := [][]float64{{1}, {1}, {1}, {1}}
+	y := []int{0, 1, 0, 1}
+	m := Fit(X, y, 2)
+	p1 := m.PredictProba([]float64{1})
+	for i := 0; i < 10; i++ {
+		if m.PredictProba([]float64{1}) != p1 {
+			t.Fatal("tie-break not deterministic")
+		}
+	}
+}
+
+func TestKNNPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty training set")
+		}
+	}()
+	Fit(nil, nil, 3)
+}
+
+func BenchmarkKNNPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	X := make([][]float64, 1000)
+	y := make([]int, 1000)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = i % 2
+	}
+	m := Fit(X, y, 5)
+	q := []float64{0, 0, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictProba(q)
+	}
+}

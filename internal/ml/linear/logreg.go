@@ -1,0 +1,95 @@
+// Package linear implements L2-regularized logistic regression trained by
+// mini-batch gradient descent — the weakest HSC back-end in the paper
+// (83.9% accuracy on raw, unnormalized histogram counts).
+package linear
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/phishinghook/phishinghook/internal/mat"
+)
+
+// Config controls training.
+type Config struct {
+	// LearningRate (default 1e-4; raw count features need a small step).
+	LearningRate float64
+	// Epochs (default 50).
+	Epochs int
+	// L2 regularization strength (default 1e-4).
+	L2 float64
+	// Batch size (default 32).
+	Batch int
+	// Seed drives shuffling.
+	Seed int64
+}
+
+// Model is a trained logistic regression.
+type Model struct {
+	W    []float64
+	Bias float64
+}
+
+// Fit trains on X (n×d) and binary labels y. Following the paper, inputs
+// are served raw — no standardization — which is precisely why this model
+// trails the tree ensembles.
+func Fit(X [][]float64, y []int, cfg Config) *Model {
+	if len(X) == 0 || len(X) != len(y) {
+		panic(fmt.Sprintf("linear: bad training shape n=%d labels=%d", len(X), len(y)))
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 1e-4
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 50
+	}
+	if cfg.L2 < 0 {
+		cfg.L2 = 1e-4
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
+	d := len(X[0])
+	m := &Model{W: make([]float64, d)}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gradW := make([]float64, d)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(X))
+		for start := 0; start < len(perm); start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > len(perm) {
+				end = len(perm)
+			}
+			batch := perm[start:end]
+			for i := range gradW {
+				gradW[i] = 0
+			}
+			gradB := 0.0
+			for _, i := range batch {
+				err := mat.Sigmoid(mat.Dot(m.W, X[i])+m.Bias) - float64(y[i])
+				mat.AddScaled(gradW, err, X[i])
+				gradB += err
+			}
+			inv := 1 / float64(len(batch))
+			for i := range m.W {
+				m.W[i] -= cfg.LearningRate * (gradW[i]*inv + cfg.L2*m.W[i])
+			}
+			m.Bias -= cfg.LearningRate * gradB * inv
+		}
+	}
+	return m
+}
+
+// PredictProba returns P(y=1|x).
+func (m *Model) PredictProba(x []float64) float64 {
+	return mat.Sigmoid(mat.Dot(m.W, x) + m.Bias)
+}
+
+// Predict thresholds PredictProba at 0.5.
+func (m *Model) Predict(x []float64) int {
+	if m.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,82 @@
+package linear
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func blobs(n int, sep float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		cls := i % 2
+		y[i] = cls
+		off := -sep
+		if cls == 1 {
+			off = sep
+		}
+		X[i] = []float64{off + rng.NormFloat64(), off + rng.NormFloat64()}
+	}
+	return X, y
+}
+
+func accuracy(m *Model, X [][]float64, y []int) float64 {
+	ok := 0
+	for i := range X {
+		if m.Predict(X[i]) == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(y))
+}
+
+func TestLogRegLearnsBlobs(t *testing.T) {
+	Xtr, ytr := blobs(400, 2.0, 1)
+	Xte, yte := blobs(200, 2.0, 2)
+	m := Fit(Xtr, ytr, Config{Epochs: 200, LearningRate: 0.05})
+	if acc := accuracy(m, Xte, yte); acc < 0.95 {
+		t.Errorf("accuracy %.3f < 0.95 on separated blobs", acc)
+	}
+}
+
+func TestLogRegProbaCalibratedDirection(t *testing.T) {
+	Xtr, ytr := blobs(300, 2.0, 3)
+	m := Fit(Xtr, ytr, Config{Epochs: 200, LearningRate: 0.05})
+	pNeg := m.PredictProba([]float64{-3, -3})
+	pPos := m.PredictProba([]float64{3, 3})
+	if pNeg >= 0.5 || pPos <= 0.5 {
+		t.Errorf("probabilities not oriented: p(-)=%f p(+)=%f", pNeg, pPos)
+	}
+}
+
+func TestLogRegDeterminism(t *testing.T) {
+	X, y := blobs(200, 1.0, 4)
+	m1 := Fit(X, y, Config{Epochs: 20, Seed: 5})
+	m2 := Fit(X, y, Config{Epochs: 20, Seed: 5})
+	for i := range m1.W {
+		if m1.W[i] != m2.W[i] {
+			t.Fatal("same-seed training produced different weights")
+		}
+	}
+}
+
+func TestLogRegL2ShrinksWeights(t *testing.T) {
+	X, y := blobs(200, 3.0, 6)
+	loose := Fit(X, y, Config{Epochs: 100, LearningRate: 0.05, L2: 1e-6})
+	tight := Fit(X, y, Config{Epochs: 100, LearningRate: 0.05, L2: 10})
+	normLoose := loose.W[0]*loose.W[0] + loose.W[1]*loose.W[1]
+	normTight := tight.W[0]*tight.W[0] + tight.W[1]*tight.W[1]
+	if normTight >= normLoose {
+		t.Errorf("strong L2 did not shrink weights: %f >= %f", normTight, normLoose)
+	}
+}
+
+func TestLogRegPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty training set")
+		}
+	}()
+	Fit(nil, nil, Config{})
+}

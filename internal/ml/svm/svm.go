@@ -1,0 +1,169 @@
+// Package svm implements a support vector machine classifier trained with
+// the Pegasos stochastic sub-gradient algorithm, optionally preceded by a
+// random Fourier feature map approximating the RBF kernel — the HSC "SVM"
+// of the paper (scikit-learn's SVC defaults to RBF).
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/phishinghook/phishinghook/internal/mat"
+)
+
+// Config controls SVM training.
+type Config struct {
+	// Lambda is the Pegasos regularization (default 1e-4).
+	Lambda float64
+	// Epochs over the training set (default 20).
+	Epochs int
+	// RFFDim is the random-Fourier-feature dimension approximating the RBF
+	// kernel; 0 trains a plain linear SVM.
+	RFFDim int
+	// Gamma is the RBF kernel width; <=0 selects 1/(d·Var), scikit-learn's
+	// "scale" heuristic.
+	Gamma float64
+	// Seed drives the feature map and sample order.
+	Seed int64
+}
+
+// Model is a trained SVM.
+type Model struct {
+	w     []float64
+	bias  float64
+	rff   *rffMap // nil for the linear variant
+	scale []float64
+}
+
+// rffMap is a random Fourier feature transform z(x) = sqrt(2/D)·cos(Wx+b).
+type rffMap struct {
+	w [][]float64
+	b []float64
+}
+
+func (r *rffMap) transform(x []float64) []float64 {
+	d := len(r.w)
+	z := make([]float64, d)
+	norm := math.Sqrt(2 / float64(d))
+	for j := 0; j < d; j++ {
+		z[j] = norm * math.Cos(mat.Dot(r.w[j], x)+r.b[j])
+	}
+	return z
+}
+
+// Fit trains the SVM on X with binary labels y (internally mapped to ±1).
+func Fit(X [][]float64, y []int, cfg Config) *Model {
+	if len(X) == 0 || len(X) != len(y) {
+		panic(fmt.Sprintf("svm: bad training shape n=%d labels=%d", len(X), len(y)))
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 1e-4
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := len(X[0])
+
+	m := &Model{}
+	// Feature scaling to unit variance: Pegasos and the RFF map both need
+	// bounded feature magnitudes (raw opcode counts reach thousands).
+	m.scale = make([]float64, d)
+	col := make([]float64, len(X))
+	for f := 0; f < d; f++ {
+		for i := range X {
+			col[i] = X[i][f]
+		}
+		sd := math.Sqrt(mat.Variance(col))
+		if sd == 0 {
+			sd = 1
+		}
+		m.scale[f] = 1 / sd
+	}
+	scaled := make([][]float64, len(X))
+	for i, x := range X {
+		scaled[i] = m.applyScale(x)
+	}
+
+	inputs := scaled
+	dim := d
+	if cfg.RFFDim > 0 {
+		gamma := cfg.Gamma
+		if gamma <= 0 {
+			varSum := 0.0
+			for f := 0; f < d; f++ {
+				for i := range scaled {
+					col[i] = scaled[i][f]
+				}
+				varSum += mat.Variance(col)
+			}
+			if varSum == 0 {
+				varSum = 1
+			}
+			gamma = 1 / varSum
+		}
+		m.rff = &rffMap{w: make([][]float64, cfg.RFFDim), b: make([]float64, cfg.RFFDim)}
+		sigma := math.Sqrt(2 * gamma)
+		for j := 0; j < cfg.RFFDim; j++ {
+			row := make([]float64, d)
+			for f := range row {
+				row[f] = rng.NormFloat64() * sigma
+			}
+			m.rff.w[j] = row
+			m.rff.b[j] = rng.Float64() * 2 * math.Pi
+		}
+		inputs = make([][]float64, len(scaled))
+		for i, x := range scaled {
+			inputs[i] = m.rff.transform(x)
+		}
+		dim = cfg.RFFDim
+	}
+
+	// Pegasos: w ← (1-ηλ)w + η·y·x on hinge violations, η = 1/(λt).
+	m.w = make([]float64, dim)
+	t := 1
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, i := range rng.Perm(len(inputs)) {
+			eta := 1 / (cfg.Lambda * float64(t))
+			t++
+			yi := float64(2*y[i] - 1)
+			margin := yi * (mat.Dot(m.w, inputs[i]) + m.bias)
+			mat.Scale(m.w, 1-eta*cfg.Lambda)
+			if margin < 1 {
+				mat.AddScaled(m.w, eta*yi, inputs[i])
+				m.bias += eta * yi
+			}
+		}
+	}
+	return m
+}
+
+func (m *Model) applyScale(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v * m.scale[i]
+	}
+	return out
+}
+
+// Decision returns the signed margin for x.
+func (m *Model) Decision(x []float64) float64 {
+	z := m.applyScale(x)
+	if m.rff != nil {
+		z = m.rff.transform(z)
+	}
+	return mat.Dot(m.w, z) + m.bias
+}
+
+// Predict returns the class label (margin sign).
+func (m *Model) Predict(x []float64) int {
+	if m.Decision(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// PredictProba squashes the margin through a sigmoid (Platt-style without
+// calibration; adequate for ranking and metric computation).
+func (m *Model) PredictProba(x []float64) float64 { return mat.Sigmoid(m.Decision(x)) }

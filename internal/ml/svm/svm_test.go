@@ -1,0 +1,126 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func blobs(n int, sep float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		cls := i % 2
+		y[i] = cls
+		off := -sep
+		if cls == 1 {
+			off = sep
+		}
+		X[i] = []float64{off + rng.NormFloat64(), off + rng.NormFloat64()}
+	}
+	return X, y
+}
+
+func ringData(n int, seed int64) ([][]float64, []int) {
+	// Inner disc vs outer ring: not linearly separable; requires the RBF
+	// feature map.
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		var r float64
+		if i%2 == 0 {
+			r = rng.Float64() * 1.0
+			y[i] = 0
+		} else {
+			r = 2.5 + rng.Float64()*1.0
+			y[i] = 1
+		}
+		theta := rng.Float64() * 2 * math.Pi
+		X[i] = []float64{r * math.Cos(theta), r * math.Sin(theta)}
+	}
+	return X, y
+}
+
+func accuracy(m *Model, X [][]float64, y []int) float64 {
+	ok := 0
+	for i := range X {
+		if m.Predict(X[i]) == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(y))
+}
+
+func TestLinearSVMSeparableBlobs(t *testing.T) {
+	Xtr, ytr := blobs(400, 2.0, 1)
+	Xte, yte := blobs(200, 2.0, 2)
+	m := Fit(Xtr, ytr, Config{Epochs: 30, Seed: 1})
+	if acc := accuracy(m, Xte, yte); acc < 0.95 {
+		t.Errorf("linear SVM accuracy %.3f < 0.95 on well-separated blobs", acc)
+	}
+}
+
+func TestRBFSVMLearnsRing(t *testing.T) {
+	Xtr, ytr := ringData(500, 3)
+	Xte, yte := ringData(250, 4)
+	linear := Fit(Xtr, ytr, Config{Epochs: 30, Seed: 1})
+	rbf := Fit(Xtr, ytr, Config{Epochs: 30, RFFDim: 200, Seed: 1})
+	accLin := accuracy(linear, Xte, yte)
+	accRBF := accuracy(rbf, Xte, yte)
+	if accRBF < 0.9 {
+		t.Errorf("RBF SVM ring accuracy %.3f < 0.9", accRBF)
+	}
+	if accRBF <= accLin {
+		t.Errorf("RBF (%.3f) should beat linear (%.3f) on the ring", accRBF, accLin)
+	}
+}
+
+func TestSVMDeterminism(t *testing.T) {
+	X, y := blobs(200, 1.0, 5)
+	m1 := Fit(X, y, Config{Epochs: 10, RFFDim: 50, Seed: 7})
+	m2 := Fit(X, y, Config{Epochs: 10, RFFDim: 50, Seed: 7})
+	for i := range X {
+		if m1.Decision(X[i]) != m2.Decision(X[i]) {
+			t.Fatalf("same-seed SVMs disagree at sample %d", i)
+		}
+	}
+}
+
+func TestSVMScaleInvariantToFeatureMagnitude(t *testing.T) {
+	// Internal standardization must cope with wildly-scaled features
+	// (raw opcode counts span 0..thousands).
+	Xtr, ytr := blobs(300, 2.0, 6)
+	for i := range Xtr {
+		Xtr[i][0] *= 1000
+	}
+	Xte, yte := blobs(150, 2.0, 7)
+	for i := range Xte {
+		Xte[i][0] *= 1000
+	}
+	m := Fit(Xtr, ytr, Config{Epochs: 30, Seed: 1})
+	if acc := accuracy(m, Xte, yte); acc < 0.9 {
+		t.Errorf("accuracy %.3f < 0.9 with scaled features", acc)
+	}
+}
+
+func TestSVMProbaBounds(t *testing.T) {
+	X, y := blobs(100, 1.0, 8)
+	m := Fit(X, y, Config{Epochs: 5, Seed: 1})
+	for _, x := range X {
+		p := m.PredictProba(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %f outside [0,1]", p)
+		}
+	}
+}
+
+func TestSVMPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mismatched shapes")
+		}
+	}()
+	Fit([][]float64{{1}}, []int{0, 1}, Config{})
+}

@@ -1,0 +1,142 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// MaxDepth bounds each tree (default unbounded, like scikit-learn).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 1).
+	MinLeaf int
+	// MaxFeatures per split; 0 selects sqrt(d), scikit-learn's default.
+	MaxFeatures int
+	// Seed drives bootstrap and feature sampling.
+	Seed int64
+	// Workers bounds training parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	TreeList []*Tree
+	nFeat    int
+}
+
+// FitForest trains a random forest with bootstrap aggregation. Trees are
+// trained in parallel but the ensemble is identical for a given seed
+// regardless of worker count (each tree owns a seed derived from its index).
+func FitForest(X [][]float64, y []int, cfg ForestConfig) *Forest {
+	if len(X) == 0 || len(X) != len(y) {
+		panic(fmt.Sprintf("tree: bad forest training shape n=%d labels=%d", len(X), len(y)))
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 100
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	d := len(X[0])
+	maxFeat := cfg.MaxFeatures
+	if maxFeat <= 0 {
+		maxFeat = int(math.Sqrt(float64(d)))
+		if maxFeat < 1 {
+			maxFeat = 1
+		}
+	}
+	f := &Forest{TreeList: make([]*Tree, cfg.Trees), nFeat: d}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for t := 0; t < cfg.Trees; t++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+			n := len(X)
+			bx := make([][]float64, n)
+			by := make([]int, n)
+			for i := 0; i < n; i++ {
+				j := rng.Intn(n)
+				bx[i] = X[j]
+				by[i] = y[j]
+			}
+			f.TreeList[t] = Fit(bx, by, Config{
+				MaxDepth:    cfg.MaxDepth,
+				MinLeaf:     cfg.MinLeaf,
+				MaxFeatures: maxFeat,
+			}, rng)
+		}(t)
+	}
+	wg.Wait()
+	return f
+}
+
+// PredictProba averages tree probabilities for x.
+func (f *Forest) PredictProba(x []float64) float64 {
+	s := 0.0
+	for _, t := range f.TreeList {
+		s += t.PredictProba(x)
+	}
+	return s / float64(len(f.TreeList))
+}
+
+// Predict thresholds PredictProba at 0.5.
+func (f *Forest) Predict(x []float64) int {
+	if f.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// PredictAll classifies a batch in parallel, preserving order.
+func (f *Forest) PredictAll(X [][]float64) []int {
+	out := make([]int, len(X))
+	parallelFor(len(X), func(i int) { out[i] = f.Predict(X[i]) })
+	return out
+}
+
+// NumFeatures returns the training feature dimension.
+func (f *Forest) NumFeatures() int { return f.nFeat }
+
+// parallelFor runs fn(i) for i in [0,n) across GOMAXPROCS goroutines.
+func parallelFor(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

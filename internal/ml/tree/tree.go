@@ -1,0 +1,213 @@
+// Package tree implements CART decision trees and random forests for binary
+// classification — the paper's best-performing model family (HSC + Random
+// Forest, Table II) and the substrate for the TreeSHAP analysis (Fig. 9).
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Node is one tree node in the flat node array. Leaves have Feature == -1.
+type Node struct {
+	// Feature is the split feature index, or -1 for leaves.
+	Feature int
+	// Threshold splits samples: x[Feature] <= Threshold goes left.
+	Threshold float64
+	// Left and Right are child indices in the Nodes slice.
+	Left, Right int
+	// Value is the leaf probability of the positive class (also set on
+	// internal nodes: the node-local positive rate, used by TreeSHAP).
+	Value float64
+	// Cover is the number of training samples that reached the node.
+	Cover float64
+}
+
+// Tree is a trained CART classifier.
+type Tree struct {
+	Nodes []Node
+}
+
+// Config controls tree induction.
+type Config struct {
+	// MaxDepth bounds tree depth (<=0 means unbounded).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 1).
+	MinLeaf int
+	// MaxFeatures is the number of features examined per split
+	// (<=0 means all — plain CART; sqrt(d) is the forest default).
+	MaxFeatures int
+}
+
+// Fit grows a tree on X (n×d) and binary labels y. rng drives feature
+// subsampling; pass nil for deterministic all-features splits.
+func Fit(X [][]float64, y []int, cfg Config, rng *rand.Rand) *Tree {
+	if len(X) == 0 || len(X) != len(y) {
+		panic(fmt.Sprintf("tree: bad training shape n=%d labels=%d", len(X), len(y)))
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 1
+	}
+	t := &Tree{}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &builder{X: X, y: y, cfg: cfg, rng: rng, tree: t}
+	b.grow(idx, 0)
+	return t
+}
+
+type builder struct {
+	X    [][]float64
+	y    []int
+	cfg  Config
+	rng  *rand.Rand
+	tree *Tree
+}
+
+// grow recursively builds the subtree over idx, returning its node index.
+func (b *builder) grow(idx []int, depth int) int {
+	pos := 0
+	for _, i := range idx {
+		pos += b.y[i]
+	}
+	n := len(idx)
+	node := Node{
+		Feature: -1,
+		Value:   float64(pos) / float64(n),
+		Cover:   float64(n),
+	}
+	self := len(b.tree.Nodes)
+	b.tree.Nodes = append(b.tree.Nodes, node)
+
+	if pos == 0 || pos == n || (b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) || n < 2*b.cfg.MinLeaf {
+		return self
+	}
+	feat, thr, ok := b.bestSplit(idx)
+	if !ok {
+		return self
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
+		return self
+	}
+	b.tree.Nodes[self].Feature = feat
+	b.tree.Nodes[self].Threshold = thr
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	b.tree.Nodes[self].Left = l
+	b.tree.Nodes[self].Right = r
+	return self
+}
+
+// bestSplit scans candidate features for the largest Gini impurity decrease.
+func (b *builder) bestSplit(idx []int) (feature int, threshold float64, ok bool) {
+	d := len(b.X[0])
+	feats := b.candidateFeatures(d)
+	n := float64(len(idx))
+
+	bestGain := 1e-12
+	sorted := make([]int, len(idx))
+	for _, f := range feats {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, c int) bool { return b.X[sorted[a]][f] < b.X[sorted[c]][f] })
+
+		totalPos := 0
+		for _, i := range sorted {
+			totalPos += b.y[i]
+		}
+		parentGini := giniImpurity(float64(totalPos), n)
+
+		leftPos, leftN := 0, 0.0
+		for k := 0; k < len(sorted)-1; k++ {
+			i := sorted[k]
+			leftPos += b.y[i]
+			leftN++
+			xv, xn := b.X[i][f], b.X[sorted[k+1]][f]
+			if xv == xn {
+				continue // can only split between distinct values
+			}
+			rightN := n - leftN
+			gain := parentGini -
+				(leftN/n)*giniImpurity(float64(leftPos), leftN) -
+				(rightN/n)*giniImpurity(float64(totalPos-leftPos), rightN)
+			if gain > bestGain {
+				bestGain = gain
+				feature = f
+				threshold = (xv + xn) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// candidateFeatures returns the feature subset for this split.
+func (b *builder) candidateFeatures(d int) []int {
+	m := b.cfg.MaxFeatures
+	if m <= 0 || m >= d || b.rng == nil {
+		all := make([]int, d)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	perm := b.rng.Perm(d)
+	return perm[:m]
+}
+
+// giniImpurity computes 2p(1-p) scaled Gini for a binary node with pos
+// positives out of n.
+func giniImpurity(pos, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := pos / n
+	return 2 * p * (1 - p)
+}
+
+// PredictProba returns the tree's positive-class probability for x.
+func (t *Tree) PredictProba(x []float64) float64 {
+	i := 0
+	for {
+		nd := &t.Nodes[i]
+		if nd.Feature < 0 {
+			return nd.Value
+		}
+		if x[nd.Feature] <= nd.Threshold {
+			i = nd.Left
+		} else {
+			i = nd.Right
+		}
+	}
+}
+
+// Depth returns the maximum depth of the tree (root = 0).
+func (t *Tree) Depth() int {
+	var walk func(i, d int) int
+	walk = func(i, d int) int {
+		nd := &t.Nodes[i]
+		if nd.Feature < 0 {
+			return d
+		}
+		l := walk(nd.Left, d+1)
+		r := walk(nd.Right, d+1)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	return walk(0, 0)
+}

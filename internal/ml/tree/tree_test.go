@@ -1,0 +1,162 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs makes two separable Gaussian clusters with some overlap.
+func blobs(n int, sep float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		cls := i % 2
+		y[i] = cls
+		off := -sep
+		if cls == 1 {
+			off = sep
+		}
+		X[i] = []float64{off + rng.NormFloat64(), off + rng.NormFloat64(), rng.NormFloat64()}
+	}
+	return X, y
+}
+
+func accuracy(pred, y []int) float64 {
+	ok := 0
+	for i := range y {
+		if pred[i] == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(y))
+}
+
+func TestTreeFitsTrainingSetPerfectlyWhenSeparable(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}, {10}, {11}, {12}, {13}}
+	y := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	tr := Fit(X, y, Config{}, nil)
+	for i, x := range X {
+		p := tr.PredictProba(x)
+		if (p >= 0.5) != (y[i] == 1) {
+			t.Errorf("sample %d misclassified (p=%f)", i, p)
+		}
+	}
+}
+
+func TestTreePureLeafStopsEarly(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []int{1, 1, 1}
+	tr := Fit(X, y, Config{}, nil)
+	if len(tr.Nodes) != 1 {
+		t.Errorf("pure node grew %d nodes, want 1", len(tr.Nodes))
+	}
+	if tr.Nodes[0].Value != 1 {
+		t.Errorf("leaf value %f, want 1", tr.Nodes[0].Value)
+	}
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	X, y := blobs(200, 0.5, 1)
+	tr := Fit(X, y, Config{MaxDepth: 3}, nil)
+	if d := tr.Depth(); d > 3 {
+		t.Errorf("depth %d exceeds MaxDepth 3", d)
+	}
+}
+
+func TestTreeMinLeaf(t *testing.T) {
+	X, y := blobs(100, 0.3, 2)
+	tr := Fit(X, y, Config{MinLeaf: 10}, nil)
+	for _, nd := range tr.Nodes {
+		if nd.Feature < 0 && nd.Cover < 10 {
+			t.Errorf("leaf with cover %f < MinLeaf 10", nd.Cover)
+		}
+	}
+}
+
+func TestTreeConstantFeaturesNoSplit(t *testing.T) {
+	X := [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	y := []int{0, 1, 0, 1}
+	tr := Fit(X, y, Config{}, nil)
+	if len(tr.Nodes) != 1 {
+		t.Errorf("constant features grew %d nodes, want 1 (no valid split)", len(tr.Nodes))
+	}
+}
+
+func TestForestBeatsChance(t *testing.T) {
+	X, y := blobs(400, 1.0, 3)
+	Xtest, ytest := blobs(200, 1.0, 4)
+	f := FitForest(X, y, ForestConfig{Trees: 30, Seed: 1})
+	acc := accuracy(f.PredictAll(Xtest), ytest)
+	if acc < 0.85 {
+		t.Errorf("forest test accuracy %.3f < 0.85 on separable blobs", acc)
+	}
+}
+
+func TestForestDeterministicAcrossWorkerCounts(t *testing.T) {
+	X, y := blobs(150, 0.7, 5)
+	f1 := FitForest(X, y, ForestConfig{Trees: 11, Seed: 42, Workers: 1})
+	f2 := FitForest(X, y, ForestConfig{Trees: 11, Seed: 42, Workers: 8})
+	for i := 0; i < len(X); i++ {
+		if f1.PredictProba(X[i]) != f2.PredictProba(X[i]) {
+			t.Fatalf("worker count changed predictions at sample %d", i)
+		}
+	}
+}
+
+func TestForestProbaInUnitIntervalProperty(t *testing.T) {
+	X, y := blobs(100, 0.5, 6)
+	f := FitForest(X, y, ForestConfig{Trees: 7, Seed: 3})
+	q := func(a, b, c float64) bool {
+		p := f.PredictProba([]float64{a, b, c})
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(q, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestCoverConservation(t *testing.T) {
+	// Every internal node's cover equals the sum of its children's —
+	// TreeSHAP relies on this invariant.
+	X, y := blobs(120, 0.6, 7)
+	f := FitForest(X, y, ForestConfig{Trees: 5, Seed: 9})
+	for _, tr := range f.TreeList {
+		for _, nd := range tr.Nodes {
+			if nd.Feature < 0 {
+				continue
+			}
+			sum := tr.Nodes[nd.Left].Cover + tr.Nodes[nd.Right].Cover
+			if sum != nd.Cover {
+				t.Fatalf("cover %f != children sum %f", nd.Cover, sum)
+			}
+		}
+	}
+}
+
+func TestFitPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mismatched shapes")
+		}
+	}()
+	Fit([][]float64{{1}}, []int{0, 1}, Config{}, nil)
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	X, y := blobs(500, 0.8, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FitForest(X, y, ForestConfig{Trees: 20, Seed: int64(i)})
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	X, y := blobs(500, 0.8, 1)
+	f := FitForest(X, y, ForestConfig{Trees: 50, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictProba(X[i%len(X)])
+	}
+}

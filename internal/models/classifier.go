@@ -1,0 +1,80 @@
+// Package models implements the 16 phishing classifiers the paper
+// benchmarks, behind one Classifier interface:
+//
+//	HSC  — Random Forest, k-NN, SVM, Logistic Regression, XGBoost,
+//	       LightGBM, CatBoost on opcode histograms
+//	VM   — ECA+EfficientNet, ViT+R2D2, ViT+Freq on bytecode images
+//	LM   — SCSGuard, GPT-2 (α/β), T5 (α/β) on token sequences
+//	VDM  — ESCORT (transfer-learned vulnerability DNN)
+//
+// The neural models are architecture-faithful but scaled down for CPU
+// training from scratch (the paper fine-tunes GPU-sized pretrained
+// checkpoints); see DESIGN.md §2 for the substitution rationale.
+package models
+
+import (
+	"fmt"
+
+	"github.com/phishinghook/phishinghook/internal/dataset"
+)
+
+// Family is the paper's model taxonomy.
+type Family int
+
+// Model families (paper Table II markers: † ‡ * §).
+const (
+	// HSC is a histogram similarity classifier (†).
+	HSC Family = iota + 1
+	// VM is a vision model (‡).
+	VM
+	// LM is a language model (*).
+	LM
+	// VDM is a vulnerability detection model (§).
+	VDM
+)
+
+// String implements fmt.Stringer.
+func (f Family) String() string {
+	switch f {
+	case HSC:
+		return "Histogram"
+	case VM:
+		return "Vision"
+	case LM:
+		return "Language"
+	case VDM:
+		return "Vulnerability"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Classifier is the contract every evaluated model fulfils.
+type Classifier interface {
+	// Name returns the display name used in tables.
+	Name() string
+	// Family returns the model's taxonomy bucket.
+	Family() Family
+	// Fit trains on the given dataset.
+	Fit(train *dataset.Dataset) error
+	// Predict classifies each sample (0 benign, 1 phishing). The model
+	// must have been fitted.
+	Predict(test *dataset.Dataset) ([]int, error)
+}
+
+// Factory builds a fresh classifier (one per CV fold) from a fold seed.
+type Factory func(seed int64) Classifier
+
+// codes extracts the bytecode corpus from a dataset.
+func codes(d *dataset.Dataset) [][]byte {
+	out := make([][]byte, d.Len())
+	for i, s := range d.Samples {
+		out[i] = s.Bytecode
+	}
+	return out
+}
+
+// errNotFitted standardizes the predict-before-fit error.
+func errNotFitted(name string) error {
+	return fmt.Errorf("models: %s used before Fit", name)
+}

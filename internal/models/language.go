@@ -1,0 +1,292 @@
+package models
+
+import (
+	"math/rand"
+
+	"github.com/phishinghook/phishinghook/internal/dataset"
+	"github.com/phishinghook/phishinghook/internal/features"
+	"github.com/phishinghook/phishinghook/internal/nn"
+)
+
+// scsGuard is the SCSGuard language model: hex-bigram embedding, multi-head
+// attention, a GRU sequence summarizer and a linear head (Hu et al.,
+// INFOCOM'22 Workshops).
+type scsGuard struct {
+	cfg NeuralConfig
+
+	vocab  *features.BigramVocab
+	emb    *nn.Embedding
+	attn   *nn.MultiHeadAttention
+	gru    *nn.GRU
+	head   *nn.Dense
+	params []*nn.Param
+	fitted bool
+}
+
+// NewSCSGuard builds the SCSGuard model.
+func NewSCSGuard(cfg NeuralConfig) Classifier { return &scsGuard{cfg: cfg} }
+
+// Name implements Classifier.
+func (m *scsGuard) Name() string { return "SCSGuard" }
+
+// Family implements Classifier.
+func (m *scsGuard) Family() Family { return LM }
+
+func (m *scsGuard) build(vocabSize int) {
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	m.emb = nn.NewEmbedding("scs.emb", vocabSize, m.cfg.Dim, rng)
+	m.attn = nn.NewMultiHeadAttention("scs.attn", m.cfg.Dim, m.cfg.Heads, rng)
+	m.gru = nn.NewGRU("scs.gru", m.cfg.Dim, m.cfg.Hidden, rng)
+	m.head = nn.NewDense("scs.head", m.cfg.Hidden, 2, rng)
+	m.params = nil
+	m.params = append(m.params, m.emb.Params()...)
+	m.params = append(m.params, m.attn.Params()...)
+	m.params = append(m.params, m.gru.Params()...)
+	m.params = append(m.params, m.head.Params()...)
+}
+
+func (m *scsGuard) forward(ids []int) ([]float64, func(dl []float64)) {
+	E, backE := m.emb.Forward(ids)
+	A, backA := m.attn.ForwardSelf(E, false)
+	h, backG := m.gru.Forward(A)
+	logits, backH := m.head.Forward(h)
+	back := func(dl []float64) {
+		backE(backA(backG(backH(dl))))
+	}
+	return logits, back
+}
+
+// Fit implements Classifier.
+func (m *scsGuard) Fit(train *dataset.Dataset) error {
+	corpus := codes(train)
+	m.vocab = features.FitBigramsCapped(corpus, m.cfg.VocabCap)
+	m.build(m.vocab.Size())
+	seqs := make([][]int, train.Len())
+	for i, s := range train.Samples {
+		seqs[i] = m.vocab.Encode(s.Bytecode, m.cfg.SeqLen)
+	}
+	trainSamples(train.Len(), train.Labels(), m.params, func(i int) ([]float64, func([]float64)) {
+		return m.forward(seqs[i])
+	}, m.cfg)
+	m.fitted = true
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *scsGuard) Predict(test *dataset.Dataset) ([]int, error) {
+	if !m.fitted {
+		return nil, errNotFitted(m.Name())
+	}
+	out := make([]int, test.Len())
+	for i, s := range test.Samples {
+		logits, _ := m.forward(m.vocab.Encode(s.Bytecode, m.cfg.SeqLen))
+		out[i] = argmax2(logits)
+	}
+	return out, nil
+}
+
+// Variant selects the paper's sequence-handling mode for GPT-2 and T5.
+type Variant int
+
+// Sequence-handling variants.
+const (
+	// Alpha truncates opcode sequences to the model's token limit
+	// (the paper's RTX-4090 runs).
+	Alpha Variant = iota + 1
+	// Beta processes full bytecodes in sliding-window chunks
+	// (the paper's H100 runs).
+	Beta
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	if v == Beta {
+		return "β"
+	}
+	return "α"
+}
+
+// transformerLM is the shared GPT-2-like / T5-like classifier. kind
+// distinguishes the decoder-only causal architecture (GPT-2) from the
+// encoder(+cross-attention pooling) architecture (T5).
+type transformerLM struct {
+	name    string
+	kind    string // "gpt2" | "t5"
+	variant Variant
+	cfg     NeuralConfig
+
+	vocab  *features.OpcodeVocab
+	emb    *nn.Embedding
+	pos    *nn.Param
+	blocks []*nn.TransformerBlock
+	// T5 decoder: a learned query cross-attending over encoder states.
+	decQuery *nn.Param
+	decAttn  *nn.MultiHeadAttention
+	norm     *nn.LayerNorm
+	head     *nn.Dense
+	params   []*nn.Param
+	fitted   bool
+}
+
+// NewGPT2 builds the GPT-2-like causal transformer classifier.
+func NewGPT2(variant Variant, cfg NeuralConfig) Classifier {
+	return newTransformerLM("GPT-2"+variant.String(), "gpt2", variant, cfg)
+}
+
+// NewT5 builds the T5-like encoder-decoder classifier.
+func NewT5(variant Variant, cfg NeuralConfig) Classifier {
+	return newTransformerLM("T5"+variant.String(), "t5", variant, cfg)
+}
+
+func newTransformerLM(name, kind string, variant Variant, cfg NeuralConfig) *transformerLM {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &transformerLM{name: name, kind: kind, variant: variant, cfg: cfg}
+	m.vocab = features.NewOpcodeVocab()
+	m.emb = nn.NewEmbedding(name+".emb", m.vocab.Size(), cfg.Dim, rng)
+	m.pos = nn.NewParam(name+".pos", cfg.SeqLen*cfg.Dim, nn.NormalInit(rng, 0.02))
+	for b := 0; b < cfg.Blocks; b++ {
+		m.blocks = append(m.blocks, nn.NewTransformerBlock(name+".blk", cfg.Dim, cfg.Heads, 2*cfg.Dim, rng))
+	}
+	if kind == "t5" {
+		m.decQuery = nn.NewParam(name+".query", cfg.Dim, nn.NormalInit(rng, 0.02))
+		m.decAttn = nn.NewMultiHeadAttention(name+".xattn", cfg.Dim, cfg.Heads, rng)
+	}
+	m.norm = nn.NewLayerNorm(name+".ln", cfg.Dim)
+	m.head = nn.NewDense(name+".head", cfg.Dim, 2, rng)
+
+	m.params = append(m.params, m.emb.Params()...)
+	m.params = append(m.params, m.pos)
+	for _, b := range m.blocks {
+		m.params = append(m.params, b.Params()...)
+	}
+	if kind == "t5" {
+		m.params = append(m.params, m.decQuery)
+		m.params = append(m.params, m.decAttn.Params()...)
+	}
+	m.params = append(m.params, m.norm.Params()...)
+	m.params = append(m.params, m.head.Params()...)
+	return m
+}
+
+// Name implements Classifier.
+func (m *transformerLM) Name() string { return m.name }
+
+// Family implements Classifier.
+func (m *transformerLM) Family() Family { return LM }
+
+// forward runs one fixed-length window.
+func (m *transformerLM) forward(ids []int) ([]float64, func(dl []float64)) {
+	dim := m.cfg.Dim
+	E, backE := m.emb.Forward(ids)
+	x := make([][]float64, len(E))
+	for t := range E {
+		v := make([]float64, dim)
+		off := t * dim
+		for i := 0; i < dim; i++ {
+			v[i] = E[t][i] + m.pos.W[off+i]
+		}
+		x[t] = v
+	}
+	causal := m.kind == "gpt2"
+	backs := make([]nn.SeqBackward, len(m.blocks))
+	for bi, blk := range m.blocks {
+		x, backs[bi] = blk.Forward(x, causal)
+	}
+
+	if m.kind == "gpt2" {
+		// Mean-pool the decoder states, norm, classify.
+		pooled, backPool := nn.MeanPool(x)
+		normed, backN := m.norm.Forward(pooled)
+		logits, backH := m.head.Forward(normed)
+		back := func(dl []float64) {
+			dx := backPool(backN(backH(dl)))
+			for bi := len(m.blocks) - 1; bi >= 0; bi-- {
+				dx = backs[bi](dx)
+			}
+			for t := range dx {
+				off := t * dim
+				for i := 0; i < dim; i++ {
+					m.pos.G[off+i] += dx[t][i]
+				}
+			}
+			backE(dx)
+		}
+		return logits, back
+	}
+
+	// T5: a single learned decoder query cross-attends over encoder states.
+	q := [][]float64{append([]float64(nil), m.decQuery.W...)}
+	ctx, backX := m.decAttn.ForwardCross(q, x)
+	normed, backN := m.norm.Forward(ctx[0])
+	logits, backH := m.head.Forward(normed)
+	back := func(dl []float64) {
+		dctx := [][]float64{backN(backH(dl))}
+		dq, dx := backX(dctx)
+		for i := range dq[0] {
+			m.decQuery.G[i] += dq[0][i]
+		}
+		for bi := len(m.blocks) - 1; bi >= 0; bi-- {
+			dx = backs[bi](dx)
+		}
+		for t := range dx {
+			off := t * dim
+			for i := 0; i < dim; i++ {
+				m.pos.G[off+i] += dx[t][i]
+			}
+		}
+		backE(dx)
+	}
+	return logits, back
+}
+
+// windows produces the training/inference windows for a bytecode under the
+// model's variant.
+func (m *transformerLM) windows(code []byte) [][]int {
+	tokens := m.vocab.Tokens(code)
+	if m.variant == Alpha {
+		return [][]int{features.Truncate(tokens, m.cfg.SeqLen)}
+	}
+	wins := features.SlidingWindows(tokens, m.cfg.SeqLen, m.cfg.Stride)
+	if m.cfg.MaxWindows > 0 && len(wins) > m.cfg.MaxWindows {
+		wins = wins[:m.cfg.MaxWindows]
+	}
+	return wins
+}
+
+// Fit implements Classifier. β variants train on every window with the
+// contract's label.
+func (m *transformerLM) Fit(train *dataset.Dataset) error {
+	var seqs [][]int
+	var labels []int
+	for i, s := range train.Samples {
+		for _, w := range m.windows(s.Bytecode) {
+			seqs = append(seqs, w)
+			labels = append(labels, int(train.Samples[i].Label))
+		}
+	}
+	trainSamples(len(seqs), labels, m.params, func(i int) ([]float64, func([]float64)) {
+		return m.forward(seqs[i])
+	}, m.cfg)
+	m.fitted = true
+	return nil
+}
+
+// Predict implements Classifier. β variants average window probabilities.
+func (m *transformerLM) Predict(test *dataset.Dataset) ([]int, error) {
+	if !m.fitted {
+		return nil, errNotFitted(m.name)
+	}
+	out := make([]int, test.Len())
+	for i, s := range test.Samples {
+		var pPhish float64
+		wins := m.windows(s.Bytecode)
+		for _, w := range wins {
+			logits, _ := m.forward(w)
+			pPhish += nn.Softmax(logits)[1]
+		}
+		if pPhish/float64(len(wins)) >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}

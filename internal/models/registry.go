@@ -1,0 +1,45 @@
+package models
+
+import "fmt"
+
+// Spec describes one of the 16 evaluated models.
+type Spec struct {
+	// Name is the Table II display name.
+	Name string
+	// Family is the taxonomy bucket.
+	Family Family
+	// New builds a fresh instance for a fold.
+	New func(seed int64, cfg NeuralConfig) Classifier
+}
+
+// AllSpecs returns the 16 models in the paper's Table II order.
+func AllSpecs() []Spec {
+	return []Spec{
+		{"Random Forest", HSC, func(s int64, _ NeuralConfig) Classifier { return NewRandomForest(s) }},
+		{"k-NN", HSC, func(s int64, _ NeuralConfig) Classifier { return NewKNN(s) }},
+		{"SVM", HSC, func(s int64, _ NeuralConfig) Classifier { return NewSVM(s) }},
+		{"Logistic Regression", HSC, func(s int64, _ NeuralConfig) Classifier { return NewLogReg(s) }},
+		{"XGBoost", HSC, func(s int64, _ NeuralConfig) Classifier { return NewXGBoost(s) }},
+		{"LightGBM", HSC, func(s int64, _ NeuralConfig) Classifier { return NewLightGBM(s) }},
+		{"CatBoost", HSC, func(s int64, _ NeuralConfig) Classifier { return NewCatBoost(s) }},
+		{"ECA+EfficientNet", VM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewECAEfficientNet(c) }},
+		{"ViT+R2D2", VM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewViTR2D2(c) }},
+		{"ViT+Freq", VM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewViTFreq(c) }},
+		{"SCSGuard", LM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewSCSGuard(c) }},
+		{"GPT-2α", LM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewGPT2(Alpha, c) }},
+		{"T5α", LM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewT5(Alpha, c) }},
+		{"GPT-2β", LM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewGPT2(Beta, c) }},
+		{"T5β", LM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewT5(Beta, c) }},
+		{"ESCORT", VDM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewESCORT(c) }},
+	}
+}
+
+// SpecByName resolves a model spec by its display name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range AllSpecs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("models: unknown model %q", name)
+}

@@ -1,0 +1,259 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MultiHeadAttention implements scaled dot-product attention with H heads,
+// usable as self-attention (causal or bidirectional) and as cross-attention
+// (T5-style decoder reading encoder states).
+type MultiHeadAttention struct {
+	Dim, Heads     int
+	Wq, Wk, Wv, Wo *Dense
+}
+
+// NewMultiHeadAttention builds an attention block; dim must be divisible by
+// heads.
+func NewMultiHeadAttention(name string, dim, heads int, rng *rand.Rand) *MultiHeadAttention {
+	if dim%heads != 0 {
+		panic(fmt.Sprintf("nn: dim %d not divisible by heads %d", dim, heads))
+	}
+	return &MultiHeadAttention{
+		Dim: dim, Heads: heads,
+		Wq: NewDense(name+".wq", dim, dim, rng),
+		Wk: NewDense(name+".wk", dim, dim, rng),
+		Wv: NewDense(name+".wv", dim, dim, rng),
+		Wo: NewDense(name+".wo", dim, dim, rng),
+	}
+}
+
+// Params returns all projection parameters.
+func (m *MultiHeadAttention) Params() []*Param {
+	var out []*Param
+	for _, d := range []*Dense{m.Wq, m.Wk, m.Wv, m.Wo} {
+		out = append(out, d.Params()...)
+	}
+	return out
+}
+
+// ForwardSelf runs self-attention over x; causal masks future positions.
+func (m *MultiHeadAttention) ForwardSelf(x [][]float64, causal bool) ([][]float64, SeqBackward) {
+	out, back := m.attend(x, x, causal)
+	selfBack := func(dy [][]float64) [][]float64 {
+		dq, dkv := back(dy)
+		for t := range dq {
+			for i := range dq[t] {
+				dq[t][i] += dkv[t][i]
+			}
+		}
+		return dq
+	}
+	return out, selfBack
+}
+
+// ForwardCross attends queries q over key/value source kv (never causal).
+func (m *MultiHeadAttention) ForwardCross(q, kv [][]float64) ([][]float64, func(dy [][]float64) (dq, dkv [][]float64)) {
+	return m.attend(q, kv, false)
+}
+
+// attend is the shared attention core.
+func (m *MultiHeadAttention) attend(qIn, kvIn [][]float64, causal bool) ([][]float64, func(dy [][]float64) (dq, dkv [][]float64)) {
+	S, T := len(qIn), len(kvIn)
+	H := m.Heads
+	dk := m.Dim / H
+	scale := 1 / math.Sqrt(float64(dk))
+
+	Q, backQ := m.Wq.ForwardSeq(qIn)
+	K, backK := m.Wk.ForwardSeq(kvIn)
+	V, backV := m.Wv.ForwardSeq(kvIn)
+
+	// A[h][s][t]: attention weights.
+	A := make([][][]float64, H)
+	for h := 0; h < H; h++ {
+		A[h] = make([][]float64, S)
+		off := h * dk
+		for s := 0; s < S; s++ {
+			limit := T
+			if causal && s+1 < T {
+				limit = s + 1
+			}
+			scores := make([]float64, limit)
+			for t := 0; t < limit; t++ {
+				dot := 0.0
+				for j := 0; j < dk; j++ {
+					dot += Q[s][off+j] * K[t][off+j]
+				}
+				scores[t] = dot * scale
+			}
+			row := make([]float64, T) // masked positions stay exactly 0
+			copy(row[:limit], Softmax(scores))
+			A[h][s] = row
+		}
+	}
+
+	ctx := make([][]float64, S)
+	for s := 0; s < S; s++ {
+		c := make([]float64, m.Dim)
+		for h := 0; h < H; h++ {
+			off := h * dk
+			for t := 0; t < T; t++ {
+				a := A[h][s][t]
+				if a == 0 {
+					continue
+				}
+				for j := 0; j < dk; j++ {
+					c[off+j] += a * V[t][off+j]
+				}
+			}
+		}
+		ctx[s] = c
+	}
+	out, backO := m.Wo.ForwardSeq(ctx)
+
+	back := func(dy [][]float64) (dqIn, dkvIn [][]float64) {
+		dctx := backO(dy)
+		dQ := zeros2D(S, m.Dim)
+		dK := zeros2D(T, m.Dim)
+		dV := zeros2D(T, m.Dim)
+		for h := 0; h < H; h++ {
+			off := h * dk
+			for s := 0; s < S; s++ {
+				row := A[h][s]
+				// dA and dV.
+				dA := make([]float64, T)
+				for t := 0; t < T; t++ {
+					if row[t] == 0 {
+						continue
+					}
+					dot := 0.0
+					for j := 0; j < dk; j++ {
+						dot += dctx[s][off+j] * V[t][off+j]
+						dV[t][off+j] += row[t] * dctx[s][off+j]
+					}
+					dA[t] = dot
+				}
+				// Softmax backward: ds = a ∘ (dA - Σ dA∘a).
+				inner := 0.0
+				for t := 0; t < T; t++ {
+					inner += dA[t] * row[t]
+				}
+				for t := 0; t < T; t++ {
+					if row[t] == 0 {
+						continue
+					}
+					ds := row[t] * (dA[t] - inner) * scale
+					for j := 0; j < dk; j++ {
+						dQ[s][off+j] += ds * K[t][off+j]
+						dK[t][off+j] += ds * Q[s][off+j]
+					}
+				}
+			}
+		}
+		dqIn = backQ(dQ)
+		dk1 := backK(dK)
+		dk2 := backV(dV)
+		dkvIn = make([][]float64, T)
+		for t := 0; t < T; t++ {
+			v := make([]float64, len(dk1[t]))
+			for i := range v {
+				v[i] = dk1[t][i] + dk2[t][i]
+			}
+			dkvIn[t] = v
+		}
+		return dqIn, dkvIn
+	}
+	return out, back
+}
+
+func zeros2D(n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, d)
+	}
+	return out
+}
+
+// TransformerBlock is a pre-norm transformer encoder/decoder block:
+// x + MHA(LN(x)) followed by x + FFN(LN(x)).
+type TransformerBlock struct {
+	Attn       *MultiHeadAttention
+	Norm1      *LayerNorm
+	Norm2      *LayerNorm
+	FF1, FF2   *Dense
+	Dim, FFDim int
+}
+
+// NewTransformerBlock builds a block with the given model and feed-forward
+// widths.
+func NewTransformerBlock(name string, dim, heads, ffDim int, rng *rand.Rand) *TransformerBlock {
+	return &TransformerBlock{
+		Attn:  NewMultiHeadAttention(name+".attn", dim, heads, rng),
+		Norm1: NewLayerNorm(name+".ln1", dim),
+		Norm2: NewLayerNorm(name+".ln2", dim),
+		FF1:   NewDense(name+".ff1", dim, ffDim, rng),
+		FF2:   NewDense(name+".ff2", ffDim, dim, rng),
+		Dim:   dim, FFDim: ffDim,
+	}
+}
+
+// Params returns all block parameters.
+func (b *TransformerBlock) Params() []*Param {
+	out := b.Attn.Params()
+	out = append(out, b.Norm1.Params()...)
+	out = append(out, b.Norm2.Params()...)
+	out = append(out, b.FF1.Params()...)
+	out = append(out, b.FF2.Params()...)
+	return out
+}
+
+// Forward runs the block; causal selects masked self-attention.
+func (b *TransformerBlock) Forward(x [][]float64, causal bool) ([][]float64, SeqBackward) {
+	n1, backN1 := b.Norm1.ForwardSeq(x)
+	att, backAtt := b.Attn.ForwardSelf(n1, causal)
+	h := AddSeq(x, att)
+
+	n2, backN2 := b.Norm2.ForwardSeq(h)
+	ffMid := make([][]float64, len(n2))
+	backMid := make([]Backward, len(n2))
+	backAct := make([]Backward, len(n2))
+	backOut := make([]Backward, len(n2))
+	ffOut := make([][]float64, len(n2))
+	for t, v := range n2 {
+		m, bm := b.FF1.Forward(v)
+		a, ba := GELU(m)
+		o, bo := b.FF2.Forward(a)
+		ffMid[t] = m
+		backMid[t], backAct[t], backOut[t] = bm, ba, bo
+		ffOut[t] = o
+	}
+	y := AddSeq(h, ffOut)
+
+	back := func(dy [][]float64) [][]float64 {
+		// Through the FFN residual.
+		dn2 := make([][]float64, len(dy))
+		for t := range dy {
+			d := backOut[t](dy[t])
+			d = backAct[t](d)
+			dn2[t] = backMid[t](d)
+		}
+		dh := backN2(dn2)
+		for t := range dh {
+			for i := range dh[t] {
+				dh[t][i] += dy[t][i] // residual
+			}
+		}
+		// Through the attention residual.
+		dn1 := backAtt(dh)
+		dx := backN1(dn1)
+		for t := range dx {
+			for i := range dx[t] {
+				dx[t][i] += dh[t][i] // residual
+			}
+		}
+		return dx
+	}
+	_ = ffMid
+	return y, back
+}

@@ -1,0 +1,259 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/phishinghook/phishinghook/internal/mat"
+)
+
+// Image is a channels-first (C×H×W) tensor stored flat.
+type Image struct {
+	C, H, W int
+	Data    []float64
+}
+
+// NewImage allocates a zero image.
+func NewImage(c, h, w int) Image {
+	return Image{C: c, H: h, W: w, Data: make([]float64, c*h*w)}
+}
+
+// At indexes (c,y,x).
+func (im Image) At(c, y, x int) float64 { return im.Data[(c*im.H+y)*im.W+x] }
+
+// Set writes (c,y,x).
+func (im *Image) Set(c, y, x int, v float64) { im.Data[(c*im.H+y)*im.W+x] = v }
+
+// FromFlatRGB converts the feature packages' side×side×3 pixel-major layout
+// into channels-first form.
+func FromFlatRGB(flat []float64, side int) Image {
+	im := NewImage(3, side, side)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			base := (y*side + x) * 3
+			for c := 0; c < 3; c++ {
+				im.Set(c, y, x, flat[base+c])
+			}
+		}
+	}
+	return im
+}
+
+// Conv2D is a stride-s same-channels-in convolution with square kernels.
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+	W, B                      *Param
+}
+
+// NewConv2D builds a Glorot-initialized convolution.
+func NewConv2D(name string, inC, outC, k, stride, pad int, rng *rand.Rand) *Conv2D {
+	fanIn := inC * k * k
+	return &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		W: NewParam(name+".w", outC*inC*k*k, GlorotInit(rng, fanIn, outC)),
+		B: NewParam(name+".b", outC, nil),
+	}
+}
+
+// Params returns the kernel and bias.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// OutShape returns the output spatial dimensions for an input of h×w.
+func (c *Conv2D) OutShape(h, w int) (int, int) {
+	oh := (h+2*c.Pad-c.K)/c.Stride + 1
+	ow := (w+2*c.Pad-c.K)/c.Stride + 1
+	return oh, ow
+}
+
+// Forward convolves the image.
+func (c *Conv2D) Forward(in Image) (Image, func(dout Image) Image) {
+	if in.C != c.InC {
+		panic(fmt.Sprintf("nn: conv expects %d channels, got %d", c.InC, in.C))
+	}
+	oh, ow := c.OutShape(in.H, in.W)
+	out := NewImage(c.OutC, oh, ow)
+	kIdx := func(oc, ic, ky, kx int) int { return ((oc*c.InC+ic)*c.K+ky)*c.K + kx }
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				s := c.B.W[oc]
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride + ky - c.Pad
+						if iy < 0 || iy >= in.H {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride + kx - c.Pad
+							if ix < 0 || ix >= in.W {
+								continue
+							}
+							s += c.W.W[kIdx(oc, ic, ky, kx)] * in.At(ic, iy, ix)
+						}
+					}
+				}
+				out.Set(oc, oy, ox, s)
+			}
+		}
+	}
+	back := func(dout Image) Image {
+		din := NewImage(in.C, in.H, in.W)
+		for oc := 0; oc < c.OutC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := dout.At(oc, oy, ox)
+					if g == 0 {
+						continue
+					}
+					c.B.G[oc] += g
+					for ic := 0; ic < c.InC; ic++ {
+						for ky := 0; ky < c.K; ky++ {
+							iy := oy*c.Stride + ky - c.Pad
+							if iy < 0 || iy >= in.H {
+								continue
+							}
+							for kx := 0; kx < c.K; kx++ {
+								ix := ox*c.Stride + kx - c.Pad
+								if ix < 0 || ix >= in.W {
+									continue
+								}
+								idx := kIdx(oc, ic, ky, kx)
+								c.W.G[idx] += g * in.At(ic, iy, ix)
+								din.Data[(ic*in.H+iy)*in.W+ix] += g * c.W.W[idx]
+							}
+						}
+					}
+				}
+			}
+		}
+		return din
+	}
+	return out, back
+}
+
+// ReLUImage applies ReLU element-wise over an image.
+func ReLUImage(in Image) (Image, func(dout Image) Image) {
+	out := Image{C: in.C, H: in.H, W: in.W, Data: make([]float64, len(in.Data))}
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	back := func(dout Image) Image {
+		din := Image{C: in.C, H: in.H, W: in.W, Data: make([]float64, len(in.Data))}
+		for i, g := range dout.Data {
+			if in.Data[i] > 0 {
+				din.Data[i] = g
+			}
+		}
+		return din
+	}
+	return out, back
+}
+
+// ECA is Efficient Channel Attention (Wang et al., CVPR 2020): a k-tap 1D
+// convolution over the channel descriptor produces per-channel sigmoid
+// gates.
+type ECA struct {
+	K int
+	W *Param
+}
+
+// NewECA builds an ECA module with kernel size k (odd).
+func NewECA(name string, k int, rng *rand.Rand) *ECA {
+	if k%2 == 0 {
+		panic("nn: ECA kernel must be odd")
+	}
+	return &ECA{K: k, W: NewParam(name+".w", k, GlorotInit(rng, k, 1))}
+}
+
+// Params returns the 1D kernel.
+func (e *ECA) Params() []*Param { return []*Param{e.W} }
+
+// Forward gates each channel by attention derived from the global average
+// pooled descriptor.
+func (e *ECA) Forward(in Image) (Image, func(dout Image) Image) {
+	C := in.C
+	spatial := float64(in.H * in.W)
+	gap := make([]float64, C)
+	for c := 0; c < C; c++ {
+		s := 0.0
+		for i := c * in.H * in.W; i < (c+1)*in.H*in.W; i++ {
+			s += in.Data[i]
+		}
+		gap[c] = s / spatial
+	}
+	half := e.K / 2
+	att := make([]float64, C)
+	pre := make([]float64, C)
+	for c := 0; c < C; c++ {
+		s := 0.0
+		for j := 0; j < e.K; j++ {
+			idx := c + j - half
+			if idx >= 0 && idx < C {
+				s += e.W.W[j] * gap[idx]
+			}
+		}
+		pre[c] = s
+		att[c] = mat.Sigmoid(s)
+	}
+	out := Image{C: in.C, H: in.H, W: in.W, Data: make([]float64, len(in.Data))}
+	for c := 0; c < C; c++ {
+		for i := c * in.H * in.W; i < (c+1)*in.H*in.W; i++ {
+			out.Data[i] = in.Data[i] * att[c]
+		}
+	}
+	back := func(dout Image) Image {
+		din := Image{C: in.C, H: in.H, W: in.W, Data: make([]float64, len(in.Data))}
+		datt := make([]float64, C)
+		for c := 0; c < C; c++ {
+			for i := c * in.H * in.W; i < (c+1)*in.H*in.W; i++ {
+				din.Data[i] = dout.Data[i] * att[c]
+				datt[c] += dout.Data[i] * in.Data[i]
+			}
+		}
+		dgap := make([]float64, C)
+		for c := 0; c < C; c++ {
+			dpre := datt[c] * att[c] * (1 - att[c])
+			for j := 0; j < e.K; j++ {
+				idx := c + j - half
+				if idx >= 0 && idx < C {
+					e.W.G[j] += dpre * gap[idx]
+					dgap[idx] += dpre * e.W.W[j]
+				}
+			}
+		}
+		for c := 0; c < C; c++ {
+			g := dgap[c] / spatial
+			for i := c * in.H * in.W; i < (c+1)*in.H*in.W; i++ {
+				din.Data[i] += g
+			}
+		}
+		return din
+	}
+	return out, back
+}
+
+// GlobalAvgPool reduces an image to its per-channel means.
+func GlobalAvgPool(in Image) ([]float64, func(dy []float64) Image) {
+	spatial := float64(in.H * in.W)
+	y := make([]float64, in.C)
+	for c := 0; c < in.C; c++ {
+		s := 0.0
+		for i := c * in.H * in.W; i < (c+1)*in.H*in.W; i++ {
+			s += in.Data[i]
+		}
+		y[c] = s / spatial
+	}
+	back := func(dy []float64) Image {
+		din := Image{C: in.C, H: in.H, W: in.W, Data: make([]float64, len(in.Data))}
+		for c := 0; c < in.C; c++ {
+			g := dy[c] / spatial
+			for i := c * in.H * in.W; i < (c+1)*in.H*in.W; i++ {
+				din.Data[i] = g
+			}
+		}
+		return din
+	}
+	return y, back
+}

@@ -1,0 +1,470 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numGrad computes the central finite-difference gradient of loss() with
+// respect to every element of w.
+func numGrad(w []float64, loss func() float64) []float64 {
+	const h = 1e-6
+	g := make([]float64, len(w))
+	for i := range w {
+		orig := w[i]
+		w[i] = orig + h
+		lp := loss()
+		w[i] = orig - h
+		lm := loss()
+		w[i] = orig
+		g[i] = (lp - lm) / (2 * h)
+	}
+	return g
+}
+
+// checkGrads compares analytic parameter gradients against finite
+// differences after running fwdBack once.
+func checkGrads(t *testing.T, params []*Param, loss func() float64, fwdBack func()) {
+	t.Helper()
+	ZeroGrad(params)
+	fwdBack()
+	for _, p := range params {
+		num := numGrad(p.W, loss)
+		for i := range num {
+			diff := math.Abs(num[i] - p.G[i])
+			scale := math.Max(1, math.Max(math.Abs(num[i]), math.Abs(p.G[i])))
+			if diff/scale > 1e-4 {
+				t.Fatalf("param %s[%d]: analytic %g vs numeric %g", p.Name, i, p.G[i], num[i])
+			}
+		}
+	}
+}
+
+// scalarize folds an output vector into a scalar with fixed weights so the
+// full Jacobian is exercised.
+func scalarize(y []float64) (float64, []float64) {
+	loss := 0.0
+	dy := make([]float64, len(y))
+	for i, v := range y {
+		w := float64(i%5) - 2.1
+		loss += w * v * v
+		dy[i] = 2 * w * v
+	}
+	return loss, dy
+}
+
+func scalarizeSeq(ys [][]float64) (float64, [][]float64) {
+	loss := 0.0
+	dys := make([][]float64, len(ys))
+	for t, y := range ys {
+		l, dy := scalarize(y)
+		loss += l
+		dys[t] = dy
+	}
+	return loss, dys
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func randSeq(rng *rand.Rand, s, d int) [][]float64 {
+	out := make([][]float64, s)
+	for i := range out {
+		out[i] = randVec(rng, d)
+	}
+	return out
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense("d", 4, 3, rng)
+	x := randVec(rng, 4)
+	loss := func() float64 {
+		y, _ := d.Forward(x)
+		l, _ := scalarize(y)
+		return l
+	}
+	checkGrads(t, d.Params(), loss, func() {
+		y, back := d.Forward(x)
+		_, dy := scalarize(y)
+		back(dy)
+	})
+}
+
+func TestDenseInputGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense("d", 5, 2, rng)
+	x := randVec(rng, 5)
+	y, back := d.Forward(x)
+	_, dy := scalarize(y)
+	dx := back(dy)
+	num := numGrad(x, func() float64 {
+		y2, _ := d.Forward(x)
+		l, _ := scalarize(y2)
+		return l
+	})
+	for i := range dx {
+		if math.Abs(dx[i]-num[i]) > 1e-5 {
+			t.Fatalf("dx[%d]: analytic %g vs numeric %g", i, dx[i], num[i])
+		}
+	}
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ln := NewLayerNorm("ln", 6)
+	// Non-identity gain so gradients flow everywhere.
+	for i := range ln.Gain.W {
+		ln.Gain.W[i] = 1 + 0.1*float64(i)
+	}
+	x := randVec(rng, 6)
+	loss := func() float64 {
+		y, _ := ln.Forward(x)
+		l, _ := scalarize(y)
+		return l
+	}
+	checkGrads(t, ln.Params(), loss, func() {
+		y, back := ln.Forward(x)
+		_, dy := scalarize(y)
+		back(dy)
+	})
+	// Input gradient too.
+	y, back := ln.Forward(x)
+	_, dy := scalarize(y)
+	dx := back(dy)
+	num := numGrad(x, loss)
+	for i := range dx {
+		if math.Abs(dx[i]-num[i]) > 1e-4 {
+			t.Fatalf("dx[%d]: analytic %g vs numeric %g", i, dx[i], num[i])
+		}
+	}
+}
+
+func TestActivationGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randVec(rng, 8)
+	for name, act := range map[string]func([]float64) ([]float64, Backward){
+		"relu": ReLU, "gelu": GELU, "tanh": Tanh,
+	} {
+		y, back := act(x)
+		_, dy := scalarize(y)
+		dx := back(dy)
+		num := numGrad(x, func() float64 {
+			y2, _ := act(x)
+			l, _ := scalarize(y2)
+			return l
+		})
+		for i := range dx {
+			if math.Abs(dx[i]-num[i]) > 1e-4 {
+				t.Fatalf("%s dx[%d]: analytic %g vs numeric %g", name, i, dx[i], num[i])
+			}
+		}
+	}
+}
+
+func TestEmbeddingGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := NewEmbedding("e", 7, 3, rng)
+	ids := []int{1, 4, 1, 6} // repeated id accumulates
+	loss := func() float64 {
+		ys, _ := e.Forward(ids)
+		l, _ := scalarizeSeq(ys)
+		return l
+	}
+	checkGrads(t, e.Params(), loss, func() {
+		ys, back := e.Forward(ids)
+		_, dys := scalarizeSeq(ys)
+		back(dys)
+	})
+}
+
+func TestSoftmaxCEGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	logits := randVec(rng, 4)
+	_, dl := SoftmaxCE(logits, 2)
+	num := numGrad(logits, func() float64 {
+		l, _ := SoftmaxCE(logits, 2)
+		return l
+	})
+	for i := range dl {
+		if math.Abs(dl[i]-num[i]) > 1e-5 {
+			t.Fatalf("dlogits[%d]: analytic %g vs numeric %g", i, dl[i], num[i])
+		}
+	}
+}
+
+func TestMultiHeadAttentionGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, causal := range []bool{false, true} {
+		m := NewMultiHeadAttention("mha", 6, 2, rng)
+		x := randSeq(rng, 4, 6)
+		loss := func() float64 {
+			ys, _ := m.ForwardSelf(x, causal)
+			l, _ := scalarizeSeq(ys)
+			return l
+		}
+		checkGrads(t, m.Params(), loss, func() {
+			ys, back := m.ForwardSelf(x, causal)
+			_, dys := scalarizeSeq(ys)
+			back(dys)
+		})
+	}
+}
+
+func TestAttentionInputGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewMultiHeadAttention("mha", 4, 2, rng)
+	x := randSeq(rng, 3, 4)
+	ys, back := m.ForwardSelf(x, false)
+	_, dys := scalarizeSeq(ys)
+	dxs := back(dys)
+	for tt := range x {
+		num := numGrad(x[tt], func() float64 {
+			ys2, _ := m.ForwardSelf(x, false)
+			l, _ := scalarizeSeq(ys2)
+			return l
+		})
+		for i := range num {
+			if math.Abs(dxs[tt][i]-num[i]) > 1e-4 {
+				t.Fatalf("dx[%d][%d]: analytic %g vs numeric %g", tt, i, dxs[tt][i], num[i])
+			}
+		}
+	}
+}
+
+func TestCrossAttentionGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewMultiHeadAttention("xattn", 4, 2, rng)
+	q := randSeq(rng, 2, 4)
+	kv := randSeq(rng, 5, 4)
+	loss := func() float64 {
+		ys, _ := m.ForwardCross(q, kv)
+		l, _ := scalarizeSeq(ys)
+		return l
+	}
+	checkGrads(t, m.Params(), loss, func() {
+		ys, back := m.ForwardCross(q, kv)
+		_, dys := scalarizeSeq(ys)
+		back(dys)
+	})
+	// kv input gradient.
+	ys, back := m.ForwardCross(q, kv)
+	_, dys := scalarizeSeq(ys)
+	_, dkv := back(dys)
+	for tt := range kv {
+		num := numGrad(kv[tt], loss)
+		for i := range num {
+			if math.Abs(dkv[tt][i]-num[i]) > 1e-4 {
+				t.Fatalf("dkv[%d][%d]: analytic %g vs numeric %g", tt, i, dkv[tt][i], num[i])
+			}
+		}
+	}
+}
+
+func TestTransformerBlockGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	b := NewTransformerBlock("blk", 4, 2, 8, rng)
+	x := randSeq(rng, 3, 4)
+	loss := func() float64 {
+		ys, _ := b.Forward(x, true)
+		l, _ := scalarizeSeq(ys)
+		return l
+	}
+	checkGrads(t, b.Params(), loss, func() {
+		ys, back := b.Forward(x, true)
+		_, dys := scalarizeSeq(ys)
+		back(dys)
+	})
+}
+
+func TestGRUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewGRU("gru", 3, 4, rng)
+	x := randSeq(rng, 5, 3)
+	loss := func() float64 {
+		h, _ := g.Forward(x)
+		l, _ := scalarize(h)
+		return l
+	}
+	checkGrads(t, g.Params(), loss, func() {
+		h, back := g.Forward(x)
+		_, dh := scalarize(h)
+		back(dh)
+	})
+}
+
+func TestGRUInputGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := NewGRU("gru", 2, 3, rng)
+	x := randSeq(rng, 4, 2)
+	h, back := g.Forward(x)
+	_, dh := scalarize(h)
+	dxs := back(dh)
+	for tt := range x {
+		num := numGrad(x[tt], func() float64 {
+			h2, _ := g.Forward(x)
+			l, _ := scalarize(h2)
+			return l
+		})
+		for i := range num {
+			if math.Abs(dxs[tt][i]-num[i]) > 1e-4 {
+				t.Fatalf("dx[%d][%d]: analytic %g vs numeric %g", tt, i, dxs[tt][i], num[i])
+			}
+		}
+	}
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := NewConv2D("conv", 2, 3, 3, 2, 1, rng)
+	in := Image{C: 2, H: 5, W: 5, Data: randVec(rng, 2*5*5)}
+	imgLoss := func(out Image) (float64, Image) {
+		l, dy := scalarize(out.Data)
+		return l, Image{C: out.C, H: out.H, W: out.W, Data: dy}
+	}
+	loss := func() float64 {
+		out, _ := c.Forward(in)
+		l, _ := imgLoss(out)
+		return l
+	}
+	checkGrads(t, c.Params(), loss, func() {
+		out, back := c.Forward(in)
+		_, dout := imgLoss(out)
+		back(dout)
+	})
+	// Input gradient.
+	out, back := c.Forward(in)
+	_, dout := imgLoss(out)
+	din := back(dout)
+	num := numGrad(in.Data, loss)
+	for i := range num {
+		if math.Abs(din.Data[i]-num[i]) > 1e-4 {
+			t.Fatalf("din[%d]: analytic %g vs numeric %g", i, din.Data[i], num[i])
+		}
+	}
+}
+
+func TestECAGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	e := NewECA("eca", 3, rng)
+	in := Image{C: 4, H: 3, W: 3, Data: randVec(rng, 4*3*3)}
+	imgLoss := func(out Image) (float64, Image) {
+		l, dy := scalarize(out.Data)
+		return l, Image{C: out.C, H: out.H, W: out.W, Data: dy}
+	}
+	loss := func() float64 {
+		out, _ := e.Forward(in)
+		l, _ := imgLoss(out)
+		return l
+	}
+	checkGrads(t, e.Params(), loss, func() {
+		out, back := e.Forward(in)
+		_, dout := imgLoss(out)
+		back(dout)
+	})
+	out, back := e.Forward(in)
+	_, dout := imgLoss(out)
+	din := back(dout)
+	num := numGrad(in.Data, loss)
+	for i := range num {
+		if math.Abs(din.Data[i]-num[i]) > 1e-4 {
+			t.Fatalf("din[%d]: analytic %g vs numeric %g", i, din.Data[i], num[i])
+		}
+	}
+}
+
+func TestGlobalAvgPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	in := Image{C: 3, H: 2, W: 2, Data: randVec(rng, 12)}
+	y, back := GlobalAvgPool(in)
+	_, dy := scalarize(y)
+	din := back(dy)
+	num := numGrad(in.Data, func() float64 {
+		y2, _ := GlobalAvgPool(in)
+		l, _ := scalarize(y2)
+		return l
+	})
+	for i := range num {
+		if math.Abs(din.Data[i]-num[i]) > 1e-5 {
+			t.Fatalf("din[%d]: analytic %g vs numeric %g", i, din.Data[i], num[i])
+		}
+	}
+}
+
+func TestMeanPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	xs := randSeq(rng, 4, 3)
+	y, back := MeanPool(xs)
+	_, dy := scalarize(y)
+	dxs := back(dy)
+	for tt := range xs {
+		num := numGrad(xs[tt], func() float64 {
+			y2, _ := MeanPool(xs)
+			l, _ := scalarize(y2)
+			return l
+		})
+		for i := range num {
+			if math.Abs(dxs[tt][i]-num[i]) > 1e-5 {
+				t.Fatalf("dx[%d][%d]: analytic %g vs numeric %g", tt, i, dxs[tt][i], num[i])
+			}
+		}
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := NewParam("p", 3, func(i int) float64 { return float64(i) + 2 })
+	opt := NewAdam(0.1)
+	target := []float64{1, -1, 0.5}
+	for iter := 0; iter < 500; iter++ {
+		ZeroGrad([]*Param{p})
+		for i := range p.W {
+			p.G[i] = 2 * (p.W[i] - target[i])
+		}
+		opt.Step([]*Param{p})
+	}
+	for i := range p.W {
+		if math.Abs(p.W[i]-target[i]) > 1e-3 {
+			t.Errorf("Adam failed to converge: p[%d]=%f want %f", i, p.W[i], target[i])
+		}
+	}
+}
+
+func TestClipGrad(t *testing.T) {
+	p := NewParam("p", 2, nil)
+	p.G[0], p.G[1] = 3, 4 // norm 5
+	ClipGrad([]*Param{p}, 1)
+	if math.Abs(GradNorm([]*Param{p})-1) > 1e-12 {
+		t.Errorf("clipped norm = %f, want 1", GradNorm([]*Param{p}))
+	}
+	p.G[0], p.G[1] = 0.3, 0.4
+	ClipGrad([]*Param{p}, 1)
+	if p.G[0] != 0.3 {
+		t.Error("clip modified already-small gradients")
+	}
+}
+
+func TestCausalMaskZerosFuture(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := NewMultiHeadAttention("mha", 4, 2, rng)
+	x := randSeq(rng, 5, 4)
+	y1, _ := m.ForwardSelf(x, true)
+	// Changing a future position must not affect earlier outputs.
+	x2 := randSeq(rng, 5, 4)
+	for tt := 0; tt < 4; tt++ {
+		copy(x2[tt], x[tt])
+	}
+	y2, _ := m.ForwardSelf(x2, true)
+	for tt := 0; tt < 4; tt++ {
+		for i := range y1[tt] {
+			if math.Abs(y1[tt][i]-y2[tt][i]) > 1e-12 {
+				t.Fatalf("causal mask leak: position %d changed by future edit", tt)
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/phishinghook/phishinghook/internal/mat"
+)
+
+// GRU is a gated recurrent unit layer returning the final hidden state —
+// the sequence summarizer inside SCSGuard.
+type GRU struct {
+	In, Hidden             int
+	Wz, Uz, Bz, Wr, Ur, Br *Param
+	Wh, Uh, Bh             *Param
+}
+
+// NewGRU builds a Glorot-initialized GRU.
+func NewGRU(name string, in, hidden int, rng *rand.Rand) *GRU {
+	mkW := func(suffix string) *Param {
+		return NewParam(name+suffix, hidden*in, GlorotInit(rng, in, hidden))
+	}
+	mkU := func(suffix string) *Param {
+		return NewParam(name+suffix, hidden*hidden, GlorotInit(rng, hidden, hidden))
+	}
+	mkB := func(suffix string) *Param { return NewParam(name+suffix, hidden, nil) }
+	return &GRU{
+		In: in, Hidden: hidden,
+		Wz: mkW(".wz"), Uz: mkU(".uz"), Bz: mkB(".bz"),
+		Wr: mkW(".wr"), Ur: mkU(".ur"), Br: mkB(".br"),
+		Wh: mkW(".wh"), Uh: mkU(".uh"), Bh: mkB(".bh"),
+	}
+}
+
+// Params returns all nine parameter tensors.
+func (g *GRU) Params() []*Param {
+	return []*Param{g.Wz, g.Uz, g.Bz, g.Wr, g.Ur, g.Br, g.Wh, g.Uh, g.Bh}
+}
+
+// step caches per-timestep values for backprop.
+type gruStep struct {
+	x, hPrev, z, r, hTilde, rh []float64
+}
+
+// matVec computes W·x for a row-major (out×in) parameter.
+func matVec(w *Param, x []float64, out, in int) []float64 {
+	y := make([]float64, out)
+	for o := 0; o < out; o++ {
+		y[o] = mat.Dot(w.W[o*in:(o+1)*in], x)
+	}
+	return y
+}
+
+// matVecGrad accumulates dW += dy·xᵀ and returns Wᵀ·dy.
+func matVecGrad(w *Param, x, dy []float64, out, in int) []float64 {
+	dx := make([]float64, in)
+	for o := 0; o < out; o++ {
+		g := dy[o]
+		row := w.W[o*in : (o+1)*in]
+		grow := w.G[o*in : (o+1)*in]
+		for i := 0; i < in; i++ {
+			grow[i] += g * x[i]
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Forward consumes the sequence and returns the last hidden state with a
+// backward-through-time closure.
+func (g *GRU) Forward(xs [][]float64) ([]float64, func(dh []float64) [][]float64) {
+	H, I := g.Hidden, g.In
+	h := make([]float64, H)
+	steps := make([]gruStep, len(xs))
+	for t, x := range xs {
+		st := gruStep{x: x, hPrev: h}
+		az := matVec(g.Wz, x, H, I)
+		ar := matVec(g.Wr, x, H, I)
+		uz := matVec(g.Uz, h, H, H)
+		ur := matVec(g.Ur, h, H, H)
+		st.z = make([]float64, H)
+		st.r = make([]float64, H)
+		for i := 0; i < H; i++ {
+			st.z[i] = mat.Sigmoid(az[i] + uz[i] + g.Bz.W[i])
+			st.r[i] = mat.Sigmoid(ar[i] + ur[i] + g.Br.W[i])
+		}
+		st.rh = make([]float64, H)
+		for i := 0; i < H; i++ {
+			st.rh[i] = st.r[i] * h[i]
+		}
+		ah := matVec(g.Wh, x, H, I)
+		uh := matVec(g.Uh, st.rh, H, H)
+		st.hTilde = make([]float64, H)
+		next := make([]float64, H)
+		for i := 0; i < H; i++ {
+			st.hTilde[i] = tanh(ah[i] + uh[i] + g.Bh.W[i])
+			next[i] = (1-st.z[i])*h[i] + st.z[i]*st.hTilde[i]
+		}
+		steps[t] = st
+		h = next
+	}
+
+	back := func(dh []float64) [][]float64 {
+		dxs := make([][]float64, len(xs))
+		dhCur := append([]float64(nil), dh...)
+		for t := len(xs) - 1; t >= 0; t-- {
+			st := steps[t]
+			daz := make([]float64, H)
+			dar := make([]float64, H)
+			dah := make([]float64, H)
+			dhPrev := make([]float64, H)
+			drh := make([]float64, H)
+			for i := 0; i < H; i++ {
+				dz := dhCur[i] * (st.hTilde[i] - st.hPrev[i])
+				dht := dhCur[i] * st.z[i]
+				dhPrev[i] += dhCur[i] * (1 - st.z[i])
+				daz[i] = dz * st.z[i] * (1 - st.z[i])
+				dah[i] = dht * (1 - st.hTilde[i]*st.hTilde[i])
+			}
+			// Through h̃ = tanh(Wh x + Uh (r∘hPrev) + bh).
+			dx := matVecGrad(g.Wh, st.x, dah, H, I)
+			drhFull := matVecGrad(g.Uh, st.rh, dah, H, H)
+			for i := 0; i < H; i++ {
+				g.Bh.G[i] += dah[i]
+				drh[i] = drhFull[i]
+				dr := drh[i] * st.hPrev[i]
+				dar[i] = dr * st.r[i] * (1 - st.r[i])
+				dhPrev[i] += drh[i] * st.r[i]
+			}
+			// Through the gates.
+			mat.AddScaled(dx, 1, matVecGrad(g.Wz, st.x, daz, H, I))
+			mat.AddScaled(dx, 1, matVecGrad(g.Wr, st.x, dar, H, I))
+			mat.AddScaled(dhPrev, 1, matVecGrad(g.Uz, st.hPrev, daz, H, H))
+			mat.AddScaled(dhPrev, 1, matVecGrad(g.Ur, st.hPrev, dar, H, H))
+			for i := 0; i < H; i++ {
+				g.Bz.G[i] += daz[i]
+				g.Br.G[i] += dar[i]
+			}
+			dxs[t] = dx
+			dhCur = dhPrev
+		}
+		return dxs
+	}
+	return h, back
+}
+
+func tanh(x float64) float64 { return math.Tanh(x) }

@@ -1,0 +1,321 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Backward propagates an output gradient to an input gradient, accumulating
+// parameter gradients along the way.
+type Backward func(dy []float64) []float64
+
+// SeqBackward is Backward over a sequence (seq × dim).
+type SeqBackward func(dy [][]float64) [][]float64
+
+// Dense is a fully connected layer y = Wx + b.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+}
+
+// NewDense builds a Glorot-initialized dense layer.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	return &Dense{
+		In: in, Out: out,
+		W: NewParam(name+".w", in*out, GlorotInit(rng, in, out)),
+		B: NewParam(name+".b", out, nil),
+	}
+}
+
+// Params returns the layer's learnable tensors.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Forward computes y = Wx + b and returns the backward closure.
+func (d *Dense) Forward(x []float64) ([]float64, Backward) {
+	y := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		s := d.B.W[o]
+		row := d.W.W[o*d.In : (o+1)*d.In]
+		for i, xv := range x {
+			s += row[i] * xv
+		}
+		y[o] = s
+	}
+	back := func(dy []float64) []float64 {
+		dx := make([]float64, d.In)
+		for o := 0; o < d.Out; o++ {
+			g := dy[o]
+			d.B.G[o] += g
+			row := d.W.W[o*d.In : (o+1)*d.In]
+			grow := d.W.G[o*d.In : (o+1)*d.In]
+			for i := range dx {
+				grow[i] += g * x[i]
+				dx[i] += g * row[i]
+			}
+		}
+		return dx
+	}
+	return y, back
+}
+
+// ForwardSeq applies the dense layer position-wise over a sequence.
+func (d *Dense) ForwardSeq(xs [][]float64) ([][]float64, SeqBackward) {
+	ys := make([][]float64, len(xs))
+	backs := make([]Backward, len(xs))
+	for t, x := range xs {
+		ys[t], backs[t] = d.Forward(x)
+	}
+	back := func(dys [][]float64) [][]float64 {
+		dxs := make([][]float64, len(dys))
+		for t, dy := range dys {
+			dxs[t] = backs[t](dy)
+		}
+		return dxs
+	}
+	return ys, back
+}
+
+// Embedding maps token IDs to dense vectors.
+type Embedding struct {
+	Vocab, Dim int
+	W          *Param
+}
+
+// NewEmbedding builds a Gaussian-initialized embedding table.
+func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
+	return &Embedding{Vocab: vocab, Dim: dim, W: NewParam(name+".emb", vocab*dim, NormalInit(rng, 0.02))}
+}
+
+// Params returns the embedding table.
+func (e *Embedding) Params() []*Param { return []*Param{e.W} }
+
+// Forward looks up each ID; backward scatters gradients to the used rows.
+func (e *Embedding) Forward(ids []int) ([][]float64, func(dy [][]float64)) {
+	out := make([][]float64, len(ids))
+	for t, id := range ids {
+		row := e.W.W[id*e.Dim : (id+1)*e.Dim]
+		v := make([]float64, e.Dim)
+		copy(v, row)
+		out[t] = v
+	}
+	back := func(dy [][]float64) {
+		for t, id := range ids {
+			grow := e.W.G[id*e.Dim : (id+1)*e.Dim]
+			for i, g := range dy[t] {
+				grow[i] += g
+			}
+		}
+	}
+	return out, back
+}
+
+// LayerNorm normalizes over the feature dimension with learned gain/bias.
+type LayerNorm struct {
+	Dim        int
+	Gain, Bias *Param
+}
+
+// NewLayerNorm builds a layer norm initialized to identity.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	g := NewParam(name+".gain", dim, func(int) float64 { return 1 })
+	b := NewParam(name+".bias", dim, nil)
+	return &LayerNorm{Dim: dim, Gain: g, Bias: b}
+}
+
+// Params returns gain and bias.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gain, l.Bias} }
+
+const lnEps = 1e-5
+
+// Forward normalizes one vector.
+func (l *LayerNorm) Forward(x []float64) ([]float64, Backward) {
+	n := float64(l.Dim)
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= n
+	va := 0.0
+	for _, v := range x {
+		d := v - mean
+		va += d * d
+	}
+	va /= n
+	inv := 1 / math.Sqrt(va+lnEps)
+	xhat := make([]float64, l.Dim)
+	y := make([]float64, l.Dim)
+	for i, v := range x {
+		xhat[i] = (v - mean) * inv
+		y[i] = xhat[i]*l.Gain.W[i] + l.Bias.W[i]
+	}
+	back := func(dy []float64) []float64 {
+		// dxhat = dy * gain; standard layer-norm backward.
+		var sumDx, sumDxXhat float64
+		dxhat := make([]float64, l.Dim)
+		for i, g := range dy {
+			l.Gain.G[i] += g * xhat[i]
+			l.Bias.G[i] += g
+			dxhat[i] = g * l.Gain.W[i]
+			sumDx += dxhat[i]
+			sumDxXhat += dxhat[i] * xhat[i]
+		}
+		dx := make([]float64, l.Dim)
+		for i := range dx {
+			dx[i] = inv * (dxhat[i] - sumDx/n - xhat[i]*sumDxXhat/n)
+		}
+		return dx
+	}
+	return y, back
+}
+
+// ForwardSeq applies layer norm position-wise.
+func (l *LayerNorm) ForwardSeq(xs [][]float64) ([][]float64, SeqBackward) {
+	ys := make([][]float64, len(xs))
+	backs := make([]Backward, len(xs))
+	for t, x := range xs {
+		ys[t], backs[t] = l.Forward(x)
+	}
+	return ys, func(dys [][]float64) [][]float64 {
+		dxs := make([][]float64, len(dys))
+		for t, dy := range dys {
+			dxs[t] = backs[t](dy)
+		}
+		return dxs
+	}
+}
+
+// ReLU applies max(0,x) element-wise.
+func ReLU(x []float64) ([]float64, Backward) {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+		}
+	}
+	back := func(dy []float64) []float64 {
+		dx := make([]float64, len(dy))
+		for i, g := range dy {
+			if x[i] > 0 {
+				dx[i] = g
+			}
+		}
+		return dx
+	}
+	return y, back
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit.
+func GELU(x []float64) ([]float64, Backward) {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 0.5 * v * (1 + math.Tanh(c*(v+0.044715*v*v*v)))
+	}
+	back := func(dy []float64) []float64 {
+		dx := make([]float64, len(dy))
+		for i, g := range dy {
+			v := x[i]
+			u := c * (v + 0.044715*v*v*v)
+			t := math.Tanh(u)
+			du := c * (1 + 3*0.044715*v*v)
+			dx[i] = g * (0.5*(1+t) + 0.5*v*(1-t*t)*du)
+		}
+		return dx
+	}
+	return y, back
+}
+
+// Tanh applies tanh element-wise.
+func Tanh(x []float64) ([]float64, Backward) {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Tanh(v)
+	}
+	back := func(dy []float64) []float64 {
+		dx := make([]float64, len(dy))
+		for i, g := range dy {
+			dx[i] = g * (1 - y[i]*y[i])
+		}
+		return dx
+	}
+	return y, back
+}
+
+// Softmax returns the softmax of logits (forward only; use SoftmaxCE for
+// training).
+func Softmax(logits []float64) []float64 {
+	maxV := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxV)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SoftmaxCE computes softmax cross-entropy loss against an integer label
+// and the gradient with respect to the logits.
+func SoftmaxCE(logits []float64, label int) (loss float64, dlogits []float64) {
+	p := Softmax(logits)
+	loss = -math.Log(math.Max(p[label], 1e-12))
+	dlogits = make([]float64, len(logits))
+	for i := range logits {
+		dlogits[i] = p[i]
+		if i == label {
+			dlogits[i] -= 1
+		}
+	}
+	return loss, dlogits
+}
+
+// MeanPool averages a sequence into one vector.
+func MeanPool(xs [][]float64) ([]float64, func(dy []float64) [][]float64) {
+	if len(xs) == 0 {
+		panic("nn: MeanPool of empty sequence")
+	}
+	dim := len(xs[0])
+	y := make([]float64, dim)
+	for _, x := range xs {
+		for i, v := range x {
+			y[i] += v
+		}
+	}
+	inv := 1 / float64(len(xs))
+	for i := range y {
+		y[i] *= inv
+	}
+	back := func(dy []float64) [][]float64 {
+		dxs := make([][]float64, len(xs))
+		for t := range xs {
+			dx := make([]float64, dim)
+			for i, g := range dy {
+				dx[i] = g * inv
+			}
+			dxs[t] = dx
+		}
+		return dxs
+	}
+	return y, back
+}
+
+// AddSeq element-wise adds two sequences (residual connections).
+func AddSeq(a, b [][]float64) [][]float64 {
+	out := make([][]float64, len(a))
+	for t := range a {
+		v := make([]float64, len(a[t]))
+		for i := range v {
+			v[i] = a[t][i] + b[t][i]
+		}
+		out[t] = v
+	}
+	return out
+}

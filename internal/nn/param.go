@@ -1,0 +1,119 @@
+// Package nn is a compact neural-network substrate with manual
+// reverse-mode differentiation, built to host the paper's deep models
+// (ViT, GPT-2-like, T5-like, SCSGuard's MHA+GRU, ECA+CNN, ESCORT's DNN)
+// without any external ML framework.
+//
+// Layers use a tape style: Forward returns the output together with a
+// backward closure that accumulates parameter gradients and returns input
+// gradients. Every layer is validated against central finite differences in
+// the package tests.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is one learnable tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    []float64
+	G    []float64
+}
+
+// NewParam allocates a parameter of the given size initialized by init.
+func NewParam(name string, size int, init func(i int) float64) *Param {
+	p := &Param{Name: name, W: make([]float64, size), G: make([]float64, size)}
+	if init != nil {
+		for i := range p.W {
+			p.W[i] = init(i)
+		}
+	}
+	return p
+}
+
+// GlorotInit returns a uniform Glorot/Xavier initializer for a fanIn×fanOut
+// weight matrix.
+func GlorotInit(rng *rand.Rand, fanIn, fanOut int) func(int) float64 {
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	return func(int) float64 { return (rng.Float64()*2 - 1) * limit }
+}
+
+// NormalInit returns a scaled Gaussian initializer (embeddings).
+func NormalInit(rng *rand.Rand, std float64) func(int) float64 {
+	return func(int) float64 { return rng.NormFloat64() * std }
+}
+
+// ZeroGrad clears the gradient accumulators of all params.
+func ZeroGrad(params []*Param) {
+	for _, p := range params {
+		for i := range p.G {
+			p.G[i] = 0
+		}
+	}
+}
+
+// GradNorm returns the global L2 norm of all gradients (for clipping).
+func GradNorm(params []*Param) float64 {
+	s := 0.0
+	for _, p := range params {
+		for _, g := range p.G {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGrad rescales gradients so the global norm is at most maxNorm.
+func ClipGrad(params []*Param, maxNorm float64) {
+	n := GradNorm(params)
+	if n <= maxNorm || n == 0 {
+		return
+	}
+	scale := maxNorm / n
+	for _, p := range params {
+		for i := range p.G {
+			p.G[i] *= scale
+		}
+	}
+}
+
+// Adam is the Adam optimizer.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64), v: make(map[*Param][]float64),
+	}
+}
+
+// Step applies one Adam update from the accumulated gradients.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.W))
+			a.m[p] = m
+			a.v[p] = make([]float64, len(p.W))
+		}
+		v := a.v[p]
+		if len(m) != len(p.W) {
+			panic(fmt.Sprintf("nn: param %q resized mid-training", p.Name))
+		}
+		for i, g := range p.G {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			p.W[i] -= a.LR * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + a.Eps)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package report renders every table and figure of the paper's evaluation
+// as aligned text, consuming the experiment results from internal/eval and
+// internal/stats. Each Render function corresponds to one paper artefact
+// (see DESIGN.md §5 for the experiment index).
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/phishinghook/phishinghook/internal/eval"
+	"github.com/phishinghook/phishinghook/internal/evm"
+	"github.com/phishinghook/phishinghook/internal/models"
+	"github.com/phishinghook/phishinghook/internal/shap"
+	"github.com/phishinghook/phishinghook/internal/stats"
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+// familyMark maps model families to the paper's table symbols.
+func familyMark(f models.Family) string {
+	switch f {
+	case models.HSC:
+		return "†"
+	case models.VM:
+		return "‡"
+	case models.LM:
+		return "*"
+	case models.VDM:
+		return "§"
+	}
+	return "?"
+}
+
+// Table1 renders the Shanghai opcode excerpt (paper Table I).
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "TABLE I: EVM opcodes for the Shanghai fork")
+	fmt.Fprintf(w, "%-8s %-16s %-8s\n", "Opcode", "Name", "Gas")
+	for _, op := range evm.AllOpcodes() {
+		fmt.Fprintf(w, "0x%02X     %-16s %-8s\n", byte(op), op.Name(), gasString(op))
+	}
+}
+
+func gasString(op evm.Opcode) string {
+	if g := op.Gas(); g != evm.GasUndefined {
+		return fmt.Sprint(g)
+	}
+	return "NaN"
+}
+
+// Table2 renders averaged performance metrics per model (paper Table II),
+// marking each family's entries and bolding (with *) the best column values.
+func Table2(w io.Writer, results []eval.CVResult) {
+	fmt.Fprintln(w, "TABLE II: Averaged performance metrics (10-fold CV x runs)")
+	fmt.Fprintf(w, "%-22s %10s %10s %10s %10s\n", "Model", "Accuracy", "F1", "Precision", "Recall")
+	best := eval.Metrics{}
+	for _, r := range results {
+		m := r.Mean()
+		if m.Accuracy > best.Accuracy {
+			best.Accuracy = m.Accuracy
+		}
+		if m.F1 > best.F1 {
+			best.F1 = m.F1
+		}
+		if m.Precision > best.Precision {
+			best.Precision = m.Precision
+		}
+		if m.Recall > best.Recall {
+			best.Recall = m.Recall
+		}
+	}
+	mark := func(v, b float64) string {
+		s := fmt.Sprintf("%.2f", v*100)
+		if v == b {
+			s += "*"
+		}
+		return s
+	}
+	for _, r := range results {
+		m := r.Mean()
+		fmt.Fprintf(w, "%-22s %10s %10s %10s %10s\n",
+			r.Model+" "+familyMark(r.Family),
+			mark(m.Accuracy, best.Accuracy), mark(m.F1, best.F1),
+			mark(m.Precision, best.Precision), mark(m.Recall, best.Recall))
+	}
+	// Family averages, as discussed in the paper's results section.
+	byFam := map[models.Family][]eval.Metrics{}
+	for _, r := range results {
+		byFam[r.Family] = append(byFam[r.Family], r.Mean())
+	}
+	fmt.Fprintln(w)
+	for _, fam := range []models.Family{models.HSC, models.LM, models.VM, models.VDM} {
+		ms, ok := byFam[fam]
+		if !ok {
+			continue
+		}
+		avg := eval.Mean(ms)
+		fmt.Fprintf(w, "family %-14s avg: acc=%.2f%% f1=%.2f%% prec=%.2f%% rec=%.2f%%\n",
+			fam, avg.Accuracy*100, avg.F1*100, avg.Precision*100, avg.Recall*100)
+	}
+}
+
+// Table3 runs and renders the Kruskal-Wallis test per metric with
+// Holm-Bonferroni adjustment (paper Table III).
+func Table3(w io.Writer, results []eval.CVResult) error {
+	fmt.Fprintln(w, "TABLE III: Kruskal-Wallis test per metric (significant if p_adj < 0.05)")
+	fmt.Fprintf(w, "%-10s %12s %14s %14s\n", "Metric", "H", "p", "p_adj")
+	metricsList := []string{"accuracy", "f1", "precision", "recall"}
+	raw := make([]float64, len(metricsList))
+	hs := make([]float64, len(metricsList))
+	for i, metric := range metricsList {
+		groups := make([][]float64, len(results))
+		for j, r := range results {
+			groups[j] = r.MetricSeries(metric)
+		}
+		kw, err := stats.KruskalWallis(groups...)
+		if err != nil {
+			return fmt.Errorf("report: K-W on %s: %w", metric, err)
+		}
+		raw[i] = kw.P
+		hs[i] = kw.H
+	}
+	adj := stats.HolmBonferroni(raw)
+	names := []string{"Accuracy", "F1 Score", "Precision", "Recall"}
+	for i := range metricsList {
+		fmt.Fprintf(w, "%-10s %12.2f %14.3e %14.3e\n", names[i], hs[i], raw[i], adj[i])
+	}
+	return nil
+}
+
+// Fig2 renders the monthly phishing deployment series (paper Fig. 2).
+func Fig2(w io.Writer, obtained, unique [synth.NumMonths]int) {
+	fmt.Fprintln(w, "FIG 2: Phishing contracts per month (obtained vs unique)")
+	fmt.Fprintf(w, "%-9s %9s %8s\n", "Month", "Obtained", "Unique")
+	to, tu := 0, 0
+	for m := 0; m < synth.NumMonths; m++ {
+		fmt.Fprintf(w, "%-9s %9d %8d\n", synth.MonthLabels[m], obtained[m], unique[m])
+		to += obtained[m]
+		tu += unique[m]
+	}
+	fmt.Fprintf(w, "%-9s %9d %8d\n", "total", to, tu)
+}
+
+// OpcodeUsageRow is one row of the Fig. 3 distribution.
+type OpcodeUsageRow struct {
+	Opcode       string
+	BenignMean   float64
+	PhishingMean float64
+	BenignRate   float64 // fraction of benign contracts using the opcode
+	PhishingRate float64
+}
+
+// Fig3 renders per-opcode usage for the requested opcodes (paper Fig. 3
+// uses the 20 most influential per the SHAP analysis).
+func Fig3(w io.Writer, rows []OpcodeUsageRow) {
+	fmt.Fprintln(w, "FIG 3: Opcode usage distribution, benign vs phishing (mean count / % contracts using)")
+	fmt.Fprintf(w, "%-16s %14s %14s %10s %10s\n", "Opcode", "Benign mean", "Phish mean", "Benign%", "Phish%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %14.2f %14.2f %9.1f%% %9.1f%%\n",
+			r.Opcode, r.BenignMean, r.PhishingMean, r.BenignRate*100, r.PhishingRate*100)
+	}
+}
+
+// Fig4 runs and renders Dunn's pairwise comparisons per metric (paper
+// Fig. 4), printing the significance matrix.
+func Fig4(w io.Writer, results []eval.CVResult, metric string) error {
+	groups := make([][]float64, len(results))
+	names := make([]string, len(results))
+	for i, r := range results {
+		groups[i] = r.MetricSeries(metric)
+		names[i] = r.Model
+	}
+	pairs, err := stats.Dunn(groups...)
+	if err != nil {
+		return fmt.Errorf("report: Dunn on %s: %w", metric, err)
+	}
+	fmt.Fprintf(w, "FIG 4 (%s): Dunn's pairwise test, Holm-adjusted (ns = not significant)\n", metric)
+	sig := 0
+	for _, p := range pairs {
+		marker := "ns"
+		switch {
+		case p.PAdj < 0.001:
+			marker = "***"
+		case p.PAdj < 0.01:
+			marker = "**"
+		case p.PAdj < 0.05:
+			marker = "*"
+		}
+		if p.PAdj < 0.05 {
+			sig++
+		}
+		fmt.Fprintf(w, "  %-22s vs %-22s z=%+7.2f p_adj=%.4f %s\n",
+			names[p.I], names[p.J], p.Z, p.PAdj, marker)
+	}
+	fmt.Fprintf(w, "  significant pairs: %d/%d (%.2f%%)\n", sig, len(pairs),
+		100*float64(sig)/float64(len(pairs)))
+	return nil
+}
+
+// Fig5 renders the scalability metric curves (paper Fig. 5).
+func Fig5(w io.Writer, points []eval.ScalabilityPoint) {
+	fmt.Fprintln(w, "FIG 5: Performance metrics per data split")
+	fmt.Fprintf(w, "%-20s %6s %10s %10s %10s %10s\n", "Model", "Split", "Accuracy", "Precision", "Recall", "F1")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-20s %6.2f %10.4f %10.4f %10.4f %10.4f\n",
+			p.Model, p.Split, p.Metrics.Accuracy, p.Metrics.Precision, p.Metrics.Recall, p.Metrics.F1)
+	}
+}
+
+// Fig6 runs the Friedman + Wilcoxon + Cliff's delta critical-difference
+// analysis over the scalability observations (paper Fig. 6). Rows of blocks
+// are splits; columns are models.
+func Fig6(w io.Writer, modelNames []string, blocks [][]float64, metric string) error {
+	fr, err := stats.Friedman(blocks)
+	if err != nil {
+		return fmt.Errorf("report: Friedman: %w", err)
+	}
+	fmt.Fprintf(w, "FIG 6 (%s): Critical difference analysis\n", metric)
+	fmt.Fprintf(w, "  Friedman chi2=%.3f p=%.4f\n", fr.Chi2, fr.P)
+	type ranked struct {
+		name string
+		rank float64
+	}
+	rs := make([]ranked, len(modelNames))
+	for i, n := range modelNames {
+		rs[i] = ranked{n, fr.AvgRanks[i]}
+	}
+	sort.Slice(rs, func(a, b int) bool { return rs[a].rank > rs[b].rank })
+	fmt.Fprint(w, "  avg ranks (left=worst, right=best): ")
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = fmt.Sprintf("%s(%.2f)", r.name, r.rank)
+	}
+	fmt.Fprintln(w, strings.Join(parts, "  "))
+	// Pairwise Wilcoxon + Cliff's delta.
+	for i := 0; i < len(modelNames); i++ {
+		for j := i + 1; j < len(modelNames); j++ {
+			xi := column(blocks, i)
+			xj := column(blocks, j)
+			_, p, err := stats.WilcoxonSignedRank(xi, xj)
+			if err != nil {
+				return err
+			}
+			delta := stats.CliffsDelta(xi, xj)
+			fmt.Fprintf(w, "  %-20s vs %-20s wilcoxon p=%.3f cliffs_delta=%+.3f\n",
+				modelNames[i], modelNames[j], p, delta)
+		}
+	}
+	return nil
+}
+
+func column(blocks [][]float64, j int) []float64 {
+	out := make([]float64, len(blocks))
+	for i, row := range blocks {
+		out[i] = row[j]
+	}
+	return out
+}
+
+// Fig7 renders the training/inference time curves (paper Fig. 7).
+func Fig7(w io.Writer, points []eval.ScalabilityPoint) {
+	fmt.Fprintln(w, "FIG 7: Time metrics per data split")
+	fmt.Fprintf(w, "%-20s %6s %14s %14s\n", "Model", "Split", "Train", "Inference")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-20s %6.2f %14s %14s\n",
+			p.Model, p.Split, round(p.TrainTime), round(p.InferTime))
+	}
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Millisecond) }
+
+// Fig8 renders the time-resistance curves and AUT per model (paper Fig. 8).
+func Fig8(w io.Writer, results []eval.TimeResistanceResult) {
+	fmt.Fprintln(w, "FIG 8: Time evolution of performance over the test months")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s (AUT = %.2f)\n", r.Model, r.AUT)
+		fmt.Fprintf(w, "  %-7s %10s %10s %10s\n", "Month", "Precision", "Recall", "F1")
+		for _, p := range r.Points {
+			fmt.Fprintf(w, "  %-7d %10.4f %10.4f %10.4f\n",
+				p.Month, p.Metrics.Precision, p.Metrics.Recall, p.Metrics.F1)
+		}
+	}
+}
+
+// Fig9 renders the SHAP influence summary (paper Fig. 9): the top opcodes
+// by mean |φ| with the direction low/high usage pushes the prediction.
+func Fig9(w io.Writer, infl []shap.Influence) {
+	fmt.Fprintln(w, "FIG 9: SHAP values of the most influential opcodes (RF test fold)")
+	fmt.Fprintf(w, "%-18s %12s %28s\n", "Opcode", "mean|phi|", "direction")
+	for _, in := range infl {
+		fmt.Fprintf(w, "%-18s %12.5f %28s\n", in.Name, in.MeanAbs, direction(in))
+	}
+}
+
+// direction summarizes the usage-phi correlation: positive means high
+// usage pushes toward phishing.
+func direction(in shap.Influence) string {
+	if len(in.Phi) < 2 {
+		return "n/a"
+	}
+	corr := usagePhiCorrelation(in)
+	switch {
+	case corr > 0.1:
+		return "high usage -> phishing"
+	case corr < -0.1:
+		return "low usage -> phishing"
+	default:
+		return "mixed"
+	}
+}
+
+func usagePhiCorrelation(in shap.Influence) float64 {
+	n := float64(len(in.Phi))
+	var mu, mp float64
+	for i := range in.Phi {
+		mu += in.Usage[i]
+		mp += in.Phi[i]
+	}
+	mu /= n
+	mp /= n
+	var cov, vu, vp float64
+	for i := range in.Phi {
+		du, dp := in.Usage[i]-mu, in.Phi[i]-mp
+		cov += du * dp
+		vu += du * du
+		vp += dp * dp
+	}
+	if vu == 0 || vp == 0 {
+		return 0
+	}
+	return cov / (math.Sqrt(vu) * math.Sqrt(vp))
+}

@@ -1,0 +1,177 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/phishinghook/phishinghook/internal/eval"
+	"github.com/phishinghook/phishinghook/internal/models"
+	"github.com/phishinghook/phishinghook/internal/shap"
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+// fakeResults builds CV results with controlled metric levels so the
+// statistical renderers have real group differences to report.
+func fakeResults() []eval.CVResult {
+	mk := func(name string, fam models.Family, base float64) eval.CVResult {
+		r := eval.CVResult{Model: name, Family: fam}
+		for i := 0; i < 12; i++ {
+			v := base + float64(i%5)*0.002
+			r.Trials = append(r.Trials, eval.TrialResult{
+				Metrics: eval.Metrics{Accuracy: v, F1: v - 0.001, Precision: v + 0.001, Recall: v - 0.002},
+			})
+		}
+		return r
+	}
+	return []eval.CVResult{
+		mk("Random Forest", models.HSC, 0.93),
+		mk("SVM", models.HSC, 0.92),
+		mk("SCSGuard", models.LM, 0.90),
+		mk("ECA+EfficientNet", models.VM, 0.86),
+	}
+}
+
+func TestTable1ListsAllOpcodes(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	out := buf.String()
+	for _, want := range []string{"0x00     STOP", "SELFDESTRUCT", "PUSH0", "INVALID", "NaN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q", want)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 144 {
+		t.Errorf("Table1 has %d lines, want >= 144 opcode rows", lines)
+	}
+}
+
+func TestTable2MarksBest(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf, fakeResults())
+	out := buf.String()
+	if !strings.Contains(out, "Random Forest †") {
+		t.Error("missing HSC family mark")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no best-value markers")
+	}
+	if !strings.Contains(out, "family Histogram") {
+		t.Error("missing family averages")
+	}
+}
+
+func TestTable3AndFig4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table3(&buf, fakeResults()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Kruskal-Wallis") {
+		t.Error("Table3 header missing")
+	}
+	buf.Reset()
+	if err := Fig4(&buf, fakeResults(), "accuracy"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "significant pairs:") {
+		t.Error("Fig4 summary missing")
+	}
+	// RF vs ECA differ hugely; that pair must be significant.
+	if !strings.Contains(out, "Random Forest") {
+		t.Error("Fig4 pair listing missing models")
+	}
+}
+
+func TestFig2Totals(t *testing.T) {
+	var buf bytes.Buffer
+	tl := synth.PaperTimeline()
+	Fig2(&buf, tl.Obtained, tl.Unique)
+	out := buf.String()
+	if !strings.Contains(out, "17455") || !strings.Contains(out, "3458") {
+		t.Error("Fig2 totals missing paper-scale numbers")
+	}
+}
+
+func TestFig5AndFig7(t *testing.T) {
+	pts := []eval.ScalabilityPoint{
+		{Model: "Random Forest", Split: 1.0 / 3, Metrics: eval.Metrics{Accuracy: 0.9}, TrainTime: time.Second},
+		{Model: "Random Forest", Split: 1, Metrics: eval.Metrics{Accuracy: 0.93}, TrainTime: 2 * time.Second},
+	}
+	var buf bytes.Buffer
+	Fig5(&buf, pts)
+	if !strings.Contains(buf.String(), "0.9000") {
+		t.Error("Fig5 metrics missing")
+	}
+	buf.Reset()
+	Fig7(&buf, pts)
+	if !strings.Contains(buf.String(), "1s") {
+		t.Error("Fig7 timings missing")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	blocks := [][]float64{
+		{0.90, 0.85, 0.80},
+		{0.92, 0.86, 0.81},
+		{0.93, 0.88, 0.84},
+	}
+	var buf bytes.Buffer
+	err := Fig6(&buf, []string{"Random Forest", "SCSGuard", "ECA+EfficientNet"}, blocks, "accuracy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Friedman chi2") {
+		t.Error("Friedman line missing")
+	}
+	if !strings.Contains(out, "cliffs_delta") {
+		t.Error("Cliff's delta lines missing")
+	}
+	// RF wins every block: it must carry the best (lowest) average rank,
+	// i.e. appear last in the worst-to-best ordering.
+	rankLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "avg ranks") {
+			rankLine = line
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(rankLine), "Random Forest(1.00)") {
+		t.Errorf("rank ordering wrong: %q", rankLine)
+	}
+}
+
+func TestFig8(t *testing.T) {
+	res := []eval.TimeResistanceResult{{
+		Model: "Random Forest",
+		Points: []eval.TimePoint{
+			{Month: 1, Metrics: eval.Metrics{F1: 0.9, Precision: 0.91, Recall: 0.89}},
+			{Month: 2, Metrics: eval.Metrics{F1: 0.88, Precision: 0.9, Recall: 0.86}},
+		},
+		AUT: 0.89,
+	}}
+	var buf bytes.Buffer
+	Fig8(&buf, res)
+	if !strings.Contains(buf.String(), "AUT = 0.89") {
+		t.Error("AUT missing")
+	}
+}
+
+func TestFig9(t *testing.T) {
+	infl := []shap.Influence{
+		{Name: "GAS", MeanAbs: 0.05, Phi: []float64{0.04, -0.04}, Usage: []float64{0, 10}},
+		{Name: "ADD", MeanAbs: 0.01, Phi: []float64{0.01, 0.01}, Usage: []float64{5, 5}},
+	}
+	var buf bytes.Buffer
+	Fig9(&buf, infl)
+	out := buf.String()
+	if !strings.Contains(out, "GAS") || !strings.Contains(out, "SHAP") {
+		t.Error("Fig9 content missing")
+	}
+	// GAS: usage 0 → positive phi (phishing), usage 10 → negative: the
+	// low-usage-suspicious pattern must render as such.
+	if !strings.Contains(out, "low usage -> phishing") {
+		t.Errorf("direction analysis wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,211 @@
+// Package shap implements path-dependent TreeSHAP (Lundberg & Lee) for the
+// CART forests in internal/ml/tree, reproducing the paper's Fig. 9 opcode
+// influence analysis on the best classifier (HSC + Random Forest).
+//
+// The exact polynomial-time algorithm is used, not a sampling approximation;
+// the additivity identity Σφ_i + E[f] = f(x) is enforced by property tests.
+package shap
+
+import (
+	"sort"
+
+	"github.com/phishinghook/phishinghook/internal/ml/tree"
+)
+
+// pathElem is one entry of the feature path maintained by the recursion.
+type pathElem struct {
+	feature int
+	zero    float64 // proportion of paths flowing through when feature absent
+	one     float64 // proportion when feature present
+	weight  float64
+}
+
+// TreeValues computes the SHAP values of x under a single tree. The returned
+// slice has one φ per feature; base is the tree's expected output.
+func TreeValues(t *tree.Tree, x []float64, nFeatures int) (phi []float64, base float64) {
+	phi = make([]float64, nFeatures)
+	if len(t.Nodes) == 0 {
+		return phi, 0
+	}
+	base = expectedValue(t, 0)
+	var recurse func(node int, m []pathElem, pz, po float64, pi int)
+	recurse = func(node int, m []pathElem, pz, po float64, pi int) {
+		m = extend(m, pz, po, pi)
+		nd := &t.Nodes[node]
+		if nd.Feature < 0 {
+			for i := 1; i < len(m); i++ {
+				w := unwoundSum(m, i)
+				phi[m[i].feature] += w * (m[i].one - m[i].zero) * nd.Value
+			}
+			return
+		}
+		hot, cold := nd.Left, nd.Right
+		if x[nd.Feature] > nd.Threshold {
+			hot, cold = nd.Right, nd.Left
+		}
+		iz, io := 1.0, 1.0
+		for k := 1; k < len(m); k++ {
+			if m[k].feature == nd.Feature {
+				iz, io = m[k].zero, m[k].one
+				m = unwind(m, k)
+				break
+			}
+		}
+		hotFrac := t.Nodes[hot].Cover / nd.Cover
+		coldFrac := t.Nodes[cold].Cover / nd.Cover
+		recurse(hot, m, iz*hotFrac, io, nd.Feature)
+		recurse(cold, m, iz*coldFrac, 0, nd.Feature)
+	}
+	recurse(0, nil, 1, 1, -1)
+	return phi, base
+}
+
+// expectedValue is the cover-weighted mean leaf value under node i.
+func expectedValue(t *tree.Tree, i int) float64 {
+	nd := &t.Nodes[i]
+	if nd.Feature < 0 {
+		return nd.Value
+	}
+	l, r := &t.Nodes[nd.Left], &t.Nodes[nd.Right]
+	return (expectedValue(t, nd.Left)*l.Cover + expectedValue(t, nd.Right)*r.Cover) / nd.Cover
+}
+
+// extend appends a feature split to the path, updating subset weights.
+func extend(m []pathElem, pz, po float64, pi int) []pathElem {
+	l := len(m)
+	out := make([]pathElem, l+1)
+	copy(out, m)
+	w := 0.0
+	if l == 0 {
+		w = 1
+	}
+	out[l] = pathElem{feature: pi, zero: pz, one: po, weight: w}
+	for i := l - 1; i >= 0; i-- {
+		out[i+1].weight += po * out[i].weight * float64(i+1) / float64(l+1)
+		out[i].weight = pz * out[i].weight * float64(l-i) / float64(l+1)
+	}
+	return out
+}
+
+// unwind removes the path element at index i (inverse of extend).
+func unwind(m []pathElem, i int) []pathElem {
+	l := len(m) - 1
+	o, z := m[i].one, m[i].zero
+	out := make([]pathElem, l)
+	copy(out, m[:l])
+	n := m[l].weight
+	if o != 0 {
+		for j := l - 1; j >= 0; j-- {
+			tmp := out[j].weight
+			out[j].weight = n * float64(l+1) / (float64(j+1) * o)
+			n = tmp - out[j].weight*z*float64(l-j)/float64(l+1)
+		}
+	} else {
+		for j := l - 1; j >= 0; j-- {
+			out[j].weight = out[j].weight * float64(l+1) / (z * float64(l-j))
+		}
+	}
+	for j := i; j < l; j++ {
+		out[j].feature = m[j+1].feature
+		out[j].zero = m[j+1].zero
+		out[j].one = m[j+1].one
+	}
+	return out
+}
+
+// unwoundSum is the total weight of the path with element i removed, without
+// materializing the unwound path.
+func unwoundSum(m []pathElem, i int) float64 {
+	l := len(m) - 1
+	o, z := m[i].one, m[i].zero
+	total := 0.0
+	if o != 0 {
+		n := m[l].weight
+		for j := l - 1; j >= 0; j-- {
+			tmp := n / (float64(j+1) * o)
+			total += tmp
+			n = m[j].weight - tmp*z*float64(l-j)
+		}
+	} else {
+		for j := l - 1; j >= 0; j-- {
+			total += m[j].weight / (z * float64(l-j))
+		}
+	}
+	return total * float64(l+1)
+}
+
+// ForestValues averages TreeSHAP over the forest's trees. base is the
+// forest's expected output (mean of tree expectations).
+func ForestValues(f *tree.Forest, x []float64) (phi []float64, base float64) {
+	n := f.NumFeatures()
+	phi = make([]float64, n)
+	for _, t := range f.TreeList {
+		tp, tb := TreeValues(t, x, n)
+		for i, v := range tp {
+			phi[i] += v
+		}
+		base += tb
+	}
+	k := float64(len(f.TreeList))
+	for i := range phi {
+		phi[i] /= k
+	}
+	return phi, base / k
+}
+
+// Influence summarizes SHAP values over a sample set for reporting.
+type Influence struct {
+	// Feature is the feature index.
+	Feature int
+	// Name is the feature's display name (opcode mnemonic).
+	Name string
+	// MeanAbs is mean |φ| over the samples — the Fig. 9 ranking key.
+	MeanAbs float64
+	// Phi holds the per-sample SHAP values.
+	Phi []float64
+	// Usage holds the per-sample raw feature values (opcode counts),
+	// enabling the "low usage of GAS is suspicious" style of reading.
+	Usage []float64
+}
+
+// Summarize computes per-feature SHAP summaries over X and returns the topK
+// most influential features, ordered by descending mean |φ|.
+func Summarize(f *tree.Forest, X [][]float64, names []string, topK int) []Influence {
+	nf := f.NumFeatures()
+	phis := make([][]float64, len(X))
+	for i, x := range X {
+		phis[i], _ = ForestValues(f, x)
+	}
+	infl := make([]Influence, nf)
+	for j := 0; j < nf; j++ {
+		in := Influence{Feature: j}
+		if j < len(names) {
+			in.Name = names[j]
+		}
+		in.Phi = make([]float64, len(X))
+		in.Usage = make([]float64, len(X))
+		for i := range X {
+			in.Phi[i] = phis[i][j]
+			in.Usage[i] = X[i][j]
+			if phis[i][j] >= 0 {
+				in.MeanAbs += phis[i][j]
+			} else {
+				in.MeanAbs -= phis[i][j]
+			}
+		}
+		if len(X) > 0 {
+			in.MeanAbs /= float64(len(X))
+		}
+		infl[j] = in
+	}
+	sort.Slice(infl, func(a, b int) bool {
+		if infl[a].MeanAbs != infl[b].MeanAbs {
+			return infl[a].MeanAbs > infl[b].MeanAbs
+		}
+		return infl[a].Feature < infl[b].Feature
+	})
+	if topK > 0 && topK < len(infl) {
+		infl = infl[:topK]
+	}
+	return infl
+}

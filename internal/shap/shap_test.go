@@ -1,0 +1,158 @@
+package shap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/phishinghook/phishinghook/internal/ml/tree"
+)
+
+func blobs(n int, sep float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		cls := i % 2
+		y[i] = cls
+		off := -sep
+		if cls == 1 {
+			off = sep
+		}
+		X[i] = []float64{off + rng.NormFloat64(), off + rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	return X, y
+}
+
+func TestTreeSHAPAdditivity(t *testing.T) {
+	// The fundamental TreeSHAP identity: Σφ + E[f] = f(x), exactly.
+	X, y := blobs(200, 1.0, 1)
+	tr := tree.Fit(X, y, tree.Config{MaxDepth: 6}, rand.New(rand.NewSource(2)))
+	for i := 0; i < 50; i++ {
+		phi, base := TreeValues(tr, X[i], len(X[i]))
+		sum := base
+		for _, p := range phi {
+			sum += p
+		}
+		if got := tr.PredictProba(X[i]); math.Abs(sum-got) > 1e-9 {
+			t.Fatalf("sample %d: Σφ+base = %.12f, f(x) = %.12f", i, sum, got)
+		}
+	}
+}
+
+func TestForestSHAPAdditivity(t *testing.T) {
+	X, y := blobs(150, 0.8, 3)
+	f := tree.FitForest(X, y, tree.ForestConfig{Trees: 15, MaxDepth: 5, Seed: 4})
+	for i := 0; i < 30; i++ {
+		phi, base := ForestValues(f, X[i])
+		sum := base
+		for _, p := range phi {
+			sum += p
+		}
+		if got := f.PredictProba(X[i]); math.Abs(sum-got) > 1e-9 {
+			t.Fatalf("sample %d: Σφ+base = %.12f, forest(x) = %.12f", i, sum, got)
+		}
+	}
+}
+
+func TestSHAPIdentifiesInformativeFeatures(t *testing.T) {
+	// Features 0 and 1 carry the signal; 2 and 3 are noise. Mean |φ| must
+	// rank the informative ones on top.
+	X, y := blobs(300, 1.5, 5)
+	f := tree.FitForest(X, y, tree.ForestConfig{Trees: 20, MaxDepth: 6, Seed: 6})
+	names := []string{"signal0", "signal1", "noise0", "noise1"}
+	top := Summarize(f, X[:100], names, 2)
+	for _, in := range top {
+		if in.Feature != 0 && in.Feature != 1 {
+			t.Errorf("noise feature %q ranked in top 2 (mean|φ|=%f)", in.Name, in.MeanAbs)
+		}
+	}
+}
+
+func TestSHAPDirection(t *testing.T) {
+	// A single-feature step function: high x → class 1. φ must be positive
+	// for high x, negative for low x.
+	X := [][]float64{}
+	y := []int{}
+	for i := 0; i < 100; i++ {
+		v := float64(i)
+		X = append(X, []float64{v})
+		if v >= 50 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	tr := tree.Fit(X, y, tree.Config{}, nil)
+	phiHigh, _ := TreeValues(tr, []float64{90}, 1)
+	phiLow, _ := TreeValues(tr, []float64{10}, 1)
+	if phiHigh[0] <= 0 {
+		t.Errorf("φ(high) = %f, want > 0", phiHigh[0])
+	}
+	if phiLow[0] >= 0 {
+		t.Errorf("φ(low) = %f, want < 0", phiLow[0])
+	}
+}
+
+func TestSHAPSymmetryOnDuplicateFeatures(t *testing.T) {
+	// Two identical features must receive (near-)identical attributions in
+	// expectation over an ensemble that randomizes feature choice.
+	rng := rand.New(rand.NewSource(7))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		v := rng.NormFloat64()
+		X = append(X, []float64{v, v})
+		if v > 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	f := tree.FitForest(X, y, tree.ForestConfig{Trees: 80, MaxDepth: 3, MaxFeatures: 1, Seed: 8})
+	var tot0, tot1 float64
+	for i := 0; i < 50; i++ {
+		phi, _ := ForestValues(f, X[i])
+		tot0 += math.Abs(phi[0])
+		tot1 += math.Abs(phi[1])
+	}
+	ratio := tot0 / tot1
+	if ratio < 0.6 || ratio > 1.67 {
+		t.Errorf("duplicate features got asymmetric attribution: ratio %.3f", ratio)
+	}
+}
+
+func TestSummarizeOrdering(t *testing.T) {
+	X, y := blobs(120, 1.0, 9)
+	f := tree.FitForest(X, y, tree.ForestConfig{Trees: 10, MaxDepth: 4, Seed: 10})
+	infl := Summarize(f, X[:40], []string{"a", "b", "c", "d"}, 0)
+	if len(infl) != 4 {
+		t.Fatalf("got %d influences, want 4", len(infl))
+	}
+	for i := 1; i < len(infl); i++ {
+		if infl[i-1].MeanAbs < infl[i].MeanAbs {
+			t.Fatal("influences not sorted by mean |φ|")
+		}
+	}
+	for _, in := range infl {
+		if len(in.Phi) != 40 || len(in.Usage) != 40 {
+			t.Fatal("per-sample arrays wrong length")
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	phi, base := TreeValues(&tree.Tree{}, []float64{1}, 1)
+	if base != 0 || phi[0] != 0 {
+		t.Error("empty tree should contribute nothing")
+	}
+}
+
+func BenchmarkForestSHAP(b *testing.B) {
+	X, y := blobs(300, 1.0, 1)
+	f := tree.FitForest(X, y, tree.ForestConfig{Trees: 20, MaxDepth: 6, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ForestValues(f, X[i%len(X)])
+	}
+}

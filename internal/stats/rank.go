@@ -1,0 +1,87 @@
+package stats
+
+import "sort"
+
+// Ranks assigns 1-based mid-ranks to v, averaging over ties — the ranking
+// convention used by every rank test in the PAM.
+func Ranks(v []float64) []float64 {
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// tieCorrection returns Σ(t³-t) over tie groups of v — the correction term
+// shared by Kruskal-Wallis and Dunn.
+func tieCorrection(v []float64) float64 {
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	total := 0.0
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		if t > 1 {
+			total += t*t*t - t
+		}
+		i = j + 1
+	}
+	return total
+}
+
+// Median returns the sample median (0 for empty input).
+func Median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// HolmBonferroni adjusts p-values with the Holm step-down procedure (the
+// paper's correction for both Kruskal-Wallis and Dunn). Output preserves the
+// input order and is monotone and clamped to 1.
+func HolmBonferroni(p []float64) []float64 {
+	m := len(p)
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return p[idx[a]] < p[idx[b]] })
+	adj := make([]float64, m)
+	prev := 0.0
+	for rank, i := range idx {
+		v := float64(m-rank) * p[i]
+		if v < prev {
+			v = prev // enforce monotonicity
+		}
+		if v > 1 {
+			v = 1
+		}
+		adj[i] = v
+		prev = v
+	}
+	return adj
+}

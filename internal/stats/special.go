@@ -1,0 +1,132 @@
+// Package stats implements the paper's complete post-hoc analysis module
+// (PAM): Shapiro-Wilk normality testing, Kruskal-Wallis rank ANOVA, Dunn's
+// pairwise comparisons with Holm-Bonferroni correction, the Friedman test,
+// Wilcoxon signed-rank test and Cliff's delta effect size — the battery the
+// paper runs in R v4.4.
+package stats
+
+import "math"
+
+// NormalCDF is the standard normal cumulative distribution function Φ(x).
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalSF is the standard normal survival function 1-Φ(x).
+func NormalSF(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// NormalQuantile is the inverse standard normal CDF (Acklam's algorithm,
+// relative error < 1.15e-9 over (0,1)).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step for extra precision.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+// ChiSquareSF returns the survival function P(X > x) for a chi-square
+// distribution with k degrees of freedom, via the regularized upper
+// incomplete gamma function Q(k/2, x/2).
+func ChiSquareSF(x float64, k int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return upperGammaRegularized(float64(k)/2, x/2)
+}
+
+// upperGammaRegularized computes Q(a,x) = Γ(a,x)/Γ(a) with the standard
+// series / continued-fraction split (Numerical Recipes).
+func upperGammaRegularized(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - lowerGammaSeries(a, x)
+	}
+	return upperGammaCF(a, x)
+}
+
+func lowerGammaSeries(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-14
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func upperGammaCF(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-14
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

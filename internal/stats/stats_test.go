@@ -1,0 +1,419 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func normSample(n int, rng *rand.Rand) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	tests := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{1, 0.8413447461},
+	}
+	for _, tt := range tests {
+		if got := NormalCDF(tt.x); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("NormalCDF(%f) = %.10f, want %.10f", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	f := func(u float64) bool {
+		p := math.Mod(math.Abs(u), 1)
+		if p < 1e-10 || p > 1-1e-10 {
+			return true
+		}
+		x := NormalQuantile(p)
+		return math.Abs(NormalCDF(x)-p) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile edges should be infinite")
+	}
+}
+
+func TestChiSquareSFKnownValues(t *testing.T) {
+	// Reference values from R: pchisq(x, df, lower.tail=FALSE).
+	tests := []struct {
+		x    float64
+		df   int
+		want float64
+	}{
+		{3.841458821, 1, 0.05},
+		{5.991464547, 2, 0.05},
+		{21.02606982, 12, 0.05},
+		{0, 3, 1},
+		{100, 2, 1.928749848e-22},
+	}
+	for _, tt := range tests {
+		got := ChiSquareSF(tt.x, tt.df)
+		if math.Abs(got-tt.want) > 1e-6*math.Max(1, tt.want) && math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("ChiSquareSF(%f,%d) = %g, want %g", tt.x, tt.df, got, tt.want)
+		}
+	}
+}
+
+func TestRanksMidRankTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksSumProperty(t *testing.T) {
+	// Ranks always sum to n(n+1)/2 regardless of ties.
+	f := func(v []float64) bool {
+		if len(v) == 0 {
+			return true
+		}
+		for _, x := range v {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		s := 0.0
+		for _, r := range Ranks(v) {
+			s += r
+		}
+		n := float64(len(v))
+		return math.Abs(s-n*(n+1)/2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHolmBonferroni(t *testing.T) {
+	// Worked example: sorted p (0.01,0.02,0.04) with m=3 gives
+	// (0.03, 0.04, 0.04) after monotonicity.
+	got := HolmBonferroni([]float64{0.04, 0.01, 0.02})
+	want := []float64{0.04, 0.03, 0.04}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Holm = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHolmBonferroniProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := make([]float64, len(raw))
+		for i, v := range raw {
+			p[i] = math.Mod(math.Abs(v), 1)
+		}
+		adj := HolmBonferroni(p)
+		for i := range adj {
+			if adj[i] < p[i]-1e-12 || adj[i] > 1 {
+				return false // adjusted p never below raw, never above 1
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapiroWilkNormalData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rejects := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		w, p, err := ShapiroWilk(normSample(30, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w < 0.8 || w > 1 {
+			t.Fatalf("W = %f outside plausible range for normal data", w)
+		}
+		if p < 0.05 {
+			rejects++
+		}
+	}
+	// ~5% false positive rate expected; 20% would indicate a broken test.
+	if rejects > trials/5 {
+		t.Errorf("rejected normality %d/%d times on normal data", rejects, trials)
+	}
+}
+
+func TestShapiroWilkRejectsUniformAndExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	uniform := make([]float64, 200)
+	expo := make([]float64, 200)
+	for i := range uniform {
+		uniform[i] = rng.Float64()
+		expo[i] = rng.ExpFloat64()
+	}
+	if _, p, _ := ShapiroWilk(expo); p > 0.001 {
+		t.Errorf("exponential sample got p=%g, want tiny", p)
+	}
+	if w, _, _ := ShapiroWilk(expo); w > 0.95 {
+		t.Errorf("exponential sample got W=%f, want < 0.95", w)
+	}
+	if _, p, _ := ShapiroWilk(uniform); p > 0.05 {
+		t.Errorf("uniform n=200 got p=%g, want < 0.05", p)
+	}
+}
+
+func TestShapiroWilkSmallNBranch(t *testing.T) {
+	// n in the 4..11 range exercises the gamma-transform branch.
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 5, 7, 11} {
+		w, p, err := ShapiroWilk(normSample(n, rng))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if w <= 0 || w > 1 || p < 0 || p > 1 {
+			t.Errorf("n=%d: W=%f p=%f out of range", n, w, p)
+		}
+	}
+}
+
+func TestShapiroWilkErrors(t *testing.T) {
+	if _, _, err := ShapiroWilk([]float64{1, 2}); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, _, err := ShapiroWilk([]float64{3, 3, 3, 3}); err == nil {
+		t.Error("constant sample accepted")
+	}
+	if _, _, err := ShapiroWilk(make([]float64, 5001)); err == nil {
+		t.Error("n>5000 accepted")
+	}
+}
+
+func TestKruskalWallisDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := normSample(30, rng)
+	b := normSample(30, rng)
+	c := make([]float64, 30)
+	for i := range c {
+		c[i] = rng.NormFloat64() + 3 // strongly shifted group
+	}
+	res, err := KruskalWallis(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-4 {
+		t.Errorf("K-W failed to detect a 3-sigma shift: p=%g", res.P)
+	}
+	if res.DF != 2 {
+		t.Errorf("DF = %d, want 2", res.DF)
+	}
+}
+
+func TestKruskalWallisNullCalibrated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rejects := 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		res, err := KruskalWallis(normSample(20, rng), normSample(20, rng), normSample(20, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejects++
+		}
+	}
+	if rejects > trials/5 {
+		t.Errorf("null rejected %d/%d times at alpha=0.05", rejects, trials)
+	}
+}
+
+func TestKruskalWallisKnownValue(t *testing.T) {
+	// R: kruskal.test(list(c(1,2,3), c(4,5,6), c(7,8,9)))
+	// H = 7.2, df = 2, p = 0.02732372.
+	res, err := KruskalWallis([]float64{1, 2, 3}, []float64{4, 5, 6}, []float64{7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.H-7.2) > 1e-9 {
+		t.Errorf("H = %f, want 7.2", res.H)
+	}
+	if math.Abs(res.P-0.02732372) > 1e-6 {
+		t.Errorf("p = %g, want 0.02732372", res.P)
+	}
+}
+
+func TestDunnSeparatesShiftedGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := normSample(25, rng)
+	b := normSample(25, rng)
+	c := make([]float64, 25)
+	for i := range c {
+		c[i] = rng.NormFloat64() + 4
+	}
+	pairs, err := Dunn(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("got %d pairs, want 3", len(pairs))
+	}
+	for _, pr := range pairs {
+		involved := pr.I == 2 || pr.J == 2
+		if involved && pr.PAdj > 0.01 {
+			t.Errorf("pair (%d,%d) with shifted group: padj=%g, want < 0.01", pr.I, pr.J, pr.PAdj)
+		}
+		if !involved && pr.PAdj < 0.05 {
+			t.Errorf("pair (%d,%d) of identical groups: padj=%g, want ns", pr.I, pr.J, pr.PAdj)
+		}
+		if pr.PAdj < pr.P-1e-15 {
+			t.Error("adjusted p below raw p")
+		}
+	}
+}
+
+func TestFriedmanKnownValue(t *testing.T) {
+	// R: friedman.test on this 4x3 matrix gives chi2 = 6.5, p = 0.03877.
+	blocks := [][]float64{
+		{1, 2, 3},
+		{1, 3, 2},
+		{1, 2, 3},
+		{1, 2, 3},
+	}
+	res, err := Friedman(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Chi2-6.5) > 1e-9 {
+		t.Errorf("chi2 = %f, want 6.5", res.Chi2)
+	}
+	if math.Abs(res.P-0.03877421) > 1e-6 {
+		t.Errorf("p = %g, want 0.03877421", res.P)
+	}
+	// Treatment 0 is always the worst (lowest metric => highest rank).
+	if res.AvgRanks[0] != 3 {
+		t.Errorf("avg rank of worst treatment = %f, want 3", res.AvgRanks[0])
+	}
+}
+
+func TestFriedmanErrors(t *testing.T) {
+	if _, err := Friedman([][]float64{{1, 2}}); err == nil {
+		t.Error("single block accepted")
+	}
+	if _, err := Friedman([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged blocks accepted")
+	}
+	if _, err := Friedman([][]float64{{1, 1}, {2, 2}}); err == nil {
+		t.Error("all-tied blocks accepted (degenerate)")
+	}
+}
+
+func TestWilcoxonExactSmallN(t *testing.T) {
+	// n=3 non-zero diffs, all positive: the most extreme outcome.
+	// Exact two-sided p = 2 * P(W- <= 0) = 2 * (1/8) = 0.25 — exactly the
+	// paper's reported p for its 3-split scalability comparisons.
+	x := []float64{0.9, 0.92, 0.95}
+	y := []float64{0.8, 0.85, 0.9}
+	_, p, err := WilcoxonSignedRank(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.25) > 1e-12 {
+		t.Errorf("exact p = %f, want 0.25", p)
+	}
+}
+
+func TestWilcoxonIdenticalSamples(t *testing.T) {
+	x := []float64{1, 2, 3}
+	_, p, err := WilcoxonSignedRank(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("identical samples p = %f, want 1", p)
+	}
+}
+
+func TestWilcoxonLargeNDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		base := rng.NormFloat64()
+		x[i] = base + 1
+		y[i] = base + rng.NormFloat64()*0.1
+	}
+	_, p, err := WilcoxonSignedRank(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("failed to detect unit shift: p=%g", p)
+	}
+}
+
+func TestWilcoxonMismatchedLengths(t *testing.T) {
+	if _, _, err := WilcoxonSignedRank([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestCliffsDelta(t *testing.T) {
+	tests := []struct {
+		x, y []float64
+		want float64
+	}{
+		{[]float64{10, 11}, []float64{1, 2}, 1},    // complete dominance
+		{[]float64{1, 2}, []float64{10, 11}, -1},   // complete inverse
+		{[]float64{1, 2}, []float64{1, 2}, 0},      // symmetric overlap
+		{[]float64{5, 5}, []float64{5, 5}, 0},      // all ties
+		{[]float64{2, 2}, []float64{1, 3}, 0},      // balanced
+		{[]float64{1, 2, 4}, []float64{2}, 0},      // one gt, one lt, one tie
+		{[]float64{3, 4, 5}, []float64{2, 4}, 0.5}, // 4 gt, 1 lt, 1 tie over 6 pairs
+	}
+	for i, tt := range tests {
+		if got := CliffsDelta(tt.x, tt.y); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("case %d: delta = %f, want %f", i, got, tt.want)
+		}
+	}
+}
+
+func TestCliffsDeltaAntisymmetryProperty(t *testing.T) {
+	f := func(x, y []float64) bool {
+		if len(x) == 0 || len(y) == 0 {
+			return true
+		}
+		for _, v := range append(append([]float64{}, x...), y...) {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		return math.Abs(CliffsDelta(x, y)+CliffsDelta(y, x)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median wrong")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median should be 0")
+	}
+}

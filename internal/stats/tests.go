@@ -1,0 +1,347 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ShapiroWilk runs the Shapiro-Wilk normality test (Royston's AS R94
+// approximation, the algorithm behind R's shapiro.test) and returns the W
+// statistic and p-value. Valid for 3 <= n <= 5000.
+func ShapiroWilk(x []float64) (w, p float64, err error) {
+	n := len(x)
+	if n < 3 {
+		return 0, 0, fmt.Errorf("stats: Shapiro-Wilk needs n >= 3, got %d", n)
+	}
+	if n > 5000 {
+		return 0, 0, fmt.Errorf("stats: Shapiro-Wilk approximation invalid for n > 5000, got %d", n)
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	if s[0] == s[n-1] {
+		return 0, 0, fmt.Errorf("stats: Shapiro-Wilk undefined for constant sample")
+	}
+
+	// Expected normal order statistics m and normalized coefficients c.
+	m := make([]float64, n)
+	var mm float64 // m'm
+	for i := 0; i < n; i++ {
+		m[i] = NormalQuantile((float64(i+1) - 0.375) / (float64(n) + 0.25))
+		mm += m[i] * m[i]
+	}
+	c := make([]float64, n)
+	norm := math.Sqrt(mm)
+	for i := range m {
+		c[i] = m[i] / norm
+	}
+
+	a := make([]float64, n)
+	u := 1 / math.Sqrt(float64(n))
+	switch {
+	case n <= 3:
+		a[0], a[2] = -math.Sqrt2/2, math.Sqrt2/2
+	case n <= 5:
+		a[n-1] = c[n-1] + 0.221157*u - 0.147981*u*u - 2.071190*u*u*u +
+			4.434685*u*u*u*u - 2.706056*u*u*u*u*u
+		a[0] = -a[n-1]
+		phi := (mm - 2*m[n-1]*m[n-1]) / (1 - 2*a[n-1]*a[n-1])
+		for i := 1; i < n-1; i++ {
+			a[i] = m[i] / math.Sqrt(phi)
+		}
+	default:
+		a[n-1] = c[n-1] + 0.221157*u - 0.147981*u*u - 2.071190*u*u*u +
+			4.434685*u*u*u*u - 2.706056*u*u*u*u*u
+		a[n-2] = c[n-2] + 0.042981*u - 0.293762*u*u - 1.752461*u*u*u +
+			5.682633*u*u*u*u - 3.582633*u*u*u*u*u
+		a[0], a[1] = -a[n-1], -a[n-2]
+		phi := (mm - 2*m[n-1]*m[n-1] - 2*m[n-2]*m[n-2]) /
+			(1 - 2*a[n-1]*a[n-1] - 2*a[n-2]*a[n-2])
+		for i := 2; i < n-2; i++ {
+			a[i] = m[i] / math.Sqrt(phi)
+		}
+	}
+
+	mean := 0.0
+	for _, v := range s {
+		mean += v
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i, v := range s {
+		num += a[i] * v
+		den += (v - mean) * (v - mean)
+	}
+	w = num * num / den
+	if w > 1 {
+		w = 1
+	}
+
+	// p-value via Royston's normalizing transforms.
+	switch {
+	case n == 3:
+		p = 6 / math.Pi * (math.Asin(math.Sqrt(w)) - math.Asin(math.Sqrt(0.75)))
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+	case n <= 11:
+		fn := float64(n)
+		gamma := 0.459*fn - 2.273
+		g := -math.Log(gamma - math.Log(1-w))
+		mu := -0.0006714*fn*fn*fn + 0.025054*fn*fn - 0.39978*fn + 0.5440
+		sigma := math.Exp(-0.0020322*fn*fn*fn + 0.062767*fn*fn - 0.77857*fn + 1.3822)
+		p = NormalSF((g - mu) / sigma)
+	default:
+		ln := math.Log(float64(n))
+		mu := 0.0038915*ln*ln*ln - 0.083751*ln*ln - 0.31082*ln - 1.5861
+		sigma := math.Exp(0.0030302*ln*ln - 0.082676*ln - 0.4803)
+		p = NormalSF((math.Log(1-w) - mu) / sigma)
+	}
+	return w, p, nil
+}
+
+// KruskalWallisResult holds the rank ANOVA outcome.
+type KruskalWallisResult struct {
+	// H is the tie-corrected test statistic.
+	H float64
+	// P is the chi-square tail probability with k-1 degrees of freedom.
+	P float64
+	// DF is k-1.
+	DF int
+}
+
+// KruskalWallis tests whether the groups share a common median.
+func KruskalWallis(groups ...[]float64) (KruskalWallisResult, error) {
+	k := len(groups)
+	if k < 2 {
+		return KruskalWallisResult{}, fmt.Errorf("stats: Kruskal-Wallis needs >= 2 groups, got %d", k)
+	}
+	var all []float64
+	for _, g := range groups {
+		if len(g) == 0 {
+			return KruskalWallisResult{}, fmt.Errorf("stats: Kruskal-Wallis group is empty")
+		}
+		all = append(all, g...)
+	}
+	n := len(all)
+	ranks := Ranks(all)
+	h := 0.0
+	off := 0
+	for _, g := range groups {
+		ri := 0.0
+		for j := range g {
+			ri += ranks[off+j]
+		}
+		off += len(g)
+		h += ri * ri / float64(len(g))
+	}
+	fn := float64(n)
+	h = 12/(fn*(fn+1))*h - 3*(fn+1)
+	// Tie correction.
+	if corr := 1 - tieCorrection(all)/(fn*fn*fn-fn); corr > 0 {
+		h /= corr
+	}
+	return KruskalWallisResult{H: h, P: ChiSquareSF(h, k-1), DF: k - 1}, nil
+}
+
+// DunnPair is one pairwise comparison in Dunn's test.
+type DunnPair struct {
+	I, J int // group indices
+	Z    float64
+	P    float64 // raw two-sided p
+	PAdj float64 // Holm-Bonferroni adjusted
+}
+
+// Dunn runs Dunn's pairwise post-hoc test over all group pairs with the
+// Holm-Bonferroni correction — the paper's procedure after a rejected
+// Kruskal-Wallis (Fig. 4).
+func Dunn(groups ...[]float64) ([]DunnPair, error) {
+	k := len(groups)
+	if k < 2 {
+		return nil, fmt.Errorf("stats: Dunn needs >= 2 groups, got %d", k)
+	}
+	var all []float64
+	for _, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("stats: Dunn group is empty")
+		}
+		all = append(all, g...)
+	}
+	n := float64(len(all))
+	ranks := Ranks(all)
+	meanRank := make([]float64, k)
+	off := 0
+	for gi, g := range groups {
+		s := 0.0
+		for j := range g {
+			s += ranks[off+j]
+		}
+		off += len(g)
+		meanRank[gi] = s / float64(len(g))
+	}
+	tieTerm := tieCorrection(all) / (12 * (n - 1))
+	base := n*(n+1)/12 - tieTerm
+
+	var pairs []DunnPair
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			se := math.Sqrt(base * (1/float64(len(groups[i])) + 1/float64(len(groups[j]))))
+			z := (meanRank[i] - meanRank[j]) / se
+			pairs = append(pairs, DunnPair{I: i, J: j, Z: z, P: 2 * NormalSF(math.Abs(z))})
+		}
+	}
+	raw := make([]float64, len(pairs))
+	for i, pr := range pairs {
+		raw[i] = pr.P
+	}
+	adj := HolmBonferroni(raw)
+	for i := range pairs {
+		pairs[i].PAdj = adj[i]
+	}
+	return pairs, nil
+}
+
+// FriedmanResult holds the Friedman rank test outcome.
+type FriedmanResult struct {
+	// Chi2 is the tie-corrected statistic.
+	Chi2 float64
+	// P is the chi-square tail probability with k-1 degrees of freedom.
+	P float64
+	// AvgRanks holds each treatment's mean rank across blocks (the CDD
+	// x-axis positions: lower rank = better when higher metric is ranked 1).
+	AvgRanks []float64
+}
+
+// Friedman runs the Friedman test on an n-blocks × k-treatments matrix.
+// Within each block, *higher* values receive *lower* (better) ranks, the
+// convention of critical-difference diagrams.
+func Friedman(blocks [][]float64) (FriedmanResult, error) {
+	n := len(blocks)
+	if n < 2 {
+		return FriedmanResult{}, fmt.Errorf("stats: Friedman needs >= 2 blocks, got %d", n)
+	}
+	k := len(blocks[0])
+	if k < 2 {
+		return FriedmanResult{}, fmt.Errorf("stats: Friedman needs >= 2 treatments, got %d", k)
+	}
+	sumRanks := make([]float64, k)
+	tieAdjust := 0.0
+	for _, row := range blocks {
+		if len(row) != k {
+			return FriedmanResult{}, fmt.Errorf("stats: ragged Friedman block (want %d treatments)", k)
+		}
+		neg := make([]float64, k)
+		for i, v := range row {
+			neg[i] = -v // higher metric -> rank 1
+		}
+		r := Ranks(neg)
+		for i, v := range r {
+			sumRanks[i] += v
+		}
+		tieAdjust += tieCorrection(neg)
+	}
+	avg := make([]float64, k)
+	for i, s := range sumRanks {
+		avg[i] = s / float64(n)
+	}
+	fn, fk := float64(n), float64(k)
+	sum := 0.0
+	for _, s := range sumRanks {
+		d := s - fn*(fk+1)/2
+		sum += d * d
+	}
+	denom := fn*fk*(fk+1)/12 - tieAdjust/(12*(fk-1))
+	if denom <= 0 {
+		return FriedmanResult{}, fmt.Errorf("stats: Friedman degenerate (all ties)")
+	}
+	chi2 := sum / denom
+	return FriedmanResult{Chi2: chi2, P: ChiSquareSF(chi2, k-1), AvgRanks: avg}, nil
+}
+
+// WilcoxonSignedRank tests paired samples for a median difference. Zero
+// differences are dropped (Wilcoxon's convention). For n <= 16 non-zero
+// pairs the two-sided p is exact (full sign enumeration); beyond that a
+// tie-corrected normal approximation with continuity correction is used.
+func WilcoxonSignedRank(x, y []float64) (wStat, p float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, fmt.Errorf("stats: Wilcoxon needs paired samples (%d != %d)", len(x), len(y))
+	}
+	var d []float64
+	for i := range x {
+		if diff := x[i] - y[i]; diff != 0 {
+			d = append(d, diff)
+		}
+	}
+	n := len(d)
+	if n == 0 {
+		return 0, 1, nil // identical samples: no evidence of difference
+	}
+	abs := make([]float64, n)
+	for i, v := range d {
+		abs[i] = math.Abs(v)
+	}
+	ranks := Ranks(abs)
+	var wPlus, wMinus float64
+	for i, v := range d {
+		if v > 0 {
+			wPlus += ranks[i]
+		} else {
+			wMinus += ranks[i]
+		}
+	}
+	wStat = math.Min(wPlus, wMinus)
+
+	if n <= 16 {
+		// Exact distribution of W+ under H0 by enumerating sign vectors.
+		count := 0
+		total := 1 << n
+		for mask := 0; mask < total; mask++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					s += ranks[i]
+				}
+			}
+			if s <= wStat {
+				count++
+			}
+		}
+		p = 2 * float64(count) / float64(total)
+		if p > 1 {
+			p = 1
+		}
+		return wStat, p, nil
+	}
+	fn := float64(n)
+	mu := fn * (fn + 1) / 4
+	sigma2 := fn * (fn + 1) * (2*fn + 1) / 24
+	sigma2 -= tieCorrection(abs) / 48
+	z := (wStat - mu + 0.5) / math.Sqrt(sigma2)
+	p = 2 * NormalCDF(z)
+	if p > 1 {
+		p = 1
+	}
+	return wStat, p, nil
+}
+
+// CliffsDelta returns the ordinal effect size δ = P(x>y) - P(x<y) ∈ [-1,1].
+func CliffsDelta(x, y []float64) float64 {
+	if len(x) == 0 || len(y) == 0 {
+		return 0
+	}
+	gt, lt := 0, 0
+	for _, a := range x {
+		for _, b := range y {
+			switch {
+			case a > b:
+				gt++
+			case a < b:
+				lt++
+			}
+		}
+	}
+	return float64(gt-lt) / float64(len(x)*len(y))
+}

@@ -1,0 +1,156 @@
+// Package synth generates realistic synthetic Ethereum contract bytecode for
+// both benign and phishing classes.
+//
+// The paper trains on 7,000 real contracts scraped from the chain; that data
+// gate is substituted here by a fragment-level "compiler" that reproduces the
+// statistical structure the paper's classifiers exploit:
+//
+//   - heavy shared Solidity-compiler boilerplate (memory preamble, selector
+//     dispatcher, metadata trailer) so single-opcode frequencies overlap
+//     between classes (paper Fig. 3);
+//   - class-conditional *distributions* over function-body fragments — e.g.
+//     benign code favours gas-checked external calls (GAS opcode) and
+//     overflow guards, phishing code favours raw value-forwarding calls,
+//     drain loops, sweepers and SELFDESTRUCT exits (paper Fig. 9);
+//   - EIP-1167 minimal-proxy duplication, giving the bit-identical clones
+//     that dominate the paper's raw crawl (17,455 obtained vs 3,458 unique);
+//   - month-by-month drift of phishing patterns for the time-resistance
+//     experiment (paper Fig. 8).
+package synth
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"github.com/phishinghook/phishinghook/internal/evm"
+)
+
+// builder incrementally assembles bytecode from instructions.
+type builder struct {
+	code []byte
+	rng  *rand.Rand
+}
+
+func newBuilder(rng *rand.Rand) *builder {
+	return &builder{code: make([]byte, 0, 1024), rng: rng}
+}
+
+// op appends bare (operand-free) opcodes.
+func (b *builder) op(ops ...evm.Opcode) {
+	for _, o := range ops {
+		b.code = append(b.code, byte(o))
+	}
+}
+
+// push appends a PUSHn instruction carrying the given immediate bytes.
+func (b *builder) push(operand ...byte) {
+	if len(operand) == 0 || len(operand) > 32 {
+		panic("synth: push operand must be 1..32 bytes")
+	}
+	b.code = append(b.code, byte(evm.PUSH1)+byte(len(operand)-1))
+	b.code = append(b.code, operand...)
+}
+
+// push1 appends PUSH1 v.
+func (b *builder) push1(v byte) { b.push(v) }
+
+// push2 appends PUSH2 with a 16-bit big-endian immediate (jump targets,
+// code offsets).
+func (b *builder) push2(v uint16) {
+	var buf [2]byte
+	binary.BigEndian.PutUint16(buf[:], v)
+	b.push(buf[:]...)
+}
+
+// push4 appends PUSH4 with a function selector.
+func (b *builder) push4(sel [4]byte) { b.push(sel[:]...) }
+
+// push20 appends PUSH20 with an address immediate.
+func (b *builder) push20(addr [20]byte) { b.push(addr[:]...) }
+
+// push32 appends PUSH32 with a full word (event topics, constants).
+func (b *builder) push32(word [32]byte) { b.push(word[:]...) }
+
+// pushSmall pushes a random small constant with a realistic width mix
+// (Solidity favours PUSH1/PUSH2 for offsets and slots).
+func (b *builder) pushSmall() {
+	switch b.rng.Intn(4) {
+	case 0:
+		b.op(evm.PUSH0)
+	case 1, 2:
+		b.push1(byte(b.rng.Intn(0xE0) + 0x04))
+	default:
+		b.push2(uint16(b.rng.Intn(0x0FFF) + 0x10))
+	}
+}
+
+// jumpTarget pushes a plausible 2-byte jump destination. The generated
+// contracts are analysed statically, never executed, so targets only need to
+// look like compiler output.
+func (b *builder) jumpTarget() { b.push2(uint16(b.rng.Intn(0x0800) + 0x40)) }
+
+// shuffleTail inserts a short random stack-shuffling run (DUP/SWAP/POP),
+// mimicking the register allocation noise that makes real compiled bodies of
+// the same source differ slightly.
+func (b *builder) shuffleTail() {
+	for i, n := 0, b.rng.Intn(3); i < n; i++ {
+		switch b.rng.Intn(3) {
+		case 0:
+			b.op(evm.DUP1 + evm.Opcode(b.rng.Intn(4)))
+		case 1:
+			b.op(evm.SWAP1 + evm.Opcode(b.rng.Intn(4)))
+		default:
+			b.op(evm.DUP2, evm.POP)
+		}
+	}
+}
+
+// randomAddress returns a 20-byte address drawn from the builder's RNG.
+func (b *builder) randomAddress() [20]byte {
+	var a [20]byte
+	b.rng.Read(a[:])
+	return a
+}
+
+// randomWord returns a 32-byte word drawn from the builder's RNG.
+func (b *builder) randomWord() [32]byte {
+	var w [32]byte
+	b.rng.Read(w[:])
+	return w
+}
+
+// bytes returns the assembled bytecode.
+func (b *builder) bytes() []byte { return b.code }
+
+// Well-known four-byte selectors observed in both classes; phishing
+// dispatchers impersonate legitimate token interfaces, so the selector pool
+// is deliberately shared.
+var knownSelectors = [][4]byte{
+	{0xa9, 0x05, 0x9c, 0xbb}, // transfer(address,uint256)
+	{0x09, 0x5e, 0xa7, 0xb3}, // approve(address,uint256)
+	{0x23, 0xb8, 0x72, 0xdd}, // transferFrom(address,address,uint256)
+	{0x70, 0xa0, 0x82, 0x31}, // balanceOf(address)
+	{0x18, 0x16, 0x0d, 0xdd}, // totalSupply()
+	{0xdd, 0x62, 0xed, 0x3e}, // allowance(address,address)
+	{0x4e, 0x71, 0xd9, 0x2d}, // claim()
+	{0x3c, 0xcf, 0xd6, 0x0b}, // withdraw()
+	{0x8d, 0xa5, 0xcb, 0x5b}, // owner()
+	{0xf2, 0xfd, 0xe3, 0x8b}, // transferOwnership(address)
+	{0x06, 0xfd, 0xde, 0x03}, // name()
+	{0x95, 0xd8, 0x9b, 0x41}, // symbol()
+	{0x31, 0x3c, 0xe5, 0x67}, // decimals()
+	{0xd0, 0xe3, 0x0d, 0xb0}, // deposit()
+	{0x2e, 0x1a, 0x7d, 0x4d}, // withdraw(uint256)
+	{0x40, 0xc1, 0x0f, 0x19}, // mint(address,uint256)
+}
+
+// selector returns a function selector: usually a well-known one, sometimes
+// random (custom functions).
+func (b *builder) selector() [4]byte {
+	if b.rng.Float64() < 0.7 {
+		return knownSelectors[b.rng.Intn(len(knownSelectors))]
+	}
+	var s [4]byte
+	b.rng.Read(s[:])
+	return s
+}

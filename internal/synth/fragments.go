@@ -1,0 +1,346 @@
+package synth
+
+import "github.com/phishinghook/phishinghook/internal/evm"
+
+// FragmentKind identifies one function-body building block. Both classes
+// draw from the same vocabulary with different weights, so no single opcode
+// separates the classes (paper Fig. 3); only the joint distribution does.
+type FragmentKind int
+
+// Fragment vocabulary. Enum starts at 1 per style guide (zero value is
+// invalid and panics in emit, catching uninitialized kinds).
+const (
+	// FragViewGetter returns a storage slot (balanceOf/totalSupply bodies).
+	FragViewGetter FragmentKind = iota + 1
+	// FragSafeTransfer is a checked token transfer: balance load, overflow
+	// guard, two SSTOREs and a Transfer event.
+	FragSafeTransfer
+	// FragApprove writes an allowance mapping entry and logs Approval.
+	FragApprove
+	// FragMappingHash computes a keccak mapping slot and loads it.
+	FragMappingHash
+	// FragCheckedCall is a gas-introspected external call with full
+	// returndata handling — the defensive pattern the paper's SHAP analysis
+	// associates with benign code (GAS, RETURNDATASIZE, RETURNDATACOPY).
+	FragCheckedCall
+	// FragSafeMathGuard is an arithmetic overflow guard ending in REVERT.
+	FragSafeMathGuard
+	// FragEventLog emits a LOG2/LOG3 with constant topics.
+	FragEventLog
+	// FragStaticView performs a read-only STATICCALL to another contract.
+	FragStaticView
+	// FragDelegate forwards calldata via DELEGATECALL (proxy pattern).
+	FragDelegate
+	// FragChainIDCheck validates CHAINID (EIP-712 permit-style code).
+	FragChainIDCheck
+	// FragTimestampCheck gates a branch on TIMESTAMP (vesting, deadlines).
+	FragTimestampCheck
+	// FragRawCall is a value-forwarding CALL with a hardcoded gas stipend
+	// and no success check — the classic drainer "send and forget".
+	FragRawCall
+	// FragOwnerSweep forwards the full SELFBALANCE to a hardcoded address.
+	FragOwnerSweep
+	// FragDrainLoop iterates calldata entries calling transferFrom on each —
+	// the approval-harvesting loop of phishing drainers.
+	FragDrainLoop
+	// FragSelfDestruct is an owner-gated SELFDESTRUCT exit.
+	FragSelfDestruct
+	// FragCreate2Deploy deploys a child via CREATE2 (factory pattern; also
+	// the late-period phishing evolution used by the drift model).
+	FragCreate2Deploy
+
+	numFragmentKinds = int(FragCreate2Deploy)
+)
+
+// fragmentNames maps kinds to short names for diagnostics.
+var fragmentNames = map[FragmentKind]string{
+	FragViewGetter:     "view-getter",
+	FragSafeTransfer:   "safe-transfer",
+	FragApprove:        "approve",
+	FragMappingHash:    "mapping-hash",
+	FragCheckedCall:    "checked-call",
+	FragSafeMathGuard:  "safemath-guard",
+	FragEventLog:       "event-log",
+	FragStaticView:     "static-view",
+	FragDelegate:       "delegate",
+	FragChainIDCheck:   "chainid-check",
+	FragTimestampCheck: "timestamp-check",
+	FragRawCall:        "raw-call",
+	FragOwnerSweep:     "owner-sweep",
+	FragDrainLoop:      "drain-loop",
+	FragSelfDestruct:   "selfdestruct",
+	FragCreate2Deploy:  "create2-deploy",
+}
+
+// String implements fmt.Stringer.
+func (k FragmentKind) String() string {
+	if n, ok := fragmentNames[k]; ok {
+		return n
+	}
+	return "invalid-fragment"
+}
+
+// emit appends the fragment's instruction sequence to the builder. Each body
+// starts at a JUMPDEST, as compiled dispatch targets do.
+func (k FragmentKind) emit(b *builder) {
+	b.op(evm.JUMPDEST)
+	switch k {
+	case FragViewGetter:
+		b.pushSmall() // storage slot
+		b.op(evm.SLOAD)
+		b.push1(0x40)
+		b.op(evm.MLOAD)
+		b.op(evm.SWAP1, evm.DUP2, evm.MSTORE)
+		b.push1(0x20)
+		b.op(evm.ADD)
+		b.push1(0x40)
+		b.op(evm.MLOAD, evm.DUP1, evm.SWAP2, evm.SUB, evm.SWAP1, evm.RETURN)
+
+	case FragSafeTransfer:
+		b.op(evm.CALLER)
+		b.pushSmall()
+		b.op(evm.SLOAD) // sender balance
+		b.push1(0x04)
+		b.op(evm.CALLDATALOAD) // amount
+		b.op(evm.DUP2, evm.DUP2, evm.LT)
+		b.op(evm.ISZERO)
+		b.jumpTarget()
+		b.op(evm.JUMPI)
+		b.op(evm.PUSH0, evm.DUP1, evm.REVERT)
+		b.op(evm.JUMPDEST)
+		b.op(evm.SUB)
+		b.pushSmall()
+		b.op(evm.SSTORE)
+		b.push1(0x24)
+		b.op(evm.CALLDATALOAD)
+		b.pushSmall()
+		b.op(evm.SLOAD, evm.ADD)
+		b.pushSmall()
+		b.op(evm.SSTORE)
+		b.push32(transferTopic)
+		b.op(evm.CALLER)
+		b.pushSmall()
+		b.op(evm.LOG3)
+
+	case FragApprove:
+		b.op(evm.CALLER)
+		b.op(evm.PUSH0, evm.MSTORE)
+		b.push1(0x04)
+		b.op(evm.CALLDATALOAD)
+		b.push1(0x20)
+		b.op(evm.MSTORE)
+		b.push1(0x40)
+		b.op(evm.PUSH0, evm.SHA3)
+		b.push1(0x24)
+		b.op(evm.CALLDATALOAD)
+		b.op(evm.SWAP1, evm.SSTORE)
+		b.push32(approvalTopic)
+		b.op(evm.CALLER)
+		b.pushSmall()
+		b.op(evm.LOG3)
+
+	case FragMappingHash:
+		b.push1(0x04)
+		b.op(evm.CALLDATALOAD)
+		b.op(evm.PUSH0, evm.MSTORE)
+		b.pushSmall()
+		b.push1(0x20)
+		b.op(evm.MSTORE)
+		b.push1(0x40)
+		b.op(evm.PUSH0, evm.SHA3)
+		b.op(evm.SLOAD)
+		b.shuffleTail()
+		b.op(evm.POP)
+
+	case FragCheckedCall:
+		// Solidity functionCall: check target, forward gas explicitly,
+		// bubble returndata on failure.
+		b.op(evm.GAS)
+		b.push1(0x3F)
+		b.op(evm.GT, evm.ISZERO)
+		b.jumpTarget()
+		b.op(evm.JUMPI)
+		b.push20(b.randomAddress())
+		b.op(evm.GAS)
+		b.op(evm.PUSH0, evm.PUSH0, evm.PUSH0, evm.PUSH0)
+		b.op(evm.DUP6)
+		b.op(evm.CALL)
+		b.op(evm.RETURNDATASIZE)
+		b.op(evm.PUSH0, evm.DUP1)
+		b.op(evm.RETURNDATACOPY)
+		b.op(evm.ISZERO)
+		b.jumpTarget()
+		b.op(evm.JUMPI)
+		b.op(evm.RETURNDATASIZE, evm.PUSH0, evm.REVERT)
+		b.op(evm.JUMPDEST, evm.POP)
+
+	case FragSafeMathGuard:
+		b.op(evm.DUP2, evm.DUP2, evm.ADD)
+		b.op(evm.DUP2, evm.DUP2, evm.LT)
+		b.op(evm.ISZERO)
+		b.jumpTarget()
+		b.op(evm.JUMPI)
+		b.pushSmall()
+		b.op(evm.PUSH0, evm.MSTORE)
+		b.push1(0x04)
+		b.op(evm.PUSH0, evm.REVERT)
+		b.op(evm.JUMPDEST)
+
+	case FragEventLog:
+		b.push1(0x40)
+		b.op(evm.MLOAD)
+		b.pushSmall()
+		b.op(evm.DUP2, evm.MSTORE)
+		b.push32(b.randomWord())
+		if b.rng.Intn(2) == 0 {
+			b.op(evm.CALLER)
+			b.push1(0x20)
+			b.op(evm.DUP3, evm.LOG3)
+		} else {
+			b.push1(0x20)
+			b.op(evm.DUP3, evm.LOG2)
+		}
+		b.op(evm.POP)
+
+	case FragStaticView:
+		b.push20(b.randomAddress())
+		b.op(evm.GAS)
+		b.op(evm.PUSH0, evm.PUSH0, evm.PUSH0, evm.PUSH0)
+		b.op(evm.DUP6)
+		b.op(evm.STATICCALL)
+		b.op(evm.RETURNDATASIZE)
+		b.op(evm.PUSH0, evm.DUP1)
+		b.op(evm.RETURNDATACOPY)
+		b.op(evm.POP, evm.POP)
+
+	case FragDelegate:
+		b.op(evm.CALLDATASIZE, evm.PUSH0, evm.DUP1, evm.CALLDATACOPY)
+		b.op(evm.PUSH0, evm.DUP1)
+		b.op(evm.CALLDATASIZE, evm.PUSH0)
+		b.push20(b.randomAddress())
+		b.op(evm.GAS, evm.DELEGATECALL)
+		b.op(evm.RETURNDATASIZE, evm.PUSH0, evm.DUP1, evm.RETURNDATACOPY)
+		b.op(evm.ISZERO)
+		b.jumpTarget()
+		b.op(evm.JUMPI)
+		b.op(evm.RETURNDATASIZE, evm.PUSH0, evm.RETURN)
+		b.op(evm.JUMPDEST)
+		b.op(evm.RETURNDATASIZE, evm.PUSH0, evm.REVERT)
+
+	case FragChainIDCheck:
+		b.op(evm.CHAINID)
+		b.push1(0x01)
+		b.op(evm.EQ)
+		b.jumpTarget()
+		b.op(evm.JUMPI)
+		b.op(evm.PUSH0, evm.DUP1, evm.REVERT)
+		b.op(evm.JUMPDEST)
+
+	case FragTimestampCheck:
+		b.op(evm.TIMESTAMP)
+		b.pushSmall()
+		b.op(evm.SLOAD)
+		if b.rng.Intn(2) == 0 {
+			b.op(evm.LT)
+		} else {
+			b.op(evm.GT)
+		}
+		b.jumpTarget()
+		b.op(evm.JUMPI)
+
+	case FragRawCall:
+		// Drainer send: fixed 2300-gas stipend, value forwarded, success
+		// ignored. Note: no GAS, no RETURNDATA* opcodes.
+		b.op(evm.CALLVALUE)
+		b.push20(b.randomAddress())
+		b.op(evm.PUSH0, evm.PUSH0, evm.PUSH0, evm.PUSH0)
+		b.op(evm.SWAP5, evm.SWAP1)
+		b.push2(0x08FC)
+		b.op(evm.CALL)
+		b.op(evm.POP)
+
+	case FragOwnerSweep:
+		// Forward the entire contract balance to a hardcoded collector.
+		b.op(evm.SELFBALANCE)
+		b.op(evm.ISZERO)
+		b.jumpTarget()
+		b.op(evm.JUMPI)
+		b.op(evm.PUSH0, evm.DUP1, evm.PUSH0, evm.PUSH0)
+		b.op(evm.SELFBALANCE)
+		b.push20(b.randomAddress())
+		b.push2(0x08FC)
+		b.op(evm.CALL)
+		b.op(evm.POP)
+		b.op(evm.JUMPDEST)
+
+	case FragDrainLoop:
+		// for i in calldata[..]: token.transferFrom(victim[i], collector, amt)
+		b.op(evm.PUSH0) // i = 0
+		b.op(evm.JUMPDEST)
+		b.op(evm.DUP1)
+		b.push1(0x04)
+		b.op(evm.CALLDATALOAD) // n victims
+		b.op(evm.LT, evm.ISZERO)
+		b.jumpTarget()
+		b.op(evm.JUMPI)
+		b.op(evm.DUP1)
+		b.push1(0x05)
+		b.op(evm.MUL)
+		b.push1(0x24)
+		b.op(evm.ADD, evm.CALLDATALOAD)          // victim address
+		b.push4([4]byte{0x23, 0xb8, 0x72, 0xdd}) // transferFrom
+		b.op(evm.PUSH0, evm.MSTORE8)
+		b.op(evm.PUSH0, evm.PUSH0)
+		b.push1(0x44)
+		b.op(evm.PUSH0, evm.PUSH0)
+		b.op(evm.DUP6)
+		b.push2(0xFFFF)
+		b.op(evm.CALL, evm.POP)
+		b.push1(0x01)
+		b.op(evm.ADD)
+		b.jumpTarget()
+		b.op(evm.JUMP)
+		b.op(evm.JUMPDEST, evm.POP)
+
+	case FragSelfDestruct:
+		b.op(evm.CALLER)
+		b.push20(b.randomAddress())
+		b.op(evm.EQ, evm.ISZERO)
+		b.jumpTarget()
+		b.op(evm.JUMPI)
+		b.push20(b.randomAddress())
+		b.op(evm.SELFDESTRUCT)
+		b.op(evm.JUMPDEST)
+
+	case FragCreate2Deploy:
+		b.push32(b.randomWord()) // salt
+		b.pushSmall()            // size
+		b.pushSmall()            // offset
+		b.op(evm.PUSH0)          // value
+		b.op(evm.CREATE2)
+		b.op(evm.DUP1, evm.ISZERO)
+		b.jumpTarget()
+		b.op(evm.JUMPI)
+		b.op(evm.POP)
+		b.op(evm.JUMPDEST)
+
+	default:
+		panic("synth: emit called with invalid fragment kind " + k.String())
+	}
+}
+
+// Event topic constants (keccak hashes of canonical ERC-20 signatures,
+// fixed values — their exact bytes are irrelevant to the classifiers but
+// shared constants reproduce the duplicate-word structure of real code).
+var (
+	transferTopic = [32]byte{
+		0xdd, 0xf2, 0x52, 0xad, 0x1b, 0xe2, 0xc8, 0x9b, 0x69, 0xc2, 0xb0, 0x68,
+		0xfc, 0x37, 0x8d, 0xaa, 0x95, 0x2b, 0xa7, 0xf1, 0x63, 0xc4, 0xa1, 0x16,
+		0x28, 0xf5, 0x5a, 0x4d, 0xf5, 0x23, 0xb3, 0xef,
+	}
+	approvalTopic = [32]byte{
+		0x8c, 0x5b, 0xe1, 0xe5, 0xeb, 0xec, 0x7d, 0x5b, 0xd1, 0x4f, 0x71, 0x42,
+		0x7d, 0x1e, 0x84, 0xf3, 0xdd, 0x03, 0x14, 0xc0, 0xf7, 0xb2, 0x29, 0x1e,
+		0x5b, 0x20, 0x0a, 0xc8, 0xc7, 0xc3, 0xb9, 0x25,
+	}
+)

@@ -1,0 +1,302 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/phishinghook/phishinghook/internal/evm"
+)
+
+// Class is the ground-truth label of a generated contract.
+type Class int
+
+// Contract classes.
+const (
+	// Benign marks contracts not flagged by the label service.
+	Benign Class = iota + 1
+	// Phishing marks contracts the label service flags "Phish/Hack".
+	Phishing
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Benign:
+		return "benign"
+	case Phishing:
+		return "phishing"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Months spanned by the study: October 2023 (index 0) through October 2024
+// (index 12), matching the paper's data-gathering window.
+const NumMonths = 13
+
+// Config tunes the generator. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// Seed initializes the deterministic RNG stream.
+	Seed int64
+	// SignalStrength in [0,1] interpolates the phishing fragment
+	// distribution between the benign one (0: classes indistinguishable)
+	// and the fully separated one (1). The default is calibrated so the
+	// histogram classifiers land near the paper's ~93% accuracy.
+	SignalStrength float64
+	// LabelNoise is the probability that a sample's label is flipped,
+	// modelling Etherscan mislabelling. Applied by the dataset builder,
+	// recorded here so one config describes the whole data distribution.
+	LabelNoise float64
+	// DriftStrength in [0,1] scales how far the phishing distribution
+	// rotates toward the "v2" pattern by the final month; it drives the
+	// decay in the time-resistance experiment.
+	DriftStrength float64
+	// MinBodies and MaxBodies bound the number of function bodies per
+	// contract (the dispatcher exposes one selector per body).
+	MinBodies, MaxBodies int
+	// MetadataLen bounds the length of the pseudo-CBOR metadata trailer.
+	MetadataLen int
+}
+
+// DefaultConfig returns the calibrated generator configuration used by all
+// experiments (see DESIGN.md §6 for the target bands).
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		SignalStrength: 0.95,
+		LabelNoise:     0.015,
+		DriftStrength:  0.35,
+		MinBodies:      10,
+		MaxBodies:      28,
+		MetadataLen:    43,
+	}
+}
+
+// Generator produces synthetic contract bytecode. It is safe for sequential
+// use; create one generator per goroutine for parallel generation (each
+// owns one RNG stream).
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+
+	benignWeights  []float64
+	phishWeights   []float64 // at SignalStrength=1, month 0
+	phishV2Weights []float64 // late-period drift target
+}
+
+// NewGenerator returns a generator with the given configuration.
+func NewGenerator(cfg Config) *Generator {
+	if cfg.MinBodies <= 0 || cfg.MaxBodies < cfg.MinBodies {
+		panic(fmt.Sprintf("synth: invalid body bounds [%d,%d]", cfg.MinBodies, cfg.MaxBodies))
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g.benignWeights = baseWeights(benignProfile)
+	g.phishWeights = baseWeights(phishingProfile)
+	g.phishV2Weights = baseWeights(phishingV2Profile)
+	return g
+}
+
+// profile assigns a raw weight to each fragment kind; weights are
+// normalized at generator construction.
+type profile map[FragmentKind]float64
+
+// benignProfile: token/DeFi code dominated by views, checked calls,
+// guards and events.
+var benignProfile = profile{
+	FragViewGetter:     2.2,
+	FragSafeTransfer:   1.8,
+	FragApprove:        1.4,
+	FragMappingHash:    1.4,
+	FragCheckedCall:    2.0,
+	FragSafeMathGuard:  1.6,
+	FragEventLog:       1.4,
+	FragStaticView:     1.2,
+	FragDelegate:       0.7,
+	FragChainIDCheck:   0.8,
+	FragTimestampCheck: 0.8,
+	FragRawCall:        0.35,
+	FragOwnerSweep:     0.1,
+	FragDrainLoop:      0.02,
+	FragSelfDestruct:   0.1,
+	FragCreate2Deploy:  0.45,
+}
+
+// phishingProfile: drainers — raw calls, sweeps, drain loops, quick exits;
+// little defensive plumbing.
+var phishingProfile = profile{
+	FragViewGetter:     1.0,
+	FragSafeTransfer:   0.5,
+	FragApprove:        1.5, // approval harvesting looks like approve()
+	FragMappingHash:    0.7,
+	FragCheckedCall:    0.35,
+	FragSafeMathGuard:  0.3,
+	FragEventLog:       1.6, // fake airdrop events bait explorers
+	FragStaticView:     0.5,
+	FragDelegate:       1.0,
+	FragChainIDCheck:   0.2,
+	FragTimestampCheck: 0.6,
+	FragRawCall:        2.4,
+	FragOwnerSweep:     2.2,
+	FragDrainLoop:      1.6,
+	FragSelfDestruct:   1.0,
+	FragCreate2Deploy:  0.4,
+}
+
+// phishingV2Profile: the evolved late-2024 pattern — factory-deployed
+// (CREATE2) delegate-proxy drainers that hide the sweep behind delegatecalls.
+var phishingV2Profile = profile{
+	FragViewGetter:     1.1,
+	FragSafeTransfer:   0.6,
+	FragApprove:        1.8,
+	FragMappingHash:    0.8,
+	FragCheckedCall:    0.6,
+	FragSafeMathGuard:  0.4,
+	FragEventLog:       1.2,
+	FragStaticView:     0.6,
+	FragDelegate:       2.2,
+	FragChainIDCheck:   0.3,
+	FragTimestampCheck: 0.5,
+	FragRawCall:        1.6,
+	FragOwnerSweep:     1.2,
+	FragDrainLoop:      1.9,
+	FragSelfDestruct:   0.6,
+	FragCreate2Deploy:  1.8,
+}
+
+func baseWeights(p profile) []float64 {
+	w := make([]float64, numFragmentKinds)
+	var sum float64
+	for k := FragmentKind(1); int(k) <= numFragmentKinds; k++ {
+		w[int(k)-1] = p[k]
+		sum += p[k]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// weightsFor returns the fragment distribution for a class at a given month
+// (0 = October 2023 … 12 = October 2024).
+func (g *Generator) weightsFor(class Class, month int) []float64 {
+	if class == Benign {
+		return g.benignWeights
+	}
+	// Drift the phishing profile toward v2 as months advance.
+	t := 0.0
+	if NumMonths > 1 {
+		t = float64(month) / float64(NumMonths-1)
+	}
+	t *= g.cfg.DriftStrength
+	s := g.cfg.SignalStrength
+	w := make([]float64, numFragmentKinds)
+	for i := range w {
+		phish := (1-t)*g.phishWeights[i] + t*g.phishV2Weights[i]
+		w[i] = (1-s)*g.benignWeights[i] + s*phish
+	}
+	return w
+}
+
+// sampleKind draws a fragment kind from a normalized weight vector.
+func sampleKind(rng *rand.Rand, w []float64) FragmentKind {
+	r := rng.Float64()
+	acc := 0.0
+	for i, wi := range w {
+		acc += wi
+		if r < acc {
+			return FragmentKind(i + 1)
+		}
+	}
+	return FragmentKind(len(w)) // numeric slack lands on the last kind
+}
+
+// Contract generates one deployed-bytecode blob for the given class and
+// month. The layout mirrors solc output: memory preamble, optional
+// callvalue guard, selector dispatcher, function bodies, metadata trailer.
+func (g *Generator) Contract(class Class, month int) []byte {
+	if month < 0 || month >= NumMonths {
+		panic(fmt.Sprintf("synth: month %d outside study window [0,%d)", month, NumMonths))
+	}
+	b := newBuilder(g.rng)
+	w := g.weightsFor(class, month)
+
+	// Free-memory-pointer preamble, universal solc boilerplate.
+	b.push1(0x80)
+	b.push1(0x40)
+	b.op(evm.MSTORE)
+
+	// Non-payable guard (most benign code; some phishing code omits it to
+	// accept victim value).
+	guardProb := 0.85
+	if class == Phishing {
+		guardProb = 0.45
+	}
+	if g.rng.Float64() < guardProb {
+		b.op(evm.CALLVALUE, evm.DUP1, evm.ISZERO)
+		b.jumpTarget()
+		b.op(evm.JUMPI)
+		b.op(evm.PUSH0, evm.DUP1, evm.REVERT)
+		b.op(evm.JUMPDEST, evm.POP)
+	}
+
+	// Selector dispatcher.
+	nBodies := g.cfg.MinBodies + g.rng.Intn(g.cfg.MaxBodies-g.cfg.MinBodies+1)
+	b.push1(0x04)
+	b.op(evm.CALLDATASIZE, evm.LT)
+	b.jumpTarget()
+	b.op(evm.JUMPI)
+	b.op(evm.PUSH0, evm.CALLDATALOAD)
+	b.push1(0xE0)
+	b.op(evm.SHR)
+	for i := 0; i < nBodies; i++ {
+		b.op(evm.DUP1)
+		b.push4(b.selector())
+		b.op(evm.EQ)
+		b.jumpTarget()
+		b.op(evm.JUMPI)
+	}
+	b.op(evm.JUMPDEST)
+	b.op(evm.PUSH0, evm.DUP1, evm.REVERT)
+
+	// Function bodies drawn from the class-conditional distribution.
+	for i := 0; i < nBodies; i++ {
+		sampleKind(g.rng, w).emit(b)
+	}
+
+	// Metadata trailer: INVALID then pseudo-CBOR bytes, like solc's
+	// 0xfe + ipfs-hash tail.
+	b.op(evm.INVALID)
+	if g.cfg.MetadataLen > 0 {
+		meta := make([]byte, 8+g.rng.Intn(g.cfg.MetadataLen))
+		g.rng.Read(meta)
+		b.code = append(b.code, meta...)
+	}
+	return b.bytes()
+}
+
+// MinimalProxy returns the EIP-1167 minimal proxy bytecode delegating to
+// impl. Proxies with the same implementation address are bit-identical,
+// which is exactly the duplication the paper observes in the raw crawl.
+func MinimalProxy(impl [20]byte) []byte {
+	code := make([]byte, 0, 45)
+	code = append(code, 0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x73)
+	code = append(code, impl[:]...)
+	code = append(code, 0x5a, 0xf4, 0x3d, 0x82, 0x80, 0x3e, 0x90, 0x3d, 0x91, 0x60, 0x2b, 0x57, 0xfd, 0x5b, 0xf3)
+	return code
+}
+
+// RandomAddress draws a 20-byte address from the generator's RNG stream
+// (used by callers that need implementation addresses for proxies).
+func (g *Generator) RandomAddress() [20]byte {
+	var a [20]byte
+	g.rng.Read(a[:])
+	return a
+}
+
+// Rand exposes the generator's RNG so callers composing higher-level
+// sampling (duplication, label noise) stay on one deterministic stream.
+func (g *Generator) Rand() *rand.Rand { return g.rng }
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }

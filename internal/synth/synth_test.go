@@ -1,0 +1,290 @@
+package synth
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/phishinghook/phishinghook/internal/evm"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(DefaultConfig(42))
+	g2 := NewGenerator(DefaultConfig(42))
+	for i := 0; i < 20; i++ {
+		class := Benign
+		if i%2 == 0 {
+			class = Phishing
+		}
+		a := g1.Contract(class, i%NumMonths)
+		b := g2.Contract(class, i%NumMonths)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("same seed produced different contract %d", i)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	a := NewGenerator(DefaultConfig(1)).Contract(Benign, 0)
+	b := NewGenerator(DefaultConfig(2)).Contract(Benign, 0)
+	if bytes.Equal(a, b) {
+		t.Fatal("different seeds produced identical contracts")
+	}
+}
+
+func TestContractsDisassembleCleanly(t *testing.T) {
+	g := NewGenerator(DefaultConfig(7))
+	for i := 0; i < 50; i++ {
+		class := Benign
+		if i%2 == 0 {
+			class = Phishing
+		}
+		code := g.Contract(class, i%NumMonths)
+		if len(code) < 64 {
+			t.Fatalf("contract %d too small: %d bytes", i, len(code))
+		}
+		ins := evm.Disassemble(code)
+		if len(ins) < 20 {
+			t.Fatalf("contract %d has only %d instructions", i, len(ins))
+		}
+		// The solc preamble must be present.
+		if ins[0].Mnemonic() != "PUSH1" || ins[1].Mnemonic() != "PUSH1" || ins[2].Mnemonic() != "MSTORE" {
+			t.Fatalf("contract %d missing memory preamble, starts %v %v %v",
+				i, ins[0], ins[1], ins[2])
+		}
+		if !bytes.Equal(evm.Assemble(ins), code) {
+			t.Fatalf("contract %d does not round-trip through the disassembler", i)
+		}
+	}
+}
+
+func TestClassDistributionsDiffer(t *testing.T) {
+	// With the calibrated signal strength, phishing code must use GAS and
+	// RETURNDATASIZE less and SELFDESTRUCT/raw CALL patterns more — in
+	// aggregate, not per contract (paper Fig. 3: single opcodes overlap).
+	g := NewGenerator(DefaultConfig(11))
+	counts := func(class Class) map[string]float64 {
+		c := make(map[string]float64)
+		for i := 0; i < 300; i++ {
+			for _, in := range evm.Disassemble(g.Contract(class, i%NumMonths)) {
+				c[in.Mnemonic()]++
+			}
+		}
+		return c
+	}
+	benign := counts(Benign)
+	phish := counts(Phishing)
+	if benign["GAS"] <= phish["GAS"] {
+		t.Errorf("benign GAS usage %f should exceed phishing %f", benign["GAS"], phish["GAS"])
+	}
+	if phish["SELFDESTRUCT"] <= benign["SELFDESTRUCT"] {
+		t.Errorf("phishing SELFDESTRUCT %f should exceed benign %f",
+			phish["SELFDESTRUCT"], benign["SELFDESTRUCT"])
+	}
+	// Both classes use every common opcode: no trivial single-opcode filter.
+	for _, op := range []string{"PUSH1", "MSTORE", "CALL", "SSTORE", "JUMPI", "REVERT"} {
+		if benign[op] == 0 || phish[op] == 0 {
+			t.Errorf("opcode %s absent from one class (benign=%f phishing=%f)",
+				op, benign[op], phish[op])
+		}
+	}
+}
+
+func TestSignalStrengthZeroMakesClassesIdentical(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.SignalStrength = 0
+	cfg.DriftStrength = 0
+	g := NewGenerator(cfg)
+	wb := g.weightsFor(Benign, 0)
+	wp := g.weightsFor(Phishing, 6)
+	for i := range wb {
+		if math.Abs(wb[i]-wp[i]) > 1e-12 {
+			t.Fatalf("weights differ at kind %d with zero signal: %f vs %f", i, wb[i], wp[i])
+		}
+	}
+}
+
+func TestWeightsAreDistributions(t *testing.T) {
+	g := NewGenerator(DefaultConfig(5))
+	for _, class := range []Class{Benign, Phishing} {
+		for m := 0; m < NumMonths; m++ {
+			w := g.weightsFor(class, m)
+			sum := 0.0
+			for _, v := range w {
+				if v < 0 {
+					t.Fatalf("negative weight %f (class=%v month=%d)", v, class, m)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("weights sum to %f, want 1 (class=%v month=%d)", sum, class, m)
+			}
+		}
+	}
+}
+
+func TestDriftChangesPhishingDistribution(t *testing.T) {
+	g := NewGenerator(DefaultConfig(5))
+	early := g.weightsFor(Phishing, 0)
+	late := g.weightsFor(Phishing, NumMonths-1)
+	var l1 float64
+	for i := range early {
+		l1 += math.Abs(early[i] - late[i])
+	}
+	if l1 < 0.01 {
+		t.Errorf("drift moved phishing distribution by only %f in L1", l1)
+	}
+	// Benign distribution must not drift.
+	be := g.weightsFor(Benign, 0)
+	bl := g.weightsFor(Benign, NumMonths-1)
+	for i := range be {
+		if be[i] != bl[i] {
+			t.Fatal("benign distribution drifted")
+		}
+	}
+}
+
+func TestMinimalProxy(t *testing.T) {
+	var impl [20]byte
+	for i := range impl {
+		impl[i] = byte(i + 1)
+	}
+	code := MinimalProxy(impl)
+	if len(code) != 45 {
+		t.Fatalf("EIP-1167 proxy length = %d, want 45", len(code))
+	}
+	if !bytes.Equal(code[10:30], impl[:]) {
+		t.Error("implementation address not embedded at offset 10")
+	}
+	// Same implementation → bit-identical clone; different → different.
+	if !bytes.Equal(code, MinimalProxy(impl)) {
+		t.Error("proxy generation not deterministic")
+	}
+	impl[0]++
+	if bytes.Equal(code, MinimalProxy(impl)) {
+		t.Error("different implementations produced identical proxies")
+	}
+	// The delegatecall core must be present.
+	ins := evm.Disassemble(code)
+	var sawDelegate bool
+	for _, in := range ins {
+		if in.Op == evm.DELEGATECALL {
+			sawDelegate = true
+		}
+	}
+	if !sawDelegate {
+		t.Error("proxy bytecode lacks DELEGATECALL")
+	}
+}
+
+func TestEveryFragmentEmits(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for k := FragmentKind(1); int(k) <= numFragmentKinds; k++ {
+		b := newBuilder(rng)
+		k.emit(b)
+		code := b.bytes()
+		if len(code) == 0 {
+			t.Errorf("fragment %v emitted no code", k)
+		}
+		if code[0] != byte(evm.JUMPDEST) {
+			t.Errorf("fragment %v does not start at JUMPDEST", k)
+		}
+		if !bytes.Equal(evm.Assemble(evm.Disassemble(code)), code) {
+			t.Errorf("fragment %v does not round-trip", k)
+		}
+	}
+}
+
+func TestInvalidFragmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("emit of invalid kind did not panic")
+		}
+	}()
+	b := newBuilder(rand.New(rand.NewSource(1)))
+	FragmentKind(0).emit(b)
+}
+
+func TestPaperTimelineTotals(t *testing.T) {
+	tl := PaperTimeline()
+	if got := tl.TotalObtained(); got != 17455 {
+		t.Errorf("TotalObtained = %d, want 17455", got)
+	}
+	if got := tl.TotalUnique(); got != 3458 {
+		t.Errorf("TotalUnique = %d, want 3458", got)
+	}
+	for m := 0; m < NumMonths; m++ {
+		if tl.Unique[m] > tl.Obtained[m] {
+			t.Errorf("month %s: unique %d exceeds obtained %d",
+				MonthLabels[m], tl.Unique[m], tl.Obtained[m])
+		}
+		if tl.Obtained[m] <= 0 {
+			t.Errorf("month %s has no contracts", MonthLabels[m])
+		}
+	}
+	// January 2024 is the surge peak in Fig. 2.
+	for m := range tl.Obtained {
+		if m != 3 && tl.Obtained[m] > tl.Obtained[3] {
+			t.Errorf("month %s (%d) exceeds the 2024-01 peak (%d)",
+				MonthLabels[m], tl.Obtained[m], tl.Obtained[3])
+		}
+	}
+}
+
+func TestScaledTimelineProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		obtained := int(a%5000) + NumMonths*4
+		unique := int(b) % obtained
+		if unique < NumMonths {
+			unique = NumMonths
+		}
+		tl := ScaledTimeline(obtained, unique)
+		return tl.TotalObtained() == obtained
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleMonthInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	seen := make(map[int]int)
+	for i := 0; i < 5000; i++ {
+		m := SampleMonth(rng)
+		if m < 0 || m >= NumMonths {
+			t.Fatalf("SampleMonth returned %d", m)
+		}
+		seen[m]++
+	}
+	for m := 0; m < NumMonths; m++ {
+		if seen[m] == 0 {
+			t.Errorf("month %d never sampled", m)
+		}
+	}
+	// The 2024-01 peak should be sampled most often.
+	for m, n := range seen {
+		if m != 3 && n > seen[3] {
+			t.Errorf("month %d sampled %d times, exceeding peak month 3 (%d)", m, n, seen[3])
+		}
+	}
+}
+
+func TestContractSizesRealistic(t *testing.T) {
+	g := NewGenerator(DefaultConfig(23))
+	for i := 0; i < 100; i++ {
+		code := g.Contract(Phishing, i%NumMonths)
+		if len(code) < 100 || len(code) > 16384 {
+			t.Errorf("contract size %d outside realistic deployed range", len(code))
+		}
+	}
+}
+
+func BenchmarkGenerateContract(b *testing.B) {
+	g := NewGenerator(DefaultConfig(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Contract(Phishing, i%NumMonths)
+	}
+}

@@ -1,0 +1,108 @@
+package synth
+
+import "math/rand"
+
+// MonthLabels names the 13 months of the study window in order.
+var MonthLabels = [NumMonths]string{
+	"2023-10", "2023-11", "2023-12", "2024-01", "2024-02", "2024-03",
+	"2024-04", "2024-05", "2024-06", "2024-07", "2024-08", "2024-09",
+	"2024-10",
+}
+
+// phishingMonthShape is the relative volume of *obtained* phishing contracts
+// per month, shaped after the paper's Fig. 2 (an early winter-2024 surge
+// around the January peak, then a lower sustained plateau).
+var phishingMonthShape = [NumMonths]float64{
+	0.8, 1.4, 1.7, 2.5, 1.5, 1.3, 1.8, 1.2, 0.9, 1.1, 1.3, 1.1, 1.0,
+}
+
+// uniqueMonthShape is the relative volume of *unique* phishing bytecodes per
+// month; flatter than the obtained counts because proxy farms concentrate
+// duplicates in the surge months.
+var uniqueMonthShape = [NumMonths]float64{
+	1.0, 1.1, 1.2, 1.4, 1.1, 1.0, 1.2, 1.0, 0.8, 0.9, 1.0, 0.9, 0.9,
+}
+
+// Timeline describes how many phishing contracts (obtained and unique) the
+// crawl yields per month. The paper's crawl found 17,455 obtained and 3,458
+// unique bytecodes.
+type Timeline struct {
+	// Obtained[m] is the number of phishing contracts deployed in month m,
+	// counting every minimal-proxy clone.
+	Obtained [NumMonths]int
+	// Unique[m] is the number of distinct phishing bytecodes first deployed
+	// in month m.
+	Unique [NumMonths]int
+}
+
+// PaperTimeline scales the month shapes to the paper's totals (17,455
+// obtained / 3,458 unique).
+func PaperTimeline() Timeline { return ScaledTimeline(17455, 3458) }
+
+// ScaledTimeline distributes the given totals across months following the
+// Fig. 2 shape. Rounding residue is assigned to the January-2024 peak so the
+// totals are exact.
+func ScaledTimeline(obtainedTotal, uniqueTotal int) Timeline {
+	var tl Timeline
+	tl.Obtained = scaleShape(phishingMonthShape, obtainedTotal)
+	tl.Unique = scaleShape(uniqueMonthShape, uniqueTotal)
+	for m := range tl.Unique {
+		// A month can never have more uniques than obtained contracts.
+		if tl.Unique[m] > tl.Obtained[m] {
+			tl.Unique[m] = tl.Obtained[m]
+		}
+	}
+	return tl
+}
+
+func scaleShape(shape [NumMonths]float64, total int) [NumMonths]int {
+	var sum float64
+	for _, s := range shape {
+		sum += s
+	}
+	var out [NumMonths]int
+	assigned := 0
+	for m, s := range shape {
+		out[m] = int(float64(total) * s / sum)
+		assigned += out[m]
+	}
+	out[3] += total - assigned // residue to the 2024-01 peak
+	return out
+}
+
+// TotalObtained sums obtained contracts across the window.
+func (tl Timeline) TotalObtained() int {
+	n := 0
+	for _, v := range tl.Obtained {
+		n += v
+	}
+	return n
+}
+
+// TotalUnique sums unique bytecodes across the window.
+func (tl Timeline) TotalUnique() int {
+	n := 0
+	for _, v := range tl.Unique {
+		n += v
+	}
+	return n
+}
+
+// SampleMonth draws a deployment month with probability proportional to the
+// obtained-contract shape; used when generating benign cover traffic that
+// must match the phishing temporal distribution (time-resistance dataset).
+func SampleMonth(rng *rand.Rand) int {
+	var sum float64
+	for _, s := range phishingMonthShape {
+		sum += s
+	}
+	r := rng.Float64() * sum
+	acc := 0.0
+	for m, s := range phishingMonthShape {
+		acc += s
+		if r < acc {
+			return m
+		}
+	}
+	return NumMonths - 1
+}

@@ -1,0 +1,181 @@
+package phishinghook
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+func startSim(t *testing.T, seed int64) *Simulation {
+	t.Helper()
+	cfg := DefaultSimulationConfig(seed)
+	cfg.ObtainedPhishing = 120
+	cfg.UniquePhishing = 60
+	cfg.Benign = 60
+	sim, err := StartSimulation(cfg)
+	if err != nil {
+		t.Fatalf("StartSimulation: %v", err)
+	}
+	t.Cleanup(sim.Close)
+	return sim
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	// The full paper pipeline over real HTTP: registry crawl (➊), label
+	// scrape (➋), eth_getCode extraction (➌), dataset construction (➍),
+	// disassembly (➎), model evaluation (➐).
+	sim := startSim(t, 1)
+	f := New(sim.RPCURL(), sim.ExplorerURL(), WithWorkers(4))
+	ctx := context.Background()
+
+	from, to := sim.StudyWindow()
+	addrs, err := f.GatherAddresses(ctx, from, to)
+	if err != nil {
+		t.Fatalf("GatherAddresses: %v", err)
+	}
+	if len(addrs) != sim.NumContracts() {
+		t.Fatalf("gathered %d addresses, chain has %d", len(addrs), sim.NumContracts())
+	}
+
+	labels, err := f.LabelAddresses(ctx, addrs[:20])
+	if err != nil {
+		t.Fatalf("LabelAddresses: %v", err)
+	}
+	if len(labels) != 20 {
+		t.Fatalf("labelled %d, want 20", len(labels))
+	}
+
+	code, err := f.ExtractBytecode(ctx, addrs[0])
+	if err != nil {
+		t.Fatalf("ExtractBytecode: %v", err)
+	}
+	if len(code) == 0 {
+		t.Fatal("extracted empty bytecode for a deployed contract")
+	}
+	ins := Disassemble(code)
+	if len(ins) == 0 {
+		t.Fatal("disassembly empty")
+	}
+
+	ds, err := f.BuildDataset(ctx, from, to, 1)
+	if err != nil {
+		t.Fatalf("BuildDataset: %v", err)
+	}
+	nb, np := ds.Counts()
+	if nb == 0 || np == 0 {
+		t.Fatalf("dataset unbalanced: %d benign, %d phishing", nb, np)
+	}
+	if nb != np {
+		t.Errorf("Balance failed: %d vs %d", nb, np)
+	}
+
+	spec, err := ModelByName("Random Forest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := f.Evaluate([]ModelSpec{spec}, ds, CVConfig{Folds: 3, Runs: 1, Seed: 2})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if results[0].Mean().Accuracy < 0.6 {
+		t.Errorf("end-to-end RF accuracy %.3f suspiciously low", results[0].Mean().Accuracy)
+	}
+}
+
+func TestHTTPDatasetMatchesDirectDataset(t *testing.T) {
+	// The HTTP pipeline and the in-process fast path must agree on the
+	// deduplicated corpus content.
+	sim := startSim(t, 3)
+	f := New(sim.RPCURL(), sim.ExplorerURL(), WithWorkers(8))
+	from, to := sim.StudyWindow()
+	viaHTTP, err := f.BuildDataset(context.Background(), from, to, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := sim.Dataset()
+	// Balancing draws differ (different rng), but the deduplicated unique
+	// bytecode sets they draw from must be identical.
+	uniq := func(d *Dataset) map[string]Label {
+		out := map[string]Label{}
+		for _, s := range d.Samples {
+			out[string(s.Bytecode)] = s.Label
+		}
+		return out
+	}
+	uh, ud := uniq(viaHTTP), uniq(direct)
+	for code, lbl := range uh {
+		if dl, ok := ud[code]; ok && dl != lbl {
+			t.Fatal("label disagreement between HTTP and direct paths")
+		}
+	}
+}
+
+func TestSimulationDatasetShape(t *testing.T) {
+	sim := startSim(t, 5)
+	ds := sim.Dataset()
+	nb, np := ds.Counts()
+	if nb != np {
+		t.Errorf("dataset not balanced: %d vs %d", nb, np)
+	}
+	raw := sim.RawDataset()
+	if raw.Len() <= ds.Len() {
+		t.Error("raw crawl should exceed deduplicated dataset (proxy clones)")
+	}
+	obtained, unique := sim.MonthlyPhishing()
+	var to, tu int
+	for m := range obtained {
+		to += obtained[m]
+		tu += unique[m]
+	}
+	if to != 120 || tu != 60 {
+		t.Errorf("timeline totals = (%d,%d), want (120,60)", to, tu)
+	}
+}
+
+func TestSimulationValidation(t *testing.T) {
+	cfg := DefaultSimulationConfig(1)
+	cfg.ObtainedPhishing = 5
+	cfg.UniquePhishing = 10
+	if _, err := StartSimulation(cfg); err == nil {
+		t.Error("obtained < unique accepted")
+	}
+}
+
+func TestPaperScaleConfigNumbers(t *testing.T) {
+	cfg := PaperScaleConfig(1)
+	if cfg.ObtainedPhishing != 17455 || cfg.UniquePhishing != 3458 || cfg.Benign != 3542 {
+		t.Errorf("paper-scale constants wrong: %+v", cfg)
+	}
+}
+
+func TestDisassembleHexHelpers(t *testing.T) {
+	code, err := DecodeHex("0x6080604052")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EncodeHex(code) != "0x6080604052" {
+		t.Error("hex round trip failed")
+	}
+	ins := Disassemble(code)
+	if len(ins) != 3 || ins[2].Mnemonic() != "MSTORE" {
+		t.Errorf("disassembly wrong: %v", ins)
+	}
+}
+
+func TestModelsRegistryExposed(t *testing.T) {
+	if len(Models()) != 16 {
+		t.Errorf("Models() returned %d specs, want 16", len(Models()))
+	}
+}
+
+func TestDatasetCSVThroughPublicTypes(t *testing.T) {
+	sim := startSim(t, 7)
+	ds := sim.Dataset()
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty csv")
+	}
+}

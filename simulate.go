@@ -1,0 +1,186 @@
+package phishinghook
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+
+	"github.com/phishinghook/phishinghook/internal/chain"
+	"github.com/phishinghook/phishinghook/internal/dataset"
+	"github.com/phishinghook/phishinghook/internal/ethrpc"
+	"github.com/phishinghook/phishinghook/internal/explorer"
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+// SimulationConfig sizes the simulated Ethereum substrate. The zero value is
+// invalid; start from DefaultSimulationConfig or PaperScaleConfig.
+type SimulationConfig struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// ObtainedPhishing is the raw phishing crawl size (paper: 17,455).
+	ObtainedPhishing int
+	// UniquePhishing is the deduplicated count (paper: 3,458).
+	UniquePhishing int
+	// Benign is the benign sample count added to the dataset
+	// (paper: ≈3,542 for a 7,000 total).
+	Benign int
+	// SignalStrength, LabelNoise, DriftStrength tune the synthetic corpus
+	// (see synth.Config).
+	SignalStrength float64
+	LabelNoise     float64
+	DriftStrength  float64
+	// ProxyFraction is the share of unique bytecodes that are EIP-1167
+	// stubs.
+	ProxyFraction float64
+	// MatchTemporal shapes benign deployments like the phishing timeline
+	// (the paper's time-resistance dataset); otherwise uniform.
+	MatchTemporal bool
+	// RateLimit enables the label service's token bucket (queries/s).
+	RateLimit float64
+}
+
+// DefaultSimulationConfig is a laptop-scale corpus (≈1,200 contracts) used
+// by tests and quick runs.
+func DefaultSimulationConfig(seed int64) SimulationConfig {
+	return SimulationConfig{
+		Seed:             seed,
+		ObtainedPhishing: 1200,
+		UniquePhishing:   600,
+		Benign:           600,
+		SignalStrength:   0.95,
+		LabelNoise:       0.015,
+		DriftStrength:    0.35,
+		ProxyFraction:    0.08,
+	}
+}
+
+// PaperScaleConfig reproduces the paper's corpus sizes: 17,455 obtained
+// phishing contracts, 3,458 unique, plus benign fill to a 7,000-sample
+// balanced dataset.
+func PaperScaleConfig(seed int64) SimulationConfig {
+	cfg := DefaultSimulationConfig(seed)
+	cfg.ObtainedPhishing = 17455
+	cfg.UniquePhishing = 3458
+	cfg.Benign = 3542
+	return cfg
+}
+
+// Simulation is an in-process Ethereum substrate: a populated chain behind
+// a JSON-RPC node and explorer (registry + label) services over real HTTP
+// listeners.
+type Simulation struct {
+	cfg      SimulationConfig
+	chain    *chain.Chain
+	service  *explorer.Service
+	rpcSrv   *httptest.Server
+	explSrv  *httptest.Server
+	timeline synth.Timeline
+}
+
+// StartSimulation builds the chain and starts both HTTP services.
+func StartSimulation(cfg SimulationConfig) (*Simulation, error) {
+	if cfg.ObtainedPhishing < cfg.UniquePhishing {
+		return nil, fmt.Errorf("phishinghook: obtained %d < unique %d", cfg.ObtainedPhishing, cfg.UniquePhishing)
+	}
+	genCfg := synth.DefaultConfig(cfg.Seed)
+	genCfg.SignalStrength = cfg.SignalStrength
+	genCfg.LabelNoise = cfg.LabelNoise
+	genCfg.DriftStrength = cfg.DriftStrength
+	gen := synth.NewGenerator(genCfg)
+	tl := synth.ScaledTimeline(cfg.ObtainedPhishing, cfg.UniquePhishing)
+	benign := chain.UniformBenign(cfg.Benign)
+	if cfg.MatchTemporal {
+		benign = chain.MatchedBenign(cfg.Benign, tl)
+	}
+	c, err := chain.Build(chain.BuildConfig{
+		Generator:      gen,
+		Timeline:       tl,
+		BenignPerMonth: benign,
+		ProxyFraction:  cfg.ProxyFraction,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("phishinghook: build chain: %w", err)
+	}
+	svc := explorer.NewService(c, explorer.ServiceConfig{
+		LabelNoise: cfg.LabelNoise,
+		NoiseSeed:  cfg.Seed,
+		RateLimit:  cfg.RateLimit,
+	})
+	sim := &Simulation{
+		cfg:      cfg,
+		chain:    c,
+		service:  svc,
+		rpcSrv:   httptest.NewServer(ethrpc.NewServer(c, 1)),
+		explSrv:  httptest.NewServer(svc.Handler()),
+		timeline: tl,
+	}
+	return sim, nil
+}
+
+// RPCURL returns the simulated node's JSON-RPC endpoint.
+func (s *Simulation) RPCURL() string { return s.rpcSrv.URL }
+
+// ExplorerURL returns the simulated explorer's base URL.
+func (s *Simulation) ExplorerURL() string { return s.explSrv.URL }
+
+// StudyWindow returns the first and last block of the 13-month window.
+func (s *Simulation) StudyWindow() (from, to uint64) {
+	return chain.MonthStartBlock(0), chain.MonthStartBlock(synth.NumMonths-1) + chain.BlocksPerMonth - 1
+}
+
+// NumContracts returns the simulated chain population.
+func (s *Simulation) NumContracts() int { return s.chain.Len() }
+
+// MonthlyPhishing returns obtained and unique phishing deployments per
+// month (the Fig. 2 series).
+func (s *Simulation) MonthlyPhishing() (obtained, unique [synth.NumMonths]int) {
+	return s.timeline.Obtained, s.timeline.Unique
+}
+
+// Close shuts down both HTTP servers.
+func (s *Simulation) Close() {
+	s.rpcSrv.Close()
+	s.explSrv.Close()
+}
+
+// Dataset materializes the balanced, deduplicated dataset directly from the
+// simulated chain (bypassing HTTP — the fast path used by experiments; the
+// HTTP path is exercised by Framework.BuildDataset). Labels come from the
+// label service, so explorer label noise is included, exactly as a real
+// crawl would observe it.
+func (s *Simulation) Dataset() *Dataset {
+	ds := &dataset.Dataset{}
+	for _, ct := range s.chain.All() {
+		lbl := dataset.Benign
+		if s.service.LabelFor(ct) == explorer.PhishLabel {
+			lbl = dataset.Phishing
+		}
+		ds.Samples = append(ds.Samples, dataset.Sample{
+			Address:  ct.Addr.String(),
+			Bytecode: ct.Code,
+			Label:    lbl,
+			Month:    ct.Month,
+		})
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 7))
+	return ds.Dedup().Balance(rng)
+}
+
+// RawDataset returns the full crawl without dedup or balancing (for the
+// Fig. 2 duplicate analysis).
+func (s *Simulation) RawDataset() *Dataset {
+	ds := &dataset.Dataset{}
+	for _, ct := range s.chain.All() {
+		lbl := dataset.Benign
+		if s.service.LabelFor(ct) == explorer.PhishLabel {
+			lbl = dataset.Phishing
+		}
+		ds.Samples = append(ds.Samples, dataset.Sample{
+			Address:  ct.Addr.String(),
+			Bytecode: ct.Code,
+			Label:    lbl,
+			Month:    ct.Month,
+		})
+	}
+	return ds
+}
