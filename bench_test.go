@@ -277,6 +277,65 @@ func BenchmarkPipeline_ExtractAndDisassemble(b *testing.B) {
 	}
 }
 
+// Serving-path benchmarks: the Detector hot loop later PRs track for
+// scoring throughput.
+
+var (
+	benchDetOnce sync.Once
+	benchDet     *Detector
+)
+
+func sharedDetector(b *testing.B) (*Detector, *benchState) {
+	b.Helper()
+	s := sharedSim(b)
+	benchDetOnce.Do(func() {
+		spec, err := ModelByName("Random Forest")
+		if err != nil {
+			panic(err)
+		}
+		benchDet, err = Train(spec, s.ds, WithDetectorSeed(1))
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchDet, s
+}
+
+func BenchmarkDetectorScore(b *testing.B) {
+	d, s := sharedDetector(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Score(ctx, s.ds.Samples[i%s.ds.Len()].Bytecode); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hits, misses := d.CacheStats()
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), "cache_hit_ratio")
+	}
+}
+
+func BenchmarkDetectorScoreBatch(b *testing.B) {
+	d, s := sharedDetector(b)
+	ctx := context.Background()
+	codes := make([][]byte, s.ds.Len())
+	var total int
+	for i, smp := range s.ds.Samples {
+		codes[i] = smp.Bytecode
+		total += len(smp.Bytecode)
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ScoreBatch(ctx, codes); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(codes))*float64(b.N)/b.Elapsed().Seconds(), "contracts/s")
+}
+
 func BenchmarkPipeline_DatasetBuildHTTP(b *testing.B) {
 	if os.Getenv("PHISHINGHOOK_BENCH_HTTP") == "" {
 		b.Skip("set PHISHINGHOOK_BENCH_HTTP=1 (spins servers per iteration)")

@@ -8,6 +8,12 @@
 //	phishinghook disasm    — disassemble bytecode to opcodes (➎, BDM)
 //	phishinghook dataset   — build the balanced deduplicated dataset (➍)
 //	phishinghook evaluate  — cross-validate models on a dataset CSV (➐, MEM)
+//
+// and the serving workflow built on the Detector API:
+//
+//	phishinghook train     — fit a Detector and save it to disk
+//	phishinghook score     — score bytecode or an address with a Detector
+//	phishinghook serve     — expose POST /score over HTTP
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -44,6 +51,12 @@ func main() {
 		err = cmdDataset(args)
 	case "evaluate":
 		err = cmdEvaluate(args)
+	case "train":
+		err = cmdTrain(args)
+	case "score":
+		err = cmdScore(args)
+	case "serve":
+		err = cmdServe(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -54,7 +67,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate> [flags]
+	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate|train|score|serve> [flags]
 run "phishinghook <command> -h" for command flags`)
 }
 
@@ -268,4 +281,152 @@ func cmdEvaluate(args []string) error {
 	ph.RenderTable2(os.Stdout, results)
 	fmt.Printf("\nevaluated in %s\n", time.Since(t0).Round(time.Millisecond))
 	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	rpcURL, explURL, seed, start := endpoints(fs)
+	model := fs.String("model", "Random Forest", "model name (see 'evaluate -models all')")
+	out := fs.String("o", "detector.bin", "output detector path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sim, err := start()
+	if err != nil {
+		return err
+	}
+	if sim == nil {
+		return fmt.Errorf("train uses the simulation corpus; omit -rpc/-explorer")
+	}
+	defer sim.Close()
+	_ = rpcURL
+	_ = explURL
+
+	spec, err := ph.ModelByName(*model)
+	if err != nil {
+		return err
+	}
+	ds := sim.Dataset()
+	t0 := time.Now()
+	det, err := ph.Train(spec, ds, ph.WithDetectorSeed(*seed))
+	if err != nil {
+		return err
+	}
+	file, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if err := det.Save(file); err != nil {
+		return err
+	}
+	info, _ := file.Stat()
+	fmt.Printf("trained %s on %d contracts in %s; saved %s (%d bytes)\n",
+		det.ModelName(), ds.Len(), time.Since(t0).Round(time.Millisecond), *out, info.Size())
+	return nil
+}
+
+// loadOrTrainDetector resolves the detector a serving command uses: a saved
+// file when given, otherwise a fresh model trained on the simulation.
+func loadOrTrainDetector(path, model string, seed int64, sim *ph.Simulation, rpcURL string) (*ph.Detector, error) {
+	opts := []ph.DetectorOption{ph.WithDetectorSeed(seed), ph.WithRPC(rpcURL)}
+	if path != "" {
+		file, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer file.Close()
+		return ph.LoadDetector(file, opts...)
+	}
+	if sim == nil {
+		return nil, fmt.Errorf("no -detector file and no simulation to train on")
+	}
+	spec, err := ph.ModelByName(model)
+	if err != nil {
+		return nil, err
+	}
+	return ph.Train(spec, sim.Dataset(), opts...)
+}
+
+func cmdScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ExitOnError)
+	rpcURL, _, seed, start := endpoints(fs)
+	detPath := fs.String("detector", "", "saved detector path (default: train fresh on the simulation)")
+	model := fs.String("model", "Random Forest", "model to train when no -detector is given")
+	bytecode := fs.String("bytecode", "", "hex bytecode to score")
+	address := fs.String("address", "", "contract address to score via eth_getCode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sim, err := start()
+	if err != nil {
+		return err
+	}
+	if sim != nil {
+		defer sim.Close()
+	}
+	det, err := loadOrTrainDetector(*detPath, *model, *seed, sim, *rpcURL)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	switch {
+	case *bytecode != "":
+		v, err := det.ScoreHex(ctx, *bytecode)
+		if err != nil {
+			return err
+		}
+		fmt.Println(v)
+	case *address != "":
+		v, err := det.ScoreAddress(ctx, *address)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s  %s\n", *address, v)
+	default:
+		if sim == nil {
+			return fmt.Errorf("need -bytecode or -address")
+		}
+		f := ph.New(*rpcURL, sim.ExplorerURL())
+		addrs, err := f.GatherAddresses(ctx, 0, ^uint64(0))
+		if err != nil {
+			return err
+		}
+		n := 5
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		for _, a := range addrs[:n] {
+			v, err := det.ScoreAddress(ctx, a)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s  %s\n", a, v)
+		}
+	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	rpcURL, _, seed, start := endpoints(fs)
+	detPath := fs.String("detector", "", "saved detector path (default: train fresh on the simulation)")
+	model := fs.String("model", "Random Forest", "model to train when no -detector is given")
+	listen := fs.String("listen", "127.0.0.1:8980", "HTTP listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sim, err := start()
+	if err != nil {
+		return err
+	}
+	if sim != nil {
+		defer sim.Close()
+	}
+	det, err := loadOrTrainDetector(*detPath, *model, *seed, sim, *rpcURL)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s on http://%s  (POST /score, GET /healthz)\n", det.ModelName(), *listen)
+	return http.ListenAndServe(*listen, ph.NewScoreHandler(det))
 }

@@ -1,0 +1,356 @@
+package phishinghook
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"github.com/phishinghook/phishinghook/internal/ethrpc"
+	"github.com/phishinghook/phishinghook/internal/features"
+	"github.com/phishinghook/phishinghook/internal/lru"
+	"github.com/phishinghook/phishinghook/internal/models"
+)
+
+// Verdict is one scoring decision.
+type Verdict struct {
+	// Label is the predicted class.
+	Label Label
+	// Confidence is the probability mass behind Label (>= 0.5).
+	Confidence float64
+	// ModelName identifies the detector's model.
+	ModelName string
+}
+
+// IsPhishing reports whether the verdict flags the contract.
+func (v Verdict) IsPhishing() bool { return v.Label == Phishing }
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	return fmt.Sprintf("%s (%.1f%% by %s)", v.Label, v.Confidence*100, v.ModelName)
+}
+
+// DetectorOption configures Train and LoadDetector.
+type DetectorOption func(*detectorConfig)
+
+type detectorConfig struct {
+	seed      int64
+	neural    NeuralConfig
+	neuralSet bool
+	cacheSize int
+	workers   int
+	rpcURL    string
+}
+
+// WithDetectorSeed sets the training seed (default 1).
+func WithDetectorSeed(seed int64) DetectorOption {
+	return func(c *detectorConfig) { c.seed = seed }
+}
+
+// WithDetectorNeural overrides the neural sizing used to build the model.
+// A loaded detector must be given the same sizing it was trained with.
+func WithDetectorNeural(cfg NeuralConfig) DetectorOption {
+	return func(c *detectorConfig) { c.neural = cfg; c.neuralSet = true }
+}
+
+// WithFeatureCache sizes the LRU bytecode→feature cache in entries
+// (0 disables caching). By default the entry count is derived from a
+// 32MB memory budget and the featurizer's vector size, so image-model
+// detectors don't cache gigabytes.
+func WithFeatureCache(entries int) DetectorOption {
+	return func(c *detectorConfig) { c.cacheSize = entries }
+}
+
+// WithScoreWorkers bounds ScoreBatch concurrency (default GOMAXPROCS).
+func WithScoreWorkers(n int) DetectorOption {
+	return func(c *detectorConfig) {
+		if n > 0 {
+			c.workers = n
+		}
+	}
+}
+
+// WithRPC attaches a JSON-RPC endpoint so ScoreAddress can fetch bytecode.
+func WithRPC(url string) DetectorOption {
+	return func(c *detectorConfig) { c.rpcURL = url }
+}
+
+func resolveDetectorConfig(opts []DetectorOption) detectorConfig {
+	cfg := detectorConfig{
+		seed:      1,
+		cacheSize: autoCacheSize,
+		workers:   runtime.GOMAXPROCS(0),
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if !cfg.neuralSet {
+		cfg.neural = models.DefaultNeuralConfig(cfg.seed)
+	}
+	return cfg
+}
+
+// Detector is a fitted model + featurizer pair serving read-only inference.
+// Score, ScoreAddress and ScoreBatch are safe for concurrent use from many
+// goroutines; one Detector is meant to be shared by a whole process.
+type Detector struct {
+	modelName string
+	neural    NeuralConfig
+	scorer    models.Scorer
+	fz        features.Featurizer
+	cache     *lru.Cache[[]float64]
+	workers   int
+	rpc       *ethrpc.Client
+}
+
+// Train fits the spec's model on the dataset and returns a serving-ready
+// Detector — the "train once" half of the API; Score and friends are the
+// "score millions" half.
+func Train(spec ModelSpec, ds *Dataset, opts ...DetectorOption) (*Detector, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("phishinghook: train %s: empty dataset", spec.Name)
+	}
+	cfg := resolveDetectorConfig(opts)
+	clf := spec.New(cfg.seed, cfg.neural)
+	scorer, ok := clf.(models.Scorer)
+	if !ok {
+		return nil, fmt.Errorf("phishinghook: model %s does not support serving", spec.Name)
+	}
+	if err := clf.Fit(ds); err != nil {
+		return nil, fmt.Errorf("phishinghook: train %s: %w", spec.Name, err)
+	}
+	return newDetector(spec.Name, scorer, cfg)
+}
+
+// autoCacheSize marks "derive the entry count from the feature size";
+// featureCacheBudget is the memory the derived cache may occupy.
+const (
+	autoCacheSize      = -1
+	featureCacheBudget = 32 << 20
+)
+
+func newDetector(name string, scorer models.Scorer, cfg detectorConfig) (*Detector, error) {
+	fz := scorer.Featurizer()
+	if fz == nil {
+		return nil, fmt.Errorf("phishinghook: model %s has no fitted featurizer", name)
+	}
+	entries := cfg.cacheSize
+	if entries == autoCacheSize {
+		perEntry := 8*fz.Dim() + 64 // float64 vector + key/list overhead
+		entries = featureCacheBudget / perEntry
+		if entries > 4096 {
+			entries = 4096
+		}
+		if entries < 16 {
+			entries = 16
+		}
+	}
+	d := &Detector{
+		modelName: name,
+		neural:    cfg.neural,
+		scorer:    scorer,
+		fz:        fz,
+		cache:     lru.New[[]float64](entries),
+		workers:   cfg.workers,
+	}
+	if cfg.rpcURL != "" {
+		d.rpc = ethrpc.NewClient(cfg.rpcURL)
+	}
+	return d, nil
+}
+
+// ModelName returns the underlying model's display name.
+func (d *Detector) ModelName() string { return d.modelName }
+
+// FeatureDim returns the fitted featurizer's vector length.
+func (d *Detector) FeatureDim() int { return d.fz.Dim() }
+
+// CacheStats returns cumulative feature-cache hits and misses.
+func (d *Detector) CacheStats() (hits, misses uint64) { return d.cache.Stats() }
+
+// featuresFor transforms bytecode, memoizing through the LRU cache. The
+// cached slice is shared across goroutines and must be treated read-only —
+// every model's ScoreFeatures only reads its input.
+func (d *Detector) featuresFor(code []byte) []float64 {
+	key := sha256.Sum256(code)
+	k := string(key[:])
+	if x, ok := d.cache.Get(k); ok {
+		return x
+	}
+	x := d.fz.Transform(code)
+	d.cache.Add(k, x)
+	return x
+}
+
+// Score classifies one deployed bytecode.
+func (d *Detector) Score(ctx context.Context, code []byte) (Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return Verdict{}, err
+	}
+	if len(code) == 0 {
+		return Verdict{}, fmt.Errorf("phishinghook: score: empty bytecode")
+	}
+	p, err := d.scorer.ScoreFeatures(d.featuresFor(code))
+	if err != nil {
+		return Verdict{}, fmt.Errorf("phishinghook: score: %w", err)
+	}
+	v := Verdict{Label: Benign, Confidence: 1 - p, ModelName: d.modelName}
+	if p >= 0.5 {
+		v.Label, v.Confidence = Phishing, p
+	}
+	return v, nil
+}
+
+// ScoreHex classifies 0x-prefixed hex bytecode.
+func (d *Detector) ScoreHex(ctx context.Context, hexCode string) (Verdict, error) {
+	code, err := DecodeHex(hexCode)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return d.Score(ctx, code)
+}
+
+// ScoreAddress fetches the address's deployed bytecode over JSON-RPC (the
+// BEM path) and classifies it. The detector needs an endpoint from WithRPC.
+func (d *Detector) ScoreAddress(ctx context.Context, address string) (Verdict, error) {
+	if d.rpc == nil {
+		return Verdict{}, fmt.Errorf("phishinghook: ScoreAddress: no RPC endpoint (use WithRPC)")
+	}
+	addr, err := parseAddr(address)
+	if err != nil {
+		return Verdict{}, err
+	}
+	code, err := d.rpc.GetCode(ctx, addr)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("phishinghook: ScoreAddress %s: %w", address, err)
+	}
+	if len(code) == 0 {
+		return Verdict{}, fmt.Errorf("phishinghook: ScoreAddress %s: no deployed code", address)
+	}
+	return d.Score(ctx, code)
+}
+
+// ScoreBatch classifies many bytecodes concurrently over the detector's
+// worker pool, preserving order. The first error aborts outstanding work.
+func (d *Detector) ScoreBatch(ctx context.Context, codes [][]byte) ([]Verdict, error) {
+	out := make([]Verdict, len(codes))
+	if len(codes) == 0 {
+		return out, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := d.workers
+	if workers > len(codes) {
+		workers = len(codes)
+	}
+	var (
+		wg       sync.WaitGroup
+		next     = make(chan int)
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := d.Score(ctx, codes[i])
+				if err != nil {
+					errOnce.Do(func() { firstErr = err; cancel() })
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+feed:
+	for i := range codes {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// detectorFile is the gob envelope Save writes.
+type detectorFile struct {
+	Magic   string
+	Version int
+	Model   string
+	Neural  NeuralConfig
+	Clf     []byte
+}
+
+const (
+	detectorMagic   = "phishinghook-detector"
+	detectorVersion = 1
+)
+
+// Save serializes the fitted detector (model name, neural sizing,
+// featurizer state and learned parameters) for LoadDetector.
+func (d *Detector) Save(w io.Writer) error {
+	p, ok := d.scorer.(models.Persistable)
+	if !ok {
+		return fmt.Errorf("phishinghook: model %s is not persistable", d.modelName)
+	}
+	clf, err := p.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("phishinghook: save %s: %w", d.modelName, err)
+	}
+	return gob.NewEncoder(w).Encode(detectorFile{
+		Magic:   detectorMagic,
+		Version: detectorVersion,
+		Model:   d.modelName,
+		Neural:  d.neural,
+		Clf:     clf,
+	})
+}
+
+// LoadDetector rebuilds a detector saved by Save. Serving options
+// (WithFeatureCache, WithScoreWorkers, WithRPC) apply; the neural sizing
+// is restored from the file.
+func LoadDetector(r io.Reader, opts ...DetectorOption) (*Detector, error) {
+	var f detectorFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("phishinghook: load detector: %w", err)
+	}
+	if f.Magic != detectorMagic {
+		return nil, fmt.Errorf("phishinghook: load detector: not a detector file")
+	}
+	if f.Version != detectorVersion {
+		return nil, fmt.Errorf("phishinghook: load detector: unsupported version %d", f.Version)
+	}
+	spec, err := models.SpecByName(f.Model)
+	if err != nil {
+		return nil, fmt.Errorf("phishinghook: load detector: %w", err)
+	}
+	cfg := resolveDetectorConfig(opts)
+	cfg.neural = f.Neural
+	clf := spec.New(f.Neural.Seed, f.Neural)
+	p, ok := clf.(models.Persistable)
+	if !ok {
+		return nil, fmt.Errorf("phishinghook: model %s is not persistable", f.Model)
+	}
+	if err := p.UnmarshalBinary(f.Clf); err != nil {
+		return nil, fmt.Errorf("phishinghook: load %s: %w", f.Model, err)
+	}
+	scorer, ok := clf.(models.Scorer)
+	if !ok {
+		return nil, fmt.Errorf("phishinghook: model %s does not support serving", f.Model)
+	}
+	return newDetector(f.Model, scorer, cfg)
+}

@@ -1,0 +1,288 @@
+package phishinghook
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// tinyNeural shrinks the neural models so every family trains in a test.
+func tinyNeural(seed int64) NeuralConfig {
+	cfg := DefaultNeuralConfig(seed)
+	cfg.Epochs = 1
+	cfg.Dim = 8
+	cfg.Heads = 2
+	cfg.Blocks = 1
+	cfg.SeqLen = 32
+	cfg.Stride = 24
+	cfg.MaxWindows = 2
+	cfg.ImageSide = 8
+	cfg.Patch = 4
+	cfg.Hidden = 8
+	cfg.VocabCap = 256
+	return cfg
+}
+
+// detectorCorpus builds one small simulated dataset shared by the tests.
+var detectorCorpus = struct {
+	once sync.Once
+	ds   *Dataset
+	sim  *Simulation
+}{}
+
+func testCorpus(t testing.TB) (*Dataset, *Simulation) {
+	t.Helper()
+	detectorCorpus.once.Do(func() {
+		cfg := DefaultSimulationConfig(5)
+		cfg.ObtainedPhishing = 120
+		cfg.UniquePhishing = 60
+		cfg.Benign = 60
+		sim, err := StartSimulation(cfg)
+		if err != nil {
+			panic(err)
+		}
+		detectorCorpus.sim = sim
+		detectorCorpus.ds = sim.Dataset()
+	})
+	return detectorCorpus.ds, detectorCorpus.sim
+}
+
+// roundTripModels covers every family: HSC back-ends, both vision paths,
+// the three LM encodings (bigram, α, β) and the ESCORT transfer model.
+var roundTripModels = []string{
+	"Random Forest",
+	"k-NN",
+	"SVM",
+	"Logistic Regression",
+	"XGBoost",
+	"ECA+EfficientNet",
+	"ViT+Freq",
+	"SCSGuard",
+	"T5α",
+	"GPT-2β",
+	"ESCORT",
+}
+
+// TestDetectorSaveLoadScoreRoundTrip trains, saves, loads and re-scores:
+// the loaded detector must reproduce the trained detector's verdicts
+// exactly on every corpus sample.
+func TestDetectorSaveLoadScoreRoundTrip(t *testing.T) {
+	ds, _ := testCorpus(t)
+	ctx := context.Background()
+	for _, name := range roundTripModels {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := ModelByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			det, err := Train(spec, ds, WithDetectorSeed(3), WithDetectorNeural(tinyNeural(3)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := det.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadDetector(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.ModelName() != name {
+				t.Fatalf("loaded model name %q, want %q", loaded.ModelName(), name)
+			}
+			if loaded.FeatureDim() != det.FeatureDim() {
+				t.Fatalf("feature dim changed: %d vs %d", loaded.FeatureDim(), det.FeatureDim())
+			}
+			for i, s := range ds.Samples {
+				want, err := det.Score(ctx, s.Bytecode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := loaded.Score(ctx, s.Bytecode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("sample %d: verdict changed after round-trip: %v vs %v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDetectorMatchesClassifier checks the serving path agrees with the
+// evaluation path: Detector verdict labels equal the classifier's Predict
+// labels for the same seed and sizing.
+func TestDetectorMatchesClassifier(t *testing.T) {
+	ds, _ := testCorpus(t)
+	ctx := context.Background()
+	for _, name := range []string{"Random Forest", "SCSGuard", "GPT-2β"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := ModelByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := tinyNeural(9)
+			det, err := Train(spec, ds, WithDetectorSeed(9), WithDetectorNeural(cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			clf := spec.New(9, cfg)
+			if err := clf.Fit(ds); err != nil {
+				t.Fatal(err)
+			}
+			pred, err := clf.Predict(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, s := range ds.Samples {
+				v, err := det.Score(ctx, s.Bytecode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := 0
+				if v.IsPhishing() {
+					got = 1
+				}
+				if got != pred[i] {
+					t.Fatalf("sample %d: Score label %d != Predict label %d", i, got, pred[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDetectorScoreBatchConcurrent hammers one shared detector from many
+// goroutines (run with -race): batches, singles and cache-hitting repeats
+// must all agree with the sequential baseline.
+func TestDetectorScoreBatchConcurrent(t *testing.T) {
+	ds, _ := testCorpus(t)
+	spec, err := ModelByName("Random Forest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(spec, ds, WithDetectorSeed(1), WithFeatureCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	codes := make([][]byte, ds.Len())
+	for i, s := range ds.Samples {
+		codes[i] = s.Bytecode
+	}
+	baseline, err := det.ScoreBatch(ctx, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			// Each goroutine scores a shuffled view of the corpus, mixing
+			// batch and single calls.
+			perm := rng.Perm(len(codes))
+			batch := make([][]byte, len(perm))
+			for i, j := range perm {
+				batch[i] = codes[j]
+			}
+			got, err := det.ScoreBatch(ctx, batch)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for i, j := range perm {
+				if got[i] != baseline[j] {
+					errCh <- errVerdictMismatch(j)
+					return
+				}
+			}
+			for k := 0; k < 32; k++ {
+				j := rng.Intn(len(codes))
+				v, err := det.Score(ctx, codes[j])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if v != baseline[j] {
+					errCh <- errVerdictMismatch(j)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	hits, misses := det.CacheStats()
+	if hits == 0 {
+		t.Fatalf("feature cache never hit (hits=%d misses=%d)", hits, misses)
+	}
+}
+
+type errVerdictMismatch int
+
+func (e errVerdictMismatch) Error() string {
+	return "concurrent verdict differs from sequential baseline"
+}
+
+func TestDetectorScoreErrors(t *testing.T) {
+	ds, sim := testCorpus(t)
+	spec, err := ModelByName("Random Forest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(spec, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := det.Score(ctx, nil); err == nil {
+		t.Fatal("empty bytecode should fail")
+	}
+	if _, err := det.ScoreHex(ctx, "0xzz"); err == nil {
+		t.Fatal("bad hex should fail")
+	}
+	if _, err := det.ScoreAddress(ctx, ds.Samples[0].Address); err == nil {
+		t.Fatal("ScoreAddress without WithRPC should fail")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := det.Score(cancelled, ds.Samples[0].Bytecode); err == nil {
+		t.Fatal("cancelled context should fail")
+	}
+
+	withRPC, err := Train(spec, ds, WithRPC(sim.RPCURL()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := withRPC.ScoreAddress(ctx, ds.Samples[0].Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ModelName != "Random Forest" || v.Confidence < 0.5 {
+		t.Fatalf("implausible verdict %v", v)
+	}
+	// An address that was never deployed has no code.
+	if _, err := withRPC.ScoreAddress(ctx, "0x00000000000000000000000000000000000000ff"); err == nil {
+		t.Fatal("EOA address should fail with no deployed code")
+	}
+}
+
+func TestLoadDetectorRejectsGarbage(t *testing.T) {
+	if _, err := LoadDetector(bytes.NewReader([]byte("not a detector"))); err == nil {
+		t.Fatal("garbage stream should fail")
+	}
+}

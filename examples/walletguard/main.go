@@ -1,11 +1,16 @@
 // Walletguard: the paper's motivating deployment — a crypto wallet checks a
-// contract *before the user signs*, fetching its deployed bytecode over
-// JSON-RPC and classifying it in-process within the seconds-long signing
-// window (paper §IV-F: "users interact with smart contracts in real-time,
-// often signing transactions within seconds").
+// contract *before the user signs*, classifying it in-process within the
+// seconds-long signing window (paper §IV-F: "users interact with smart
+// contracts in real-time, often signing transactions within seconds").
+//
+// The example exercises the full Detector lifecycle a wallet vendor would
+// ship: train once offline, save the fitted detector, load it at app start,
+// and answer pre-signing checks with ScoreAddress (bytecode fetched over
+// eth_getCode, features memoized in the detector's LRU cache).
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
@@ -23,26 +28,38 @@ func main() {
 	}
 	defer sim.Close()
 
-	// Train the guard model once, offline.
+	// Train the guard detector once, offline.
 	ds := sim.Dataset()
 	spec, err := ph.ModelByName("Random Forest")
 	if err != nil {
 		log.Fatal(err)
 	}
-	guard := spec.New(1, ph.DefaultNeuralConfig(1))
 	t0 := time.Now()
-	if err := guard.Fit(ds); err != nil {
+	trained, err := ph.Train(spec, ds, ph.WithDetectorSeed(1))
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("guard model trained on %d contracts in %s\n", ds.Len(), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("detector trained on %d contracts in %s\n", ds.Len(), time.Since(t0).Round(time.Millisecond))
 
-	// The wallet connects to a node like any other client.
-	framework := ph.New(sim.RPCURL(), sim.ExplorerURL())
+	// Ship the model: save it, then load it the way the wallet app would at
+	// startup (here through a buffer; on disk it is the same byte stream).
+	var shipped bytes.Buffer
+	if err := trained.Save(&shipped); err != nil {
+		log.Fatal(err)
+	}
+	snapshotBytes := shipped.Len()
+	guard, err := ph.LoadDetector(&shipped, ph.WithRPC(sim.RPCURL()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detector loaded from a %d-byte snapshot (model: %s)\n", snapshotBytes, guard.ModelName())
+
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
 	// Simulate the user being asked to approve transactions against a few
-	// contracts they have never seen.
+	// contracts they have never seen; truth comes from the explorer labels.
+	framework := ph.New(sim.RPCURL(), sim.ExplorerURL())
 	addrs, err := framework.GatherAddresses(ctx, 0, ^uint64(0))
 	if err != nil {
 		log.Fatal(err)
@@ -55,23 +72,22 @@ func main() {
 	fmt.Println("\npre-signing checks:")
 	for _, addr := range addrs[:8] {
 		start := time.Now()
-		code, err := framework.ExtractBytecode(ctx, addr) // BEM: eth_getCode
-		if err != nil {
-			log.Fatal(err)
-		}
-		pred, err := guard.Predict(&ph.Dataset{Samples: []ph.Sample{{Address: addr, Bytecode: code}}})
+		v, err := guard.ScoreAddress(ctx, addr)
 		if err != nil {
 			log.Fatal(err)
 		}
 		latency := time.Since(start)
 		verdict := "sign ✓"
-		if pred[0] == 1 {
+		if v.IsPhishing() {
 			verdict = "BLOCK ✗ (phishing suspected)"
 		}
 		agree := " "
-		if (pred[0] == 1) == truth[addr] {
+		if v.IsPhishing() == truth[addr] {
 			agree = "(matches explorer label)"
 		}
-		fmt.Printf("  %s  %-28s %8s %s\n", addr[:10]+"…", verdict, latency.Round(time.Millisecond), agree)
+		fmt.Printf("  %s  %-28s conf=%.2f %8s %s\n",
+			addr[:10]+"…", verdict, v.Confidence, latency.Round(time.Millisecond), agree)
 	}
+	hits, misses := guard.CacheStats()
+	fmt.Printf("\nfeature cache: %d hits / %d misses\n", hits, misses)
 }

@@ -133,6 +133,10 @@ func RunTimeResistance(spec ModelSpec, cfg NeuralConfig, ds *Dataset, seed int64
 	return eval.TimeResistance(spec, cfg, ds, 4, seed)
 }
 
+// AUTScore computes the Area-Under-Time robustness score over a metric
+// series (the Fig. 8 aggregate).
+func AUTScore(series []float64) float64 { return eval.AUT(series) }
+
 // MonthLabels exposes the study window month names.
 func MonthLabels() []string {
 	out := make([]string, synth.NumMonths)

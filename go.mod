@@ -1,0 +1,3 @@
+module github.com/phishinghook/phishinghook
+
+go 1.21

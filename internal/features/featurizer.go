@@ -1,0 +1,517 @@
+package features
+
+import (
+	"bytes"
+	"encoding"
+	"encoding/gob"
+	"fmt"
+)
+
+// Kind enumerates the input representations the paper's model families
+// consume. Every model spec maps to exactly one kind (see
+// internal/models), so evaluation and serving share one feature path.
+type Kind int
+
+// Featurizer kinds.
+const (
+	// KindHistogram is the HSC opcode-occurrence vector.
+	KindHistogram Kind = iota + 1
+	// KindByteImage is the R2D2 byte-colour image (ViT+R2D2, ECA+EfficientNet).
+	KindByteImage
+	// KindFreqImage is the frequency-encoded opcode image (ViT+Freq).
+	KindFreqImage
+	// KindBigramSeq is SCSGuard's hex-gram ID sequence.
+	KindBigramSeq
+	// KindOpcodeSeq is the opcode token sequence (GPT-2, T5, ESCORT);
+	// with Config.Windowed it emits sliding windows (the paper's β
+	// variant) instead of one truncated sequence.
+	KindOpcodeSeq
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindHistogram:
+		return "histogram"
+	case KindByteImage:
+		return "byte-image"
+	case KindFreqImage:
+		return "freq-image"
+	case KindBigramSeq:
+		return "bigram-seq"
+	case KindOpcodeSeq:
+		return "opcode-seq"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config sizes a featurizer. Only the fields relevant to the kind are read.
+type Config struct {
+	// ImageSide is the image resolution for the image kinds.
+	ImageSide int
+	// SeqLen is the sequence truncation / window length.
+	SeqLen int
+	// VocabCap bounds the bigram vocabulary (0 = uncapped).
+	VocabCap int
+	// Stride is the sliding-window stride (opcode-seq windows mode).
+	Stride int
+	// MaxWindows caps windows per contract (0 = unlimited for Windows;
+	// Transform always emits at most max(MaxWindows, 1) windows).
+	MaxWindows int
+	// Windowed selects the opcode-seq β sliding-window layout.
+	Windowed bool
+}
+
+// Featurizer is the unified fit/transform contract behind all four input
+// representations. Fit learns corpus statistics (vocabularies, frequency
+// tables); Transform maps one bytecode to a flat feature vector and must be
+// safe for concurrent use once fitted; Dim is the Transform output length.
+// Featurizers serialize via the encoding.Binary(Un)marshaler pair so a
+// fitted model + featurizer can round-trip through Detector.Save.
+type Featurizer interface {
+	Kind() Kind
+	Fit(corpus [][]byte) error
+	Transform(code []byte) []float64
+	Dim() int
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// New builds an unfitted featurizer of the given kind — the single registry
+// every model family goes through.
+func New(kind Kind, cfg Config) (Featurizer, error) {
+	switch kind {
+	case KindHistogram:
+		return &HistogramFeaturizer{}, nil
+	case KindByteImage:
+		if cfg.ImageSide <= 0 {
+			return nil, fmt.Errorf("features: byte-image needs ImageSide > 0")
+		}
+		return &ByteImageFeaturizer{Side: cfg.ImageSide}, nil
+	case KindFreqImage:
+		if cfg.ImageSide <= 0 {
+			return nil, fmt.Errorf("features: freq-image needs ImageSide > 0")
+		}
+		return &FreqImageFeaturizer{Side: cfg.ImageSide}, nil
+	case KindBigramSeq:
+		if cfg.SeqLen <= 0 {
+			return nil, fmt.Errorf("features: bigram-seq needs SeqLen > 0")
+		}
+		return &BigramSeqFeaturizer{SeqLen: cfg.SeqLen, VocabCap: cfg.VocabCap}, nil
+	case KindOpcodeSeq:
+		if cfg.SeqLen <= 0 {
+			return nil, fmt.Errorf("features: opcode-seq needs SeqLen > 0")
+		}
+		f := &OpcodeSeqFeaturizer{
+			SeqLen:     cfg.SeqLen,
+			Stride:     cfg.Stride,
+			MaxWindows: cfg.MaxWindows,
+			Windowed:   cfg.Windowed,
+			vocab:      NewOpcodeVocab(),
+		}
+		if f.Windowed && f.Stride <= 0 {
+			return nil, fmt.Errorf("features: opcode-seq windows mode needs Stride > 0")
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("features: unknown featurizer kind %d", int(kind))
+	}
+}
+
+// TransformAll vectorizes a whole corpus through any featurizer.
+func TransformAll(f Featurizer, corpus [][]byte) [][]float64 {
+	out := make([][]float64, len(corpus))
+	for i, code := range corpus {
+		out[i] = f.Transform(code)
+	}
+	return out
+}
+
+// IDs converts a Transform output back to token IDs (sequence kinds encode
+// integer IDs as floats so all kinds share one vector type).
+func IDs(x []float64) []int {
+	out := make([]int, len(x))
+	for i, v := range x {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// gobEncode/gobDecode wrap the shared gob plumbing of the marshalers.
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("features: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("features: decode state: %w", err)
+	}
+	return nil
+}
+
+// HistogramFeaturizer adapts the HSC opcode histogram to the Featurizer
+// contract.
+type HistogramFeaturizer struct {
+	hist *Histogram
+}
+
+// Kind implements Featurizer.
+func (f *HistogramFeaturizer) Kind() Kind { return KindHistogram }
+
+// Fit fixes the opcode vocabulary from the training corpus.
+func (f *HistogramFeaturizer) Fit(corpus [][]byte) error {
+	f.hist = FitHistogram(corpus)
+	return nil
+}
+
+// Transform implements Featurizer.
+func (f *HistogramFeaturizer) Transform(code []byte) []float64 {
+	return f.hist.Transform(code)
+}
+
+// Dim implements Featurizer (0 before Fit).
+func (f *HistogramFeaturizer) Dim() int {
+	if f.hist == nil {
+		return 0
+	}
+	return f.hist.Dim()
+}
+
+// Histogram exposes the fitted histogram (SHAP needs feature names).
+func (f *HistogramFeaturizer) Histogram() *Histogram { return f.hist }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f *HistogramFeaturizer) MarshalBinary() ([]byte, error) {
+	if f.hist == nil {
+		return nil, fmt.Errorf("features: histogram featurizer not fitted")
+	}
+	return gobEncode(f.hist.names)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (f *HistogramFeaturizer) UnmarshalBinary(data []byte) error {
+	var names []string
+	if err := gobDecode(data, &names); err != nil {
+		return err
+	}
+	vocab := make(map[string]int, len(names))
+	for i, m := range names {
+		vocab[m] = i
+	}
+	f.hist = &Histogram{vocab: vocab, names: names}
+	return nil
+}
+
+// ByteImageFeaturizer renders bytecode as an R2D2 byte-colour image. It is
+// stateless: Fit is a no-op.
+type ByteImageFeaturizer struct {
+	Side int
+}
+
+// Kind implements Featurizer.
+func (f *ByteImageFeaturizer) Kind() Kind { return KindByteImage }
+
+// Fit implements Featurizer (stateless no-op).
+func (f *ByteImageFeaturizer) Fit([][]byte) error { return nil }
+
+// Transform implements Featurizer.
+func (f *ByteImageFeaturizer) Transform(code []byte) []float64 {
+	return R2D2Image(code, f.Side)
+}
+
+// Dim implements Featurizer.
+func (f *ByteImageFeaturizer) Dim() int { return f.Side * f.Side * 3 }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f *ByteImageFeaturizer) MarshalBinary() ([]byte, error) { return gobEncode(f.Side) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (f *ByteImageFeaturizer) UnmarshalBinary(data []byte) error {
+	return gobDecode(data, &f.Side)
+}
+
+// freqState is the serializable state of a FreqEncoder.
+type freqState struct {
+	Mnemonic, Operand, Gas map[string]float64
+}
+
+// FreqImageFeaturizer renders bytecode as a frequency-encoded opcode image.
+type FreqImageFeaturizer struct {
+	Side int
+	enc  *FreqEncoder
+}
+
+// Kind implements Featurizer.
+func (f *FreqImageFeaturizer) Kind() Kind { return KindFreqImage }
+
+// Fit builds the frequency lookup tables.
+func (f *FreqImageFeaturizer) Fit(corpus [][]byte) error {
+	f.enc = FitFreqEncoder(corpus)
+	return nil
+}
+
+// Transform implements Featurizer.
+func (f *FreqImageFeaturizer) Transform(code []byte) []float64 {
+	return f.enc.Transform(code, f.Side)
+}
+
+// Dim implements Featurizer.
+func (f *FreqImageFeaturizer) Dim() int { return f.Side * f.Side * 3 }
+
+// Encoder exposes the fitted frequency encoder.
+func (f *FreqImageFeaturizer) Encoder() *FreqEncoder { return f.enc }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f *FreqImageFeaturizer) MarshalBinary() ([]byte, error) {
+	if f.enc == nil {
+		return nil, fmt.Errorf("features: freq-image featurizer not fitted")
+	}
+	return gobEncode(struct {
+		Side  int
+		State freqState
+	}{f.Side, freqState{f.enc.mnemonic, f.enc.operand, f.enc.gas}})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (f *FreqImageFeaturizer) UnmarshalBinary(data []byte) error {
+	var s struct {
+		Side  int
+		State freqState
+	}
+	if err := gobDecode(data, &s); err != nil {
+		return err
+	}
+	f.Side = s.Side
+	f.enc = &FreqEncoder{mnemonic: s.State.Mnemonic, operand: s.State.Operand, gas: s.State.Gas}
+	return nil
+}
+
+// BigramSeqFeaturizer emits SCSGuard's padded hex-gram ID sequence (IDs as
+// floats; decode with IDs).
+type BigramSeqFeaturizer struct {
+	SeqLen   int
+	VocabCap int
+	vocab    *BigramVocab
+}
+
+// Kind implements Featurizer.
+func (f *BigramSeqFeaturizer) Kind() Kind { return KindBigramSeq }
+
+// Fit builds the capped gram vocabulary.
+func (f *BigramSeqFeaturizer) Fit(corpus [][]byte) error {
+	f.vocab = FitBigramsCapped(corpus, f.VocabCap)
+	return nil
+}
+
+// Transform implements Featurizer.
+func (f *BigramSeqFeaturizer) Transform(code []byte) []float64 {
+	ids := f.vocab.Encode(code, f.SeqLen)
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = float64(id)
+	}
+	return out
+}
+
+// Dim implements Featurizer.
+func (f *BigramSeqFeaturizer) Dim() int { return f.SeqLen }
+
+// Encode exposes the integer ID sequence (the LM training path).
+func (f *BigramSeqFeaturizer) Encode(code []byte) []int {
+	return f.vocab.Encode(code, f.SeqLen)
+}
+
+// VocabSize returns the fitted vocabulary size including PAD/UNK.
+func (f *BigramSeqFeaturizer) VocabSize() int { return f.vocab.Size() }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f *BigramSeqFeaturizer) MarshalBinary() ([]byte, error) {
+	if f.vocab == nil {
+		return nil, fmt.Errorf("features: bigram featurizer not fitted")
+	}
+	return gobEncode(struct {
+		SeqLen, VocabCap int
+		IDs              map[string]int
+	}{f.SeqLen, f.VocabCap, f.vocab.ids})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (f *BigramSeqFeaturizer) UnmarshalBinary(data []byte) error {
+	var s struct {
+		SeqLen, VocabCap int
+		IDs              map[string]int
+	}
+	if err := gobDecode(data, &s); err != nil {
+		return err
+	}
+	f.SeqLen, f.VocabCap = s.SeqLen, s.VocabCap
+	f.vocab = &BigramVocab{ids: s.IDs}
+	return nil
+}
+
+// OpcodeSeqFeaturizer emits opcode token sequences over the fixed Shanghai
+// ISA vocabulary. The α layout is one truncated window; the Windowed (β)
+// layout is sliding windows — Transform concatenates up to
+// max(MaxWindows, 1) of them back-to-back, absent trailing windows
+// zero-padded.
+type OpcodeSeqFeaturizer struct {
+	SeqLen     int
+	Stride     int
+	MaxWindows int
+	Windowed   bool
+	vocab      *OpcodeVocab
+}
+
+// Kind implements Featurizer.
+func (f *OpcodeSeqFeaturizer) Kind() Kind { return KindOpcodeSeq }
+
+// Fit implements Featurizer — the ISA vocabulary is fixed, so this is a
+// no-op kept for contract symmetry.
+func (f *OpcodeSeqFeaturizer) Fit([][]byte) error { return nil }
+
+// windows returns the model-facing token windows for code.
+func (f *OpcodeSeqFeaturizer) windows(code []byte) [][]int {
+	tokens := f.vocab.Tokens(code)
+	if !f.Windowed {
+		return [][]int{Truncate(tokens, f.SeqLen)}
+	}
+	wins := SlidingWindows(tokens, f.SeqLen, f.Stride)
+	if f.MaxWindows > 0 && len(wins) > f.MaxWindows {
+		wins = wins[:f.MaxWindows]
+	}
+	return wins
+}
+
+// Windows exposes the integer token windows (the LM training path).
+func (f *OpcodeSeqFeaturizer) Windows(code []byte) [][]int { return f.windows(code) }
+
+// Tokens exposes the full unpadded token sequence.
+func (f *OpcodeSeqFeaturizer) Tokens(code []byte) []int { return f.vocab.Tokens(code) }
+
+// VocabSize returns the ISA vocabulary size including PAD/UNK.
+func (f *OpcodeSeqFeaturizer) VocabSize() int { return f.vocab.Size() }
+
+// Transform implements Featurizer: windows concatenated into one flat
+// vector of Dim() floats, absent trailing windows all-PAD. When windows
+// are uncapped (MaxWindows <= 0) the flat layout keeps only the first
+// window — the serving fast path stays bounded.
+func (f *OpcodeSeqFeaturizer) Transform(code []byte) []float64 {
+	out := make([]float64, f.Dim())
+	slots := f.flatWindows()
+	for w, win := range f.windows(code) {
+		if w >= slots {
+			break
+		}
+		base := w * f.SeqLen
+		for i, id := range win {
+			out[base+i] = float64(id)
+		}
+	}
+	return out
+}
+
+// flatWindows is the window count of the flat Transform layout.
+func (f *OpcodeSeqFeaturizer) flatWindows() int {
+	if !f.Windowed || f.MaxWindows < 1 {
+		return 1
+	}
+	return f.MaxWindows
+}
+
+// Dim implements Featurizer.
+func (f *OpcodeSeqFeaturizer) Dim() int { return f.flatWindows() * f.SeqLen }
+
+// SplitWindows slices a Transform output back into per-window ID sequences,
+// dropping absent (all-PAD) trailing windows; the first window is always
+// kept.
+func (f *OpcodeSeqFeaturizer) SplitWindows(x []float64) [][]int {
+	var out [][]int
+	for base := 0; base+f.SeqLen <= len(x); base += f.SeqLen {
+		win := IDs(x[base : base+f.SeqLen])
+		if base > 0 {
+			allPad := true
+			for _, id := range win {
+				if id != PadID {
+					allPad = false
+					break
+				}
+			}
+			if allPad {
+				break
+			}
+		}
+		out = append(out, win)
+	}
+	return out
+}
+
+// opcodeSeqState is the serializable configuration of the featurizer (the
+// ISA vocabulary is fixed and rebuilt on load).
+type opcodeSeqState struct {
+	SeqLen, Stride, MaxWindows int
+	Windowed                   bool
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f *OpcodeSeqFeaturizer) MarshalBinary() ([]byte, error) {
+	return gobEncode(opcodeSeqState{f.SeqLen, f.Stride, f.MaxWindows, f.Windowed})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (f *OpcodeSeqFeaturizer) UnmarshalBinary(data []byte) error {
+	var s opcodeSeqState
+	if err := gobDecode(data, &s); err != nil {
+		return err
+	}
+	f.SeqLen, f.Stride, f.MaxWindows, f.Windowed = s.SeqLen, s.Stride, s.MaxWindows, s.Windowed
+	f.vocab = NewOpcodeVocab()
+	return nil
+}
+
+// MarshalFeaturizer serializes kind + state so LoadFeaturizer can rebuild
+// the right concrete type.
+func MarshalFeaturizer(f Featurizer) ([]byte, error) {
+	state, err := f.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return gobEncode(struct {
+		Kind  Kind
+		State []byte
+	}{f.Kind(), state})
+}
+
+// LoadFeaturizer rebuilds a featurizer serialized by MarshalFeaturizer.
+func LoadFeaturizer(data []byte) (Featurizer, error) {
+	var s struct {
+		Kind  Kind
+		State []byte
+	}
+	if err := gobDecode(data, &s); err != nil {
+		return nil, err
+	}
+	var f Featurizer
+	switch s.Kind {
+	case KindHistogram:
+		f = &HistogramFeaturizer{}
+	case KindByteImage:
+		f = &ByteImageFeaturizer{}
+	case KindFreqImage:
+		f = &FreqImageFeaturizer{}
+	case KindBigramSeq:
+		f = &BigramSeqFeaturizer{}
+	case KindOpcodeSeq:
+		f = &OpcodeSeqFeaturizer{}
+	default:
+		return nil, fmt.Errorf("features: unknown serialized kind %d", int(s.Kind))
+	}
+	if err := f.UnmarshalBinary(s.State); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,120 @@
+package features
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/phishinghook/phishinghook/internal/evm"
+)
+
+// featCorpus is a tiny training corpus exercising every representation.
+func featCorpus() [][]byte {
+	return [][]byte{
+		{byte(evm.PUSH1), 0x60, byte(evm.PUSH1), 0x40, byte(evm.MSTORE)},
+		{byte(evm.ADD), byte(evm.MUL), byte(evm.CALL), byte(evm.SSTORE)},
+		{byte(evm.CALLVALUE), byte(evm.DUP1), byte(evm.ISZERO), byte(evm.JUMPI)},
+	}
+}
+
+func allKinds() []struct {
+	kind Kind
+	cfg  Config
+} {
+	return []struct {
+		kind Kind
+		cfg  Config
+	}{
+		{KindHistogram, Config{}},
+		{KindByteImage, Config{ImageSide: 8}},
+		{KindFreqImage, Config{ImageSide: 8}},
+		{KindBigramSeq, Config{SeqLen: 16, VocabCap: 64}},
+		{KindOpcodeSeq, Config{SeqLen: 16}},
+		{KindOpcodeSeq, Config{SeqLen: 8, Stride: 6, MaxWindows: 3, Windowed: true}},
+	}
+}
+
+func TestFeaturizerContract(t *testing.T) {
+	corpus := featCorpus()
+	for _, tc := range allKinds() {
+		f, err := New(tc.kind, tc.cfg)
+		if err != nil {
+			t.Fatalf("New(%v): %v", tc.kind, err)
+		}
+		if err := f.Fit(corpus); err != nil {
+			t.Fatalf("%v: Fit: %v", tc.kind, err)
+		}
+		if f.Dim() <= 0 {
+			t.Fatalf("%v: Dim() = %d after Fit", tc.kind, f.Dim())
+		}
+		for _, code := range corpus {
+			x := f.Transform(code)
+			if len(x) != f.Dim() {
+				t.Fatalf("%v: Transform len %d != Dim %d", tc.kind, len(x), f.Dim())
+			}
+		}
+	}
+}
+
+func TestFeaturizerMarshalRoundTrip(t *testing.T) {
+	corpus := featCorpus()
+	probe := []byte{byte(evm.PUSH1), 0x60, byte(evm.ADD), byte(evm.CALL), byte(evm.SSTORE), 0xfe}
+	for _, tc := range allKinds() {
+		f, err := New(tc.kind, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Fit(corpus); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := MarshalFeaturizer(f)
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", tc.kind, err)
+		}
+		g, err := LoadFeaturizer(blob)
+		if err != nil {
+			t.Fatalf("%v: load: %v", tc.kind, err)
+		}
+		if g.Kind() != f.Kind() || g.Dim() != f.Dim() {
+			t.Fatalf("%v: round-trip changed kind/dim: %v/%d vs %v/%d",
+				tc.kind, g.Kind(), g.Dim(), f.Kind(), f.Dim())
+		}
+		if got, want := g.Transform(probe), f.Transform(probe); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: round-trip changed Transform output", tc.kind)
+		}
+	}
+}
+
+func TestOpcodeSeqWindowsLayout(t *testing.T) {
+	f, err := New(KindOpcodeSeq, Config{SeqLen: 4, Stride: 3, MaxWindows: 3, Windowed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := []byte{byte(evm.ADD)} // one window, rest absent
+	x := f.Transform(short)
+	if len(x) != 12 {
+		t.Fatalf("Dim = %d, want 12", len(x))
+	}
+	osf := f.(*OpcodeSeqFeaturizer)
+	wins := osf.SplitWindows(x)
+	if len(wins) != 1 {
+		t.Fatalf("SplitWindows on short code: %d windows, want 1", len(wins))
+	}
+	long := make([]byte, 0, 16)
+	for i := 0; i < 16; i++ {
+		long = append(long, byte(evm.ADD))
+	}
+	wins = osf.SplitWindows(f.Transform(long))
+	if len(wins) != 3 {
+		t.Fatalf("SplitWindows on long code: %d windows, want 3", len(wins))
+	}
+	if !reflect.DeepEqual(wins, osf.Windows(long)) {
+		t.Fatal("SplitWindows disagrees with Windows")
+	}
+}
+
+func TestFeaturizerIDsHelper(t *testing.T) {
+	x := []float64{0, 1, 5, 42}
+	if got := IDs(x); !reflect.DeepEqual(got, []int{0, 1, 5, 42}) {
+		t.Fatalf("IDs = %v", got)
+	}
+}

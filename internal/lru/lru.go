@@ -1,0 +1,87 @@
+// Package lru provides a small mutex-guarded LRU cache used by the serving
+// layer to memoize bytecode→feature transforms.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a fixed-capacity least-recently-used map. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Cache[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *entry[V]
+	items map[string]*list.Element
+	hits  uint64
+	miss  uint64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New builds a cache holding at most capacity entries. capacity <= 0
+// returns a disabled cache (every Get misses, Add is a no-op).
+func New[V any](capacity int) *Cache[V] {
+	return &Cache[V]{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	var zero V
+	if c.cap <= 0 {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.miss++
+		return zero, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry[V]).val, true
+}
+
+// Add inserts or refreshes a value, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache[V]) Add(key string, val V) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&entry[V]{key: key, val: val})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[V]).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache[V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.miss
+}

@@ -1,0 +1,68 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEviction(t *testing.T) {
+	c := New[int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.Add("c", 3) // evicts b (a was just touched)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestRefreshExisting(t *testing.T) {
+	c := New[int](2)
+	c.Add("a", 1)
+	c.Add("a", 9)
+	if v, _ := c.Get("a"); v != 9 {
+		t.Fatalf("refresh lost: got %d", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("duplicate entry: Len = %d", c.Len())
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	c := New[int](0)
+	c.Add("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a value")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New[int](32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%64)
+				c.Add(k, i)
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+}

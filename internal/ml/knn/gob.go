@@ -1,0 +1,32 @@
+package knn
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// modelState mirrors Model for gob (the fields stay unexported to keep the
+// memorized training set read-only).
+type modelState struct {
+	K int
+	X [][]float64
+	Y []int
+}
+
+// GobEncode implements gob.GobEncoder so fitted models persist through
+// Detector.Save.
+func (m *Model) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(modelState{K: m.k, X: m.x, Y: m.y})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(data []byte) error {
+	var s modelState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return err
+	}
+	m.k, m.x, m.y = s.K, s.X, s.Y
+	return nil
+}

@@ -1,0 +1,41 @@
+package svm
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// modelState mirrors Model for gob; a nil RFFW marks the linear variant.
+type modelState struct {
+	W     []float64
+	Bias  float64
+	Scale []float64
+	RFFW  [][]float64
+	RFFB  []float64
+}
+
+// GobEncode implements gob.GobEncoder so fitted models persist through
+// Detector.Save.
+func (m *Model) GobEncode() ([]byte, error) {
+	s := modelState{W: m.w, Bias: m.bias, Scale: m.scale}
+	if m.rff != nil {
+		s.RFFW, s.RFFB = m.rff.w, m.rff.b
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(s)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(data []byte) error {
+	var s modelState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return err
+	}
+	m.w, m.bias, m.scale = s.W, s.Bias, s.Scale
+	m.rff = nil
+	if s.RFFW != nil {
+		m.rff = &rffMap{w: s.RFFW, b: s.RFFB}
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// forestState mirrors Forest for gob (nFeat is unexported to keep the
+// training API surface clean).
+type forestState struct {
+	Trees []*Tree
+	NFeat int
+}
+
+// GobEncode implements gob.GobEncoder so fitted forests persist through
+// Detector.Save.
+func (f *Forest) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(forestState{Trees: f.TreeList, NFeat: f.nFeat})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (f *Forest) GobDecode(data []byte) error {
+	var s forestState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return err
+	}
+	f.TreeList, f.nFeat = s.Trees, s.NFeat
+	return nil
+}

@@ -13,9 +13,14 @@
 package models
 
 import (
+	"bytes"
+	"encoding"
+	"encoding/gob"
 	"fmt"
 
 	"github.com/phishinghook/phishinghook/internal/dataset"
+	"github.com/phishinghook/phishinghook/internal/features"
+	"github.com/phishinghook/phishinghook/internal/nn"
 )
 
 // Family is the paper's model taxonomy.
@@ -65,6 +70,84 @@ type Classifier interface {
 // Factory builds a fresh classifier (one per CV fold) from a fold seed.
 type Factory func(seed int64) Classifier
 
+// Scorer is the serving contract every model fulfils on top of Classifier:
+// probability scoring over the unified feature path. After Fit, Featurizer
+// returns the fitted featurizer the model consumes and ScoreFeatures maps
+// one Transform output to the phishing probability. Both must be safe for
+// concurrent use once the model is fitted.
+type Scorer interface {
+	Classifier
+	// Featurizer returns the model's fitted featurizer (nil before Fit).
+	Featurizer() features.Featurizer
+	// ScoreFeatures returns P(phishing) for one feature vector produced by
+	// the model's featurizer.
+	ScoreFeatures(x []float64) (float64, error)
+}
+
+// Persistable is the save/load contract every model fulfils: the fitted
+// model (featurizer state + learned parameters) round-trips through the
+// encoding.Binary(Un)marshaler pair. UnmarshalBinary is called on a fresh
+// instance built by the model's Spec with the same NeuralConfig.
+type Persistable interface {
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// newFeaturizer builds a featurizer through the features registry,
+// converting registry errors (always programming errors here — sizes come
+// from NeuralConfig) into model Fit errors.
+func newFeaturizer(kind features.Kind, cfg features.Config) (features.Featurizer, error) {
+	f, err := features.New(kind, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("models: featurizer: %w", err)
+	}
+	return f, nil
+}
+
+// saveParams snapshots parameter tensors positionally (construction order
+// is deterministic for every model).
+func saveParams(ps []*nn.Param) [][]float64 {
+	out := make([][]float64, len(ps))
+	for i, p := range ps {
+		w := make([]float64, len(p.W))
+		copy(w, p.W)
+		out[i] = w
+	}
+	return out
+}
+
+// loadParams restores a positional snapshot into freshly built parameters.
+func loadParams(ps []*nn.Param, ws [][]float64) error {
+	if len(ps) != len(ws) {
+		return fmt.Errorf("models: parameter count mismatch: have %d, snapshot %d", len(ps), len(ws))
+	}
+	for i, p := range ps {
+		if len(p.W) != len(ws[i]) {
+			return fmt.Errorf("models: parameter %q size mismatch: have %d, snapshot %d",
+				p.Name, len(p.W), len(ws[i]))
+		}
+		copy(p.W, ws[i])
+	}
+	return nil
+}
+
+// encodeState / decodeState wrap the shared gob plumbing of model
+// marshalers.
+func encodeState(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("models: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeState(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("models: decode state: %w", err)
+	}
+	return nil
+}
+
 // codes extracts the bytecode corpus from a dataset.
 func codes(d *dataset.Dataset) [][]byte {
 	out := make([][]byte, d.Len())
@@ -78,3 +161,20 @@ func codes(d *dataset.Dataset) [][]byte {
 func errNotFitted(name string) error {
 	return fmt.Errorf("models: %s used before Fit", name)
 }
+
+// Compile-time checks: every model family implements the serving and
+// persistence contracts.
+var (
+	_ Scorer      = (*hscModel)(nil)
+	_ Persistable = (*hscModel)(nil)
+	_ Scorer      = (*ecaEffNet)(nil)
+	_ Persistable = (*ecaEffNet)(nil)
+	_ Scorer      = (*vit)(nil)
+	_ Persistable = (*vit)(nil)
+	_ Scorer      = (*scsGuard)(nil)
+	_ Persistable = (*scsGuard)(nil)
+	_ Scorer      = (*transformerLM)(nil)
+	_ Persistable = (*transformerLM)(nil)
+	_ Scorer      = (*escort)(nil)
+	_ Persistable = (*escort)(nil)
+)

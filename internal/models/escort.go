@@ -1,6 +1,7 @@
 package models
 
 import (
+	"fmt"
 	"math/rand"
 
 	"github.com/phishinghook/phishinghook/internal/dataset"
@@ -18,7 +19,7 @@ import (
 type escort struct {
 	cfg NeuralConfig
 
-	vocab      *features.OpcodeVocab
+	fz         *features.OpcodeSeqFeaturizer
 	emb        *nn.Embedding
 	enc1, enc2 *nn.Dense
 	branch     *nn.Dense // phishing head (trained in phase 2)
@@ -30,9 +31,13 @@ type escort struct {
 func NewESCORT(cfg NeuralConfig) Classifier {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	m := &escort{cfg: cfg}
-	m.vocab = features.NewOpcodeVocab()
+	fz, err := newFeaturizer(features.KindOpcodeSeq, alphaSeqFeatConfig(cfg))
+	if err != nil {
+		panic(fmt.Sprintf("models: ESCORT featurizer: %v", err))
+	}
+	m.fz = fz.(*features.OpcodeSeqFeaturizer)
 	embDim := 8
-	m.emb = nn.NewEmbedding("escort.emb", m.vocab.Size(), embDim, rng)
+	m.emb = nn.NewEmbedding("escort.emb", m.fz.VocabSize(), embDim, rng)
 	m.enc1 = nn.NewDense("escort.enc1", embDim, 16, rng)
 	m.enc2 = nn.NewDense("escort.enc2", 16, 4, rng)
 	m.extractor = append(m.extractor, m.emb.Params()...)
@@ -81,11 +86,10 @@ func vulnClass(code []byte) int {
 	}
 }
 
-// encode mean-pools the embedded (truncated) opcode sequence.
+// encode produces the truncated opcode ID sequence (the featurizer's α
+// window).
 func (m *escort) encode(code []byte) ([]int, bool) {
-	toks := m.vocab.Tokens(code)
-	toks = features.Truncate(toks, m.cfg.SeqLen)
-	return toks, true
+	return m.fz.Windows(code)[0], true
 }
 
 // forwardExtractor produces the frozen-phase feature vector.
@@ -147,4 +151,67 @@ func (m *escort) Predict(test *dataset.Dataset) ([]int, error) {
 		out[i] = argmax2(logits)
 	}
 	return out, nil
+}
+
+// Featurizer implements Scorer.
+func (m *escort) Featurizer() features.Featurizer { return m.fz }
+
+// ScoreFeatures implements Scorer.
+func (m *escort) ScoreFeatures(x []float64) (float64, error) {
+	if !m.fitted {
+		return 0, errNotFitted(m.Name())
+	}
+	feat, _ := m.forwardExtractor(features.IDs(x))
+	logits, _ := m.branch.Forward(feat)
+	return nn.Softmax(logits)[1], nil
+}
+
+// escortState is the serialized fitted model: extractor and branch-head
+// snapshots are kept separate because the branch only exists after Fit.
+type escortState struct {
+	Feat      []byte
+	Extractor [][]float64
+	Branch    [][]float64
+}
+
+// MarshalBinary implements Persistable.
+func (m *escort) MarshalBinary() ([]byte, error) {
+	if !m.fitted {
+		return nil, errNotFitted(m.Name())
+	}
+	feat, err := features.MarshalFeaturizer(m.fz)
+	if err != nil {
+		return nil, err
+	}
+	return encodeState(escortState{
+		Feat:      feat,
+		Extractor: saveParams(m.extractor),
+		Branch:    saveParams(m.branch.Params()),
+	})
+}
+
+// UnmarshalBinary implements Persistable.
+func (m *escort) UnmarshalBinary(data []byte) error {
+	var s escortState
+	if err := decodeState(data, &s); err != nil {
+		return err
+	}
+	fz, err := features.LoadFeaturizer(s.Feat)
+	if err != nil {
+		return err
+	}
+	osf, ok := fz.(*features.OpcodeSeqFeaturizer)
+	if !ok {
+		return fmt.Errorf("models: ESCORT: saved featurizer kind %v, want %v", fz.Kind(), features.KindOpcodeSeq)
+	}
+	if err := loadParams(m.extractor, s.Extractor); err != nil {
+		return err
+	}
+	m.branch = nn.NewDense("escort.branch", 4, 2, rand.New(rand.NewSource(m.cfg.Seed)))
+	if err := loadParams(m.branch.Params(), s.Branch); err != nil {
+		return err
+	}
+	m.fz = osf
+	m.fitted = true
+	return nil
 }

@@ -1,6 +1,8 @@
 package models
 
 import (
+	"encoding/gob"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -13,9 +15,21 @@ import (
 	"github.com/phishinghook/phishinghook/internal/ml/tree"
 )
 
-// pointPredictor is the shared contract of the classical back-ends.
+// pointPredictor is the shared contract of the classical back-ends: label
+// and probability prediction over one feature vector.
 type pointPredictor interface {
 	Predict(x []float64) int
+	PredictProba(x []float64) float64
+}
+
+// The concrete back-ends are registered so hscModel can gob-encode the
+// predictor through the interface.
+func init() {
+	gob.Register(&tree.Forest{})
+	gob.Register(&knn.Model{})
+	gob.Register(&svm.Model{})
+	gob.Register(&linear.Model{})
+	gob.Register(&boost.Model{})
 }
 
 // hscModel wraps a classical classifier behind opcode-histogram features:
@@ -24,7 +38,7 @@ type hscModel struct {
 	name  string
 	train func(X [][]float64, y []int) pointPredictor
 
-	hist *features.Histogram
+	fz   *features.HistogramFeaturizer
 	pred pointPredictor
 }
 
@@ -36,9 +50,16 @@ func (m *hscModel) Family() Family { return HSC }
 
 // Fit implements Classifier.
 func (m *hscModel) Fit(train *dataset.Dataset) error {
+	fz, err := newFeaturizer(features.KindHistogram, histFeatConfig(NeuralConfig{}))
+	if err != nil {
+		return err
+	}
 	corpus := codes(train)
-	m.hist = features.FitHistogram(corpus)
-	X := m.hist.TransformAll(corpus)
+	if err := fz.Fit(corpus); err != nil {
+		return err
+	}
+	m.fz = fz.(*features.HistogramFeaturizer)
+	X := features.TransformAll(m.fz, corpus)
 	m.pred = m.train(X, train.Labels())
 	return nil
 }
@@ -64,7 +85,7 @@ func (m *hscModel) Predict(test *dataset.Dataset) ([]int, error) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				out[i] = m.pred.Predict(m.hist.Transform(test.Samples[i].Bytecode))
+				out[i] = m.pred.Predict(m.fz.Transform(test.Samples[i].Bytecode))
 			}
 		}(lo, hi)
 	}
@@ -72,8 +93,66 @@ func (m *hscModel) Predict(test *dataset.Dataset) ([]int, error) {
 	return out, nil
 }
 
-// Histogram exposes the fitted featurizer (used by the SHAP analysis).
-func (m *hscModel) Histogram() *features.Histogram { return m.hist }
+// Featurizer implements Scorer.
+func (m *hscModel) Featurizer() features.Featurizer {
+	if m.fz == nil {
+		return nil
+	}
+	return m.fz
+}
+
+// ScoreFeatures implements Scorer.
+func (m *hscModel) ScoreFeatures(x []float64) (float64, error) {
+	if m.pred == nil {
+		return 0, errNotFitted(m.name)
+	}
+	return m.pred.PredictProba(x), nil
+}
+
+// hscState is the serialized fitted model.
+type hscState struct {
+	Feat    []byte
+	Backend pointPredictor
+}
+
+// MarshalBinary implements Persistable.
+func (m *hscModel) MarshalBinary() ([]byte, error) {
+	if m.pred == nil {
+		return nil, errNotFitted(m.name)
+	}
+	feat, err := features.MarshalFeaturizer(m.fz)
+	if err != nil {
+		return nil, err
+	}
+	return encodeState(hscState{Feat: feat, Backend: m.pred})
+}
+
+// UnmarshalBinary implements Persistable.
+func (m *hscModel) UnmarshalBinary(data []byte) error {
+	var s hscState
+	if err := decodeState(data, &s); err != nil {
+		return err
+	}
+	fz, err := features.LoadFeaturizer(s.Feat)
+	if err != nil {
+		return err
+	}
+	hf, ok := fz.(*features.HistogramFeaturizer)
+	if !ok {
+		return fmt.Errorf("models: %s: saved featurizer kind %v, want %v", m.name, fz.Kind(), features.KindHistogram)
+	}
+	m.fz = hf
+	m.pred = s.Backend
+	return nil
+}
+
+// Histogram exposes the fitted histogram (used by the SHAP analysis).
+func (m *hscModel) Histogram() *features.Histogram {
+	if m.fz == nil {
+		return nil
+	}
+	return m.fz.Histogram()
+}
 
 // Forest exposes the underlying forest when the back-end is a random
 // forest (SHAP requires tree structure access); nil otherwise.

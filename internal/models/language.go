@@ -1,6 +1,7 @@
 package models
 
 import (
+	"fmt"
 	"math/rand"
 
 	"github.com/phishinghook/phishinghook/internal/dataset"
@@ -14,7 +15,7 @@ import (
 type scsGuard struct {
 	cfg NeuralConfig
 
-	vocab  *features.BigramVocab
+	fz     *features.BigramSeqFeaturizer
 	emb    *nn.Embedding
 	attn   *nn.MultiHeadAttention
 	gru    *nn.GRU
@@ -58,12 +59,19 @@ func (m *scsGuard) forward(ids []int) ([]float64, func(dl []float64)) {
 
 // Fit implements Classifier.
 func (m *scsGuard) Fit(train *dataset.Dataset) error {
+	fz, err := newFeaturizer(features.KindBigramSeq, bigramFeatConfig(m.cfg))
+	if err != nil {
+		return err
+	}
 	corpus := codes(train)
-	m.vocab = features.FitBigramsCapped(corpus, m.cfg.VocabCap)
-	m.build(m.vocab.Size())
+	if err := fz.Fit(corpus); err != nil {
+		return err
+	}
+	m.fz = fz.(*features.BigramSeqFeaturizer)
+	m.build(m.fz.VocabSize())
 	seqs := make([][]int, train.Len())
 	for i, s := range train.Samples {
-		seqs[i] = m.vocab.Encode(s.Bytecode, m.cfg.SeqLen)
+		seqs[i] = m.fz.Encode(s.Bytecode)
 	}
 	trainSamples(train.Len(), train.Labels(), m.params, func(i int) ([]float64, func([]float64)) {
 		return m.forward(seqs[i])
@@ -79,10 +87,63 @@ func (m *scsGuard) Predict(test *dataset.Dataset) ([]int, error) {
 	}
 	out := make([]int, test.Len())
 	for i, s := range test.Samples {
-		logits, _ := m.forward(m.vocab.Encode(s.Bytecode, m.cfg.SeqLen))
+		logits, _ := m.forward(m.fz.Encode(s.Bytecode))
 		out[i] = argmax2(logits)
 	}
 	return out, nil
+}
+
+// Featurizer implements Scorer.
+func (m *scsGuard) Featurizer() features.Featurizer {
+	if m.fz == nil {
+		return nil
+	}
+	return m.fz
+}
+
+// ScoreFeatures implements Scorer.
+func (m *scsGuard) ScoreFeatures(x []float64) (float64, error) {
+	if !m.fitted {
+		return 0, errNotFitted(m.Name())
+	}
+	logits, _ := m.forward(features.IDs(x))
+	return nn.Softmax(logits)[1], nil
+}
+
+// MarshalBinary implements Persistable.
+func (m *scsGuard) MarshalBinary() ([]byte, error) {
+	if !m.fitted {
+		return nil, errNotFitted(m.Name())
+	}
+	feat, err := features.MarshalFeaturizer(m.fz)
+	if err != nil {
+		return nil, err
+	}
+	return encodeState(neuralState{Feat: feat, Params: saveParams(m.params)})
+}
+
+// UnmarshalBinary implements Persistable. The network is rebuilt from the
+// restored vocabulary size before the parameter snapshot is loaded.
+func (m *scsGuard) UnmarshalBinary(data []byte) error {
+	var s neuralState
+	if err := decodeState(data, &s); err != nil {
+		return err
+	}
+	fz, err := features.LoadFeaturizer(s.Feat)
+	if err != nil {
+		return err
+	}
+	bz, ok := fz.(*features.BigramSeqFeaturizer)
+	if !ok {
+		return fmt.Errorf("models: SCSGuard: saved featurizer kind %v, want %v", fz.Kind(), features.KindBigramSeq)
+	}
+	m.fz = bz
+	m.build(bz.VocabSize())
+	if err := loadParams(m.params, s.Params); err != nil {
+		return err
+	}
+	m.fitted = true
+	return nil
 }
 
 // Variant selects the paper's sequence-handling mode for GPT-2 and T5.
@@ -115,7 +176,7 @@ type transformerLM struct {
 	variant Variant
 	cfg     NeuralConfig
 
-	vocab  *features.OpcodeVocab
+	fz     *features.OpcodeSeqFeaturizer
 	emb    *nn.Embedding
 	pos    *nn.Param
 	blocks []*nn.TransformerBlock
@@ -141,8 +202,16 @@ func NewT5(variant Variant, cfg NeuralConfig) Classifier {
 func newTransformerLM(name, kind string, variant Variant, cfg NeuralConfig) *transformerLM {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	m := &transformerLM{name: name, kind: kind, variant: variant, cfg: cfg}
-	m.vocab = features.NewOpcodeVocab()
-	m.emb = nn.NewEmbedding(name+".emb", m.vocab.Size(), cfg.Dim, rng)
+	featCfg := alphaSeqFeatConfig(cfg)
+	if variant == Beta {
+		featCfg = betaSeqFeatConfig(cfg)
+	}
+	fz, err := newFeaturizer(features.KindOpcodeSeq, featCfg)
+	if err != nil {
+		panic(fmt.Sprintf("models: %s featurizer: %v", name, err))
+	}
+	m.fz = fz.(*features.OpcodeSeqFeaturizer)
+	m.emb = nn.NewEmbedding(name+".emb", m.fz.VocabSize(), cfg.Dim, rng)
 	m.pos = nn.NewParam(name+".pos", cfg.SeqLen*cfg.Dim, nn.NormalInit(rng, 0.02))
 	for b := 0; b < cfg.Blocks; b++ {
 		m.blocks = append(m.blocks, nn.NewTransformerBlock(name+".blk", cfg.Dim, cfg.Heads, 2*cfg.Dim, rng))
@@ -240,17 +309,9 @@ func (m *transformerLM) forward(ids []int) ([]float64, func(dl []float64)) {
 }
 
 // windows produces the training/inference windows for a bytecode under the
-// model's variant.
+// model's variant (the featurizer owns truncation vs sliding windows).
 func (m *transformerLM) windows(code []byte) [][]int {
-	tokens := m.vocab.Tokens(code)
-	if m.variant == Alpha {
-		return [][]int{features.Truncate(tokens, m.cfg.SeqLen)}
-	}
-	wins := features.SlidingWindows(tokens, m.cfg.SeqLen, m.cfg.Stride)
-	if m.cfg.MaxWindows > 0 && len(wins) > m.cfg.MaxWindows {
-		wins = wins[:m.cfg.MaxWindows]
-	}
-	return wins
+	return m.fz.Windows(code)
 }
 
 // Fit implements Classifier. β variants train on every window with the
@@ -289,4 +350,56 @@ func (m *transformerLM) Predict(test *dataset.Dataset) ([]int, error) {
 		}
 	}
 	return out, nil
+}
+
+// Featurizer implements Scorer.
+func (m *transformerLM) Featurizer() features.Featurizer { return m.fz }
+
+// ScoreFeatures implements Scorer. β variants average window probabilities
+// over the windows present in the flat layout, mirroring Predict.
+func (m *transformerLM) ScoreFeatures(x []float64) (float64, error) {
+	if !m.fitted {
+		return 0, errNotFitted(m.name)
+	}
+	wins := m.fz.SplitWindows(x)
+	var pPhish float64
+	for _, w := range wins {
+		logits, _ := m.forward(w)
+		pPhish += nn.Softmax(logits)[1]
+	}
+	return pPhish / float64(len(wins)), nil
+}
+
+// MarshalBinary implements Persistable.
+func (m *transformerLM) MarshalBinary() ([]byte, error) {
+	if !m.fitted {
+		return nil, errNotFitted(m.name)
+	}
+	feat, err := features.MarshalFeaturizer(m.fz)
+	if err != nil {
+		return nil, err
+	}
+	return encodeState(neuralState{Feat: feat, Params: saveParams(m.params)})
+}
+
+// UnmarshalBinary implements Persistable.
+func (m *transformerLM) UnmarshalBinary(data []byte) error {
+	var s neuralState
+	if err := decodeState(data, &s); err != nil {
+		return err
+	}
+	fz, err := features.LoadFeaturizer(s.Feat)
+	if err != nil {
+		return err
+	}
+	osf, ok := fz.(*features.OpcodeSeqFeaturizer)
+	if !ok {
+		return fmt.Errorf("models: %s: saved featurizer kind %v, want %v", m.name, fz.Kind(), features.KindOpcodeSeq)
+	}
+	if err := loadParams(m.params, s.Params); err != nil {
+		return err
+	}
+	m.fz = osf
+	m.fitted = true
+	return nil
 }

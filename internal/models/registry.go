@@ -1,6 +1,10 @@
 package models
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/phishinghook/phishinghook/internal/features"
+)
 
 // Spec describes one of the 16 evaluated models.
 type Spec struct {
@@ -8,29 +12,80 @@ type Spec struct {
 	Name string
 	// Family is the taxonomy bucket.
 	Family Family
+	// Feat is the input representation the model consumes.
+	Feat features.Kind
+	// FeatConfig sizes the featurizer from the neural config — the same
+	// mapping the model itself uses at Fit time, exposed so evaluation and
+	// serving share one feature path.
+	FeatConfig func(cfg NeuralConfig) features.Config
 	// New builds a fresh instance for a fold.
 	New func(seed int64, cfg NeuralConfig) Classifier
+}
+
+// Featurizer-config mappings per representation. The model constructors
+// use these same functions, so the registry is the single source of truth
+// for how a NeuralConfig sizes each input representation.
+func histFeatConfig(NeuralConfig) features.Config { return features.Config{} }
+
+func imageFeatConfig(c NeuralConfig) features.Config {
+	return features.Config{ImageSide: c.ImageSide}
+}
+
+func bigramFeatConfig(c NeuralConfig) features.Config {
+	return features.Config{SeqLen: c.SeqLen, VocabCap: c.VocabCap}
+}
+
+func alphaSeqFeatConfig(c NeuralConfig) features.Config {
+	return features.Config{SeqLen: c.SeqLen}
+}
+
+func betaSeqFeatConfig(c NeuralConfig) features.Config {
+	return features.Config{
+		SeqLen: c.SeqLen, Stride: c.Stride, MaxWindows: c.MaxWindows, Windowed: true,
+	}
+}
+
+// FeaturizerFor builds the (unfitted) featurizer a spec consumes — the
+// registry mapping each of the 16 models to its input representation.
+func FeaturizerFor(spec Spec, cfg NeuralConfig) (features.Featurizer, error) {
+	return features.New(spec.Feat, spec.FeatConfig(cfg))
 }
 
 // AllSpecs returns the 16 models in the paper's Table II order.
 func AllSpecs() []Spec {
 	return []Spec{
-		{"Random Forest", HSC, func(s int64, _ NeuralConfig) Classifier { return NewRandomForest(s) }},
-		{"k-NN", HSC, func(s int64, _ NeuralConfig) Classifier { return NewKNN(s) }},
-		{"SVM", HSC, func(s int64, _ NeuralConfig) Classifier { return NewSVM(s) }},
-		{"Logistic Regression", HSC, func(s int64, _ NeuralConfig) Classifier { return NewLogReg(s) }},
-		{"XGBoost", HSC, func(s int64, _ NeuralConfig) Classifier { return NewXGBoost(s) }},
-		{"LightGBM", HSC, func(s int64, _ NeuralConfig) Classifier { return NewLightGBM(s) }},
-		{"CatBoost", HSC, func(s int64, _ NeuralConfig) Classifier { return NewCatBoost(s) }},
-		{"ECA+EfficientNet", VM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewECAEfficientNet(c) }},
-		{"ViT+R2D2", VM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewViTR2D2(c) }},
-		{"ViT+Freq", VM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewViTFreq(c) }},
-		{"SCSGuard", LM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewSCSGuard(c) }},
-		{"GPT-2α", LM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewGPT2(Alpha, c) }},
-		{"T5α", LM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewT5(Alpha, c) }},
-		{"GPT-2β", LM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewGPT2(Beta, c) }},
-		{"T5β", LM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewT5(Beta, c) }},
-		{"ESCORT", VDM, func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewESCORT(c) }},
+		{"Random Forest", HSC, features.KindHistogram, histFeatConfig,
+			func(s int64, _ NeuralConfig) Classifier { return NewRandomForest(s) }},
+		{"k-NN", HSC, features.KindHistogram, histFeatConfig,
+			func(s int64, _ NeuralConfig) Classifier { return NewKNN(s) }},
+		{"SVM", HSC, features.KindHistogram, histFeatConfig,
+			func(s int64, _ NeuralConfig) Classifier { return NewSVM(s) }},
+		{"Logistic Regression", HSC, features.KindHistogram, histFeatConfig,
+			func(s int64, _ NeuralConfig) Classifier { return NewLogReg(s) }},
+		{"XGBoost", HSC, features.KindHistogram, histFeatConfig,
+			func(s int64, _ NeuralConfig) Classifier { return NewXGBoost(s) }},
+		{"LightGBM", HSC, features.KindHistogram, histFeatConfig,
+			func(s int64, _ NeuralConfig) Classifier { return NewLightGBM(s) }},
+		{"CatBoost", HSC, features.KindHistogram, histFeatConfig,
+			func(s int64, _ NeuralConfig) Classifier { return NewCatBoost(s) }},
+		{"ECA+EfficientNet", VM, features.KindByteImage, imageFeatConfig,
+			func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewECAEfficientNet(c) }},
+		{"ViT+R2D2", VM, features.KindByteImage, imageFeatConfig,
+			func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewViTR2D2(c) }},
+		{"ViT+Freq", VM, features.KindFreqImage, imageFeatConfig,
+			func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewViTFreq(c) }},
+		{"SCSGuard", LM, features.KindBigramSeq, bigramFeatConfig,
+			func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewSCSGuard(c) }},
+		{"GPT-2α", LM, features.KindOpcodeSeq, alphaSeqFeatConfig,
+			func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewGPT2(Alpha, c) }},
+		{"T5α", LM, features.KindOpcodeSeq, alphaSeqFeatConfig,
+			func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewT5(Alpha, c) }},
+		{"GPT-2β", LM, features.KindOpcodeSeq, betaSeqFeatConfig,
+			func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewGPT2(Beta, c) }},
+		{"T5β", LM, features.KindOpcodeSeq, betaSeqFeatConfig,
+			func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewT5(Beta, c) }},
+		{"ESCORT", VDM, features.KindOpcodeSeq, alphaSeqFeatConfig,
+			func(s int64, c NeuralConfig) Classifier { c.Seed = s; return NewESCORT(c) }},
 	}
 }
 

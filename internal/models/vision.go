@@ -1,6 +1,7 @@
 package models
 
 import (
+	"fmt"
 	"math/rand"
 
 	"github.com/phishinghook/phishinghook/internal/dataset"
@@ -15,6 +16,7 @@ import (
 type ecaEffNet struct {
 	cfg NeuralConfig
 
+	fz           features.Featurizer
 	conv1, conv2 *nn.Conv2D
 	eca1, eca2   *nn.ECA
 	head         *nn.Dense
@@ -76,9 +78,17 @@ func (m *ecaEffNet) forward(img nn.Image) ([]float64, func(dl []float64)) {
 
 // Fit implements Classifier.
 func (m *ecaEffNet) Fit(train *dataset.Dataset) error {
+	fz, err := newFeaturizer(features.KindByteImage, imageFeatConfig(m.cfg))
+	if err != nil {
+		return err
+	}
+	if err := fz.Fit(codes(train)); err != nil {
+		return err
+	}
+	m.fz = fz
 	imgs := make([]nn.Image, train.Len())
 	for i, s := range train.Samples {
-		imgs[i] = nn.FromFlatRGB(features.R2D2Image(s.Bytecode, m.cfg.ImageSide), m.cfg.ImageSide)
+		imgs[i] = nn.FromFlatRGB(m.fz.Transform(s.Bytecode), m.cfg.ImageSide)
 	}
 	trainSamples(train.Len(), train.Labels(), m.params, func(i int) ([]float64, func([]float64)) {
 		return m.forward(imgs[i])
@@ -94,40 +104,75 @@ func (m *ecaEffNet) Predict(test *dataset.Dataset) ([]int, error) {
 	}
 	out := make([]int, test.Len())
 	for i, s := range test.Samples {
-		img := nn.FromFlatRGB(features.R2D2Image(s.Bytecode, m.cfg.ImageSide), m.cfg.ImageSide)
+		img := nn.FromFlatRGB(m.fz.Transform(s.Bytecode), m.cfg.ImageSide)
 		logits, _ := m.forward(img)
 		out[i] = argmax2(logits)
 	}
 	return out, nil
 }
 
-// imageEncoder produces the flat side×side×3 tensor for a bytecode; the two
-// ViT variants differ only here (R2D2 byte colours vs frequency encoding).
-type imageEncoder interface {
-	encode(code []byte, side int) []float64
+// Featurizer implements Scorer.
+func (m *ecaEffNet) Featurizer() features.Featurizer { return m.fz }
+
+// ScoreFeatures implements Scorer.
+func (m *ecaEffNet) ScoreFeatures(x []float64) (float64, error) {
+	if !m.fitted {
+		return 0, errNotFitted(m.Name())
+	}
+	logits, _ := m.forward(nn.FromFlatRGB(x, m.cfg.ImageSide))
+	return nn.Softmax(logits)[1], nil
 }
 
-type r2d2Encoder struct{}
-
-func (r2d2Encoder) encode(code []byte, side int) []float64 {
-	return features.R2D2Image(code, side)
+// neuralState is the shared serialized form of the fixed-architecture
+// neural models: featurizer state + positional parameter snapshot.
+type neuralState struct {
+	Feat   []byte
+	Params [][]float64
 }
 
-// freqEncoder must be fitted on the training corpus before encoding.
-type freqEncoder struct{ enc *features.FreqEncoder }
+// MarshalBinary implements Persistable.
+func (m *ecaEffNet) MarshalBinary() ([]byte, error) {
+	if !m.fitted {
+		return nil, errNotFitted(m.Name())
+	}
+	feat, err := features.MarshalFeaturizer(m.fz)
+	if err != nil {
+		return nil, err
+	}
+	return encodeState(neuralState{Feat: feat, Params: saveParams(m.params)})
+}
 
-func (f *freqEncoder) encode(code []byte, side int) []float64 {
-	return f.enc.Transform(code, side)
+// UnmarshalBinary implements Persistable.
+func (m *ecaEffNet) UnmarshalBinary(data []byte) error {
+	var s neuralState
+	if err := decodeState(data, &s); err != nil {
+		return err
+	}
+	fz, err := features.LoadFeaturizer(s.Feat)
+	if err != nil {
+		return err
+	}
+	if fz.Kind() != features.KindByteImage {
+		return fmt.Errorf("models: %s: saved featurizer kind %v, want %v", m.Name(), fz.Kind(), features.KindByteImage)
+	}
+	if err := loadParams(m.params, s.Params); err != nil {
+		return err
+	}
+	m.fz = fz
+	m.fitted = true
+	return nil
 }
 
 // vit is a Vision Transformer: patch embedding, CLS token, learned
 // positional embeddings, pre-norm transformer blocks and a CLS head —
 // ViT-B/16 scaled down (the paper fine-tunes the HuggingFace checkpoint).
+// The two variants differ only in their featurizer kind (R2D2 byte colours
+// vs frequency encoding).
 type vit struct {
-	name    string
-	cfg     NeuralConfig
-	encoder imageEncoder
-	fitFreq bool // rebuild the frequency table at Fit time
+	name     string
+	cfg      NeuralConfig
+	featKind features.Kind
+	fz       features.Featurizer
 
 	patchProj *nn.Dense
 	cls, pos  *nn.Param
@@ -140,18 +185,18 @@ type vit struct {
 
 // NewViTR2D2 builds the ViT over R2D2 byte-colour images.
 func NewViTR2D2(cfg NeuralConfig) Classifier {
-	return newViT("ViT+R2D2", cfg, r2d2Encoder{}, false)
+	return newViT("ViT+R2D2", cfg, features.KindByteImage)
 }
 
 // NewViTFreq builds the ViT over frequency-encoded opcode images.
 func NewViTFreq(cfg NeuralConfig) Classifier {
-	return newViT("ViT+Freq", cfg, &freqEncoder{}, true)
+	return newViT("ViT+Freq", cfg, features.KindFreqImage)
 }
 
-func newViT(name string, cfg NeuralConfig, enc imageEncoder, fitFreq bool) *vit {
+func newViT(name string, cfg NeuralConfig, featKind features.Kind) *vit {
 	cfg.Epochs *= 2 // grid-search schedule for the patch transformer
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	m := &vit{name: name, cfg: cfg, encoder: enc, fitFreq: fitFreq}
+	m := &vit{name: name, cfg: cfg, featKind: featKind}
 	patchDim := cfg.Patch * cfg.Patch * 3
 	nPatches := (cfg.ImageSide / cfg.Patch) * (cfg.ImageSide / cfg.Patch)
 	m.patchProj = nn.NewDense(name+".patch", patchDim, cfg.Dim, rng)
@@ -259,12 +304,17 @@ func (m *vit) forward(flat []float64) ([]float64, func(dl []float64)) {
 
 // Fit implements Classifier.
 func (m *vit) Fit(train *dataset.Dataset) error {
-	if m.fitFreq {
-		m.encoder = &freqEncoder{enc: features.FitFreqEncoder(codes(train))}
+	fz, err := newFeaturizer(m.featKind, imageFeatConfig(m.cfg))
+	if err != nil {
+		return err
 	}
+	if err := fz.Fit(codes(train)); err != nil {
+		return err
+	}
+	m.fz = fz
 	imgs := make([][]float64, train.Len())
 	for i, s := range train.Samples {
-		imgs[i] = m.encoder.encode(s.Bytecode, m.cfg.ImageSide)
+		imgs[i] = m.fz.Transform(s.Bytecode)
 	}
 	trainSamples(train.Len(), train.Labels(), m.params, func(i int) ([]float64, func([]float64)) {
 		return m.forward(imgs[i])
@@ -280,8 +330,53 @@ func (m *vit) Predict(test *dataset.Dataset) ([]int, error) {
 	}
 	out := make([]int, test.Len())
 	for i, s := range test.Samples {
-		logits, _ := m.forward(m.encoder.encode(s.Bytecode, m.cfg.ImageSide))
+		logits, _ := m.forward(m.fz.Transform(s.Bytecode))
 		out[i] = argmax2(logits)
 	}
 	return out, nil
+}
+
+// Featurizer implements Scorer.
+func (m *vit) Featurizer() features.Featurizer { return m.fz }
+
+// ScoreFeatures implements Scorer.
+func (m *vit) ScoreFeatures(x []float64) (float64, error) {
+	if !m.fitted {
+		return 0, errNotFitted(m.name)
+	}
+	logits, _ := m.forward(x)
+	return nn.Softmax(logits)[1], nil
+}
+
+// MarshalBinary implements Persistable.
+func (m *vit) MarshalBinary() ([]byte, error) {
+	if !m.fitted {
+		return nil, errNotFitted(m.name)
+	}
+	feat, err := features.MarshalFeaturizer(m.fz)
+	if err != nil {
+		return nil, err
+	}
+	return encodeState(neuralState{Feat: feat, Params: saveParams(m.params)})
+}
+
+// UnmarshalBinary implements Persistable.
+func (m *vit) UnmarshalBinary(data []byte) error {
+	var s neuralState
+	if err := decodeState(data, &s); err != nil {
+		return err
+	}
+	fz, err := features.LoadFeaturizer(s.Feat)
+	if err != nil {
+		return err
+	}
+	if fz.Kind() != m.featKind {
+		return fmt.Errorf("models: %s: saved featurizer kind %v, want %v", m.name, fz.Kind(), m.featKind)
+	}
+	if err := loadParams(m.params, s.Params); err != nil {
+		return err
+	}
+	m.fz = fz
+	m.fitted = true
+	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/phishinghook/phishinghook/internal/chain"
 	"github.com/phishinghook/phishinghook/internal/dataset"
@@ -70,6 +71,9 @@ const PhishLabel = explorer.PhishLabel
 
 // Models returns the 16 model specifications in the paper's Table II order.
 func Models() []ModelSpec { return models.AllSpecs() }
+
+// ComputeMetrics scores binary predictions against ground-truth labels.
+func ComputeMetrics(pred, truth []int) (Metrics, error) { return eval.Compute(pred, truth) }
 
 // ModelByName resolves a model spec by display name.
 func ModelByName(name string) (ModelSpec, error) { return models.SpecByName(name) }
@@ -170,18 +174,56 @@ func (f *Framework) BuildDataset(ctx context.Context, fromBlock, toBlock uint64,
 	if err != nil {
 		return nil, fmt.Errorf("phishinghook: label: %w", err)
 	}
+	// Extraction fans out over f.workers goroutines (eth_getCode is the
+	// pipeline's slowest step); results keep the crawl order so dedup and
+	// balancing stay deterministic.
 	client := ethrpc.NewClient(f.rpcURL)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	codes := make([][]byte, len(addrs))
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err; cancel() })
+	}
+	sem := make(chan struct{}, f.workers)
+extract:
+	for i, a := range addrs {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break extract
+		}
+		wg.Add(1)
+		go func(i int, a string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			addr, err := parseAddr(a)
+			if err != nil {
+				fail(err)
+				return
+			}
+			code, err := client.GetCode(ctx, addr)
+			if err != nil {
+				fail(fmt.Errorf("phishinghook: extract %s: %w", a, err))
+				return
+			}
+			codes[i] = code
+		}(i, a)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ds := &dataset.Dataset{}
-	for _, a := range addrs {
-		addr, err := parseAddr(a)
-		if err != nil {
-			return nil, err
-		}
-		code, err := client.GetCode(ctx, addr)
-		if err != nil {
-			return nil, fmt.Errorf("phishinghook: extract %s: %w", a, err)
-		}
-		if code == nil {
+	for i, a := range addrs {
+		if codes[i] == nil {
 			continue
 		}
 		lbl := dataset.Benign
@@ -190,7 +232,7 @@ func (f *Framework) BuildDataset(ctx context.Context, fromBlock, toBlock uint64,
 		}
 		ds.Samples = append(ds.Samples, dataset.Sample{
 			Address:  a,
-			Bytecode: code,
+			Bytecode: codes[i],
 			Label:    lbl,
 			// Month is unknown over plain RPC; callers that need temporal
 			// structure use the simulation's direct dataset path.

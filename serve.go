@@ -1,0 +1,145 @@
+package phishinghook
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ScoreRequest is the POST /score payload: one bytecode or a batch.
+type ScoreRequest struct {
+	// Bytecode is one 0x-prefixed hex bytecode.
+	Bytecode string `json:"bytecode,omitempty"`
+	// Bytecodes is a batch of 0x-prefixed hex bytecodes.
+	Bytecodes []string `json:"bytecodes,omitempty"`
+}
+
+// ScoreVerdict is the wire form of a Verdict.
+type ScoreVerdict struct {
+	Label      string  `json:"label"`
+	Phishing   bool    `json:"phishing"`
+	Confidence float64 `json:"confidence"`
+	Model      string  `json:"model"`
+}
+
+// ScoreResponse is the POST /score reply. Verdicts aligns with the request
+// order; Verdict duplicates the single entry for one-bytecode requests.
+type ScoreResponse struct {
+	Verdict   *ScoreVerdict  `json:"verdict,omitempty"`
+	Verdicts  []ScoreVerdict `json:"verdicts"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
+func toWire(v Verdict) ScoreVerdict {
+	return ScoreVerdict{
+		Label:      v.Label.String(),
+		Phishing:   v.IsPhishing(),
+		Confidence: v.Confidence,
+		Model:      v.ModelName,
+	}
+}
+
+// maxScoreBatch bounds one request's batch size and maxScoreBodyBytes one
+// request's wire size (backpressure; larger workloads should stream
+// multiple requests). Deployed EVM bytecode tops out at 24KB (48KB hex),
+// so the body limit comfortably fits a full batch.
+const (
+	maxScoreBatch     = 1024
+	maxScoreBodyBytes = 64 << 20
+)
+
+// NewScoreHandler exposes a Detector over HTTP:
+//
+//	POST /score   — {"bytecode": "0x.."} or {"bytecodes": ["0x..", ...]}
+//	GET  /healthz — liveness + model + cache stats
+//
+// Scoring runs on the detector's worker pool and shares its LRU
+// bytecode→feature cache, so a handler is safe under heavy concurrent
+// traffic.
+func NewScoreHandler(d *Detector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/score", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req ScoreRequest
+		body := http.MaxBytesReader(w, r.Body, maxScoreBodyBytes)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			status := http.StatusBadRequest
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			httpError(w, status, "bad JSON: %v", err)
+			return
+		}
+		hexes := req.Bytecodes
+		single := false
+		if req.Bytecode != "" {
+			hexes = append([]string{req.Bytecode}, hexes...)
+			single = len(req.Bytecodes) == 0
+		}
+		if len(hexes) == 0 {
+			httpError(w, http.StatusBadRequest, "no bytecode in request")
+			return
+		}
+		if len(hexes) > maxScoreBatch {
+			httpError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(hexes), maxScoreBatch)
+			return
+		}
+		codes := make([][]byte, len(hexes))
+		for i, h := range hexes {
+			code, err := DecodeHex(h)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bytecode %d: %v", i, err)
+				return
+			}
+			if len(code) == 0 {
+				httpError(w, http.StatusBadRequest, "bytecode %d: empty", i)
+				return
+			}
+			codes[i] = code
+		}
+		t0 := time.Now()
+		verdicts, err := d.ScoreBatch(r.Context(), codes)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "score: %v", err)
+			return
+		}
+		resp := ScoreResponse{
+			Verdicts:  make([]ScoreVerdict, len(verdicts)),
+			ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
+		}
+		for i, v := range verdicts {
+			resp.Verdicts[i] = toWire(v)
+		}
+		if single {
+			resp.Verdict = &resp.Verdicts[0]
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		hits, misses := d.CacheStats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":       "ok",
+			"model":        d.ModelName(),
+			"feature_dim":  d.FeatureDim(),
+			"cache_hits":   hits,
+			"cache_misses": misses,
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

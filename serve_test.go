@@ -1,0 +1,173 @@
+package phishinghook
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *Dataset) {
+	t.Helper()
+	ds, _ := testCorpus(t)
+	spec, err := ModelByName("Random Forest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(spec, ds, WithDetectorSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewScoreHandler(det))
+	t.Cleanup(srv.Close)
+	return srv, ds
+}
+
+func postScore(t *testing.T, url string, req ScoreRequest) (*http.Response, ScoreResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/score", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out ScoreResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestScoreHandlerSingle(t *testing.T) {
+	srv, ds := testServer(t)
+	resp, out := postScore(t, srv.URL, ScoreRequest{Bytecode: EncodeHex(ds.Samples[0].Bytecode)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Verdict == nil || len(out.Verdicts) != 1 {
+		t.Fatalf("single request should return one verdict: %+v", out)
+	}
+	if out.Verdict.Model != "Random Forest" || out.Verdict.Confidence < 0.5 {
+		t.Fatalf("implausible verdict %+v", out.Verdict)
+	}
+	if out.Verdict.Phishing != (out.Verdict.Label == "phishing") {
+		t.Fatalf("phishing flag disagrees with label: %+v", out.Verdict)
+	}
+}
+
+func TestScoreHandlerBatch(t *testing.T) {
+	srv, ds := testServer(t)
+	n := 32
+	if ds.Len() < n {
+		n = ds.Len()
+	}
+	req := ScoreRequest{}
+	for _, s := range ds.Samples[:n] {
+		req.Bytecodes = append(req.Bytecodes, EncodeHex(s.Bytecode))
+	}
+	resp, out := postScore(t, srv.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Verdicts) != n {
+		t.Fatalf("got %d verdicts, want %d", len(out.Verdicts), n)
+	}
+	if out.Verdict != nil {
+		t.Fatal("batch response should not set the single verdict field")
+	}
+}
+
+func TestScoreHandlerConcurrentClients(t *testing.T) {
+	srv, ds := testServer(t)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				s := ds.Samples[(g*10+i)%ds.Len()]
+				body, _ := json.Marshal(ScoreRequest{Bytecode: EncodeHex(s.Bytecode)})
+				resp, err := http.Post(srv.URL+"/score", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreHandlerRejects(t *testing.T) {
+	srv, _ := testServer(t)
+
+	for _, tc := range []struct {
+		name string
+		req  ScoreRequest
+		want int
+	}{
+		{"empty", ScoreRequest{}, http.StatusBadRequest},
+		{"bad hex", ScoreRequest{Bytecode: "0xzz"}, http.StatusBadRequest},
+		{"empty bytecode", ScoreRequest{Bytecodes: []string{"0x"}}, http.StatusBadRequest},
+	} {
+		resp, _ := postScore(t, srv.URL, tc.req)
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /score: status %d", resp.StatusCode)
+	}
+
+	oversized := ScoreRequest{}
+	for i := 0; i <= maxScoreBatch; i++ {
+		oversized.Bytecodes = append(oversized.Bytecodes, "0x60")
+	}
+	resp, _ = postScore(t, srv.URL, oversized)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" || body["model"] != "Random Forest" {
+		t.Fatalf("unexpected healthz body: %v", body)
+	}
+}
