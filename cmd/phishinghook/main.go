@@ -14,6 +14,20 @@
 //	phishinghook train     — fit a Detector and save it to disk
 //	phishinghook score     — score bytecode or an address with a Detector
 //	phishinghook serve     — expose POST /score over HTTP
+//	phishinghook watch     — follow the chain head and score new deployments
+//
+// watch is the Watchtower workload: it polls eth_blockNumber, lists each new
+// block's deployments from the registry, fetches bytecode, dedups clones by
+// SHA-256 and scores every unique deployment the moment it lands, firing
+// alerts above the confidence threshold. Against the default in-process
+// simulation it trains on the released past, switches the chain live and
+// replays the remaining months under a deterministic block clock:
+//
+//	phishinghook watch -months 1 -threshold 0.9 -alerts alerts.jsonl \
+//	    -checkpoint watch.cursor
+//
+// Against real endpoints (-rpc/-explorer) it runs until interrupted,
+// resuming from -checkpoint after restarts without re-scoring anything.
 package main
 
 import (
@@ -23,6 +37,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -57,6 +72,8 @@ func main() {
 		err = cmdScore(args)
 	case "serve":
 		err = cmdServe(args)
+	case "watch":
+		err = cmdWatch(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -67,8 +84,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate|train|score|serve> [flags]
-run "phishinghook <command> -h" for command flags`)
+	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate|train|score|serve|watch> [flags]
+run "phishinghook <command> -h" for command flags
+
+watch follows the chain head and scores every new deployment, e.g.:
+  phishinghook watch -months 1 -threshold 0.9 -alerts alerts.jsonl -checkpoint watch.cursor`)
 }
 
 // endpoints resolves the substrate: explicit URLs, or a fresh simulation.
@@ -427,6 +447,120 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %s on http://%s  (POST /score, GET /healthz)\n", det.ModelName(), *listen)
+	fmt.Printf("serving %s on http://%s  (POST /score, GET /healthz, GET /metrics)\n", det.ModelName(), *listen)
 	return http.ListenAndServe(*listen, ph.NewScoreHandler(det))
+}
+
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	rpcURL, explURL, seed, start := endpoints(fs)
+	detPath := fs.String("detector", "", "saved detector path (default: train fresh on the released prefix)")
+	model := fs.String("model", "Random Forest", "model to train when no -detector is given")
+	checkpoint := fs.String("checkpoint", "", "cursor checkpoint file (resume after restart; empty = none)")
+	alertsPath := fs.String("alerts", "", "append alerts to this JSONL file (always also logged)")
+	threshold := fs.Float64("threshold", 0.8, "minimum P(phishing) that fires an alert")
+	queue := fs.Int("queue", 1024, "score-queue bound (pipeline backpressure)")
+	poll := fs.Duration("poll", 100*time.Millisecond, "head poll interval")
+	months := fs.Int("months", 1, "simulated months to watch (simulation mode)")
+	tick := fs.Duration("tick", 20*time.Millisecond, "simulated block-clock tick interval")
+	blocksPerTick := fs.Int("blocks-per-tick", 4000, "mean blocks released per simulated tick")
+	listen := fs.String("listen", "", "optional HTTP address exposing /metrics and /healthz for this watcher")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sim, err := start()
+	if err != nil {
+		return err
+	}
+	if sim != nil {
+		defer sim.Close()
+	}
+
+	cfg := ph.WatcherConfig{
+		RPCURL:         *rpcURL,
+		ExplorerURL:    *explURL,
+		PollInterval:   *poll,
+		QueueSize:      *queue,
+		Threshold:      *threshold,
+		CheckpointPath: *checkpoint,
+	}
+
+	// Simulation mode: switch the chain live at the watch boundary, so the
+	// detector trains on the released past and the clock replays the rest.
+	var clock *ph.LiveClock
+	if sim != nil {
+		if *months < 1 {
+			*months = 1
+		}
+		if *months > ph.NumMonths {
+			*months = ph.NumMonths
+		}
+		if err := sim.GoLive(ph.NumMonths - *months); err != nil {
+			return err
+		}
+		cfg.StartBlock = sim.HeadBlock()
+		cfg.StopAtBlock = sim.TailBlock()
+		clock, err = sim.NewClock(ph.LiveClockConfig{
+			Seed:          *seed,
+			BlocksPerTick: *blocksPerTick,
+			JitterBlocks:  *blocksPerTick / 2,
+			Interval:      *tick,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		// Real endpoints: a fresh watcher starts at the current head so the
+		// first scan monitors new deployments instead of replaying all of
+		// chain history (a checkpoint, when present, still wins).
+		head, err := ph.CurrentHead(context.Background(), *rpcURL)
+		if err != nil {
+			return fmt.Errorf("resolve current head: %w", err)
+		}
+		cfg.StartBlock = head
+	}
+
+	det, err := loadOrTrainDetector(*detPath, *model, *seed, sim, *rpcURL)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("watching with %s (threshold %.2f)\n", det.ModelName(), *threshold)
+
+	sinks := []ph.AlertSink{ph.NewLogSink(nil)}
+	if *alertsPath != "" {
+		jsonl, err := ph.OpenJSONLSink(*alertsPath)
+		if err != nil {
+			return err
+		}
+		defer jsonl.Close()
+		sinks = append(sinks, jsonl)
+	}
+	cfg.Sinks = sinks
+
+	w, err := ph.NewWatcher(det, cfg)
+	if err != nil {
+		return err
+	}
+	if *listen != "" {
+		go func() {
+			log.Println(http.ListenAndServe(*listen, ph.NewScoreHandler(det, ph.WithWatcher(w))))
+		}()
+		fmt.Printf("monitor counters on http://%s/metrics\n", *listen)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if clock != nil {
+		fmt.Printf("replaying blocks %d → %d\n", cfg.StartBlock, cfg.StopAtBlock)
+		go clock.Run(ctx)
+	}
+	t0 := time.Now()
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		return err
+	}
+	s := w.Stats()
+	fmt.Printf("watched %d blocks in %s: %d contracts seen, %d scored, %d dedup hits, %d alerts, %d dropped, %d errors, score p50=%.2fms p99=%.2fms\n",
+		s.BlocksSeen, time.Since(t0).Round(time.Millisecond), s.ContractsSeen, s.ContractsScored,
+		s.DedupHits, s.Alerts, s.Dropped, s.Errors, s.ScoreP50MS, s.ScoreP99MS)
+	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/phishinghook/phishinghook/internal/ethrpc"
 	"github.com/phishinghook/phishinghook/internal/features"
@@ -104,6 +105,7 @@ type Detector struct {
 	cache     *lru.Cache[[]float64]
 	workers   int
 	rpc       *ethrpc.Client
+	scored    atomic.Uint64
 }
 
 // Train fits the spec's model on the dataset and returns a serving-ready
@@ -171,6 +173,10 @@ func (d *Detector) FeatureDim() int { return d.fz.Dim() }
 // CacheStats returns cumulative feature-cache hits and misses.
 func (d *Detector) CacheStats() (hits, misses uint64) { return d.cache.Stats() }
 
+// ScoreCount returns how many bytecodes this detector has scored (every
+// Score/ScoreHex/ScoreAddress/ScoreBatch element counts once on success).
+func (d *Detector) ScoreCount() uint64 { return d.scored.Load() }
+
 // featuresFor transforms bytecode, memoizing through the LRU cache. The
 // cached slice is shared across goroutines and must be treated read-only —
 // every model's ScoreFeatures only reads its input.
@@ -201,6 +207,7 @@ func (d *Detector) Score(ctx context.Context, code []byte) (Verdict, error) {
 	if p >= 0.5 {
 		v.Label, v.Confidence = Phishing, p
 	}
+	d.scored.Add(1)
 	return v, nil
 }
 

@@ -100,12 +100,21 @@ type Contract struct {
 
 // Chain is an in-memory contract store ordered by deployment block. It is
 // safe for concurrent use.
+//
+// A chain has two read modes. After Freeze the whole deployment log is
+// visible at once (the frozen-corpus mode every batch experiment uses).
+// GoLive switches a frozen chain into live mode: a visible-head cursor hides
+// every deployment above it, so eth_blockNumber, eth_getCode and the
+// explorer registry all advance over simulated time as AdvanceHead (usually
+// driven by a Clock) releases blocks.
 type Chain struct {
 	mu        sync.RWMutex
 	byAddr    map[Address]*Contract
 	deployed  []*Contract // sorted by (Block, Addr) after Freeze
 	headBlock uint64
 	frozen    bool
+	live      bool
+	visible   uint64 // visible head block while live
 }
 
 // New returns an empty chain.
@@ -152,27 +161,90 @@ func (c *Chain) Freeze() {
 	c.frozen = true
 }
 
+// GoLive switches a frozen chain into live mode with the visible head at
+// startBlock: contracts deployed above it stay hidden until AdvanceHead
+// releases their block. Calling GoLive before Freeze is an error.
+func (c *Chain) GoLive(startBlock uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.frozen {
+		return fmt.Errorf("chain: GoLive before Freeze")
+	}
+	c.live = true
+	c.visible = startBlock
+	if c.visible > c.headBlock {
+		c.visible = c.headBlock
+	}
+	return nil
+}
+
+// Live reports whether the chain is in live mode.
+func (c *Chain) Live() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.live
+}
+
+// AdvanceHead releases n more blocks in live mode, clamping at the deployment
+// tail, and returns the new visible head. No-op when not live.
+func (c *Chain) AdvanceHead(n uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.live {
+		return c.headBlock
+	}
+	if n > c.headBlock-c.visible {
+		c.visible = c.headBlock
+	} else {
+		c.visible += n
+	}
+	return c.visible
+}
+
+// visibleLocked reports whether ct is released under the current read mode.
+// Callers hold c.mu.
+func (c *Chain) visibleLocked(ct *Contract) bool {
+	return !c.live || ct.Block <= c.visible
+}
+
 // GetCode returns the deployed bytecode at addr, or nil if no contract
 // exists there (the JSON-RPC server renders that as "0x", like a real node).
+// In live mode, contracts above the visible head do not exist yet.
 func (c *Chain) GetCode(addr Address) []byte {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if ct, ok := c.byAddr[addr]; ok {
+	if ct, ok := c.byAddr[addr]; ok && c.visibleLocked(ct) {
 		return ct.Code
 	}
 	return nil
 }
 
-// Lookup returns the full contract record at addr.
+// Lookup returns the full contract record at addr. In live mode, contracts
+// above the visible head are not found.
 func (c *Chain) Lookup(addr Address) (*Contract, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	ct, ok := c.byAddr[addr]
+	if ok && !c.visibleLocked(ct) {
+		return nil, false
+	}
 	return ct, ok
 }
 
-// HeadBlock returns the highest deployment block seen.
+// HeadBlock returns the highest deployment block seen, or the visible head
+// in live mode.
 func (c *Chain) HeadBlock() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.live {
+		return c.visible
+	}
+	return c.headBlock
+}
+
+// TailBlock returns the final deployment block regardless of live-mode
+// visibility (the block at which a live replay ends).
+func (c *Chain) TailBlock() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.headBlock
@@ -186,12 +258,16 @@ func (c *Chain) Len() int {
 }
 
 // ContractsInRange returns contracts with Block in [from, to], in deployment
-// order. The chain must be frozen first.
+// order. The chain must be frozen first. In live mode the range is clamped
+// to the visible head, so registry listings never leak future deployments.
 func (c *Chain) ContractsInRange(from, to uint64) []*Contract {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if !c.frozen {
 		panic("chain: ContractsInRange before Freeze")
+	}
+	if c.live && to > c.visible {
+		to = c.visible
 	}
 	lo := sort.Search(len(c.deployed), func(i int) bool { return c.deployed[i].Block >= from })
 	hi := sort.Search(len(c.deployed), func(i int) bool { return c.deployed[i].Block > to })

@@ -229,3 +229,152 @@ func TestBuildValidation(t *testing.T) {
 		t.Error("Build with ProxyFraction>1 succeeded")
 	}
 }
+
+func TestLiveModeVisibility(t *testing.T) {
+	c, err := Build(testBuildConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := c.All()
+	tail := c.TailBlock()
+	start := MonthStartBlock(6) - 1
+	if err := c.GoLive(start); err != nil {
+		t.Fatalf("GoLive: %v", err)
+	}
+	if !c.Live() {
+		t.Fatal("chain not live after GoLive")
+	}
+	if c.HeadBlock() != start {
+		t.Fatalf("HeadBlock = %d, want visible head %d", c.HeadBlock(), start)
+	}
+	if c.TailBlock() != tail {
+		t.Fatalf("TailBlock changed under live mode: %d vs %d", c.TailBlock(), tail)
+	}
+
+	// Deployments above the visible head must be hidden from every read path.
+	var future, past *Contract
+	for _, ct := range all {
+		if ct.Block > start && future == nil {
+			future = ct
+		}
+		if ct.Block <= start {
+			past = ct
+		}
+	}
+	if future == nil || past == nil {
+		t.Fatal("test chain needs contracts on both sides of the live head")
+	}
+	if c.GetCode(future.Addr) != nil {
+		t.Error("GetCode leaked a future deployment")
+	}
+	if _, ok := c.Lookup(future.Addr); ok {
+		t.Error("Lookup leaked a future deployment")
+	}
+	if !bytes.Equal(c.GetCode(past.Addr), past.Code) {
+		t.Error("GetCode lost a released deployment")
+	}
+	for _, ct := range c.ContractsInRange(0, ^uint64(0)) {
+		if ct.Block > start {
+			t.Fatalf("registry range leaked block %d beyond head %d", ct.Block, start)
+		}
+	}
+
+	// Advancing releases the hidden contracts and clamps at the tail.
+	if head := c.AdvanceHead(^uint64(0)); head != tail {
+		t.Fatalf("AdvanceHead clamp = %d, want tail %d", head, tail)
+	}
+	if got := c.ContractsInRange(0, ^uint64(0)); len(got) != len(all) {
+		t.Errorf("after full advance, range returned %d of %d contracts", len(got), len(all))
+	}
+	if !bytes.Equal(c.GetCode(future.Addr), future.Code) {
+		t.Error("future deployment still hidden after full advance")
+	}
+}
+
+func TestGoLiveRequiresFreeze(t *testing.T) {
+	c := New()
+	if err := c.GoLive(0); err == nil {
+		t.Error("GoLive before Freeze succeeded, want error")
+	}
+}
+
+func TestClockDeterministicSchedule(t *testing.T) {
+	heads := func() []uint64 {
+		c, err := Build(testBuildConfig(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := MonthStartBlock(11)
+		if err := c.GoLive(start); err != nil {
+			t.Fatal(err)
+		}
+		clk, err := NewClock(c, ClockConfig{Seed: 99, BlocksPerTick: 5000, JitterBlocks: 2500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []uint64
+		for {
+			head, done := clk.Tick()
+			out = append(out, head)
+			if done {
+				return out
+			}
+		}
+	}
+	h1, h2 := heads(), heads()
+	if len(h1) != len(h2) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(h1), len(h2))
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("tick %d differs: %d vs %d", i, h1[i], h2[i])
+		}
+	}
+	if last := h1[len(h1)-1]; last != MonthStartBlock(synth.NumMonths-1)+BlocksPerMonth-1 {
+		// The clock must stop exactly at the chain tail, never beyond.
+		c, _ := Build(testBuildConfig(13))
+		if last != c.TailBlock() {
+			t.Errorf("clock ended at %d, want chain tail %d", last, c.TailBlock())
+		}
+	}
+}
+
+func TestClockEndBlockStopsEarly(t *testing.T) {
+	c, err := Build(testBuildConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := MonthStartBlock(3)
+	end := start + 10
+	if err := c.GoLive(start); err != nil {
+		t.Fatal(err)
+	}
+	clk, err := NewClock(c, ClockConfig{Seed: 1, BlocksPerTick: 3, EndBlock: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		head, done := clk.Tick()
+		if head > end {
+			t.Fatalf("clock exposed block %d past end %d", head, end)
+		}
+		if done {
+			if head != end {
+				t.Fatalf("clock stopped at %d, want %d", head, end)
+			}
+			break
+		}
+		if i > 100 {
+			t.Fatal("clock never reached its end block")
+		}
+	}
+	if _, done := clk.Tick(); !done {
+		t.Error("Tick after end should stay done")
+	}
+	if err := c.GoLive(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClock(New(), ClockConfig{}); err == nil {
+		t.Error("NewClock on a non-live chain succeeded, want error")
+	}
+}

@@ -1,0 +1,109 @@
+package chain
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ClockConfig tunes a live-mode block clock.
+type ClockConfig struct {
+	// Seed drives the per-tick release schedule. Two clocks with the same
+	// seed over the same chain release identical block sequences, so live
+	// replays are reproducible regardless of wall-clock timing.
+	Seed int64
+	// BlocksPerTick is the mean number of blocks released per tick
+	// (default 1).
+	BlocksPerTick int
+	// JitterBlocks spreads each tick uniformly in
+	// [BlocksPerTick-J, BlocksPerTick+J], floored at 1 block (default 0).
+	JitterBlocks int
+	// Interval is the wall time between ticks when driven by Run
+	// (default 10ms). Tick ignores it.
+	Interval time.Duration
+	// EndBlock stops the clock once the visible head reaches it
+	// (0 = the chain's deployment tail).
+	EndBlock uint64
+}
+
+// Clock releases a live chain's deployments block-by-block on a
+// seed-deterministic schedule. It substitutes for mainnet's 12-second block
+// cadence: tests tick it manually, the CLI runs it against wall time.
+// A Clock is not safe for concurrent use; drive it from one goroutine.
+type Clock struct {
+	chain *Chain
+	cfg   ClockConfig
+	rng   *rand.Rand
+	end   uint64
+}
+
+// NewClock builds a clock over a chain already switched live with GoLive.
+func NewClock(c *Chain, cfg ClockConfig) (*Clock, error) {
+	if !c.Live() {
+		return nil, fmt.Errorf("chain: NewClock on a non-live chain (call GoLive first)")
+	}
+	if cfg.BlocksPerTick <= 0 {
+		cfg.BlocksPerTick = 1
+	}
+	if cfg.JitterBlocks < 0 {
+		cfg.JitterBlocks = 0
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Millisecond
+	}
+	end := cfg.EndBlock
+	if end == 0 || end > c.TailBlock() {
+		end = c.TailBlock()
+	}
+	return &Clock{
+		chain: c,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		end:   end,
+	}, nil
+}
+
+// EndBlock returns the block at which the clock stops.
+func (k *Clock) EndBlock() uint64 { return k.end }
+
+// Tick releases the next deterministic batch of blocks and returns the new
+// visible head plus whether the clock has reached its end block.
+func (k *Clock) Tick() (head uint64, done bool) {
+	cur := k.chain.HeadBlock()
+	if cur >= k.end {
+		return cur, true
+	}
+	n := k.cfg.BlocksPerTick
+	if j := k.cfg.JitterBlocks; j > 0 {
+		n += k.rng.Intn(2*j+1) - j
+	}
+	if n < 1 {
+		n = 1
+	}
+	if remaining := k.end - cur; uint64(n) > remaining {
+		n = int(remaining)
+	}
+	head = k.chain.AdvanceHead(uint64(n))
+	return head, head >= k.end
+}
+
+// Run ticks the clock every Interval until the end block or context
+// cancellation, returning the final visible head.
+func (k *Clock) Run(ctx context.Context) uint64 {
+	ticker := time.NewTicker(k.cfg.Interval)
+	defer ticker.Stop()
+	head := k.chain.HeadBlock()
+	for {
+		select {
+		case <-ctx.Done():
+			return head
+		case <-ticker.C:
+			var done bool
+			head, done = k.Tick()
+			if done {
+				return head
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -52,7 +53,7 @@ type Client struct {
 func NewClient(endpoint string, opts ...ClientOption) *Client {
 	c := &Client{
 		endpoint: endpoint,
-		http:     &http.Client{Timeout: 10 * time.Second},
+		http:     &http.Client{Timeout: 10 * time.Second, Transport: NewPooledTransport()},
 		attempts: 3,
 		backoff:  50 * time.Millisecond,
 	}
@@ -62,20 +63,101 @@ func NewClient(endpoint string, opts ...ClientOption) *Client {
 	return c
 }
 
-// call performs one JSON-RPC call with retry on transport errors and 5xx
-// statuses. JSON-RPC application errors are not retried: the server has
+// NewPooledTransport returns a transport sized for one-endpoint fan-out. The
+// stdlib default keeps only 2 idle connections per host, so a worker pool
+// hammering a single node re-handshakes constantly; raising the idle pool
+// is worth >2x throughput on the extraction and monitoring hot paths. The
+// explorer crawler shares it.
+func NewPooledTransport() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 256
+	return t
+}
+
+// wireRequest is the JSON-RPC 2.0 request envelope.
+type wireRequest struct {
+	JSONRPC string `json:"jsonrpc"`
+	ID      int64  `json:"id"`
+	Method  string `json:"method"`
+	Params  []any  `json:"params"`
+}
+
+// wireResponse is the JSON-RPC 2.0 response envelope.
+type wireResponse struct {
+	ID     int64           `json:"id"`
+	Result json.RawMessage `json:"result"`
+	Error  *rpcError       `json:"error"`
+}
+
+// call performs one JSON-RPC call with retry on transport errors, 429s and
+// 5xx statuses. JSON-RPC application errors are not retried: the server has
 // answered authoritatively.
 func (c *Client) call(ctx context.Context, method string, params ...any) (json.RawMessage, error) {
-	id := c.nextID.Add(1)
-	reqBody, err := json.Marshal(map[string]any{
-		"jsonrpc": "2.0",
-		"id":      id,
-		"method":  method,
-		"params":  params,
-	})
+	if params == nil {
+		params = []any{}
+	}
+	reqBody, err := json.Marshal(wireRequest{JSONRPC: "2.0", ID: c.nextID.Add(1), Method: method, Params: params})
 	if err != nil {
 		return nil, fmt.Errorf("ethrpc: marshal request: %w", err)
 	}
+	var rpcResp wireResponse
+	if err := c.post(ctx, reqBody, &rpcResp); err != nil {
+		return nil, fmt.Errorf("ethrpc: %s: %w", method, err)
+	}
+	if rpcResp.Error != nil {
+		return nil, rpcResp.Error
+	}
+	return rpcResp.Result, nil
+}
+
+// callBatch sends one JSON-RPC 2.0 batch (an array of requests for the same
+// method) in a single HTTP round trip and returns the per-item results in
+// request order, matching responses by id as the spec allows reordering.
+// The first item-level application error fails the batch.
+func (c *Client) callBatch(ctx context.Context, method string, paramsList [][]any) ([]json.RawMessage, error) {
+	if len(paramsList) == 0 {
+		return nil, nil
+	}
+	n := int64(len(paramsList))
+	base := c.nextID.Add(n) - n + 1
+	reqs := make([]wireRequest, len(paramsList))
+	for i, params := range paramsList {
+		if params == nil {
+			params = []any{}
+		}
+		reqs[i] = wireRequest{JSONRPC: "2.0", ID: base + int64(i), Method: method, Params: params}
+	}
+	reqBody, err := json.Marshal(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("ethrpc: marshal batch: %w", err)
+	}
+	var resps []wireResponse
+	if err := c.post(ctx, reqBody, &resps); err != nil {
+		return nil, fmt.Errorf("ethrpc: %s batch: %w", method, err)
+	}
+	byID := make(map[int64]*wireResponse, len(resps))
+	for i := range resps {
+		byID[resps[i].ID] = &resps[i]
+	}
+	out := make([]json.RawMessage, len(paramsList))
+	for i := range paramsList {
+		resp, ok := byID[base+int64(i)]
+		if !ok {
+			return nil, fmt.Errorf("ethrpc: %s batch: missing response for item %d", method, i)
+		}
+		if resp.Error != nil {
+			return nil, fmt.Errorf("ethrpc: %s batch item %d: %w", method, i, resp.Error)
+		}
+		out[i] = resp.Result
+	}
+	return out, nil
+}
+
+// post runs the retry loop around one HTTP exchange, decoding the response
+// body into `into`. A body that fails to decode counts as a transient fault
+// (torn proxy response) and is retried like a transport error.
+func (c *Client) post(ctx context.Context, body []byte, into any) error {
 	var lastErr error
 	backoff := c.backoff
 	for attempt := 0; attempt < c.attempts; attempt++ {
@@ -83,51 +165,63 @@ func (c *Client) call(ctx context.Context, method string, params ...any) (json.R
 			jitter := time.Duration(rand.Int63n(int64(backoff)/2 + 1))
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return ctx.Err()
 			case <-time.After(backoff + jitter):
 			}
 			backoff *= 2
 		}
-		result, retryable, err := c.once(ctx, reqBody)
+		raw, retryable, err := c.once(ctx, body)
 		if err == nil {
-			return result, nil
+			// Validate the document shape first so a torn response never
+			// partially populates `into` and survives a later successful
+			// retry with stale fields.
+			var checked json.RawMessage
+			if err = json.Unmarshal(raw, &checked); err == nil {
+				if err = json.Unmarshal(checked, into); err != nil {
+					// Well-formed JSON of the wrong shape: the server has
+					// answered authoritatively, don't retry.
+					return fmt.Errorf("decode response: %w", err)
+				}
+				return nil
+			}
+			err = fmt.Errorf("decode response: %w", err)
+			retryable = true
 		}
 		lastErr = err
 		if !retryable {
-			return nil, err
+			return err
 		}
 	}
-	return nil, fmt.Errorf("ethrpc: %s failed after %d attempts: %w", method, c.attempts, lastErr)
+	return fmt.Errorf("failed after %d attempts: %w", c.attempts, lastErr)
 }
 
-func (c *Client) once(ctx context.Context, body []byte) (result json.RawMessage, retryable bool, err error) {
+func (c *Client) once(ctx context.Context, body []byte) (raw []byte, retryable bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint, bytes.NewReader(body))
 	if err != nil {
-		return nil, false, fmt.Errorf("ethrpc: build request: %w", err)
+		return nil, false, fmt.Errorf("build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, true, fmt.Errorf("ethrpc: transport: %w", err)
+		return nil, true, fmt.Errorf("transport: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 500 {
-		return nil, true, fmt.Errorf("ethrpc: server status %d", resp.StatusCode)
+		return nil, true, fmt.Errorf("server status %d", resp.StatusCode)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// Rate-limited providers (Infura, Alchemy, …) answer 429 under
+		// burst; back off and retry like the explorer crawler does.
+		return nil, true, fmt.Errorf("rate limited (429)")
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, false, fmt.Errorf("ethrpc: unexpected status %d", resp.StatusCode)
+		return nil, false, fmt.Errorf("unexpected status %d", resp.StatusCode)
 	}
-	var rpcResp struct {
-		Result json.RawMessage `json:"result"`
-		Error  *rpcError       `json:"error"`
+	raw, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, true, fmt.Errorf("read response: %w", err)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&rpcResp); err != nil {
-		return nil, true, fmt.Errorf("ethrpc: decode response: %w", err)
-	}
-	if rpcResp.Error != nil {
-		return nil, false, rpcResp.Error
-	}
-	return rpcResp.Result, false, nil
+	return raw, false, nil
 }
 
 // GetCode fetches the deployed bytecode at addr ("latest" block). A nil,
@@ -137,6 +231,35 @@ func (c *Client) GetCode(ctx context.Context, addr chain.Address) ([]byte, error
 	if err != nil {
 		return nil, err
 	}
+	return decodeCodeResult(raw)
+}
+
+// GetCodeBatch fetches deployed bytecode for many addresses in one JSON-RPC
+// 2.0 batch round trip (the Watchtower's fetch hot path: amortizing the HTTP
+// exchange across a window's deployments is worth ~an order of magnitude in
+// contracts/sec). Results align with addrs; nil entries are EOAs.
+func (c *Client) GetCodeBatch(ctx context.Context, addrs []chain.Address) ([][]byte, error) {
+	if len(addrs) == 0 {
+		return nil, nil
+	}
+	params := make([][]any, len(addrs))
+	for i, a := range addrs {
+		params[i] = []any{a.String(), "latest"}
+	}
+	raws, err := c.callBatch(ctx, "eth_getCode", params)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(addrs))
+	for i, raw := range raws {
+		if out[i], err = decodeCodeResult(raw); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func decodeCodeResult(raw json.RawMessage) ([]byte, error) {
 	var hexCode string
 	if err := json.Unmarshal(raw, &hexCode); err != nil {
 		return nil, fmt.Errorf("ethrpc: eth_getCode result not a string: %w", err)

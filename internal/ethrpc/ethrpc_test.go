@@ -216,3 +216,137 @@ func TestRequestCounter(t *testing.T) {
 		t.Errorf("Requests = %d, want 5", s.Requests())
 	}
 }
+
+func TestClientRetriesThrough429(t *testing.T) {
+	c := testChain(t)
+	inner := NewServer(c, 7)
+	var calls atomic.Int64
+	limited := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "rate limited", http.StatusTooManyRequests)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer limited.Close()
+
+	client := NewClient(limited.URL, WithRetries(4, time.Millisecond))
+	id, err := client.ChainID(context.Background())
+	if err != nil {
+		t.Fatalf("ChainID through 429s: %v", err)
+	}
+	if id != 7 {
+		t.Errorf("ChainID = %d, want 7", id)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3 (2 × 429 + success)", calls.Load())
+	}
+}
+
+func TestClient429ExhaustsRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "rate limited", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	client := NewClient(srv.URL, WithRetries(3, time.Millisecond))
+	if _, err := client.BlockNumber(context.Background()); err == nil {
+		t.Fatal("expected error after exhausting retries")
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want all 3 attempts", calls.Load())
+	}
+}
+
+func TestHexQuantityParsing(t *testing.T) {
+	// BlockNumber and ChainID share parseHexUint; malformed results from a
+	// broken node must surface as errors, not zero values.
+	for _, tc := range []struct {
+		name, result string
+		wantErr      bool
+	}{
+		{"happy", `"0x1a"`, false},
+		{"no prefix", `"ff"`, false}, // some nodes omit 0x; hex still parses
+		{"not hex", `"0xzz"`, true},
+		{"empty", `""`, true},
+		{"not a string", `42`, true},
+		{"object result", `{"v":1}`, true},
+	} {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"jsonrpc":"2.0","id":1,"result":` + tc.result + `}`))
+		}))
+		client := NewClient(srv.URL, WithRetries(1, time.Millisecond))
+		bn, err := client.BlockNumber(context.Background())
+		if tc.wantErr && err == nil {
+			t.Errorf("%s: BlockNumber(%s) = %d, want error", tc.name, tc.result, bn)
+		}
+		if !tc.wantErr && err != nil {
+			t.Errorf("%s: BlockNumber(%s): %v", tc.name, tc.result, err)
+		}
+		id, err := client.ChainID(context.Background())
+		if tc.wantErr && err == nil {
+			t.Errorf("%s: ChainID(%s) = %d, want error", tc.name, tc.result, id)
+		}
+		if !tc.wantErr && err != nil {
+			t.Errorf("%s: ChainID(%s): %v", tc.name, tc.result, err)
+		}
+		srv.Close()
+	}
+}
+
+func TestGetCodeBatchRoundTrip(t *testing.T) {
+	c := testChain(t)
+	s := NewServer(c, 1)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	all := c.All()
+	addrs := make([]chain.Address, 0, 12)
+	for _, ct := range all[:10] {
+		addrs = append(addrs, ct.Addr)
+	}
+	addrs = append(addrs, chain.DeriveAddress(999, 999)) // absent → nil entry
+	codes, err := client.GetCodeBatch(context.Background(), addrs)
+	if err != nil {
+		t.Fatalf("GetCodeBatch: %v", err)
+	}
+	if len(codes) != len(addrs) {
+		t.Fatalf("got %d results, want %d", len(codes), len(addrs))
+	}
+	for i, ct := range all[:10] {
+		if !bytes.Equal(codes[i], ct.Code) {
+			t.Fatalf("batch item %d: %d bytes, want %d", i, len(codes[i]), len(ct.Code))
+		}
+	}
+	if codes[10] != nil {
+		t.Errorf("absent address returned %d bytes, want nil", len(codes[10]))
+	}
+	// One HTTP exchange, but the server counts every item as a served call.
+	if s.Requests() != int64(len(addrs)) {
+		t.Errorf("Requests = %d, want %d batch items", s.Requests(), len(addrs))
+	}
+	if out, err := client.GetCodeBatch(context.Background(), nil); err != nil || out != nil {
+		t.Errorf("empty batch: (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestBatchItemErrorFailsBatch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`[{"jsonrpc":"2.0","id":1,"result":"0x60"},{"jsonrpc":"2.0","id":2,"error":{"code":-32602,"message":"bad address"}}]`))
+	}))
+	defer srv.Close()
+	client := NewClient(srv.URL, WithRetries(1, time.Millisecond))
+	_, err := client.GetCodeBatch(context.Background(),
+		[]chain.Address{chain.DeriveAddress(1, 1), chain.DeriveAddress(1, 2)})
+	if err == nil {
+		t.Fatal("item-level error should fail the batch")
+	}
+	if !strings.Contains(err.Error(), "bad address") {
+		t.Errorf("error should carry the item message: %v", err)
+	}
+}

@@ -1,12 +1,17 @@
 // Package ethrpc implements the slice of the Ethereum JSON-RPC 2.0 protocol
 // the paper's Bytecode Extraction Module uses (eth_getCode, eth_blockNumber,
 // eth_chainId), as an http server backed by a simulated chain and a client
-// with timeouts and retry.
+// with timeouts and retry. Both sides speak JSON-RPC 2.0 batches, which the
+// Watchtower uses to amortize one HTTP round trip across a whole block
+// window's bytecode fetches.
 package ethrpc
 
 import (
+	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -61,18 +66,45 @@ func NewServer(c *chain.Chain, chainID uint64) *Server {
 // Requests returns the number of RPC calls served so far.
 func (s *Server) Requests() int64 { return s.requests.Load() }
 
-// ServeHTTP handles a single (non-batched) JSON-RPC request.
+// ServeHTTP handles one JSON-RPC exchange: a single request object or a
+// JSON-RPC 2.0 batch (an array of requests answered with an array of
+// responses, one per item).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	s.requests.Add(1)
-	var req rpcRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
 		writeResponse(w, rpcResponse{JSONRPC: "2.0", Error: &rpcError{codeParse, "parse error: " + err.Error()}})
 		return
 	}
+	if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
+		var reqs []rpcRequest
+		if err := json.Unmarshal(trimmed, &reqs); err != nil {
+			writeResponse(w, rpcResponse{JSONRPC: "2.0", Error: &rpcError{codeParse, "parse error: " + err.Error()}})
+			return
+		}
+		resps := make([]rpcResponse, len(reqs))
+		for i, req := range reqs {
+			resps[i] = s.handleOne(req)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resps)
+		return
+	}
+	var req rpcRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeResponse(w, rpcResponse{JSONRPC: "2.0", Error: &rpcError{codeParse, "parse error: " + err.Error()}})
+		return
+	}
+	writeResponse(w, s.handleOne(req))
+}
+
+// handleOne dispatches a single request envelope, counting it as one served
+// call (a batch of n counts n).
+func (s *Server) handleOne(req rpcRequest) rpcResponse {
+	s.requests.Add(1)
 	resp := rpcResponse{JSONRPC: "2.0", ID: req.ID}
 	result, rerr := s.dispatch(req)
 	if rerr != nil {
@@ -80,7 +112,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	} else {
 		resp.Result = result
 	}
-	writeResponse(w, resp)
+	return resp
 }
 
 func writeResponse(w http.ResponseWriter, resp rpcResponse) {
@@ -131,7 +163,7 @@ func (s *Server) getCode(params []json.RawMessage) (any, *rpcError) {
 	if code == nil {
 		return "0x", nil // match real node behaviour for EOAs / absent accounts
 	}
-	return "0x" + fmt.Sprintf("%x", code), nil
+	return "0x" + hex.EncodeToString(code), nil
 }
 
 func hexUint(v uint64) string { return fmt.Sprintf("0x%x", v) }

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"github.com/phishinghook/phishinghook/internal/ethrpc"
 )
 
 // CrawlerOption configures a Crawler.
@@ -52,7 +54,7 @@ type Crawler struct {
 func NewCrawler(base string, opts ...CrawlerOption) *Crawler {
 	c := &Crawler{
 		base:        base,
-		http:        &http.Client{Timeout: 10 * time.Second},
+		http:        &http.Client{Timeout: 10 * time.Second, Transport: ethrpc.NewPooledTransport()},
 		workers:     8,
 		maxAttempts: 5,
 	}

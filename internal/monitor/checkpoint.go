@@ -1,0 +1,73 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// checkpoint is the persisted watcher state. Cursor is the last block whose
+// deployments have all been scored; Seen carries the bytecode-hash dedup set
+// so a restarted watcher neither re-scores old blocks nor re-alerts on
+// clones of bytecodes it already judged.
+type checkpoint struct {
+	Version int      `json:"version"`
+	Cursor  uint64   `json:"cursor"`
+	Seen    []string `json:"seen,omitempty"` // hex SHA-256 bytecode hashes
+}
+
+const checkpointVersion = 1
+
+// saveCheckpoint writes atomically (temp file + rename) so a crash mid-write
+// can never leave a torn cursor behind.
+func saveCheckpoint(path string, cp checkpoint) error {
+	cp.Version = checkpointVersion
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("monitor: marshal checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".cursor-*")
+	if err != nil {
+		return fmt.Errorf("monitor: checkpoint temp file: %w", err)
+	}
+	_, werr := tmp.Write(append(blob, '\n'))
+	if werr == nil {
+		// Flush data before the rename publishes the name, or a crash can
+		// leave a durable directory entry pointing at torn contents.
+		werr = tmp.Sync()
+	}
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("monitor: write checkpoint: %w", werr)
+		}
+		return fmt.Errorf("monitor: close checkpoint: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("monitor: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads a checkpoint; a missing file returns ok=false with no
+// error (a fresh watcher).
+func loadCheckpoint(path string) (checkpoint, bool, error) {
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return checkpoint{}, false, nil
+	}
+	if err != nil {
+		return checkpoint{}, false, fmt.Errorf("monitor: read checkpoint: %w", err)
+	}
+	var cp checkpoint
+	if err := json.Unmarshal(blob, &cp); err != nil {
+		return checkpoint{}, false, fmt.Errorf("monitor: parse checkpoint %s: %w", path, err)
+	}
+	if cp.Version != checkpointVersion {
+		return checkpoint{}, false, fmt.Errorf("monitor: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
+	}
+	return cp, true, nil
+}

@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sync"
+	"time"
+)
+
+// Alert is one phishing verdict above the watcher's confidence threshold.
+type Alert struct {
+	// Address is the deployed contract's account address.
+	Address string `json:"address"`
+	// CodeHash is the hex SHA-256 of the deployed bytecode (the dedup key;
+	// clone deployments alert once under the first address observed).
+	CodeHash string `json:"code_hash"`
+	// Block is the head block of the scan window the deployment was
+	// observed in (the registry does not expose per-contract blocks).
+	Block uint64 `json:"block"`
+	// Confidence is P(phishing) from the detector.
+	Confidence float64 `json:"confidence"`
+	// Model is the detector model's display name.
+	Model string `json:"model"`
+	// Time is the wall-clock emission time.
+	Time time.Time `json:"time"`
+}
+
+// Sink consumes alerts. Emit must be safe for concurrent use: the watcher's
+// score workers call it directly. A sink error is counted, not fatal — the
+// watcher keeps scoring.
+type Sink interface {
+	Emit(Alert) error
+}
+
+// FuncSink adapts a function to the Sink interface (in-process fan-out for
+// tests and embedders).
+type FuncSink func(Alert) error
+
+// Emit implements Sink.
+func (f FuncSink) Emit(a Alert) error { return f(a) }
+
+// ChanSink forwards alerts into a channel, dropping when the channel is
+// full so a slow consumer can never stall the score pool.
+func ChanSink(ch chan<- Alert) Sink {
+	return FuncSink(func(a Alert) error {
+		select {
+		case ch <- a:
+			return nil
+		default:
+			return fmt.Errorf("monitor: alert channel full")
+		}
+	})
+}
+
+// LogSink writes one line per alert to a standard logger (the default sink
+// when no other is configured).
+func LogSink(l *log.Logger) Sink {
+	if l == nil {
+		l = log.New(os.Stderr, "", log.LstdFlags)
+	}
+	return FuncSink(func(a Alert) error {
+		l.Printf("ALERT %s conf=%.3f model=%q block=%d hash=%s",
+			a.Address, a.Confidence, a.Model, a.Block, a.CodeHash[:12])
+		return nil
+	})
+}
+
+// JSONLSink appends alerts as JSON lines to a writer.
+type JSONLSink struct {
+	mu sync.Mutex
+	w  io.Writer
+	c  io.Closer
+}
+
+// NewJSONLSink wraps an open writer.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// OpenJSONLSink opens (appending, creating) a JSONL alert file.
+func OpenJSONLSink(path string) (*JSONLSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: open alert sink: %w", err)
+	}
+	return &JSONLSink{w: f, c: f}, nil
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(a Alert) error {
+	line, err := json.Marshal(a)
+	if err != nil {
+		return fmt.Errorf("monitor: marshal alert: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err = s.w.Write(append(line, '\n'))
+	return err
+}
+
+// Close closes the underlying file when the sink owns one.
+func (s *JSONLSink) Close() error {
+	if s.c == nil {
+		return nil
+	}
+	return s.c.Close()
+}
+
+// MultiSink fans one alert out to every sink, returning the first error
+// after all sinks have been offered the alert.
+func MultiSink(sinks ...Sink) Sink {
+	return FuncSink(func(a Alert) error {
+		var first error
+		for _, s := range sinks {
+			if err := s.Emit(a); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	})
+}

@@ -1,0 +1,538 @@
+// Package monitor implements the Watchtower: a streaming pipeline that
+// follows the chain head and scores every new contract deployment the moment
+// it lands. It is the deployment-time detection workload the paper motivates
+// — catching phishing contracts before victims interact with them — layered
+// on the repo's existing primitives: the registry/JSON-RPC clients discover
+// and fetch deployments, a trained detector (any Scorer) judges them, and
+// alert sinks carry verdicts out.
+//
+// Pipeline shape, one poll cycle:
+//
+//	eth_blockNumber ──> registry ListContracts(cursor+1, head)
+//	    └─> fetch pool (batched eth_getCode) ─> SHA-256 dedup ─> bounded queue
+//	        └─> score pool (Scorer) ─> threshold ─> alert sinks
+//
+// The cursor advances only after every deployment in the window has been
+// fetched and scored, and is checkpointed (with the dedup set) at most every
+// CheckpointEvery plus once on shutdown, so a stopped watcher restarts from
+// its checkpoint without re-scoring anything: block scans are at-least-once,
+// scores are exactly-once per unique bytecode up to checkpoint durability (a
+// hard kill between checkpoints replays at most CheckpointEvery of
+// progress).
+//
+// Backpressure is explicit: the fetch pool blocks when the score queue is
+// full (default), or sheds deployments with drop accounting when
+// DropWhenFull is set. Counters (blocks, contracts, dedup hits, alerts,
+// drops, queue depth, score-latency quantiles) are exposed via Stats for the
+// serving layer's /metrics endpoint.
+package monitor
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/phishinghook/phishinghook/internal/chain"
+	"github.com/phishinghook/phishinghook/internal/ethrpc"
+	"github.com/phishinghook/phishinghook/internal/explorer"
+)
+
+// Verdict is the monitor-facing slice of a detector decision.
+type Verdict struct {
+	// Phishing reports the predicted class.
+	Phishing bool
+	// Confidence is the probability mass behind the prediction.
+	Confidence float64
+	// Model names the scoring model.
+	Model string
+}
+
+// Scorer judges one deployed bytecode. Implementations must be safe for
+// concurrent use — the score pool calls from many goroutines. The root
+// package adapts *phishinghook.Detector onto this.
+type Scorer interface {
+	ScoreCode(ctx context.Context, code []byte) (Verdict, error)
+}
+
+// Config tunes a Watcher. RPCURL and ExplorerURL are required.
+type Config struct {
+	// RPCURL is the JSON-RPC endpoint polled for eth_blockNumber and
+	// eth_getCode.
+	RPCURL string
+	// ExplorerURL is the registry service listing deployments per block.
+	ExplorerURL string
+	// PollInterval is the head-poll cadence (default 100ms).
+	PollInterval time.Duration
+	// QueueSize bounds the fetch→score queue (default 1024). The queue can
+	// never exceed this cap; it is the pipeline's memory bound.
+	QueueSize int
+	// ScoreWorkers sizes the score pool (default GOMAXPROCS).
+	ScoreWorkers int
+	// Fetchers sizes the bytecode-fetch pool (default 16) — eth_getCode
+	// round trips dominate wall time, so fetching overlaps scoring.
+	Fetchers int
+	// FetchBatch is how many eth_getCode calls ride one JSON-RPC 2.0 batch
+	// request (default 64; 1 falls back to per-address round trips).
+	FetchBatch int
+	// Threshold is the minimum P(phishing) that fires an alert
+	// (default 0.5, i.e. every phishing verdict).
+	Threshold float64
+	// CheckpointPath persists the cursor + dedup set; a restarted watcher
+	// resumes from it. Empty disables checkpointing.
+	CheckpointPath string
+	// CheckpointEvery rate-limits checkpoint writes (default 1s): the
+	// cursor advances in memory per window, but the O(dedup set) snapshot
+	// and fsync run at most this often, plus once when Run returns. A hard
+	// kill can therefore lose up to this much scored-window progress — the
+	// rescan stays at-least-once; only clone dedup across the lost stretch
+	// is forgotten.
+	CheckpointEvery time.Duration
+	// StartBlock seeds the cursor when no checkpoint exists: scanning
+	// begins at StartBlock+1.
+	StartBlock uint64
+	// StopAtBlock makes Run return nil once the cursor reaches it
+	// (0 = run until the context is cancelled).
+	StopAtBlock uint64
+	// DropWhenFull sheds deployments (with drop accounting) instead of
+	// blocking the fetch pool when the score queue is full.
+	DropWhenFull bool
+	// Sinks receive alerts. Sink errors are counted, never fatal.
+	Sinks []Sink
+}
+
+func (c *Config) fillDefaults() error {
+	if c.RPCURL == "" || c.ExplorerURL == "" {
+		return fmt.Errorf("monitor: Config needs RPCURL and ExplorerURL")
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 100 * time.Millisecond
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.ScoreWorkers <= 0 {
+		c.ScoreWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.Fetchers <= 0 {
+		c.Fetchers = 16
+	}
+	if c.FetchBatch <= 0 {
+		c.FetchBatch = 64
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = time.Second
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	return nil
+}
+
+// scoreJob is one deployment queued for scoring.
+type scoreJob struct {
+	addr   string
+	hash   [32]byte
+	code   []byte
+	head   uint64 // scan-window head, recorded on the alert
+	wg     *sync.WaitGroup
+	failed *atomic.Bool // set on score error; fails the whole window
+}
+
+// Watcher follows the chain head and scores new deployments. Construct with
+// New, drive with Run (once), observe with Stats.
+type Watcher struct {
+	cfg    Config
+	scorer Scorer
+	rpc    *ethrpc.Client
+	reg    *explorer.Crawler
+	queue  chan scoreJob
+	ctr    counters
+
+	// lastCkpt is touched only by the Run goroutine.
+	lastCkpt time.Time
+
+	mu        sync.Mutex
+	cursor    uint64
+	seen      map[[32]byte]struct{}
+	scoreFail map[[32]byte]int // consecutive score failures per bytecode
+}
+
+// maxScoreRetries bounds window rescans for a bytecode that keeps failing to
+// score: after this many failures the hash is abandoned (kept in the dedup
+// set, counted under poisoned) so one poison-pill input cannot wedge the
+// cursor and stall coverage of all later blocks.
+const maxScoreRetries = 3
+
+// New builds a watcher over the given scorer, resuming from
+// cfg.CheckpointPath when a checkpoint exists (the checkpoint's cursor and
+// dedup set win over cfg.StartBlock).
+func New(scorer Scorer, cfg Config) (*Watcher, error) {
+	if scorer == nil {
+		return nil, fmt.Errorf("monitor: nil scorer")
+	}
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	w := &Watcher{
+		cfg:       cfg,
+		scorer:    scorer,
+		rpc:       ethrpc.NewClient(cfg.RPCURL),
+		reg:       explorer.NewCrawler(cfg.ExplorerURL),
+		queue:     make(chan scoreJob, cfg.QueueSize),
+		cursor:    cfg.StartBlock,
+		seen:      make(map[[32]byte]struct{}),
+		scoreFail: make(map[[32]byte]int),
+	}
+	if cfg.CheckpointPath != "" {
+		cp, ok, err := loadCheckpoint(cfg.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			w.cursor = cp.Cursor
+			for _, h := range cp.Seen {
+				b, err := hex.DecodeString(h)
+				if err != nil || len(b) != 32 {
+					return nil, fmt.Errorf("monitor: checkpoint %s has bad hash %q", cfg.CheckpointPath, h)
+				}
+				var key [32]byte
+				copy(key[:], b)
+				w.seen[key] = struct{}{}
+			}
+		}
+	}
+	return w, nil
+}
+
+// Cursor returns the last fully scored block.
+func (w *Watcher) Cursor() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cursor
+}
+
+// SeenUnique returns the size of the bytecode dedup set.
+func (w *Watcher) SeenUnique() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.seen)
+}
+
+// Stats snapshots the watcher's counters.
+func (w *Watcher) Stats() Stats {
+	return Stats{
+		Cursor:          w.Cursor(),
+		Polls:           w.ctr.polls.Load(),
+		BlocksSeen:      w.ctr.blocksSeen.Load(),
+		ContractsSeen:   w.ctr.contractsSeen.Load(),
+		ContractsScored: w.ctr.contractsScored.Load(),
+		DedupHits:       w.ctr.dedupHits.Load(),
+		Alerts:          w.ctr.alerts.Load(),
+		Dropped:         w.ctr.dropped.Load(),
+		Poisoned:        w.ctr.poisoned.Load(),
+		Errors:          w.ctr.errors.Load(),
+		QueueDepth:      len(w.queue),
+		QueueCap:        cap(w.queue),
+		ScoreP50MS:      float64(w.ctr.latency.quantile(0.50)) / float64(time.Millisecond),
+		ScoreP99MS:      float64(w.ctr.latency.quantile(0.99)) / float64(time.Millisecond),
+	}
+}
+
+// Run follows the head until the context is cancelled or the cursor reaches
+// cfg.StopAtBlock. It owns the score pool; call it at most once per Watcher.
+func (w *Watcher) Run(ctx context.Context) error {
+	var scorers sync.WaitGroup
+	for i := 0; i < w.cfg.ScoreWorkers; i++ {
+		scorers.Add(1)
+		go func() {
+			defer scorers.Done()
+			w.scoreLoop(ctx)
+		}()
+	}
+	defer func() {
+		close(w.queue)
+		scorers.Wait()
+		// Final checkpoint after the score pool drains, so a clean stop
+		// (StopAtBlock or cancellation) never loses committed progress.
+		if w.cfg.CheckpointPath != "" {
+			w.saveCheckpointNow()
+		}
+	}()
+
+	for {
+		w.ctr.polls.Add(1)
+		head, err := w.rpc.BlockNumber(ctx)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.ctr.errors.Add(1)
+		case head > w.Cursor():
+			from := w.Cursor() + 1
+			if err := w.scanWindow(ctx, from, head); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				// The underlying fault was already counted at its source
+				// (registry, fetch chunk or score worker).
+				break // leave the cursor; the window rescans next poll
+			}
+			w.ctr.blocksSeen.Add(head - from + 1)
+			w.advanceCursor(head)
+		}
+		if stop := w.cfg.StopAtBlock; stop > 0 && w.Cursor() >= stop {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(w.cfg.PollInterval):
+		}
+	}
+}
+
+// advanceCursor commits a fully scored window, persisting at most every
+// CheckpointEvery so the O(dedup set) snapshot and fsync stay off the
+// per-window hot path.
+func (w *Watcher) advanceCursor(head uint64) {
+	w.mu.Lock()
+	w.cursor = head
+	w.mu.Unlock()
+	if w.cfg.CheckpointPath == "" || time.Since(w.lastCkpt) < w.cfg.CheckpointEvery {
+		return
+	}
+	w.saveCheckpointNow()
+}
+
+// saveCheckpointNow snapshots cursor + dedup set and writes the checkpoint.
+// Only the raw hash copy happens under w.mu — hex encoding, JSON
+// marshalling and the file write run outside the lock so fetchers' dedup
+// checks never stall on checkpoint I/O.
+func (w *Watcher) saveCheckpointNow() {
+	w.mu.Lock()
+	cursor := w.cursor
+	hashes := make([][32]byte, 0, len(w.seen))
+	for h := range w.seen {
+		hashes = append(hashes, h)
+	}
+	w.mu.Unlock()
+	cp := checkpoint{Cursor: cursor, Seen: make([]string, len(hashes))}
+	for i, h := range hashes {
+		cp.Seen[i] = hex.EncodeToString(h[:])
+	}
+	if err := saveCheckpoint(w.cfg.CheckpointPath, cp); err != nil {
+		w.ctr.errors.Add(1)
+	}
+	w.lastCkpt = time.Now()
+}
+
+// fetchChunk is one batched eth_getCode unit of work.
+type fetchChunk struct {
+	strs  []string
+	addrs []chain.Address
+}
+
+// scanWindow fetches, dedups and scores every deployment in [from, to],
+// returning once all of them have been judged (or shed under the drop
+// policy). Bytecode is fetched in JSON-RPC batches over the fetch pool.
+// A registry or chunk-level fetch failure aborts the window so the cursor
+// stays put and the window rescans next poll — re-observed deployments are
+// counted seen again and collapse into dedup hits, so scans are
+// at-least-once while scores stay exactly-once.
+func (w *Watcher) scanWindow(ctx context.Context, from, to uint64) error {
+	addrs, err := w.reg.ListContracts(ctx, from, to)
+	if err != nil {
+		w.ctr.errors.Add(1)
+		return err
+	}
+	w.ctr.contractsSeen.Add(uint64(len(addrs)))
+
+	var chunks []fetchChunk
+	cur := fetchChunk{}
+	flush := func() {
+		if len(cur.addrs) > 0 {
+			chunks = append(chunks, cur)
+			cur = fetchChunk{}
+		}
+	}
+	for _, a := range addrs {
+		parsed, err := chain.ParseAddress(a)
+		if err != nil {
+			w.ctr.errors.Add(1)
+			continue
+		}
+		cur.strs = append(cur.strs, a)
+		cur.addrs = append(cur.addrs, parsed)
+		if len(cur.addrs) >= w.cfg.FetchBatch {
+			flush()
+		}
+	}
+	flush()
+
+	var (
+		jobs        sync.WaitGroup // open score jobs for this window
+		fetchers    sync.WaitGroup
+		errOnce     sync.Once
+		fetchErr    error
+		scoreFailed atomic.Bool
+	)
+	feed := make(chan fetchChunk)
+	n := w.cfg.Fetchers
+	if n > len(chunks) {
+		n = len(chunks)
+	}
+	for i := 0; i < n; i++ {
+		fetchers.Add(1)
+		go func() {
+			defer fetchers.Done()
+			for c := range feed {
+				if err := w.fetchChunk(ctx, c, to, &jobs, &scoreFailed); err != nil {
+					errOnce.Do(func() { fetchErr = err })
+				}
+			}
+		}()
+	}
+feed:
+	for _, c := range chunks {
+		select {
+		case feed <- c:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(feed)
+	fetchers.Wait()
+	jobs.Wait()
+	// Deployments must never be silently lost: a fetch or score failure
+	// fails the window so the cursor stays put and the scan retries (failed
+	// scores were un-remembered, so the retry re-scores exactly them).
+	if fetchErr != nil {
+		return fetchErr
+	}
+	if scoreFailed.Load() {
+		return fmt.Errorf("monitor: window [%d,%d]: a deployment failed to score", from, to)
+	}
+	return ctx.Err()
+}
+
+// fetchChunk resolves one address batch: a single batched eth_getCode round
+// trip, then per-contract dedup and enqueue.
+func (w *Watcher) fetchChunk(ctx context.Context, c fetchChunk, head uint64, jobs *sync.WaitGroup, failed *atomic.Bool) error {
+	codes, err := w.rpc.GetCodeBatch(ctx, c.addrs)
+	if err != nil {
+		w.ctr.errors.Add(1)
+		return err
+	}
+	for i, code := range codes {
+		w.ingest(ctx, c.strs[i], code, head, jobs, failed)
+	}
+	return nil
+}
+
+// ingest dedups one fetched deployment by SHA-256 and enqueues it under the
+// configured backpressure policy.
+func (w *Watcher) ingest(ctx context.Context, a string, code []byte, head uint64, jobs *sync.WaitGroup, failed *atomic.Bool) {
+	if len(code) == 0 {
+		return // self-destructed or not a contract; nothing to judge
+	}
+	hash := sha256.Sum256(code)
+	job := scoreJob{addr: a, hash: hash, code: code, head: head, wg: jobs, failed: failed}
+	w.mu.Lock()
+	if _, dup := w.seen[hash]; dup {
+		w.mu.Unlock()
+		w.ctr.dedupHits.Add(1)
+		return
+	}
+	if w.cfg.DropWhenFull {
+		// Decide enqueue-or-shed and (un)remember the hash in one critical
+		// section, so a concurrent clone can never record a dedup hit
+		// against a deployment that ends up shed and unscored.
+		jobs.Add(1)
+		select {
+		case w.queue <- job:
+			w.seen[hash] = struct{}{}
+			w.mu.Unlock()
+		default:
+			w.mu.Unlock()
+			jobs.Done()
+			w.ctr.dropped.Add(1)
+		}
+		return
+	}
+	w.seen[hash] = struct{}{}
+	w.mu.Unlock()
+	jobs.Add(1)
+	select {
+	case w.queue <- job: // backpressure: block until the score pool drains
+	case <-ctx.Done():
+		jobs.Done()
+		// Never scored: un-remember the hash so the post-restart rescan
+		// doesn't collapse this deployment into a dedup hit.
+		w.mu.Lock()
+		delete(w.seen, hash)
+		w.mu.Unlock()
+	}
+}
+
+// scoreLoop drains the queue through the scorer and fires sinks.
+func (w *Watcher) scoreLoop(ctx context.Context) {
+	for job := range w.queue {
+		t0 := time.Now()
+		v, err := w.scorer.ScoreCode(ctx, job.code)
+		w.ctr.latency.observe(time.Since(t0))
+		if err != nil {
+			w.ctr.errors.Add(1)
+			// Un-remember the hash and fail the window: the deployment was
+			// never judged, so the rescan (or a future clone) must get
+			// another chance instead of collapsing into a dedup hit. After
+			// maxScoreRetries consecutive failures the bytecode is a poison
+			// pill: abandon it (hash stays in the dedup set) so the window
+			// can commit and coverage of later blocks continues.
+			w.mu.Lock()
+			w.scoreFail[job.hash]++
+			abandoned := w.scoreFail[job.hash] >= maxScoreRetries
+			if abandoned {
+				delete(w.scoreFail, job.hash)
+			} else {
+				delete(w.seen, job.hash)
+			}
+			w.mu.Unlock()
+			if abandoned {
+				w.ctr.poisoned.Add(1)
+			} else {
+				job.failed.Store(true)
+			}
+		} else {
+			w.mu.Lock()
+			delete(w.scoreFail, job.hash)
+			w.mu.Unlock()
+			w.ctr.contractsScored.Add(1)
+			if v.Phishing && v.Confidence >= w.cfg.Threshold {
+				w.emit(Alert{
+					Address:    job.addr,
+					CodeHash:   hex.EncodeToString(job.hash[:]),
+					Block:      job.head,
+					Confidence: v.Confidence,
+					Model:      v.Model,
+					Time:       time.Now(),
+				})
+			}
+		}
+		job.wg.Done()
+	}
+}
+
+func (w *Watcher) emit(a Alert) {
+	w.ctr.alerts.Add(1)
+	for _, s := range w.cfg.Sinks {
+		if err := s.Emit(a); err != nil {
+			w.ctr.errors.Add(1)
+		}
+	}
+}

@@ -4,11 +4,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"time"
+
+	"github.com/phishinghook/phishinghook/internal/monitor"
 )
 
-// ScoreRequest is the POST /score payload: one bytecode or a batch.
+// ScoreRequest is the POST /score payload: one bytecode, a batch, or both.
+// When both fields are set, the request is treated as a batch of
+// [bytecode, bytecodes...]: every entry is scored, `verdicts` aligns with
+// that concatenation, and `verdict` carries the `bytecode` entry's verdict.
 type ScoreRequest struct {
 	// Bytecode is one 0x-prefixed hex bytecode.
 	Bytecode string `json:"bytecode,omitempty"`
@@ -25,7 +32,8 @@ type ScoreVerdict struct {
 }
 
 // ScoreResponse is the POST /score reply. Verdicts aligns with the request
-// order; Verdict duplicates the single entry for one-bytecode requests.
+// order ([bytecode, bytecodes...]); Verdict is set whenever the request's
+// `bytecode` field was present and points at that entry's verdict.
 type ScoreResponse struct {
 	Verdict   *ScoreVerdict  `json:"verdict,omitempty"`
 	Verdicts  []ScoreVerdict `json:"verdicts"`
@@ -50,15 +58,34 @@ const (
 	maxScoreBodyBytes = 64 << 20
 )
 
+// ServeOption configures NewScoreHandler.
+type ServeOption func(*serveState)
+
+// WithWatcher attaches a Watchtower watcher so /metrics and /healthz expose
+// its monitor counters alongside the detector's.
+func WithWatcher(w *Watcher) ServeOption {
+	return func(s *serveState) { s.watcher = w }
+}
+
+type serveState struct {
+	watcher *monitor.Watcher
+	started time.Time
+}
+
 // NewScoreHandler exposes a Detector over HTTP:
 //
-//	POST /score   — {"bytecode": "0x.."} or {"bytecodes": ["0x..", ...]}
-//	GET  /healthz — liveness + model + cache stats
+//	POST /score   — {"bytecode": "0x.."} and/or {"bytecodes": ["0x..", ...]}
+//	GET  /healthz — liveness + model + uptime + cache/score stats
+//	GET  /metrics — Prometheus text format (detector + monitor counters)
 //
 // Scoring runs on the detector's worker pool and shares its LRU
 // bytecode→feature cache, so a handler is safe under heavy concurrent
 // traffic.
-func NewScoreHandler(d *Detector) http.Handler {
+func NewScoreHandler(d *Detector, opts ...ServeOption) http.Handler {
+	state := &serveState{started: time.Now()}
+	for _, opt := range opts {
+		opt(state)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/score", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -76,11 +103,12 @@ func NewScoreHandler(d *Detector) http.Handler {
 			httpError(w, status, "bad JSON: %v", err)
 			return
 		}
+		// The single field joins the batch at position 0; its verdict is
+		// surfaced through resp.Verdict even when a batch rides along.
 		hexes := req.Bytecodes
-		single := false
-		if req.Bytecode != "" {
+		hasSingle := req.Bytecode != ""
+		if hasSingle {
 			hexes = append([]string{req.Bytecode}, hexes...)
-			single = len(req.Bytecodes) == 0
 		}
 		if len(hexes) == 0 {
 			httpError(w, http.StatusBadRequest, "no bytecode in request")
@@ -116,22 +144,68 @@ func NewScoreHandler(d *Detector) http.Handler {
 		for i, v := range verdicts {
 			resp.Verdicts[i] = toWire(v)
 		}
-		if single {
+		if hasSingle {
 			resp.Verdict = &resp.Verdicts[0]
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		hits, misses := d.CacheStats()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":       "ok",
-			"model":        d.ModelName(),
-			"feature_dim":  d.FeatureDim(),
-			"cache_hits":   hits,
-			"cache_misses": misses,
-		})
+		body := map[string]any{
+			"status":         "ok",
+			"model":          d.ModelName(),
+			"feature_dim":    d.FeatureDim(),
+			"cache_hits":     hits,
+			"cache_misses":   misses,
+			"scores":         d.ScoreCount(),
+			"uptime_seconds": time.Since(state.started).Seconds(),
+		}
+		if state.watcher != nil {
+			body["monitor"] = state.watcher.Stats()
+		}
+		writeJSON(w, http.StatusOK, body)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeMetrics(w, d, state)
 	})
 	return mux
+}
+
+// writeMetrics renders the Prometheus text exposition format by hand — the
+// stdlib-only constraint rules out the client library, and the format is
+// three lines per series.
+func writeMetrics(w http.ResponseWriter, d *Detector, state *serveState) {
+	var b strings.Builder
+	metric := func(name, help, typ string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	hits, misses := d.CacheStats()
+	metric("phishinghook_uptime_seconds", "Seconds since the handler started.", "gauge", time.Since(state.started).Seconds())
+	metric("phishinghook_scores_total", "Bytecodes scored by the detector.", "counter", float64(d.ScoreCount()))
+	metric("phishinghook_feature_cache_hits_total", "Feature-cache hits.", "counter", float64(hits))
+	metric("phishinghook_feature_cache_misses_total", "Feature-cache misses.", "counter", float64(misses))
+	if wt := state.watcher; wt != nil {
+		s := wt.Stats()
+		metric("phishinghook_monitor_cursor_block", "Last fully scored block.", "gauge", float64(s.Cursor))
+		metric("phishinghook_monitor_polls_total", "Head polls performed.", "counter", float64(s.Polls))
+		metric("phishinghook_monitor_blocks_seen_total", "Blocks scanned.", "counter", float64(s.BlocksSeen))
+		metric("phishinghook_monitor_contracts_seen_total", "Deployments observed.", "counter", float64(s.ContractsSeen))
+		metric("phishinghook_monitor_contracts_scored_total", "Deployments scored.", "counter", float64(s.ContractsScored))
+		metric("phishinghook_monitor_dedup_hits_total", "Deployments skipped as bytecode duplicates.", "counter", float64(s.DedupHits))
+		metric("phishinghook_monitor_alerts_total", "Alerts emitted.", "counter", float64(s.Alerts))
+		metric("phishinghook_monitor_dropped_total", "Deployments shed under the drop policy.", "counter", float64(s.Dropped))
+		metric("phishinghook_monitor_poisoned_total", "Bytecodes abandoned after repeated score failures.", "counter", float64(s.Poisoned))
+		metric("phishinghook_monitor_errors_total", "RPC/registry/sink errors.", "counter", float64(s.Errors))
+		metric("phishinghook_monitor_queue_depth", "Score-queue occupancy.", "gauge", float64(s.QueueDepth))
+		metric("phishinghook_monitor_queue_capacity", "Score-queue bound.", "gauge", float64(s.QueueCap))
+		fmt.Fprintf(&b, "# HELP phishinghook_monitor_score_latency_ms Score latency quantile upper bounds.\n"+
+			"# TYPE phishinghook_monitor_score_latency_ms summary\n"+
+			"phishinghook_monitor_score_latency_ms{quantile=\"0.5\"} %g\n"+
+			"phishinghook_monitor_score_latency_ms{quantile=\"0.99\"} %g\n",
+			s.ScoreP50MS, s.ScoreP99MS)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -169,5 +171,83 @@ func TestHealthz(t *testing.T) {
 	}
 	if body["status"] != "ok" || body["model"] != "Random Forest" {
 		t.Fatalf("unexpected healthz body: %v", body)
+	}
+}
+
+func TestScoreHandlerSingleAndBatchTogether(t *testing.T) {
+	// Documented semantics when both fields are set: verdicts covers
+	// [bytecode, bytecodes...] and verdict points at the bytecode entry.
+	srv, ds := testServer(t)
+	req := ScoreRequest{
+		Bytecode:  EncodeHex(ds.Samples[0].Bytecode),
+		Bytecodes: []string{EncodeHex(ds.Samples[1].Bytecode), EncodeHex(ds.Samples[2].Bytecode)},
+	}
+	resp, out := postScore(t, srv.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Verdicts) != 3 {
+		t.Fatalf("got %d verdicts, want 3 (single + batch)", len(out.Verdicts))
+	}
+	if out.Verdict == nil {
+		t.Fatal("verdict must be set when the bytecode field is present")
+	}
+	if *out.Verdict != out.Verdicts[0] {
+		t.Fatalf("verdict %+v should equal verdicts[0] %+v", *out.Verdict, out.Verdicts[0])
+	}
+}
+
+func TestHealthzUptimeAndScores(t *testing.T) {
+	srv, ds := testServer(t)
+	if _, out := postScore(t, srv.URL, ScoreRequest{Bytecode: EncodeHex(ds.Samples[0].Bytecode)}); out.Verdict == nil {
+		t.Fatal("warm-up score failed")
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if up, ok := body["uptime_seconds"].(float64); !ok || up < 0 {
+		t.Errorf("healthz uptime_seconds = %v", body["uptime_seconds"])
+	}
+	if n, ok := body["scores"].(float64); !ok || n < 1 {
+		t.Errorf("healthz scores = %v, want >= 1", body["scores"])
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, ds := testServer(t)
+	postScore(t, srv.URL, ScoreRequest{Bytecode: EncodeHex(ds.Samples[0].Bytecode)})
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(blob)
+	for _, want := range []string{
+		"# TYPE phishinghook_scores_total counter",
+		"phishinghook_feature_cache_misses_total",
+		"phishinghook_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "phishinghook_monitor_") {
+		t.Error("monitor series exposed without an attached watcher")
 	}
 }

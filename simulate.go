@@ -117,6 +117,63 @@ func StartSimulation(cfg SimulationConfig) (*Simulation, error) {
 	return sim, nil
 }
 
+// NumMonths is the study-window length in months (Oct 2023 – Oct 2024).
+const NumMonths = synth.NumMonths
+
+// Live-chain re-exports: the block clock lives in internal/chain.
+type (
+	// LiveClock releases a live chain's blocks on a seed-deterministic
+	// schedule.
+	LiveClock = chain.Clock
+	// LiveClockConfig tunes a LiveClock.
+	LiveClockConfig = chain.ClockConfig
+)
+
+// GoLive switches the simulated chain into live mode with the visible head
+// just before the first block of study month m: deployments from month m on
+// stay hidden until a clock (or AdvanceBlocks) releases their block, so
+// eth_blockNumber, eth_getCode and the explorer registry advance over
+// simulated time. Dataset() then returns only the released prefix — the
+// natural "train on the past, watch the future" split.
+func (s *Simulation) GoLive(month int) error {
+	if month < 0 || month >= synth.NumMonths {
+		return fmt.Errorf("phishinghook: GoLive month %d outside [0,%d)", month, synth.NumMonths)
+	}
+	return s.chain.GoLive(chain.MonthStartBlock(month) - 1)
+}
+
+// NewClock builds a block clock over the live chain (GoLive first).
+func (s *Simulation) NewClock(cfg LiveClockConfig) (*LiveClock, error) {
+	return chain.NewClock(s.chain, cfg)
+}
+
+// AdvanceBlocks releases n more blocks in live mode and returns the new
+// visible head.
+func (s *Simulation) AdvanceBlocks(n uint64) uint64 { return s.chain.AdvanceHead(n) }
+
+// HeadBlock returns the chain's current head (the visible head in live
+// mode).
+func (s *Simulation) HeadBlock() uint64 { return s.chain.HeadBlock() }
+
+// TailBlock returns the final deployment block regardless of live-mode
+// visibility.
+func (s *Simulation) TailBlock() uint64 { return s.chain.TailBlock() }
+
+// GroundTruth reports the true class of the contract at address — the label
+// before explorer noise — for measuring alert precision in live-watch
+// experiments. ok is false for unknown (or not yet released) addresses.
+func (s *Simulation) GroundTruth(address string) (phishing, ok bool) {
+	addr, err := chain.ParseAddress(address)
+	if err != nil {
+		return false, false
+	}
+	ct, ok := s.chain.Lookup(addr)
+	if !ok {
+		return false, false
+	}
+	return ct.Phishing, true
+}
+
 // RPCURL returns the simulated node's JSON-RPC endpoint.
 func (s *Simulation) RPCURL() string { return s.rpcSrv.URL }
 

@@ -1,0 +1,73 @@
+package phishinghook
+
+import (
+	"context"
+	"io"
+	"log"
+
+	"github.com/phishinghook/phishinghook/internal/ethrpc"
+	"github.com/phishinghook/phishinghook/internal/monitor"
+)
+
+// Watchtower re-exports: the deployment-monitoring subsystem lives in
+// internal/monitor; these aliases let embedders and the CLI name its types
+// without reaching into internal packages (the same pattern as Dataset).
+type (
+	// Watcher follows the chain head and scores every new deployment.
+	Watcher = monitor.Watcher
+	// WatcherConfig tunes a Watcher (endpoints, queue, threshold,
+	// checkpoint, sinks).
+	WatcherConfig = monitor.Config
+	// WatcherStats is a snapshot of the watcher's counters.
+	WatcherStats = monitor.Stats
+	// Alert is one phishing verdict above the watcher's threshold.
+	Alert = monitor.Alert
+	// AlertSink consumes alerts.
+	AlertSink = monitor.Sink
+	// JSONLSink appends alerts as JSON lines to a writer or file.
+	JSONLSink = monitor.JSONLSink
+)
+
+// detectorScorer adapts a Detector onto the monitor's Scorer contract.
+type detectorScorer struct{ d *Detector }
+
+func (s detectorScorer) ScoreCode(ctx context.Context, code []byte) (monitor.Verdict, error) {
+	v, err := s.d.Score(ctx, code)
+	if err != nil {
+		return monitor.Verdict{}, err
+	}
+	return monitor.Verdict{Phishing: v.IsPhishing(), Confidence: v.Confidence, Model: v.ModelName}, nil
+}
+
+// NewWatcher builds a Watchtower watcher that scores new deployments through
+// the detector. The detector's feature cache and concurrent Score path are
+// shared with any other serving traffic on the same Detector.
+func NewWatcher(d *Detector, cfg WatcherConfig) (*Watcher, error) {
+	return monitor.New(detectorScorer{d}, cfg)
+}
+
+// NewJSONLSink wraps a writer that receives one JSON alert per line.
+func NewJSONLSink(w io.Writer) AlertSink { return monitor.NewJSONLSink(w) }
+
+// OpenJSONLSink opens (appending) a JSONL alert file; Close it when done.
+func OpenJSONLSink(path string) (*JSONLSink, error) { return monitor.OpenJSONLSink(path) }
+
+// NewLogSink logs one line per alert (nil logger = stderr).
+func NewLogSink(l *log.Logger) AlertSink { return monitor.LogSink(l) }
+
+// NewFuncSink adapts a function to an AlertSink (in-process fan-out).
+func NewFuncSink(f func(Alert) error) AlertSink { return monitor.FuncSink(f) }
+
+// NewChanSink forwards alerts into a channel, dropping (with an error
+// counted) when the channel is full.
+func NewChanSink(ch chan<- Alert) AlertSink { return monitor.ChanSink(ch) }
+
+// NewMultiSink fans each alert out to every sink.
+func NewMultiSink(sinks ...AlertSink) AlertSink { return monitor.MultiSink(sinks...) }
+
+// CurrentHead fetches the node's head block (eth_blockNumber) — used to seed
+// a fresh watcher's cursor at "now" so its first scan doesn't replay chain
+// history.
+func CurrentHead(ctx context.Context, rpcURL string) (uint64, error) {
+	return ethrpc.NewClient(rpcURL).BlockNumber(ctx)
+}
