@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	ph "github.com/phishinghook/phishinghook"
+	"github.com/phishinghook/phishinghook/internal/features"
+)
+
+// hotpathEntry is one benchmark row of BENCH_hotpath.json.
+type hotpathEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+// hotpathReport is the BENCH_hotpath.json envelope consumed by the CI
+// regression guard.
+type hotpathReport struct {
+	GOOS       string                  `json:"goos"`
+	GOARCH     string                  `json:"goarch"`
+	Seed       int64                   `json:"seed"`
+	Benchmarks map[string]hotpathEntry `json:"benchmarks"`
+}
+
+// runHotpath measures the featurize→infer hot path (the tentpole surface of
+// the zero-allocation PR) via testing.Benchmark, writes the rows to path,
+// and fails when the cached Score path allocates — the CI guard that keeps
+// the 0 allocs/op contract from regressing silently.
+func runHotpath(seed int64, path string) error {
+	simCfg := ph.DefaultSimulationConfig(seed)
+	sim, err := ph.StartSimulation(simCfg)
+	if err != nil {
+		return err
+	}
+	defer sim.Close()
+	ds := sim.Dataset()
+	spec, err := ph.ModelByName("Random Forest")
+	if err != nil {
+		return err
+	}
+	det, err := ph.Train(spec, ds, ph.WithDetectorSeed(seed))
+	if err != nil {
+		return err
+	}
+	uncached, err := ph.Train(spec, ds, ph.WithDetectorSeed(seed), ph.WithFeatureCache(0))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	codes := make([][]byte, ds.Len())
+	for i, s := range ds.Samples {
+		codes[i] = s.Bytecode
+	}
+	for _, code := range codes { // warm the cache for the cached-path rows
+		if _, err := det.Score(ctx, code); err != nil {
+			return err
+		}
+	}
+
+	report := hotpathReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Seed: seed,
+		Benchmarks: map[string]hotpathEntry{}}
+	rec := func(name string, fn func(b *testing.B)) hotpathEntry {
+		r := testing.Benchmark(fn)
+		e := hotpathEntry{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+		report.Benchmarks[name] = e
+		fmt.Printf("%-28s %12.1f ns/op %6d allocs/op %8d B/op\n",
+			name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+		return e
+	}
+
+	cached := rec("detector_score_cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := det.Score(ctx, codes[i%len(codes)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec("detector_score_uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := uncached.Score(ctx, codes[i%len(codes)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	hist := features.FitHistogram(codes)
+	buf := make([]float64, hist.Dim())
+	rec("featurize_histogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hist.TransformInto(codes[i%len(codes)], buf)
+		}
+	})
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	if cached.AllocsPerOp > 0 {
+		return fmt.Errorf("hotpath regression: cached Score path allocates %d objects/op, want 0", cached.AllocsPerOp)
+	}
+	return nil
+}

@@ -26,7 +26,15 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale corpus and CV protocol (slow)")
 	only := flag.String("only", "", "comma-separated artefact list (default: all)")
 	n := flag.Int("n", 0, "override unique-phishing count (quick mode sizing)")
+	hotpath := flag.String("hotpath", "", "write featurize/score hot-path benchmarks to this JSON file and exit (fails if the cached Score path allocates)")
 	flag.Parse()
+
+	if *hotpath != "" {
+		if err := runHotpath(*seed, *hotpath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -433,6 +433,7 @@ func cmdServe(args []string) error {
 	detPath := fs.String("detector", "", "saved detector path (default: train fresh on the simulation)")
 	model := fs.String("model", "Random Forest", "model to train when no -detector is given")
 	listen := fs.String("listen", "127.0.0.1:8980", "HTTP listen address")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -447,8 +448,12 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	var opts []ph.ServeOption
+	if *pprofOn {
+		opts = append(opts, ph.WithPprof())
+	}
 	fmt.Printf("serving %s on http://%s  (POST /score, GET /healthz, GET /metrics)\n", det.ModelName(), *listen)
-	return http.ListenAndServe(*listen, ph.NewScoreHandler(det))
+	return http.ListenAndServe(*listen, ph.NewScoreHandler(det, opts...))
 }
 
 func cmdWatch(args []string) error {
@@ -465,6 +470,7 @@ func cmdWatch(args []string) error {
 	tick := fs.Duration("tick", 20*time.Millisecond, "simulated block-clock tick interval")
 	blocksPerTick := fs.Int("blocks-per-tick", 4000, "mean blocks released per simulated tick")
 	listen := fs.String("listen", "", "optional HTTP address exposing /metrics and /healthz for this watcher")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof on -listen (profile the live watcher)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -542,8 +548,12 @@ func cmdWatch(args []string) error {
 		return err
 	}
 	if *listen != "" {
+		serveOpts := []ph.ServeOption{ph.WithWatcher(w)}
+		if *pprofOn {
+			serveOpts = append(serveOpts, ph.WithPprof())
+		}
 		go func() {
-			log.Println(http.ListenAndServe(*listen, ph.NewScoreHandler(det, ph.WithWatcher(w))))
+			log.Println(http.ListenAndServe(*listen, ph.NewScoreHandler(det, serveOpts...)))
 		}()
 		fmt.Printf("monitor counters on http://%s/metrics\n", *listen)
 	}

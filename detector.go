@@ -57,10 +57,10 @@ func WithDetectorNeural(cfg NeuralConfig) DetectorOption {
 	return func(c *detectorConfig) { c.neural = cfg; c.neuralSet = true }
 }
 
-// WithFeatureCache sizes the LRU bytecode→feature cache in entries
-// (0 disables caching). By default the entry count is derived from a
-// 32MB memory budget and the featurizer's vector size, so image-model
-// detectors don't cache gigabytes.
+// WithFeatureCache sizes the LRU bytecode→score cache in entries
+// (0 disables caching). Each entry memoizes one bytecode digest's model
+// output — a hit skips featurization and inference entirely — so entries
+// are ~100 bytes regardless of the featurizer's vector size.
 func WithFeatureCache(entries int) DetectorOption {
 	return func(c *detectorConfig) { c.cacheSize = entries }
 }
@@ -102,7 +102,7 @@ type Detector struct {
 	neural    NeuralConfig
 	scorer    models.Scorer
 	fz        features.Featurizer
-	cache     *lru.Cache[[]float64]
+	cache     *lru.Sharded[float64]
 	workers   int
 	rpc       *ethrpc.Client
 	scored    atomic.Uint64
@@ -127,11 +127,12 @@ func Train(spec ModelSpec, ds *Dataset, opts ...DetectorOption) (*Detector, erro
 	return newDetector(spec.Name, scorer, cfg)
 }
 
-// autoCacheSize marks "derive the entry count from the feature size";
-// featureCacheBudget is the memory the derived cache may occupy.
+// autoCacheSize marks "use the default entry count". Entries hold only a
+// digest key and a memoized probability (~100 bytes), so the default is a
+// flat count rather than the old per-feature-size memory derivation.
 const (
-	autoCacheSize      = -1
-	featureCacheBudget = 32 << 20
+	autoCacheSize    = -1
+	defaultCacheSize = 4096
 )
 
 func newDetector(name string, scorer models.Scorer, cfg detectorConfig) (*Detector, error) {
@@ -141,21 +142,14 @@ func newDetector(name string, scorer models.Scorer, cfg detectorConfig) (*Detect
 	}
 	entries := cfg.cacheSize
 	if entries == autoCacheSize {
-		perEntry := 8*fz.Dim() + 64 // float64 vector + key/list overhead
-		entries = featureCacheBudget / perEntry
-		if entries > 4096 {
-			entries = 4096
-		}
-		if entries < 16 {
-			entries = 16
-		}
+		entries = defaultCacheSize
 	}
 	d := &Detector{
 		modelName: name,
 		neural:    cfg.neural,
 		scorer:    scorer,
 		fz:        fz,
-		cache:     lru.New[[]float64](entries),
+		cache:     lru.NewSharded[float64](entries),
 		workers:   cfg.workers,
 	}
 	if cfg.rpcURL != "" {
@@ -170,25 +164,32 @@ func (d *Detector) ModelName() string { return d.modelName }
 // FeatureDim returns the fitted featurizer's vector length.
 func (d *Detector) FeatureDim() int { return d.fz.Dim() }
 
-// CacheStats returns cumulative feature-cache hits and misses.
+// CacheStats returns cumulative score-cache hits and misses (a hit skips
+// featurization and inference for that bytecode).
 func (d *Detector) CacheStats() (hits, misses uint64) { return d.cache.Stats() }
 
 // ScoreCount returns how many bytecodes this detector has scored (every
 // Score/ScoreHex/ScoreAddress/ScoreBatch element counts once on success).
 func (d *Detector) ScoreCount() uint64 { return d.scored.Load() }
 
-// featuresFor transforms bytecode, memoizing through the LRU cache. The
-// cached slice is shared across goroutines and must be treated read-only —
-// every model's ScoreFeatures only reads its input.
-func (d *Detector) featuresFor(code []byte) []float64 {
+// scoreFor resolves P(phishing) for one bytecode, memoizing the model
+// output through the sharded LRU. Models are deterministic read-only
+// functions of the features, so caching p makes a hit skip both the
+// featurizer and the ensemble; the SHA-256 digest keys the cache directly
+// ([32]byte, no string conversion), so that hit allocates nothing. The
+// feature vector itself is transient — nothing reads it back, so it is not
+// retained.
+func (d *Detector) scoreFor(code []byte) (float64, error) {
 	key := sha256.Sum256(code)
-	k := string(key[:])
-	if x, ok := d.cache.Get(k); ok {
-		return x
+	if p, ok := d.cache.Get(key); ok {
+		return p, nil
 	}
-	x := d.fz.Transform(code)
-	d.cache.Add(k, x)
-	return x
+	p, err := d.scorer.ScoreFeatures(d.fz.Transform(code))
+	if err != nil {
+		return 0, err
+	}
+	d.cache.Add(key, p)
+	return p, nil
 }
 
 // Score classifies one deployed bytecode.
@@ -199,7 +200,7 @@ func (d *Detector) Score(ctx context.Context, code []byte) (Verdict, error) {
 	if len(code) == 0 {
 		return Verdict{}, fmt.Errorf("phishinghook: score: empty bytecode")
 	}
-	p, err := d.scorer.ScoreFeatures(d.featuresFor(code))
+	p, err := d.scoreFor(code)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("phishinghook: score: %w", err)
 	}

@@ -47,11 +47,11 @@ func OpcodeUsage(ds *Dataset, opcodes []string) []UsageRow {
 	}
 	for _, s := range ds.Samples {
 		counts := map[string]float64{}
-		for _, in := range evm.Disassemble(s.Bytecode) {
-			if wanted[in.Mnemonic()] {
-				counts[in.Mnemonic()]++
+		evm.WalkOps(s.Bytecode, func(op evm.Opcode) {
+			if m := op.Name(); wanted[m] {
+				counts[m]++
 			}
-		}
+		})
 		cls := 0
 		if s.Label == Phishing {
 			cls = 1

@@ -1,0 +1,67 @@
+package phishinghook
+
+import (
+	"context"
+	"testing"
+)
+
+// TestScoreCachedPathZeroAllocs pins the PR's headline contract: once a
+// bytecode's features and score are resident in the sharded LRU, Score
+// performs no heap allocation — digest key, cache probe and verdict
+// construction are all allocation-free.
+func TestScoreCachedPathZeroAllocs(t *testing.T) {
+	ds, _ := testCorpus(t)
+	spec, err := ModelByName("Random Forest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(spec, ds, WithDetectorSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	code := ds.Samples[0].Bytecode
+	if _, err := det.Score(ctx, code); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := det.Score(ctx, code); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached Score allocates %.1f objects/op, want 0", allocs)
+	}
+	hits, _ := det.CacheStats()
+	if hits == 0 {
+		t.Fatal("cache recorded no hits — the assertion measured the wrong path")
+	}
+}
+
+// BenchmarkDetectorScoreUncached measures the full featurize→infer pipeline
+// with the cache disabled: the Watchtower-shaped workload, where SHA dedup
+// upstream means nearly every scored contract is new.
+func BenchmarkDetectorScoreUncached(b *testing.B) {
+	_, s := sharedDetector(b)
+	spec, err := ModelByName("Random Forest")
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := Train(spec, s.ds, WithDetectorSeed(1), WithFeatureCache(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var total int
+	for _, smp := range s.ds.Samples {
+		total += len(smp.Bytecode)
+	}
+	b.SetBytes(int64(total) / int64(s.ds.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Score(ctx, s.ds.Samples[i%s.ds.Len()].Bytecode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,7 +2,8 @@ package evm
 
 // Static bytecode analysis helpers layered on the disassembler: the
 // structural facts the framework's post hoc discussions rely on (selector
-// dispatch, jump-destination validity, the solc metadata trailer).
+// dispatch, jump-destination validity, the solc metadata trailer). All of
+// them stream over Walk instead of materializing a []Instruction.
 
 import "encoding/binary"
 
@@ -11,11 +12,11 @@ import "encoding/binary"
 // jump-validity rule).
 func ValidJumpdests(code []byte) map[int]bool {
 	out := make(map[int]bool)
-	for _, in := range Disassemble(code) {
-		if in.Op == JUMPDEST {
-			out[in.Offset] = true
+	Walk(code, func(pc int, op Opcode, _ []byte) {
+		if op == JUMPDEST {
+			out[pc] = true
 		}
-	}
+	})
 	return out
 }
 
@@ -23,24 +24,29 @@ func ValidJumpdests(code []byte) map[int]bool {
 // contract's dispatcher (PUSH4 s … EQ patterns), in order of appearance.
 // This recovers the contract's external ABI surface from bytecode alone.
 func FunctionSelectors(code []byte) [][4]byte {
-	ins := Disassemble(code)
 	var out [][4]byte
-	for i := 0; i+1 < len(ins); i++ {
-		if ins[i].Op != PUSH4 || len(ins[i].Operand) != 4 {
-			continue
+	// Streaming match of PUSH4 s [one DUPn] EQ: pending holds the candidate
+	// selector, dupSeen whether the single allowed interleaved stack op has
+	// been consumed (solc sometimes emits DUPn between PUSH4 and EQ).
+	var (
+		pending [4]byte
+		have    bool
+		dupSeen bool
+	)
+	Walk(code, func(_ int, op Opcode, operand []byte) {
+		switch {
+		case op == PUSH4 && len(operand) == 4:
+			copy(pending[:], operand)
+			have, dupSeen = true, false
+		case have && op == EQ:
+			out = append(out, pending)
+			have = false
+		case have && op.IsDup() && !dupSeen:
+			dupSeen = true
+		default:
+			have = false
 		}
-		// Allow one interleaved stack op between PUSH4 and EQ (solc
-		// sometimes emits DUPn in between).
-		j := i + 1
-		if ins[j].Op.IsDup() && j+1 < len(ins) {
-			j++
-		}
-		if ins[j].Op == EQ {
-			var sel [4]byte
-			copy(sel[:], ins[i].Operand)
-			out = append(out, sel)
-		}
-	}
+	})
 	return out
 }
 
@@ -53,11 +59,11 @@ func MetadataSplit(code []byte) (codeLen int, found bool) {
 	// disassembly, accepted as the split when it sits in the back half of
 	// the contract (solc emits it right before the metadata).
 	last := -1
-	for _, in := range Disassemble(code) {
-		if in.Op == INVALID {
-			last = in.Offset
+	Walk(code, func(pc int, op Opcode, _ []byte) {
+		if op == INVALID {
+			last = pc
 		}
-	}
+	})
 	if last > len(code)/2 {
 		return last, true
 	}
@@ -81,26 +87,26 @@ type Stats struct {
 	UndefinedBytes int
 }
 
-// Analyze computes Stats in one pass.
+// Analyze computes Stats in one streaming pass (plus the selector scan).
 func Analyze(code []byte) Stats {
 	var s Stats
-	for _, in := range Disassemble(code) {
+	WalkOps(code, func(op Opcode) {
 		s.Instructions++
-		switch {
-		case in.Op == JUMPDEST:
+		switch op {
+		case JUMPDEST:
 			s.Jumpdests++
-		case in.Op == SELFDESTRUCT:
+		case SELFDESTRUCT:
 			s.HasSelfdestruct = true
-		case in.Op == DELEGATECALL:
+		case DELEGATECALL:
 			s.HasDelegatecall = true
 		}
-		if !in.Op.Defined() {
+		if !op.Defined() {
 			s.UndefinedBytes++
 		}
-		if g := in.Op.Gas(); g != GasUndefined {
+		if g := op.Gas(); g != GasUndefined {
 			s.StaticGas += g
 		}
-	}
+	})
 	s.Selectors = len(FunctionSelectors(code))
 	return s
 }

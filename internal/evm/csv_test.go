@@ -1,0 +1,53 @@
+package evm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVValidatesGasColumn(t *testing.T) {
+	header := "offset,mnemonic,operand,gas\n"
+	cases := []struct {
+		name    string
+		rows    string
+		wantErr string
+	}{
+		{"valid", "0,PUSH1,0x80,3\n2,MSTORE,NaN,3\n", ""},
+		{"valid-nan-invalid", "0,INVALID,NaN,NaN\n", ""},
+		{"wrong-gas", "0,PUSH1,0x80,99\n", "gas 99"},
+		{"nan-for-defined", "0,ADD,NaN,NaN\n", "gas NaN"},
+		{"number-for-undefined", "0,INVALID,NaN,7\n", "gas 7"},
+		{"garbage-gas", "0,ADD,NaN,xyz\n", "bad gas"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(header + tc.rows))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestWriteReadCSVRoundTripChecksGas(t *testing.T) {
+	// A full write→read round trip over a stream containing every gas
+	// shape: defined cost, undefined (INVALID) and an UNKNOWN byte.
+	code := []byte{byte(PUSH2), 0x01, 0x02, byte(ADD), 0xFE, 0x0C}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, Disassemble(code)); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Assemble(back); string(got) != string(code) {
+		t.Fatalf("round trip = %x, want %x", got, code)
+	}
+}

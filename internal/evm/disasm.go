@@ -62,23 +62,19 @@ func (ins Instruction) Size() int { return 1 + len(ins.Operand) }
 // Every byte is consumed: undefined bytes become UNKNOWN_0xNN instructions
 // and truncated PUSH immediates are kept (flagged Truncated), so the
 // disassembly is loss-free and Assemble(Disassemble(code)) == code.
+//
+// Disassemble materializes a []Instruction and is meant for the CSV/report
+// paths; hot paths should consume Walk directly.
 func Disassemble(code []byte) []Instruction {
 	ins := make([]Instruction, 0, len(code))
-	for pc := 0; pc < len(code); {
-		op := Opcode(code[pc])
-		in := Instruction{Offset: pc, Op: op}
-		pc++
-		if n := op.PushSize(); n > 0 {
-			end := pc + n
-			if end > len(code) {
-				end = len(code)
-				in.Truncated = true
-			}
-			in.Operand = code[pc:end:end]
-			pc = end
-		}
-		ins = append(ins, in)
-	}
+	Walk(code, func(pc int, op Opcode, operand []byte) {
+		ins = append(ins, Instruction{
+			Offset:    pc,
+			Op:        op,
+			Operand:   operand,
+			Truncated: len(operand) < op.PushSize(),
+		})
+	})
 	return ins
 }
 
@@ -182,6 +178,22 @@ func ReadCSV(r io.Reader) ([]Instruction, error) {
 				return nil, fmt.Errorf("evm: csv row %d: bad operand: %w", i+1, err)
 			}
 			in.Operand = operand
+		}
+		// The gas column is redundant (a function of the opcode) but part of
+		// the paper's dataset layout; validate it so round-trips are checked
+		// rather than silently ignored.
+		if row[3] == "NaN" {
+			if g := op.Gas(); g != GasUndefined {
+				return nil, fmt.Errorf("evm: csv row %d: gas NaN for %s, want %d", i+1, op.Name(), g)
+			}
+		} else {
+			gas, err := strconv.Atoi(row[3])
+			if err != nil {
+				return nil, fmt.Errorf("evm: csv row %d: bad gas: %w", i+1, err)
+			}
+			if g := op.Gas(); gas != g {
+				return nil, fmt.Errorf("evm: csv row %d: gas %d for %s, want %s", i+1, gas, op.Name(), in.GasString())
+			}
 		}
 		ins = append(ins, in)
 	}

@@ -1,0 +1,52 @@
+package evm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDisassembleRoundTrip asserts the two load-bearing invariants of the
+// decoder on arbitrary byte strings: disassembly is loss-free
+// (Assemble(Disassemble(code)) == code), and the streaming walker visits
+// exactly the (offset, op, operand) triples the materializing disassembler
+// records.
+func FuzzDisassembleRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x60, 0x80, 0x60, 0x40, 0x52})      // the paper's example
+	f.Add([]byte{byte(PUSH4), 0x01, 0x02})           // truncated PUSH
+	f.Add([]byte{byte(PUSH32)})                      // PUSH with no operand bytes
+	f.Add([]byte{0x0C, 0x0D, 0xFE, 0xFF})            // undefined + INVALID + SELFDESTRUCT
+	f.Add([]byte{byte(JUMPDEST), byte(PUSH1), 0x5B}) // JUMPDEST inside an immediate
+	f.Fuzz(func(t *testing.T, code []byte) {
+		ins := Disassemble(code)
+		if got := Assemble(ins); !bytes.Equal(got, code) {
+			t.Fatalf("Assemble(Disassemble(%x)) = %x", code, got)
+		}
+		i := 0
+		Walk(code, func(pc int, op Opcode, operand []byte) {
+			if i >= len(ins) {
+				t.Fatalf("Walk visited more than the %d disassembled instructions", len(ins))
+			}
+			in := ins[i]
+			if pc != in.Offset || op != in.Op || !bytes.Equal(operand, in.Operand) {
+				t.Fatalf("Walk triple %d = (%d, %s, %x), Disassemble has (%d, %s, %x)",
+					i, pc, op, operand, in.Offset, in.Op, in.Operand)
+			}
+			i++
+		})
+		if i != len(ins) {
+			t.Fatalf("Walk visited %d instructions, Disassemble has %d", i, len(ins))
+		}
+		// WalkOps must see the same opcode stream.
+		j := 0
+		WalkOps(code, func(op Opcode) {
+			if j >= len(ins) || op != ins[j].Op {
+				t.Fatalf("WalkOps opcode %d diverges from disassembly", j)
+			}
+			j++
+		})
+		if j != len(ins) {
+			t.Fatalf("WalkOps visited %d opcodes, want %d", j, len(ins))
+		}
+	})
+}

@@ -137,6 +137,34 @@ type opInfo struct {
 // records the static cost column only.
 var shanghaiTable = buildShanghaiTable()
 
+// Dense byte-indexed views of shanghaiTable. Every per-opcode accessor on
+// the hot path (Name, Gas, Defined, PushSize) reads these instead of the
+// map: a bounds-check-free array load versus a hash probe. Undefined bytes
+// carry their precomputed UNKNOWN_0xNN alias so Name never allocates.
+var (
+	opNames   [256]string
+	opGas     [256]int
+	opDefined [256]bool
+	opPush    [256]uint8
+)
+
+func init() {
+	for b := 0; b < 256; b++ {
+		op := Opcode(b)
+		if info, ok := shanghaiTable[op]; ok {
+			opNames[b] = info.name
+			opGas[b] = info.gas
+			opDefined[b] = true
+		} else {
+			opNames[b] = fmt.Sprintf("UNKNOWN_0x%02X", b)
+			opGas[b] = GasUndefined
+		}
+		if op >= PUSH1 && op <= PUSH32 {
+			opPush[b] = uint8(op-PUSH1) + 1
+		}
+	}
+}
+
 func buildShanghaiTable() map[Opcode]opInfo {
 	t := map[Opcode]opInfo{
 		STOP:           {"STOP", 0},
@@ -229,29 +257,16 @@ func buildShanghaiTable() map[Opcode]opInfo {
 }
 
 // Defined reports whether op is part of the Shanghai instruction set.
-func (op Opcode) Defined() bool {
-	_, ok := shanghaiTable[op]
-	return ok
-}
+func (op Opcode) Defined() bool { return opDefined[op] }
 
 // Name returns the mnemonic of op, or "UNKNOWN_0xNN" for undefined bytes.
 // Undefined bytes are treated like evmdasm treats them: they disassemble to a
 // synthetic mnemonic so that no byte of a contract is silently dropped.
-func (op Opcode) Name() string {
-	if info, ok := shanghaiTable[op]; ok {
-		return info.name
-	}
-	return fmt.Sprintf("UNKNOWN_0x%02X", byte(op))
-}
+func (op Opcode) Name() string { return opNames[op] }
 
 // Gas returns the static gas cost of op, or GasUndefined when the cost is not
 // statically defined (INVALID and undefined bytes).
-func (op Opcode) Gas() int {
-	if info, ok := shanghaiTable[op]; ok {
-		return info.gas
-	}
-	return GasUndefined
-}
+func (op Opcode) Gas() int { return opGas[op] }
 
 // GasFloat returns the static gas cost as a float64, with NaN standing for
 // undefined costs. This matches the paper's Table I rendering.
@@ -267,12 +282,7 @@ func (op Opcode) IsPush() bool { return op == PUSH0 || (op >= PUSH1 && op <= PUS
 
 // PushSize returns the number of immediate operand bytes following op.
 // It is zero for every instruction except PUSH1..PUSH32.
-func (op Opcode) PushSize() int {
-	if op >= PUSH1 && op <= PUSH32 {
-		return int(op-PUSH1) + 1
-	}
-	return 0
-}
+func (op Opcode) PushSize() int { return int(opPush[op]) }
 
 // IsDup reports whether op is DUP1..DUP16.
 func (op Opcode) IsDup() bool { return op >= DUP1 && op <= DUP16 }

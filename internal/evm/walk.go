@@ -1,0 +1,38 @@
+package evm
+
+// Walk streams the linear disassembly of code: fn is called once per
+// instruction with its byte offset, opcode and PUSH immediate. It is the
+// allocation-free core the featurizers consume — operand aliases code (nil
+// when the instruction takes no immediate; truncated when the immediate runs
+// past the end of the bytecode), no Instruction values or mnemonic strings
+// are materialized, and every byte of code is visited exactly once.
+//
+// Walk visits exactly the (offset, op, operand) triples Disassemble records;
+// Disassemble is a thin wrapper over Walk kept for the CSV/report paths.
+func Walk(code []byte, fn func(pc int, op Opcode, operand []byte)) {
+	for pc := 0; pc < len(code); {
+		b := code[pc]
+		start := pc + 1
+		end := start + int(opPush[b])
+		if end > len(code) {
+			end = len(code)
+		}
+		var operand []byte
+		if end > start {
+			operand = code[start:end:end]
+		}
+		fn(pc, Opcode(b), operand)
+		pc = end
+	}
+}
+
+// WalkOps streams only the opcode bytes of code, skipping PUSH immediates.
+// This is the tightest loop over a contract's instruction stream — histogram
+// and token featurizers need nothing else.
+func WalkOps(code []byte, fn func(op Opcode)) {
+	for pc := 0; pc < len(code); {
+		b := code[pc]
+		fn(Opcode(b))
+		pc += 1 + int(opPush[b])
+	}
+}

@@ -1,0 +1,78 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchBytecode builds a deterministic pseudo-contract: random bytes are a
+// worst case for the walker (every byte value appears, PUSH immediates of
+// all widths included).
+func benchBytecode(n int) []byte {
+	rng := rand.New(rand.NewSource(7))
+	code := make([]byte, n)
+	for i := range code {
+		code[i] = byte(rng.Intn(256))
+	}
+	return code
+}
+
+// BenchmarkFeaturize tracks the streaming single-pass transforms of every
+// representation on a realistic 663-byte contract (the simulated corpus
+// median). Paired with the allocation assertions in zeroalloc_test.go.
+func BenchmarkFeaturize(b *testing.B) {
+	code := benchBytecode(663)
+	corpus := [][]byte{code}
+
+	b.Run("histogram", func(b *testing.B) {
+		h := FitHistogram(corpus)
+		v := make([]float64, h.Dim())
+		b.SetBytes(int64(len(code)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.TransformInto(code, v)
+		}
+	})
+	b.Run("freq-image", func(b *testing.B) {
+		e := FitFreqEncoder(corpus)
+		img := make([]float64, 16*16*3)
+		b.SetBytes(int64(len(code)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.TransformInto(code, 16, img)
+		}
+	})
+	b.Run("byte-image", func(b *testing.B) {
+		img := make([]float64, 16*16*3)
+		b.SetBytes(int64(len(code)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			R2D2ImageInto(code, 16, img)
+		}
+	})
+	b.Run("opcode-seq", func(b *testing.B) {
+		v := NewOpcodeVocab()
+		out := make([]float64, 128)
+		b.SetBytes(int64(len(code)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v.FillIDs(code, out)
+		}
+	})
+	b.Run("bigram-seq", func(b *testing.B) {
+		f := &BigramSeqFeaturizer{SeqLen: 128}
+		if err := f.Fit(corpus); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(code)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Transform(code)
+		}
+	})
+}

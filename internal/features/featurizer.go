@@ -199,11 +199,7 @@ func (f *HistogramFeaturizer) UnmarshalBinary(data []byte) error {
 	if err := gobDecode(data, &names); err != nil {
 		return err
 	}
-	vocab := make(map[string]int, len(names))
-	for i, m := range names {
-		vocab[m] = i
-	}
-	f.hist = &Histogram{vocab: vocab, names: names}
+	f.hist = NewHistogram(names)
 	return nil
 }
 
@@ -287,7 +283,7 @@ func (f *FreqImageFeaturizer) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	f.Side = s.Side
-	f.enc = &FreqEncoder{mnemonic: s.State.Mnemonic, operand: s.State.Operand, gas: s.State.Gas}
+	f.enc = NewFreqEncoder(s.State.Mnemonic, s.State.Operand, s.State.Gas)
 	return nil
 }
 
@@ -308,12 +304,12 @@ func (f *BigramSeqFeaturizer) Fit(corpus [][]byte) error {
 	return nil
 }
 
-// Transform implements Featurizer.
+// Transform implements Featurizer: gram IDs resolved straight from the
+// bytecode into the float vector, no intermediate []int or hex strings.
 func (f *BigramSeqFeaturizer) Transform(code []byte) []float64 {
-	ids := f.vocab.Encode(code, f.SeqLen)
-	out := make([]float64, len(ids))
-	for i, id := range ids {
-		out[i] = float64(id)
+	out := make([]float64, f.SeqLen)
+	for i := range out {
+		out[i] = float64(f.vocab.gramID(code, i))
 	}
 	return out
 }
@@ -350,7 +346,7 @@ func (f *BigramSeqFeaturizer) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	f.SeqLen, f.VocabCap = s.SeqLen, s.VocabCap
-	f.vocab = &BigramVocab{ids: s.IDs}
+	f.vocab = NewBigramVocab(s.IDs)
 	return nil
 }
 
@@ -400,18 +396,32 @@ func (f *OpcodeSeqFeaturizer) VocabSize() int { return f.vocab.Size() }
 // vector of Dim() floats, absent trailing windows all-PAD. When windows
 // are uncapped (MaxWindows <= 0) the flat layout keeps only the first
 // window — the serving fast path stays bounded.
+//
+// The α layout streams token IDs straight from the bytecode into the
+// output (no intermediate [][]int); the β layout tokenizes once into a
+// pooled scratch buffer and slices windows out of it.
 func (f *OpcodeSeqFeaturizer) Transform(code []byte) []float64 {
 	out := make([]float64, f.Dim())
+	if !f.Windowed {
+		f.vocab.FillIDs(code, out)
+		return out
+	}
+	buf := getIntBuf()
+	tokens := f.vocab.TokensInto(code, *buf)
 	slots := f.flatWindows()
-	for w, win := range f.windows(code) {
-		if w >= slots {
+	for w := 0; w < slots; w++ {
+		// SlidingWindows emits window w iff it is the first or the previous
+		// window did not already cover the token tail.
+		if w > 0 && (w-1)*f.Stride+f.SeqLen >= len(tokens) {
 			break
 		}
+		start := w * f.Stride
 		base := w * f.SeqLen
-		for i, id := range win {
-			out[base+i] = float64(id)
+		for i := 0; i < f.SeqLen && start+i < len(tokens); i++ {
+			out[base+i] = float64(tokens[start+i])
 		}
 	}
+	putIntBuf(buf, tokens)
 	return out
 }
 

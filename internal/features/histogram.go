@@ -15,29 +15,48 @@ import (
 // description, the vocabulary is the set of distinct opcodes *observed in
 // the training set* (not the full ISA) and counts are served raw — no
 // normalization or standardization.
+//
+// Transform is a fused single pass over the bytecode: opcode byte →
+// feature index through a dense [256] table, no Instruction values, no
+// mnemonic strings, no map probes.
 type Histogram struct {
-	vocab map[string]int // mnemonic -> feature index
-	names []string       // index -> mnemonic
+	names []string       // index -> mnemonic (sorted; the gob state)
+	table [256]int16     // opcode byte -> feature index, -1 when out of vocab
+	vocab map[string]int // mnemonic -> feature index (cold paths: SHAP, tests)
+}
+
+// NewHistogram builds a histogram over an explicit sorted mnemonic
+// vocabulary (the deserialization path; FitHistogram is the training path).
+func NewHistogram(names []string) *Histogram {
+	h := &Histogram{names: names, vocab: make(map[string]int, len(names))}
+	for i, m := range names {
+		h.vocab[m] = i
+	}
+	// Opcode.Name covers defined mnemonics and UNKNOWN_0xNN aliases alike,
+	// so one sweep over the byte space fills the dense lookup table.
+	for b := 0; b < 256; b++ {
+		h.table[b] = -1
+		if i, ok := h.vocab[evm.Opcode(b).Name()]; ok {
+			h.table[b] = int16(i)
+		}
+	}
+	return h
 }
 
 // FitHistogram scans the training bytecodes and fixes the vocabulary.
 func FitHistogram(corpus [][]byte) *Histogram {
-	set := make(map[string]bool)
+	var seen [256]bool
 	for _, code := range corpus {
-		for _, in := range evm.Disassemble(code) {
-			set[in.Mnemonic()] = true
+		evm.WalkOps(code, func(op evm.Opcode) { seen[op] = true })
+	}
+	var names []string
+	for b := 0; b < 256; b++ {
+		if seen[b] {
+			names = append(names, evm.Opcode(b).Name())
 		}
 	}
-	names := make([]string, 0, len(set))
-	for m := range set {
-		names = append(names, m)
-	}
 	sort.Strings(names)
-	vocab := make(map[string]int, len(names))
-	for i, m := range names {
-		vocab[m] = i
-	}
-	return &Histogram{vocab: vocab, names: names}
+	return NewHistogram(names)
 }
 
 // Dim returns the feature vector length.
@@ -53,11 +72,21 @@ func (h *Histogram) FeatureNames() []string {
 // Transform counts opcode occurrences. Mnemonics unseen at fit time are
 // dropped (the fixed-vocabulary behaviour of the paper's pipeline).
 func (h *Histogram) Transform(code []byte) []float64 {
-	v := make([]float64, len(h.names))
-	for _, in := range evm.Disassemble(code) {
-		if i, ok := h.vocab[in.Mnemonic()]; ok {
+	return h.TransformInto(code, make([]float64, len(h.names)))
+}
+
+// TransformInto counts opcode occurrences into v (len must be Dim),
+// overwriting it. It allocates nothing — the pooled serving path.
+func (h *Histogram) TransformInto(code []byte, v []float64) []float64 {
+	for i := range v {
+		v[i] = 0
+	}
+	for pc := 0; pc < len(code); {
+		b := code[pc]
+		if i := h.table[b]; i >= 0 {
 			v[i]++
 		}
+		pc += 1 + evm.Opcode(b).PushSize()
 	}
 	return v
 }

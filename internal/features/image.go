@@ -16,14 +16,21 @@ import (
 // models here default to a smaller side (see internal/models) — the encoding
 // is identical, only the resolution differs.
 func R2D2Image(code []byte, side int) []float64 {
+	return R2D2ImageInto(code, side, make([]float64, side*side*3))
+}
+
+// R2D2ImageInto renders into img (len must be side*side*3), overwriting it.
+func R2D2ImageInto(code []byte, side int, img []float64) []float64 {
 	n := side * side * 3
-	img := make([]float64, n)
 	limit := len(code)
 	if limit > n {
 		limit = n
 	}
 	for i := 0; i < limit; i++ {
 		img[i] = float64(code[i]) / 255
+	}
+	for i := limit; i < n; i++ {
+		img[i] = 0
 	}
 	return img
 }
@@ -32,10 +39,18 @@ func R2D2Image(code []byte, side int) []float64 {
 // instruction contributes a pixel whose R, G and B intensities encode the
 // training-set frequency of its mnemonic, operand and gas value
 // respectively. The table is built exactly once on the training corpus.
+//
+// The string-keyed maps are the canonical (serialized) state; opFast/gasFast
+// and operandRaw are dense/raw-keyed views rebuilt from them so Transform
+// runs a single streaming pass with no mnemonic, hex or gas strings.
 type FreqEncoder struct {
 	mnemonic map[string]float64
 	operand  map[string]float64
 	gas      map[string]float64
+
+	opFast     [256]float64       // opcode byte -> mnemonic intensity
+	gasFast    [256]float64       // opcode byte -> gas intensity
+	operandRaw map[string]float64 // raw operand bytes -> intensity ("" = no operand)
 }
 
 // FitFreqEncoder builds the frequency lookup table from training bytecodes.
@@ -45,17 +60,53 @@ func FitFreqEncoder(corpus [][]byte) *FreqEncoder {
 	mn := make(map[string]int)
 	op := make(map[string]int)
 	gs := make(map[string]int)
+	ins := evm.Instruction{}
 	for _, code := range corpus {
-		for _, in := range evm.Disassemble(code) {
-			mn[in.Mnemonic()]++
-			op[in.OperandHex()]++
-			gs[in.GasString()]++
-		}
+		evm.Walk(code, func(pc int, o evm.Opcode, operand []byte) {
+			ins.Op, ins.Operand = o, operand
+			mn[o.Name()]++
+			op[ins.OperandHex()]++
+			gs[ins.GasString()]++
+		})
 	}
-	return &FreqEncoder{
+	e := &FreqEncoder{
 		mnemonic: rankScale(mn),
 		operand:  rankScale(op),
 		gas:      rankScale(gs),
+	}
+	e.buildFast()
+	return e
+}
+
+// NewFreqEncoder rebuilds an encoder from its serialized lookup maps (the
+// deserialization path).
+func NewFreqEncoder(mnemonic, operand, gas map[string]float64) *FreqEncoder {
+	e := &FreqEncoder{mnemonic: mnemonic, operand: operand, gas: gas}
+	e.buildFast()
+	return e
+}
+
+// buildFast derives the dense and raw-keyed hot-path views from the
+// canonical string-keyed maps.
+func (f *FreqEncoder) buildFast() {
+	ins := evm.Instruction{}
+	for b := 0; b < 256; b++ {
+		op := evm.Opcode(b)
+		ins.Op = op
+		f.opFast[b] = f.mnemonic[op.Name()]
+		f.gasFast[b] = f.gas[ins.GasString()]
+	}
+	f.operandRaw = make(map[string]float64, len(f.operand))
+	for hexKey, v := range f.operand {
+		if hexKey == "NaN" {
+			f.operandRaw[""] = v
+			continue
+		}
+		raw, err := evm.DecodeHex(hexKey)
+		if err != nil {
+			continue // foreign key in a hand-edited state; unseen ⇒ 0
+		}
+		f.operandRaw[string(raw)] = v
 	}
 }
 
@@ -83,17 +134,33 @@ func rankScale(counts map[string]int) map[string]float64 {
 // frequency intensities, zero-padded/truncated like R2D2Image. Symbols
 // unseen at fit time get intensity 0.
 func (f *FreqEncoder) Transform(code []byte, side int) []float64 {
+	return f.TransformInto(code, side, make([]float64, side*side*3))
+}
+
+// TransformInto renders into img (len must be side*side*3), overwriting it.
+// One streaming pass, no strings: mnemonic and gas intensities are dense
+// byte-table loads; the operand lookup keys the raw immediate bytes
+// (map[string(bytes)] compiles to an allocation-free probe). The decode
+// loop is inlined rather than using Walk so it can stop at the last pixel —
+// a 24KB contract has far more instructions than a small image has room for.
+func (f *FreqEncoder) TransformInto(code []byte, side int, img []float64) []float64 {
 	n := side * side * 3
-	img := make([]float64, n)
-	ins := evm.Disassemble(code)
-	for i, in := range ins {
-		base := i * 3
-		if base+2 >= n {
-			break
+	base := 0
+	for pc := 0; pc < len(code) && base+2 < n; {
+		op := evm.Opcode(code[pc])
+		start := pc + 1
+		end := start + op.PushSize()
+		if end > len(code) {
+			end = len(code)
 		}
-		img[base] = f.mnemonic[in.Mnemonic()]
-		img[base+1] = f.operand[in.OperandHex()]
-		img[base+2] = f.gas[in.GasString()]
+		img[base] = f.opFast[op]
+		img[base+1] = f.operandRaw[string(code[start:end])]
+		img[base+2] = f.gasFast[op]
+		base += 3
+		pc = end
+	}
+	for i := base; i < n; i++ {
+		img[i] = 0
 	}
 	return img
 }

@@ -1,0 +1,19 @@
+package features
+
+import "sync"
+
+// intBufPool recycles token scratch buffers across Transform calls. Feature
+// *outputs* are owned by the caller (the Detector caches them), so only
+// transient internals are pooled.
+var intBufPool = sync.Pool{New: func() any { b := make([]int, 0, 1024); return &b }}
+
+// getIntBuf returns a reusable empty []int (via pointer, so the pool does
+// not allocate a boxing interface per Put).
+func getIntBuf() *[]int { return intBufPool.Get().(*[]int) }
+
+// putIntBuf returns the buffer to the pool, keeping whatever backing array
+// the caller grew it to.
+func putIntBuf(p *[]int, grown []int) {
+	*p = grown[:0]
+	intBufPool.Put(p)
+}

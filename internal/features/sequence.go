@@ -17,24 +17,44 @@ const (
 	firstSymbolID = 2
 )
 
+// gramBytes is the raw width of one SCSGuard gram (6 hex characters).
+const gramBytes = 3
+
 // BigramVocab implements SCSGuard's input encoding: the bytecode's hex
 // string is read as non-overlapping 6-hex-character grams ("bigrams" in the
 // paper's terminology, i.e. 3 bytes), each mapped to an integer ID.
+//
+// ids (hex-gram keyed) is the canonical serialized state; raw keys the same
+// grams by their undecoded bytes so Encode probes straight from the
+// bytecode without rendering hex strings.
 type BigramVocab struct {
 	ids map[string]int
+	raw map[string]int
+}
+
+// NewBigramVocab rebuilds a vocabulary from its serialized hex-gram ID map
+// (the deserialization path).
+func NewBigramVocab(ids map[string]int) *BigramVocab {
+	v := &BigramVocab{ids: ids, raw: make(map[string]int, len(ids))}
+	for g, id := range ids {
+		if b, err := hex.DecodeString(g); err == nil {
+			v.raw[string(b)] = id
+		}
+	}
+	return v
 }
 
 // FitBigrams builds the gram vocabulary from training bytecodes.
 func FitBigrams(corpus [][]byte) *BigramVocab {
-	v := &BigramVocab{ids: make(map[string]int)}
+	ids := make(map[string]int)
 	for _, code := range corpus {
 		for _, g := range splitGrams(code) {
-			if _, ok := v.ids[g]; !ok {
-				v.ids[g] = firstSymbolID + len(v.ids)
+			if _, ok := ids[g]; !ok {
+				ids[g] = firstSymbolID + len(ids)
 			}
 		}
 	}
-	return v
+	return NewBigramVocab(ids)
 }
 
 // FitBigramsCapped keeps only the maxVocab most frequent grams (ties broken
@@ -61,11 +81,11 @@ func FitBigramsCapped(corpus [][]byte, maxVocab int) *BigramVocab {
 	if maxVocab > 0 && len(keys) > maxVocab {
 		keys = keys[:maxVocab]
 	}
-	v := &BigramVocab{ids: make(map[string]int, len(keys))}
+	ids := make(map[string]int, len(keys))
 	for _, g := range keys {
-		v.ids[g] = firstSymbolID + len(v.ids)
+		ids[g] = firstSymbolID + len(ids)
 	}
-	return v
+	return NewBigramVocab(ids)
 }
 
 // Size returns the vocabulary size including PAD and UNK.
@@ -73,20 +93,29 @@ func (v *BigramVocab) Size() int { return firstSymbolID + len(v.ids) }
 
 // Encode maps bytecode to a gram ID sequence, padded or truncated to maxLen.
 func (v *BigramVocab) Encode(code []byte, maxLen int) []int {
-	grams := splitGrams(code)
 	out := make([]int, maxLen)
 	for i := 0; i < maxLen; i++ {
-		if i >= len(grams) {
-			out[i] = PadID
-			continue
-		}
-		if id, ok := v.ids[grams[i]]; ok {
-			out[i] = id
-		} else {
-			out[i] = UnkID
-		}
+		out[i] = v.gramID(code, i)
 	}
 	return out
+}
+
+// gramID resolves the i-th gram of code (PadID past the end, UnkID when
+// unseen at fit time). The map probe keys a subslice of code directly —
+// map[string(bytes)] compiles to an allocation-free lookup.
+func (v *BigramVocab) gramID(code []byte, i int) int {
+	lo := i * gramBytes
+	if lo >= len(code) {
+		return PadID
+	}
+	hi := lo + gramBytes
+	if hi > len(code) {
+		hi = len(code)
+	}
+	if id, ok := v.raw[string(code[lo:hi])]; ok {
+		return id
+	}
+	return UnkID
 }
 
 // splitGrams renders code as hex and splits it into 6-character grams; a
@@ -106,9 +135,11 @@ func splitGrams(code []byte) []string {
 
 // OpcodeVocab maps opcode mnemonics to token IDs for the language models
 // (GPT-2, T5) and the ESCORT embedding. The vocabulary is the full Shanghai
-// ISA plus PAD/UNK so it never depends on the training split.
+// ISA plus PAD/UNK so it never depends on the training split. A dense
+// byte-indexed table backs tokenization: opcode byte → ID in one load.
 type OpcodeVocab struct {
-	ids map[string]int
+	ids   map[string]int
+	table [256]uint16
 }
 
 // NewOpcodeVocab builds the fixed ISA vocabulary.
@@ -117,25 +148,56 @@ func NewOpcodeVocab() *OpcodeVocab {
 	for i, m := range evm.AllMnemonics() {
 		v.ids[m] = firstSymbolID + i
 	}
+	for b := 0; b < 256; b++ {
+		op := evm.Opcode(b)
+		v.table[b] = UnkID
+		if op.Defined() {
+			v.table[b] = uint16(v.ids[op.Name()])
+		}
+	}
 	return v
 }
 
 // Size returns the vocabulary size including PAD and UNK.
 func (v *OpcodeVocab) Size() int { return firstSymbolID + len(v.ids) }
 
+// ID returns the token ID of the opcode byte (UnkID for undefined bytes).
+func (v *OpcodeVocab) ID(op evm.Opcode) int { return int(v.table[op]) }
+
 // Tokens converts bytecode to its full opcode ID sequence (undefined bytes
 // become UNK), without padding.
 func (v *OpcodeVocab) Tokens(code []byte) []int {
-	ins := evm.Disassemble(code)
-	out := make([]int, len(ins))
-	for i, in := range ins {
-		if id, ok := v.ids[in.Mnemonic()]; ok {
-			out[i] = id
-		} else {
-			out[i] = UnkID
-		}
+	return v.TokensInto(code, make([]int, 0, len(code)))
+}
+
+// TokensInto appends the opcode ID sequence to buf (reusing its backing
+// array) and returns it — the pooled serving path: one streaming pass over
+// the bytecode, no Instruction values or mnemonic strings.
+func (v *OpcodeVocab) TokensInto(code []byte, buf []int) []int {
+	out := buf[:0]
+	for pc := 0; pc < len(code); {
+		b := code[pc]
+		out = append(out, int(v.table[b]))
+		pc += 1 + evm.Opcode(b).PushSize()
 	}
 	return out
+}
+
+// FillIDs streams the first len(out) token IDs of code into out as floats,
+// zero-padding the tail (PadID == 0). It returns the number of real tokens
+// written — the fused α-layout transform, allocating nothing.
+func (v *OpcodeVocab) FillIDs(code []byte, out []float64) int {
+	n := 0
+	for pc := 0; pc < len(code) && n < len(out); {
+		b := code[pc]
+		out[n] = float64(v.table[b])
+		n++
+		pc += 1 + evm.Opcode(b).PushSize()
+	}
+	for i := n; i < len(out); i++ {
+		out[i] = 0
+	}
+	return n
 }
 
 // Truncate implements the paper's α variant: the sequence is cut (or padded)

@@ -1,0 +1,103 @@
+package features
+
+import (
+	"testing"
+
+	"github.com/phishinghook/phishinghook/internal/evm"
+)
+
+// tokensViaDisassembly is the pre-streaming reference token stream: the
+// mnemonic projection of the materialized disassembly.
+func tokensViaDisassembly(code []byte) []string {
+	return evm.Mnemonics(evm.Disassemble(code))
+}
+
+// The streaming transforms must not allocate when given a destination
+// buffer — the contract the pooled serving path depends on.
+func TestTransformIntoZeroAllocs(t *testing.T) {
+	code := benchBytecode(663)
+	corpus := [][]byte{code}
+
+	h := FitHistogram(corpus)
+	hv := make([]float64, h.Dim())
+	if a := testing.AllocsPerRun(200, func() { h.TransformInto(code, hv) }); a != 0 {
+		t.Errorf("Histogram.TransformInto allocates %.1f/op, want 0", a)
+	}
+
+	e := FitFreqEncoder(corpus)
+	img := make([]float64, 16*16*3)
+	if a := testing.AllocsPerRun(200, func() { e.TransformInto(code, 16, img) }); a != 0 {
+		t.Errorf("FreqEncoder.TransformInto allocates %.1f/op, want 0", a)
+	}
+
+	if a := testing.AllocsPerRun(200, func() { R2D2ImageInto(code, 16, img) }); a != 0 {
+		t.Errorf("R2D2ImageInto allocates %.1f/op, want 0", a)
+	}
+
+	v := NewOpcodeVocab()
+	seq := make([]float64, 128)
+	if a := testing.AllocsPerRun(200, func() { v.FillIDs(code, seq) }); a != 0 {
+		t.Errorf("OpcodeVocab.FillIDs allocates %.1f/op, want 0", a)
+	}
+
+	bg := FitBigrams(corpus)
+	ids := make([]int, 128)
+	if a := testing.AllocsPerRun(200, func() {
+		for i := range ids {
+			ids[i] = bg.gramID(code, i)
+		}
+	}); a != 0 {
+		t.Errorf("BigramVocab.gramID allocates %.1f/op, want 0", a)
+	}
+}
+
+// The fused transforms must agree with the reference implementations built
+// from the materializing primitives they replaced.
+func TestFusedTransformsMatchReference(t *testing.T) {
+	code := benchBytecode(997)
+	corpus := [][]byte{benchBytecode(300), code, benchBytecode(64)}
+
+	// Histogram: Transform vs counting over Tokens of the full ISA walk.
+	h := FitHistogram(corpus)
+	got := h.Transform(code)
+	names := h.FeatureNames()
+	idx := make(map[string]int, len(names))
+	for i, m := range names {
+		idx[m] = i
+	}
+	want := make([]float64, len(names))
+	for _, tok := range tokensViaDisassembly(code) {
+		if i, ok := idx[tok]; ok {
+			want[i]++
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("histogram feature %d (%s) = %v, want %v", i, names[i], got[i], want[i])
+		}
+	}
+
+	// Opcode sequence: FillIDs vs Truncate(Tokens).
+	v := NewOpcodeVocab()
+	out := make([]float64, 96)
+	v.FillIDs(code, out)
+	ref := Truncate(v.Tokens(code), 96)
+	for i := range ref {
+		if int(out[i]) != ref[i] {
+			t.Fatalf("seq token %d = %d, want %d", i, int(out[i]), ref[i])
+		}
+	}
+
+	// Bigram: fused Transform vs Encode.
+	f := &BigramSeqFeaturizer{SeqLen: 64}
+	if err := f.Fit(corpus); err != nil {
+		t.Fatal(err)
+	}
+	ids := f.Encode(code)
+	x := f.Transform(code)
+	for i := range ids {
+		if int(x[i]) != ids[i] {
+			t.Fatalf("bigram %d = %d, want %d", i, int(x[i]), ids[i])
+		}
+	}
+}

@@ -1,5 +1,6 @@
-// Package lru provides a small mutex-guarded LRU cache used by the serving
-// layer to memoize bytecode→feature transforms.
+// Package lru provides the serving layer's bytecode→score memoization:
+// a mutex-guarded LRU cache plus a sharded variant that spreads digest keys
+// over independently locked shards to cut contention under batch scoring.
 package lru
 
 import (
@@ -9,32 +10,32 @@ import (
 
 // Cache is a fixed-capacity least-recently-used map. The zero value is not
 // usable; construct with New. All methods are safe for concurrent use.
-type Cache[V any] struct {
+type Cache[K comparable, V any] struct {
 	mu    sync.Mutex
 	cap   int
-	order *list.List // front = most recent; values are *entry[V]
-	items map[string]*list.Element
+	order *list.List // front = most recent; values are *entry[K, V]
+	items map[K]*list.Element
 	hits  uint64
 	miss  uint64
 }
 
-type entry[V any] struct {
-	key string
+type entry[K comparable, V any] struct {
+	key K
 	val V
 }
 
 // New builds a cache holding at most capacity entries. capacity <= 0
 // returns a disabled cache (every Get misses, Add is a no-op).
-func New[V any](capacity int) *Cache[V] {
-	return &Cache[V]{
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	return &Cache[K, V]{
 		cap:   capacity,
 		order: list.New(),
-		items: make(map[string]*list.Element),
+		items: make(map[K]*list.Element),
 	}
 }
 
 // Get returns the cached value and marks it most recently used.
-func (c *Cache[V]) Get(key string) (V, bool) {
+func (c *Cache[K, V]) Get(key K) (V, bool) {
 	var zero V
 	if c.cap <= 0 {
 		return zero, false
@@ -48,40 +49,112 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*entry[V]).val, true
+	return el.Value.(*entry[K, V]).val, true
 }
 
 // Add inserts or refreshes a value, evicting the least recently used entry
 // when the cache is full.
-func (c *Cache[V]) Add(key string, val V) {
+func (c *Cache[K, V]) Add(key K, val V) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*entry[V]).val = val
+		el.Value.(*entry[K, V]).val = val
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&entry[V]{key: key, val: val})
+	c.items[key] = c.order.PushFront(&entry[K, V]{key: key, val: val})
 	if c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry[V]).key)
+		delete(c.items, oldest.Value.(*entry[K, V]).key)
 	}
 }
 
 // Len returns the current entry count.
-func (c *Cache[V]) Len() int {
+func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
 
 // Stats returns cumulative hit and miss counts.
-func (c *Cache[V]) Stats() (hits, misses uint64) {
+func (c *Cache[K, V]) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.miss
+}
+
+// numShards is the shard count of a Sharded cache: a power of two so the
+// shard select is a mask of the key's (uniformly distributed) first byte.
+// 16 shards keep lock contention negligible up to dozens of scoring
+// goroutines while staying cheap for tiny caches.
+const numShards = 16
+
+// Sharded is an LRU over 32-byte digest keys (SHA-256 of the bytecode)
+// split into independently locked shards. Get on a resident key performs
+// no allocation — the array key indexes the shard map directly.
+type Sharded[V any] struct {
+	shards [numShards]*Cache[[32]byte, V]
+	mask   byte // shard selector: numShards-1, or 0 for tiny single-shard caches
+}
+
+// NewSharded builds a sharded cache holding at most capacity entries in
+// total: the capacity is split across shards with the remainder distributed
+// one entry each, so per-shard capacities sum exactly to capacity. A
+// capacity below numShards collapses to a single shard — every key stays
+// cacheable and the LRU order is global, matching the unsharded contract.
+// capacity <= 0 returns a disabled cache.
+func NewSharded[V any](capacity int) *Sharded[V] {
+	s := &Sharded[V]{mask: numShards - 1}
+	if capacity < 0 {
+		capacity = 0
+	}
+	if capacity < numShards {
+		s.mask = 0
+	}
+	shards := int(s.mask) + 1
+	per, extra := capacity/shards, capacity%shards
+	for i := range s.shards {
+		c := 0
+		if i < shards {
+			c = per
+			if i < extra {
+				c++
+			}
+		}
+		s.shards[i] = New[[32]byte, V](c)
+	}
+	return s
+}
+
+func (s *Sharded[V]) shard(key [32]byte) *Cache[[32]byte, V] {
+	return s.shards[key[0]&s.mask]
+}
+
+// Get returns the cached value and marks it most recently used in its shard.
+func (s *Sharded[V]) Get(key [32]byte) (V, bool) { return s.shard(key).Get(key) }
+
+// Add inserts or refreshes a value, evicting LRU entries shard-locally.
+func (s *Sharded[V]) Add(key [32]byte, val V) { s.shard(key).Add(key, val) }
+
+// Len returns the total entry count across shards.
+func (s *Sharded[V]) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Stats returns cumulative hit and miss counts summed over shards.
+func (s *Sharded[V]) Stats() (hits, misses uint64) {
+	for _, sh := range s.shards {
+		h, m := sh.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestEviction(t *testing.T) {
-	c := New[int](2)
+	c := New[string, int](2)
 	c.Add("a", 1)
 	c.Add("b", 2)
 	if _, ok := c.Get("a"); !ok {
@@ -28,7 +28,7 @@ func TestEviction(t *testing.T) {
 }
 
 func TestRefreshExisting(t *testing.T) {
-	c := New[int](2)
+	c := New[string, int](2)
 	c.Add("a", 1)
 	c.Add("a", 9)
 	if v, _ := c.Get("a"); v != 9 {
@@ -40,7 +40,7 @@ func TestRefreshExisting(t *testing.T) {
 }
 
 func TestDisabled(t *testing.T) {
-	c := New[int](0)
+	c := New[string, int](0)
 	c.Add("a", 1)
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("disabled cache returned a value")
@@ -48,7 +48,7 @@ func TestDisabled(t *testing.T) {
 }
 
 func TestConcurrent(t *testing.T) {
-	c := New[int](32)
+	c := New[string, int](32)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)

@@ -1,0 +1,144 @@
+package lru
+
+import (
+	"crypto/sha256"
+	"sync"
+	"testing"
+)
+
+func digest(i int) [32]byte {
+	return sha256.Sum256([]byte{byte(i), byte(i >> 8), byte(i >> 16)})
+}
+
+func TestShardedBasic(t *testing.T) {
+	s := NewSharded[int](64)
+	for i := 0; i < 32; i++ {
+		s.Add(digest(i), i)
+	}
+	for i := 0; i < 32; i++ {
+		v, ok := s.Get(digest(i))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if s.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", s.Len())
+	}
+	hits, misses := s.Stats()
+	if hits != 32 || misses != 0 {
+		t.Fatalf("Stats = %d hits / %d misses, want 32/0", hits, misses)
+	}
+	if _, ok := s.Get(digest(999)); ok {
+		t.Fatal("phantom hit")
+	}
+	if _, misses = s.Stats(); misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+}
+
+// TestShardedTinyCapacitySingleShard pins the small-cache contract: below
+// numShards entries the cache collapses to one shard, so every key remains
+// cacheable and eviction follows one global LRU order.
+func TestShardedTinyCapacitySingleShard(t *testing.T) {
+	s := NewSharded[int](2)
+	// Insert keys that would land in many different shards under masking.
+	for i := 0; i < 100; i++ {
+		s.Add(digest(i), i)
+		if _, ok := s.Get(digest(i)); !ok {
+			t.Fatalf("key %d not cacheable in tiny cache", i)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want exactly capacity 2", s.Len())
+	}
+	// The two most recent keys are resident, older ones evicted.
+	for i := 98; i < 100; i++ {
+		if _, ok := s.Get(digest(i)); !ok {
+			t.Fatalf("recent key %d evicted", i)
+		}
+	}
+	if _, ok := s.Get(digest(0)); ok {
+		t.Fatal("oldest key still resident past capacity")
+	}
+}
+
+func TestShardedDisabled(t *testing.T) {
+	s := NewSharded[int](0)
+	s.Add(digest(1), 1)
+	if _, ok := s.Get(digest(1)); ok {
+		t.Fatal("disabled sharded cache returned a value")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestShardedCapacityBound(t *testing.T) {
+	s := NewSharded[int](64)
+	for i := 0; i < 10_000; i++ {
+		s.Add(digest(i), i)
+	}
+	// Per-shard capacities sum exactly to the requested total, so the
+	// documented bound is exact regardless of how keys distribute.
+	if s.Len() > 64 {
+		t.Fatalf("Len = %d exceeds capacity 64", s.Len())
+	}
+}
+
+// TestShardedConcurrentAccounting hammers the cache from many goroutines
+// (run under -race in CI) and checks the hit/miss ledger is exact: every
+// Get is counted exactly once.
+func TestShardedConcurrentAccounting(t *testing.T) {
+	s := NewSharded[int](256)
+	const (
+		goroutines = 8
+		perG       = 2000
+	)
+	// Pre-populate a fixed working set smaller than capacity so residency
+	// is deterministic: every Get below either hits the resident set or
+	// misses a never-added key.
+	for i := 0; i < 64; i++ {
+		s.Add(digest(i), i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if i%2 == 0 {
+					if _, ok := s.Get(digest(i % 64)); !ok {
+						t.Error("resident key missed")
+						return
+					}
+				} else {
+					if _, ok := s.Get(digest(100_000 + g*perG + i)); ok {
+						t.Error("phantom hit")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := s.Stats()
+	if want := uint64(goroutines * perG / 2); hits != want || misses != want {
+		t.Fatalf("Stats = %d hits / %d misses, want %d/%d", hits, misses, want, want)
+	}
+}
+
+// TestShardedGetAllocationFree pins the cached-hit contract the Detector's
+// Score path relies on.
+func TestShardedGetAllocationFree(t *testing.T) {
+	s := NewSharded[[]float64](64)
+	key := digest(7)
+	s.Add(key, []float64{1, 2, 3})
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := s.Get(key); !ok {
+			t.Fatal("key missing")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Get allocates %.1f objects per op, want 0", allocs)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"github.com/phishinghook/phishinghook/internal/mat"
+	"github.com/phishinghook/phishinghook/internal/ml/ensemble"
 )
 
 // Style selects the tree-induction flavour.
@@ -111,11 +112,14 @@ func (t *regTree) predict(x []float64) float64 {
 	}
 }
 
-// Model is a trained boosted ensemble.
+// Model is a trained boosted ensemble. trees is the canonical (serialized)
+// form; inference runs over a flattened struct-of-arrays copy built once
+// after training or deserialization.
 type Model struct {
 	cfg   Config
 	trees []regTree
 	base  float64 // initial log-odds
+	flat  *ensemble.Flat
 }
 
 // Fit trains a boosted classifier on X (n×d) with binary labels y.
@@ -150,11 +154,14 @@ func Fit(X [][]float64, y []int, cfg Config) *Model {
 	}
 
 	for round := 0; round < cfg.Rounds; round++ {
-		for i := 0; i < n; i++ {
+		// Gradient/hessian refresh and the post-round margin update are
+		// embarrassingly parallel over samples; tree induction itself stays
+		// sequential (each round depends on the previous margins).
+		parallelFor(n, func(i int) {
 			pi := mat.Sigmoid(margins[i])
 			grad[i] = pi - float64(y[i])
 			hess[i] = pi * (1 - pi)
-		}
+		})
 		idx := sampleRows(n, cfg.Subsample, rng)
 		var t regTree
 		switch cfg.Style {
@@ -166,10 +173,11 @@ func Fit(X [][]float64, y []int, cfg Config) *Model {
 			t = buildOblivious(X, grad, hess, idx, cfg)
 		}
 		m.trees = append(m.trees, t)
-		for i := 0; i < n; i++ {
+		parallelFor(n, func(i int) {
 			margins[i] += cfg.LearningRate * t.predict(X[i])
-		}
+		})
 	}
+	m.flat = flattenTrees(m.trees)
 	return m
 }
 
@@ -191,6 +199,9 @@ func sampleRows(n int, frac float64, rng *rand.Rand) []int {
 
 // PredictProba returns P(y=1|x).
 func (m *Model) PredictProba(x []float64) float64 {
+	if m.flat != nil {
+		return mat.Sigmoid(m.flat.Margin(x, m.base, m.cfg.LearningRate))
+	}
 	s := m.base
 	for _, t := range m.trees {
 		s += m.cfg.LearningRate * t.predict(x)

@@ -1,0 +1,141 @@
+package boost
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+func randomTraining(seed int64, n, d int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = make([]float64, d)
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64()
+		}
+		if X[i][0]-X[i][1] > 0 {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+// TestFlattenedMatchesTrees pins the flattened ensemble traversal to the
+// canonical per-tree prediction for all three styles.
+func TestFlattenedMatchesTrees(t *testing.T) {
+	X, y := randomTraining(23, 250, 10)
+	for _, style := range []Style{XGB, LGBM, Cat} {
+		m := Fit(X, y, Config{Style: style, Rounds: 15, MaxDepth: 4, Seed: 1})
+		if m.flat == nil {
+			t.Fatalf("%v: Fit did not build the flattened layout", style)
+		}
+		ref := func(x []float64) float64 {
+			s := m.base
+			for _, tr := range m.trees {
+				s += m.cfg.LearningRate * tr.predict(x)
+			}
+			return s
+		}
+		for i, x := range X {
+			flatMargin := m.flat.Margin(x, m.base, m.cfg.LearningRate)
+			if want := ref(x); flatMargin != want {
+				t.Fatalf("%v sample %d: flattened margin %v != per-tree %v", style, i, flatMargin, want)
+			}
+		}
+	}
+}
+
+// TestGobRoundTripRebuildsFlat asserts bytes written by the pre-flattening
+// encoder decode into a model whose predictions are identical, and that the
+// current encoding still decodes as the legacy state.
+func TestGobRoundTripRebuildsFlat(t *testing.T) {
+	X, y := randomTraining(31, 200, 6)
+	m := Fit(X, y, Config{Style: XGB, Rounds: 12, MaxDepth: 3, Seed: 2})
+
+	// The legacy wire bytes: modelState carries cfg, base and per-tree node
+	// slices — no flattened layout.
+	s := modelState{Cfg: m.cfg, Base: m.base, Trees: make([][]nodeState, len(m.trees))}
+	for i, tr := range m.trees {
+		ns := make([]nodeState, len(tr.nodes))
+		for j, nd := range tr.nodes {
+			ns[j] = nodeState(nd)
+		}
+		s.Trees[i] = ns
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := back.GobDecode(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if back.flat == nil {
+		t.Fatal("GobDecode did not rebuild the flattened layout")
+	}
+	for i, x := range X {
+		if got, want := back.PredictProba(x), m.PredictProba(x); got != want {
+			t.Fatalf("sample %d: decoded proba %v != original %v", i, got, want)
+		}
+	}
+
+	enc, err := m.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy modelState
+	if err := gob.NewDecoder(bytes.NewReader(enc)).Decode(&legacy); err != nil {
+		t.Fatalf("new encoding no longer decodes as the legacy state: %v", err)
+	}
+	if len(legacy.Trees) != len(m.trees) {
+		t.Fatalf("legacy decode sees %d trees, want %d", len(legacy.Trees), len(m.trees))
+	}
+}
+
+// TestParallelTrainingDeterministic pins that the parallel gradient refresh
+// and split scan did not change the induced ensemble: training twice (and
+// with GOMAXPROCS=1 semantics via the sequential fallback on tiny data)
+// yields byte-identical models.
+func TestParallelTrainingDeterministic(t *testing.T) {
+	X, y := randomTraining(41, 300, 9)
+	for _, style := range []Style{XGB, LGBM, Cat} {
+		a := Fit(X, y, Config{Style: style, Rounds: 10, MaxDepth: 4, Seed: 7, Subsample: 0.8})
+		b := Fit(X, y, Config{Style: style, Rounds: 10, MaxDepth: 4, Seed: 7, Subsample: 0.8})
+		ea, err := a.GobEncode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := b.GobEncode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ea, eb) {
+			t.Fatalf("%v: training is no longer deterministic", style)
+		}
+	}
+}
+
+// BenchmarkBoostPredict tracks flattened boosted-ensemble traversal.
+func BenchmarkBoostPredict(b *testing.B) {
+	X, y := randomTraining(3, 240, 70)
+	m := Fit(X, y, Config{Style: XGB, Rounds: 80, MaxDepth: 5, Seed: 1})
+	x := X[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictProba(x)
+	}
+}
+
+// BenchmarkBoostTrain tracks XGB-style training with the parallel split scan.
+func BenchmarkBoostTrain(b *testing.B) {
+	X, y := randomTraining(29, 400, 70)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fit(X, y, Config{Style: XGB, Rounds: 20, MaxDepth: 5, Seed: int64(i)})
+	}
+}

@@ -52,5 +52,8 @@ func (m *Model) GobDecode(data []byte) error {
 		}
 		m.trees[i] = regTree{nodes: nodes}
 	}
+	// Wire format predates the flattened inference layout; rebuild it here
+	// so older saved detectors score identically but faster.
+	m.flat = flattenTrees(m.trees)
 	return nil
 }

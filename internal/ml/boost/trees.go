@@ -2,7 +2,9 @@ package boost
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // ---- exact greedy, level-wise (XGB style) ----
@@ -50,16 +52,21 @@ func buildExact(X [][]float64, grad, hess []float64, idx []int, cfg Config) regT
 
 func bestExactSplit(X [][]float64, grad, hess []float64, idx []int, lambda float64) (feat int, thr, gain float64) {
 	d := len(X[0])
-	gain = math.Inf(-1)
 	var gTot, hTot float64
 	for _, i := range idx {
 		gTot += grad[i]
 		hTot += hess[i]
 	}
-	sorted := make([]int, len(idx))
-	for f := 0; f < d; f++ {
+	// Features are scanned independently (each with its own scratch sort
+	// buffer), then reduced sequentially in feature order so the chosen
+	// split is identical to the single-threaded scan — ties keep the
+	// lowest feature index.
+	type candidate struct{ thr, gain float64 }
+	cands := make([]candidate, d)
+	scanFeature := func(f int, sorted []int) candidate {
 		copy(sorted, idx)
 		sort.Slice(sorted, func(a, b int) bool { return X[sorted[a]][f] < X[sorted[b]][f] })
+		c := candidate{gain: math.Inf(-1)}
 		var gl, hl float64
 		for k := 0; k < len(sorted)-1; k++ {
 			i := sorted[k]
@@ -69,11 +76,45 @@ func bestExactSplit(X [][]float64, grad, hess []float64, idx []int, lambda float
 				continue
 			}
 			g := splitGain(gl, hl, gTot-gl, hTot-hl, lambda)
-			if g > gain {
-				gain = g
-				feat = f
-				thr = (X[i][f] + X[sorted[k+1]][f]) / 2
+			if g > c.gain {
+				c.gain = g
+				c.thr = (X[i][f] + X[sorted[k+1]][f]) / 2
 			}
+		}
+		return c
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > d {
+		workers = d
+	}
+	if workers > 1 && len(idx)*d >= 1<<14 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sorted := make([]int, len(idx))
+				for f := range next {
+					cands[f] = scanFeature(f, sorted)
+				}
+			}()
+		}
+		for f := 0; f < d; f++ {
+			next <- f
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		sorted := make([]int, len(idx))
+		for f := 0; f < d; f++ {
+			cands[f] = scanFeature(f, sorted)
+		}
+	}
+	gain = math.Inf(-1)
+	for f, c := range cands {
+		if c.gain > gain {
+			gain, feat, thr = c.gain, f, c.thr
 		}
 	}
 	return feat, thr, gain

@@ -1,0 +1,75 @@
+// Package ensemble provides the shared flattened inference layout for tree
+// ensembles: every tree's nodes concatenated into contiguous
+// struct-of-arrays slices with absolute child indices, so traversal touches
+// parallel arrays that stay cache-resident across trees instead of chasing
+// per-tree heap allocations. Both the random forest and the boosted models
+// build this layout once after training or deserialization.
+package ensemble
+
+// Flat is the struct-of-arrays layout of a flattened ensemble.
+type Flat struct {
+	Feature   []int32 // split feature index, -1 for leaves
+	Threshold []float64
+	Left      []int32 // absolute node index
+	Right     []int32
+	Value     []float64
+	Roots     []int32 // root node index of each tree
+}
+
+// NewFlat preallocates a layout for totalNodes nodes across trees trees.
+func NewFlat(totalNodes, trees int) *Flat {
+	return &Flat{
+		Feature:   make([]int32, 0, totalNodes),
+		Threshold: make([]float64, 0, totalNodes),
+		Left:      make([]int32, 0, totalNodes),
+		Right:     make([]int32, 0, totalNodes),
+		Value:     make([]float64, 0, totalNodes),
+		Roots:     make([]int32, 0, trees),
+	}
+}
+
+// AddTree appends a tree of n nodes. node(i) yields the i-th node's fields
+// with tree-local child indices (ignored when feature < 0, i.e. leaves);
+// AddTree rebases them to absolute indices.
+func (f *Flat) AddTree(n int, node func(i int) (feature int, threshold float64, left, right int, value float64)) {
+	base := int32(len(f.Feature))
+	f.Roots = append(f.Roots, base)
+	for i := 0; i < n; i++ {
+		feat, thr, left, right, value := node(i)
+		l, r := base, base
+		if feat >= 0 {
+			l += int32(left)
+			r += int32(right)
+		}
+		f.Feature = append(f.Feature, int32(feat))
+		f.Threshold = append(f.Threshold, thr)
+		f.Left = append(f.Left, l)
+		f.Right = append(f.Right, r)
+		f.Value = append(f.Value, value)
+	}
+}
+
+// Margin traverses every tree for x and accumulates base + scale·leaf in
+// tree order — the same float operation order as a sequential per-tree
+// loop, so flattened and pointer-tree inference are bit-identical (scale 1
+// reduces to a plain sum of leaf values).
+func (f *Flat) Margin(x []float64, base, scale float64) float64 {
+	feature, threshold := f.Feature, f.Threshold
+	left, right, value := f.Left, f.Right, f.Value
+	s := base
+	for _, i := range f.Roots {
+		for {
+			ft := feature[i]
+			if ft < 0 {
+				s += scale * value[i]
+				break
+			}
+			if x[ft] <= threshold[i] {
+				i = left[i]
+			} else {
+				i = right[i]
+			}
+		}
+	}
+	return s
+}

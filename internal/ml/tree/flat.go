@@ -1,0 +1,21 @@
+package tree
+
+import "github.com/phishinghook/phishinghook/internal/ml/ensemble"
+
+// flatten builds the shared struct-of-arrays inference layout from the
+// pointer-tree form — the Detector's single-core hot path.
+func flatten(trees []*Tree) *ensemble.Flat {
+	total := 0
+	for _, t := range trees {
+		total += len(t.Nodes)
+	}
+	ff := ensemble.NewFlat(total, len(trees))
+	for _, t := range trees {
+		nodes := t.Nodes
+		ff.AddTree(len(nodes), func(i int) (int, float64, int, int, float64) {
+			nd := &nodes[i]
+			return nd.Feature, nd.Threshold, nd.Left, nd.Right, nd.Value
+		})
+	}
+	return ff
+}

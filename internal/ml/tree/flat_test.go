@@ -1,0 +1,117 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+func randomTraining(seed int64, n, d int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = make([]float64, d)
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64()
+		}
+		if X[i][0]+X[i][1]*0.5+0.1*rng.NormFloat64() > 0 {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+// TestFlattenedMatchesTreeList pins the flattened inference layout to the
+// canonical pointer-tree traversal on many random inputs.
+func TestFlattenedMatchesTreeList(t *testing.T) {
+	X, y := randomTraining(11, 300, 12)
+	f := FitForest(X, y, ForestConfig{Trees: 25, Seed: 3})
+	if f.flat == nil {
+		t.Fatal("FitForest did not build the flattened layout")
+	}
+	ref := func(x []float64) float64 {
+		s := 0.0
+		for _, tr := range f.TreeList {
+			s += tr.PredictProba(x)
+		}
+		return s / float64(len(f.TreeList))
+	}
+	for i, x := range X {
+		if got, want := f.PredictProba(x), ref(x); got != want {
+			t.Fatalf("sample %d: flattened proba %v != tree-list proba %v", i, got, want)
+		}
+	}
+}
+
+// TestGobRoundTripRebuildsFlat asserts the wire format is unchanged by the
+// flattened layout (decode of bytes produced by the pre-flattening encoder
+// state) and that decoding rebuilds the fast path with identical outputs.
+func TestGobRoundTripRebuildsFlat(t *testing.T) {
+	X, y := randomTraining(17, 200, 8)
+	f := FitForest(X, y, ForestConfig{Trees: 10, Seed: 5})
+
+	// Bytes exactly as an older (pre-flat) build wrote them: the exported
+	// forestState envelope, no flat layout anywhere on the wire.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(forestState{Trees: f.TreeList, NFeat: f.nFeat}); err != nil {
+		t.Fatal(err)
+	}
+	var back Forest
+	if err := back.GobDecode(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if back.flat == nil {
+		t.Fatal("GobDecode did not rebuild the flattened layout")
+	}
+	if back.NumFeatures() != f.NumFeatures() {
+		t.Fatalf("nFeat %d, want %d", back.NumFeatures(), f.NumFeatures())
+	}
+	for i, x := range X {
+		if got, want := back.PredictProba(x), f.PredictProba(x); got != want {
+			t.Fatalf("sample %d: decoded proba %v != original %v", i, got, want)
+		}
+	}
+
+	// And the symmetric direction: what we encode now must decode on the
+	// old state struct (the format really is unchanged).
+	enc, err := f.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s forestState
+	if err := gob.NewDecoder(bytes.NewReader(enc)).Decode(&s); err != nil {
+		t.Fatalf("new encoding no longer decodes as the legacy state: %v", err)
+	}
+	if len(s.Trees) != len(f.TreeList) {
+		t.Fatalf("legacy decode sees %d trees, want %d", len(s.Trees), len(f.TreeList))
+	}
+}
+
+// BenchmarkForestPredictFlat tracks single-input traversal of the
+// flattened layout on HSC-shaped data (240 samples × 70 features, 100
+// trees — the Detector's per-score inference cost); the TreeList variant
+// is the pre-flattening traversal kept for before/after comparison.
+func BenchmarkForestPredictFlat(b *testing.B) {
+	X, y := randomTraining(3, 240, 70)
+	f := FitForest(X, y, ForestConfig{Trees: 100, Seed: 1})
+	x := X[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictProba(x)
+	}
+}
+
+func BenchmarkForestPredictTreeList(b *testing.B) {
+	X, y := randomTraining(3, 240, 70)
+	f := FitForest(X, y, ForestConfig{Trees: 100, Seed: 1})
+	f.flat = nil
+	x := X[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictProba(x)
+	}
+}

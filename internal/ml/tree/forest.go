@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"github.com/phishinghook/phishinghook/internal/ml/ensemble"
 )
 
 // ForestConfig controls random-forest training.
@@ -24,10 +26,13 @@ type ForestConfig struct {
 	Workers int
 }
 
-// Forest is a trained random forest.
+// Forest is a trained random forest. TreeList is the canonical (serialized,
+// SHAP-visible) form; inference runs over a flattened struct-of-arrays copy
+// built once after training or deserialization.
 type Forest struct {
 	TreeList []*Tree
 	nFeat    int
+	flat     *ensemble.Flat
 }
 
 // FitForest trains a random forest with bootstrap aggregation. Trees are
@@ -78,11 +83,15 @@ func FitForest(X [][]float64, y []int, cfg ForestConfig) *Forest {
 		}(t)
 	}
 	wg.Wait()
+	f.flat = flatten(f.TreeList)
 	return f
 }
 
 // PredictProba averages tree probabilities for x.
 func (f *Forest) PredictProba(x []float64) float64 {
+	if f.flat != nil {
+		return f.flat.Margin(x, 0, 1) / float64(len(f.flat.Roots))
+	}
 	s := 0.0
 	for _, t := range f.TreeList {
 		s += t.PredictProba(x)

@@ -20,12 +20,15 @@ func (f *Forest) GobEncode() ([]byte, error) {
 	return buf.Bytes(), err
 }
 
-// GobDecode implements gob.GobDecoder.
+// GobDecode implements gob.GobDecoder. The wire format is unchanged from
+// before the flattened inference layout — detectors saved by older builds
+// load identically; the flat copy is rebuilt here.
 func (f *Forest) GobDecode(data []byte) error {
 	var s forestState
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
 		return err
 	}
 	f.TreeList, f.nFeat = s.Trees, s.NFeat
+	f.flat = flatten(f.TreeList)
 	return nil
 }

@@ -62,18 +62,18 @@ const numVulnClasses = 4
 func vulnClass(code []byte) int {
 	var hasSelfDestruct, hasDelegate bool
 	calls, arith := 0, 0
-	for _, in := range evm.Disassemble(code) {
+	evm.WalkOps(code, func(op evm.Opcode) {
 		switch {
-		case in.Op == evm.SELFDESTRUCT:
+		case op == evm.SELFDESTRUCT:
 			hasSelfDestruct = true
-		case in.Op == evm.DELEGATECALL:
+		case op == evm.DELEGATECALL:
 			hasDelegate = true
-		case in.Op == evm.CALL || in.Op == evm.STATICCALL || in.Op == evm.CALLCODE:
+		case op == evm.CALL || op == evm.STATICCALL || op == evm.CALLCODE:
 			calls++
-		case in.Op >= evm.ADD && in.Op <= evm.SIGNEXTEND:
+		case op >= evm.ADD && op <= evm.SIGNEXTEND:
 			arith++
 		}
-	}
+	})
 	switch {
 	case hasSelfDestruct:
 		return 0

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -67,8 +68,25 @@ func WithWatcher(w *Watcher) ServeOption {
 	return func(s *serveState) { s.watcher = w }
 }
 
+// WithPprof mounts the net/http/pprof endpoints on the score mux:
+//
+//	GET /debug/pprof/           — profile index
+//	GET /debug/pprof/profile    — 30s CPU profile
+//	GET /debug/pprof/heap, goroutine, allocs, block, mutex, threadcreate
+//	GET /debug/pprof/cmdline, symbol, trace
+//
+// Off by default: profiles expose internals (command line, memory
+// contents), so only enable it on operator-facing listeners. With it on, a
+// live watcher can be profiled without redeploying:
+//
+//	go tool pprof http://host:port/debug/pprof/profile
+func WithPprof() ServeOption {
+	return func(s *serveState) { s.pprof = true }
+}
+
 type serveState struct {
 	watcher *monitor.Watcher
+	pprof   bool
 	started time.Time
 }
 
@@ -77,9 +95,10 @@ type serveState struct {
 //	POST /score   — {"bytecode": "0x.."} and/or {"bytecodes": ["0x..", ...]}
 //	GET  /healthz — liveness + model + uptime + cache/score stats
 //	GET  /metrics — Prometheus text format (detector + monitor counters)
+//	GET  /debug/pprof/* — live profiling, only when WithPprof is given
 //
-// Scoring runs on the detector's worker pool and shares its LRU
-// bytecode→feature cache, so a handler is safe under heavy concurrent
+// Scoring runs on the detector's worker pool and shares its sharded LRU
+// bytecode→score cache, so a handler is safe under heavy concurrent
 // traffic.
 func NewScoreHandler(d *Detector, opts ...ServeOption) http.Handler {
 	state := &serveState{started: time.Now()}
@@ -168,6 +187,13 @@ func NewScoreHandler(d *Detector, opts ...ServeOption) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeMetrics(w, d, state)
 	})
+	if state.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

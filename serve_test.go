@@ -251,3 +251,50 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Error("monitor series exposed without an attached watcher")
 	}
 }
+
+func TestPprofEndpointsGated(t *testing.T) {
+	ds, _ := testCorpus(t)
+	spec, err := ModelByName("Random Forest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(spec, ds, WithDetectorSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Default handler: profiling surface must not exist.
+	off := httptest.NewServer(NewScoreHandler(det))
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without WithPprof: status %d, want 404", resp.StatusCode)
+	}
+
+	// WithPprof: index and cmdline respond.
+	on := httptest.NewServer(NewScoreHandler(det, WithPprof()))
+	defer on.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(on.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s: empty body", path)
+		}
+	}
+	// The score surface still works with profiling mounted.
+	r, sr := postScore(t, on.URL, ScoreRequest{Bytecode: EncodeHex(ds.Samples[0].Bytecode)})
+	if r.StatusCode != http.StatusOK || sr.Verdict == nil {
+		t.Fatalf("score with pprof mounted: status %d verdict %v", r.StatusCode, sr.Verdict)
+	}
+}
