@@ -27,10 +27,17 @@ func main() {
 	only := flag.String("only", "", "comma-separated artefact list (default: all)")
 	n := flag.Int("n", 0, "override unique-phishing count (quick mode sizing)")
 	hotpath := flag.String("hotpath", "", "write featurize/score hot-path benchmarks to this JSON file and exit (fails if the cached Score path allocates)")
+	lifecycleOut := flag.String("lifecycle", "", "write model-lifecycle benchmarks (swap latency, shadow-mode overhead) to this JSON file and exit (fails if shadow overhead exceeds 10%)")
 	flag.Parse()
 
 	if *hotpath != "" {
 		if err := runHotpath(*seed, *hotpath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *lifecycleOut != "" {
+		if err := runLifecycle(*seed, *lifecycleOut); err != nil {
 			log.Fatal(err)
 		}
 		return

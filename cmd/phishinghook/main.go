@@ -15,6 +15,20 @@
 //	phishinghook score     — score bytecode or an address with a Detector
 //	phishinghook serve     — expose POST /score over HTTP
 //	phishinghook watch     — follow the chain head and score new deployments
+//	phishinghook retrain   — train a new version into a model store as the
+//	                         shadow challenger (or promote/GC the store)
+//
+// serve and watch accept -store DIR to score through the model-lifecycle
+// handle: the store's champion serves, a challenger shadows the same
+// traffic, and the admin endpoints (POST /admin/reload, POST /admin/promote,
+// GET /admin/versions) hot-swap versions under live load without dropping a
+// score. A typical champion/challenger cycle against one store directory:
+//
+//	phishinghook serve -store models -listen 127.0.0.1:8980   # serves v0001
+//	phishinghook retrain -store models -from 6 -to 12         # trains v0002 as challenger
+//	curl -X POST http://127.0.0.1:8980/admin/reload           # v0002 starts shadowing
+//	curl http://127.0.0.1:8980/metrics | grep shadow          # divergence says it's sane
+//	curl -X POST http://127.0.0.1:8980/admin/promote          # v0002 is champion
 //
 // watch is the Watchtower workload: it polls eth_blockNumber, lists each new
 // block's deployments from the registry, fetches bytecode, dedups clones by
@@ -35,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -74,6 +89,8 @@ func main() {
 		err = cmdServe(args)
 	case "watch":
 		err = cmdWatch(args)
+	case "retrain":
+		err = cmdRetrain(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -84,11 +101,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate|train|score|serve|watch> [flags]
+	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate|train|score|serve|watch|retrain> [flags]
 run "phishinghook <command> -h" for command flags
 
 watch follows the chain head and scores every new deployment, e.g.:
-  phishinghook watch -months 1 -threshold 0.9 -alerts alerts.jsonl -checkpoint watch.cursor`)
+  phishinghook watch -months 1 -threshold 0.9 -alerts alerts.jsonl -checkpoint watch.cursor
+
+retrain trains a fresh version into a -store directory as the shadow
+challenger; a server on the same store picks it up via POST /admin/reload
+and flips it live via POST /admin/promote:
+  phishinghook retrain -store models -from 6 -to 12 -if-drifted`)
 }
 
 // endpoints resolves the substrate: explicit URLs, or a fresh simulation.
@@ -368,6 +390,200 @@ func loadOrTrainDetector(path, model string, seed int64, sim *ph.Simulation, rpc
 	return ph.Train(spec, sim.Dataset(), opts...)
 }
 
+// openLifecycle opens a model store and returns a manager with a deployed
+// champion: an empty store is seeded by loading (or training) a detector and
+// deploying it as v0001, so `serve -store` and `watch -store` work from a
+// blank directory.
+func openLifecycle(storeDir, detPath, model string, seed int64, sim *ph.Simulation, rpcURL string) (*ph.Lifecycle, error) {
+	store, err := ph.OpenModelStore(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	lc, err := ph.NewLifecycle(store, ph.WithDetectorSeed(seed), ph.WithRPC(rpcURL))
+	if err != nil {
+		return nil, err
+	}
+	if _, det := lc.Handle().Champion(); det == nil {
+		seedDet, err := loadOrTrainDetector(detPath, model, seed, sim, rpcURL)
+		if err != nil {
+			return nil, err
+		}
+		v, err := lc.SaveVersion(seedDet, ph.ModelMeta{
+			TrainFrom: 0, TrainTo: ph.NumMonths - 1, Note: "initial deployment",
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := lc.Deploy(v.ID); err != nil {
+			return nil, err
+		}
+		fmt.Printf("seeded model store %s with %s (%s)\n", storeDir, v.ID, seedDet.ModelName())
+	}
+	return lc, nil
+}
+
+// phishProbs scores every sample through the detector and returns the
+// P(phishing) series — the input drift comparisons run on.
+func phishProbs(ctx context.Context, det *ph.Detector, ds *ph.Dataset) ([]float64, error) {
+	codes := make([][]byte, ds.Len())
+	for i, s := range ds.Samples {
+		codes[i] = s.Bytecode
+	}
+	vs, err := det.ScoreBatch(ctx, codes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = v.PhishProb()
+	}
+	return out, nil
+}
+
+func cmdRetrain(args []string) error {
+	fs := flag.NewFlagSet("retrain", flag.ExitOnError)
+	rpcURL, explURL, seed, start := endpoints(fs)
+	storeDir := fs.String("store", "models", "model-store directory")
+	model := fs.String("model", "", "model name (default: the champion's spec, or Random Forest)")
+	from := fs.Int("from", 0, "first training month")
+	to := fs.Int("to", ph.NumMonths-1, "last training month")
+	note := fs.String("note", "", "free-form provenance note recorded on the version")
+	promote := fs.Bool("promote", false, "promote the store's challenger instead of training")
+	gc := fs.Int("gc", 0, "after any action, drop all but the newest N versions (champion/challenger always kept; 0 keeps all)")
+	ifDrifted := fs.Bool("if-drifted", false, "retrain only when the champion's score distribution on [-from,-to] drifted from its own training window (PSI)")
+	psi := fs.Float64("psi", 0.25, "PSI threshold for -if-drifted")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_ = explURL
+
+	store, err := ph.OpenModelStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if *promote {
+		ch, ok := store.Challenger()
+		if !ok {
+			return fmt.Errorf("store %s has no challenger to promote", *storeDir)
+		}
+		if err := store.Promote(ch.ID); err != nil {
+			return err
+		}
+		fmt.Printf("promoted %s (%s) to champion; a running server applies it via POST /admin/reload\n", ch.ID, ch.Spec)
+		return runStoreGC(store, *gc)
+	}
+
+	sim, err := start()
+	if err != nil {
+		return err
+	}
+	if sim == nil {
+		return fmt.Errorf("retrain trains on the simulation corpus; omit -rpc/-explorer")
+	}
+	defer sim.Close()
+	if *from < 0 || *to >= ph.NumMonths || *from > *to {
+		return fmt.Errorf("month window [%d,%d] outside [0,%d]", *from, *to, ph.NumMonths-1)
+	}
+	window := sim.Dataset().MonthRange(*from, *to)
+	if window.Len() == 0 {
+		return fmt.Errorf("no samples in months [%d,%d]", *from, *to)
+	}
+
+	champ, hasChamp := store.Champion()
+	spec := *model
+	if spec == "" {
+		if hasChamp {
+			spec = champ.Spec
+		} else {
+			spec = "Random Forest"
+		}
+	}
+	modelSpec, err := ph.ModelByName(spec)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	lc, err := ph.NewLifecycle(store, ph.WithDetectorSeed(*seed), ph.WithRPC(*rpcURL))
+	if err != nil {
+		return err
+	}
+	var trigger ph.DriftReport
+	if *ifDrifted {
+		if !hasChamp {
+			return fmt.Errorf("-if-drifted needs a champion in the store")
+		}
+		_, champDet := lc.Handle().Champion()
+		refDS := sim.Dataset().MonthRange(champ.TrainFrom, champ.TrainTo)
+		if refDS.Len() == 0 {
+			return fmt.Errorf("champion %s has an empty training window [%d,%d]", champ.ID, champ.TrainFrom, champ.TrainTo)
+		}
+		ref, err := phishProbs(ctx, champDet, refDS)
+		if err != nil {
+			return err
+		}
+		live, err := phishProbs(ctx, champDet, window)
+		if err != nil {
+			return err
+		}
+		trigger, err = ph.ScoreDrift(ref, live, 10, *psi, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("drift of %s on months [%d,%d]: PSI=%.3f KS=%.3f (p=%.2g)\n",
+			champ.ID, *from, *to, trigger.PSI, trigger.KSStat, trigger.KSP)
+		if !trigger.Drifted {
+			fmt.Printf("PSI below %.2f — champion still fits the traffic, not retraining\n", *psi)
+			return runStoreGC(store, *gc)
+		}
+	}
+
+	t0 := time.Now()
+	det, err := ph.Train(modelSpec, window, ph.WithDetectorSeed(*seed))
+	if err != nil {
+		return err
+	}
+	meta := ph.ModelMeta{
+		TrainFrom: *from, TrainTo: *to, TrainSamples: window.Len(),
+		Parent: champ.ID, Note: *note,
+	}
+	if trigger.Window > 0 {
+		meta.Metrics = map[string]float64{"trigger_psi": trigger.PSI, "trigger_ks": trigger.KSStat}
+	}
+	v, err := lc.SaveVersion(det, meta)
+	if err != nil {
+		return err
+	}
+	if !hasChamp {
+		// First version in an empty store: Put made it champion; there is
+		// nothing to shadow against.
+		fmt.Printf("trained %s on months [%d,%d] (%d samples) in %s; stored as %s, the store's first champion\n",
+			det.ModelName(), *from, *to, window.Len(), time.Since(t0).Round(time.Millisecond), v.ID)
+		return runStoreGC(store, *gc)
+	}
+	if err := store.SetChallenger(v.ID); err != nil {
+		return err
+	}
+	fmt.Printf("trained %s on months [%d,%d] (%d samples) in %s; stored as %s, now the challenger\n",
+		det.ModelName(), *from, *to, window.Len(), time.Since(t0).Round(time.Millisecond), v.ID)
+	fmt.Println("a running server starts shadowing it via POST /admin/reload and flips it live via POST /admin/promote")
+	return runStoreGC(store, *gc)
+}
+
+func runStoreGC(store *ph.ModelStore, keep int) error {
+	if keep <= 0 {
+		return nil
+	}
+	removed, err := store.GC(keep)
+	if err != nil {
+		return err
+	}
+	if len(removed) > 0 {
+		fmt.Printf("gc dropped %d old versions: %s\n", len(removed), strings.Join(removed, ", "))
+	}
+	return nil
+}
+
 func cmdScore(args []string) error {
 	fs := flag.NewFlagSet("score", flag.ExitOnError)
 	rpcURL, _, seed, start := endpoints(fs)
@@ -433,6 +649,8 @@ func cmdServe(args []string) error {
 	detPath := fs.String("detector", "", "saved detector path (default: train fresh on the simulation)")
 	model := fs.String("model", "Random Forest", "model to train when no -detector is given")
 	listen := fs.String("listen", "127.0.0.1:8980", "HTTP listen address")
+	storeDir := fs.String("store", "", "model-store directory: serve its champion through the lifecycle handle and mount the /admin endpoints")
+	adminListen := fs.String("admin-listen", "", "separate listener for the /admin endpoints (with -store); empty mounts them on -listen, which exposes model control to every scoring client")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -444,16 +662,52 @@ func cmdServe(args []string) error {
 	if sim != nil {
 		defer sim.Close()
 	}
-	det, err := loadOrTrainDetector(*detPath, *model, *seed, sim, *rpcURL)
-	if err != nil {
-		return err
-	}
 	var opts []ph.ServeOption
-	if *pprofOn {
+	separateAdmin := *storeDir != "" && *adminListen != ""
+	if *pprofOn && !separateAdmin {
 		opts = append(opts, ph.WithPprof())
 	}
-	fmt.Printf("serving %s on http://%s  (POST /score, GET /healthz, GET /metrics)\n", det.ModelName(), *listen)
-	return http.ListenAndServe(*listen, ph.NewScoreHandler(det, opts...))
+	var backend ph.ScoreBackend
+	if *storeDir != "" {
+		lc, err := openLifecycle(*storeDir, *detPath, *model, *seed, sim, *rpcURL)
+		if err != nil {
+			return err
+		}
+		backend = lc.Handle()
+		if separateAdmin {
+			// The admin surface (and pprof, when enabled) binds the
+			// operator-facing listener; the public one only scores. The
+			// bind happens synchronously — a server without its admin
+			// surface can never apply a retrain, so that must fail startup,
+			// not vanish into a goroutine log line.
+			adminOpts := []ph.ServeOption{ph.WithLifecycle(lc)}
+			if *pprofOn {
+				adminOpts = append(adminOpts, ph.WithPprof())
+			}
+			adminLn, err := net.Listen("tcp", *adminListen)
+			if err != nil {
+				return fmt.Errorf("bind admin listener: %w", err)
+			}
+			go func() {
+				log.Println(http.Serve(adminLn, ph.NewScoreHandler(backend, adminOpts...)))
+			}()
+			fmt.Printf("admin endpoints on http://%s/admin/*\n", adminLn.Addr())
+		} else {
+			opts = append(opts, ph.WithLifecycle(lc))
+			fmt.Println("warning: /admin endpoints share the public listener; use -admin-listen to separate them")
+		}
+		champ, _ := lc.Handle().Champion()
+		fmt.Printf("serving %s@%s from store %s on http://%s  (POST /score, GET /healthz, GET /metrics)\n",
+			backend.ModelName(), champ, *storeDir, *listen)
+	} else {
+		det, err := loadOrTrainDetector(*detPath, *model, *seed, sim, *rpcURL)
+		if err != nil {
+			return err
+		}
+		backend = det
+		fmt.Printf("serving %s on http://%s  (POST /score, GET /healthz, GET /metrics)\n", det.ModelName(), *listen)
+	}
+	return http.ListenAndServe(*listen, ph.NewScoreHandler(backend, opts...))
 }
 
 func cmdWatch(args []string) error {
@@ -461,6 +715,7 @@ func cmdWatch(args []string) error {
 	rpcURL, explURL, seed, start := endpoints(fs)
 	detPath := fs.String("detector", "", "saved detector path (default: train fresh on the released prefix)")
 	model := fs.String("model", "Random Forest", "model to train when no -detector is given")
+	storeDir := fs.String("store", "", "model-store directory: watch through the lifecycle handle so retrained versions hot-swap mid-watch")
 	checkpoint := fs.String("checkpoint", "", "cursor checkpoint file (resume after restart; empty = none)")
 	alertsPath := fs.String("alerts", "", "append alerts to this JSONL file (always also logged)")
 	threshold := fs.Float64("threshold", 0.8, "minimum P(phishing) that fires an alert")
@@ -526,11 +781,28 @@ func cmdWatch(args []string) error {
 		cfg.StartBlock = head
 	}
 
-	det, err := loadOrTrainDetector(*detPath, *model, *seed, sim, *rpcURL)
-	if err != nil {
-		return err
+	var (
+		scorer    ph.CodeScorer
+		lc        *ph.Lifecycle
+		modelName string
+	)
+	if *storeDir != "" {
+		lc, err = openLifecycle(*storeDir, *detPath, *model, *seed, sim, *rpcURL)
+		if err != nil {
+			return err
+		}
+		scorer = lc.Handle()
+		champ, _ := lc.Handle().Champion()
+		modelName = fmt.Sprintf("%s@%s (store %s)", lc.Handle().ModelName(), champ, *storeDir)
+	} else {
+		det, err := loadOrTrainDetector(*detPath, *model, *seed, sim, *rpcURL)
+		if err != nil {
+			return err
+		}
+		scorer = det
+		modelName = det.ModelName()
 	}
-	fmt.Printf("watching with %s (threshold %.2f)\n", det.ModelName(), *threshold)
+	fmt.Printf("watching with %s (threshold %.2f)\n", modelName, *threshold)
 
 	sinks := []ph.AlertSink{ph.NewLogSink(nil)}
 	if *alertsPath != "" {
@@ -543,7 +815,7 @@ func cmdWatch(args []string) error {
 	}
 	cfg.Sinks = sinks
 
-	w, err := ph.NewWatcher(det, cfg)
+	w, err := ph.NewWatcher(scorer, cfg)
 	if err != nil {
 		return err
 	}
@@ -552,8 +824,15 @@ func cmdWatch(args []string) error {
 		if *pprofOn {
 			serveOpts = append(serveOpts, ph.WithPprof())
 		}
+		backend, ok := scorer.(ph.ScoreBackend)
+		if !ok {
+			return fmt.Errorf("scorer does not serve HTTP")
+		}
+		if lc != nil {
+			serveOpts = append(serveOpts, ph.WithLifecycle(lc))
+		}
 		go func() {
-			log.Println(http.ListenAndServe(*listen, ph.NewScoreHandler(det, serveOpts...)))
+			log.Println(http.ListenAndServe(*listen, ph.NewScoreHandler(backend, serveOpts...)))
 		}()
 		fmt.Printf("monitor counters on http://%s/metrics\n", *listen)
 	}

@@ -24,10 +24,23 @@ type Verdict struct {
 	Confidence float64
 	// ModelName identifies the detector's model.
 	ModelName string
+	// ModelVersion is the lifecycle-store version that produced the
+	// verdict; empty when scoring through a bare Detector rather than a
+	// versioned Swappable handle.
+	ModelVersion string
 }
 
 // IsPhishing reports whether the verdict flags the contract.
 func (v Verdict) IsPhishing() bool { return v.Label == Phishing }
+
+// PhishProb recovers P(phishing) from the verdict's label + confidence —
+// the scalar the drift detector and shadow comparisons operate on.
+func (v Verdict) PhishProb() float64 {
+	if v.Label == Phishing {
+		return v.Confidence
+	}
+	return 1 - v.Confidence
+}
 
 // String implements fmt.Stringer.
 func (v Verdict) String() string {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 )
 
 // tinyNeural shrinks the neural models so every family trains in a test.
@@ -284,5 +285,97 @@ func TestDetectorScoreErrors(t *testing.T) {
 func TestLoadDetectorRejectsGarbage(t *testing.T) {
 	if _, err := LoadDetector(bytes.NewReader([]byte("not a detector"))); err == nil {
 		t.Fatal("garbage stream should fail")
+	}
+}
+
+// TestLoadDetectorCorruptAndTruncated feeds LoadDetector every truncation
+// prefix class and systematic byte corruption of a valid save: it must
+// return an error (or, for corruption that misses the learned state, a
+// working detector) and never panic — a model store serves these bytes to
+// production processes.
+func TestLoadDetectorCorruptAndTruncated(t *testing.T) {
+	ds, _ := testCorpus(t)
+	spec, err := ModelByName("Random Forest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(spec, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	load := func(t *testing.T, b []byte) (err error) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("LoadDetector panicked: %v", r)
+			}
+		}()
+		_, err = LoadDetector(bytes.NewReader(b))
+		return err
+	}
+
+	// Truncations at every region of the envelope: empty, header, half,
+	// all-but-the-tail.
+	for _, n := range []int{0, 1, 16, len(blob) / 4, len(blob) / 2, len(blob) - 1} {
+		if err := load(t, blob[:n]); err == nil {
+			t.Fatalf("truncated input (%d of %d bytes) must fail", n, len(blob))
+		}
+	}
+	// Byte corruption across the blob. A flip can land in slack the decoder
+	// never reads — a clean load is acceptable there — but a panic never is.
+	for off := 0; off < len(blob); off += len(blob)/97 + 1 {
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 0xFF
+		_ = load(t, mut)
+	}
+}
+
+// TestScoreBatchCancelledMidBatch cancels a large batch once a few scores
+// have landed: ScoreBatch must return the cancellation error promptly
+// instead of finishing the batch or deadlocking.
+func TestScoreBatchCancelledMidBatch(t *testing.T) {
+	ds, _ := testCorpus(t)
+	spec, err := ModelByName("Random Forest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No cache and one worker: every score does real work sequentially, so
+	// the batch observably straddles the cancellation point.
+	det, err := Train(spec, ds, WithFeatureCache(0), WithScoreWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := make([][]byte, 50_000)
+	for i := range codes {
+		codes[i] = ds.Samples[i%ds.Len()].Bytecode
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		for det.ScoreCount() < 5 {
+		}
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := det.ScoreBatch(ctx, codes)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled batch returned no error")
+		}
+		if got := det.ScoreCount(); got == uint64(len(codes)) {
+			t.Fatal("batch ran to completion despite cancellation")
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("ScoreBatch did not return after cancellation")
 	}
 }

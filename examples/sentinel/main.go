@@ -1,22 +1,28 @@
-// Sentinel: the Watchtower workload end to end — the deployment-time
-// monitoring the paper motivates ("detection of malicious contracts at
-// deployment time, before victims interact with them").
+// Sentinel: the Watchtower workload end to end, now with the full model
+// lifecycle the paper's Fig. 8 decay curves demand. Opcode-based detectors
+// rot month over month as phishing tactics shift, so a sentinel that ships
+// one frozen artifact slowly goes blind; this example runs the counter-loop:
 //
-// The example plays a security vendor's sentinel service: train a detector
-// on the chain's released history, save and reload it (the shipped
-// artifact), then switch the simulated chain live and watch one month of
-// deployments land block-by-block under a deterministic block clock. Every
-// new deployment is fetched, deduplicated by bytecode hash and scored the
-// moment it appears; verdicts above the confidence threshold fire alerts.
-// Afterwards the alerts are graded against the chain's ground-truth labels:
-// precision (how many alerts were real phishing) and recall (how many of
-// the month's unique phishing bytecodes were caught).
+//	watch a month of live deployments through the swappable serving handle
+//	  └─> drift-check the live score distribution (PSI/KS vs the champion's
+//	      training distribution)
+//	        └─> retrain on all labeled months so far, store the new version
+//	            └─> shadow it on real traffic, inspect the divergence
+//	                └─> promote — one atomic pointer store, zero missed scores
+//
+// The chain goes live at month 9 of the 13-month study window: months 0–8
+// are released history to train the first champion on, months 9–12 land
+// block-by-block and are watched one month at a time. Every month is graded
+// (phishing F1) twice — once through the lifecycle handle (whatever champion
+// is live when that month's deployments arrive) and once through the frozen
+// launch artifact — and the two decay curves are summarized as AUT (area
+// under time, the paper's Fig. 8 metric). The lifecycle loop must beat the
+// frozen model: that gap is the point of the whole subsystem.
 package main
 
 import (
+	"bytes"
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"log"
 	"os"
@@ -27,146 +33,336 @@ import (
 	ph "github.com/phishinghook/phishinghook"
 )
 
+const (
+	watchMonths    = 4    // live months: NumMonths-4 … NumMonths-1
+	alertThreshold = 0.75 // watcher alert bar
+	psiTrigger     = 0.1  // monthly drift bar
+	waveStrength   = 0.9  // second-wave share by the final month
+)
+
 func main() {
 	log.SetFlags(0)
 
-	sim, err := ph.StartSimulation(ph.DefaultSimulationConfig(11))
+	// The time-resistance corpus: benign deployments match the phishing
+	// timeline so every month is gradeable, and a second phishing wave
+	// (stealth approval-drainers behind delegatecall proxies) ramps up over
+	// the watched months — the tactic shift that makes a frozen detector
+	// genuinely decay.
+	simCfg := ph.DefaultSimulationConfig(11)
+	simCfg.MatchTemporal = true
+	simCfg.WaveStrength = waveStrength
+	simCfg.WaveStart = ph.NumMonths - watchMonths - 2
+	sim, err := ph.StartSimulation(simCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer sim.Close()
 
-	// Switch the chain live at the final study month: everything before is
-	// released history to train on, everything after lands block-by-block.
-	watchMonth := ph.NumMonths - 1
-	if err := sim.GoLive(watchMonth); err != nil {
+	watchStart := ph.NumMonths - watchMonths
+	if err := sim.GoLive(watchStart); err != nil {
 		log.Fatal(err)
 	}
-	watchFrom, tail := sim.HeadBlock(), sim.TailBlock()
+	watchFrom := sim.HeadBlock()
 
-	// Train on the past, ship the artifact, load it like the service would.
-	past := sim.Dataset() // live mode: only the released prefix
-	spec, err := ph.ModelByName("Random Forest")
-	if err != nil {
-		log.Fatal(err)
-	}
-	trained, err := ph.Train(spec, past, ph.WithDetectorSeed(1))
-	if err != nil {
-		log.Fatal(err)
-	}
 	dir, err := os.MkdirTemp("", "sentinel")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	detPath := filepath.Join(dir, "detector.bin")
-	f, err := os.Create(detPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := trained.Save(f); err != nil {
-		log.Fatal(err)
-	}
-	f.Close()
-	f, err = os.Open(detPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	det, err := ph.LoadDetector(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("sentinel armed: %s trained on %d released contracts (months 0–%d)\n",
-		det.ModelName(), past.Len(), watchMonth-1)
 
-	// Collect alerts in-process; a real deployment would add a JSONL sink.
-	var (
-		mu     sync.Mutex
-		alerts []ph.Alert
-	)
-	w, err := ph.NewWatcher(det, ph.WatcherConfig{
-		RPCURL:         sim.RPCURL(),
-		ExplorerURL:    sim.ExplorerURL(),
-		PollInterval:   2 * time.Millisecond,
-		Threshold:      0.75,
-		StartBlock:     watchFrom,
-		StopAtBlock:    tail,
-		CheckpointPath: filepath.Join(dir, "cursor.json"),
-		Sinks: []ph.AlertSink{ph.NewFuncSink(func(a ph.Alert) error {
-			mu.Lock()
-			alerts = append(alerts, a)
-			mu.Unlock()
-			return nil
-		})},
+	// Train the launch champion on released history and deploy it through
+	// the versioned store — the shipped artifact, integrity-checked on load.
+	store, err := ph.OpenModelStore(filepath.Join(dir, "models"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	lc, err := ph.NewLifecycle(store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	past := sim.Dataset() // live mode: only the released prefix
+	spec, err := ph.ModelByName("Random Forest")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	champion, err := ph.Train(spec, past, ph.WithDetectorSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	v1, err := lc.SaveVersion(champion, ph.ModelMeta{
+		TrainFrom: 0, TrainTo: watchStart - 1, TrainSamples: past.Len(), Note: "launch artifact",
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := lc.Deploy(v1.ID); err != nil {
+		log.Fatal(err)
+	}
+	sw := lc.Handle()
+	defer sw.Close()
 
-	// One simulated month under the block clock, replayed deterministically.
-	clock, err := sim.NewClock(ph.LiveClockConfig{Seed: 11, BlocksPerTick: 6000, JitterBlocks: 3000, Interval: 3 * time.Millisecond})
+	// The frozen baseline is the same launch artifact, never retrained —
+	// reloaded from the store through the integrity-checked path, exactly
+	// as a second process would receive it.
+	blob, _, err := store.Get(v1.ID)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
-	defer cancel()
-	go clock.Run(ctx)
-
-	t0 := time.Now()
-	if err := w.Run(ctx); err != nil {
+	frozen, err := ph.LoadDetector(bytes.NewReader(blob))
+	if err != nil {
 		log.Fatal(err)
 	}
-	s := w.Stats()
-	fmt.Printf("watched month %d (%d blocks) in %s: %d deployments, %d unique scored, %d clone dedups, %d alerts\n",
-		watchMonth, s.BlocksSeen, time.Since(t0).Round(time.Millisecond),
-		s.ContractsSeen, s.ContractsScored, s.DedupHits, s.Alerts)
 
-	// Grade the alerts against ground truth. Alerts are per unique
-	// bytecode, so recall is measured over the month's phishing bytecode
-	// hashes (a caught hash covers all of its clone deployments).
-	alerted := make(map[string]bool)
+	// The retrainer watches the live score distribution through the handle's
+	// score hook. CheckEvery is effectively disabled: this example evaluates
+	// drift on a deterministic monthly cadence instead of mid-traffic.
+	trainTo := watchStart - 1 // last labeled month; advances as months close
+	retrainer, err := ph.NewRetrainer(ph.RetrainerConfig{
+		Train: func(ctx context.Context, trigger ph.DriftReport) error {
+			return retrainRound(ctx, sim, lc, spec, trainTo, trigger)
+		},
+		Window:       4096,
+		MinObserve:   64,
+		CheckEvery:   1 << 30,
+		PSIThreshold: psiTrigger,
+		Cooldown:     time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	refProbs, err := phishProbs(ctx, sw, past)
+	if err != nil {
+		log.Fatal(err)
+	}
+	retrainer.SetReference(refProbs)
+	sw.SetOnScore(func(p float64) { retrainer.Observe(ctx, p) })
+
+	fmt.Printf("sentinel armed: %s@%s trained on %d released contracts (months 0-%d)\n",
+		sw.ModelName(), v1.ID, past.Len(), watchStart-1)
+
+	var (
+		alertMu sync.Mutex
+		alerts  []ph.Alert
+	)
+	sink := ph.NewFuncSink(func(a ph.Alert) error {
+		alertMu.Lock()
+		alerts = append(alerts, a)
+		alertMu.Unlock()
+		return nil
+	})
+
+	var frozenF1s, lifecycleF1s []float64
+	ckpt := filepath.Join(dir, "cursor.json")
+	for m := watchStart; m < ph.NumMonths; m++ {
+		_, monthEnd, err := sim.MonthWindow(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The chain's last deployment lands before the study window's final
+		// block; the watcher stops at whichever comes first.
+		if tail := sim.TailBlock(); monthEnd > tail {
+			monthEnd = tail
+		}
+		sim.AdvanceBlocks(monthEnd - sim.HeadBlock())
+
+		// Watch the month through the handle. The checkpoint carries the
+		// cursor, dedup set and serving version across the per-month
+		// watchers, exactly like a restarted production process.
+		w, err := ph.NewWatcher(sw, ph.WatcherConfig{
+			RPCURL:         sim.RPCURL(),
+			ExplorerURL:    sim.ExplorerURL(),
+			PollInterval:   time.Millisecond,
+			Threshold:      alertThreshold,
+			StartBlock:     watchFrom,
+			StopAtBlock:    monthEnd,
+			CheckpointPath: ckpt,
+			Sinks:          []ph.AlertSink{sink},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Run(ctx); err != nil {
+			log.Fatal(err)
+		}
+		ws := w.Stats()
+
+		// Grade the month before retraining on it: these are the calls the
+		// live champion actually made while the month's deployments landed.
+		released := sim.Dataset()
+		test := released.MonthRange(m, m)
+		lcF1, err := phishingF1(ctx, sw, test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		frF1, err := phishingF1(ctx, frozen, test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lifecycleF1s = append(lifecycleF1s, lcF1)
+		frozenF1s = append(frozenF1s, frF1)
+		champVer, _ := sw.Champion()
+		fmt.Printf("\nmonth %d: %d deployments, %d scored, %d alerts (model %s) — F1 lifecycle %.3f vs frozen %.3f\n",
+			m, ws.ContractsSeen, ws.ContractsScored, ws.Alerts, champVer, lcF1, frF1)
+
+		if m == ph.NumMonths-1 {
+			break // nothing left to serve; no point retraining
+		}
+
+		// Drift check on the month's live traffic, then the retrain →
+		// shadow → promote loop when it fires.
+		rep, err := retrainer.Check()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  drift vs %s reference: PSI=%.3f KS=%.3f (p=%.1e) drifted=%v\n",
+			champVer, rep.PSI, rep.KSStat, rep.KSP, rep.Drifted)
+		if !rep.Drifted {
+			continue
+		}
+		trainTo = m
+		if err := retrainer.Retrain(ctx, rep); err != nil {
+			log.Fatal(err)
+		}
+		chalVer, _, ok := sw.Challenger()
+		if !ok {
+			log.Fatal("retrain round did not install a challenger")
+		}
+
+		// Shadow the challenger on the month's real deployments before
+		// trusting it: champion serves, challenger re-scores
+		// asynchronously. Divergence stats reset per pairing, so the
+		// snapshot below describes exactly this challenger.
+		if _, err := phishProbs(ctx, sw, test); err != nil {
+			log.Fatal(err)
+		}
+		if err := sw.FlushShadow(ctx); err != nil {
+			log.Fatal(err)
+		}
+		shadow := sw.SwapStats().Shadow
+		fmt.Printf("  shadowed %s on %d deployments: %d label disagreements, mean |Δp|=%.3f\n",
+			chalVer, shadow.Compared, shadow.Disagreements, shadow.MeanAbsDelta)
+
+		promoted, err := lc.Promote()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The new champion defines a new "normal" for the drift watch.
+		newRef, err := phishProbs(ctx, sw, sim.Dataset())
+		if err != nil {
+			log.Fatal(err)
+		}
+		retrainer.SetReference(newRef)
+		fmt.Printf("  promoted %s to champion (swap #%d, trained through month %d)\n",
+			promoted, sw.SwapStats().Swaps, trainTo)
+	}
+
+	// Grade the alerts against ground truth, attributed per model version —
+	// the stamp that survives swaps and restarts.
 	truePositives := 0
+	byVersion := map[string]int{}
+	alertMu.Lock()
 	for _, a := range alerts {
-		alerted[a.CodeHash] = true
+		byVersion[a.ModelVersion]++
 		if phishing, ok := sim.GroundTruth(a.Address); ok && phishing {
 			truePositives++
 		}
 	}
-	fw := ph.New(sim.RPCURL(), sim.ExplorerURL())
-	addrs, err := fw.GatherAddresses(ctx, watchFrom+1, tail)
-	if err != nil {
-		log.Fatal(err)
-	}
-	phishHashes, caught := make(map[string]bool), make(map[string]bool)
-	for _, addr := range addrs {
-		phishing, ok := sim.GroundTruth(addr)
-		if !ok || !phishing {
-			continue
-		}
-		code, err := fw.ExtractBytecode(ctx, addr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		h := sha256.Sum256(code)
-		key := hex.EncodeToString(h[:])
-		phishHashes[key] = true
-		if alerted[key] {
-			caught[key] = true
-		}
-	}
+	total := len(alerts)
+	alertMu.Unlock()
 	precision := 0.0
-	if len(alerts) > 0 {
-		precision = float64(truePositives) / float64(len(alerts))
+	if total > 0 {
+		precision = float64(truePositives) / float64(total)
 	}
-	recall := 0.0
-	if len(phishHashes) > 0 {
-		recall = float64(len(caught)) / float64(len(phishHashes))
+
+	frozenAUT := ph.AUTScore(frozenF1s)
+	lifecycleAUT := ph.AUTScore(lifecycleF1s)
+	fmt.Printf("\n== %d live months ==\n", watchMonths)
+	fmt.Printf("alert precision: %.1f%% (%d/%d alerts were real phishing)\n", 100*precision, truePositives, total)
+	fmt.Printf("alerts by model version:")
+	for _, v := range lc.Versions() {
+		if n := byVersion[v.ID]; n > 0 {
+			fmt.Printf("  %s=%d", v.ID, n)
+		}
 	}
-	fmt.Printf("\nalert precision: %.1f%% (%d/%d alerts were real phishing)\n",
-		100*precision, truePositives, len(alerts))
-	fmt.Printf("phishing recall: %.1f%% (%d/%d unique phishing bytecodes caught)\n",
-		100*recall, len(caught), len(phishHashes))
-	fmt.Printf("score latency: p50=%.2fms p99=%.2fms (score queue bounded at %d jobs)\n",
-		s.ScoreP50MS, s.ScoreP99MS, s.QueueCap)
+	fmt.Println()
+	fmt.Printf("frozen-model AUT(F1):    %.3f  %v\n", frozenAUT, fmtSeries(frozenF1s))
+	fmt.Printf("lifecycle AUT(F1):       %.3f  %v\n", lifecycleAUT, fmtSeries(lifecycleF1s))
+	stats := retrainer.Stats()
+	fmt.Printf("retrainer: %d checks, %d retrains; store holds %d versions\n",
+		stats.Checks, stats.Retrains, len(lc.Versions()))
+	if lifecycleAUT > frozenAUT {
+		fmt.Printf("\nthe retrain→shadow→promote loop beat the frozen model by %.3f AUT\n", lifecycleAUT-frozenAUT)
+	} else {
+		fmt.Println("\nWARNING: lifecycle did not beat the frozen model this run")
+	}
+}
+
+// retrainRound is the Retrainer's TrainFunc: fit a fresh model on every
+// labeled month so far, store it (with the triggering drift recorded in its
+// metadata) and install it as the shadow challenger.
+func retrainRound(ctx context.Context, sim *ph.Simulation, lc *ph.Lifecycle, spec ph.ModelSpec, trainTo int, trigger ph.DriftReport) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ds := sim.Dataset().MonthRange(0, trainTo)
+	det, err := ph.Train(spec, ds, ph.WithDetectorSeed(1))
+	if err != nil {
+		return err
+	}
+	parent, _ := lc.Handle().Champion()
+	v, err := lc.SaveVersion(det, ph.ModelMeta{
+		TrainFrom: 0, TrainTo: trainTo, TrainSamples: ds.Len(), Parent: parent,
+		Metrics: map[string]float64{"trigger_psi": trigger.PSI, "trigger_ks": trigger.KSStat},
+		Note:    "drift-triggered retrain",
+	})
+	if err != nil {
+		return err
+	}
+	return lc.Shadow(v.ID)
+}
+
+// phishProbs scores a dataset through any scoring surface and returns the
+// P(phishing) series.
+func phishProbs(ctx context.Context, s ph.CodeScorer, ds *ph.Dataset) ([]float64, error) {
+	out := make([]float64, ds.Len())
+	for i, sample := range ds.Samples {
+		v, err := s.Score(ctx, sample.Bytecode)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v.PhishProb()
+	}
+	return out, nil
+}
+
+// phishingF1 grades a scorer on one month's labeled samples.
+func phishingF1(ctx context.Context, s ph.CodeScorer, ds *ph.Dataset) (float64, error) {
+	pred := make([]int, ds.Len())
+	for i, sample := range ds.Samples {
+		v, err := s.Score(ctx, sample.Bytecode)
+		if err != nil {
+			return 0, err
+		}
+		if v.IsPhishing() {
+			pred[i] = 1
+		}
+	}
+	m, err := ph.ComputeMetrics(pred, ds.Labels())
+	if err != nil {
+		return 0, err
+	}
+	return m.F1, nil
+}
+
+func fmtSeries(xs []float64) string {
+	s := "["
+	for i, x := range xs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.3f", x)
+	}
+	return s + "]"
 }

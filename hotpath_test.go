@@ -38,6 +38,37 @@ func TestScoreCachedPathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestSwappableCachedPathZeroAllocs extends the zero-allocation contract to
+// the lifecycle handle: routing a cached Score through the Swappable
+// (pointer load, version stamp, per-version counters, score hook check,
+// shadow enqueue probe) must not allocate either.
+func TestSwappableCachedPathZeroAllocs(t *testing.T) {
+	ds, _ := testCorpus(t)
+	spec, err := ModelByName("Random Forest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(spec, ds, WithDetectorSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSwappable("v0001", det)
+	defer sw.Close()
+	ctx := context.Background()
+	code := ds.Samples[0].Bytecode
+	if _, err := sw.Score(ctx, code); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := sw.Score(ctx, code); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached Score through the handle allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 // BenchmarkDetectorScoreUncached measures the full featurize→infer pipeline
 // with the cache disabled: the Watchtower-shaped workload, where SHA dedup
 // upstream means nearly every scored contract is new.

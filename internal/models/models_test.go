@@ -61,6 +61,44 @@ func TestRegistryHasSixteenModels(t *testing.T) {
 	}
 }
 
+// TestRegistryMemoizationIsolation: AllSpecs is memoized behind sync.Once,
+// so mutating a returned slice must not corrupt later calls or the
+// SpecByName index.
+func TestRegistryMemoizationIsolation(t *testing.T) {
+	a := AllSpecs()
+	a[0] = Spec{Name: "clobbered"}
+	a = append(a[:1], a...) // and grow it for good measure
+	_ = a
+	b := AllSpecs()
+	if b[0].Name != "Random Forest" {
+		t.Fatalf("registry corrupted by caller mutation: first spec %q", b[0].Name)
+	}
+	s, err := SpecByName("Random Forest")
+	if err != nil || s.New == nil || s.FeatConfig == nil {
+		t.Fatalf("SpecByName after mutation: %+v err=%v", s, err)
+	}
+	if _, err := SpecByName("clobbered"); err == nil {
+		t.Fatal("mutated name leaked into the index")
+	}
+	// Parallel resolution is race-free (meaningful under -race).
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				if _, err := SpecByName("XGBoost"); err != nil {
+					t.Error(err)
+					return
+				}
+				AllSpecs()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}
+
 func TestEveryModelFitsAndPredicts(t *testing.T) {
 	train := smallDataset(t, 40, 1)
 	test := smallDataset(t, 12, 2)

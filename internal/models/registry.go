@@ -2,6 +2,7 @@ package models
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/phishinghook/phishinghook/internal/features"
 )
@@ -51,8 +52,35 @@ func FeaturizerFor(spec Spec, cfg NeuralConfig) (features.Featurizer, error) {
 	return features.New(spec.Feat, spec.FeatConfig(cfg))
 }
 
-// AllSpecs returns the 16 models in the paper's Table II order.
+// registry memoizes the 16-spec table: eval loops and the serving layer
+// resolve specs on hot paths (LoadDetector per version, SpecByName per
+// retrain round), so the slice and its name index are built exactly once.
+var registry struct {
+	once   sync.Once
+	specs  []Spec
+	byName map[string]Spec
+}
+
+func initRegistry() {
+	registry.once.Do(func() {
+		registry.specs = buildSpecs()
+		registry.byName = make(map[string]Spec, len(registry.specs))
+		for _, s := range registry.specs {
+			registry.byName[s.Name] = s
+		}
+	})
+}
+
+// AllSpecs returns the 16 models in the paper's Table II order. The result
+// is a fresh slice over shared immutable Spec values, so callers may append
+// or reorder freely.
 func AllSpecs() []Spec {
+	initRegistry()
+	return append([]Spec(nil), registry.specs...)
+}
+
+// buildSpecs constructs the Table II registry (run once via initRegistry).
+func buildSpecs() []Spec {
 	return []Spec{
 		{"Random Forest", HSC, features.KindHistogram, histFeatConfig,
 			func(s int64, _ NeuralConfig) Classifier { return NewRandomForest(s) }},
@@ -89,12 +117,13 @@ func AllSpecs() []Spec {
 	}
 }
 
-// SpecByName resolves a model spec by its display name.
+// SpecByName resolves a model spec by its display name through the memoized
+// name index.
 func SpecByName(name string) (Spec, error) {
-	for _, s := range AllSpecs() {
-		if s.Name == name {
-			return s, nil
-		}
+	initRegistry()
+	s, ok := registry.byName[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("models: unknown model %q", name)
 	}
-	return Spec{}, fmt.Errorf("models: unknown model %q", name)
+	return s, nil
 }

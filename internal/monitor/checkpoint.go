@@ -12,9 +12,13 @@ import (
 // so a restarted watcher neither re-scores old blocks nor re-alerts on
 // clones of bytecodes it already judged.
 type checkpoint struct {
-	Version int      `json:"version"`
-	Cursor  uint64   `json:"cursor"`
-	Seen    []string `json:"seen,omitempty"` // hex SHA-256 bytecode hashes
+	Version int    `json:"version"`
+	Cursor  uint64 `json:"cursor"`
+	// ModelVersion is the lifecycle version of the most recent score before
+	// the snapshot — after a restart it answers "which detector version had
+	// judged everything up to this cursor" even across hot swaps.
+	ModelVersion string   `json:"model_version,omitempty"`
+	Seen         []string `json:"seen,omitempty"` // hex SHA-256 bytecode hashes
 }
 
 const checkpointVersion = 1

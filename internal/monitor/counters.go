@@ -74,6 +74,9 @@ type counters struct {
 // Stats is a point-in-time snapshot of a Watcher's counters, JSON-ready for
 // the serving layer.
 type Stats struct {
+	// ModelVersion is the lifecycle version of the most recent successful
+	// score (empty for unversioned scorers).
+	ModelVersion string `json:"model_version,omitempty"`
 	// Cursor is the last fully scored block (checkpointed).
 	Cursor uint64 `json:"cursor"`
 	// Polls counts head polls, including no-op ones.

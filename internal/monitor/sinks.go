@@ -24,6 +24,10 @@ type Alert struct {
 	Confidence float64 `json:"confidence"`
 	// Model is the detector model's display name.
 	Model string `json:"model"`
+	// ModelVersion is the lifecycle-store version that produced the
+	// verdict (empty for unversioned scorers) — the attribution that keeps
+	// alerts auditable across hot swaps and restarts.
+	ModelVersion string `json:"model_version,omitempty"`
 	// Time is the wall-clock emission time.
 	Time time.Time `json:"time"`
 }
@@ -62,8 +66,12 @@ func LogSink(l *log.Logger) Sink {
 		l = log.New(os.Stderr, "", log.LstdFlags)
 	}
 	return FuncSink(func(a Alert) error {
+		model := a.Model
+		if a.ModelVersion != "" {
+			model += "@" + a.ModelVersion
+		}
 		l.Printf("ALERT %s conf=%.3f model=%q block=%d hash=%s",
-			a.Address, a.Confidence, a.Model, a.Block, a.CodeHash[:12])
+			a.Address, a.Confidence, model, a.Block, a.CodeHash[:12])
 		return nil
 	})
 }

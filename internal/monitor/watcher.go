@@ -50,6 +50,11 @@ type Verdict struct {
 	Confidence float64
 	// Model names the scoring model.
 	Model string
+	// Version is the lifecycle-store model version that scored (empty when
+	// the scorer is not versioned). It is stamped onto alerts and the
+	// checkpoint so every verdict stays attributable across hot swaps and
+	// restarts.
+	Version string
 }
 
 // Scorer judges one deployed bytecode. Implementations must be safe for
@@ -156,10 +161,11 @@ type Watcher struct {
 	// lastCkpt is touched only by the Run goroutine.
 	lastCkpt time.Time
 
-	mu        sync.Mutex
-	cursor    uint64
-	seen      map[[32]byte]struct{}
-	scoreFail map[[32]byte]int // consecutive score failures per bytecode
+	mu          sync.Mutex
+	cursor      uint64
+	seen        map[[32]byte]struct{}
+	scoreFail   map[[32]byte]int // consecutive score failures per bytecode
+	lastVersion string           // model version of the most recent score
 }
 
 // maxScoreRetries bounds window rescans for a bytecode that keeps failing to
@@ -195,6 +201,7 @@ func New(scorer Scorer, cfg Config) (*Watcher, error) {
 		}
 		if ok {
 			w.cursor = cp.Cursor
+			w.lastVersion = cp.ModelVersion
 			for _, h := range cp.Seen {
 				b, err := hex.DecodeString(h)
 				if err != nil || len(b) != 32 {
@@ -223,9 +230,20 @@ func (w *Watcher) SeenUnique() int {
 	return len(w.seen)
 }
 
+// ModelVersion returns the lifecycle version of the most recent successful
+// score ("" before the first score of an unversioned scorer). Restored from
+// the checkpoint, so a restarted watcher knows which model version had
+// judged everything up to its cursor.
+func (w *Watcher) ModelVersion() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastVersion
+}
+
 // Stats snapshots the watcher's counters.
 func (w *Watcher) Stats() Stats {
 	return Stats{
+		ModelVersion:    w.ModelVersion(),
 		Cursor:          w.Cursor(),
 		Polls:           w.ctr.polls.Load(),
 		BlocksSeen:      w.ctr.blocksSeen.Load(),
@@ -317,12 +335,13 @@ func (w *Watcher) advanceCursor(head uint64) {
 func (w *Watcher) saveCheckpointNow() {
 	w.mu.Lock()
 	cursor := w.cursor
+	version := w.lastVersion
 	hashes := make([][32]byte, 0, len(w.seen))
 	for h := range w.seen {
 		hashes = append(hashes, h)
 	}
 	w.mu.Unlock()
-	cp := checkpoint{Cursor: cursor, Seen: make([]string, len(hashes))}
+	cp := checkpoint{Cursor: cursor, ModelVersion: version, Seen: make([]string, len(hashes))}
 	for i, h := range hashes {
 		cp.Seen[i] = hex.EncodeToString(h[:])
 	}
@@ -511,16 +530,18 @@ func (w *Watcher) scoreLoop(ctx context.Context) {
 		} else {
 			w.mu.Lock()
 			delete(w.scoreFail, job.hash)
+			w.lastVersion = v.Version
 			w.mu.Unlock()
 			w.ctr.contractsScored.Add(1)
 			if v.Phishing && v.Confidence >= w.cfg.Threshold {
 				w.emit(Alert{
-					Address:    job.addr,
-					CodeHash:   hex.EncodeToString(job.hash[:]),
-					Block:      job.head,
-					Confidence: v.Confidence,
-					Model:      v.Model,
-					Time:       time.Now(),
+					Address:      job.addr,
+					CodeHash:     hex.EncodeToString(job.hash[:]),
+					Block:        job.head,
+					Confidence:   v.Confidence,
+					Model:        v.Model,
+					ModelVersion: v.Version,
+					Time:         time.Now(),
 				})
 			}
 		}

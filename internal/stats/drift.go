@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Drift statistics for score-distribution monitoring: a production detector's
+// output distribution shifts as the deployment mix evolves (the decay the
+// paper's Fig. 8 quantifies), and the lifecycle subsystem watches for that
+// shift with the two standard tests — the Population Stability Index over
+// fixed bins and the two-sample Kolmogorov-Smirnov test over the empirical
+// CDFs.
+
+// psiFloor regularizes empty PSI bins: a bin with zero mass in one sample
+// would make the index infinite, so both proportions are floored at a small
+// epsilon (the convention used by credit-risk monitoring, where PSI
+// originates).
+const psiFloor = 1e-4
+
+// PSI computes the Population Stability Index between an expected (reference)
+// and an actual (live) sample over equal-width bins spanning [lo, hi]. Scores
+// here are probabilities, so callers pass 0 and 1. Common reading: < 0.1 no
+// shift, 0.1–0.25 moderate shift, > 0.25 the population has moved and the
+// model should be revisited.
+func PSI(expected, actual []float64, bins int, lo, hi float64) (float64, error) {
+	if bins < 2 {
+		return 0, fmt.Errorf("stats: PSI needs >= 2 bins, got %d", bins)
+	}
+	if len(expected) == 0 || len(actual) == 0 {
+		return 0, fmt.Errorf("stats: PSI needs non-empty samples (%d expected, %d actual)", len(expected), len(actual))
+	}
+	if !(hi > lo) {
+		return 0, fmt.Errorf("stats: PSI range [%g,%g] is empty", lo, hi)
+	}
+	width := (hi - lo) / float64(bins)
+	binOf := func(v float64) int {
+		b := int((v - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1 // hi itself and any outliers clamp into the edge bins
+		}
+		return b
+	}
+	e := make([]float64, bins)
+	a := make([]float64, bins)
+	for _, v := range expected {
+		e[binOf(v)]++
+	}
+	for _, v := range actual {
+		a[binOf(v)]++
+	}
+	psi := 0.0
+	for i := 0; i < bins; i++ {
+		pe := e[i] / float64(len(expected))
+		pa := a[i] / float64(len(actual))
+		if pe < psiFloor {
+			pe = psiFloor
+		}
+		if pa < psiFloor {
+			pa = psiFloor
+		}
+		psi += (pa - pe) * math.Log(pa/pe)
+	}
+	return psi, nil
+}
+
+// KolmogorovSmirnov runs the two-sample KS test: d is the maximum distance
+// between the empirical CDFs and p the asymptotic two-sided p-value
+// (Kolmogorov distribution with the Stephens small-sample correction). A
+// small p rejects "both samples come from the same distribution".
+func KolmogorovSmirnov(x, y []float64) (d, p float64, err error) {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		return 0, 0, fmt.Errorf("stats: KS needs non-empty samples (%d, %d)", n, m)
+	}
+	xs := append([]float64(nil), x...)
+	ys := append([]float64(nil), y...)
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	var i, j int
+	for i < n && j < m {
+		// Advance past ties together so d is evaluated between jump points.
+		v := math.Min(xs[i], ys[j])
+		for i < n && xs[i] <= v {
+			i++
+		}
+		for j < m && ys[j] <= v {
+			j++
+		}
+		if dist := math.Abs(float64(i)/float64(n) - float64(j)/float64(m)); dist > d {
+			d = dist
+		}
+	}
+	ne := float64(n) * float64(m) / float64(n+m)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return d, ksSurvival(lambda), nil
+}
+
+// ksSurvival is Q_KS(λ) = 2 Σ_{k≥1} (-1)^{k-1} exp(-2 k² λ²), the asymptotic
+// two-sided KS p-value. The series converges in a handful of terms for any λ
+// of practical interest.
+func ksSurvival(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPSIIdenticalSamplesNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 4000)
+	b := make([]float64, 4000)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	psi, err := PSI(a, b, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psi > 0.02 {
+		t.Fatalf("PSI of same-distribution samples = %g, want ~0", psi)
+	}
+	self, err := PSI(a, a, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self != 0 {
+		t.Fatalf("PSI of a sample against itself = %g, want exactly 0", self)
+	}
+}
+
+func TestPSIDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := make([]float64, 3000)
+	shifted := make([]float64, 3000)
+	for i := range ref {
+		ref[i] = 0.2 + 0.2*rng.Float64() // mass in [0.2, 0.4]
+		shifted[i] = 0.5 + 0.3*rng.Float64()
+	}
+	psi, err := PSI(ref, shifted, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psi < 0.25 {
+		t.Fatalf("PSI of a gross shift = %g, want > 0.25", psi)
+	}
+}
+
+func TestPSIValidation(t *testing.T) {
+	if _, err := PSI(nil, []float64{1}, 10, 0, 1); err == nil {
+		t.Fatal("empty expected sample should fail")
+	}
+	if _, err := PSI([]float64{1}, []float64{1}, 1, 0, 1); err == nil {
+		t.Fatal("one bin should fail")
+	}
+	if _, err := PSI([]float64{1}, []float64{1}, 10, 1, 1); err == nil {
+		t.Fatal("empty range should fail")
+	}
+	// Outliers beyond the range clamp into edge bins instead of failing.
+	if _, err := PSI([]float64{-5, 0.5, 7}, []float64{0.5}, 4, 0, 1); err != nil {
+		t.Fatalf("out-of-range values should clamp, got %v", err)
+	}
+}
+
+func TestKolmogorovSmirnovSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	d, p, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.06 {
+		t.Fatalf("KS distance between same-law samples = %g, want small", d)
+	}
+	if p < 0.05 {
+		t.Fatalf("KS p = %g rejects identical distributions", p)
+	}
+}
+
+func TestKolmogorovSmirnovDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := make([]float64, 1000)
+	b := make([]float64, 1000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 0.5
+	}
+	d, p, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.15 {
+		t.Fatalf("KS distance of a 0.5σ shift = %g, want large", d)
+	}
+	if p > 1e-6 {
+		t.Fatalf("KS p = %g should decisively reject", p)
+	}
+}
+
+func TestKolmogorovSmirnovTiesAndEdges(t *testing.T) {
+	// All-equal samples: d = 0, p = 1.
+	d, p, err := KolmogorovSmirnov([]float64{1, 1, 1}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 || p != 1 {
+		t.Fatalf("identical constant samples: d=%g p=%g, want 0 and 1", d, p)
+	}
+	// Disjoint supports: d = 1.
+	d, _, err = KolmogorovSmirnov([]float64{1, 2, 3}, []float64{10, 11, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-12 {
+		t.Fatalf("disjoint supports: d=%g, want 1", d)
+	}
+	if _, _, err := KolmogorovSmirnov(nil, []float64{1}); err == nil {
+		t.Fatal("empty sample should fail")
+	}
+}

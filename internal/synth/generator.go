@@ -52,6 +52,18 @@ type Config struct {
 	// rotates toward the "v2" pattern by the final month; it drives the
 	// decay in the time-resistance experiment.
 	DriftStrength float64
+	// WaveStrength in [0,1] enables a second phishing wave: from WaveStart
+	// on, a growing share of phishing contracts is drawn from the "v3"
+	// stealth profile (delegatecall proxies + approval harvesting, none of
+	// the v1 drain markers). The share ramps linearly from 0 at WaveStart
+	// to WaveStrength at the final month. 0 (the default) disables the
+	// wave and leaves the generated corpus byte-identical to earlier
+	// configurations — the knob exists for lifecycle experiments where a
+	// frozen model must genuinely decay while a retrained one recovers.
+	WaveStrength float64
+	// WaveStart is the first study month of the second wave (only
+	// meaningful when WaveStrength > 0).
+	WaveStart int
 	// MinBodies and MaxBodies bound the number of function bodies per
 	// contract (the dispatcher exposes one selector per body).
 	MinBodies, MaxBodies int
@@ -83,6 +95,7 @@ type Generator struct {
 	benignWeights  []float64
 	phishWeights   []float64 // at SignalStrength=1, month 0
 	phishV2Weights []float64 // late-period drift target
+	phishV3Weights []float64 // second-wave stealth profile
 }
 
 // NewGenerator returns a generator with the given configuration.
@@ -94,6 +107,7 @@ func NewGenerator(cfg Config) *Generator {
 	g.benignWeights = baseWeights(benignProfile)
 	g.phishWeights = baseWeights(phishingProfile)
 	g.phishV2Weights = baseWeights(phishingV2Profile)
+	g.phishV3Weights = baseWeights(phishingV3Profile)
 	return g
 }
 
@@ -164,6 +178,31 @@ var phishingV2Profile = profile{
 	FragCreate2Deploy:  1.8,
 }
 
+// phishingV3Profile: the second wave — stealth approval phishing behind
+// delegatecall proxies. The v1 drain markers (raw calls, owner sweeps,
+// drain loops, self-destructs) are gone, replaced by approve harvesting,
+// delegate dispatch and CREATE2 factories dressed in benign plumbing, so a
+// model trained on v1/v2 waves scores these near-benign while a retrained
+// one separates them again on the new markers.
+var phishingV3Profile = profile{
+	FragViewGetter:     1.6,
+	FragSafeTransfer:   1.0,
+	FragApprove:        3.0,
+	FragMappingHash:    1.2,
+	FragCheckedCall:    1.0,
+	FragSafeMathGuard:  0.9,
+	FragEventLog:       1.5,
+	FragStaticView:     1.0,
+	FragDelegate:       3.2,
+	FragChainIDCheck:   0.4,
+	FragTimestampCheck: 1.4,
+	FragRawCall:        0.3,
+	FragOwnerSweep:     0.08,
+	FragDrainLoop:      0.02,
+	FragSelfDestruct:   0.08,
+	FragCreate2Deploy:  2.6,
+}
+
 func baseWeights(p profile) []float64 {
 	w := make([]float64, numFragmentKinds)
 	var sum float64
@@ -183,6 +222,13 @@ func (g *Generator) weightsFor(class Class, month int) []float64 {
 	if class == Benign {
 		return g.benignWeights
 	}
+	// Second wave: once enabled and past WaveStart, a growing share of
+	// phishing contracts comes from the stealth v3 profile. The extra RNG
+	// draw happens only when the wave is active, so configurations without
+	// it generate byte-identical corpora.
+	if share := g.waveShare(month); share > 0 && g.rng.Float64() < share {
+		return g.mixWithBenign(g.phishV3Weights)
+	}
 	// Drift the phishing profile toward v2 as months advance.
 	t := 0.0
 	if NumMonths > 1 {
@@ -194,6 +240,31 @@ func (g *Generator) weightsFor(class Class, month int) []float64 {
 	for i := range w {
 		phish := (1-t)*g.phishWeights[i] + t*g.phishV2Weights[i]
 		w[i] = (1-s)*g.benignWeights[i] + s*phish
+	}
+	return w
+}
+
+// waveShare is the probability a phishing contract of the given month
+// belongs to the second wave: 0 before WaveStart, ramping linearly to
+// WaveStrength at the final month.
+func (g *Generator) waveShare(month int) float64 {
+	if g.cfg.WaveStrength <= 0 || month <= g.cfg.WaveStart || NumMonths-1 <= g.cfg.WaveStart {
+		return 0
+	}
+	frac := float64(month-g.cfg.WaveStart) / float64(NumMonths-1-g.cfg.WaveStart)
+	if frac > 1 {
+		frac = 1
+	}
+	return g.cfg.WaveStrength * frac
+}
+
+// mixWithBenign applies the SignalStrength interpolation to a phishing
+// weight vector.
+func (g *Generator) mixWithBenign(phish []float64) []float64 {
+	s := g.cfg.SignalStrength
+	w := make([]float64, numFragmentKinds)
+	for i := range w {
+		w[i] = (1-s)*g.benignWeights[i] + s*phish[i]
 	}
 	return w
 }

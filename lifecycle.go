@@ -1,0 +1,229 @@
+package phishinghook
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"github.com/phishinghook/phishinghook/internal/lifecycle"
+)
+
+// Model-lifecycle re-exports: the versioned store and drift-triggered
+// retrainer live in internal/lifecycle; these aliases let embedders and the
+// CLI name its types without reaching into internal packages (the same
+// pattern as the Watchtower re-exports in watch.go).
+type (
+	// ModelStore is a versioned on-disk model store (manifest + SHA-256
+	// integrity + champion/challenger pointers).
+	ModelStore = lifecycle.Store
+	// StoredVersion is one stored model version's metadata.
+	StoredVersion = lifecycle.Version
+	// ModelMeta is the caller-supplied metadata recorded on Put.
+	ModelMeta = lifecycle.Meta
+	// Retrainer watches the live score distribution and retrains on drift.
+	Retrainer = lifecycle.Retrainer
+	// RetrainerConfig tunes a Retrainer.
+	RetrainerConfig = lifecycle.RetrainerConfig
+	// RetrainerStats snapshots a Retrainer's counters.
+	RetrainerStats = lifecycle.RetrainerStats
+	// DriftReport is one drift evaluation (PSI + KS) of live scores.
+	DriftReport = lifecycle.DriftReport
+)
+
+// OpenModelStore loads (or initializes) the versioned model store at dir.
+func OpenModelStore(dir string) (*ModelStore, error) { return lifecycle.Open(dir) }
+
+// NewRetrainer builds a drift-watching retrainer.
+func NewRetrainer(cfg RetrainerConfig) (*Retrainer, error) { return lifecycle.NewRetrainer(cfg) }
+
+// ScoreDrift evaluates the PSI and KS shift of a live score window against a
+// reference sample (probabilities over [0,1]) — the one-shot form of the
+// Retrainer's drift check. ksAlpha <= 0 disables the KS trigger.
+func ScoreDrift(reference, window []float64, bins int, psiThreshold, ksAlpha float64) (DriftReport, error) {
+	return lifecycle.Drift(reference, window, bins, psiThreshold, ksAlpha)
+}
+
+// Lifecycle ties a ModelStore to a Swappable serving handle: versions are
+// saved through it, deployed as champion, installed as shadow challenger,
+// and promoted — with the store manifest and the live handle kept in sync,
+// so a restarted process (or a second one sharing the store directory)
+// reconstructs the same serving state.
+type Lifecycle struct {
+	store *ModelStore
+	sw    *Swappable
+	opts  []DetectorOption
+
+	// mu serializes deploy/shadow/promote/reload so the manifest and the
+	// handle cannot interleave into disagreement.
+	mu sync.Mutex
+}
+
+// NewLifecycle builds a manager over the store and deploys its champion
+// (when one exists) onto a fresh Swappable. The DetectorOptions apply to
+// every version loaded through this manager (cache size, workers, RPC).
+func NewLifecycle(store *ModelStore, opts ...DetectorOption) (*Lifecycle, error) {
+	l := &Lifecycle{store: store, sw: NewSwappable("", nil), opts: opts}
+	if champ, ok := store.Champion(); ok {
+		det, err := l.loadVersion(champ.ID)
+		if err != nil {
+			return nil, err
+		}
+		l.sw.Swap(champ.ID, det)
+	}
+	if chal, ok := store.Challenger(); ok {
+		det, err := l.loadVersion(chal.ID)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.sw.SetChallenger(chal.ID, det); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Handle returns the serving handle every scoring surface should use.
+func (l *Lifecycle) Handle() *Swappable { return l.sw }
+
+// Store returns the underlying model store.
+func (l *Lifecycle) Store() *ModelStore { return l.store }
+
+// SaveVersion serializes a fitted detector into the store and returns its
+// assigned version. The first version saved into an empty store becomes the
+// manifest champion (but is not auto-deployed onto the handle — call Deploy).
+func (l *Lifecycle) SaveVersion(det *Detector, meta ModelMeta) (StoredVersion, error) {
+	if meta.Spec == "" {
+		meta.Spec = det.ModelName()
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		return StoredVersion{}, err
+	}
+	return l.store.Put(buf.Bytes(), meta)
+}
+
+// loadVersion rebuilds a stored version into a serving detector, verifying
+// blob integrity on the way.
+func (l *Lifecycle) loadVersion(id string) (*Detector, error) {
+	blob, _, err := l.store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	det, err := LoadDetector(bytes.NewReader(blob), l.opts...)
+	if err != nil {
+		return nil, fmt.Errorf("phishinghook: load version %s: %w", id, err)
+	}
+	return det, nil
+}
+
+// Deploy makes the stored version the live champion: it is loaded, swapped
+// onto the handle, and recorded as the manifest champion. Deploying the
+// version currently shadowing clears the shadow slot (matching the store's
+// Promote semantics) so the handle never shadows a version against itself.
+func (l *Lifecycle) Deploy(id string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	det, err := l.loadVersion(id)
+	if err != nil {
+		return err
+	}
+	if err := l.store.Promote(id); err != nil {
+		return err
+	}
+	l.sw.Swap(id, det)
+	if chal, _, ok := l.sw.Challenger(); ok && chal == id {
+		if err := l.sw.SetChallenger("", nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shadow installs the stored version as the live challenger and records it
+// in the manifest.
+func (l *Lifecycle) Shadow(id string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	det, err := l.loadVersion(id)
+	if err != nil {
+		return err
+	}
+	if err := l.store.SetChallenger(id); err != nil {
+		return err
+	}
+	return l.sw.SetChallenger(id, det)
+}
+
+// Promote flips the live challenger into the champion slot and persists the
+// flip, returning the promoted version id. The manifest is written first:
+// if the store write fails, the handle is untouched and the promote can
+// simply be retried; if the handle flip then fails (the challenger was
+// concurrently cleared), the next Reload re-syncs the handle to the
+// manifest.
+func (l *Lifecycle) Promote() (string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id, _, ok := l.sw.Challenger()
+	if !ok {
+		return "", fmt.Errorf("phishinghook: no challenger to promote")
+	}
+	if err := l.store.Promote(id); err != nil {
+		return "", err
+	}
+	if _, err := l.sw.Promote(); err != nil {
+		return id, err
+	}
+	return id, nil
+}
+
+// Reload re-reads the store manifest from disk and syncs the handle to it:
+// a champion changed by another process is hot-swapped in, a new challenger
+// is shadowed, a cleared one is dropped. It returns whether anything
+// changed — the POST /admin/reload implementation.
+func (l *Lifecycle) Reload() (changed bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.store.Reload(); err != nil {
+		return false, err
+	}
+	curChamp, _ := l.sw.Champion()
+	if champ, ok := l.store.Champion(); ok && champ.ID != curChamp {
+		if chal, _, hasChal := l.sw.Challenger(); hasChal && chal == champ.ID {
+			// The manifest promoted the version already live as challenger
+			// (the retrain CLI's -promote flow): flip the warm, cache-hot
+			// in-memory instance instead of cold-loading it from disk.
+			if _, err := l.sw.Promote(); err != nil {
+				return false, err
+			}
+		} else {
+			det, err := l.loadVersion(champ.ID)
+			if err != nil {
+				return false, err
+			}
+			l.sw.Swap(champ.ID, det)
+		}
+		changed = true
+	}
+	curChal, _, hasChal := l.sw.Challenger()
+	chal, ok := l.store.Challenger()
+	switch {
+	case ok && (!hasChal || chal.ID != curChal):
+		det, err := l.loadVersion(chal.ID)
+		if err != nil {
+			return changed, err
+		}
+		if err := l.sw.SetChallenger(chal.ID, det); err != nil {
+			return changed, err
+		}
+		changed = true
+	case !ok && hasChal:
+		if err := l.sw.SetChallenger("", nil); err != nil {
+			return changed, err
+		}
+		changed = true
+	}
+	return changed, nil
+}
+
+// Versions lists the store's versions, oldest first.
+func (l *Lifecycle) Versions() []StoredVersion { return l.store.List() }

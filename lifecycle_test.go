@@ -1,0 +1,425 @@
+package phishinghook
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// trainPair trains two distinguishable detectors on the shared corpus.
+func trainPair(t testing.TB) (*Detector, *Detector) {
+	t.Helper()
+	ds, _ := testCorpus(t)
+	spec, err := ModelByName("Random Forest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Train(spec, ds, WithDetectorSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Train(spec, ds, WithDetectorSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d1, d2
+}
+
+// TestSwappableSwapUnderLoad hammers Score and ScoreBatch from many
+// goroutines while the champion is swapped continuously: zero failed scores,
+// and every verdict is attributable to one of the two versions. This is the
+// -race proof that a swap is safe under sustained concurrent load.
+func TestSwappableSwapUnderLoad(t *testing.T) {
+	ds, _ := testCorpus(t)
+	d1, d2 := trainPair(t)
+	sw := NewSwappable("v1", d1)
+	defer sw.Close()
+
+	codes := make([][]byte, ds.Len())
+	for i, s := range ds.Samples {
+		codes[i] = s.Bytecode
+	}
+	ctx := context.Background()
+	var (
+		stop   atomic.Bool
+		scored atomic.Uint64
+		wg     sync.WaitGroup
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if g%2 == 0 {
+					v, err := sw.Score(ctx, codes[(g+i)%len(codes)])
+					if err != nil {
+						t.Errorf("score during swap: %v", err)
+						return
+					}
+					if v.ModelVersion != "v1" && v.ModelVersion != "v2" {
+						t.Errorf("verdict version %q is not a deployed version", v.ModelVersion)
+						return
+					}
+					scored.Add(1)
+				} else {
+					batch := codes[(g+i)%(len(codes)-4) : (g+i)%(len(codes)-4)+4]
+					vs, err := sw.ScoreBatch(ctx, batch)
+					if err != nil {
+						t.Errorf("batch during swap: %v", err)
+						return
+					}
+					for _, v := range vs {
+						if v.ModelVersion != "v1" && v.ModelVersion != "v2" {
+							t.Errorf("batch verdict version %q", v.ModelVersion)
+							return
+						}
+					}
+					scored.Add(uint64(len(vs)))
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			sw.Swap("v2", d2)
+		} else {
+			sw.Swap("v1", d1)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if scored.Load() == 0 {
+		t.Fatal("no scores completed under swap load")
+	}
+	st := sw.SwapStats()
+	if st.Swaps != 200 {
+		t.Fatalf("swaps = %d, want 200", st.Swaps)
+	}
+	var total uint64
+	for _, v := range st.Versions {
+		total += v.Scored
+	}
+	if total != scored.Load() {
+		t.Fatalf("per-version counters sum to %d, %d scores completed — a score went unattributed", total, scored.Load())
+	}
+}
+
+func TestSwappableEmptyHandleAndPromoteErrors(t *testing.T) {
+	sw := NewSwappable("", nil)
+	defer sw.Close()
+	ctx := context.Background()
+	if _, err := sw.Score(ctx, []byte{0x60, 0x80}); err == nil {
+		t.Fatal("empty handle must refuse to score")
+	}
+	if _, err := sw.ScoreBatch(ctx, [][]byte{{0x60}}); err == nil {
+		t.Fatal("empty handle must refuse batches")
+	}
+	if _, err := sw.Promote(); err == nil {
+		t.Fatal("promote without challenger must fail")
+	}
+	if err := sw.SetChallenger("vX", nil); err == nil {
+		t.Fatal("shadowing an empty handle must fail")
+	}
+	if name := sw.ModelName(); name != "" {
+		t.Fatalf("empty handle model name %q", name)
+	}
+}
+
+// TestSwappableShadowDivergence installs a challenger and verifies the
+// shadow pipeline compares the same traffic and attributes challenger
+// scores to the challenger's counters.
+func TestSwappableShadowDivergence(t *testing.T) {
+	ds, _ := testCorpus(t)
+	d1, d2 := trainPair(t)
+	sw := NewSwappable("v1", d1)
+	defer sw.Close()
+	if err := sw.SetChallenger("v2", d2); err != nil {
+		t.Fatal(err)
+	}
+	if ver, _, ok := sw.Challenger(); !ok || ver != "v2" {
+		t.Fatalf("challenger = %q ok=%v", ver, ok)
+	}
+
+	ctx := context.Background()
+	n := 64
+	for i := 0; i < n; i++ {
+		if _, err := sw.Score(ctx, ds.Samples[i%ds.Len()].Bytecode); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := sw.FlushShadow(flushCtx); err != nil {
+		t.Fatal(err)
+	}
+	st := sw.SwapStats()
+	if st.Champion != "v1" || st.Challenger != "v2" {
+		t.Fatalf("live pointers %q/%q", st.Champion, st.Challenger)
+	}
+	if got := st.Shadow.Compared + st.Shadow.Dropped + st.Shadow.Errors; got != uint64(n) {
+		t.Fatalf("shadow accounted %d of %d scores", got, n)
+	}
+	if st.Shadow.Compared == 0 {
+		t.Fatal("nothing compared in shadow mode")
+	}
+	var chall VersionStats
+	for _, v := range st.Versions {
+		if v.Version == "v2" {
+			chall = v
+		}
+	}
+	if chall.ShadowScored != st.Shadow.Compared {
+		t.Fatalf("challenger shadow-scored %d, compared %d", chall.ShadowScored, st.Shadow.Compared)
+	}
+
+	// Promote: the challenger becomes champion, shadow mode ends, and its
+	// counters carry over.
+	id, err := sw.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "v2" {
+		t.Fatalf("promoted %q, want v2", id)
+	}
+	if _, _, ok := sw.Challenger(); ok {
+		t.Fatal("challenger should be cleared after promote")
+	}
+	v, err := sw.Score(ctx, ds.Samples[0].Bytecode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ModelVersion != "v2" {
+		t.Fatalf("post-promote verdict version %q", v.ModelVersion)
+	}
+}
+
+// TestLifecycleStoreRoundTrip drives the full manager flow: save → deploy →
+// retrain → shadow → promote → reopen, with verdicts attributable at every
+// step and the reopened manager reconstructing the same serving state.
+func TestLifecycleStoreRoundTrip(t *testing.T) {
+	ds, _ := testCorpus(t)
+	d1, d2 := trainPair(t)
+	dir := t.TempDir()
+	store, err := OpenModelStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := NewLifecycle(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Handle().Close()
+
+	v1, err := lc.SaveVersion(d1, ModelMeta{TrainFrom: 0, TrainTo: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Spec != "Random Forest" {
+		t.Fatalf("SaveVersion should default Spec from the detector, got %q", v1.Spec)
+	}
+	if err := lc.Deploy(v1.ID); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	code := ds.Samples[0].Bytecode
+	ref, err := lc.Handle().Score(ctx, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.ModelVersion != v1.ID {
+		t.Fatalf("verdict version %q, want %s", ref.ModelVersion, v1.ID)
+	}
+
+	v2, err := lc.SaveVersion(d2, ModelMeta{TrainFrom: 0, TrainTo: 10, Parent: v1.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Shadow(v2.ID); err != nil {
+		t.Fatal(err)
+	}
+	promoted, err := lc.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted != v2.ID {
+		t.Fatalf("promoted %q, want %s", promoted, v2.ID)
+	}
+	got, err := lc.Handle().Score(ctx, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelVersion != v2.ID {
+		t.Fatalf("post-promote verdict version %q, want %s", got.ModelVersion, v2.ID)
+	}
+
+	// A second process opening the same store reconstructs the champion and
+	// reproduces the verdict exactly (integrity-checked load).
+	store2, err := OpenModelStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc2, err := NewLifecycle(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc2.Handle().Close()
+	champ, _ := lc2.Handle().Champion()
+	if champ != v2.ID {
+		t.Fatalf("reopened champion %q, want %s", champ, v2.ID)
+	}
+	re, err := lc2.Handle().Score(ctx, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Label != got.Label || re.Confidence != got.Confidence {
+		t.Fatalf("reopened verdict %v != original %v", re, got)
+	}
+}
+
+// TestLifecycleReloadSyncsHandle simulates the CLI-retrains/server-reloads
+// split: a second store handle installs a challenger and flips the
+// champion; Reload hot-swaps the serving handle to match.
+func TestLifecycleReloadSyncsHandle(t *testing.T) {
+	d1, d2 := trainPair(t)
+	dir := t.TempDir()
+	store, err := OpenModelStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := NewLifecycle(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Handle().Close()
+	v1, err := lc.SaveVersion(d1, ModelMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Deploy(v1.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Another process": its own store handle over the same directory.
+	other, err := OpenModelStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherLC, err := NewLifecycle(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer otherLC.Handle().Close()
+	v2, err := otherLC.SaveVersion(d2, ModelMeta{Parent: v1.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.SetChallenger(v2.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	changed, err := lc.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("reload should report the new challenger")
+	}
+	if ver, _, ok := lc.Handle().Challenger(); !ok || ver != v2.ID {
+		t.Fatalf("challenger after reload %q ok=%v, want %s", ver, ok, v2.ID)
+	}
+
+	// The other process promotes; our reload flips the champion.
+	if err := other.Promote(v2.ID); err != nil {
+		t.Fatal(err)
+	}
+	changed, err = lc.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("reload should apply the promote")
+	}
+	champ, _ := lc.Handle().Champion()
+	if champ != v2.ID {
+		t.Fatalf("champion after reload %q, want %s", champ, v2.ID)
+	}
+	if _, _, ok := lc.Handle().Challenger(); ok {
+		t.Fatal("challenger should be cleared after the promote reload")
+	}
+	// No-op reload reports no change.
+	changed, err = lc.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("idle reload should report no change")
+	}
+}
+
+// TestWatcherStampsModelVersion runs a short live watch through a Swappable
+// and verifies alerts and the checkpoint carry the serving version across a
+// mid-watch promote and a restart.
+func TestWatcherStampsModelVersion(t *testing.T) {
+	ds, sim := testCorpus(t)
+	_ = ds
+	d1, _ := trainPair(t)
+	sw := NewSwappable("v0007", d1)
+	defer sw.Close()
+
+	var mu sync.Mutex
+	var alerts []Alert
+	ckpt := t.TempDir() + "/cursor.json"
+	from, _ := sim.StudyWindow()
+	w, err := NewWatcher(sw, WatcherConfig{
+		RPCURL:         sim.RPCURL(),
+		ExplorerURL:    sim.ExplorerURL(),
+		PollInterval:   time.Millisecond,
+		StartBlock:     from - 1,
+		StopAtBlock:    sim.TailBlock(),
+		Threshold:      0.5,
+		CheckpointPath: ckpt,
+		Sinks: []AlertSink{NewFuncSink(func(a Alert) error {
+			mu.Lock()
+			alerts = append(alerts, a)
+			mu.Unlock()
+			return nil
+		})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) == 0 {
+		t.Fatal("expected alerts from the study window")
+	}
+	for _, a := range alerts {
+		if a.ModelVersion != "v0007" {
+			t.Fatalf("alert version %q, want v0007", a.ModelVersion)
+		}
+	}
+	if got := w.Stats().ModelVersion; got != "v0007" {
+		t.Fatalf("watcher stats version %q", got)
+	}
+
+	// A restarted watcher restores the version from the checkpoint before
+	// scoring anything.
+	w2, err := NewWatcher(sw, WatcherConfig{
+		RPCURL:         sim.RPCURL(),
+		ExplorerURL:    sim.ExplorerURL(),
+		CheckpointPath: ckpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w2.Stats().ModelVersion; got != "v0007" {
+		t.Fatalf("restarted watcher version %q, want v0007 from checkpoint", got)
+	}
+}

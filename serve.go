@@ -1,6 +1,7 @@
 package phishinghook
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,6 +31,9 @@ type ScoreVerdict struct {
 	Phishing   bool    `json:"phishing"`
 	Confidence float64 `json:"confidence"`
 	Model      string  `json:"model"`
+	// ModelVersion is the lifecycle version that scored (omitted when
+	// serving a bare, unversioned Detector).
+	ModelVersion string `json:"model_version,omitempty"`
 }
 
 // ScoreResponse is the POST /score reply. Verdicts aligns with the request
@@ -43,10 +47,11 @@ type ScoreResponse struct {
 
 func toWire(v Verdict) ScoreVerdict {
 	return ScoreVerdict{
-		Label:      v.Label.String(),
-		Phishing:   v.IsPhishing(),
-		Confidence: v.Confidence,
-		Model:      v.ModelName,
+		Label:        v.Label.String(),
+		Phishing:     v.IsPhishing(),
+		Confidence:   v.Confidence,
+		Model:        v.ModelName,
+		ModelVersion: v.ModelVersion,
 	}
 }
 
@@ -58,6 +63,17 @@ const (
 	maxScoreBatch     = 1024
 	maxScoreBodyBytes = 64 << 20
 )
+
+// ScoreBackend is the surface NewScoreHandler serves: both *Detector (one
+// immutable model for the life of the process) and *Swappable (the lifecycle
+// handle, hot-swappable with a shadow challenger) satisfy it.
+type ScoreBackend interface {
+	ScoreBatch(ctx context.Context, codes [][]byte) ([]Verdict, error)
+	ModelName() string
+	FeatureDim() int
+	CacheStats() (hits, misses uint64)
+	ScoreCount() uint64
+}
 
 // ServeOption configures NewScoreHandler.
 type ServeOption func(*serveState)
@@ -84,23 +100,50 @@ func WithPprof() ServeOption {
 	return func(s *serveState) { s.pprof = true }
 }
 
-type serveState struct {
-	watcher *monitor.Watcher
-	pprof   bool
-	started time.Time
+// WithLifecycle attaches a lifecycle manager, mounting the admin surface
+// that drives the champion/challenger flow at runtime:
+//
+//	GET  /admin/versions — store contents + live champion/challenger
+//	POST /admin/reload   — re-read the store manifest and sync the handle
+//	                       (hot-swap a new champion, install a challenger)
+//	POST /admin/promote  — flip the live challenger into the champion slot
+//
+// The handler should be serving the manager's Handle() so admin actions and
+// scoring observe the same state. Like pprof, the admin surface belongs on
+// operator-facing listeners only.
+func WithLifecycle(lc *Lifecycle) ServeOption {
+	return func(s *serveState) { s.lifecycle = lc }
 }
 
-// NewScoreHandler exposes a Detector over HTTP:
+// WithRetrainer exposes a drift retrainer's counters on /metrics and
+// /healthz alongside the serving stats.
+func WithRetrainer(r *Retrainer) ServeOption {
+	return func(s *serveState) { s.retrainer = r }
+}
+
+type serveState struct {
+	watcher   *monitor.Watcher
+	lifecycle *Lifecycle
+	retrainer *Retrainer
+	pprof     bool
+	started   time.Time
+}
+
+// NewScoreHandler exposes a scoring backend — a *Detector, or a *Swappable
+// lifecycle handle — over HTTP:
 //
 //	POST /score   — {"bytecode": "0x.."} and/or {"bytecodes": ["0x..", ...]}
 //	GET  /healthz — liveness + model + uptime + cache/score stats
-//	GET  /metrics — Prometheus text format (detector + monitor counters)
+//	GET  /metrics — Prometheus text format (detector + monitor + lifecycle)
+//	POST /admin/* — champion/challenger flow, only when WithLifecycle is given
 //	GET  /debug/pprof/* — live profiling, only when WithPprof is given
 //
-// Scoring runs on the detector's worker pool and shares its sharded LRU
+// Scoring runs on the backend's worker pool and shares its sharded LRU
 // bytecode→score cache, so a handler is safe under heavy concurrent
-// traffic.
-func NewScoreHandler(d *Detector, opts ...ServeOption) http.Handler {
+// traffic. Serving a Swappable additionally means the model can be
+// hot-swapped (POST /admin/reload, /admin/promote) without dropping an
+// in-flight request.
+func NewScoreHandler(d ScoreBackend, opts ...ServeOption) http.Handler {
 	state := &serveState{started: time.Now()}
 	for _, opt := range opts {
 		opt(state)
@@ -179,6 +222,12 @@ func NewScoreHandler(d *Detector, opts ...ServeOption) http.Handler {
 			"scores":         d.ScoreCount(),
 			"uptime_seconds": time.Since(state.started).Seconds(),
 		}
+		if sw, ok := d.(*Swappable); ok {
+			body["lifecycle"] = sw.SwapStats()
+		}
+		if state.retrainer != nil {
+			body["retrainer"] = state.retrainer.Stats()
+		}
 		if state.watcher != nil {
 			body["monitor"] = state.watcher.Stats()
 		}
@@ -187,6 +236,9 @@ func NewScoreHandler(d *Detector, opts ...ServeOption) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeMetrics(w, d, state)
 	})
+	if state.lifecycle != nil {
+		mountAdmin(mux, state.lifecycle)
+	}
 	if state.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -197,10 +249,66 @@ func NewScoreHandler(d *Detector, opts ...ServeOption) http.Handler {
 	return mux
 }
 
+// mountAdmin wires the champion/challenger admin surface onto the mux.
+func mountAdmin(mux *http.ServeMux, lc *Lifecycle) {
+	liveState := func() map[string]any {
+		champ, _ := lc.Handle().Champion()
+		chal, _, hasChal := lc.Handle().Challenger()
+		body := map[string]any{"champion": champ}
+		if hasChal {
+			body["challenger"] = chal
+		}
+		return body
+	}
+	mux.HandleFunc("/admin/versions", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		body := liveState()
+		body["versions"] = lc.Versions()
+		writeJSON(w, http.StatusOK, body)
+	})
+	mux.HandleFunc("/admin/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		changed, err := lc.Reload()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "reload: %v", err)
+			return
+		}
+		body := liveState()
+		body["changed"] = changed
+		writeJSON(w, http.StatusOK, body)
+	})
+	mux.HandleFunc("/admin/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		id, err := lc.Promote()
+		if err != nil {
+			// No challenger is a state conflict; anything else (e.g. a
+			// manifest write failure) is a server fault.
+			status := http.StatusInternalServerError
+			if _, _, ok := lc.Handle().Challenger(); !ok {
+				status = http.StatusConflict
+			}
+			httpError(w, status, "promote: %v", err)
+			return
+		}
+		body := liveState()
+		body["promoted"] = id
+		writeJSON(w, http.StatusOK, body)
+	})
+}
+
 // writeMetrics renders the Prometheus text exposition format by hand — the
 // stdlib-only constraint rules out the client library, and the format is
 // three lines per series.
-func writeMetrics(w http.ResponseWriter, d *Detector, state *serveState) {
+func writeMetrics(w http.ResponseWriter, d ScoreBackend, state *serveState) {
 	var b strings.Builder
 	metric := func(name, help, typ string, v float64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
@@ -210,6 +318,19 @@ func writeMetrics(w http.ResponseWriter, d *Detector, state *serveState) {
 	metric("phishinghook_scores_total", "Bytecodes scored by the detector.", "counter", float64(d.ScoreCount()))
 	metric("phishinghook_feature_cache_hits_total", "Feature-cache hits.", "counter", float64(hits))
 	metric("phishinghook_feature_cache_misses_total", "Feature-cache misses.", "counter", float64(misses))
+	if sw, ok := d.(*Swappable); ok {
+		writeLifecycleMetrics(&b, metric, sw.SwapStats())
+	}
+	if rt := state.retrainer; rt != nil {
+		s := rt.Stats()
+		metric("phishinghook_retrainer_observed_total", "Scores observed by the drift retrainer.", "counter", float64(s.Observed))
+		metric("phishinghook_retrainer_checks_total", "Drift evaluations performed.", "counter", float64(s.Checks))
+		metric("phishinghook_retrainer_triggers_total", "Drift triggers fired.", "counter", float64(s.Triggers))
+		metric("phishinghook_retrainer_retrains_total", "Retraining rounds completed.", "counter", float64(s.Retrains))
+		metric("phishinghook_retrainer_train_errors_total", "Retraining rounds failed.", "counter", float64(s.TrainErrors))
+		metric("phishinghook_retrainer_last_psi", "Most recent PSI between reference and live scores.", "gauge", s.LastPSI)
+		metric("phishinghook_retrainer_last_ks_p", "Most recent two-sample KS p-value.", "gauge", s.LastKSP)
+	}
 	if wt := state.watcher; wt != nil {
 		s := wt.Stats()
 		metric("phishinghook_monitor_cursor_block", "Last fully scored block.", "gauge", float64(s.Cursor))
@@ -229,9 +350,50 @@ func writeMetrics(w http.ResponseWriter, d *Detector, state *serveState) {
 			"phishinghook_monitor_score_latency_ms{quantile=\"0.5\"} %g\n"+
 			"phishinghook_monitor_score_latency_ms{quantile=\"0.99\"} %g\n",
 			s.ScoreP50MS, s.ScoreP99MS)
+		if s.ModelVersion != "" {
+			fmt.Fprintf(&b, "# HELP phishinghook_monitor_model_version Lifecycle version of the watcher's most recent score.\n"+
+				"# TYPE phishinghook_monitor_model_version gauge\n"+
+				"phishinghook_monitor_model_version{version=%q} 1\n", s.ModelVersion)
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())
+}
+
+// writeLifecycleMetrics renders the Swappable's per-version counters and
+// shadow divergence — the champion/challenger observability the admin flow
+// is steered by.
+func writeLifecycleMetrics(b *strings.Builder, metric func(name, help, typ string, v float64), s SwapStats) {
+	if s.Champion != "" {
+		fmt.Fprintf(b, "# HELP phishinghook_champion_info Live champion model version.\n"+
+			"# TYPE phishinghook_champion_info gauge\nphishinghook_champion_info{version=%q} 1\n", s.Champion)
+	}
+	if s.Challenger != "" {
+		fmt.Fprintf(b, "# HELP phishinghook_challenger_info Live shadow challenger model version.\n"+
+			"# TYPE phishinghook_challenger_info gauge\nphishinghook_challenger_info{version=%q} 1\n", s.Challenger)
+	}
+	metric("phishinghook_model_swaps_total", "Model hot-swaps performed on the serving handle.", "counter", float64(s.Swaps))
+	if len(s.Versions) > 0 {
+		series := func(name, help string, value func(VersionStats) float64, typ string) {
+			fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+			for _, v := range s.Versions {
+				fmt.Fprintf(b, "%s{version=%q} %g\n", name, v.Version, value(v))
+			}
+		}
+		series("phishinghook_version_scored_total", "Scores served per model version.",
+			func(v VersionStats) float64 { return float64(v.Scored) }, "counter")
+		series("phishinghook_version_flagged_total", "Phishing verdicts per model version.",
+			func(v VersionStats) float64 { return float64(v.Flagged) }, "counter")
+		series("phishinghook_version_shadow_scored_total", "Shadow (challenger) scores per model version.",
+			func(v VersionStats) float64 { return float64(v.ShadowScored) }, "counter")
+		series("phishinghook_version_precision_proxy", "High-confidence share of flags per version (ground-truth-free precision indicator).",
+			func(v VersionStats) float64 { return v.PrecisionProxy }, "gauge")
+	}
+	metric("phishinghook_shadow_compared_total", "Deployments scored by both champion and challenger.", "counter", float64(s.Shadow.Compared))
+	metric("phishinghook_shadow_disagreements_total", "Champion/challenger label disagreements.", "counter", float64(s.Shadow.Disagreements))
+	metric("phishinghook_shadow_mean_abs_delta", "Mean |P_champion - P_challenger| over compared traffic.", "gauge", s.Shadow.MeanAbsDelta)
+	metric("phishinghook_shadow_dropped_total", "Shadow replays shed on a full queue.", "counter", float64(s.Shadow.Dropped))
+	metric("phishinghook_shadow_errors_total", "Challenger score failures.", "counter", float64(s.Shadow.Errors))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

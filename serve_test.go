@@ -252,6 +252,146 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// testLifecycleServer serves a deployed champion through the lifecycle
+// handle with the admin surface mounted.
+func testLifecycleServer(t *testing.T) (*httptest.Server, *Lifecycle, *Dataset) {
+	t.Helper()
+	ds, _ := testCorpus(t)
+	d1, d2 := trainPair(t)
+	store, err := OpenModelStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := NewLifecycle(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lc.Handle().Close)
+	v1, err := lc.SaveVersion(d1, ModelMeta{TrainFrom: 0, TrainTo: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Deploy(v1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lc.SaveVersion(d2, ModelMeta{TrainFrom: 0, TrainTo: 12, Parent: v1.ID}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewScoreHandler(lc.Handle(), WithLifecycle(lc)))
+	t.Cleanup(srv.Close)
+	return srv, lc, ds
+}
+
+// TestAdminLifecycleFlow drives the champion/challenger cycle over HTTP:
+// versions lists the store, reload installs the manifest's challenger,
+// promote flips it live — and /score verdicts carry the serving version
+// throughout.
+func TestAdminLifecycleFlow(t *testing.T) {
+	srv, lc, ds := testLifecycleServer(t)
+
+	getJSON := func(t *testing.T, method, path string, wantStatus int) map[string]any {
+		t.Helper()
+		req, err := http.NewRequest(method, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s %s: status %d, want %d", method, path, resp.StatusCode, wantStatus)
+		}
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	// The store holds two versions; v0001 serves.
+	body := getJSON(t, http.MethodGet, "/admin/versions", http.StatusOK)
+	if body["champion"] != "v0001" {
+		t.Fatalf("champion = %v", body["champion"])
+	}
+	if n := len(body["versions"].([]any)); n != 2 {
+		t.Fatalf("listed %d versions, want 2", n)
+	}
+	_, out := postScore(t, srv.URL, ScoreRequest{Bytecode: EncodeHex(ds.Samples[0].Bytecode)})
+	if out.Verdict.ModelVersion != "v0001" {
+		t.Fatalf("verdict version %q, want v0001", out.Verdict.ModelVersion)
+	}
+
+	// Promote with no challenger is a conflict.
+	getJSON(t, http.MethodPost, "/admin/promote", http.StatusConflict)
+
+	// An out-of-band manifest edit (the retrain CLI) + reload installs the
+	// challenger; promote then flips it.
+	if err := lc.Store().SetChallenger("v0002"); err != nil {
+		t.Fatal(err)
+	}
+	body = getJSON(t, http.MethodPost, "/admin/reload", http.StatusOK)
+	if body["changed"] != true || body["challenger"] != "v0002" {
+		t.Fatalf("reload reply %v", body)
+	}
+	body = getJSON(t, http.MethodPost, "/admin/promote", http.StatusOK)
+	if body["promoted"] != "v0002" || body["champion"] != "v0002" {
+		t.Fatalf("promote reply %v", body)
+	}
+	_, out = postScore(t, srv.URL, ScoreRequest{Bytecode: EncodeHex(ds.Samples[0].Bytecode)})
+	if out.Verdict.ModelVersion != "v0002" {
+		t.Fatalf("post-promote verdict version %q", out.Verdict.ModelVersion)
+	}
+
+	// Wrong methods are rejected.
+	getJSON(t, http.MethodPost, "/admin/versions", http.StatusMethodNotAllowed)
+	getJSON(t, http.MethodGet, "/admin/reload", http.StatusMethodNotAllowed)
+
+	// The store manifest agrees with the live handle.
+	champ, ok := lc.Store().Champion()
+	if !ok || champ.ID != "v0002" {
+		t.Fatalf("store champion %v ok=%v", champ, ok)
+	}
+}
+
+// TestAdminEndpointsGated ensures the admin surface only exists with
+// WithLifecycle, and that lifecycle metrics appear when serving a handle.
+func TestAdminEndpointsGated(t *testing.T) {
+	srv, _ := testServer(t) // plain detector handler
+	resp, err := http.Get(srv.URL + "/admin/versions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ungated /admin/versions status %d, want 404", resp.StatusCode)
+	}
+
+	lcSrv, _, ds := testLifecycleServer(t)
+	postScore(t, lcSrv.URL, ScoreRequest{Bytecode: EncodeHex(ds.Samples[0].Bytecode)})
+	mresp, err := http.Get(lcSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	blob, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(blob)
+	for _, want := range []string{
+		`phishinghook_champion_info{version="v0001"} 1`,
+		`phishinghook_version_scored_total{version="v0001"}`,
+		"phishinghook_model_swaps_total",
+		"phishinghook_shadow_compared_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("lifecycle metrics missing %q", want)
+		}
+	}
+}
+
 func TestPprofEndpointsGated(t *testing.T) {
 	ds, _ := testCorpus(t)
 	spec, err := ModelByName("Random Forest")

@@ -29,6 +29,14 @@ type SimulationConfig struct {
 	SignalStrength float64
 	LabelNoise     float64
 	DriftStrength  float64
+	// WaveStrength and WaveStart enable the second phishing wave: from
+	// month WaveStart on, a share of phishing contracts (ramping to
+	// WaveStrength by the final month) switches to the stealth v3 profile
+	// that drops the early drain markers — the corpus regime where a
+	// frozen detector genuinely decays and drift-triggered retraining
+	// recovers (see synth.Config). 0 disables the wave.
+	WaveStrength float64
+	WaveStart    int
 	// ProxyFraction is the share of unique bytecodes that are EIP-1167
 	// stubs.
 	ProxyFraction float64
@@ -86,6 +94,8 @@ func StartSimulation(cfg SimulationConfig) (*Simulation, error) {
 	genCfg.SignalStrength = cfg.SignalStrength
 	genCfg.LabelNoise = cfg.LabelNoise
 	genCfg.DriftStrength = cfg.DriftStrength
+	genCfg.WaveStrength = cfg.WaveStrength
+	genCfg.WaveStart = cfg.WaveStart
 	gen := synth.NewGenerator(genCfg)
 	tl := synth.ScaledTimeline(cfg.ObtainedPhishing, cfg.UniquePhishing)
 	benign := chain.UniformBenign(cfg.Benign)
@@ -183,6 +193,17 @@ func (s *Simulation) ExplorerURL() string { return s.explSrv.URL }
 // StudyWindow returns the first and last block of the 13-month window.
 func (s *Simulation) StudyWindow() (from, to uint64) {
 	return chain.MonthStartBlock(0), chain.MonthStartBlock(synth.NumMonths-1) + chain.BlocksPerMonth - 1
+}
+
+// MonthWindow returns the first and last block of study month m — the
+// boundaries month-by-month replay scenarios (the sentinel's retrain loop)
+// advance over.
+func (s *Simulation) MonthWindow(m int) (from, to uint64, err error) {
+	if m < 0 || m >= synth.NumMonths {
+		return 0, 0, fmt.Errorf("phishinghook: MonthWindow month %d outside [0,%d)", m, synth.NumMonths)
+	}
+	from = chain.MonthStartBlock(m)
+	return from, from + chain.BlocksPerMonth - 1, nil
 }
 
 // NumContracts returns the simulated chain population.

@@ -1,0 +1,509 @@
+package phishinghook
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// highConfBar is the confidence above which a phishing verdict counts toward
+// the per-version precision proxy: with no ground truth online, the fraction
+// of flags the model is very sure about is the cheapest leading indicator of
+// precision drift between versions.
+const highConfBar = 0.9
+
+// shadowQueueSize bounds the champion→challenger replay queue. Shadow
+// scoring is best-effort: when the challenger falls behind, jobs are shed
+// (counted) rather than ever slowing the serving path.
+const shadowQueueSize = 1024
+
+// shadowDrainEvery is the drainer's wake cadence and shadowDrainBatch its
+// per-wake job cap. Replays tolerate millisecond latency — divergence stats
+// are read by operators, not by the serving path — so the drainer sleeps on
+// a ticker instead of parking on the queue: a parked receiver would turn
+// every scorer's channel send into a goroutine wake-up (~10% on the cached
+// Score path); with nobody parked, the send is a plain buffer write. The
+// batch cap keeps each drain slice short so the drainer never monopolizes a
+// core against the serving path; sustained traffic beyond
+// batch/interval (≈500k replays/sec) sheds to the drop counter.
+const (
+	shadowDrainEvery = 500 * time.Microsecond
+	shadowDrainBatch = 256
+)
+
+// versionCtr is one model version's serving counters. Counters live in a
+// registry keyed by version so they survive swaps — a demoted version's
+// totals remain visible on /metrics.
+type versionCtr struct {
+	scored   atomic.Uint64
+	flagged  atomic.Uint64
+	highConf atomic.Uint64
+	shadow   atomic.Uint64
+}
+
+// challengerState pairs a shadow model with its counters.
+type challengerState struct {
+	version string
+	det     *Detector
+	ctr     *versionCtr
+}
+
+// deployment is the immutable unit a Swappable serves: one champion (and
+// optionally one challenger) with their counters. Swaps build a fresh
+// deployment and publish it with a single pointer store.
+type deployment struct {
+	version    string
+	det        *Detector
+	ctr        *versionCtr
+	challenger *challengerState
+}
+
+// shadowJob replays one scored bytecode against the challenger.
+type shadowJob struct {
+	code   []byte
+	champP float64
+}
+
+// Swappable is an atomically swappable serving handle: every scoring surface
+// (HTTP handler, Watchtower, embedders) scores through it, and installing a
+// new model is one atomic pointer store — in-flight scores finish on the
+// version they started with, new scores land on the new version, and nothing
+// blocks or drops.
+//
+// A Swappable optionally carries a challenger that re-scores the same
+// traffic asynchronously (shadow mode): divergence between champion and
+// challenger accumulates in ShadowStats without adding latency to the
+// serving path beyond a non-blocking channel send.
+//
+// Score, ScoreHex and ScoreBatch are safe for concurrent use; Swap,
+// SetChallenger and Promote may run concurrently with scoring.
+type Swappable struct {
+	cur   atomic.Pointer[deployment]
+	swaps atomic.Uint64
+
+	// onScore, when set, observes every champion probability — the drift
+	// detector's tap into live traffic.
+	onScore atomic.Pointer[func(p float64)]
+
+	mu       sync.Mutex // serializes deployment mutations + counters registry
+	counters map[string]*versionCtr
+
+	shadowOnce sync.Once
+	closeOnce  sync.Once
+	shadowQ    chan shadowJob
+	shadowStop chan struct{}
+
+	shadowEnq     atomic.Uint64
+	shadowDone    atomic.Uint64
+	shadowDropped atomic.Uint64
+	shadowErrors  atomic.Uint64
+
+	shadowMu     sync.Mutex
+	shadowCmp    uint64
+	shadowDis    uint64
+	shadowAbsSum float64
+}
+
+// NewSwappable builds a handle serving det under the given version label.
+// det may be nil for an empty handle that errors on Score until the first
+// Swap (the lifecycle manager's "store not yet deployed" state).
+func NewSwappable(version string, det *Detector) *Swappable {
+	s := &Swappable{
+		counters:   make(map[string]*versionCtr),
+		shadowQ:    make(chan shadowJob, shadowQueueSize),
+		shadowStop: make(chan struct{}),
+	}
+	if det != nil {
+		s.cur.Store(&deployment{version: version, det: det, ctr: s.ctrFor(version)})
+	}
+	return s
+}
+
+// ctrFor returns the (persistent) counter block for a version.
+func (s *Swappable) ctrFor(version string) *versionCtr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[version]
+	if !ok {
+		c = &versionCtr{}
+		s.counters[version] = c
+	}
+	return c
+}
+
+// Swap installs det as the serving champion under version, preserving any
+// challenger. The swap is one atomic pointer store: concurrent Score calls
+// either complete on the old deployment or start on the new one; none fail.
+func (s *Swappable) Swap(version string, det *Detector) {
+	if det == nil {
+		return
+	}
+	ctr := s.ctrFor(version)
+	s.mu.Lock()
+	old := s.cur.Load()
+	next := &deployment{version: version, det: det, ctr: ctr}
+	if old != nil {
+		next.challenger = old.challenger
+	}
+	s.cur.Store(next)
+	s.mu.Unlock()
+	s.swaps.Add(1)
+}
+
+// SetChallenger installs det as the shadow challenger under version; a nil
+// det clears shadow mode. The first challenger starts the shadow workers.
+// Divergence stats (compared/disagreements/mean |ΔP|) are reset on every
+// install — they describe one champion/challenger pairing, so a new shadow
+// must not inherit its predecessor's numbers. (A replay already in flight
+// when the pairing changes may still land one comparison on the new pair;
+// queue-level drop/error counters stay cumulative.)
+func (s *Swappable) SetChallenger(version string, det *Detector) error {
+	s.mu.Lock()
+	old := s.cur.Load()
+	if old == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("phishinghook: cannot shadow on an empty handle")
+	}
+	next := &deployment{version: old.version, det: old.det, ctr: old.ctr}
+	if det != nil {
+		next.challenger = &challengerState{version: version, det: det, ctr: s.ctrForLocked(version)}
+	}
+	s.cur.Store(next)
+	s.mu.Unlock()
+	if det != nil {
+		s.shadowMu.Lock()
+		s.shadowCmp, s.shadowDis, s.shadowAbsSum = 0, 0, 0
+		s.shadowMu.Unlock()
+	}
+	if det != nil {
+		s.shadowOnce.Do(func() { go s.shadowLoop() })
+	}
+	return nil
+}
+
+// ctrForLocked is ctrFor for callers already holding s.mu.
+func (s *Swappable) ctrForLocked(version string) *versionCtr {
+	c, ok := s.counters[version]
+	if !ok {
+		c = &versionCtr{}
+		s.counters[version] = c
+	}
+	return c
+}
+
+// Promote flips the challenger into the champion slot and clears shadow
+// mode, returning the promoted version. In-flight shadow jobs against the
+// old pairing are skipped harmlessly.
+func (s *Swappable) Promote() (string, error) {
+	s.mu.Lock()
+	old := s.cur.Load()
+	if old == nil || old.challenger == nil {
+		s.mu.Unlock()
+		return "", fmt.Errorf("phishinghook: no challenger to promote")
+	}
+	ch := old.challenger
+	s.cur.Store(&deployment{version: ch.version, det: ch.det, ctr: ch.ctr})
+	s.mu.Unlock()
+	s.swaps.Add(1)
+	return ch.version, nil
+}
+
+// Champion returns the serving version and detector ("" and nil when the
+// handle is empty).
+func (s *Swappable) Champion() (string, *Detector) {
+	dep := s.cur.Load()
+	if dep == nil {
+		return "", nil
+	}
+	return dep.version, dep.det
+}
+
+// Challenger returns the shadow version and detector, if one is installed.
+func (s *Swappable) Challenger() (string, *Detector, bool) {
+	dep := s.cur.Load()
+	if dep == nil || dep.challenger == nil {
+		return "", nil, false
+	}
+	return dep.challenger.version, dep.challenger.det, true
+}
+
+// SetOnScore installs a per-score observer of the champion's P(phishing)
+// (nil clears it). The hook runs inline on the scoring path, so it must be
+// cheap and must not block — the drift Retrainer's Observe qualifies.
+func (s *Swappable) SetOnScore(fn func(p float64)) {
+	if fn == nil {
+		s.onScore.Store(nil)
+		return
+	}
+	s.onScore.Store(&fn)
+}
+
+// account stamps the version, bumps counters, feeds the score hook and
+// enqueues the shadow replay. It allocates nothing — the cached Score path
+// through a Swappable stays 0 allocs/op.
+func (s *Swappable) account(dep *deployment, v *Verdict, code []byte) {
+	v.ModelVersion = dep.version
+	dep.ctr.scored.Add(1)
+	if v.Label == Phishing {
+		dep.ctr.flagged.Add(1)
+		if v.Confidence >= highConfBar {
+			dep.ctr.highConf.Add(1)
+		}
+	}
+	if hook := s.onScore.Load(); hook != nil {
+		(*hook)(v.PhishProb())
+	}
+	if dep.challenger != nil {
+		// The enqueue counter is raised before the send so FlushShadow's
+		// done >= enq comparison can never observe a scored-but-uncounted
+		// job and return while work is still queued.
+		s.shadowEnq.Add(1)
+		select {
+		case s.shadowQ <- shadowJob{code: code, champP: v.PhishProb()}:
+		default:
+			s.shadowEnq.Add(^uint64(0))
+			s.shadowDropped.Add(1)
+		}
+	}
+}
+
+// Score classifies one bytecode through the current champion.
+func (s *Swappable) Score(ctx context.Context, code []byte) (Verdict, error) {
+	dep := s.cur.Load()
+	if dep == nil {
+		return Verdict{}, fmt.Errorf("phishinghook: no model deployed")
+	}
+	v, err := dep.det.Score(ctx, code)
+	if err != nil {
+		return Verdict{}, err
+	}
+	s.account(dep, &v, code)
+	return v, nil
+}
+
+// ScoreHex classifies 0x-prefixed hex bytecode through the current champion.
+func (s *Swappable) ScoreHex(ctx context.Context, hexCode string) (Verdict, error) {
+	code, err := DecodeHex(hexCode)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return s.Score(ctx, code)
+}
+
+// ScoreBatch classifies a batch through the current champion's worker pool.
+// The whole batch is attributed to one deployment — a concurrent swap never
+// splits a batch across versions.
+func (s *Swappable) ScoreBatch(ctx context.Context, codes [][]byte) ([]Verdict, error) {
+	dep := s.cur.Load()
+	if dep == nil {
+		return nil, fmt.Errorf("phishinghook: no model deployed")
+	}
+	out, err := dep.det.ScoreBatch(ctx, codes)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		s.account(dep, &out[i], codes[i])
+	}
+	return out, nil
+}
+
+// ModelName returns the champion's model display name.
+func (s *Swappable) ModelName() string {
+	dep := s.cur.Load()
+	if dep == nil {
+		return ""
+	}
+	return dep.det.ModelName()
+}
+
+// FeatureDim returns the champion featurizer's vector length.
+func (s *Swappable) FeatureDim() int {
+	dep := s.cur.Load()
+	if dep == nil {
+		return 0
+	}
+	return dep.det.FeatureDim()
+}
+
+// CacheStats returns the champion's score-cache counters.
+func (s *Swappable) CacheStats() (hits, misses uint64) {
+	dep := s.cur.Load()
+	if dep == nil {
+		return 0, 0
+	}
+	return dep.det.CacheStats()
+}
+
+// ScoreCount returns the champion detector's cumulative score count.
+func (s *Swappable) ScoreCount() uint64 {
+	dep := s.cur.Load()
+	if dep == nil {
+		return 0
+	}
+	return dep.det.ScoreCount()
+}
+
+// shadowLoop periodically drains the replay queue against whatever
+// challenger is installed when each job surfaces. It deliberately never
+// blocks on the queue itself (see shadowDrainEvery).
+func (s *Swappable) shadowLoop() {
+	t := time.NewTicker(shadowDrainEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.shadowStop:
+			return
+		case <-t.C:
+		}
+		for n := 0; n < shadowDrainBatch; n++ {
+			select {
+			case job := <-s.shadowQ:
+				s.runShadow(job)
+			default:
+				n = shadowDrainBatch
+			}
+		}
+	}
+}
+
+func (s *Swappable) runShadow(job shadowJob) {
+	defer s.shadowDone.Add(1)
+	dep := s.cur.Load()
+	if dep == nil || dep.challenger == nil {
+		return // challenger cleared or promoted while the job was queued
+	}
+	ch := dep.challenger
+	v, err := ch.det.Score(context.Background(), job.code)
+	if err != nil {
+		s.shadowErrors.Add(1)
+		return
+	}
+	ch.ctr.shadow.Add(1)
+	p := v.PhishProb()
+	s.shadowMu.Lock()
+	s.shadowCmp++
+	if (p >= 0.5) != (job.champP >= 0.5) {
+		s.shadowDis++
+	}
+	s.shadowAbsSum += math.Abs(p - job.champP)
+	s.shadowMu.Unlock()
+}
+
+// FlushShadow blocks until every enqueued shadow job has been processed or
+// dropped, or the context expires — so divergence stats can be read after a
+// known traffic slice (tests, the sentinel's per-month accounting).
+func (s *Swappable) FlushShadow(ctx context.Context) error {
+	for {
+		if s.shadowDone.Load() >= s.shadowEnq.Load() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Close stops the shadow workers. Scoring remains usable; only shadow
+// replays stop being consumed (and are shed via the queue's drop path).
+// Safe to call multiple times, including concurrently.
+func (s *Swappable) Close() {
+	s.closeOnce.Do(func() { close(s.shadowStop) })
+}
+
+// VersionStats is one version's cumulative serving counters.
+type VersionStats struct {
+	// Version is the store-assigned id this deployment served under.
+	Version string `json:"version"`
+	// Scored counts champion scores, Flagged phishing verdicts, HighConf
+	// flags at confidence >= 0.9.
+	Scored   uint64 `json:"scored"`
+	Flagged  uint64 `json:"flagged"`
+	HighConf uint64 `json:"high_conf"`
+	// ShadowScored counts scores this version produced as challenger.
+	ShadowScored uint64 `json:"shadow_scored"`
+	// PrecisionProxy is HighConf/Flagged — a ground-truth-free precision
+	// indicator comparable across versions.
+	PrecisionProxy float64 `json:"precision_proxy"`
+}
+
+// ShadowStats aggregates champion/challenger divergence.
+type ShadowStats struct {
+	// Compared counts replays scored by both; Disagreements label flips.
+	Compared      uint64 `json:"compared"`
+	Disagreements uint64 `json:"disagreements"`
+	// MeanAbsDelta is the mean |P_champion - P_challenger|.
+	MeanAbsDelta float64 `json:"mean_abs_delta"`
+	// DisagreeRate is Disagreements/Compared.
+	DisagreeRate float64 `json:"disagree_rate"`
+	// Dropped counts replays shed on a full queue, Errors challenger score
+	// failures, Pending jobs enqueued but not yet scored.
+	Dropped uint64 `json:"dropped"`
+	Errors  uint64 `json:"errors"`
+	Pending uint64 `json:"pending"`
+}
+
+// SwapStats snapshots the handle: live pointers, swap count, per-version
+// counters and shadow divergence.
+type SwapStats struct {
+	Champion   string         `json:"champion"`
+	Challenger string         `json:"challenger,omitempty"`
+	Swaps      uint64         `json:"swaps"`
+	Versions   []VersionStats `json:"versions"`
+	Shadow     ShadowStats    `json:"shadow"`
+}
+
+// SwapStats snapshots the handle's serving state.
+func (s *Swappable) SwapStats() SwapStats {
+	out := SwapStats{Swaps: s.swaps.Load()}
+	if dep := s.cur.Load(); dep != nil {
+		out.Champion = dep.version
+		if dep.challenger != nil {
+			out.Challenger = dep.challenger.version
+		}
+	}
+	s.mu.Lock()
+	versions := make([]string, 0, len(s.counters))
+	for v := range s.counters {
+		versions = append(versions, v)
+	}
+	sort.Strings(versions)
+	for _, ver := range versions {
+		c := s.counters[ver]
+		vs := VersionStats{
+			Version:      ver,
+			Scored:       c.scored.Load(),
+			Flagged:      c.flagged.Load(),
+			HighConf:     c.highConf.Load(),
+			ShadowScored: c.shadow.Load(),
+		}
+		if vs.Flagged > 0 {
+			vs.PrecisionProxy = float64(vs.HighConf) / float64(vs.Flagged)
+		}
+		out.Versions = append(out.Versions, vs)
+	}
+	s.mu.Unlock()
+	s.shadowMu.Lock()
+	out.Shadow = ShadowStats{
+		Compared:      s.shadowCmp,
+		Disagreements: s.shadowDis,
+		Dropped:       s.shadowDropped.Load(),
+		Errors:        s.shadowErrors.Load(),
+	}
+	if s.shadowCmp > 0 {
+		out.Shadow.MeanAbsDelta = s.shadowAbsSum / float64(s.shadowCmp)
+		out.Shadow.DisagreeRate = float64(s.shadowDis) / float64(s.shadowCmp)
+	}
+	s.shadowMu.Unlock()
+	enq, done := s.shadowEnq.Load(), s.shadowDone.Load()
+	if enq > done {
+		out.Shadow.Pending = enq - done
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package phishinghook
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"log"
 
@@ -28,22 +29,41 @@ type (
 	JSONLSink = monitor.JSONLSink
 )
 
-// detectorScorer adapts a Detector onto the monitor's Scorer contract.
-type detectorScorer struct{ d *Detector }
+// CodeScorer is the scoring surface a watcher drives: both *Detector (one
+// immutable model) and *Swappable (the lifecycle handle, hot-swappable under
+// live traffic) satisfy it.
+type CodeScorer interface {
+	Score(ctx context.Context, code []byte) (Verdict, error)
+}
 
-func (s detectorScorer) ScoreCode(ctx context.Context, code []byte) (monitor.Verdict, error) {
-	v, err := s.d.Score(ctx, code)
+// codeScorer adapts a CodeScorer onto the monitor's Scorer contract,
+// forwarding the model version so alerts and checkpoints stay attributable
+// across swaps.
+type codeScorer struct{ s CodeScorer }
+
+func (a codeScorer) ScoreCode(ctx context.Context, code []byte) (monitor.Verdict, error) {
+	v, err := a.s.Score(ctx, code)
 	if err != nil {
 		return monitor.Verdict{}, err
 	}
-	return monitor.Verdict{Phishing: v.IsPhishing(), Confidence: v.Confidence, Model: v.ModelName}, nil
+	return monitor.Verdict{
+		Phishing:   v.IsPhishing(),
+		Confidence: v.Confidence,
+		Model:      v.ModelName,
+		Version:    v.ModelVersion,
+	}, nil
 }
 
 // NewWatcher builds a Watchtower watcher that scores new deployments through
-// the detector. The detector's feature cache and concurrent Score path are
-// shared with any other serving traffic on the same Detector.
-func NewWatcher(d *Detector, cfg WatcherConfig) (*Watcher, error) {
-	return monitor.New(detectorScorer{d}, cfg)
+// the given surface — a *Detector, or a *Swappable handle so the serving
+// model can be hot-swapped mid-watch without dropping a score. The surface's
+// feature cache and concurrent Score path are shared with any other serving
+// traffic on it.
+func NewWatcher(s CodeScorer, cfg WatcherConfig) (*Watcher, error) {
+	if s == nil {
+		return nil, fmt.Errorf("phishinghook: NewWatcher needs a scorer")
+	}
+	return monitor.New(codeScorer{s}, cfg)
 }
 
 // NewJSONLSink wraps a writer that receives one JSON alert per line.

@@ -76,7 +76,7 @@ func TestWatchLiveChainEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scorer := &countingScorer{inner: detectorScorer{det}, counts: make(map[[32]byte]int)}
+	scorer := &countingScorer{inner: codeScorer{det}, counts: make(map[[32]byte]int)}
 
 	var alertMu sync.Mutex
 	var alerts []Alert
