@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	ph "github.com/phishinghook/phishinghook"
+)
+
+// Backfill-gate parameters. The endpoints are rate-limited so the comparison
+// is capacity-bound, not CPU-bound: a single client tops out at one
+// endpoint's quota regardless of runner speed, while the multi-endpoint
+// plane can draw on every quota at once — the same physics as real
+// providers' per-key limits, and the reason the relative gate stays
+// meaningful on a slow 1-core CI runner where absolute contracts/sec would
+// flake.
+const (
+	backfillEndpoints   = 3
+	backfillShards      = 4
+	backfillRateItems   = 1500 // sustained eth_getCode items/sec per endpoint
+	backfillRateBurst   = 192
+	backfillRounds      = 3
+	backfillMinSpeedup  = 2.0
+	backfillUniquePhish = 1200
+)
+
+// backfillRound is one interleaved baseline/backfill measurement.
+type backfillRound struct {
+	BaselineCPS float64 `json:"baseline_contracts_per_sec"`
+	BackfillCPS float64 `json:"backfill_contracts_per_sec"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// backfillReport is the BENCH_backfill.json envelope consumed by the CI
+// regression guard.
+type backfillReport struct {
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Seed      int64   `json:"seed"`
+	Endpoints int     `json:"endpoints"`
+	Shards    int     `json:"shards"`
+	RateLimit float64 `json:"rate_limit_items_per_sec"`
+	Contracts int     `json:"contracts_on_chain"`
+
+	Rounds []backfillRound `json:"rounds"`
+	// BaselineCPS/BackfillCPS are each the best round (quietest-round
+	// convention: on a loaded single-core runner any one round can absorb an
+	// unrelated preemption).
+	BaselineCPS float64 `json:"baseline_contracts_per_sec"`
+	BackfillCPS float64 `json:"backfill_contracts_per_sec"`
+	// Speedup is the best per-round paired ratio — the gated number.
+	Speedup float64 `json:"speedup"`
+}
+
+// runBackfillBench measures single-client watcher ingestion vs sharded
+// multi-endpoint backfill over the same rate-limited simulated RPC plane,
+// writes BENCH_backfill.json, and fails when the plane doesn't deliver at
+// least backfillMinSpeedup× the single client.
+func runBackfillBench(seed int64, path string) error {
+	simCfg := ph.DefaultSimulationConfig(seed)
+	simCfg.ObtainedPhishing = 2 * backfillUniquePhish
+	simCfg.UniquePhishing = backfillUniquePhish
+	simCfg.Benign = backfillUniquePhish
+	sim, err := ph.StartSimulation(simCfg)
+	if err != nil {
+		return err
+	}
+	defer sim.Close()
+	spec, err := ph.ModelByName("Random Forest")
+	if err != nil {
+		return err
+	}
+	det, err := ph.Train(spec, sim.Dataset(), ph.WithDetectorSeed(seed))
+	if err != nil {
+		return err
+	}
+	// Warm the score cache over the whole chain population so neither run
+	// pays featurization while the other serves from cache.
+	ctx := context.Background()
+	raw := sim.RawDataset()
+	codes := make([][]byte, raw.Len())
+	for i, s := range raw.Samples {
+		codes[i] = s.Bytecode
+	}
+	if _, err := det.ScoreBatch(ctx, codes); err != nil {
+		return err
+	}
+
+	urls := sim.AddRPCEndpoints(backfillEndpoints, backfillRateItems, backfillRateBurst)
+	from, _ := sim.StudyWindow()
+	tail := sim.TailBlock()
+	// Coverage rate, not observation rate: rescans of a failed window
+	// re-observe contracts, so ContractsSeen/elapsed would flatter a
+	// thrashing run. What matters is how fast the whole population got
+	// judged.
+	population := float64(sim.NumContracts())
+
+	baselineRun := func() (float64, error) {
+		w, err := ph.NewWatcher(det, ph.WatcherConfig{
+			RPCURL:       urls[0],
+			ExplorerURL:  sim.ExplorerURL(),
+			PollInterval: time.Millisecond,
+			StartBlock:   from - 1,
+			StopAtBlock:  tail,
+		})
+		if err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		if err := w.Run(ctx); err != nil {
+			return 0, err
+		}
+		return population / time.Since(t0).Seconds(), nil
+	}
+	backfillRun := func() (float64, error) {
+		b, err := ph.NewBackfill(det, ph.BackfillConfig{
+			RPCURLs:     urls,
+			ExplorerURL: sim.ExplorerURL(),
+			From:        from,
+			To:          tail,
+			Shards:      backfillShards,
+		})
+		if err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		if err := b.Run(ctx); err != nil {
+			return 0, err
+		}
+		return population / time.Since(t0).Seconds(), nil
+	}
+
+	report := backfillReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Seed: seed,
+		Endpoints: backfillEndpoints, Shards: backfillShards,
+		RateLimit: backfillRateItems, Contracts: sim.NumContracts(),
+	}
+	// Interleave the two measurements (A/B per round): scheduler and load
+	// drift on a shared runner then hits both alike, and the gate compares
+	// within rounds.
+	for round := 0; round < backfillRounds; round++ {
+		base, err := baselineRun()
+		if err != nil {
+			return fmt.Errorf("baseline round %d: %w", round, err)
+		}
+		multi, err := backfillRun()
+		if err != nil {
+			return fmt.Errorf("backfill round %d: %w", round, err)
+		}
+		r := backfillRound{BaselineCPS: base, BackfillCPS: multi, Speedup: multi / base}
+		report.Rounds = append(report.Rounds, r)
+		fmt.Printf("round %d: baseline %7.0f contracts/sec, backfill %7.0f contracts/sec (%.2fx)\n",
+			round, base, multi, r.Speedup)
+		if base > report.BaselineCPS {
+			report.BaselineCPS = base
+		}
+		if multi > report.BackfillCPS {
+			report.BackfillCPS = multi
+		}
+		if r.Speedup > report.Speedup {
+			report.Speedup = r.Speedup
+		}
+	}
+	fmt.Printf("multi-endpoint backfill speedup vs single-client watcher: %.2fx (gate: >= %.1fx)\n",
+		report.Speedup, backfillMinSpeedup)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	if report.Speedup < backfillMinSpeedup {
+		return fmt.Errorf("backfill regression: multi-endpoint speedup %.2fx below the %.1fx gate",
+			report.Speedup, backfillMinSpeedup)
+	}
+	return nil
+}

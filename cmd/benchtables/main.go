@@ -28,6 +28,7 @@ func main() {
 	n := flag.Int("n", 0, "override unique-phishing count (quick mode sizing)")
 	hotpath := flag.String("hotpath", "", "write featurize/score hot-path benchmarks to this JSON file and exit (fails if the cached Score path allocates)")
 	lifecycleOut := flag.String("lifecycle", "", "write model-lifecycle benchmarks (swap latency, shadow-mode overhead) to this JSON file and exit (fails if shadow overhead exceeds 10%)")
+	backfillOut := flag.String("backfill", "", "write backfill-vs-watcher throughput benchmarks over a rate-limited RPC plane to this JSON file and exit (fails if the multi-endpoint speedup is below 2x)")
 	flag.Parse()
 
 	if *hotpath != "" {
@@ -38,6 +39,12 @@ func main() {
 	}
 	if *lifecycleOut != "" {
 		if err := runLifecycle(*seed, *lifecycleOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *backfillOut != "" {
+		if err := runBackfillBench(*seed, *backfillOut); err != nil {
 			log.Fatal(err)
 		}
 		return

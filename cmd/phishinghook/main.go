@@ -89,6 +89,8 @@ func main() {
 		err = cmdServe(args)
 	case "watch":
 		err = cmdWatch(args)
+	case "backfill":
+		err = cmdBackfill(args)
 	case "retrain":
 		err = cmdRetrain(args)
 	default:
@@ -101,11 +103,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate|train|score|serve|watch|retrain> [flags]
+	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate|train|score|serve|watch|backfill|retrain> [flags]
 run "phishinghook <command> -h" for command flags
 
 watch follows the chain head and scores every new deployment, e.g.:
   phishinghook watch -months 1 -threshold 0.9 -alerts alerts.jsonl -checkpoint watch.cursor
+
+backfill scores every historical deployment in a block range, sharded over
+an adaptive multi-endpoint fetch plane and resumable from its checkpoint:
+  phishinghook backfill -from 18250000 -to 19000000 -shards 8 \
+      -endpoints https://node-a,https://node-b -checkpoint backfill.cursor
 
 retrain trains a fresh version into a -store directory as the shadow
 challenger; a server on the same store picks it up via POST /admin/reload
@@ -710,9 +717,158 @@ func cmdServe(args []string) error {
 	return http.ListenAndServe(*listen, ph.NewScoreHandler(backend, opts...))
 }
 
+// cmdBackfill scans an arbitrary historical block range — the paper's own
+// dataset is a historical crawl, and this is that workload at chain scale:
+// shard the range, fan fetches over every available endpoint, score each
+// unique bytecode once, and survive restarts via the shard checkpoint.
+func cmdBackfill(args []string) error {
+	fs := flag.NewFlagSet("backfill", flag.ExitOnError)
+	endpointsFlag := fs.String("endpoints", "", "comma-separated JSON-RPC endpoints (default: in-process simulation)")
+	explURL := fs.String("explorer", "", "explorer endpoint (default: in-process simulation)")
+	seed := fs.Int64("seed", 1, "simulation / experiment seed")
+	simEndpoints := fs.Int("sim-endpoints", 3, "simulated RPC endpoints to stand up when -endpoints is empty")
+	from := fs.Uint64("from", 0, "first block of the range (default: study-window start in simulation)")
+	to := fs.Uint64("to", 0, "last block of the range (default: chain tail in simulation)")
+	shards := fs.Int("shards", 4, "parallel range shards")
+	window := fs.Uint64("window", 0, "blocks per registry-listing window (default 100000)")
+	detPath := fs.String("detector", "", "saved detector path (default: train fresh on the simulation)")
+	model := fs.String("model", "Random Forest", "model to train when no -detector is given")
+	storeDir := fs.String("store", "", "model-store directory: score through the lifecycle handle (champion serves)")
+	checkpoint := fs.String("checkpoint", "", "shard-cursor checkpoint file (resume after restart; empty = none)")
+	alertsPath := fs.String("alerts", "", "append alerts to this JSONL file (always also logged)")
+	threshold := fs.Float64("threshold", 0.8, "minimum P(phishing) that fires an alert")
+	queue := fs.Int("queue", 1024, "score-queue bound (pipeline backpressure)")
+	fetchers := fs.Int("fetchers", 0, "bytecode-fetch pool size (default 16)")
+	batch := fs.Int("batch", 0, "eth_getCode calls per JSON-RPC batch (default 64)")
+	hedge := fs.Duration("hedge", 0, "re-issue straggling fetches on a second endpoint after this delay (0 = off)")
+	listen := fs.String("listen", "", "optional HTTP address exposing /metrics and /healthz for this backfill")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		sim  *ph.Simulation
+		urls []string
+		err  error
+	)
+	if *endpointsFlag != "" && *explURL != "" {
+		for _, u := range strings.Split(*endpointsFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+	} else {
+		sim, err = ph.StartSimulation(ph.DefaultSimulationConfig(*seed))
+		if err != nil {
+			return err
+		}
+		defer sim.Close()
+		*explURL = sim.ExplorerURL()
+		n := *simEndpoints
+		if n < 1 {
+			n = 1
+		}
+		urls = sim.AddRPCEndpoints(n, 0, 0)
+		if *from == 0 {
+			*from, _ = sim.StudyWindow()
+		}
+		if *to == 0 {
+			*to = sim.TailBlock()
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("no RPC endpoints")
+	}
+	if *to == 0 || *from > *to {
+		return fmt.Errorf("need a valid -from/-to block range (got [%d, %d])", *from, *to)
+	}
+
+	var scorer ph.CodeScorer
+	var modelName string
+	if *storeDir != "" {
+		lc, err := openLifecycle(*storeDir, *detPath, *model, *seed, sim, urls[0])
+		if err != nil {
+			return err
+		}
+		scorer = lc.Handle()
+		champ, _ := lc.Handle().Champion()
+		modelName = fmt.Sprintf("%s@%s (store %s)", lc.Handle().ModelName(), champ, *storeDir)
+	} else {
+		det, err := loadOrTrainDetector(*detPath, *model, *seed, sim, urls[0])
+		if err != nil {
+			return err
+		}
+		scorer = det
+		modelName = det.ModelName()
+	}
+
+	sinks := []ph.AlertSink{ph.NewLogSink(nil)}
+	if *alertsPath != "" {
+		jsonl, err := ph.OpenJSONLSink(*alertsPath)
+		if err != nil {
+			return err
+		}
+		defer jsonl.Close()
+		sinks = append(sinks, jsonl)
+	}
+
+	b, err := ph.NewBackfill(scorer, ph.BackfillConfig{
+		RPCURLs:        urls,
+		Hedge:          *hedge,
+		ExplorerURL:    *explURL,
+		From:           *from,
+		To:             *to,
+		Shards:         *shards,
+		WindowBlocks:   *window,
+		QueueSize:      *queue,
+		Fetchers:       *fetchers,
+		FetchBatch:     *batch,
+		Threshold:      *threshold,
+		CheckpointPath: *checkpoint,
+		Sinks:          sinks,
+	})
+	if err != nil {
+		return err
+	}
+	if *listen != "" {
+		backend, ok := scorer.(ph.ScoreBackend)
+		if !ok {
+			return fmt.Errorf("scorer does not serve HTTP")
+		}
+		go func() {
+			log.Println(http.ListenAndServe(*listen, ph.NewScoreHandler(backend, ph.WithBackfill(b))))
+		}()
+		fmt.Printf("backfill metrics on http://%s/metrics\n", *listen)
+	}
+
+	fmt.Printf("backfilling blocks [%d, %d] with %s: %d shards over %d endpoints (threshold %.2f)\n",
+		*from, *to, modelName, *shards, len(urls), *threshold)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	t0 := time.Now()
+	runErr := b.Run(ctx)
+	s := b.Stats()
+	elapsed := time.Since(t0)
+	fmt.Printf("scanned %d blocks in %s: %d contracts seen, %d scored (%.0f contracts/sec), %d dedup hits, %d alerts, %d errors\n",
+		s.BlocksSeen, elapsed.Round(time.Millisecond), s.ContractsSeen, s.ContractsScored,
+		float64(s.ContractsSeen)/elapsed.Seconds(), s.DedupHits, s.Alerts, s.Errors)
+	for _, ep := range s.Endpoints {
+		fmt.Printf("  endpoint %s: %d ok, %d rate-limited, %d timeouts, window %.1f, health %.2f\n",
+			ep.URL, ep.Successes, ep.RateLimited, ep.Timeouts, ep.Limit, ep.Health)
+	}
+	if runErr != nil && ctx.Err() == nil {
+		return runErr
+	}
+	if ctx.Err() != nil && *checkpoint != "" {
+		fmt.Printf("interrupted — rerun with -checkpoint %s to resume\n", *checkpoint)
+	}
+	return nil
+}
+
 func cmdWatch(args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	rpcURL, explURL, seed, start := endpoints(fs)
+	endpointsFlag := fs.String("endpoints", "", "comma-separated JSON-RPC endpoints to fan fetches over (supplements -rpc)")
 	detPath := fs.String("detector", "", "saved detector path (default: train fresh on the released prefix)")
 	model := fs.String("model", "Random Forest", "model to train when no -detector is given")
 	storeDir := fs.String("store", "", "model-store directory: watch through the lifecycle handle so retrained versions hot-swap mid-watch")
@@ -744,6 +900,15 @@ func cmdWatch(args []string) error {
 		QueueSize:      *queue,
 		Threshold:      *threshold,
 		CheckpointPath: *checkpoint,
+	}
+	if *endpointsFlag != "" {
+		// Fan fetches over the multi-endpoint plane; -rpc joins the pool.
+		cfg.RPCURLs = append(cfg.RPCURLs, *rpcURL)
+		for _, u := range strings.Split(*endpointsFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" && u != *rpcURL {
+				cfg.RPCURLs = append(cfg.RPCURLs, u)
+			}
+		}
 	}
 
 	// Simulation mode: switch the chain live at the watch boundary, so the

@@ -11,6 +11,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -39,6 +40,45 @@ func ParseAddress(s string) (Address, error) {
 	}
 	copy(a[:], b)
 	return a, nil
+}
+
+// ErrBadAddress reports a malformed account address.
+var ErrBadAddress = errors.New("chain: malformed address")
+
+// ParseAddressInto decodes an address into dst without allocating: the
+// ingestion pipeline parses one registry string per observed deployment, and
+// ParseAddress's hex.DecodeString scratch slice is the difference between a
+// zero-allocation steady state and one allocation per contract at
+// chain-backfill volume. Accepts the same forms as ParseAddress; malformed
+// input returns ErrBadAddress (a sentinel, so the error path doesn't
+// allocate either).
+func ParseAddressInto(dst *Address, s string) error {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "0x")
+	s = strings.TrimPrefix(s, "0X")
+	if len(s) != 40 {
+		return ErrBadAddress
+	}
+	for i := 0; i < 20; i++ {
+		hi, ok1 := fromHexNibble(s[2*i])
+		lo, ok2 := fromHexNibble(s[2*i+1])
+		if !ok1 || !ok2 {
+			return ErrBadAddress
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return nil
+}
+
+func fromHexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
 }
 
 // DeriveAddress deterministically derives a contract address from a stream

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -37,6 +38,67 @@ func WithRetries(attempts int, backoff time.Duration) ClientOption {
 			c.backoff = backoff
 		}
 	}
+}
+
+// WithTimeout caps one HTTP exchange (default 10s). The multi-endpoint fetch
+// plane uses short timeouts so stragglers surface fast enough to hedge.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.http.Timeout = d
+		}
+	}
+}
+
+// RateLimitError is an HTTP 429 from the endpoint. RetryAfter carries the
+// parsed Retry-After header (0 when the server didn't send one); the retry
+// loop honors it instead of guessing a backoff, and the multi-endpoint fetch
+// plane treats it as the congestion signal that halves an endpoint's AIMD
+// concurrency window.
+type RateLimitError struct {
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("rate limited (429, retry after %s)", e.RetryAfter)
+	}
+	return "rate limited (429)"
+}
+
+// transientError marks a failure the caller may safely retry against the
+// same or another endpoint (transport faults, 5xx, 429, torn responses).
+// JSON-RPC application errors and malformed-but-authoritative responses are
+// never wrapped: the server has answered.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// IsTransient reports whether err is a retryable fault (the classification
+// the MultiClient scheduler keys on).
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// maxRetryAfterWait caps how long a Retry-After header is honored, so a
+// hostile or broken server cannot park a client for minutes.
+const maxRetryAfterWait = 5 * time.Second
+
+// retryDelay returns the jittered wait before the next attempt: the server's
+// Retry-After when the previous failure was a 429 that carried one
+// (capped), otherwise the caller's exponential backoff.
+func retryDelay(backoff time.Duration, lastErr error) time.Duration {
+	wait := backoff
+	var rl *RateLimitError
+	if errors.As(lastErr, &rl) && rl.RetryAfter > 0 {
+		wait = rl.RetryAfter
+		if wait > maxRetryAfterWait {
+			wait = maxRetryAfterWait
+		}
+	}
+	return wait + time.Duration(rand.Int63n(int64(wait)/2+1))
 }
 
 // Client is a minimal JSON-RPC 2.0 client for the eth_* methods the BEM
@@ -156,17 +218,19 @@ func (c *Client) callBatch(ctx context.Context, method string, paramsList [][]an
 
 // post runs the retry loop around one HTTP exchange, decoding the response
 // body into `into`. A body that fails to decode counts as a transient fault
-// (torn proxy response) and is retried like a transport error.
+// (torn proxy response) and is retried like a transport error. Retries sleep
+// a jittered exponential backoff, except after a 429 that carried a
+// Retry-After header — the server has named its price, so that wait (capped,
+// jittered) is honored instead.
 func (c *Client) post(ctx context.Context, body []byte, into any) error {
 	var lastErr error
 	backoff := c.backoff
 	for attempt := 0; attempt < c.attempts; attempt++ {
 		if attempt > 0 {
-			jitter := time.Duration(rand.Int63n(int64(backoff)/2 + 1))
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(backoff + jitter):
+			case <-time.After(retryDelay(backoff, lastErr)):
 			}
 			backoff *= 2
 		}
@@ -192,7 +256,7 @@ func (c *Client) post(ctx context.Context, body []byte, into any) error {
 			return err
 		}
 	}
-	return fmt.Errorf("failed after %d attempts: %w", c.attempts, lastErr)
+	return &transientError{fmt.Errorf("failed after %d attempts: %w", c.attempts, lastErr)}
 }
 
 func (c *Client) once(ctx context.Context, body []byte) (raw []byte, retryable bool, err error) {
@@ -211,8 +275,8 @@ func (c *Client) once(ctx context.Context, body []byte) (raw []byte, retryable b
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
 		// Rate-limited providers (Infura, Alchemy, …) answer 429 under
-		// burst; back off and retry like the explorer crawler does.
-		return nil, true, fmt.Errorf("rate limited (429)")
+		// burst; surface the Retry-After so the retry loop can honor it.
+		return nil, true, &RateLimitError{RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, false, fmt.Errorf("unexpected status %d", resp.StatusCode)
@@ -222,6 +286,20 @@ func (c *Client) once(ctx context.Context, body []byte) (raw []byte, retryable b
 		return nil, true, fmt.Errorf("read response: %w", err)
 	}
 	return raw, false, nil
+}
+
+// parseRetryAfter reads a Retry-After value in seconds. Fractional seconds
+// are accepted (the simulated endpoints advertise sub-second refills);
+// HTTP-date forms and garbage parse as 0, i.e. "not stated".
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs * float64(time.Second))
 }
 
 // GetCode fetches the deployed bytecode at addr ("latest" block). A nil,

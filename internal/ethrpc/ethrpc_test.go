@@ -223,7 +223,9 @@ func TestClientRetriesThrough429(t *testing.T) {
 	var calls atomic.Int64
 	limited := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if calls.Add(1) <= 2 {
-			w.Header().Set("Retry-After", "1")
+			// Fractional Retry-After keeps the test fast; the client honors
+			// it (see TestClientHonorsRetryAfter for the timing contract).
+			w.Header().Set("Retry-After", "0.02")
 			http.Error(w, "rate limited", http.StatusTooManyRequests)
 			return
 		}
@@ -241,6 +243,79 @@ func TestClientRetriesThrough429(t *testing.T) {
 	}
 	if calls.Load() != 3 {
 		t.Errorf("server saw %d calls, want 3 (2 × 429 + success)", calls.Load())
+	}
+}
+
+// TestClientHonorsRetryAfter pins the backoff contract: a 429 carrying
+// Retry-After makes the client wait at least that long (instead of its
+// default exponential guess), while the cap keeps hostile values bounded.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	c := testChain(t)
+	inner := NewServer(c, 7)
+	var calls atomic.Int64
+	limited := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0.3")
+			http.Error(w, "rate limited", http.StatusTooManyRequests)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer limited.Close()
+
+	// Base backoff of 1ms: without honoring Retry-After the retry would land
+	// almost immediately.
+	client := NewClient(limited.URL, WithRetries(3, time.Millisecond))
+	t0 := time.Now()
+	if _, err := client.ChainID(context.Background()); err != nil {
+		t.Fatalf("ChainID: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed < 300*time.Millisecond {
+		t.Errorf("retry after %v, want >= 300ms (the advertised Retry-After)", elapsed)
+	}
+	if d := retryDelay(time.Millisecond, &RateLimitError{RetryAfter: time.Hour}); d > maxRetryAfterWait+maxRetryAfterWait/2 {
+		t.Errorf("hostile Retry-After honored for %v, cap is %v plus jitter", d, maxRetryAfterWait)
+	}
+}
+
+// TestServerRateLimitEndToEnd drives the client against a sim server with a
+// token bucket: the bucket must 429 a burst (with a Retry-After the client
+// honors), and the retrying client must still land every call.
+func TestServerRateLimitEndToEnd(t *testing.T) {
+	c := testChain(t)
+	s := NewServer(c, 1, WithServerRateLimit(200, 20))
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	client := NewClient(srv.URL, WithRetries(5, time.Millisecond))
+	ctx := context.Background()
+	all := c.All()
+	addrs := make([]chain.Address, 0, 30)
+	for _, ct := range all {
+		addrs = append(addrs, ct.Addr)
+		if len(addrs) == 30 {
+			break
+		}
+	}
+	// 5 batches of 30 items against a 20-token bucket refilling at 200/s:
+	// the burst must trip the limiter, and honoring Retry-After must carry
+	// every batch through within the retry budget.
+	for i := 0; i < 5; i++ {
+		codes, err := client.GetCodeBatch(ctx, addrs)
+		if err != nil {
+			t.Fatalf("batch %d through rate limiter: %v", i, err)
+		}
+		for j, ct := range all[:len(addrs)] {
+			if !bytes.Equal(codes[j], ct.Code) {
+				t.Fatalf("batch %d item %d corrupted", i, j)
+			}
+		}
+	}
+	if s.RateLimited() == 0 {
+		t.Error("token bucket never fired for a burst beyond its depth")
+	}
+	if s.Requests() != 5*int64(len(addrs)) {
+		t.Errorf("served items = %d, want %d (rejected exchanges must not count)", s.Requests(), 5*len(addrs))
 	}
 }
 

@@ -1,0 +1,487 @@
+package ethrpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/phishinghook/phishinghook/internal/chain"
+)
+
+// MultiClient fans JSON-RPC calls across several endpoints — the adaptive
+// fetch plane under the backfill engine and the watcher. Every endpoint runs
+// its own AIMD concurrency window (grow additively on success, halve on
+// 429/timeout, TCP-style), a health EWMA steers each call toward the
+// endpoint most likely to answer, and an optional hedge re-issues straggling
+// requests on a second endpoint. Rate-limited providers are the point: one
+// API key caps out at its quota, N endpoints give N× the fetch ceiling, and
+// AIMD finds each endpoint's sustainable concurrency without configuration.
+//
+// With a single endpoint the MultiClient is a byte-identical passthrough to
+// a plain Client (same retry policy, same timing, same errors): the plane
+// only changes behavior when there is actually a plane.
+//
+// Safe for concurrent use.
+type MultiClient struct {
+	eps      []*endpoint
+	single   *Client // set when len(eps) == 1: verbatim Client semantics
+	attempts int
+	backoff  time.Duration
+	hedge    time.Duration
+	maxLimit float64
+
+	mu      sync.Mutex
+	waiters int
+	waitCh  chan struct{}
+}
+
+// endpoint is one upstream node plus its scheduler state.
+type endpoint struct {
+	url    string
+	client *Client
+
+	// Scheduler state, guarded by MultiClient.mu.
+	limit     float64 // AIMD concurrency window
+	inflight  int
+	health    float64 // success EWMA in (0, 1]
+	lastHalve time.Time
+
+	// Observability counters.
+	requests    atomic.Uint64
+	successes   atomic.Uint64
+	rateLimited atomic.Uint64
+	timeouts    atomic.Uint64
+	failures    atomic.Uint64
+	hedges      atomic.Uint64
+}
+
+// EndpointStats is one endpoint's scheduler + throughput snapshot.
+type EndpointStats struct {
+	URL         string  `json:"url"`
+	Requests    uint64  `json:"requests"`
+	Successes   uint64  `json:"successes"`
+	RateLimited uint64  `json:"rate_limited"`
+	Timeouts    uint64  `json:"timeouts"`
+	Failures    uint64  `json:"failures"`
+	Hedges      uint64  `json:"hedges"`
+	Limit       float64 `json:"limit"`    // current AIMD window (0 = uncapped single-endpoint mode)
+	Inflight    int     `json:"inflight"` // calls currently charged against the window
+	Health      float64 `json:"health"`   // success EWMA
+}
+
+// MultiOption configures a MultiClient.
+type MultiOption func(*MultiClient)
+
+// WithMultiRetries sets plane-level attempts per call (default 4) and the
+// base backoff between them (default 50ms, doubled with jitter; a 429's
+// Retry-After is honored instead when present). Each attempt may land on a
+// different endpoint.
+func WithMultiRetries(attempts int, backoff time.Duration) MultiOption {
+	return func(m *MultiClient) {
+		if attempts > 0 {
+			m.attempts = attempts
+		}
+		if backoff > 0 {
+			m.backoff = backoff
+		}
+	}
+}
+
+// WithHedge re-issues a request on a second endpoint when the first hasn't
+// answered within delay, taking whichever result lands first — the classic
+// tail-at-scale defense against one slow node. 0 (the default) disables
+// hedging.
+func WithHedge(delay time.Duration) MultiOption {
+	return func(m *MultiClient) { m.hedge = delay }
+}
+
+// WithMaxConcurrency caps each endpoint's AIMD window (default 64).
+func WithMaxConcurrency(n int) MultiOption {
+	return func(m *MultiClient) {
+		if n > 0 {
+			m.maxLimit = float64(n)
+		}
+	}
+}
+
+// aimdInitialLimit is where every endpoint's window starts: low enough to
+// probe politely, high enough that growth finds the ceiling within a few
+// hundred calls.
+const aimdInitialLimit = 4
+
+// aimdHalveCooldown spaces multiplicative decreases: one congestion event
+// (burst of 429s from the same cause) halves the window once, not once per
+// in-flight request.
+const aimdHalveCooldown = 50 * time.Millisecond
+
+// healthGain is the EWMA step for the per-endpoint health score.
+const healthGain = 0.1
+
+// NewMultiClient builds a fetch plane over the given endpoint URLs.
+func NewMultiClient(endpoints []string, opts ...MultiOption) (*MultiClient, error) {
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("ethrpc: MultiClient needs at least one endpoint")
+	}
+	m := &MultiClient{
+		attempts: 4,
+		backoff:  50 * time.Millisecond,
+		maxLimit: 64,
+		waitCh:   make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	if len(endpoints) == 1 {
+		// Byte-identical single-endpoint mode: the plain Client owns retry,
+		// backoff and timeout exactly as before the plane existed.
+		m.single = NewClient(endpoints[0])
+		m.eps = []*endpoint{{url: endpoints[0], client: m.single, health: 1}}
+		return m, nil
+	}
+	for _, url := range endpoints {
+		m.eps = append(m.eps, &endpoint{
+			url: url,
+			// One attempt per exchange: the plane owns retries so a failure
+			// can rotate to a different endpoint instead of hammering the
+			// same one, and so AIMD sees every congestion signal.
+			client: NewClient(url, WithRetries(1, m.backoff)),
+			limit:  aimdInitialLimit,
+			health: 1,
+		})
+	}
+	return m, nil
+}
+
+// Endpoints returns how many endpoints back the plane.
+func (m *MultiClient) Endpoints() int { return len(m.eps) }
+
+// Stats snapshots every endpoint.
+func (m *MultiClient) Stats() []EndpointStats {
+	out := make([]EndpointStats, len(m.eps))
+	m.mu.Lock()
+	for i, ep := range m.eps {
+		out[i] = EndpointStats{
+			URL:         ep.url,
+			Requests:    ep.requests.Load(),
+			Successes:   ep.successes.Load(),
+			RateLimited: ep.rateLimited.Load(),
+			Timeouts:    ep.timeouts.Load(),
+			Failures:    ep.failures.Load(),
+			Hedges:      ep.hedges.Load(),
+			Limit:       ep.limit,
+			Inflight:    ep.inflight,
+			Health:      ep.health,
+		}
+		if m.single != nil {
+			out[i].Limit = 0 // uncapped: the plain client has no window
+		}
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// GetCode fetches deployed bytecode at addr ("latest").
+func (m *MultiClient) GetCode(ctx context.Context, addr chain.Address) ([]byte, error) {
+	return multiDo(ctx, m, func(ctx context.Context, c *Client) ([]byte, error) {
+		return c.GetCode(ctx, addr)
+	})
+}
+
+// GetCodeBatch fetches bytecode for many addresses in one batch round trip,
+// scheduled onto the healthiest endpoint with spare AIMD capacity.
+func (m *MultiClient) GetCodeBatch(ctx context.Context, addrs []chain.Address) ([][]byte, error) {
+	if len(addrs) == 0 {
+		return nil, nil
+	}
+	return multiDo(ctx, m, func(ctx context.Context, c *Client) ([][]byte, error) {
+		return c.GetCodeBatch(ctx, addrs)
+	})
+}
+
+// BlockNumber returns the head block (as reported by whichever endpoint the
+// scheduler picked — the plane assumes all endpoints serve the same chain).
+func (m *MultiClient) BlockNumber(ctx context.Context) (uint64, error) {
+	return multiDo(ctx, m, func(ctx context.Context, c *Client) (uint64, error) {
+		return c.BlockNumber(ctx)
+	})
+}
+
+// ChainID returns the chain identifier.
+func (m *MultiClient) ChainID(ctx context.Context) (uint64, error) {
+	return multiDo(ctx, m, func(ctx context.Context, c *Client) (uint64, error) {
+		return c.ChainID(ctx)
+	})
+}
+
+// multiDo is the plane-level retry loop: acquire an endpoint slot, exchange
+// (hedged when configured), feed the outcome back into AIMD/health, and on a
+// transient failure rotate to another endpoint after a jittered backoff.
+func multiDo[T any](ctx context.Context, m *MultiClient, fn func(context.Context, *Client) (T, error)) (T, error) {
+	var zero T
+	if m.single != nil {
+		ep := m.eps[0]
+		ep.requests.Add(1)
+		v, err := fn(ctx, m.single)
+		m.count(ep, err)
+		return v, err
+	}
+	var lastErr error
+	backoff := m.backoff
+	var avoid *endpoint
+	for attempt := 0; attempt < m.attempts; attempt++ {
+		if attempt > 0 {
+			// Plain jittered backoff, deliberately ignoring any Retry-After
+			// in lastErr: that header is one endpoint's directive, and the
+			// next attempt rotates to a different endpoint with spare
+			// capacity — stalling the whole call for a stormed endpoint's
+			// penalty would idle the healthy rest of the plane. The stormed
+			// endpoint itself is held back by its halved AIMD window and
+			// decayed health score instead.
+			select {
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			case <-time.After(retryDelay(backoff, nil)):
+			}
+			backoff *= 2
+		}
+		v, ep, err := multiTry(ctx, m, fn, avoid)
+		if err == nil {
+			return v, nil
+		}
+		if ctx.Err() != nil {
+			return zero, ctx.Err()
+		}
+		if !IsTransient(err) {
+			return zero, err
+		}
+		lastErr = err
+		avoid = ep // prefer a different endpoint next attempt
+	}
+	return zero, fmt.Errorf("ethrpc: all endpoints failed after %d attempts: %w", m.attempts, lastErr)
+}
+
+// multiTry runs one scheduled exchange, hedging a straggler when enabled.
+func multiTry[T any](ctx context.Context, m *MultiClient, fn func(context.Context, *Client) (T, error), avoid *endpoint) (T, *endpoint, error) {
+	var zero T
+	primary, err := m.acquire(ctx, avoid)
+	if err != nil {
+		return zero, nil, err
+	}
+	if m.hedge <= 0 {
+		v, err := exchange(ctx, m, primary, fn)
+		return v, primary, err
+	}
+
+	type result struct {
+		v   T
+		err error
+		ep  *endpoint
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan result, 2)
+	launch := func(ep *endpoint) {
+		go func() {
+			v, err := exchange(cctx, m, ep, fn)
+			ch <- result{v, err, ep}
+		}()
+	}
+	launch(primary)
+	timer := time.NewTimer(m.hedge)
+	launched := 1
+	var first result
+	select {
+	case first = <-ch:
+		timer.Stop()
+	case <-timer.C:
+		// The primary is a straggler: race a backup on a different endpoint
+		// if one has spare capacity right now (never block waiting for it —
+		// a hedge is opportunistic).
+		if backup, ok := m.tryAcquire(primary); ok {
+			backup.hedges.Add(1)
+			launch(backup)
+			launched++
+		}
+		first = <-ch
+	}
+	if first.err != nil && launched == 2 {
+		// The faster responder failed; the other leg may still win.
+		if second := <-ch; second.err == nil {
+			return second.v, second.ep, nil
+		}
+		return zero, first.ep, first.err
+	}
+	// A success (or a lone failure): cancel the loser, which releases its
+	// slot and reports a neutral cancellation on its own goroutine.
+	return first.v, first.ep, first.err
+}
+
+// exchange performs one HTTP exchange against ep, then feeds the outcome
+// into the scheduler and releases the slot.
+func exchange[T any](ctx context.Context, m *MultiClient, ep *endpoint, fn func(context.Context, *Client) (T, error)) (T, error) {
+	ep.requests.Add(1)
+	v, err := fn(ctx, ep.client)
+	m.finish(ep, err)
+	return v, err
+}
+
+// Outcome classes for the AIMD/health update.
+const (
+	classOK         = iota
+	classCongestion // 429 or timeout: halve the window
+	classFailure    // other transport/server fault: health only
+	classNeutral    // caller cancellation: not the endpoint's fault
+)
+
+func classify(err error) int {
+	switch {
+	case err == nil:
+		return classOK
+	case errors.Is(err, context.Canceled):
+		return classNeutral
+	}
+	var rl *RateLimitError
+	if errors.As(err, &rl) {
+		return classCongestion
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return classCongestion
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return classCongestion
+	}
+	return classFailure
+}
+
+// count updates the per-endpoint outcome counters (all modes).
+func (m *MultiClient) count(ep *endpoint, err error) int {
+	class := classify(err)
+	switch class {
+	case classOK:
+		ep.successes.Add(1)
+	case classCongestion:
+		if errors.Is(err, context.DeadlineExceeded) || !isRateLimit(err) {
+			ep.timeouts.Add(1)
+		} else {
+			ep.rateLimited.Add(1)
+		}
+	case classFailure:
+		ep.failures.Add(1)
+	}
+	return class
+}
+
+func isRateLimit(err error) bool {
+	var rl *RateLimitError
+	return errors.As(err, &rl)
+}
+
+// finish applies one outcome to the endpoint's AIMD window and health, then
+// releases the concurrency slot.
+func (m *MultiClient) finish(ep *endpoint, err error) {
+	class := m.count(ep, err)
+	m.mu.Lock()
+	switch class {
+	case classOK:
+		// Additive increase: ~+1 to the window per windowful of successes.
+		ep.limit += 1 / ep.limit
+		if ep.limit > m.maxLimit {
+			ep.limit = m.maxLimit
+		}
+		ep.health += (1 - ep.health) * healthGain
+	case classCongestion:
+		// Multiplicative decrease, once per congestion event.
+		if time.Since(ep.lastHalve) >= aimdHalveCooldown {
+			ep.limit /= 2
+			if ep.limit < 1 {
+				ep.limit = 1
+			}
+			ep.lastHalve = time.Now()
+		}
+		ep.health *= 1 - healthGain
+	case classFailure:
+		ep.health *= 1 - healthGain
+	}
+	if ep.health < 0.01 {
+		ep.health = 0.01 // floor so a recovered endpoint can climb back
+	}
+	ep.inflight--
+	m.wakeLocked()
+	m.mu.Unlock()
+}
+
+// wakeLocked rouses acquire() waiters after capacity was freed or grown.
+func (m *MultiClient) wakeLocked() {
+	if m.waiters == 0 {
+		return
+	}
+	close(m.waitCh)
+	m.waitCh = make(chan struct{})
+}
+
+// acquire blocks until some endpoint has AIMD capacity and charges a slot,
+// preferring healthy endpoints and, when possible, one other than avoid.
+func (m *MultiClient) acquire(ctx context.Context, avoid *endpoint) (*endpoint, error) {
+	m.mu.Lock()
+	for {
+		ep := m.pickLocked(avoid)
+		if ep == nil && avoid != nil {
+			ep = m.pickLocked(nil) // only the avoided endpoint has capacity
+		}
+		if ep != nil {
+			ep.inflight++
+			m.mu.Unlock()
+			return ep, nil
+		}
+		m.waiters++
+		ch := m.waitCh
+		m.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			m.mu.Lock()
+			m.waiters--
+			m.mu.Unlock()
+			return nil, ctx.Err()
+		case <-ch:
+		}
+		m.mu.Lock()
+		m.waiters--
+	}
+}
+
+// tryAcquire charges a slot on the best endpoint other than avoid without
+// blocking; ok=false when nothing has spare capacity.
+func (m *MultiClient) tryAcquire(avoid *endpoint) (*endpoint, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep := m.pickLocked(avoid)
+	if ep == nil {
+		return nil, false
+	}
+	ep.inflight++
+	return ep, true
+}
+
+// pickLocked selects the endpoint to schedule onto: the best health among
+// those with spare window capacity, spare fraction breaking near-ties so
+// load spreads instead of piling onto one node.
+func (m *MultiClient) pickLocked(avoid *endpoint) *endpoint {
+	var best *endpoint
+	var bestScore float64
+	for _, ep := range m.eps {
+		if ep == avoid || ep.inflight >= int(ep.limit) {
+			continue
+		}
+		spare := (ep.limit - float64(ep.inflight)) / ep.limit
+		score := ep.health + 0.1*spare
+		if best == nil || score > bestScore {
+			best, bestScore = ep, score
+		}
+	}
+	return best
+}

@@ -14,7 +14,9 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/phishinghook/phishinghook/internal/chain"
 )
@@ -50,21 +52,106 @@ type rpcResponse struct {
 	Error   *rpcError       `json:"error,omitempty"`
 }
 
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerRateLimit puts a token bucket in front of the server: a
+// sustained itemsPerSec JSON-RPC items (a batch of n costs n tokens) with
+// the given burst depth. An exhausted bucket answers HTTP 429 with a
+// fractional-seconds Retry-After header sized to the deficit — real
+// providers (Infura, Alchemy, …) cap per-key request rates exactly like
+// this, which is why ingestion fans out over multiple endpoints at all. The
+// simulated plane models that: one rate-limited endpoint bounds a single
+// client, N endpoints give N× the fetch capacity.
+func WithServerRateLimit(itemsPerSec, burst float64) ServerOption {
+	return func(s *Server) {
+		if itemsPerSec <= 0 {
+			return
+		}
+		if burst < itemsPerSec/10 {
+			burst = itemsPerSec / 10
+		}
+		s.rate = itemsPerSec
+		s.burst = burst
+		s.tokens = burst
+		s.last = time.Now()
+	}
+}
+
 // Server serves eth_* methods over HTTP POST. It implements http.Handler.
 type Server struct {
 	chain   *chain.Chain
 	chainID uint64
 	// requests counts served calls (observability for the crawler tests).
 	requests atomic.Int64
+	// rejected counts exchanges refused by the rate limiter.
+	rejected atomic.Int64
+
+	// Token bucket (enabled when rate > 0). owed tracks capacity already
+	// promised to 429'd callers via Retry-After, so concurrent rejects are
+	// told staggered waits instead of herding back at the same instant.
+	limitMu sync.Mutex
+	rate    float64
+	burst   float64
+	tokens  float64
+	owed    float64
+	last    time.Time
 }
 
 // NewServer returns a JSON-RPC server over the given chain state.
-func NewServer(c *chain.Chain, chainID uint64) *Server {
-	return &Server{chain: c, chainID: chainID}
+func NewServer(c *chain.Chain, chainID uint64, opts ...ServerOption) *Server {
+	s := &Server{chain: c, chainID: chainID}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Requests returns the number of RPC calls served so far.
 func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// RateLimited returns the number of exchanges refused with 429.
+func (s *Server) RateLimited() int64 { return s.rejected.Load() }
+
+// allow charges cost items against the bucket. The bucket runs on debt: a
+// request is served while the balance is positive and charged in full (the
+// balance may go negative, so one batch larger than the burst depth still
+// gets through — refill pays the debt before the next exchange). A negative
+// balance rejects with ok=false and how long the caller should wait; the
+// wait accounts for capacity already promised to earlier rejects, so
+// concurrent rejects are staggered instead of herding back together.
+func (s *Server) allow(cost float64) (wait time.Duration, ok bool) {
+	if s.rate <= 0 {
+		return 0, true
+	}
+	s.limitMu.Lock()
+	defer s.limitMu.Unlock()
+	now := time.Now()
+	elapsed := now.Sub(s.last).Seconds()
+	s.last = now
+	s.tokens += elapsed * s.rate
+	if s.tokens > s.burst {
+		s.tokens = s.burst
+	}
+	s.owed -= elapsed * s.rate
+	if s.owed < 0 {
+		s.owed = 0
+	}
+	if s.tokens > 0 {
+		s.tokens -= cost
+		return 0, true
+	}
+	secs := (s.owed - s.tokens + 1) / s.rate
+	s.owed += cost
+	return time.Duration(secs * float64(time.Second)), false
+}
+
+// reject answers one rate-limited exchange.
+func (s *Server) reject(w http.ResponseWriter, wait time.Duration) {
+	s.rejected.Add(1)
+	w.Header().Set("Retry-After", fmt.Sprintf("%.3f", wait.Seconds()))
+	http.Error(w, "rate limited", http.StatusTooManyRequests)
+}
 
 // ServeHTTP handles one JSON-RPC exchange: a single request object or a
 // JSON-RPC 2.0 batch (an array of requests answered with an array of
@@ -85,6 +172,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			writeResponse(w, rpcResponse{JSONRPC: "2.0", Error: &rpcError{codeParse, "parse error: " + err.Error()}})
 			return
 		}
+		if wait, ok := s.allow(float64(len(reqs))); !ok {
+			s.reject(w, wait)
+			return
+		}
 		resps := make([]rpcResponse, len(reqs))
 		for i, req := range reqs {
 			resps[i] = s.handleOne(req)
@@ -96,6 +187,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var req rpcRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		writeResponse(w, rpcResponse{JSONRPC: "2.0", Error: &rpcError{codeParse, "parse error: " + err.Error()}})
+		return
+	}
+	if wait, ok := s.allow(1); !ok {
+		s.reject(w, wait)
 		return
 	}
 	writeResponse(w, s.handleOne(req))

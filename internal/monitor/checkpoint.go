@@ -1,24 +1,54 @@
 package monitor
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 )
 
-// checkpoint is the persisted watcher state. Cursor is the last block whose
-// deployments have all been scored; Seen carries the bytecode-hash dedup set
-// so a restarted watcher neither re-scores old blocks nor re-alerts on
-// clones of bytecodes it already judged.
+// checkpoint is the persisted ingestion state. Cursor is the last block
+// whose deployments have all been scored (for a backfill: the minimum over
+// shard cursors, i.e. the contiguous lower bound); Seen carries the
+// bytecode-hash dedup set so a restarted scanner neither re-scores old
+// blocks nor re-alerts on clones of bytecodes it already judged.
+//
+// Shards is the backfill extension: one cursor per range shard, so a killed
+// backfill restarts every shard exactly where it left off. The field is
+// optional and the version is unchanged, keeping the format backward
+// compatible both ways — existing watcher checkpoints load into new code,
+// and a watcher reading a backfill checkpoint sees the conservative Cursor.
 type checkpoint struct {
 	Version int    `json:"version"`
 	Cursor  uint64 `json:"cursor"`
 	// ModelVersion is the lifecycle version of the most recent score before
 	// the snapshot — after a restart it answers "which detector version had
 	// judged everything up to this cursor" even across hot swaps.
-	ModelVersion string   `json:"model_version,omitempty"`
-	Seen         []string `json:"seen,omitempty"` // hex SHA-256 bytecode hashes
+	ModelVersion string      `json:"model_version,omitempty"`
+	Seen         []string    `json:"seen,omitempty"` // hex SHA-256 bytecode hashes
+	Shards       []shardMark `json:"shards,omitempty"`
+}
+
+// shardMark is one backfill shard's persisted progress: the shard scans
+// (Cursor, To] and is done when Cursor == To.
+type shardMark struct {
+	From   uint64 `json:"from"`
+	To     uint64 `json:"to"`
+	Cursor uint64 `json:"cursor"`
+}
+
+// decodeSeen parses the hex dedup hashes back into keys.
+func (cp *checkpoint) decodeSeen() ([][32]byte, error) {
+	out := make([][32]byte, len(cp.Seen))
+	for i, h := range cp.Seen {
+		b, err := hex.DecodeString(h)
+		if err != nil || len(b) != 32 {
+			return nil, fmt.Errorf("bad dedup hash %q", h)
+		}
+		copy(out[i][:], b)
+	}
+	return out, nil
 }
 
 const checkpointVersion = 1

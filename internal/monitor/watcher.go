@@ -1,24 +1,27 @@
-// Package monitor implements the Watchtower: a streaming pipeline that
-// follows the chain head and scores every new contract deployment the moment
-// it lands. It is the deployment-time detection workload the paper motivates
-// — catching phishing contracts before victims interact with them — layered
-// on the repo's existing primitives: the registry/JSON-RPC clients discover
-// and fetch deployments, a trained detector (any Scorer) judges them, and
-// alert sinks carry verdicts out.
+// Package monitor implements the chain-ingestion workloads: the Watchtower
+// (a streaming watcher that follows the chain head and scores every new
+// contract deployment the moment it lands) and the Backfill engine (sharded
+// scanning of an arbitrary historical block range). Both are thin consumers
+// of one shared staged Pipeline — fetch over an adaptive RPC plane, SHA-256
+// dedup, bounded score queue, alert sinks — layered on the repo's existing
+// primitives: the registry/JSON-RPC clients discover and fetch deployments,
+// a trained detector (any Scorer) judges them, and alert sinks carry
+// verdicts out.
 //
-// Pipeline shape, one poll cycle:
+// Pipeline shape, one scan:
 //
-//	eth_blockNumber ──> registry ListContracts(cursor+1, head)
-//	    └─> fetch pool (batched eth_getCode) ─> SHA-256 dedup ─> bounded queue
-//	        └─> score pool (Scorer) ─> threshold ─> alert sinks
+//	registry ListContracts(range) ──> chunk (pooled address batches)
+//	    └─> fetch pool (batched eth_getCode over 1..N endpoints)
+//	        └─> SHA-256 dedup ─> bounded queue
+//	            └─> score pool (Scorer) ─> threshold ─> alert sinks
 //
-// The cursor advances only after every deployment in the window has been
-// fetched and scored, and is checkpointed (with the dedup set) at most every
-// CheckpointEvery plus once on shutdown, so a stopped watcher restarts from
-// its checkpoint without re-scoring anything: block scans are at-least-once,
-// scores are exactly-once per unique bytecode up to checkpoint durability (a
-// hard kill between checkpoints replays at most CheckpointEvery of
-// progress).
+// The watcher's cursor advances only after every deployment in the window
+// has been fetched and scored, and is checkpointed (with the dedup set) at
+// most every CheckpointEvery plus once on shutdown, so a stopped watcher
+// restarts from its checkpoint without re-scoring anything: block scans are
+// at-least-once, scores are exactly-once per unique bytecode up to
+// checkpoint durability (a hard kill between checkpoints replays at most
+// CheckpointEvery of progress).
 //
 // Backpressure is explicit: the fetch pool blocks when the score queue is
 // full (default), or sheds deployments with drop accounting when
@@ -29,15 +32,11 @@ package monitor
 
 import (
 	"context"
-	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"github.com/phishinghook/phishinghook/internal/chain"
 	"github.com/phishinghook/phishinghook/internal/ethrpc"
 	"github.com/phishinghook/phishinghook/internal/explorer"
 )
@@ -64,11 +63,20 @@ type Scorer interface {
 	ScoreCode(ctx context.Context, code []byte) (Verdict, error)
 }
 
-// Config tunes a Watcher. RPCURL and ExplorerURL are required.
+// Config tunes a Watcher. An RPC endpoint (RPCURL or RPCURLs) and
+// ExplorerURL are required.
 type Config struct {
 	// RPCURL is the JSON-RPC endpoint polled for eth_blockNumber and
 	// eth_getCode.
 	RPCURL string
+	// RPCURLs optionally fans fetches over several endpoints through the
+	// adaptive MultiClient plane (AIMD concurrency per endpoint,
+	// health-scored selection). When set it takes precedence over RPCURL; a
+	// single entry behaves exactly like RPCURL.
+	RPCURLs []string
+	// Hedge re-issues straggling RPC requests on a second endpoint after
+	// this delay (multi-endpoint only; 0 disables).
+	Hedge time.Duration
 	// ExplorerURL is the registry service listing deployments per block.
 	ExplorerURL string
 	// PollInterval is the head-poll cadence (default 100ms).
@@ -97,6 +105,12 @@ type Config struct {
 	// rescan stays at-least-once; only clone dedup across the lost stretch
 	// is forgotten.
 	CheckpointEvery time.Duration
+	// WindowBlocks caps one scan window (default 100,000 blocks). A watcher
+	// that wakes up far behind the head — cold start, long outage — drains
+	// the backlog window by window, committing the cursor after each, so a
+	// single fetch fault never forces a rescan of the whole backlog and a
+	// kill mid-drain never loses more than one window of progress.
+	WindowBlocks uint64
 	// StartBlock seeds the cursor when no checkpoint exists: scanning
 	// begins at StartBlock+1.
 	StartBlock uint64
@@ -111,68 +125,57 @@ type Config struct {
 }
 
 func (c *Config) fillDefaults() error {
-	if c.RPCURL == "" || c.ExplorerURL == "" {
-		return fmt.Errorf("monitor: Config needs RPCURL and ExplorerURL")
+	if (c.RPCURL == "" && len(c.RPCURLs) == 0) || c.ExplorerURL == "" {
+		return fmt.Errorf("monitor: Config needs an RPC endpoint and ExplorerURL")
 	}
 	if c.PollInterval <= 0 {
 		c.PollInterval = 100 * time.Millisecond
 	}
-	if c.QueueSize <= 0 {
-		c.QueueSize = 1024
-	}
-	if c.ScoreWorkers <= 0 {
-		c.ScoreWorkers = runtime.GOMAXPROCS(0)
-	}
-	if c.Fetchers <= 0 {
-		c.Fetchers = 16
-	}
-	if c.FetchBatch <= 0 {
-		c.FetchBatch = 64
-	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = time.Second
 	}
-	if c.Threshold <= 0 {
-		c.Threshold = 0.5
+	if c.WindowBlocks == 0 {
+		c.WindowBlocks = 100_000
 	}
 	return nil
 }
 
-// scoreJob is one deployment queued for scoring.
-type scoreJob struct {
-	addr   string
-	hash   [32]byte
-	code   []byte
-	head   uint64 // scan-window head, recorded on the alert
-	wg     *sync.WaitGroup
-	failed *atomic.Bool // set on score error; fails the whole window
+// endpoints resolves the configured fetch plane.
+func (c *Config) endpoints() []string {
+	if len(c.RPCURLs) > 0 {
+		return c.RPCURLs
+	}
+	return []string{c.RPCURL}
 }
 
-// Watcher follows the chain head and scores new deployments. Construct with
-// New, drive with Run (once), observe with Stats.
+// pipelineConfig carves the pipeline's slice out of the watcher config.
+func (c *Config) pipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		QueueSize:    c.QueueSize,
+		ScoreWorkers: c.ScoreWorkers,
+		Fetchers:     c.Fetchers,
+		FetchBatch:   c.FetchBatch,
+		Threshold:    c.Threshold,
+		DropWhenFull: c.DropWhenFull,
+		Sinks:        c.Sinks,
+	}
+}
+
+// Watcher follows the chain head and scores new deployments through the
+// shared pipeline. Construct with New, drive with Run (once), observe with
+// Stats.
 type Watcher struct {
-	cfg    Config
-	scorer Scorer
-	rpc    *ethrpc.Client
-	reg    *explorer.Crawler
-	queue  chan scoreJob
-	ctr    counters
+	cfg  Config
+	pipe *Pipeline
+	rpc  *ethrpc.MultiClient
+	reg  *explorer.Crawler
 
 	// lastCkpt is touched only by the Run goroutine.
 	lastCkpt time.Time
 
-	mu          sync.Mutex
-	cursor      uint64
-	seen        map[[32]byte]struct{}
-	scoreFail   map[[32]byte]int // consecutive score failures per bytecode
-	lastVersion string           // model version of the most recent score
+	mu     sync.Mutex
+	cursor uint64
 }
-
-// maxScoreRetries bounds window rescans for a bytecode that keeps failing to
-// score: after this many failures the hash is abandoned (kept in the dedup
-// set, counted under poisoned) so one poison-pill input cannot wedge the
-// cursor and stall coverage of all later blocks.
-const maxScoreRetries = 3
 
 // New builds a watcher over the given scorer, resuming from
 // cfg.CheckpointPath when a checkpoint exists (the checkpoint's cursor and
@@ -184,15 +187,20 @@ func New(scorer Scorer, cfg Config) (*Watcher, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
+	rpc, err := ethrpc.NewMultiClient(cfg.endpoints(), ethrpc.WithHedge(cfg.Hedge))
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := NewPipeline(scorer, rpc, cfg.pipelineConfig())
+	if err != nil {
+		return nil, err
+	}
 	w := &Watcher{
-		cfg:       cfg,
-		scorer:    scorer,
-		rpc:       ethrpc.NewClient(cfg.RPCURL),
-		reg:       explorer.NewCrawler(cfg.ExplorerURL),
-		queue:     make(chan scoreJob, cfg.QueueSize),
-		cursor:    cfg.StartBlock,
-		seen:      make(map[[32]byte]struct{}),
-		scoreFail: make(map[[32]byte]int),
+		cfg:    cfg,
+		pipe:   pipe,
+		rpc:    rpc,
+		reg:    explorer.NewCrawler(cfg.ExplorerURL),
+		cursor: cfg.StartBlock,
 	}
 	if cfg.CheckpointPath != "" {
 		cp, ok, err := loadCheckpoint(cfg.CheckpointPath)
@@ -201,16 +209,11 @@ func New(scorer Scorer, cfg Config) (*Watcher, error) {
 		}
 		if ok {
 			w.cursor = cp.Cursor
-			w.lastVersion = cp.ModelVersion
-			for _, h := range cp.Seen {
-				b, err := hex.DecodeString(h)
-				if err != nil || len(b) != 32 {
-					return nil, fmt.Errorf("monitor: checkpoint %s has bad hash %q", cfg.CheckpointPath, h)
-				}
-				var key [32]byte
-				copy(key[:], b)
-				w.seen[key] = struct{}{}
+			hashes, err := cp.decodeSeen()
+			if err != nil {
+				return nil, fmt.Errorf("monitor: checkpoint %s: %w", cfg.CheckpointPath, err)
 			}
+			pipe.restoreSeen(hashes, cp.ModelVersion)
 		}
 	}
 	return w, nil
@@ -224,57 +227,32 @@ func (w *Watcher) Cursor() uint64 {
 }
 
 // SeenUnique returns the size of the bytecode dedup set.
-func (w *Watcher) SeenUnique() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.seen)
-}
+func (w *Watcher) SeenUnique() int { return w.pipe.SeenUnique() }
 
 // ModelVersion returns the lifecycle version of the most recent successful
 // score ("" before the first score of an unversioned scorer). Restored from
 // the checkpoint, so a restarted watcher knows which model version had
 // judged everything up to its cursor.
-func (w *Watcher) ModelVersion() string {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.lastVersion
-}
+func (w *Watcher) ModelVersion() string { return w.pipe.ModelVersion() }
+
+// Endpoints snapshots the fetch plane's per-endpoint scheduler state for the
+// serving layer's /metrics.
+func (w *Watcher) Endpoints() []ethrpc.EndpointStats { return w.rpc.Stats() }
 
 // Stats snapshots the watcher's counters.
 func (w *Watcher) Stats() Stats {
-	return Stats{
-		ModelVersion:    w.ModelVersion(),
-		Cursor:          w.Cursor(),
-		Polls:           w.ctr.polls.Load(),
-		BlocksSeen:      w.ctr.blocksSeen.Load(),
-		ContractsSeen:   w.ctr.contractsSeen.Load(),
-		ContractsScored: w.ctr.contractsScored.Load(),
-		DedupHits:       w.ctr.dedupHits.Load(),
-		Alerts:          w.ctr.alerts.Load(),
-		Dropped:         w.ctr.dropped.Load(),
-		Poisoned:        w.ctr.poisoned.Load(),
-		Errors:          w.ctr.errors.Load(),
-		QueueDepth:      len(w.queue),
-		QueueCap:        cap(w.queue),
-		ScoreP50MS:      float64(w.ctr.latency.quantile(0.50)) / float64(time.Millisecond),
-		ScoreP99MS:      float64(w.ctr.latency.quantile(0.99)) / float64(time.Millisecond),
-	}
+	s := w.pipe.Stats()
+	s.Cursor = w.Cursor()
+	return s
 }
 
 // Run follows the head until the context is cancelled or the cursor reaches
-// cfg.StopAtBlock. It owns the score pool; call it at most once per Watcher.
+// cfg.StopAtBlock. It owns the pipeline's pools; call it at most once per
+// Watcher.
 func (w *Watcher) Run(ctx context.Context) error {
-	var scorers sync.WaitGroup
-	for i := 0; i < w.cfg.ScoreWorkers; i++ {
-		scorers.Add(1)
-		go func() {
-			defer scorers.Done()
-			w.scoreLoop(ctx)
-		}()
-	}
+	w.pipe.Start(ctx)
 	defer func() {
-		close(w.queue)
-		scorers.Wait()
+		w.pipe.Stop()
 		// Final checkpoint after the score pool drains, so a clean stop
 		// (StopAtBlock or cancellation) never loses committed progress.
 		if w.cfg.CheckpointPath != "" {
@@ -283,17 +261,25 @@ func (w *Watcher) Run(ctx context.Context) error {
 	}()
 
 	for {
-		w.ctr.polls.Add(1)
+		w.pipe.ctr.polls.Add(1)
 		head, err := w.rpc.BlockNumber(ctx)
-		switch {
-		case err != nil:
+		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			w.ctr.errors.Add(1)
-		case head > w.Cursor():
+			w.pipe.ctr.errors.Add(1)
+		}
+		// Drain the backlog window by window without sleeping between
+		// windows, committing the cursor after each — a cold start or
+		// post-outage watcher catches up at fetch-plane speed, and a fault
+		// only ever rescans one window.
+		for err == nil && head > w.Cursor() {
 			from := w.Cursor() + 1
-			if err := w.scanWindow(ctx, from, head); err != nil {
+			to := head
+			if span := w.cfg.WindowBlocks; to-from+1 > span {
+				to = from + span - 1
+			}
+			if err := w.scanWindow(ctx, from, to); err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
@@ -301,8 +287,11 @@ func (w *Watcher) Run(ctx context.Context) error {
 				// (registry, fetch chunk or score worker).
 				break // leave the cursor; the window rescans next poll
 			}
-			w.ctr.blocksSeen.Add(head - from + 1)
-			w.advanceCursor(head)
+			w.pipe.ctr.blocksSeen.Add(to - from + 1)
+			w.advanceCursor(to)
+			if stop := w.cfg.StopAtBlock; stop > 0 && w.Cursor() >= stop {
+				return nil
+			}
 		}
 		if stop := w.cfg.StopAtBlock; stop > 0 && w.Cursor() >= stop {
 			return nil
@@ -313,6 +302,20 @@ func (w *Watcher) Run(ctx context.Context) error {
 		case <-time.After(w.cfg.PollInterval):
 		}
 	}
+}
+
+// scanWindow lists [from, to]'s deployments from the registry and runs them
+// through the shared pipeline. A registry, fetch or score failure aborts the
+// window so the cursor stays put and the window rescans next poll —
+// re-observed deployments collapse into dedup hits, so scans are
+// at-least-once while scores stay exactly-once.
+func (w *Watcher) scanWindow(ctx context.Context, from, to uint64) error {
+	addrs, err := w.reg.ListContracts(ctx, from, to)
+	if err != nil {
+		w.pipe.ctr.errors.Add(1)
+		return err
+	}
+	return w.pipe.Scan(ctx, addrs, to)
 }
 
 // advanceCursor commits a fully scored window, persisting at most every
@@ -329,231 +332,14 @@ func (w *Watcher) advanceCursor(head uint64) {
 }
 
 // saveCheckpointNow snapshots cursor + dedup set and writes the checkpoint.
-// Only the raw hash copy happens under w.mu — hex encoding, JSON
-// marshalling and the file write run outside the lock so fetchers' dedup
-// checks never stall on checkpoint I/O.
 func (w *Watcher) saveCheckpointNow() {
-	w.mu.Lock()
-	cursor := w.cursor
-	version := w.lastVersion
-	hashes := make([][32]byte, 0, len(w.seen))
-	for h := range w.seen {
-		hashes = append(hashes, h)
-	}
-	w.mu.Unlock()
-	cp := checkpoint{Cursor: cursor, ModelVersion: version, Seen: make([]string, len(hashes))}
+	hashes, version := w.pipe.snapshotSeen()
+	cp := checkpoint{Cursor: w.Cursor(), ModelVersion: version, Seen: make([]string, len(hashes))}
 	for i, h := range hashes {
 		cp.Seen[i] = hex.EncodeToString(h[:])
 	}
 	if err := saveCheckpoint(w.cfg.CheckpointPath, cp); err != nil {
-		w.ctr.errors.Add(1)
+		w.pipe.ctr.errors.Add(1)
 	}
 	w.lastCkpt = time.Now()
-}
-
-// fetchChunk is one batched eth_getCode unit of work.
-type fetchChunk struct {
-	strs  []string
-	addrs []chain.Address
-}
-
-// scanWindow fetches, dedups and scores every deployment in [from, to],
-// returning once all of them have been judged (or shed under the drop
-// policy). Bytecode is fetched in JSON-RPC batches over the fetch pool.
-// A registry or chunk-level fetch failure aborts the window so the cursor
-// stays put and the window rescans next poll — re-observed deployments are
-// counted seen again and collapse into dedup hits, so scans are
-// at-least-once while scores stay exactly-once.
-func (w *Watcher) scanWindow(ctx context.Context, from, to uint64) error {
-	addrs, err := w.reg.ListContracts(ctx, from, to)
-	if err != nil {
-		w.ctr.errors.Add(1)
-		return err
-	}
-	w.ctr.contractsSeen.Add(uint64(len(addrs)))
-
-	var chunks []fetchChunk
-	cur := fetchChunk{}
-	flush := func() {
-		if len(cur.addrs) > 0 {
-			chunks = append(chunks, cur)
-			cur = fetchChunk{}
-		}
-	}
-	for _, a := range addrs {
-		parsed, err := chain.ParseAddress(a)
-		if err != nil {
-			w.ctr.errors.Add(1)
-			continue
-		}
-		cur.strs = append(cur.strs, a)
-		cur.addrs = append(cur.addrs, parsed)
-		if len(cur.addrs) >= w.cfg.FetchBatch {
-			flush()
-		}
-	}
-	flush()
-
-	var (
-		jobs        sync.WaitGroup // open score jobs for this window
-		fetchers    sync.WaitGroup
-		errOnce     sync.Once
-		fetchErr    error
-		scoreFailed atomic.Bool
-	)
-	feed := make(chan fetchChunk)
-	n := w.cfg.Fetchers
-	if n > len(chunks) {
-		n = len(chunks)
-	}
-	for i := 0; i < n; i++ {
-		fetchers.Add(1)
-		go func() {
-			defer fetchers.Done()
-			for c := range feed {
-				if err := w.fetchChunk(ctx, c, to, &jobs, &scoreFailed); err != nil {
-					errOnce.Do(func() { fetchErr = err })
-				}
-			}
-		}()
-	}
-feed:
-	for _, c := range chunks {
-		select {
-		case feed <- c:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(feed)
-	fetchers.Wait()
-	jobs.Wait()
-	// Deployments must never be silently lost: a fetch or score failure
-	// fails the window so the cursor stays put and the scan retries (failed
-	// scores were un-remembered, so the retry re-scores exactly them).
-	if fetchErr != nil {
-		return fetchErr
-	}
-	if scoreFailed.Load() {
-		return fmt.Errorf("monitor: window [%d,%d]: a deployment failed to score", from, to)
-	}
-	return ctx.Err()
-}
-
-// fetchChunk resolves one address batch: a single batched eth_getCode round
-// trip, then per-contract dedup and enqueue.
-func (w *Watcher) fetchChunk(ctx context.Context, c fetchChunk, head uint64, jobs *sync.WaitGroup, failed *atomic.Bool) error {
-	codes, err := w.rpc.GetCodeBatch(ctx, c.addrs)
-	if err != nil {
-		w.ctr.errors.Add(1)
-		return err
-	}
-	for i, code := range codes {
-		w.ingest(ctx, c.strs[i], code, head, jobs, failed)
-	}
-	return nil
-}
-
-// ingest dedups one fetched deployment by SHA-256 and enqueues it under the
-// configured backpressure policy.
-func (w *Watcher) ingest(ctx context.Context, a string, code []byte, head uint64, jobs *sync.WaitGroup, failed *atomic.Bool) {
-	if len(code) == 0 {
-		return // self-destructed or not a contract; nothing to judge
-	}
-	hash := sha256.Sum256(code)
-	job := scoreJob{addr: a, hash: hash, code: code, head: head, wg: jobs, failed: failed}
-	w.mu.Lock()
-	if _, dup := w.seen[hash]; dup {
-		w.mu.Unlock()
-		w.ctr.dedupHits.Add(1)
-		return
-	}
-	if w.cfg.DropWhenFull {
-		// Decide enqueue-or-shed and (un)remember the hash in one critical
-		// section, so a concurrent clone can never record a dedup hit
-		// against a deployment that ends up shed and unscored.
-		jobs.Add(1)
-		select {
-		case w.queue <- job:
-			w.seen[hash] = struct{}{}
-			w.mu.Unlock()
-		default:
-			w.mu.Unlock()
-			jobs.Done()
-			w.ctr.dropped.Add(1)
-		}
-		return
-	}
-	w.seen[hash] = struct{}{}
-	w.mu.Unlock()
-	jobs.Add(1)
-	select {
-	case w.queue <- job: // backpressure: block until the score pool drains
-	case <-ctx.Done():
-		jobs.Done()
-		// Never scored: un-remember the hash so the post-restart rescan
-		// doesn't collapse this deployment into a dedup hit.
-		w.mu.Lock()
-		delete(w.seen, hash)
-		w.mu.Unlock()
-	}
-}
-
-// scoreLoop drains the queue through the scorer and fires sinks.
-func (w *Watcher) scoreLoop(ctx context.Context) {
-	for job := range w.queue {
-		t0 := time.Now()
-		v, err := w.scorer.ScoreCode(ctx, job.code)
-		w.ctr.latency.observe(time.Since(t0))
-		if err != nil {
-			w.ctr.errors.Add(1)
-			// Un-remember the hash and fail the window: the deployment was
-			// never judged, so the rescan (or a future clone) must get
-			// another chance instead of collapsing into a dedup hit. After
-			// maxScoreRetries consecutive failures the bytecode is a poison
-			// pill: abandon it (hash stays in the dedup set) so the window
-			// can commit and coverage of later blocks continues.
-			w.mu.Lock()
-			w.scoreFail[job.hash]++
-			abandoned := w.scoreFail[job.hash] >= maxScoreRetries
-			if abandoned {
-				delete(w.scoreFail, job.hash)
-			} else {
-				delete(w.seen, job.hash)
-			}
-			w.mu.Unlock()
-			if abandoned {
-				w.ctr.poisoned.Add(1)
-			} else {
-				job.failed.Store(true)
-			}
-		} else {
-			w.mu.Lock()
-			delete(w.scoreFail, job.hash)
-			w.lastVersion = v.Version
-			w.mu.Unlock()
-			w.ctr.contractsScored.Add(1)
-			if v.Phishing && v.Confidence >= w.cfg.Threshold {
-				w.emit(Alert{
-					Address:      job.addr,
-					CodeHash:     hex.EncodeToString(job.hash[:]),
-					Block:        job.head,
-					Confidence:   v.Confidence,
-					Model:        v.Model,
-					ModelVersion: v.Version,
-					Time:         time.Now(),
-				})
-			}
-		}
-		job.wg.Done()
-	}
-}
-
-func (w *Watcher) emit(a Alert) {
-	w.ctr.alerts.Add(1)
-	for _, s := range w.cfg.Sinks {
-		if err := s.Emit(a); err != nil {
-			w.ctr.errors.Add(1)
-		}
-	}
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package phishinghook
+
+const raceEnabled = false

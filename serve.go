@@ -79,9 +79,21 @@ type ScoreBackend interface {
 type ServeOption func(*serveState)
 
 // WithWatcher attaches a Watchtower watcher so /metrics and /healthz expose
-// its monitor counters alongside the detector's.
+// its monitor counters (and, for multi-endpoint watchers, the fetch plane's
+// per-endpoint series) alongside the detector's.
 func WithWatcher(w *Watcher) ServeOption {
 	return func(s *serveState) { s.watcher = w }
+}
+
+// WithBackfill attaches a backfill scanner so /metrics and /healthz expose
+// its pipeline counters, per-shard cursors and per-endpoint fetch-plane
+// series while the range scan runs. When a watcher is attached too, the
+// watcher owns the shared phishinghook_monitor_* / phishinghook_rpc_* metric
+// families (duplicate names are invalid exposition) and the backfill
+// contributes only its phishinghook_backfill_shard_* series; /healthz always
+// carries both full snapshots.
+func WithBackfill(b *Backfill) ServeOption {
+	return func(s *serveState) { s.backfill = b }
 }
 
 // WithPprof mounts the net/http/pprof endpoints on the score mux:
@@ -123,6 +135,7 @@ func WithRetrainer(r *Retrainer) ServeOption {
 
 type serveState struct {
 	watcher   *monitor.Watcher
+	backfill  *Backfill
 	lifecycle *Lifecycle
 	retrainer *Retrainer
 	pprof     bool
@@ -231,6 +244,9 @@ func NewScoreHandler(d ScoreBackend, opts ...ServeOption) http.Handler {
 		if state.watcher != nil {
 			body["monitor"] = state.watcher.Stats()
 		}
+		if state.backfill != nil {
+			body["backfill"] = state.backfill.Stats()
+		}
 		writeJSON(w, http.StatusOK, body)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -332,32 +348,108 @@ func writeMetrics(w http.ResponseWriter, d ScoreBackend, state *serveState) {
 		metric("phishinghook_retrainer_last_ks_p", "Most recent two-sample KS p-value.", "gauge", s.LastKSP)
 	}
 	if wt := state.watcher; wt != nil {
-		s := wt.Stats()
-		metric("phishinghook_monitor_cursor_block", "Last fully scored block.", "gauge", float64(s.Cursor))
-		metric("phishinghook_monitor_polls_total", "Head polls performed.", "counter", float64(s.Polls))
-		metric("phishinghook_monitor_blocks_seen_total", "Blocks scanned.", "counter", float64(s.BlocksSeen))
-		metric("phishinghook_monitor_contracts_seen_total", "Deployments observed.", "counter", float64(s.ContractsSeen))
-		metric("phishinghook_monitor_contracts_scored_total", "Deployments scored.", "counter", float64(s.ContractsScored))
-		metric("phishinghook_monitor_dedup_hits_total", "Deployments skipped as bytecode duplicates.", "counter", float64(s.DedupHits))
-		metric("phishinghook_monitor_alerts_total", "Alerts emitted.", "counter", float64(s.Alerts))
-		metric("phishinghook_monitor_dropped_total", "Deployments shed under the drop policy.", "counter", float64(s.Dropped))
-		metric("phishinghook_monitor_poisoned_total", "Bytecodes abandoned after repeated score failures.", "counter", float64(s.Poisoned))
-		metric("phishinghook_monitor_errors_total", "RPC/registry/sink errors.", "counter", float64(s.Errors))
-		metric("phishinghook_monitor_queue_depth", "Score-queue occupancy.", "gauge", float64(s.QueueDepth))
-		metric("phishinghook_monitor_queue_capacity", "Score-queue bound.", "gauge", float64(s.QueueCap))
-		fmt.Fprintf(&b, "# HELP phishinghook_monitor_score_latency_ms Score latency quantile upper bounds.\n"+
-			"# TYPE phishinghook_monitor_score_latency_ms summary\n"+
-			"phishinghook_monitor_score_latency_ms{quantile=\"0.5\"} %g\n"+
-			"phishinghook_monitor_score_latency_ms{quantile=\"0.99\"} %g\n",
-			s.ScoreP50MS, s.ScoreP99MS)
-		if s.ModelVersion != "" {
-			fmt.Fprintf(&b, "# HELP phishinghook_monitor_model_version Lifecycle version of the watcher's most recent score.\n"+
-				"# TYPE phishinghook_monitor_model_version gauge\n"+
-				"phishinghook_monitor_model_version{version=%q} 1\n", s.ModelVersion)
+		writeMonitorSeries(&b, metric, wt.Stats())
+		writeEndpointSeries(&b, wt.Endpoints())
+	}
+	if bf := state.backfill; bf != nil {
+		s := bf.Stats()
+		// The pipeline and endpoint families are shared with the watcher;
+		// emitting them twice would duplicate metric names (invalid
+		// exposition, Prometheus drops the whole scrape), so with both
+		// attached the watcher owns those families and the backfill
+		// contributes its shard progress.
+		if state.watcher == nil {
+			writeMonitorSeries(&b, metric, s.Stats)
+			writeEndpointSeries(&b, s.Endpoints)
 		}
+		writeShardSeries(&b, s.Shards)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())
+}
+
+// writeMonitorSeries renders the shared ingestion-pipeline counters — the
+// same series whether a live watcher or a backfill drives the pipeline.
+func writeMonitorSeries(b *strings.Builder, metric func(name, help, typ string, v float64), s WatcherStats) {
+	metric("phishinghook_monitor_cursor_block", "Last fully scored block.", "gauge", float64(s.Cursor))
+	metric("phishinghook_monitor_polls_total", "Head polls performed.", "counter", float64(s.Polls))
+	metric("phishinghook_monitor_blocks_seen_total", "Blocks scanned.", "counter", float64(s.BlocksSeen))
+	metric("phishinghook_monitor_contracts_seen_total", "Deployments observed.", "counter", float64(s.ContractsSeen))
+	metric("phishinghook_monitor_contracts_scored_total", "Deployments scored.", "counter", float64(s.ContractsScored))
+	metric("phishinghook_monitor_dedup_hits_total", "Deployments skipped as bytecode duplicates.", "counter", float64(s.DedupHits))
+	metric("phishinghook_monitor_alerts_total", "Alerts emitted.", "counter", float64(s.Alerts))
+	metric("phishinghook_monitor_dropped_total", "Deployments shed under the drop policy.", "counter", float64(s.Dropped))
+	metric("phishinghook_monitor_poisoned_total", "Bytecodes abandoned after repeated score failures.", "counter", float64(s.Poisoned))
+	metric("phishinghook_monitor_errors_total", "RPC/registry/sink errors.", "counter", float64(s.Errors))
+	metric("phishinghook_monitor_queue_depth", "Score-queue occupancy.", "gauge", float64(s.QueueDepth))
+	metric("phishinghook_monitor_queue_capacity", "Score-queue bound.", "gauge", float64(s.QueueCap))
+	fmt.Fprintf(b, "# HELP phishinghook_monitor_score_latency_ms Score latency quantile upper bounds.\n"+
+		"# TYPE phishinghook_monitor_score_latency_ms summary\n"+
+		"phishinghook_monitor_score_latency_ms{quantile=\"0.5\"} %g\n"+
+		"phishinghook_monitor_score_latency_ms{quantile=\"0.99\"} %g\n",
+		s.ScoreP50MS, s.ScoreP99MS)
+	if s.ModelVersion != "" {
+		fmt.Fprintf(b, "# HELP phishinghook_monitor_model_version Lifecycle version of the most recent score.\n"+
+			"# TYPE phishinghook_monitor_model_version gauge\n"+
+			"phishinghook_monitor_model_version{version=%q} 1\n", s.ModelVersion)
+	}
+}
+
+// writeEndpointSeries renders the fetch plane's per-endpoint scheduler
+// state — the operator view of AIMD windows, health and congestion that the
+// backfill/watch throughput story is steered by.
+func writeEndpointSeries(b *strings.Builder, eps []EndpointStats) {
+	if len(eps) == 0 {
+		return
+	}
+	series := func(name, help, typ string, value func(EndpointStats) float64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, ep := range eps {
+			fmt.Fprintf(b, "%s{endpoint=%q} %g\n", name, ep.URL, value(ep))
+		}
+	}
+	series("phishinghook_rpc_endpoint_requests_total", "RPC exchanges attempted per endpoint.", "counter",
+		func(e EndpointStats) float64 { return float64(e.Requests) })
+	series("phishinghook_rpc_endpoint_successes_total", "RPC exchanges answered per endpoint.", "counter",
+		func(e EndpointStats) float64 { return float64(e.Successes) })
+	series("phishinghook_rpc_endpoint_rate_limited_total", "429 responses per endpoint.", "counter",
+		func(e EndpointStats) float64 { return float64(e.RateLimited) })
+	series("phishinghook_rpc_endpoint_timeouts_total", "Timed-out exchanges per endpoint.", "counter",
+		func(e EndpointStats) float64 { return float64(e.Timeouts) })
+	series("phishinghook_rpc_endpoint_failures_total", "Other transport/server faults per endpoint.", "counter",
+		func(e EndpointStats) float64 { return float64(e.Failures) })
+	series("phishinghook_rpc_endpoint_hedges_total", "Hedged (raced) requests per endpoint.", "counter",
+		func(e EndpointStats) float64 { return float64(e.Hedges) })
+	series("phishinghook_rpc_endpoint_limit", "Current AIMD concurrency window (0 = uncapped single-endpoint mode).", "gauge",
+		func(e EndpointStats) float64 { return e.Limit })
+	series("phishinghook_rpc_endpoint_inflight", "Exchanges currently charged against the window.", "gauge",
+		func(e EndpointStats) float64 { return float64(e.Inflight) })
+	series("phishinghook_rpc_endpoint_health", "Success EWMA per endpoint.", "gauge",
+		func(e EndpointStats) float64 { return e.Health })
+}
+
+// writeShardSeries renders backfill shard progress.
+func writeShardSeries(b *strings.Builder, shards []monitor.ShardStats) {
+	if len(shards) == 0 {
+		return
+	}
+	series := func(name, help, typ string, value func(monitor.ShardStats) float64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for i, sh := range shards {
+			fmt.Fprintf(b, "%s{shard=\"%d\"} %g\n", name, i, value(sh))
+		}
+	}
+	series("phishinghook_backfill_shard_cursor", "Last fully scored block per shard.", "gauge",
+		func(s monitor.ShardStats) float64 { return float64(s.Cursor) })
+	series("phishinghook_backfill_shard_done", "1 once the shard finished its range.", "gauge",
+		func(s monitor.ShardStats) float64 {
+			if s.Done {
+				return 1
+			}
+			return 0
+		})
+	series("phishinghook_backfill_shard_remaining_blocks", "Blocks left to scan per shard.", "gauge",
+		func(s monitor.ShardStats) float64 { return float64(s.To - s.Cursor) })
 }
 
 // writeLifecycleMetrics renders the Swappable's per-version counters and

@@ -82,6 +82,7 @@ type Simulation struct {
 	service  *explorer.Service
 	rpcSrv   *httptest.Server
 	explSrv  *httptest.Server
+	extraRPC []*httptest.Server
 	timeline synth.Timeline
 }
 
@@ -187,6 +188,28 @@ func (s *Simulation) GroundTruth(address string) (phishing, ok bool) {
 // RPCURL returns the simulated node's JSON-RPC endpoint.
 func (s *Simulation) RPCURL() string { return s.rpcSrv.URL }
 
+// AddRPCEndpoints starts n additional JSON-RPC servers over the same chain
+// state and returns their URLs — the substrate for multi-endpoint fetch
+// planes (backfill, multi-endpoint watch). itemsPerSec > 0 puts an
+// independent token bucket of that sustained rate (burst depth `burst`) in
+// front of each endpoint, answering 429 + Retry-After beyond it, the way
+// real providers cap per-key request rates; 0 leaves the endpoint
+// unlimited. Close shuts the extra servers down with the rest of the
+// simulation.
+func (s *Simulation) AddRPCEndpoints(n int, itemsPerSec, burst float64) []string {
+	urls := make([]string, n)
+	for i := range urls {
+		var opts []ethrpc.ServerOption
+		if itemsPerSec > 0 {
+			opts = append(opts, ethrpc.WithServerRateLimit(itemsPerSec, burst))
+		}
+		srv := httptest.NewServer(ethrpc.NewServer(s.chain, 1, opts...))
+		s.extraRPC = append(s.extraRPC, srv)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
 // ExplorerURL returns the simulated explorer's base URL.
 func (s *Simulation) ExplorerURL() string { return s.explSrv.URL }
 
@@ -215,10 +238,13 @@ func (s *Simulation) MonthlyPhishing() (obtained, unique [synth.NumMonths]int) {
 	return s.timeline.Obtained, s.timeline.Unique
 }
 
-// Close shuts down both HTTP servers.
+// Close shuts down every HTTP server the simulation started.
 func (s *Simulation) Close() {
 	s.rpcSrv.Close()
 	s.explSrv.Close()
+	for _, srv := range s.extraRPC {
+		srv.Close()
+	}
 }
 
 // Dataset materializes the balanced, deduplicated dataset directly from the

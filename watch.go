@@ -27,6 +27,18 @@ type (
 	AlertSink = monitor.Sink
 	// JSONLSink appends alerts as JSON lines to a writer or file.
 	JSONLSink = monitor.JSONLSink
+	// Backfill scans a historical block range through the shared ingestion
+	// pipeline: parallel range shards over an adaptive multi-endpoint fetch
+	// plane, with resumable per-shard checkpoints.
+	Backfill = monitor.Backfill
+	// BackfillConfig tunes a Backfill (endpoints, range, shards, pipeline
+	// knobs, checkpoint).
+	BackfillConfig = monitor.BackfillConfig
+	// BackfillStats snapshots a backfill: pipeline counters plus per-shard
+	// progress and per-endpoint fetch-plane state.
+	BackfillStats = monitor.BackfillStats
+	// EndpointStats is one RPC endpoint's AIMD/health/throughput snapshot.
+	EndpointStats = ethrpc.EndpointStats
 )
 
 // CodeScorer is the scoring surface a watcher drives: both *Detector (one
@@ -64,6 +76,19 @@ func NewWatcher(s CodeScorer, cfg WatcherConfig) (*Watcher, error) {
 		return nil, fmt.Errorf("phishinghook: NewWatcher needs a scorer")
 	}
 	return monitor.New(codeScorer{s}, cfg)
+}
+
+// NewBackfill builds a backfill scanner that scores every historical
+// deployment in a block range through the given surface — a *Detector, or a
+// *Swappable lifecycle handle. The range is partitioned into parallel
+// shards, fetches fan out over cfg.RPCURLs through the adaptive
+// multi-endpoint plane, and per-shard progress checkpoints to
+// cfg.CheckpointPath so a killed backfill resumes exactly where it stopped.
+func NewBackfill(s CodeScorer, cfg BackfillConfig) (*Backfill, error) {
+	if s == nil {
+		return nil, fmt.Errorf("phishinghook: NewBackfill needs a scorer")
+	}
+	return monitor.NewBackfill(codeScorer{s}, cfg)
 }
 
 // NewJSONLSink wraps a writer that receives one JSON alert per line.

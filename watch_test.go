@@ -239,6 +239,71 @@ func TestMetricsWithWatcher(t *testing.T) {
 	}
 }
 
+// TestMetricsWithBackfill checks the serving layer surfaces the backfill's
+// per-shard and per-endpoint fetch-plane series once a backfill is attached.
+func TestMetricsWithBackfill(t *testing.T) {
+	ds, _ := testCorpus(t)
+	spec, err := ModelByName("Random Forest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(spec, ds, WithDetectorSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := startSim(t, 29)
+	from, _ := sim.StudyWindow()
+	b, err := NewBackfill(det, BackfillConfig{
+		RPCURLs:     sim.AddRPCEndpoints(2, 0, 0),
+		ExplorerURL: sim.ExplorerURL(),
+		From:        from,
+		To:          sim.TailBlock(),
+		Shards:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewScoreHandler(det, WithBackfill(b)))
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(blob)
+	for _, want := range []string{
+		"phishinghook_monitor_contracts_scored_total",
+		"phishinghook_backfill_shard_cursor{shard=\"0\"}",
+		"phishinghook_backfill_shard_done{shard=\"1\"} 1",
+		"phishinghook_rpc_endpoint_requests_total{endpoint=",
+		"phishinghook_rpc_endpoint_limit{endpoint=",
+		"phishinghook_rpc_endpoint_health{endpoint=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	hblob, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(hblob), "\"backfill\"") || !strings.Contains(string(hblob), "\"shards\"") {
+		t.Errorf("healthz missing backfill stats: %s", hblob)
+	}
+}
+
 // BenchmarkWatcherThroughput measures the Watchtower's sustained pipeline
 // rate — registry listing, concurrent eth_getCode fetches, SHA-256 dedup and
 // histogram-model scoring over real HTTP — in contracts per second. The
