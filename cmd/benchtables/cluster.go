@@ -1,0 +1,287 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	ph "github.com/phishinghook/phishinghook"
+)
+
+// Cluster-gate parameters. Each replica's scoring capacity is token-bucket
+// limited, so the 1-vs-2-vs-4 comparison is capacity-bound, not CPU-bound:
+// one replica tops out at its own bucket regardless of runner speed, while
+// the router draws on every replica's bucket at once — the same physics as
+// the backfill gate, and the reason a relative gate holds on a loaded
+// 1-core CI runner where absolute scores/sec would flake.
+const (
+	clusterRateItems  = 400.0 // scored bytecodes/sec each replica sustains
+	clusterRateBurst  = 64.0
+	clusterUnique     = 400 // unique bytecodes in the workload
+	clusterRepeats    = 3   // times each unique code is scored (duplicates exercise the cache)
+	clusterBatch      = 64
+	clusterClients    = 16
+	clusterRounds     = 3
+	clusterMinSpeedup = 3.0
+	// The cluster-wide hit rate may not fall more than this below the
+	// single-process hit rate: consistent hashing gives every unique code
+	// exactly one cold miss cluster-wide, so partitioning must not cost
+	// cache locality. (Random spraying over 4 replicas would quadruple the
+	// misses and fail this immediately.)
+	clusterHitRateSlack = 0.01
+)
+
+// tokenBucket is a blocking rate limiter: Wait returns once n tokens are
+// available, modeling a replica's capacity ceiling without an error path.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+func (tb *tokenBucket) Wait(ctx context.Context, n float64) error {
+	for {
+		tb.mu.Lock()
+		now := time.Now()
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = now
+		if tb.tokens >= n {
+			tb.tokens -= n
+			tb.mu.Unlock()
+			return nil
+		}
+		need := time.Duration((n - tb.tokens) / tb.rate * float64(time.Second))
+		tb.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(need):
+		}
+	}
+}
+
+// limitedBackend throttles a detector to a fixed scoring rate.
+type limitedBackend struct {
+	*ph.Detector
+	bucket *tokenBucket
+}
+
+func (b *limitedBackend) ScoreBatch(ctx context.Context, codes [][]byte) ([]ph.Verdict, error) {
+	if err := b.bucket.Wait(ctx, float64(len(codes))); err != nil {
+		return nil, err
+	}
+	return b.Detector.ScoreBatch(ctx, codes)
+}
+
+// clusterRun is one cluster size's measurement within a round.
+type clusterRun struct {
+	Replicas      int     `json:"replicas"`
+	ThroughputCPS float64 `json:"scores_per_sec"`
+	HitRate       float64 `json:"cache_hit_rate"`
+	Rehashes      uint64  `json:"rehashes"`
+}
+
+type clusterRound struct {
+	Runs    []clusterRun `json:"runs"`
+	Speedup float64      `json:"speedup_4x"` // 4-replica vs 1-replica, paired within the round
+}
+
+// clusterReport is the BENCH_cluster.json envelope consumed by the CI
+// regression guard.
+type clusterReport struct {
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Seed      int64   `json:"seed"`
+	RateLimit float64 `json:"rate_limit_scores_per_sec"`
+	Unique    int     `json:"unique_bytecodes"`
+	Repeats   int     `json:"repeats"`
+
+	Rounds []clusterRound `json:"rounds"`
+	// Speedup is the best per-round paired 4-replica/1-replica ratio
+	// (quietest-round convention) — the gated number.
+	Speedup float64 `json:"speedup_4x"`
+	// HitRateSingle/HitRateCluster are taken from the best round: the
+	// single process's cache hit rate vs the 4-replica cluster-wide rate.
+	HitRateSingle  float64 `json:"hit_rate_single"`
+	HitRateCluster float64 `json:"hit_rate_cluster"`
+}
+
+// runClusterBench measures /score throughput and cluster-wide cache hit
+// rate through the consistent-hash router at 1, 2 and 4 replicas over
+// rate-limited backends, writes BENCH_cluster.json, and fails when 4
+// replicas don't deliver at least clusterMinSpeedup× one replica or the
+// cluster-wide hit rate falls below the single-process hit rate.
+func runClusterBench(seed int64, path string) error {
+	simCfg := ph.DefaultSimulationConfig(seed)
+	simCfg.ObtainedPhishing = 2 * clusterUnique
+	simCfg.UniquePhishing = clusterUnique
+	simCfg.Benign = clusterUnique
+	sim, err := ph.StartSimulation(simCfg)
+	if err != nil {
+		return err
+	}
+	defer sim.Close()
+	spec, err := ph.ModelByName("Random Forest")
+	if err != nil {
+		return err
+	}
+	det, err := ph.Train(spec, sim.Dataset(), ph.WithDetectorSeed(seed))
+	if err != nil {
+		return err
+	}
+	// Serialize once; every replica loads its own instance so caches are
+	// per-replica, exactly as in a real cluster of processes.
+	var blob bytes.Buffer
+	if err := det.Save(&blob); err != nil {
+		return err
+	}
+
+	// Workload: every unique on-chain bytecode, scored clusterRepeats
+	// times (clones and re-submissions are the production shape the dedup
+	// cache exists for).
+	raw := sim.RawDataset()
+	unique := raw.Samples
+	if len(unique) > clusterUnique {
+		unique = unique[:clusterUnique]
+	}
+	var workload [][]byte
+	for r := 0; r < clusterRepeats; r++ {
+		for _, s := range unique {
+			workload = append(workload, s.Bytecode)
+		}
+	}
+
+	ctx := context.Background()
+	measure := func(replicas int) (clusterRun, error) {
+		run := clusterRun{Replicas: replicas}
+		backends := make([]*limitedBackend, replicas)
+		urls := make([]string, replicas)
+		servers := make([]*httptest.Server, replicas)
+		for i := range backends {
+			d, err := ph.LoadDetector(bytes.NewReader(blob.Bytes()))
+			if err != nil {
+				return run, err
+			}
+			backends[i] = &limitedBackend{Detector: d, bucket: newTokenBucket(clusterRateItems, clusterRateBurst)}
+			servers[i] = httptest.NewServer(ph.NewScoreHandler(backends[i], ph.WithClusterRole("replica")))
+			urls[i] = servers[i].URL
+		}
+		defer func() {
+			for _, s := range servers {
+				s.Close()
+			}
+		}()
+		rt, err := ph.NewClusterRouter(ph.ClusterConfig{Replicas: urls})
+		if err != nil {
+			return run, err
+		}
+		// Fan the workload through the router in batches from concurrent
+		// clients, the way real traffic arrives.
+		batches := make(chan [][]byte, len(workload)/clusterBatch+1)
+		for i := 0; i < len(workload); i += clusterBatch {
+			end := i + clusterBatch
+			if end > len(workload) {
+				end = len(workload)
+			}
+			batches <- workload[i:end]
+		}
+		close(batches)
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, clusterClients)
+		for c := 0; c < clusterClients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for batch := range batches {
+					if _, err := rt.RouteBatch(ctx, batch); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errCh)
+		if err := <-errCh; err != nil {
+			return run, err
+		}
+		elapsed := time.Since(t0).Seconds()
+		var hits, misses uint64
+		for _, b := range backends {
+			h, m := b.CacheStats()
+			hits, misses = hits+h, misses+m
+		}
+		run.ThroughputCPS = float64(len(workload)) / elapsed
+		run.HitRate = float64(hits) / float64(hits+misses)
+		run.Rehashes = rt.Stats().Rehashes
+		return run, nil
+	}
+
+	report := clusterReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Seed: seed,
+		RateLimit: clusterRateItems, Unique: len(unique), Repeats: clusterRepeats,
+	}
+	for round := 0; round < clusterRounds; round++ {
+		var rr clusterRound
+		var one, four clusterRun
+		for _, n := range []int{1, 2, 4} {
+			run, err := measure(n)
+			if err != nil {
+				return fmt.Errorf("round %d, %d replicas: %w", round, n, err)
+			}
+			rr.Runs = append(rr.Runs, run)
+			fmt.Printf("round %d: %d replica(s) %7.0f scores/sec, hit rate %.3f\n",
+				round, n, run.ThroughputCPS, run.HitRate)
+			switch n {
+			case 1:
+				one = run
+			case 4:
+				four = run
+			}
+		}
+		rr.Speedup = four.ThroughputCPS / one.ThroughputCPS
+		report.Rounds = append(report.Rounds, rr)
+		if rr.Speedup > report.Speedup {
+			report.Speedup = rr.Speedup
+			report.HitRateSingle = one.HitRate
+			report.HitRateCluster = four.HitRate
+		}
+	}
+	fmt.Printf("4-replica cluster speedup: %.2fx (gate: >= %.1fx); hit rate single %.3f vs cluster %.3f\n",
+		report.Speedup, clusterMinSpeedup, report.HitRateSingle, report.HitRateCluster)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	if report.Speedup < clusterMinSpeedup {
+		return fmt.Errorf("cluster regression: 4-replica speedup %.2fx below the %.1fx gate",
+			report.Speedup, clusterMinSpeedup)
+	}
+	if report.HitRateCluster < report.HitRateSingle-clusterHitRateSlack {
+		return fmt.Errorf("cluster regression: cluster-wide hit rate %.3f below single-process %.3f",
+			report.HitRateCluster, report.HitRateSingle)
+	}
+	return nil
+}

@@ -29,6 +29,7 @@ func main() {
 	hotpath := flag.String("hotpath", "", "write featurize/score hot-path benchmarks to this JSON file and exit (fails if the cached Score path allocates)")
 	lifecycleOut := flag.String("lifecycle", "", "write model-lifecycle benchmarks (swap latency, shadow-mode overhead) to this JSON file and exit (fails if shadow overhead exceeds 10%)")
 	backfillOut := flag.String("backfill", "", "write backfill-vs-watcher throughput benchmarks over a rate-limited RPC plane to this JSON file and exit (fails if the multi-endpoint speedup is below 2x)")
+	clusterOut := flag.String("cluster", "", "write scoring-cluster benchmarks (1 vs 2 vs 4 rate-limited replicas behind the consistent-hash router) to this JSON file and exit (fails below a 3x 4-replica speedup or if the cluster-wide cache hit rate drops)")
 	flag.Parse()
 
 	if *hotpath != "" {
@@ -45,6 +46,12 @@ func main() {
 	}
 	if *backfillOut != "" {
 		if err := runBackfillBench(*seed, *backfillOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *clusterOut != "" {
+		if err := runClusterBench(*seed, *clusterOut); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -54,6 +54,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	ph "github.com/phishinghook/phishinghook"
@@ -87,6 +88,8 @@ func main() {
 		err = cmdScore(args)
 	case "serve":
 		err = cmdServe(args)
+	case "route":
+		err = cmdRoute(args)
 	case "watch":
 		err = cmdWatch(args)
 	case "backfill":
@@ -103,8 +106,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate|train|score|serve|watch|backfill|retrain> [flags]
+	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate|train|score|serve|route|watch|backfill|retrain> [flags]
 run "phishinghook <command> -h" for command flags
+
+route consistent-hashes /score across serve replicas (cluster-wide cache):
+  phishinghook route -replicas http://127.0.0.1:8981,http://127.0.0.1:8982
 
 watch follows the chain head and scores every new deployment, e.g.:
   phishinghook watch -months 1 -threshold 0.9 -alerts alerts.jsonl -checkpoint watch.cursor
@@ -659,6 +665,7 @@ func cmdServe(args []string) error {
 	storeDir := fs.String("store", "", "model-store directory: serve its champion through the lifecycle handle and mount the /admin endpoints")
 	adminListen := fs.String("admin-listen", "", "separate listener for the /admin endpoints (with -store); empty mounts them on -listen, which exposes model control to every scoring client")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling)")
+	role := fs.String("role", "standalone", `cluster role reported on /healthz and /readyz ("replica" when fronted by phishinghook route)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -669,7 +676,7 @@ func cmdServe(args []string) error {
 	if sim != nil {
 		defer sim.Close()
 	}
-	var opts []ph.ServeOption
+	opts := []ph.ServeOption{ph.WithClusterRole(*role)}
 	separateAdmin := *storeDir != "" && *adminListen != ""
 	if *pprofOn && !separateAdmin {
 		opts = append(opts, ph.WithPprof())
@@ -714,7 +721,72 @@ func cmdServe(args []string) error {
 		backend = det
 		fmt.Printf("serving %s on http://%s  (POST /score, GET /healthz, GET /metrics)\n", det.ModelName(), *listen)
 	}
-	return http.ListenAndServe(*listen, ph.NewScoreHandler(backend, opts...))
+	return serveGracefully(*listen, ph.NewScoreHandler(backend, opts...))
+}
+
+// serveGracefully runs the hardened server until SIGTERM/SIGINT, then
+// drains: readiness flips unready, the listener closes, and every accepted
+// score request completes before the process exits — a replica kill in a
+// rolling restart drops nothing.
+func serveGracefully(listen string, h http.Handler) error {
+	srv := ph.NewServer(listen, h)
+	errc, err := srv.Start()
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Println("shutting down: draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return srv.Shutdown(drainCtx)
+}
+
+// cmdRoute runs the scoring cluster's stateless router: consistent-hash
+// fan-out of /score across `phishinghook serve -role replica` processes,
+// with AIMD windows, hash-neighborhood failover and rolling promote across
+// the ring.
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	replicas := fs.String("replicas", "", "comma-separated replica base URLs (required), e.g. http://127.0.0.1:8981,http://127.0.0.1:8982")
+	listen := fs.String("listen", "127.0.0.1:8970", "HTTP listen address")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per replica (default 64)")
+	neighborhood := fs.Int("neighborhood", 2, "replicas eligible per key: owner + n-1 ring successors (1 disables failover)")
+	hedge := fs.Duration("hedge", 0, "re-issue a straggling sub-request on a second neighborhood replica after this delay (0 disables)")
+	maxPending := fs.Int("max-pending", 0, "bytecodes admitted but unanswered before 429 (default 4096)")
+	maxConc := fs.Int("max-concurrency", 0, "AIMD window cap per replica (default 64)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *replicas == "" {
+		return fmt.Errorf("route: -replicas is required")
+	}
+	var bases []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			bases = append(bases, strings.TrimRight(r, "/"))
+		}
+	}
+	rt, err := ph.NewClusterRouter(ph.ClusterConfig{
+		Replicas:       bases,
+		Vnodes:         *vnodes,
+		Neighborhood:   *neighborhood,
+		Hedge:          *hedge,
+		MaxPending:     *maxPending,
+		MaxConcurrency: *maxConc,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("routing /score across %d replicas on http://%s  (GET /healthz /metrics, POST /admin/promote for a rolling promote)\n",
+		len(bases), *listen)
+	return serveGracefully(*listen, rt.Handler())
 }
 
 // cmdBackfill scans an arbitrary historical block range — the paper's own

@@ -1,0 +1,184 @@
+// Scorecluster: the scoring tier as a cluster — three hot-swappable
+// replicas behind the consistent-hash router, the deployment shape for
+// chain-scale scanning where one process's CPU or cache is not enough.
+//
+// The router hashes each bytecode (SHA-256) onto a 64-vnode ring, so every
+// unique contract has exactly one home replica: the cluster-wide dedup
+// cache then behaves like one big cache — each unique bytecode is a cold
+// miss exactly once across the whole cluster, and clones land hot wherever
+// they are resubmitted. The demo walks the cluster through its three
+// operational moments:
+//
+//	score   — fan a live workload through the ring, watch it partition
+//	promote — roll a retrained champion across every replica with zero
+//	          dropped scores (promote one, readiness-gate, reload the rest)
+//	failover— shut a replica down mid-traffic and watch its keys rehash to
+//	          ring neighbors while scoring keeps succeeding
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	ph "github.com/phishinghook/phishinghook"
+)
+
+const replicas = 3
+
+func main() {
+	log.SetFlags(0)
+
+	sim, err := ph.StartSimulation(ph.DefaultSimulationConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+	ds := sim.Dataset()
+
+	// Train the launch champion and a retrained candidate, and stage them
+	// in one shared model store: v1 deployed, v2 shadowed. Every replica
+	// opens this store, so a promote on one rewrites the manifest all of
+	// them reload from.
+	dir, err := os.MkdirTemp("", "scorecluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	spec, err := ph.ModelByName("Random Forest")
+	if err != nil {
+		log.Fatal(err)
+	}
+	launch, err := ph.Train(spec, ds, ph.WithDetectorSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	retrained, err := ph.Train(spec, ds, ph.WithDetectorSeed(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	seedStore, err := ph.OpenModelStore(filepath.Join(dir, "models"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	lcSeed, err := ph.NewLifecycle(seedStore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v1, err := lcSeed.SaveVersion(launch, ph.ModelMeta{Note: "launch artifact"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := lcSeed.Deploy(v1.ID); err != nil {
+		log.Fatal(err)
+	}
+	v2, err := lcSeed.SaveVersion(retrained, ph.ModelMeta{Parent: v1.ID, Note: "retrained candidate"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := lcSeed.Shadow(v2.ID); err != nil {
+		log.Fatal(err)
+	}
+	lcSeed.Handle().Close()
+
+	// Spin the replicas: each is its own process-shaped unit — own store
+	// handle, own lifecycle, own dedup cache — behind the hardened server
+	// wrapper (timeouts, /readyz, graceful drain).
+	ctx := context.Background()
+	servers := make([]*ph.Server, replicas)
+	urls := make([]string, replicas)
+	for i := range servers {
+		store, err := ph.OpenModelStore(filepath.Join(dir, "models"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		lc, err := ph.NewLifecycle(store)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer lc.Handle().Close()
+		h := ph.NewScoreHandler(lc.Handle(), ph.WithLifecycle(lc), ph.WithClusterRole("replica"))
+		servers[i] = ph.NewServer("127.0.0.1:0", h)
+		if _, err := servers[i].Start(); err != nil {
+			log.Fatal(err)
+		}
+		urls[i] = "http://" + servers[i].Addr()
+	}
+	rt, err := ph.NewClusterRouter(ph.ClusterConfig{Replicas: urls})
+	if err != nil {
+		log.Fatal(err)
+	}
+	front := ph.NewServer("127.0.0.1:0", rt.Handler())
+	if _, err := front.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: router %s over %d replicas\n", front.Addr(), replicas)
+	for i, f := range rt.Stats().Keyspace {
+		fmt.Printf("  replica %d  %s  owns %4.1f%% of the keyspace\n", i, urls[i], 100*f)
+	}
+
+	// The workload: every corpus bytecode, submitted twice — the second
+	// pass should be entirely cache hits because the ring keeps each code
+	// on its home replica.
+	var workload [][]byte
+	for pass := 0; pass < 2; pass++ {
+		for _, s := range ds.Samples {
+			workload = append(workload, s.Bytecode)
+		}
+	}
+	score := func(label string) {
+		t0 := time.Now()
+		phishing := 0
+		for i := 0; i < len(workload); i += 64 {
+			end := i + 64
+			if end > len(workload) {
+				end = len(workload)
+			}
+			vs, err := rt.RouteBatch(ctx, workload[i:end])
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, v := range vs {
+				if v.Phishing {
+					phishing++
+				}
+			}
+		}
+		s := rt.Stats()
+		fmt.Printf("%s: %d scores in %s (%d flagged phishing, %d rehashes so far)\n",
+			label, len(workload), time.Since(t0).Round(time.Millisecond), phishing, s.Rehashes)
+	}
+	score("score  ")
+
+	// Roll the shadowed candidate out across the ring: promote on one
+	// replica (rewrites the shared manifest), then readiness-gated reloads
+	// on the rest. Traffic keeps flowing throughout in production; here the
+	// survey shows every replica converged on the new champion.
+	steps, err := rt.RollingPromote(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range steps {
+		fmt.Printf("promote: %-7s %s -> champion %s (ready after %dms)\n",
+			st.Action, st.Replica, st.Champion, st.WaitMS)
+	}
+	for _, rs := range rt.Survey(ctx) {
+		fmt.Printf("survey : %s ready=%v champion=%s\n", rs.Replica, rs.Ready, rs.Champion)
+	}
+
+	// Kill one replica and score the whole workload again: its keys rehash
+	// to ring neighbors (counted as rehashes), and every score still
+	// succeeds — graceful degradation, not an outage.
+	shutCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := servers[replicas-1].Shutdown(shutCtx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("killed replica %d\n", replicas-1)
+	score("failover")
+
+	_ = front.Shutdown(shutCtx)
+}

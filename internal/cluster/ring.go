@@ -1,0 +1,130 @@
+// Package cluster implements the horizontal scoring tier: a stateless
+// router that consistent-hashes bytecodes (by their SHA-256, the same key
+// the replica-side dedup and LRU memoize on) across N hot-swappable
+// `phishinghook serve` replicas. Because every unique bytecode is owned by
+// exactly one replica, the sharded score cache and dedup memoization become
+// cluster-wide properties: a clone deployed anywhere on the chain hits the
+// cache line its first sighting warmed, no matter which client asked.
+//
+// The router's client side schedules through the endpoint-generic
+// ethrpc.Plane — per-replica AIMD concurrency windows, health-EWMA
+// selection within each key's hash neighborhood (owner preferred, ring
+// successors as failover), hedged requests, and typed 429/transient retry
+// with Retry-After honoring — so a replica dying mid-flight degrades to its
+// ring neighbors instead of failing scores.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVnodes is the per-replica virtual-node count: enough that keyspace
+// ownership stays within a few percent of uniform for small clusters, small
+// enough that ring construction and the binary searches stay trivial.
+const DefaultVnodes = 64
+
+// Ring is a consistent-hash ring over replica indices. Immutable once
+// built; rebuilding on membership change moves only ~1/N of the keyspace.
+type Ring struct {
+	replicas []string
+	perNode  int
+	vnodes   []vnode   // sorted by hash
+	owned    []float64 // keyspace fraction per replica
+}
+
+type vnode struct {
+	hash  uint64
+	owner int
+}
+
+// NewRing places vnodesPer virtual nodes per replica (<=0 uses
+// DefaultVnodes) on a 64-bit hash ring.
+func NewRing(replicas []string, vnodesPer int) (*Ring, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one replica")
+	}
+	if vnodesPer <= 0 {
+		vnodesPer = DefaultVnodes
+	}
+	r := &Ring{
+		replicas: append([]string(nil), replicas...),
+		perNode:  vnodesPer,
+		vnodes:   make([]vnode, 0, len(replicas)*vnodesPer),
+		owned:    make([]float64, len(replicas)),
+	}
+	for i, name := range replicas {
+		for v := 0; v < vnodesPer; v++ {
+			h := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", name, v)))
+			r.vnodes = append(r.vnodes, vnode{hash: binary.BigEndian.Uint64(h[:8]), owner: i})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool { return r.vnodes[a].hash < r.vnodes[b].hash })
+	// Arc before each vnode belongs to that vnode's owner (successor rule).
+	for i, vn := range r.vnodes {
+		var prev uint64
+		if i > 0 {
+			prev = r.vnodes[i-1].hash
+		} else {
+			prev = r.vnodes[len(r.vnodes)-1].hash // wrap-around arc
+		}
+		arc := vn.hash - prev // uint64 wrap handles the around-zero arc
+		r.owned[vn.owner] += float64(arc) / (1 << 63) / 2
+	}
+	return r, nil
+}
+
+// Replicas returns the ring membership in construction order.
+func (r *Ring) Replicas() []string { return r.replicas }
+
+// Vnodes returns the per-replica virtual-node count.
+func (r *Ring) Vnodes() int { return r.perNode }
+
+// OwnedFraction returns replica i's share of the keyspace — the ring
+//-balance figure the router exports on /metrics.
+func (r *Ring) OwnedFraction(i int) float64 { return r.owned[i] }
+
+// KeyOf is the routing key for one bytecode: its SHA-256 — identical to the
+// digest the replica-side dedup set and sharded LRU key on, which is what
+// makes router ownership line up with cache residency.
+func KeyOf(code []byte) [32]byte { return sha256.Sum256(code) }
+
+// successor returns the index into vnodes of the first vnode at or after
+// the key's position (wrapping).
+func (r *Ring) successor(key [32]byte) int {
+	h := binary.BigEndian.Uint64(key[:8])
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the replica index owning the key.
+func (r *Ring) Owner(key [32]byte) int {
+	return r.vnodes[r.successor(key)].owner
+}
+
+// Neighborhood returns the key's owner followed by its next k-1 distinct
+// ring-successor replicas — the candidate set the router schedules within,
+// so a dead or saturated owner rehashes to the replicas that would inherit
+// its arc anyway.
+func (r *Ring) Neighborhood(key [32]byte, k int) []int {
+	if k > len(r.replicas) {
+		k = len(r.replicas)
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	for i := r.successor(key); len(out) < k; i = (i + 1) % len(r.vnodes) {
+		if o := r.vnodes[i].owner; !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}

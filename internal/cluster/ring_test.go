@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func testKeys(n int) [][32]byte {
+	keys := make([][32]byte, n)
+	for i := range keys {
+		keys[i] = KeyOf([]byte(fmt.Sprintf("bytecode-%d", i)))
+	}
+	return keys
+}
+
+func TestRingDeterministicOwnership(t *testing.T) {
+	replicas := []string{"http://a", "http://b", "http://c"}
+	r1, err := NewRing(replicas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(replicas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Vnodes() != DefaultVnodes {
+		t.Fatalf("default vnodes = %d, want %d", r1.Vnodes(), DefaultVnodes)
+	}
+	for _, key := range testKeys(500) {
+		if r1.Owner(key) != r2.Owner(key) {
+			t.Fatal("two rings over the same membership disagree on ownership")
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	replicas := []string{"http://a", "http://b", "http://c", "http://d"}
+	r, err := NewRing(replicas, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keyspace fractions must sum to ~1 and stay within a sane band of the
+	// uniform 1/N share.
+	var sum float64
+	for i := range replicas {
+		f := r.OwnedFraction(i)
+		sum += f
+		if f < 0.10 || f > 0.45 {
+			t.Fatalf("replica %d owns %.3f of the keyspace; want a sane share of 0.25", i, f)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ownership fractions sum to %v, want 1", sum)
+	}
+	// Empirical key placement should roughly match the keyspace fractions.
+	counts := make([]int, len(replicas))
+	keys := testKeys(4000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	for i, c := range counts {
+		share := float64(c) / float64(len(keys))
+		if math.Abs(share-r.OwnedFraction(i)) > 0.05 {
+			t.Fatalf("replica %d got %.3f of keys but owns %.3f of keyspace", i, share, r.OwnedFraction(i))
+		}
+	}
+}
+
+func TestRingNeighborhood(t *testing.T) {
+	replicas := []string{"http://a", "http://b", "http://c"}
+	r, err := NewRing(replicas, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(200) {
+		hood := r.Neighborhood(key, 2)
+		if len(hood) != 2 {
+			t.Fatalf("neighborhood size %d, want 2", len(hood))
+		}
+		if hood[0] != r.Owner(key) {
+			t.Fatal("neighborhood[0] must be the owner")
+		}
+		if hood[0] == hood[1] {
+			t.Fatal("neighborhood members must be distinct replicas")
+		}
+		// Asking for more members than replicas clamps.
+		if got := len(r.Neighborhood(key, 10)); got != len(replicas) {
+			t.Fatalf("oversized neighborhood has %d members, want %d", got, len(replicas))
+		}
+	}
+}
+
+func TestRingMembershipChangeMovesFewKeys(t *testing.T) {
+	before, err := NewRing([]string{"http://a", "http://b", "http://c"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"http://a", "http://b", "http://c", "http://d"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(4000)
+	moved := 0
+	for _, key := range keys {
+		if before.Owner(key) != after.Owner(key) {
+			moved++
+		}
+	}
+	// Consistent hashing moves ~1/N of keys when a replica joins; modulo
+	// hashing would move ~3/4 of them. Allow generous slack over 1/4.
+	if frac := float64(moved) / float64(len(keys)); frac > 0.40 {
+		t.Fatalf("adding one replica moved %.2f of keys; consistent hashing should move ~0.25", frac)
+	}
+}

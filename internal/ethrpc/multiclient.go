@@ -2,19 +2,15 @@ package ethrpc
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"net"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/phishinghook/phishinghook/internal/chain"
 )
 
 // MultiClient fans JSON-RPC calls across several endpoints — the adaptive
-// fetch plane under the backfill engine and the watcher. Every endpoint runs
-// its own AIMD concurrency window (grow additively on success, halve on
+// fetch plane under the backfill engine and the watcher. It is a thin
+// JSON-RPC skin over the endpoint-generic Plane scheduler: every endpoint
+// runs its own AIMD concurrency window (grow additively on success, halve on
 // 429/timeout, TCP-style), a health EWMA steers each call toward the
 // endpoint most likely to answer, and an optional hedge re-issues straggling
 // requests on a second endpoint. Rate-limited providers are the point: one
@@ -27,66 +23,32 @@ import (
 //
 // Safe for concurrent use.
 type MultiClient struct {
-	eps      []*endpoint
-	single   *Client // set when len(eps) == 1: verbatim Client semantics
-	attempts int
-	backoff  time.Duration
-	hedge    time.Duration
-	maxLimit float64
-
-	mu      sync.Mutex
-	waiters int
-	waitCh  chan struct{}
-}
-
-// endpoint is one upstream node plus its scheduler state.
-type endpoint struct {
-	url    string
-	client *Client
-
-	// Scheduler state, guarded by MultiClient.mu.
-	limit     float64 // AIMD concurrency window
-	inflight  int
-	health    float64 // success EWMA in (0, 1]
-	lastHalve time.Time
-
-	// Observability counters.
-	requests    atomic.Uint64
-	successes   atomic.Uint64
-	rateLimited atomic.Uint64
-	timeouts    atomic.Uint64
-	failures    atomic.Uint64
-	hedges      atomic.Uint64
-}
-
-// EndpointStats is one endpoint's scheduler + throughput snapshot.
-type EndpointStats struct {
-	URL         string  `json:"url"`
-	Requests    uint64  `json:"requests"`
-	Successes   uint64  `json:"successes"`
-	RateLimited uint64  `json:"rate_limited"`
-	Timeouts    uint64  `json:"timeouts"`
-	Failures    uint64  `json:"failures"`
-	Hedges      uint64  `json:"hedges"`
-	Limit       float64 `json:"limit"`    // current AIMD window (0 = uncapped single-endpoint mode)
-	Inflight    int     `json:"inflight"` // calls currently charged against the window
-	Health      float64 `json:"health"`   // success EWMA
+	plane   *Plane
+	clients []*Client // clients[i] backs plane node i
+	single  *Client   // set when len(clients) == 1: verbatim Client semantics
 }
 
 // MultiOption configures a MultiClient.
-type MultiOption func(*MultiClient)
+type MultiOption func(*multiConfig)
+
+type multiConfig struct {
+	attempts int
+	backoff  time.Duration
+	hedge    time.Duration
+	maxLimit int
+}
 
 // WithMultiRetries sets plane-level attempts per call (default 4) and the
 // base backoff between them (default 50ms, doubled with jitter; a 429's
 // Retry-After is honored instead when present). Each attempt may land on a
 // different endpoint.
 func WithMultiRetries(attempts int, backoff time.Duration) MultiOption {
-	return func(m *MultiClient) {
+	return func(c *multiConfig) {
 		if attempts > 0 {
-			m.attempts = attempts
+			c.attempts = attempts
 		}
 		if backoff > 0 {
-			m.backoff = backoff
+			c.backoff = backoff
 		}
 	}
 }
@@ -96,21 +58,21 @@ func WithMultiRetries(attempts int, backoff time.Duration) MultiOption {
 // tail-at-scale defense against one slow node. 0 (the default) disables
 // hedging.
 func WithHedge(delay time.Duration) MultiOption {
-	return func(m *MultiClient) { m.hedge = delay }
+	return func(c *multiConfig) { c.hedge = delay }
 }
 
 // WithMaxConcurrency caps each endpoint's AIMD window (default 64).
 func WithMaxConcurrency(n int) MultiOption {
-	return func(m *MultiClient) {
+	return func(c *multiConfig) {
 		if n > 0 {
-			m.maxLimit = float64(n)
+			c.maxLimit = n
 		}
 	}
 }
 
-// aimdInitialLimit is where every endpoint's window starts: low enough to
-// probe politely, high enough that growth finds the ceiling within a few
-// hundred calls.
+// aimdInitialLimit is where every node's window starts: low enough to probe
+// politely, high enough that growth finds the ceiling within a few hundred
+// calls.
 const aimdInitialLimit = 4
 
 // aimdHalveCooldown spaces multiplicative decreases: one congestion event
@@ -118,69 +80,52 @@ const aimdInitialLimit = 4
 // in-flight request.
 const aimdHalveCooldown = 50 * time.Millisecond
 
-// healthGain is the EWMA step for the per-endpoint health score.
+// healthGain is the EWMA step for the per-node health score.
 const healthGain = 0.1
 
 // NewMultiClient builds a fetch plane over the given endpoint URLs.
 func NewMultiClient(endpoints []string, opts ...MultiOption) (*MultiClient, error) {
-	if len(endpoints) == 0 {
-		return nil, fmt.Errorf("ethrpc: MultiClient needs at least one endpoint")
-	}
-	m := &MultiClient{
-		attempts: 4,
-		backoff:  50 * time.Millisecond,
-		maxLimit: 64,
-		waitCh:   make(chan struct{}),
-	}
+	cfg := multiConfig{attempts: 4, backoff: 50 * time.Millisecond}
 	for _, opt := range opts {
-		opt(m)
+		opt(&cfg)
 	}
+	planeOpts := []PlaneOption{WithPlaneRetries(cfg.attempts, cfg.backoff), WithPlaneHedge(cfg.hedge)}
+	if cfg.maxLimit > 0 {
+		planeOpts = append(planeOpts, WithPlaneMaxConcurrency(cfg.maxLimit))
+	}
+	plane, err := NewPlane(endpoints, planeOpts...)
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiClient{plane: plane}
 	if len(endpoints) == 1 {
 		// Byte-identical single-endpoint mode: the plain Client owns retry,
-		// backoff and timeout exactly as before the plane existed.
+		// backoff and timeout exactly as before the plane existed; the lone
+		// node only keeps outcome counters.
 		m.single = NewClient(endpoints[0])
-		m.eps = []*endpoint{{url: endpoints[0], client: m.single, health: 1}}
+		m.clients = []*Client{m.single}
 		return m, nil
 	}
 	for _, url := range endpoints {
-		m.eps = append(m.eps, &endpoint{
-			url: url,
-			// One attempt per exchange: the plane owns retries so a failure
-			// can rotate to a different endpoint instead of hammering the
-			// same one, and so AIMD sees every congestion signal.
-			client: NewClient(url, WithRetries(1, m.backoff)),
-			limit:  aimdInitialLimit,
-			health: 1,
-		})
+		// One attempt per exchange: the plane owns retries so a failure can
+		// rotate to a different endpoint instead of hammering the same one,
+		// and so AIMD sees every congestion signal.
+		m.clients = append(m.clients, NewClient(url, WithRetries(1, cfg.backoff)))
 	}
 	return m, nil
 }
 
 // Endpoints returns how many endpoints back the plane.
-func (m *MultiClient) Endpoints() int { return len(m.eps) }
+func (m *MultiClient) Endpoints() int { return len(m.clients) }
 
 // Stats snapshots every endpoint.
 func (m *MultiClient) Stats() []EndpointStats {
-	out := make([]EndpointStats, len(m.eps))
-	m.mu.Lock()
-	for i, ep := range m.eps {
-		out[i] = EndpointStats{
-			URL:         ep.url,
-			Requests:    ep.requests.Load(),
-			Successes:   ep.successes.Load(),
-			RateLimited: ep.rateLimited.Load(),
-			Timeouts:    ep.timeouts.Load(),
-			Failures:    ep.failures.Load(),
-			Hedges:      ep.hedges.Load(),
-			Limit:       ep.limit,
-			Inflight:    ep.inflight,
-			Health:      ep.health,
-		}
-		if m.single != nil {
+	out := m.plane.Stats()
+	if m.single != nil {
+		for i := range out {
 			out[i].Limit = 0 // uncapped: the plain client has no window
 		}
 	}
-	m.mu.Unlock()
 	return out
 }
 
@@ -217,271 +162,22 @@ func (m *MultiClient) ChainID(ctx context.Context) (uint64, error) {
 	})
 }
 
-// multiDo is the plane-level retry loop: acquire an endpoint slot, exchange
-// (hedged when configured), feed the outcome back into AIMD/health, and on a
-// transient failure rotate to another endpoint after a jittered backoff.
+// multiDo dispatches one call: the single-endpoint passthrough, or the
+// plane-level scheduled/hedged/retried exchange. The plane deliberately
+// ignores Retry-After between its attempts: that header is one endpoint's
+// directive, and the next attempt rotates to a different endpoint with
+// spare capacity — stalling the whole call for a stormed endpoint's penalty
+// would idle the healthy rest of the plane. The stormed endpoint itself is
+// held back by its halved AIMD window and decayed health score instead.
 func multiDo[T any](ctx context.Context, m *MultiClient, fn func(context.Context, *Client) (T, error)) (T, error) {
-	var zero T
 	if m.single != nil {
-		ep := m.eps[0]
-		ep.requests.Add(1)
+		n := m.plane.Nodes()[0]
+		n.requests.Add(1)
 		v, err := fn(ctx, m.single)
-		m.count(ep, err)
+		n.CountOutcome(err)
 		return v, err
 	}
-	var lastErr error
-	backoff := m.backoff
-	var avoid *endpoint
-	for attempt := 0; attempt < m.attempts; attempt++ {
-		if attempt > 0 {
-			// Plain jittered backoff, deliberately ignoring any Retry-After
-			// in lastErr: that header is one endpoint's directive, and the
-			// next attempt rotates to a different endpoint with spare
-			// capacity — stalling the whole call for a stormed endpoint's
-			// penalty would idle the healthy rest of the plane. The stormed
-			// endpoint itself is held back by its halved AIMD window and
-			// decayed health score instead.
-			select {
-			case <-ctx.Done():
-				return zero, ctx.Err()
-			case <-time.After(retryDelay(backoff, nil)):
-			}
-			backoff *= 2
-		}
-		v, ep, err := multiTry(ctx, m, fn, avoid)
-		if err == nil {
-			return v, nil
-		}
-		if ctx.Err() != nil {
-			return zero, ctx.Err()
-		}
-		if !IsTransient(err) {
-			return zero, err
-		}
-		lastErr = err
-		avoid = ep // prefer a different endpoint next attempt
-	}
-	return zero, fmt.Errorf("ethrpc: all endpoints failed after %d attempts: %w", m.attempts, lastErr)
-}
-
-// multiTry runs one scheduled exchange, hedging a straggler when enabled.
-func multiTry[T any](ctx context.Context, m *MultiClient, fn func(context.Context, *Client) (T, error), avoid *endpoint) (T, *endpoint, error) {
-	var zero T
-	primary, err := m.acquire(ctx, avoid)
-	if err != nil {
-		return zero, nil, err
-	}
-	if m.hedge <= 0 {
-		v, err := exchange(ctx, m, primary, fn)
-		return v, primary, err
-	}
-
-	type result struct {
-		v   T
-		err error
-		ep  *endpoint
-	}
-	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	ch := make(chan result, 2)
-	launch := func(ep *endpoint) {
-		go func() {
-			v, err := exchange(cctx, m, ep, fn)
-			ch <- result{v, err, ep}
-		}()
-	}
-	launch(primary)
-	timer := time.NewTimer(m.hedge)
-	launched := 1
-	var first result
-	select {
-	case first = <-ch:
-		timer.Stop()
-	case <-timer.C:
-		// The primary is a straggler: race a backup on a different endpoint
-		// if one has spare capacity right now (never block waiting for it —
-		// a hedge is opportunistic).
-		if backup, ok := m.tryAcquire(primary); ok {
-			backup.hedges.Add(1)
-			launch(backup)
-			launched++
-		}
-		first = <-ch
-	}
-	if first.err != nil && launched == 2 {
-		// The faster responder failed; the other leg may still win.
-		if second := <-ch; second.err == nil {
-			return second.v, second.ep, nil
-		}
-		return zero, first.ep, first.err
-	}
-	// A success (or a lone failure): cancel the loser, which releases its
-	// slot and reports a neutral cancellation on its own goroutine.
-	return first.v, first.ep, first.err
-}
-
-// exchange performs one HTTP exchange against ep, then feeds the outcome
-// into the scheduler and releases the slot.
-func exchange[T any](ctx context.Context, m *MultiClient, ep *endpoint, fn func(context.Context, *Client) (T, error)) (T, error) {
-	ep.requests.Add(1)
-	v, err := fn(ctx, ep.client)
-	m.finish(ep, err)
-	return v, err
-}
-
-// Outcome classes for the AIMD/health update.
-const (
-	classOK         = iota
-	classCongestion // 429 or timeout: halve the window
-	classFailure    // other transport/server fault: health only
-	classNeutral    // caller cancellation: not the endpoint's fault
-)
-
-func classify(err error) int {
-	switch {
-	case err == nil:
-		return classOK
-	case errors.Is(err, context.Canceled):
-		return classNeutral
-	}
-	var rl *RateLimitError
-	if errors.As(err, &rl) {
-		return classCongestion
-	}
-	if errors.Is(err, context.DeadlineExceeded) {
-		return classCongestion
-	}
-	var ne net.Error
-	if errors.As(err, &ne) && ne.Timeout() {
-		return classCongestion
-	}
-	return classFailure
-}
-
-// count updates the per-endpoint outcome counters (all modes).
-func (m *MultiClient) count(ep *endpoint, err error) int {
-	class := classify(err)
-	switch class {
-	case classOK:
-		ep.successes.Add(1)
-	case classCongestion:
-		if errors.Is(err, context.DeadlineExceeded) || !isRateLimit(err) {
-			ep.timeouts.Add(1)
-		} else {
-			ep.rateLimited.Add(1)
-		}
-	case classFailure:
-		ep.failures.Add(1)
-	}
-	return class
-}
-
-func isRateLimit(err error) bool {
-	var rl *RateLimitError
-	return errors.As(err, &rl)
-}
-
-// finish applies one outcome to the endpoint's AIMD window and health, then
-// releases the concurrency slot.
-func (m *MultiClient) finish(ep *endpoint, err error) {
-	class := m.count(ep, err)
-	m.mu.Lock()
-	switch class {
-	case classOK:
-		// Additive increase: ~+1 to the window per windowful of successes.
-		ep.limit += 1 / ep.limit
-		if ep.limit > m.maxLimit {
-			ep.limit = m.maxLimit
-		}
-		ep.health += (1 - ep.health) * healthGain
-	case classCongestion:
-		// Multiplicative decrease, once per congestion event.
-		if time.Since(ep.lastHalve) >= aimdHalveCooldown {
-			ep.limit /= 2
-			if ep.limit < 1 {
-				ep.limit = 1
-			}
-			ep.lastHalve = time.Now()
-		}
-		ep.health *= 1 - healthGain
-	case classFailure:
-		ep.health *= 1 - healthGain
-	}
-	if ep.health < 0.01 {
-		ep.health = 0.01 // floor so a recovered endpoint can climb back
-	}
-	ep.inflight--
-	m.wakeLocked()
-	m.mu.Unlock()
-}
-
-// wakeLocked rouses acquire() waiters after capacity was freed or grown.
-func (m *MultiClient) wakeLocked() {
-	if m.waiters == 0 {
-		return
-	}
-	close(m.waitCh)
-	m.waitCh = make(chan struct{})
-}
-
-// acquire blocks until some endpoint has AIMD capacity and charges a slot,
-// preferring healthy endpoints and, when possible, one other than avoid.
-func (m *MultiClient) acquire(ctx context.Context, avoid *endpoint) (*endpoint, error) {
-	m.mu.Lock()
-	for {
-		ep := m.pickLocked(avoid)
-		if ep == nil && avoid != nil {
-			ep = m.pickLocked(nil) // only the avoided endpoint has capacity
-		}
-		if ep != nil {
-			ep.inflight++
-			m.mu.Unlock()
-			return ep, nil
-		}
-		m.waiters++
-		ch := m.waitCh
-		m.mu.Unlock()
-		select {
-		case <-ctx.Done():
-			m.mu.Lock()
-			m.waiters--
-			m.mu.Unlock()
-			return nil, ctx.Err()
-		case <-ch:
-		}
-		m.mu.Lock()
-		m.waiters--
-	}
-}
-
-// tryAcquire charges a slot on the best endpoint other than avoid without
-// blocking; ok=false when nothing has spare capacity.
-func (m *MultiClient) tryAcquire(avoid *endpoint) (*endpoint, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ep := m.pickLocked(avoid)
-	if ep == nil {
-		return nil, false
-	}
-	ep.inflight++
-	return ep, true
-}
-
-// pickLocked selects the endpoint to schedule onto: the best health among
-// those with spare window capacity, spare fraction breaking near-ties so
-// load spreads instead of piling onto one node.
-func (m *MultiClient) pickLocked(avoid *endpoint) *endpoint {
-	var best *endpoint
-	var bestScore float64
-	for _, ep := range m.eps {
-		if ep == avoid || ep.inflight >= int(ep.limit) {
-			continue
-		}
-		spare := (ep.limit - float64(ep.inflight)) / ep.limit
-		score := ep.health + 0.1*spare
-		if best == nil || score > bestScore {
-			best, bestScore = ep, score
-		}
-	}
-	return best
+	return PlaneDo(ctx, m.plane, nil, func(ctx context.Context, n *Node) (T, error) {
+		return fn(ctx, m.clients[n.Index()])
+	})
 }

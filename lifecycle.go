@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/phishinghook/phishinghook/internal/lifecycle"
 )
@@ -56,7 +57,14 @@ type Lifecycle struct {
 	// mu serializes deploy/shadow/promote/reload so the manifest and the
 	// handle cannot interleave into disagreement.
 	mu sync.Mutex
+	// busy counts in-flight swap operations — the signal /readyz flips
+	// unready on, so a cluster's rolling promote gates on each replica
+	// finishing its reload before the next one is touched.
+	busy atomic.Int32
 }
+
+// Busy reports whether a deploy/shadow/promote/reload is in flight.
+func (l *Lifecycle) Busy() bool { return l.busy.Load() > 0 }
 
 // NewLifecycle builds a manager over the store and deploys its champion
 // (when one exists) onto a fresh Swappable. The DetectorOptions apply to
@@ -121,6 +129,8 @@ func (l *Lifecycle) loadVersion(id string) (*Detector, error) {
 // version currently shadowing clears the shadow slot (matching the store's
 // Promote semantics) so the handle never shadows a version against itself.
 func (l *Lifecycle) Deploy(id string) error {
+	l.busy.Add(1)
+	defer l.busy.Add(-1)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	det, err := l.loadVersion(id)
@@ -142,6 +152,8 @@ func (l *Lifecycle) Deploy(id string) error {
 // Shadow installs the stored version as the live challenger and records it
 // in the manifest.
 func (l *Lifecycle) Shadow(id string) error {
+	l.busy.Add(1)
+	defer l.busy.Add(-1)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	det, err := l.loadVersion(id)
@@ -161,6 +173,8 @@ func (l *Lifecycle) Shadow(id string) error {
 // concurrently cleared), the next Reload re-syncs the handle to the
 // manifest.
 func (l *Lifecycle) Promote() (string, error) {
+	l.busy.Add(1)
+	defer l.busy.Add(-1)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	id, _, ok := l.sw.Challenger()
@@ -181,6 +195,8 @@ func (l *Lifecycle) Promote() (string, error) {
 // is shadowed, a cleared one is dropped. It returns whether anything
 // changed — the POST /admin/reload implementation.
 func (l *Lifecycle) Reload() (changed bool, err error) {
+	l.busy.Add(1)
+	defer l.busy.Add(-1)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.store.Reload(); err != nil {

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/phishinghook/phishinghook/internal/monitor"
@@ -133,12 +135,26 @@ func WithRetrainer(r *Retrainer) ServeOption {
 	return func(s *serveState) { s.retrainer = r }
 }
 
+// WithClusterRole labels this process's place in the scoring cluster —
+// "replica" when fronted by a `phishinghook route` ring, "standalone" (the
+// default) otherwise. The role is reported on /healthz and /readyz so ring
+// tooling and operators can tell the topologies apart. (The router reports
+// "router" from its own handler in internal/cluster.)
+func WithClusterRole(role string) ServeOption {
+	return func(s *serveState) {
+		if role != "" {
+			s.role = role
+		}
+	}
+}
+
 type serveState struct {
 	watcher   *monitor.Watcher
 	backfill  *Backfill
 	lifecycle *Lifecycle
 	retrainer *Retrainer
 	pprof     bool
+	role      string
 	started   time.Time
 }
 
@@ -157,7 +173,7 @@ type serveState struct {
 // hot-swapped (POST /admin/reload, /admin/promote) without dropping an
 // in-flight request.
 func NewScoreHandler(d ScoreBackend, opts ...ServeOption) http.Handler {
-	state := &serveState{started: time.Now()}
+	state := &serveState{started: time.Now(), role: "standalone"}
 	for _, opt := range opts {
 		opt(state)
 	}
@@ -228,6 +244,7 @@ func NewScoreHandler(d ScoreBackend, opts ...ServeOption) http.Handler {
 		hits, misses := d.CacheStats()
 		body := map[string]any{
 			"status":         "ok",
+			"role":           state.role,
 			"model":          d.ModelName(),
 			"feature_dim":    d.FeatureDim(),
 			"cache_hits":     hits,
@@ -248,6 +265,25 @@ func NewScoreHandler(d ScoreBackend, opts ...ServeOption) http.Handler {
 			body["backfill"] = state.backfill.Stats()
 		}
 		writeJSON(w, http.StatusOK, body)
+	})
+	// Readiness is distinct from liveness: /healthz answers 200 as long as
+	// the process is up, while /readyz flips unready whenever the backend is
+	// momentarily unfit to score — no champion deployed yet, or a lifecycle
+	// reload/promote mid-swap. A cluster's rolling promote gates each step
+	// on the previous replica's /readyz returning 200.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		reason := ""
+		if sw, ok := d.(*Swappable); ok && !sw.Deployed() {
+			reason = "no champion deployed"
+		}
+		if state.lifecycle != nil && state.lifecycle.Busy() {
+			reason = "model swap in progress"
+		}
+		if reason != "" {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "role": state.role, "reason": reason})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "role": state.role})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeMetrics(w, d, state)
@@ -497,3 +533,105 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
+
+// Server wraps http.Server with the production posture a scoring replica
+// needs: header/write timeouts against slowloris and stuck clients, and
+// context-driven graceful shutdown that drains in-flight scores before the
+// process exits — a replica kill (SIGTERM from an orchestrator, a rolling
+// restart) must not drop requests it already accepted.
+type Server struct {
+	srv      *http.Server
+	ln       net.Listener
+	draining atomic.Bool
+	done     chan struct{}
+
+	// LameDuck is how long the server keeps accepting traffic after
+	// Shutdown begins while already failing /readyz — the window a router
+	// or load balancer needs to notice the replica is going away and stop
+	// picking it before the listener actually closes. 0 closes immediately.
+	LameDuck time.Duration
+}
+
+// NewServer builds a hardened server around a score handler. While a
+// Shutdown is draining, the wrapped /readyz answers 503 ("draining") so
+// routers and orchestrators stop sending new work to a replica on its way
+// out, while already-accepted requests still complete.
+func NewServer(addr string, handler http.Handler) *Server {
+	s := &Server{done: make(chan struct{})}
+	s.srv = &http.Server{
+		Addr: addr,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if s.draining.Load() && r.URL.Path == "/readyz" {
+				writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+				return
+			}
+			handler.ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+		// A full 1024-bytecode batch can legitimately take a while on a
+		// loaded replica; these bound pathology, not honest work.
+		ReadTimeout:  2 * time.Minute,
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+	return s
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln != nil {
+		return s.ln.Addr().String()
+	}
+	return s.srv.Addr
+}
+
+// Start binds the listener and serves in the background, returning once the
+// address is bound. Serve errors (other than graceful close) surface on the
+// returned channel.
+func (s *Server) Start() (<-chan error, error) {
+	ln, err := net.Listen("tcp", s.srv.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	errc := make(chan error, 1)
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+		close(errc)
+	}()
+	return errc, nil
+}
+
+// ListenAndServe binds and serves in the foreground (the CLI path).
+func (s *Server) ListenAndServe() error {
+	errc, err := s.Start()
+	if err != nil {
+		return err
+	}
+	return <-errc
+}
+
+// Shutdown drains the server: readiness flips to 503 immediately, the
+// listener closes, and in-flight requests run to completion (bounded by
+// ctx). Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.LameDuck > 0 {
+		select {
+		case <-time.After(s.LameDuck):
+		case <-ctx.Done():
+		}
+	}
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+	}
+	return err
+}
+
+// Draining reports whether a graceful shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }

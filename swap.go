@@ -222,6 +222,13 @@ func (s *Swappable) Champion() (string, *Detector) {
 	return dep.version, dep.det
 }
 
+// Deployed reports whether a champion detector is live — the readiness
+// signal for a replica that opened its lifecycle against an empty store.
+func (s *Swappable) Deployed() bool {
+	dep := s.cur.Load()
+	return dep != nil && dep.det != nil
+}
+
 // Challenger returns the shadow version and detector, if one is installed.
 func (s *Swappable) Challenger() (string, *Detector, bool) {
 	dep := s.cur.Load()
