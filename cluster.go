@@ -47,11 +47,16 @@ func NewClusterScoreClient(base string, opts ...cluster.ScoreClientOption) *Clus
 	return cluster.NewScoreClient(base, opts...)
 }
 
-// RemoteScorer adapts a cluster /score endpoint (router or single replica)
-// onto the CodeScorer surface, so a watcher or backfill can monitor the
-// chain through the scoring cluster instead of an in-process detector —
-// alerts then benefit from the cluster-wide dedup cache and survive replica
-// kills via the router's neighborhood failover.
+// ClusterTxScoreItem is one transaction on the cluster /score/tx wire.
+type ClusterTxScoreItem = cluster.TxScoreItem
+
+// RemoteScorer adapts a cluster scoring endpoint (router or single replica)
+// onto both scorer surfaces — CodeScorer via /score and the transaction
+// TxScorer via /score/tx — so a watcher, backfill or TxWatcher can monitor
+// the chain through the scoring cluster instead of an in-process detector.
+// Alerts then benefit from the cluster-wide dedup cache and survive replica
+// kills via the router's neighborhood failover; tx traffic shards by callee
+// bytecode SHA-256, the same key contract traffic shards by.
 type RemoteScorer struct{ c *ClusterScoreClient }
 
 // NewRemoteScorer builds a CodeScorer over a router/replica base URL, e.g.
@@ -79,5 +84,29 @@ func (r *RemoteScorer) Score(ctx context.Context, code []byte) (Verdict, error) 
 		Confidence:   v.Confidence,
 		ModelName:    v.Model,
 		ModelVersion: v.ModelVersion,
+	}, nil
+}
+
+// ScoreTx scores one transaction (calldata + callee bytecode, either may be
+// empty) through the cluster's /score/tx endpoint. RemoteScorer therefore
+// satisfies TxScorer, so NewTxWatcher can drain the pending-tx feed against
+// a remote fused scorer instead of an in-process one.
+func (r *RemoteScorer) ScoreTx(ctx context.Context, calldata, code []byte) (TxVerdict, error) {
+	items := []ClusterTxScoreItem{{Calldata: EncodeHex(calldata), Code: EncodeHex(code)}}
+	vs, err := r.c.ScoreTxBatch(ctx, items)
+	if err != nil {
+		return TxVerdict{}, err
+	}
+	if len(vs) != 1 {
+		return TxVerdict{}, fmt.Errorf("phishinghook: cluster returned %d verdicts for one tx", len(vs))
+	}
+	v := vs[0]
+	return TxVerdict{
+		Phishing:    v.Phishing,
+		Confidence:  v.Confidence,
+		PayloadProb: v.PayloadProb,
+		CodeProb:    v.CodeProb,
+		Model:       v.Model,
+		Version:     v.ModelVersion,
 	}, nil
 }

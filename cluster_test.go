@@ -311,6 +311,148 @@ func TestClusterOverloadRetryAfter(t *testing.T) {
 	}
 }
 
+// clusterTxBackend is a fake TxScorer that records which callee codes it
+// judged; verdicts carry the replica name so tests can see routing.
+type clusterTxBackend struct {
+	name   string
+	mu     sync.Mutex
+	counts map[[32]byte]int
+}
+
+func newClusterTxBackend(name string) *clusterTxBackend {
+	return &clusterTxBackend{name: name, counts: make(map[[32]byte]int)}
+}
+
+func (b *clusterTxBackend) ScoreTx(ctx context.Context, calldata, code []byte) (TxVerdict, error) {
+	b.mu.Lock()
+	b.counts[sha256.Sum256(code)]++
+	b.mu.Unlock()
+	phishing := len(calldata) > 0 && calldata[len(calldata)-1]%2 == 0
+	conf := 0.2
+	if phishing {
+		conf = 0.9
+	}
+	return TxVerdict{Phishing: phishing, Confidence: conf, PayloadProb: conf, Model: b.name, Version: "v1"}, nil
+}
+
+func (b *clusterTxBackend) countOf(code []byte) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.counts[sha256.Sum256(code)]
+}
+
+// TestClusterTxRoutingShardsByCalleeCode checks the transaction face of the
+// router: /score/tx shards by the callee bytecode's SHA-256 — the same key
+// /score shards by — so every tx lands on the replica whose code-side cache
+// its callee warmed, contract and tx traffic for one contract colocate, and
+// the fused wire fields survive the RemoteScorer round trip.
+func TestClusterTxRoutingShardsByCalleeCode(t *testing.T) {
+	const n = 3
+	backends := make([]*clusterBackend, n)
+	txBackends := make([]*clusterTxBackend, n)
+	var cfg ClusterConfig
+	for i := range backends {
+		name := fmt.Sprintf("replica-%d", i)
+		backends[i] = newClusterBackend(name)
+		txBackends[i] = newClusterTxBackend(name)
+		srv := httptest.NewServer(NewScoreHandler(backends[i],
+			WithClusterRole("replica"), WithTxScorer(txBackends[i])))
+		t.Cleanup(srv.Close)
+		cfg.Replicas = append(cfg.Replicas, srv.URL)
+	}
+	cfg.Backoff = 5 * time.Millisecond
+	rt, err := NewClusterRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	// 40 txs over 8 distinct callees (5 each), plus two EOA txs with no code.
+	codes := clusterCodes(8)
+	var items []ClusterTxScoreItem
+	for i := 0; i < 40; i++ {
+		items = append(items, ClusterTxScoreItem{
+			Calldata: EncodeHex([]byte{0xa9, 0x05, 0x9c, 0xbb, byte(i)}),
+			Code:     EncodeHex(codes[i%len(codes)]),
+		})
+	}
+	items = append(items,
+		ClusterTxScoreItem{Calldata: EncodeHex([]byte{0x01, 0x02})},
+		ClusterTxScoreItem{Calldata: EncodeHex([]byte{0x01, 0x03})})
+
+	client := NewClusterScoreClient(front.URL, WithScoreRetries(5, 10*time.Millisecond))
+	vs, err := client.ScoreTxBatch(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != len(items) {
+		t.Fatalf("got %d verdicts for %d txs", len(vs), len(items))
+	}
+	for i, v := range vs {
+		if v.Modality != "tx" {
+			t.Fatalf("verdict %d modality %q, want tx", i, v.Modality)
+		}
+		if v.Model == "" {
+			t.Fatalf("verdict %d lost its replica attribution", i)
+		}
+	}
+
+	// Same callee ⇒ same replica, and the hash spread work over >1 replica.
+	byCode := make(map[string]string)
+	for i, v := range vs[:40] {
+		if prev, ok := byCode[items[i].Code]; ok && prev != v.Model {
+			t.Fatalf("callee %s split across %s and %s", items[i].Code, prev, v.Model)
+		}
+		byCode[items[i].Code] = v.Model
+	}
+	busy := make(map[string]bool)
+	for _, m := range byCode {
+		busy[m] = true
+	}
+	if len(busy) < 2 {
+		t.Fatalf("all callees landed on %d replica(s); consistent hashing should spread them", len(busy))
+	}
+	// Each callee judged once per tx, all on one replica cluster-wide.
+	for i, code := range codes {
+		total := 0
+		for _, b := range txBackends {
+			total += b.countOf(code)
+		}
+		if total != 5 {
+			t.Fatalf("callee %d judged %d times across the cluster, want 5 (one per tx)", i, total)
+		}
+	}
+
+	// Tx sharding aligns with contract sharding: /score for the same
+	// bytecode must land on the replica that judged its txs — that shared
+	// key is what makes the code-side digest cache a cluster-wide property.
+	req := ScoreRequest{}
+	for _, c := range codes {
+		req.Bytecodes = append(req.Bytecodes, EncodeHex(c))
+	}
+	_, out := postScore(t, front.URL, req)
+	for i, c := range codes {
+		if want := byCode[EncodeHex(c)]; out.Verdicts[i].Model != want {
+			t.Fatalf("code %d scored on %s but its txs judged on %s", i, out.Verdicts[i].Model, want)
+		}
+	}
+	if rehash := rt.Stats().Rehashes; rehash != 0 {
+		t.Fatalf("healthy cluster rehashed %d sub-batches, want 0", rehash)
+	}
+
+	// RemoteScorer.ScoreTx: the fused wire fields survive the round trip,
+	// so a TxWatcher can fuse through the cluster.
+	rs := NewRemoteScorer(front.URL, WithScoreRetries(5, 10*time.Millisecond))
+	v, err := rs.ScoreTx(context.Background(), []byte{0xa9, 0x02}, codes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Phishing || v.Confidence != 0.9 || v.PayloadProb != 0.9 || v.Model == "" || v.Version != "v1" {
+		t.Fatalf("RemoteScorer.ScoreTx verdict %+v", v)
+	}
+}
+
 // TestServerGracefulDrain checks the hardened server wrapper: once Shutdown
 // begins, /readyz flips to 503 during the lame-duck window while accepted
 // (and even new lame-duck) requests complete — a replica kill drops nothing.

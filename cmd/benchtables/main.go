@@ -30,6 +30,7 @@ func main() {
 	lifecycleOut := flag.String("lifecycle", "", "write model-lifecycle benchmarks (swap latency, shadow-mode overhead) to this JSON file and exit (fails if shadow overhead exceeds 10%)")
 	backfillOut := flag.String("backfill", "", "write backfill-vs-watcher throughput benchmarks over a rate-limited RPC plane to this JSON file and exit (fails if the multi-endpoint speedup is below 2x)")
 	clusterOut := flag.String("cluster", "", "write scoring-cluster benchmarks (1 vs 2 vs 4 rate-limited replicas behind the consistent-hash router) to this JSON file and exit (fails below a 3x 4-replica speedup or if the cluster-wide cache hit rate drops)")
+	txstreamOut := flag.String("txstream", "", "write tx-stream benchmarks (pending-tx item rate vs the contract watcher on one rate-limited endpoint, cached fused-score allocs, kill/resume exactly-once) to this JSON file and exit (fails below a 5x item-rate speedup)")
 	flag.Parse()
 
 	if *hotpath != "" {
@@ -52,6 +53,12 @@ func main() {
 	}
 	if *clusterOut != "" {
 		if err := runClusterBench(*seed, *clusterOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *txstreamOut != "" {
+		if err := runTxstreamBench(*seed, *txstreamOut); err != nil {
 			log.Fatal(err)
 		}
 		return

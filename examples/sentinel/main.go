@@ -115,6 +115,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The payload half of the transaction modality, trained at launch on the
+	// released tx corpus (calldata only — no leakage from the watched
+	// months). Fused with the lifecycle handle, the code side of every tx
+	// verdict hot-swaps as champions are promoted below.
+	pspec, err := ph.CalldataModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	payloadDet, err := ph.Train(pspec, sim.TxDataset(), ph.WithDetectorSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fusedTx, err := ph.NewFusedTxScorer(payloadDet, sw)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Pre-launch backfill: before the first live month is watched, sweep the
 	// released history through the same serving handle — a sentinel that
 	// only watches forward is blind to every scam already sitting on chain
@@ -301,6 +318,57 @@ func main() {
 			promoted, sw.SwapStats().Swaps, trainTo)
 	}
 
+	// Tx-stream phase: replay the entire transaction log — the released
+	// history and the watched months — through the fused tx watcher. The
+	// payload half is the launch Calldata Forest; the code half is the
+	// lifecycle handle, so the code side of every verdict is served by
+	// whichever champion the loop above ended on. Alerts split at the launch
+	// block into historical and live and are graded against the chain's
+	// per-tx ground truth.
+	var txMu sync.Mutex
+	var txAlerts []ph.Alert
+	txW, err := ph.NewTxWatcher(fusedTx, ph.TxWatcherConfig{
+		RPCURL:         sim.RPCURL(),
+		PollInterval:   time.Millisecond,
+		StopAtBlock:    sim.TailBlock(),
+		Threshold:      alertThreshold,
+		CheckpointPath: filepath.Join(dir, "tx.cursor"),
+		Sinks: []ph.AlertSink{ph.NewFuncSink(func(a ph.Alert) error {
+			txMu.Lock() // tx sinks fire from every score worker concurrently
+			txAlerts = append(txAlerts, a)
+			txMu.Unlock()
+			return nil
+		})},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1 := time.Now()
+	if err := txW.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	txStats := txW.Stats()
+	var histTx, liveTx, histTxTP, liveTxTP int
+	txMu.Lock()
+	for _, a := range txAlerts {
+		malicious, ok := sim.TxGroundTruth(a.TxHash)
+		if a.Block <= watchFrom {
+			histTx++
+			if ok && malicious {
+				histTxTP++
+			}
+		} else {
+			liveTx++
+			if ok && malicious {
+				liveTxTP++
+			}
+		}
+	}
+	txMu.Unlock()
+	fmt.Printf("\ntx stream: %d txs judged in %s (%d polls, %d deduped), %d alerts via %s\n",
+		txStats.TxsScored, time.Since(t1).Round(time.Millisecond), txStats.Polls,
+		txStats.DedupHits, histTx+liveTx, txStats.ModelVersion)
+
 	// Grade the alerts against ground truth, attributed per model version —
 	// the stamp that survives swaps and restarts.
 	truePositives := 0
@@ -329,6 +397,16 @@ func main() {
 	fmt.Printf("live alert precision: %.1f%% (%d/%d alerts were real phishing)\n", 100*precision, truePositives, total)
 	fmt.Printf("combined historical+live precision: %.1f%% (%d/%d alerts across backfill and watch)\n",
 		100*combined, truePositives+histTruePos, total+len(histAlerts))
+	pct := func(tp, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		return 100 * float64(tp) / float64(n)
+	}
+	fmt.Printf("fused tx-alert precision: historical %.1f%% (%d/%d), live %.1f%% (%d/%d), combined %.1f%% (%d/%d)\n",
+		pct(histTxTP, histTx), histTxTP, histTx,
+		pct(liveTxTP, liveTx), liveTxTP, liveTx,
+		pct(histTxTP+liveTxTP, histTx+liveTx), histTxTP+liveTxTP, histTx+liveTx)
 	fmt.Printf("alerts by model version:")
 	for _, v := range lc.Versions() {
 		if n := byVersion[v.ID]; n > 0 {

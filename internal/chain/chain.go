@@ -155,11 +155,20 @@ type Chain struct {
 	frozen    bool
 	live      bool
 	visible   uint64 // visible head block while live
+
+	// Transaction log (the second modality): txs is sorted by (Block, Hash)
+	// after SealTxs, and the same visible-head cursor gates it in live mode.
+	txs      []*Tx
+	txByHash map[[32]byte]*Tx
+	txSealed bool
 }
 
 // New returns an empty chain.
 func New() *Chain {
-	return &Chain{byAddr: make(map[Address]*Contract)}
+	return &Chain{
+		byAddr:   make(map[Address]*Contract),
+		txByHash: make(map[[32]byte]*Tx),
+	}
 }
 
 // Deploy records a contract. Deploying to an existing address or deploying

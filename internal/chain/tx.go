@@ -1,0 +1,272 @@
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+// Tx is one transaction in the simulated mempool/chain: the unit of the
+// second detection modality. Deployment-time scoring sees contracts; a
+// wallet drainer rides calldata against a *legitimate* contract, so the tx
+// log carries its own ground truth independent of the callee's class.
+type Tx struct {
+	// Hash is the transaction hash (SHA-256 of the canonical fields under
+	// the stdlib-only constraint, like DeriveAddress).
+	Hash [32]byte
+	// From is the sending externally-owned account.
+	From Address
+	// To is the callee contract (or EOA for plain value transfers).
+	To Address
+	// Value is the transferred amount (opaque units).
+	Value uint64
+	// Calldata is the tx input data ("input" on the wire).
+	Calldata []byte
+	// Drainer is the payload-level ground truth: an
+	// approve/permit/setApprovalForAll-style drainer calldata family.
+	Drainer bool
+	// Block is the block the tx lands in.
+	Block uint64
+}
+
+// HashHex renders the tx hash as 0x-prefixed lowercase hex.
+func (t *Tx) HashHex() string { return "0x" + hex.EncodeToString(t.Hash[:]) }
+
+// deriveTxHash hashes the canonical tx fields with a per-build nonce, so tx
+// hashes are deterministic given the traffic seed and build order.
+func deriveTxHash(from, to Address, value, nonce uint64, calldata []byte) [32]byte {
+	h := sha256.New()
+	h.Write(from[:])
+	h.Write(to[:])
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], value)
+	binary.BigEndian.PutUint64(buf[8:], nonce)
+	h.Write(buf[:])
+	h.Write(calldata)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// AddTx records a transaction. Adding after SealTxs, a duplicate hash, or a
+// nil tx is an error. Unlike Deploy, AddTx is legal on a frozen chain — tx
+// traffic is built over the finished contract population.
+func (c *Chain) AddTx(tx *Tx) error {
+	if tx == nil {
+		return fmt.Errorf("chain: add nil tx")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.txSealed {
+		return fmt.Errorf("chain: AddTx after SealTxs")
+	}
+	if _, dup := c.txByHash[tx.Hash]; dup {
+		return fmt.Errorf("chain: tx hash collision at %s", tx.HashHex())
+	}
+	c.txByHash[tx.Hash] = tx
+	c.txs = append(c.txs, tx)
+	if tx.Block > c.headBlock {
+		c.headBlock = tx.Block
+	}
+	return nil
+}
+
+// SealTxs sorts the tx log by (Block, Hash) and marks it immutable — the tx
+// analogue of Freeze. Idempotent.
+func (c *Chain) SealTxs() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.txSealed {
+		return
+	}
+	sort.Slice(c.txs, func(i, j int) bool {
+		if c.txs[i].Block != c.txs[j].Block {
+			return c.txs[i].Block < c.txs[j].Block
+		}
+		return string(c.txs[i].Hash[:]) < string(c.txs[j].Hash[:])
+	})
+	c.txSealed = true
+}
+
+// TxLen returns the total number of recorded transactions (all of time,
+// regardless of live-mode visibility).
+func (c *Chain) TxLen() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.txs)
+}
+
+// visibleTxCountLocked returns how many txs of the sorted log are released
+// under the current read mode. Callers hold c.mu and the log is sealed.
+func (c *Chain) visibleTxCountLocked() int {
+	if !c.live {
+		return len(c.txs)
+	}
+	return sort.Search(len(c.txs), func(i int) bool { return c.txs[i].Block > c.visible })
+}
+
+// TxCount returns the number of visible transactions (the pending-tx filter
+// cursor space). The tx log must be sealed.
+func (c *Chain) TxCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !c.txSealed && len(c.txs) > 0 {
+		panic("chain: TxCount before SealTxs")
+	}
+	return c.visibleTxCountLocked()
+}
+
+// TxByHash returns the transaction with the given hash. In live mode, txs
+// above the visible head are not found.
+func (c *Chain) TxByHash(h [32]byte) (*Tx, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	tx, ok := c.txByHash[h]
+	if !ok || (c.live && tx.Block > c.visible) {
+		return nil, false
+	}
+	return tx, ok
+}
+
+// TxsSince returns up to max visible transactions starting at log index
+// cursor (block order), plus the advanced cursor — the pending-transaction
+// filter's poll primitive. The tx log must be sealed.
+func (c *Chain) TxsSince(cursor, max int) ([]*Tx, int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !c.txSealed && len(c.txs) > 0 {
+		panic("chain: TxsSince before SealTxs")
+	}
+	vis := c.visibleTxCountLocked()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= vis {
+		return nil, cursor
+	}
+	end := vis
+	if max > 0 && cursor+max < end {
+		end = cursor + max
+	}
+	out := make([]*Tx, end-cursor)
+	copy(out, c.txs[cursor:end])
+	return out, end
+}
+
+// TxIndexAtBlock returns the log index of the first tx with Block >= from —
+// the cursor a resumable feed starts at. The tx log must be sealed.
+func (c *Chain) TxIndexAtBlock(from uint64) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !c.txSealed && len(c.txs) > 0 {
+		panic("chain: TxIndexAtBlock before SealTxs")
+	}
+	return sort.Search(len(c.txs), func(i int) bool { return c.txs[i].Block >= from })
+}
+
+// TxsInRange returns sealed transactions with Block in [from, to] in log
+// order, regardless of live-mode visibility — the dataset-construction view
+// (training corpora are cut from the released past by the caller).
+func (c *Chain) TxsInRange(from, to uint64) []*Tx {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !c.txSealed && len(c.txs) > 0 {
+		panic("chain: TxsInRange before SealTxs")
+	}
+	lo := sort.Search(len(c.txs), func(i int) bool { return c.txs[i].Block >= from })
+	hi := sort.Search(len(c.txs), func(i int) bool { return c.txs[i].Block > to })
+	out := make([]*Tx, hi-lo)
+	copy(out, c.txs[lo:hi])
+	return out
+}
+
+// TxTrafficConfig describes a synthetic transaction population laid over an
+// already-built (frozen) contract chain.
+type TxTrafficConfig struct {
+	// Generator drives calldata synthesis and placement. Its RNG stream is
+	// independent of the contract generator's, so adding tx traffic never
+	// perturbs the contract corpus.
+	Generator *synth.TxGenerator
+	// PerMonth is the number of transactions landing in each study month.
+	PerMonth [synth.NumMonths]int
+}
+
+// UniformTxTraffic fills PerMonth with total spread evenly (residue to the
+// earliest months), mirroring UniformBenign.
+func UniformTxTraffic(total int) [synth.NumMonths]int {
+	return UniformBenign(total)
+}
+
+// BuildTxTraffic populates the chain's tx log per cfg and seals it. Drainer
+// payloads overwhelmingly target *benign* contracts (the drained token is
+// legitimate — that is the point of the modality), while a slice of benign
+// traffic lands on phishing contracts (victims interacting with scam
+// infrastructure, catchable through the callee's code score). All
+// randomness flows from cfg.Generator's stream.
+func BuildTxTraffic(c *Chain, cfg TxTrafficConfig) error {
+	if cfg.Generator == nil {
+		return fmt.Errorf("chain: TxTrafficConfig.Generator is required")
+	}
+	c.mu.RLock()
+	frozen := c.frozen
+	var benign, phish []Address
+	for _, ct := range c.deployed {
+		if ct.Phishing {
+			phish = append(phish, ct.Addr)
+		} else {
+			benign = append(benign, ct.Addr)
+		}
+	}
+	c.mu.RUnlock()
+	if !frozen {
+		return fmt.Errorf("chain: BuildTxTraffic before Freeze")
+	}
+	if len(benign) == 0 {
+		return fmt.Errorf("chain: BuildTxTraffic on a chain with no benign contracts")
+	}
+
+	g := cfg.Generator
+	rng := g.Rand()
+	var nonce uint64
+	for m := 0; m < synth.NumMonths; m++ {
+		for i := 0; i < cfg.PerMonth[m]; i++ {
+			data, drainer := g.Calldata()
+			// Callee selection: drainers drain legitimate tokens almost
+			// exclusively; benign traffic mostly uses benign contracts but a
+			// small share feeds phishing contracts (victim interactions).
+			var to Address
+			switch {
+			case drainer:
+				to = benign[rng.Intn(len(benign))]
+			case len(phish) > 0 && rng.Float64() < 0.08:
+				to = phish[rng.Intn(len(phish))]
+			default:
+				to = benign[rng.Intn(len(benign))]
+			}
+			var value uint64
+			if len(data) == 0 || rng.Float64() < 0.1 {
+				value = uint64(rng.Int63n(1 << 40))
+			}
+			from := Address(g.RandomSender())
+			nonce++
+			tx := &Tx{
+				Hash:     deriveTxHash(from, to, value, nonce, data),
+				From:     from,
+				To:       to,
+				Value:    value,
+				Calldata: data,
+				Drainer:  drainer,
+				Block:    MonthStartBlock(m) + uint64(rng.Intn(BlocksPerMonth)),
+			}
+			if err := c.AddTx(tx); err != nil {
+				return err
+			}
+		}
+	}
+	c.SealTxs()
+	return nil
+}

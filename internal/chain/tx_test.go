@@ -1,0 +1,185 @@
+package chain
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+func buildTxChain(t *testing.T, seed int64, perMonthTotal int) *Chain {
+	t.Helper()
+	c, err := Build(testBuildConfig(seed))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cfg := TxTrafficConfig{
+		Generator: synth.NewTxGenerator(synth.TxConfig{Seed: seed}),
+		PerMonth:  UniformTxTraffic(perMonthTotal),
+	}
+	if err := BuildTxTraffic(c, cfg); err != nil {
+		t.Fatalf("BuildTxTraffic: %v", err)
+	}
+	return c
+}
+
+func TestBuildTxTrafficDeterminism(t *testing.T) {
+	a := buildTxChain(t, 42, 400)
+	b := buildTxChain(t, 42, 400)
+	if a.TxLen() != b.TxLen() {
+		t.Fatalf("tx counts differ: %d vs %d", a.TxLen(), b.TxLen())
+	}
+	at := a.TxsInRange(0, ^uint64(0))
+	bt := b.TxsInRange(0, ^uint64(0))
+	for i := range at {
+		if at[i].Hash != bt[i].Hash || !bytes.Equal(at[i].Calldata, bt[i].Calldata) ||
+			at[i].Drainer != bt[i].Drainer || at[i].Block != bt[i].Block {
+			t.Fatalf("tx %d differs between same-seed builds", i)
+		}
+	}
+}
+
+func TestTxTrafficDoesNotPerturbContracts(t *testing.T) {
+	plain, err := Build(testBuildConfig(7))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	withTxs := buildTxChain(t, 7, 300)
+	pc, tc := plain.All(), withTxs.All()
+	if len(pc) != len(tc) {
+		t.Fatalf("contract counts differ: %d vs %d", len(pc), len(tc))
+	}
+	for i := range pc {
+		if pc[i].Addr != tc[i].Addr || !bytes.Equal(pc[i].Code, tc[i].Code) {
+			t.Fatalf("contract %d differs once tx traffic is layered on", i)
+		}
+	}
+}
+
+func TestTxLogSortedAndVisible(t *testing.T) {
+	c := buildTxChain(t, 3, 500)
+	all := c.TxsInRange(0, ^uint64(0))
+	if len(all) != 500 {
+		t.Fatalf("TxsInRange returned %d txs, want 500", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Block < all[i-1].Block {
+			t.Fatalf("tx log unsorted at %d: block %d after %d", i, all[i].Block, all[i-1].Block)
+		}
+	}
+	if got := c.TxCount(); got != 500 {
+		t.Fatalf("frozen-mode TxCount = %d, want 500", got)
+	}
+
+	// Live mode: only the released prefix is visible, and AdvanceHead
+	// monotonically extends it.
+	mid := MonthStartBlock(synth.NumMonths / 2)
+	if err := c.GoLive(mid); err != nil {
+		t.Fatalf("GoLive: %v", err)
+	}
+	vis := c.TxCount()
+	if vis <= 0 || vis >= 500 {
+		t.Fatalf("live TxCount = %d, want a strict prefix of 500", vis)
+	}
+	for _, tx := range all[:vis] {
+		if tx.Block > mid {
+			t.Fatalf("visible tx at block %d above head %d", tx.Block, mid)
+		}
+	}
+	if _, ok := c.TxByHash(all[vis].Hash); ok {
+		t.Fatal("TxByHash returned a tx above the visible head")
+	}
+	if _, ok := c.TxByHash(all[0].Hash); !ok {
+		t.Fatal("TxByHash missed a released tx")
+	}
+	c.AdvanceHead(^uint64(0) >> 1)
+	if got := c.TxCount(); got != 500 {
+		t.Fatalf("TxCount after full advance = %d, want 500", got)
+	}
+}
+
+func TestTxsSincePagination(t *testing.T) {
+	c := buildTxChain(t, 9, 250)
+	var got []*Tx
+	cursor := 0
+	for {
+		batch, next := c.TxsSince(cursor, 64)
+		if len(batch) == 0 {
+			break
+		}
+		if next != cursor+len(batch) {
+			t.Fatalf("cursor advanced %d -> %d over %d txs", cursor, next, len(batch))
+		}
+		got = append(got, batch...)
+		cursor = next
+	}
+	if len(got) != 250 {
+		t.Fatalf("paginated %d txs, want 250", len(got))
+	}
+	all := c.TxsInRange(0, ^uint64(0))
+	for i := range all {
+		if got[i].Hash != all[i].Hash {
+			t.Fatalf("pagination order diverges at %d", i)
+		}
+	}
+	// A cursor at the end stays put.
+	if batch, next := c.TxsSince(cursor, 64); len(batch) != 0 || next != cursor {
+		t.Fatalf("drained feed returned %d txs, cursor %d -> %d", len(batch), cursor, next)
+	}
+}
+
+func TestTxIndexAtBlock(t *testing.T) {
+	c := buildTxChain(t, 11, 300)
+	all := c.TxsInRange(0, ^uint64(0))
+	from := MonthStartBlock(4)
+	idx := c.TxIndexAtBlock(from)
+	if idx > 0 && all[idx-1].Block >= from {
+		t.Fatalf("tx %d before index has block %d >= %d", idx-1, all[idx-1].Block, from)
+	}
+	if idx < len(all) && all[idx].Block < from {
+		t.Fatalf("tx at index %d has block %d < %d", idx, all[idx].Block, from)
+	}
+}
+
+func TestAddTxErrors(t *testing.T) {
+	c, err := Build(testBuildConfig(5))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := c.AddTx(nil); err == nil {
+		t.Fatal("AddTx(nil) succeeded")
+	}
+	tx := &Tx{Hash: deriveTxHash(Address{1}, Address{2}, 0, 1, nil), Block: StudyStartBlock}
+	if err := c.AddTx(tx); err != nil {
+		t.Fatalf("AddTx: %v", err)
+	}
+	if err := c.AddTx(tx); err == nil {
+		t.Fatal("duplicate AddTx succeeded")
+	}
+	c.SealTxs()
+	other := &Tx{Hash: deriveTxHash(Address{3}, Address{4}, 0, 2, nil), Block: StudyStartBlock}
+	if err := c.AddTx(other); err == nil {
+		t.Fatal("AddTx after SealTxs succeeded")
+	}
+}
+
+func TestDrainerShareAndTargets(t *testing.T) {
+	c := buildTxChain(t, 21, 2000)
+	all := c.TxsInRange(0, ^uint64(0))
+	drainers := 0
+	for _, tx := range all {
+		if tx.Drainer {
+			drainers++
+			if ct, ok := c.Lookup(tx.To); !ok || ct.Phishing {
+				t.Fatalf("drainer tx %s targets a non-benign callee", tx.HashHex())
+			}
+			if len(tx.Calldata) < 4 {
+				t.Fatalf("drainer tx %s has no selector", tx.HashHex())
+			}
+		}
+	}
+	share := float64(drainers) / float64(len(all))
+	if share < 0.04 || share > 0.14 {
+		t.Fatalf("drainer share %.3f outside the configured band", share)
+	}
+}

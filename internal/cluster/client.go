@@ -62,6 +62,19 @@ func NewScoreClient(base string, opts ...ScoreClientOption) *ScoreClient {
 // faults (replica restarts mid-roll, router admission 429s) before giving
 // up. All-or-nothing: on success the verdicts align with hexes.
 func (c *ScoreClient) ScoreHexBatch(ctx context.Context, hexes []string) ([]Verdict, error) {
+	return c.retry(ctx, func() ([]Verdict, error) { return c.post(ctx, hexes) })
+}
+
+// ScoreTxBatch scores transactions (hex calldata + hex callee bytecode;
+// either side may be empty) through /score/tx with the same retry loop.
+// All-or-nothing: on success the fused verdicts align with items.
+func (c *ScoreClient) ScoreTxBatch(ctx context.Context, items []TxScoreItem) ([]Verdict, error) {
+	return c.retry(ctx, func() ([]Verdict, error) { return c.postTx(ctx, items) })
+}
+
+// retry drives one exchange function through the attempts/backoff schedule,
+// honoring a 429's Retry-After and stopping on authoritative errors.
+func (c *ScoreClient) retry(ctx context.Context, do func() ([]Verdict, error)) ([]Verdict, error) {
 	var lastErr error
 	backoff := c.backoff
 	for attempt := 0; attempt < c.attempts; attempt++ {
@@ -73,7 +86,7 @@ func (c *ScoreClient) ScoreHexBatch(ctx context.Context, hexes []string) ([]Verd
 			}
 			backoff *= 2
 		}
-		verdicts, err := c.post(ctx, hexes)
+		verdicts, err := do()
 		if err == nil {
 			return verdicts, nil
 		}
@@ -123,6 +136,47 @@ func (c *ScoreClient) post(ctx context.Context, hexes []string) ([]Verdict, erro
 	}
 	if len(sr.Verdicts) != len(hexes) {
 		return nil, ethrpc.MarkTransient(fmt.Errorf("%d verdicts for %d bytecodes", len(sr.Verdicts), len(hexes)))
+	}
+	return sr.Verdicts, nil
+}
+
+// postTx runs one /score/tx exchange with the same outcome classification
+// as post.
+func (c *ScoreClient) postTx(ctx context.Context, items []TxScoreItem) ([]Verdict, error) {
+	body, err := json.Marshal(txScoreRequest{Txs: items})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/score/tx", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, ethrpc.MarkTransient(fmt.Errorf("transport: %w", err))
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		ra := ethrpc.ParseRetryAfter(resp.Header.Get("Retry-After"))
+		return nil, ethrpc.MarkTransient(&ethrpc.RateLimitError{RetryAfter: ra})
+	case resp.StatusCode >= 500:
+		return nil, ethrpc.MarkTransient(fmt.Errorf("status %d", resp.StatusCode))
+	case resp.StatusCode != http.StatusOK:
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	var sr scoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, ethrpc.MarkTransient(fmt.Errorf("torn response: %w", err))
+	}
+	if len(sr.Verdicts) != len(items) {
+		return nil, ethrpc.MarkTransient(fmt.Errorf("%d verdicts for %d txs", len(sr.Verdicts), len(items)))
 	}
 	return sr.Verdicts, nil
 }

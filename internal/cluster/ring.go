@@ -83,7 +83,7 @@ func (r *Ring) Replicas() []string { return r.replicas }
 func (r *Ring) Vnodes() int { return r.perNode }
 
 // OwnedFraction returns replica i's share of the keyspace — the ring
-//-balance figure the router exports on /metrics.
+// -balance figure the router exports on /metrics.
 func (r *Ring) OwnedFraction(i int) float64 { return r.owned[i] }
 
 // KeyOf is the routing key for one bytecode: its SHA-256 — identical to the

@@ -27,12 +27,28 @@ type scoreRequest struct {
 }
 
 // Verdict is the wire form of one scoring decision as served by a replica.
+// The modality fields are populated only on /score/tx verdicts.
 type Verdict struct {
 	Label        string  `json:"label"`
 	Phishing     bool    `json:"phishing"`
 	Confidence   float64 `json:"confidence"`
 	Model        string  `json:"model"`
 	ModelVersion string  `json:"model_version,omitempty"`
+	Modality     string  `json:"modality,omitempty"`
+	PayloadProb  float64 `json:"payload_prob,omitempty"`
+	CodeProb     float64 `json:"code_prob,omitempty"`
+}
+
+// TxScoreItem is one transaction on the /score/tx wire: hex calldata plus
+// (optionally) the callee's hex bytecode. Mirrors serve.go's TxScoreItem.
+type TxScoreItem struct {
+	Calldata string `json:"calldata,omitempty"`
+	Code     string `json:"code,omitempty"`
+}
+
+type txScoreRequest struct {
+	Tx  *TxScoreItem  `json:"tx,omitempty"`
+	Txs []TxScoreItem `json:"txs,omitempty"`
 }
 
 type scoreResponse struct {
@@ -259,6 +275,129 @@ func (rt *Router) route(ctx context.Context, codes [][]byte, hexes []string) ([]
 	return out, nil
 }
 
+// txGroup is one transaction sub-batch bound for a single hash neighborhood.
+type txGroup struct {
+	cands []*ethrpc.Node // candidate nodes, owner first
+	idx   []int          // positions in the original request
+	items []TxScoreItem  // forwarded transactions
+}
+
+// RouteTxBatch routes transactions (hex calldata + callee bytecode) across
+// the ring and returns fused verdicts aligned with items. Each tx is keyed by
+// its callee bytecode's SHA-256 — the same key /score shards on — so a tx
+// lands on the replica whose code-side digest cache its callee already
+// warmed. EOA callees (empty code) all share KeyOf(nil) and pin to one
+// neighborhood, which is fine: their code side is a constant zero and the
+// payload cache still dedups by calldata digest.
+func (rt *Router) RouteTxBatch(ctx context.Context, items []TxScoreItem) ([]Verdict, error) {
+	keys := make([][32]byte, len(items))
+	for i, it := range items {
+		code, err := evm.DecodeHex(it.Code)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: tx %d code: %w", i, err)
+		}
+		keys[i] = KeyOf(code)
+	}
+	return rt.routeTx(ctx, items, keys)
+}
+
+// routeTx fans one transaction batch out by callee-code hash neighborhood
+// and reassembles the verdicts in request order.
+func (rt *Router) routeTx(ctx context.Context, items []TxScoreItem, keys [][32]byte) ([]Verdict, error) {
+	nodes := rt.plane.Nodes()
+	groups := make(map[string]*txGroup)
+	for i, key := range keys {
+		hood := rt.ring.Neighborhood(key, rt.cfg.Neighborhood)
+		gk := fmt.Sprint(hood)
+		g, ok := groups[gk]
+		if !ok {
+			g = &txGroup{cands: make([]*ethrpc.Node, len(hood))}
+			for j, ri := range hood {
+				g.cands[j] = nodes[ri]
+			}
+			groups[gk] = g
+		}
+		g.idx = append(g.idx, i)
+		g.items = append(g.items, items[i])
+	}
+
+	out := make([]Verdict, len(items))
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(groups))
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *txGroup) {
+			defer wg.Done()
+			owner := g.cands[0]
+			verdicts, err := ethrpc.PlaneDo(ctx, rt.plane, g.cands, func(ctx context.Context, n *ethrpc.Node) ([]Verdict, error) {
+				vs, err := rt.postTx(ctx, n.Name(), g.items)
+				if err == nil && n != owner {
+					rt.rehashes.Add(1)
+				}
+				return vs, err
+			})
+			if err != nil {
+				rt.errored.Add(1)
+				errCh <- fmt.Errorf("cluster: tx sub-batch of %d via %s: %w", len(g.items), owner.Name(), err)
+				return
+			}
+			for j, v := range verdicts {
+				out[g.idx[j]] = v
+			}
+			rt.scored.Add(uint64(len(verdicts)))
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// postTx runs one /score/tx exchange against a replica with the same outcome
+// classification as post.
+func (rt *Router) postTx(ctx context.Context, base string, items []TxScoreItem) ([]Verdict, error) {
+	body, err := json.Marshal(txScoreRequest{Txs: items})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/score/tx", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		if ctx.Err() == context.DeadlineExceeded {
+			return nil, ethrpc.MarkTransient(context.DeadlineExceeded)
+		}
+		return nil, ethrpc.MarkTransient(fmt.Errorf("transport: %w", err))
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		ra := ethrpc.ParseRetryAfter(resp.Header.Get("Retry-After"))
+		return nil, ethrpc.MarkTransient(&ethrpc.RateLimitError{RetryAfter: ra})
+	case resp.StatusCode >= 500:
+		return nil, ethrpc.MarkTransient(fmt.Errorf("replica status %d", resp.StatusCode))
+	case resp.StatusCode != http.StatusOK:
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("replica status %d: %s", resp.StatusCode, e.Error)
+	}
+	var sr scoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, ethrpc.MarkTransient(fmt.Errorf("torn response: %w", err))
+	}
+	if len(sr.Verdicts) != len(items) {
+		return nil, ethrpc.MarkTransient(fmt.Errorf("replica answered %d verdicts for %d txs", len(sr.Verdicts), len(items)))
+	}
+	return sr.Verdicts, nil
+}
+
 // post runs one /score exchange against a replica, classifying the outcome
 // the way the JSON-RPC client does: 429 surfaces as a RateLimitError (the
 // plane's congestion signal, Retry-After attached), transport faults, 5xx
@@ -324,6 +463,7 @@ func retryAfterSeconds() string {
 // Handler returns the router's HTTP surface:
 //
 //	POST /score         — routed scoring, wire-identical to a replica's /score
+//	POST /score/tx      — routed transaction scoring, keyed by callee bytecode
 //	GET  /healthz       — role=router, replica set, ring + routing counters
 //	GET  /readyz        — readiness (200 once constructed; the router is stateless)
 //	GET  /metrics       — phishinghook_cluster_* Prometheus series
@@ -333,6 +473,7 @@ func retryAfterSeconds() string {
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/score", rt.handleScore)
+	mux.HandleFunc("/score/tx", rt.handleTxScore)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":         "ok",
@@ -439,6 +580,80 @@ func (rt *Router) handleScore(w http.ResponseWriter, r *http.Request) {
 
 	t0 := time.Now()
 	verdicts, err := rt.route(r.Context(), codes, hexes)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "route: %v", err)
+		return
+	}
+	resp := scoreResponse{
+		Verdicts:  verdicts,
+		ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
+	}
+	if hasSingle {
+		resp.Verdict = &resp.Verdicts[0]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleTxScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	rt.requests.Add(1)
+	var req txScoreRequest
+	body := http.MaxBytesReader(w, r.Body, maxScoreBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "bad JSON: %v", err)
+		return
+	}
+	items := req.Txs
+	hasSingle := req.Tx != nil
+	if hasSingle {
+		items = append([]TxScoreItem{*req.Tx}, items...)
+	}
+	if len(items) == 0 {
+		writeError(w, http.StatusBadRequest, "no transaction in request")
+		return
+	}
+	if len(items) > maxScoreBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(items), maxScoreBatch)
+		return
+	}
+	keys := make([][32]byte, len(items))
+	for i, it := range items {
+		// Either side may be empty (EOA callee / plain transfer); both
+		// hexes still have to parse before fan-out.
+		if _, err := evm.DecodeHex(it.Calldata); err != nil {
+			writeError(w, http.StatusBadRequest, "tx %d calldata: %v", i, err)
+			return
+		}
+		code, err := evm.DecodeHex(it.Code)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "tx %d code: %v", i, err)
+			return
+		}
+		keys[i] = KeyOf(code)
+	}
+
+	// Same admission control as /score: a full queue answers 429 + jittered
+	// Retry-After rather than queuing unboundedly.
+	n := int64(len(items))
+	if rt.pending.Add(n) > int64(rt.cfg.MaxPending) {
+		rt.pending.Add(-n)
+		rt.rejected.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds())
+		writeError(w, http.StatusTooManyRequests, "router saturated: %d items pending (max %d)", rt.pending.Load(), rt.cfg.MaxPending)
+		return
+	}
+	defer rt.pending.Add(-n)
+
+	t0 := time.Now()
+	verdicts, err := rt.routeTx(r.Context(), items, keys)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "route: %v", err)
 		return

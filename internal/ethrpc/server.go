@@ -27,6 +27,10 @@ const (
 	codeInvalidRequest = -32600
 	codeMethodNotFound = -32601
 	codeInvalidParams  = -32602
+	// codeFilterNotFound mirrors geth's -32000 "filter not found": the server
+	// forgot (or never had) the polled filter, and the client must install a
+	// fresh one. The feed client maps it to ErrFilterNotFound.
+	codeFilterNotFound = -32000
 )
 
 type rpcRequest struct {
@@ -96,11 +100,24 @@ type Server struct {
 	tokens  float64
 	owed    float64
 	last    time.Time
+
+	// Pending-transaction filters: per-server state mapping a filter ID to a
+	// cursor into the chain's visible tx log. Filters are node-local (a
+	// client that fails over to another endpoint must reinstall), exactly as
+	// with real providers.
+	filterMu   sync.Mutex
+	filters    map[string]*txFilter
+	nextFilter atomic.Int64
+}
+
+// txFilter is one installed pending-transaction filter.
+type txFilter struct {
+	cursor int
 }
 
 // NewServer returns a JSON-RPC server over the given chain state.
 func NewServer(c *chain.Chain, chainID uint64, opts ...ServerOption) *Server {
-	s := &Server{chain: c, chainID: chainID}
+	s := &Server{chain: c, chainID: chainID, filters: make(map[string]*txFilter)}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -228,6 +245,14 @@ func (s *Server) dispatch(req rpcRequest) (any, *rpcError) {
 		return hexUint(s.chainID), nil
 	case "eth_getCode":
 		return s.getCode(req.Params)
+	case "eth_newPendingTransactionFilter":
+		return s.newPendingTxFilter(req.Params)
+	case "eth_getFilterChanges":
+		return s.getFilterChanges(req.Params)
+	case "eth_uninstallFilter":
+		return s.uninstallFilter(req.Params)
+	case "eth_getTransactionByHash":
+		return s.getTransactionByHash(req.Params)
 	default:
 		return nil, &rpcError{codeMethodNotFound, "method not found: " + req.Method}
 	}
@@ -262,3 +287,133 @@ func (s *Server) getCode(params []json.RawMessage) (any, *rpcError) {
 }
 
 func hexUint(v uint64) string { return fmt.Sprintf("0x%x", v) }
+
+// maxFilterBatch caps how many pending txs one eth_getFilterChanges poll
+// returns. One poll costs one rate-limit token regardless of how many txs it
+// carries — the per-item amortization that lets the tx stream sustain
+// mempool-scale rates through the same quota that bounds per-contract
+// fetches.
+const maxFilterBatch = 512
+
+// wireTx is the JSON wire form of a pending transaction (the "full
+// transaction objects" flavor of the filter API).
+type wireTx struct {
+	Hash        string `json:"hash"`
+	From        string `json:"from"`
+	To          string `json:"to"`
+	Value       string `json:"value"`
+	Input       string `json:"input"`
+	BlockNumber string `json:"blockNumber"`
+}
+
+func encodeWireTx(tx *chain.Tx) wireTx {
+	input := "0x"
+	if len(tx.Calldata) > 0 {
+		input = "0x" + hex.EncodeToString(tx.Calldata)
+	}
+	return wireTx{
+		Hash:        tx.HashHex(),
+		From:        tx.From.String(),
+		To:          tx.To.String(),
+		Value:       hexUint(tx.Value),
+		Input:       input,
+		BlockNumber: hexUint(tx.Block),
+	}
+}
+
+// newPendingTxFilter installs a pending-transaction filter. With no params
+// the filter sees only txs arriving after installation (the standard
+// protocol behaviour); an optional fromBlock hex-quantity param — a sim
+// extension standing in for the archive replay a real deployment would do —
+// rewinds the cursor so a restarted watcher can resume from its checkpoint.
+func (s *Server) newPendingTxFilter(params []json.RawMessage) (any, *rpcError) {
+	if len(params) > 1 {
+		return nil, &rpcError{codeInvalidParams, "eth_newPendingTransactionFilter takes at most (fromBlock)"}
+	}
+	cursor := s.chain.TxCount()
+	if len(params) == 1 {
+		var tag string
+		if err := json.Unmarshal(params[0], &tag); err != nil {
+			return nil, &rpcError{codeInvalidParams, "fromBlock must be a hex-quantity string"}
+		}
+		from, err := parseHexUint(params[0])
+		if err != nil {
+			return nil, &rpcError{codeInvalidParams, "bad fromBlock " + tag}
+		}
+		cursor = s.chain.TxIndexAtBlock(from)
+	}
+	id := fmt.Sprintf("0x%x", s.nextFilter.Add(1))
+	s.filterMu.Lock()
+	s.filters[id] = &txFilter{cursor: cursor}
+	s.filterMu.Unlock()
+	return id, nil
+}
+
+// getFilterChanges drains up to maxFilterBatch newly visible txs from the
+// filter's cursor, returning full transaction objects.
+func (s *Server) getFilterChanges(params []json.RawMessage) (any, *rpcError) {
+	if len(params) != 1 {
+		return nil, &rpcError{codeInvalidParams, "eth_getFilterChanges takes (filterID)"}
+	}
+	var id string
+	if err := json.Unmarshal(params[0], &id); err != nil {
+		return nil, &rpcError{codeInvalidParams, "filter ID must be a string"}
+	}
+	s.filterMu.Lock()
+	f, ok := s.filters[id]
+	s.filterMu.Unlock()
+	if !ok {
+		return nil, &rpcError{codeFilterNotFound, "filter not found"}
+	}
+	// The cursor advance races only with same-filter polls; the chain read is
+	// consistent on its own, so serialize per poll under filterMu.
+	s.filterMu.Lock()
+	txs, next := s.chain.TxsSince(f.cursor, maxFilterBatch)
+	f.cursor = next
+	s.filterMu.Unlock()
+	out := make([]wireTx, len(txs))
+	for i, tx := range txs {
+		out[i] = encodeWireTx(tx)
+	}
+	return out, nil
+}
+
+// uninstallFilter removes a filter, reporting whether it existed.
+func (s *Server) uninstallFilter(params []json.RawMessage) (any, *rpcError) {
+	if len(params) != 1 {
+		return nil, &rpcError{codeInvalidParams, "eth_uninstallFilter takes (filterID)"}
+	}
+	var id string
+	if err := json.Unmarshal(params[0], &id); err != nil {
+		return nil, &rpcError{codeInvalidParams, "filter ID must be a string"}
+	}
+	s.filterMu.Lock()
+	_, ok := s.filters[id]
+	delete(s.filters, id)
+	s.filterMu.Unlock()
+	return ok, nil
+}
+
+// getTransactionByHash returns the full tx object, or null for unknown (or
+// not-yet-visible) hashes, like a real node.
+func (s *Server) getTransactionByHash(params []json.RawMessage) (any, *rpcError) {
+	if len(params) != 1 {
+		return nil, &rpcError{codeInvalidParams, "eth_getTransactionByHash takes (hash)"}
+	}
+	var hashHex string
+	if err := json.Unmarshal(params[0], &hashHex); err != nil {
+		return nil, &rpcError{codeInvalidParams, "hash must be a string"}
+	}
+	hashHex = strings.TrimPrefix(strings.TrimPrefix(strings.TrimSpace(hashHex), "0x"), "0X")
+	raw, err := hex.DecodeString(hashHex)
+	if err != nil || len(raw) != 32 {
+		return nil, &rpcError{codeInvalidParams, "hash must be 32 hex bytes"}
+	}
+	var h [32]byte
+	copy(h[:], raw)
+	tx, ok := s.chain.TxByHash(h)
+	if !ok {
+		return nil, nil
+	}
+	return encodeWireTx(tx), nil
+}

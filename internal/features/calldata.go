@@ -1,0 +1,237 @@
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Calldata feature layout constants.
+const (
+	// calldataBigramBuckets is the hashed argument byte-bigram bucket count.
+	calldataBigramBuckets = 32
+	// calldataShapeStats is the argument-shape statistic count.
+	calldataShapeStats = 10
+	// defaultSelectorVocabCap bounds the fitted selector vocabulary when the
+	// config leaves VocabCap zero.
+	defaultSelectorVocabCap = 64
+)
+
+// CalldataFeaturizer maps a transaction's input data to a flat feature
+// vector: a fitted one-hot 4-byte selector vocabulary (plus unknown-selector
+// and no-selector indicators), hashed byte-bigram buckets over the argument
+// bytes (SCSGuard's n-gram framing applied to calldata), and argument-shape
+// statistics — ABI word alignment, max-allowance sentinel words,
+// address-shaped words, entropy proxies. Drainer payloads concentrate
+// exactly there: approve/permit/setApprovalForAll selectors with an all-ff
+// allowance word and a reused spender address.
+//
+// Transform is a single pass over the payload and allocates only its output
+// vector, so the Detector cache keeps the scored tx path at 0 allocs/op.
+type CalldataFeaturizer struct {
+	// VocabCap bounds the selector vocabulary (0 = defaultSelectorVocabCap).
+	VocabCap int
+	// selectors maps a fitted selector to its one-hot slot.
+	selectors map[[4]byte]int
+	// order keeps the fitted vocabulary in its deterministic slot order for
+	// serialization.
+	order [][4]byte
+}
+
+// Kind implements Featurizer.
+func (f *CalldataFeaturizer) Kind() Kind { return KindCalldata }
+
+// cap returns the effective vocabulary bound.
+func (f *CalldataFeaturizer) capacity() int {
+	if f.VocabCap > 0 {
+		return f.VocabCap
+	}
+	return defaultSelectorVocabCap
+}
+
+// Fit learns the selector vocabulary: the top-capacity selectors by corpus
+// count, ties broken by selector bytes ascending, so equal corpora always
+// fit identical vocabularies.
+func (f *CalldataFeaturizer) Fit(corpus [][]byte) error {
+	counts := make(map[[4]byte]int)
+	for _, data := range corpus {
+		if len(data) >= 4 {
+			var sel [4]byte
+			copy(sel[:], data)
+			counts[sel]++
+		}
+	}
+	f.order = make([][4]byte, 0, len(counts))
+	for sel := range counts {
+		f.order = append(f.order, sel)
+	}
+	sort.Slice(f.order, func(i, j int) bool {
+		ci, cj := counts[f.order[i]], counts[f.order[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return string(f.order[i][:]) < string(f.order[j][:])
+	})
+	if limit := f.capacity(); len(f.order) > limit {
+		f.order = f.order[:limit]
+	}
+	f.selectors = make(map[[4]byte]int, len(f.order))
+	for i, sel := range f.order {
+		f.selectors[sel] = i
+	}
+	return nil
+}
+
+// Dim implements Featurizer (0 before Fit).
+func (f *CalldataFeaturizer) Dim() int {
+	if f.selectors == nil {
+		return 0
+	}
+	// one-hot vocab + [unknown-selector, no-selector] + bigram buckets + shape.
+	return len(f.order) + 2 + calldataBigramBuckets + calldataShapeStats
+}
+
+// Transform implements Featurizer: one pass over the payload into the output
+// vector. Malformed, truncated and empty calldata are all legal inputs — an
+// adversary controls this field byte for byte.
+func (f *CalldataFeaturizer) Transform(data []byte) []float64 {
+	out := make([]float64, f.Dim())
+	f.TransformInto(data, out)
+	return out
+}
+
+// TransformInto fills dst (of length Dim) in place — the alloc-free path
+// batched scorers reuse a buffer through.
+func (f *CalldataFeaturizer) TransformInto(data []byte, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	nVocab := len(f.order)
+	flags := dst[nVocab : nVocab+2]
+	bigrams := dst[nVocab+2 : nVocab+2+calldataBigramBuckets]
+	shape := dst[nVocab+2+calldataBigramBuckets:]
+
+	// Selector block.
+	var args []byte
+	switch {
+	case len(data) == 0:
+		flags[1] = 1 // no-selector: plain value transfer
+	case len(data) < 4:
+		flags[0] = 1 // truncated selector counts as unknown
+		args = data
+	default:
+		var sel [4]byte
+		copy(sel[:], data)
+		if slot, ok := f.selectors[sel]; ok {
+			dst[slot] = 1
+		} else {
+			flags[0] = 1
+		}
+		args = data[4:]
+	}
+
+	// Byte pass over the argument region: bigram buckets and byte tallies.
+	var seen [256]bool
+	distinct, zeros, ffs := 0, 0, 0
+	for i, b := range args {
+		if !seen[b] {
+			seen[b] = true
+			distinct++
+		}
+		switch b {
+		case 0x00:
+			zeros++
+		case 0xff:
+			ffs++
+		}
+		if i+1 < len(args) {
+			// Fibonacci-hash the bigram into a bucket.
+			g := uint32(b)<<8 | uint32(args[i+1])
+			bigrams[(g*2654435761)>>27&(calldataBigramBuckets-1)]++
+		}
+	}
+	if n := len(args) - 1; n > 0 {
+		for i := range bigrams {
+			bigrams[i] /= float64(n)
+		}
+	}
+
+	// Word pass: 32-byte ABI word shapes.
+	words := len(args) / 32
+	maxWords, addrWords, smallWords, oneWords := 0, 0, 0, 0
+	for w := 0; w < words; w++ {
+		word := args[w*32 : w*32+32]
+		leadZeros := 0
+		for leadZeros < 32 && word[leadZeros] == 0 {
+			leadZeros++
+		}
+		allFF := true
+		for _, b := range word {
+			if b != 0xff {
+				allFF = false
+				break
+			}
+		}
+		switch {
+		case allFF:
+			maxWords++
+		case leadZeros == 32:
+			// all-zero word: counts as small
+			smallWords++
+		case leadZeros >= 24:
+			smallWords++
+			if leadZeros == 31 && word[31] == 1 {
+				oneWords++
+			}
+		case leadZeros >= 12:
+			addrWords++
+		}
+	}
+
+	shape[0] = math.Log1p(float64(len(data)))
+	shape[1] = float64(words)
+	if len(args)%32 != 0 {
+		shape[2] = 1 // misaligned argument region
+	}
+	if len(args) > 0 {
+		shape[3] = float64(zeros) / float64(len(args))
+		shape[4] = float64(ffs) / float64(len(args))
+		shape[9] = float64(distinct) / 256
+	}
+	shape[5] = float64(maxWords)
+	shape[6] = float64(addrWords)
+	shape[7] = float64(smallWords)
+	shape[8] = float64(oneWords)
+}
+
+// Selectors exposes the fitted vocabulary in slot order.
+func (f *CalldataFeaturizer) Selectors() [][4]byte { return f.order }
+
+// calldataState is the serializable fitted state.
+type calldataState struct {
+	VocabCap  int
+	Selectors [][4]byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f *CalldataFeaturizer) MarshalBinary() ([]byte, error) {
+	if f.selectors == nil {
+		return nil, fmt.Errorf("features: calldata featurizer not fitted")
+	}
+	return gobEncode(calldataState{f.VocabCap, f.order})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (f *CalldataFeaturizer) UnmarshalBinary(data []byte) error {
+	var s calldataState
+	if err := gobDecode(data, &s); err != nil {
+		return err
+	}
+	f.VocabCap = s.VocabCap
+	f.order = s.Selectors
+	f.selectors = make(map[[4]byte]int, len(f.order))
+	for i, sel := range f.order {
+		f.selectors[sel] = i
+	}
+	return nil
+}

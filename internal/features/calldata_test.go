@@ -1,0 +1,206 @@
+package features
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+func calldataCorpus(seed int64, n int) [][]byte {
+	g := synth.NewTxGenerator(synth.TxConfig{Seed: seed})
+	out := make([][]byte, n)
+	for i := range out {
+		out[i], _ = g.Calldata()
+	}
+	return out
+}
+
+func fittedCalldata(t *testing.T) *CalldataFeaturizer {
+	t.Helper()
+	f := &CalldataFeaturizer{}
+	if err := f.Fit(calldataCorpus(42, 2000)); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	return f
+}
+
+func TestCalldataFitDeterministic(t *testing.T) {
+	a := &CalldataFeaturizer{}
+	b := &CalldataFeaturizer{}
+	if err := a.Fit(calldataCorpus(42, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(calldataCorpus(42, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.Selectors(), b.Selectors()
+	if len(as) == 0 || len(as) != len(bs) {
+		t.Fatalf("vocab sizes %d vs %d", len(as), len(bs))
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("vocab slot %d differs", i)
+		}
+	}
+}
+
+func TestCalldataTransformShapes(t *testing.T) {
+	f := fittedCalldata(t)
+	dim := f.Dim()
+	if dim <= calldataBigramBuckets+calldataShapeStats {
+		t.Fatalf("Dim = %d, vocabulary missing", dim)
+	}
+
+	// Empty calldata: no-selector flag set, everything else near zero.
+	x := f.Transform(nil)
+	if len(x) != dim {
+		t.Fatalf("Transform dim %d, want %d", len(x), dim)
+	}
+	if x[len(f.Selectors())+1] != 1 {
+		t.Fatal("empty calldata did not set the no-selector flag")
+	}
+
+	// A known drainer approve payload: selector one-hot + max-uint word.
+	g := synth.NewTxGenerator(synth.TxConfig{Seed: 9, DrainerShare: 1})
+	var payload []byte
+	for {
+		data, drainer := g.Calldata()
+		if drainer && len(data) >= 4 && data[0] == synth.SelApprove[0] &&
+			bytes.Equal(data[:4], synth.SelApprove[:]) {
+			payload = data
+			break
+		}
+	}
+	x = f.Transform(payload)
+	shape := x[len(f.Selectors())+2+calldataBigramBuckets:]
+	if shape[5] < 1 {
+		t.Fatalf("approve(attacker, max) payload counted %v max-uint words", shape[5])
+	}
+	if shape[6] < 1 {
+		t.Fatalf("approve payload counted %v address words", shape[6])
+	}
+	if shape[2] != 0 {
+		t.Fatal("aligned payload flagged as misaligned")
+	}
+
+	// Truncated selector: unknown-selector flag, misaligned.
+	x = f.Transform([]byte{0x01, 0x02})
+	if x[len(f.Selectors())] != 1 {
+		t.Fatal("truncated payload did not set the unknown-selector flag")
+	}
+}
+
+func TestCalldataRoundTrip(t *testing.T) {
+	f := fittedCalldata(t)
+	blob, err := MarshalFeaturizer(f)
+	if err != nil {
+		t.Fatalf("MarshalFeaturizer: %v", err)
+	}
+	back, err := LoadFeaturizer(blob)
+	if err != nil {
+		t.Fatalf("LoadFeaturizer: %v", err)
+	}
+	if back.Kind() != KindCalldata || back.Dim() != f.Dim() {
+		t.Fatalf("round trip kind=%v dim=%d, want %v/%d", back.Kind(), back.Dim(), KindCalldata, f.Dim())
+	}
+	g := synth.NewTxGenerator(synth.TxConfig{Seed: 77})
+	for i := 0; i < 100; i++ {
+		data, _ := g.Calldata()
+		a, b := f.Transform(data), back.Transform(data)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("payload %d feature %d: %v != %v after round trip", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestCalldataTransformIntoMatchesTransform(t *testing.T) {
+	f := fittedCalldata(t)
+	g := synth.NewTxGenerator(synth.TxConfig{Seed: 5})
+	dst := make([]float64, f.Dim())
+	for i := 0; i < 200; i++ {
+		data, _ := g.Calldata()
+		f.TransformInto(data, dst)
+		want := f.Transform(data)
+		for j := range want {
+			if dst[j] != want[j] {
+				t.Fatalf("payload %d feature %d: TransformInto %v != Transform %v", i, j, dst[j], want[j])
+			}
+		}
+	}
+}
+
+func TestCalldataSeparatesDrainers(t *testing.T) {
+	// Not a model test — just assert the representation moves: mean drainer
+	// and benign vectors must differ markedly in at least one coordinate.
+	f := fittedCalldata(t)
+	g := synth.NewTxGenerator(synth.TxConfig{Seed: 123})
+	dim := f.Dim()
+	sum := map[bool][]float64{true: make([]float64, dim), false: make([]float64, dim)}
+	n := map[bool]int{}
+	for i := 0; i < 4000; i++ {
+		data, drainer := g.Calldata()
+		for j, v := range f.Transform(data) {
+			sum[drainer][j] += v
+		}
+		n[drainer]++
+	}
+	maxGap := 0.0
+	for j := 0; j < dim; j++ {
+		gap := math.Abs(sum[true][j]/float64(n[true]) - sum[false][j]/float64(n[false]))
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	if maxGap < 0.3 {
+		t.Fatalf("max mean feature gap %.3f, representation does not separate", maxGap)
+	}
+}
+
+func FuzzCalldataFeaturize(f *testing.F) {
+	g := synth.NewTxGenerator(synth.TxConfig{Seed: 1})
+	for i := 0; i < 16; i++ {
+		data, _ := g.Calldata()
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x09})
+	f.Add([]byte{0x09, 0x5e, 0xa7})
+	f.Add(bytes.Repeat([]byte{0xff}, 4+32*7+13)) // misaligned max-uint soup
+	fz := &CalldataFeaturizer{}
+	if err := fz.Fit(calldataCorpus(2, 500)); err != nil {
+		f.Fatal(err)
+	}
+	dim := fz.Dim()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Arbitrary adversarial calldata must never panic, always emit a
+		// finite fixed-dimension vector, and transform identically through a
+		// serialization round trip.
+		x := fz.Transform(data)
+		if len(x) != dim {
+			t.Fatalf("dim %d, want %d", len(x), dim)
+		}
+		for j, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("feature %d is %v", j, v)
+			}
+		}
+		blob, err := MarshalFeaturizer(fz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadFeaturizer(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := back.Transform(data)
+		for j := range x {
+			if x[j] != y[j] {
+				t.Fatalf("feature %d: %v != %v after round trip", j, x[j], y[j])
+			}
+		}
+	})
+}

@@ -26,6 +26,10 @@ const (
 	// with Config.Windowed it emits sliding windows (the paper's β
 	// variant) instead of one truncated sequence.
 	KindOpcodeSeq
+	// KindCalldata is the transaction-payload representation (4-byte
+	// selector vocabulary + hashed argument byte-bigram buckets +
+	// argument-shape statistics) behind the tx modality.
+	KindCalldata
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +45,8 @@ func (k Kind) String() string {
 		return "bigram-seq"
 	case KindOpcodeSeq:
 		return "opcode-seq"
+	case KindCalldata:
+		return "calldata"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -114,6 +120,8 @@ func New(kind Kind, cfg Config) (Featurizer, error) {
 			return nil, fmt.Errorf("features: opcode-seq windows mode needs Stride > 0")
 		}
 		return f, nil
+	case KindCalldata:
+		return &CalldataFeaturizer{VocabCap: cfg.VocabCap}, nil
 	default:
 		return nil, fmt.Errorf("features: unknown featurizer kind %d", int(kind))
 	}
@@ -517,6 +525,8 @@ func LoadFeaturizer(data []byte) (Featurizer, error) {
 		f = &BigramSeqFeaturizer{}
 	case KindOpcodeSeq:
 		f = &OpcodeSeqFeaturizer{}
+	case KindCalldata:
+		f = &CalldataFeaturizer{}
 	default:
 		return nil, fmt.Errorf("features: unknown serialized kind %d", int(s.Kind))
 	}

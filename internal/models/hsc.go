@@ -32,14 +32,26 @@ func init() {
 	gob.Register(&boost.Model{})
 }
 
-// hscModel wraps a classical classifier behind opcode-histogram features:
-// the paper's HSC pipeline (raw counts, vocabulary from the training set).
+// hscModel wraps a classical classifier behind a fitted featurizer. The
+// paper's HSC pipeline pairs it with opcode-histogram features (raw counts,
+// vocabulary from the training set) — the zero value of feat; the tx
+// modality reuses the same wrapper over calldata features.
 type hscModel struct {
 	name  string
 	train func(X [][]float64, y []int) pointPredictor
+	// feat selects the input representation (zero = KindHistogram).
+	feat features.Kind
 
-	fz   *features.HistogramFeaturizer
+	fz   features.Featurizer
 	pred pointPredictor
+}
+
+// featKind resolves the model's representation.
+func (m *hscModel) featKind() features.Kind {
+	if m.feat == 0 {
+		return features.KindHistogram
+	}
+	return m.feat
 }
 
 // Name implements Classifier.
@@ -50,7 +62,7 @@ func (m *hscModel) Family() Family { return HSC }
 
 // Fit implements Classifier.
 func (m *hscModel) Fit(train *dataset.Dataset) error {
-	fz, err := newFeaturizer(features.KindHistogram, histFeatConfig(NeuralConfig{}))
+	fz, err := newFeaturizer(m.featKind(), histFeatConfig(NeuralConfig{}))
 	if err != nil {
 		return err
 	}
@@ -58,7 +70,7 @@ func (m *hscModel) Fit(train *dataset.Dataset) error {
 	if err := fz.Fit(corpus); err != nil {
 		return err
 	}
-	m.fz = fz.(*features.HistogramFeaturizer)
+	m.fz = fz
 	X := features.TransformAll(m.fz, corpus)
 	m.pred = m.train(X, train.Labels())
 	return nil
@@ -137,21 +149,21 @@ func (m *hscModel) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	hf, ok := fz.(*features.HistogramFeaturizer)
-	if !ok {
-		return fmt.Errorf("models: %s: saved featurizer kind %v, want %v", m.name, fz.Kind(), features.KindHistogram)
+	if fz.Kind() != m.featKind() {
+		return fmt.Errorf("models: %s: saved featurizer kind %v, want %v", m.name, fz.Kind(), m.featKind())
 	}
-	m.fz = hf
+	m.fz = fz
 	m.pred = s.Backend
 	return nil
 }
 
-// Histogram exposes the fitted histogram (used by the SHAP analysis).
+// Histogram exposes the fitted histogram (used by the SHAP analysis); nil
+// when the model consumes a non-histogram representation.
 func (m *hscModel) Histogram() *features.Histogram {
-	if m.fz == nil {
-		return nil
+	if hf, ok := m.fz.(*features.HistogramFeaturizer); ok {
+		return hf.Histogram()
 	}
-	return m.fz.Histogram()
+	return nil
 }
 
 // Forest exposes the underlying forest when the back-end is a random
@@ -171,6 +183,22 @@ type RandomForestModel = hscModel
 func NewRandomForest(seed int64) *RandomForestModel {
 	return &hscModel{
 		name: "Random Forest",
+		train: func(X [][]float64, y []int) pointPredictor {
+			return tree.FitForest(X, y, tree.ForestConfig{
+				Trees: 100, MaxDepth: 0, Seed: seed,
+			})
+		},
+	}
+}
+
+// NewCalldataForest builds the transaction-payload model: a random forest
+// over calldata features (selector vocabulary + argument n-grams + shape
+// stats). It is an auxiliary model — registered by name for save/load and
+// serving, but deliberately outside the Table II evaluation set.
+func NewCalldataForest(seed int64) Classifier {
+	return &hscModel{
+		name: "Calldata Forest",
+		feat: features.KindCalldata,
 		train: func(X [][]float64, y []int) pointPredictor {
 			return tree.FitForest(X, y, tree.ForestConfig{
 				Trees: 100, MaxDepth: 0, Seed: seed,

@@ -64,11 +64,30 @@ var registry struct {
 func initRegistry() {
 	registry.once.Do(func() {
 		registry.specs = buildSpecs()
-		registry.byName = make(map[string]Spec, len(registry.specs))
+		registry.byName = make(map[string]Spec, len(registry.specs)+1)
 		for _, s := range registry.specs {
 			registry.byName[s.Name] = s
 		}
+		// Auxiliary models resolve by name (save/load, serving, retraining)
+		// but stay out of AllSpecs: Table II is fixed at 16 rows and every
+		// evaluation loop iterates it.
+		for _, s := range auxSpecs() {
+			registry.byName[s.Name] = s
+		}
 	})
+}
+
+// calldataFeatConfig sizes the calldata featurizer (defaults are internal to
+// the featurizer).
+func calldataFeatConfig(NeuralConfig) features.Config { return features.Config{} }
+
+// auxSpecs lists the name-only models: resolvable via SpecByName, invisible
+// to AllSpecs.
+func auxSpecs() []Spec {
+	return []Spec{
+		{"Calldata Forest", HSC, features.KindCalldata, calldataFeatConfig,
+			func(s int64, _ NeuralConfig) Classifier { return NewCalldataForest(s) }},
+	}
 }
 
 // AllSpecs returns the 16 models in the paper's Table II order. The result

@@ -164,6 +164,9 @@ func NewBackfill(scorer Scorer, cfg BackfillConfig) (*Backfill, error) {
 			return nil, err
 		}
 		if ok {
+			if cp.Modality != "" {
+				return nil, fmt.Errorf("monitor: checkpoint %s has modality %q; the backfill cannot resume it", cfg.CheckpointPath, cp.Modality)
+			}
 			if err := b.resumeFrom(cp); err != nil {
 				return nil, err
 			}

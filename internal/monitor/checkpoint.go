@@ -25,9 +25,14 @@ type checkpoint struct {
 	// ModelVersion is the lifecycle version of the most recent score before
 	// the snapshot — after a restart it answers "which detector version had
 	// judged everything up to this cursor" even across hot swaps.
-	ModelVersion string      `json:"model_version,omitempty"`
-	Seen         []string    `json:"seen,omitempty"` // hex SHA-256 bytecode hashes
-	Shards       []shardMark `json:"shards,omitempty"`
+	ModelVersion string `json:"model_version,omitempty"`
+	// Modality marks which workload owns the file: "" (contract — the
+	// historical default, so every pre-existing checkpoint loads unchanged)
+	// or "tx" (transaction watcher). Loaders refuse the other workload's
+	// checkpoints instead of silently merging incompatible cursors.
+	Modality string      `json:"modality,omitempty"`
+	Seen     []string    `json:"seen,omitempty"` // hex SHA-256 bytecode (or tx) hashes
+	Shards   []shardMark `json:"shards,omitempty"`
 }
 
 // shardMark is one backfill shard's persisted progress: the shard scans
@@ -104,4 +109,54 @@ func loadCheckpoint(path string) (checkpoint, bool, error) {
 		return checkpoint{}, false, fmt.Errorf("monitor: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
 	}
 	return cp, true, nil
+}
+
+// txModality is the tx watcher's checkpoint marker.
+const txModality = "tx"
+
+// TxCheckpoint is the transaction watcher's persisted state: the last block
+// whose visible txs have all been durably judged, plus the tx-hash dedup set
+// that makes alerting exactly-once across restarts. It shares the contract
+// checkpoint's file format (same version, Modality = "tx"), so the atomic
+// temp+fsync+rename write path and the backward-compatibility story are one
+// implementation.
+type TxCheckpoint struct {
+	// Cursor is the last fully judged block.
+	Cursor uint64
+	// ModelVersion attributes the judged prefix to a lifecycle version.
+	ModelVersion string
+	// Seen are the durably judged tx hashes.
+	Seen [][32]byte
+}
+
+// SaveTxCheckpoint atomically persists a tx watcher checkpoint.
+func SaveTxCheckpoint(path string, tc TxCheckpoint) error {
+	cp := checkpoint{
+		Cursor:       tc.Cursor,
+		ModelVersion: tc.ModelVersion,
+		Modality:     txModality,
+		Seen:         make([]string, len(tc.Seen)),
+	}
+	for i, h := range tc.Seen {
+		cp.Seen[i] = hex.EncodeToString(h[:])
+	}
+	return saveCheckpoint(path, cp)
+}
+
+// LoadTxCheckpoint reads a tx watcher checkpoint; a missing file returns
+// ok=false with no error. A contract-modality checkpoint at the same path is
+// refused — the cursors index different logs.
+func LoadTxCheckpoint(path string) (TxCheckpoint, bool, error) {
+	cp, ok, err := loadCheckpoint(path)
+	if err != nil || !ok {
+		return TxCheckpoint{}, false, err
+	}
+	if cp.Modality != txModality {
+		return TxCheckpoint{}, false, fmt.Errorf("monitor: checkpoint %s has modality %q, want %q", path, cp.Modality, txModality)
+	}
+	seen, err := cp.decodeSeen()
+	if err != nil {
+		return TxCheckpoint{}, false, fmt.Errorf("monitor: checkpoint %s: %w", path, err)
+	}
+	return TxCheckpoint{Cursor: cp.Cursor, ModelVersion: cp.ModelVersion, Seen: seen}, true, nil
 }

@@ -74,6 +74,9 @@ type counters struct {
 // Stats is a point-in-time snapshot of a Watcher's counters, JSON-ready for
 // the serving layer.
 type Stats struct {
+	// Modality is the workload the stats describe: "" (implicitly
+	// "contract", keeping existing JSON byte-for-byte) or "tx".
+	Modality string `json:"modality,omitempty"`
 	// ModelVersion is the lifecycle version of the most recent successful
 	// score (empty for unversioned scorers).
 	ModelVersion string `json:"model_version,omitempty"`

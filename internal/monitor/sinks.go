@@ -28,6 +28,13 @@ type Alert struct {
 	// verdict (empty for unversioned scorers) — the attribution that keeps
 	// alerts auditable across hot swaps and restarts.
 	ModelVersion string `json:"model_version,omitempty"`
+	// Modality distinguishes the detection workload: "" (implicitly
+	// "contract") for deployment-time alerts — kept empty so existing
+	// contract alert JSON stays byte-for-byte identical — or "tx" for
+	// transaction-payload alerts.
+	Modality string `json:"modality,omitempty"`
+	// TxHash is the alerting transaction's hash (tx modality only).
+	TxHash string `json:"tx_hash,omitempty"`
 	// Time is the wall-clock emission time.
 	Time time.Time `json:"time"`
 }

@@ -208,6 +208,9 @@ func New(scorer Scorer, cfg Config) (*Watcher, error) {
 			return nil, err
 		}
 		if ok {
+			if cp.Modality != "" {
+				return nil, fmt.Errorf("monitor: checkpoint %s has modality %q; the contract watcher cannot resume it", cfg.CheckpointPath, cp.Modality)
+			}
 			w.cursor = cp.Cursor
 			hashes, err := cp.decodeSeen()
 			if err != nil {

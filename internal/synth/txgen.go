@@ -1,0 +1,242 @@
+package synth
+
+import (
+	"math/rand"
+)
+
+// Well-known 4-byte selectors of the payload families the tx modality keys
+// on. Drainer campaigns reuse the *legitimate* token entry points — the
+// maliciousness lives in the arguments, not the selector.
+var (
+	// SelTransfer is transfer(address,uint256).
+	SelTransfer = [4]byte{0xa9, 0x05, 0x9c, 0xbb}
+	// SelApprove is approve(address,uint256) — the classic drainer payload.
+	SelApprove = [4]byte{0x09, 0x5e, 0xa7, 0xb3}
+	// SelTransferFrom is transferFrom(address,address,uint256).
+	SelTransferFrom = [4]byte{0x23, 0xb8, 0x72, 0xdd}
+	// SelPermit is permit(address,address,uint256,uint256,uint8,bytes32,bytes32)
+	// (EIP-2612) — the gasless drainer payload.
+	SelPermit = [4]byte{0xd5, 0x05, 0xac, 0xcf}
+	// SelSetApprovalForAll is setApprovalForAll(address,bool) — the NFT
+	// drainer payload.
+	SelSetApprovalForAll = [4]byte{0xa2, 0x2c, 0xb4, 0x65}
+	// SelIncreaseAllowance is increaseAllowance(address,uint256).
+	SelIncreaseAllowance = [4]byte{0x39, 0x50, 0x93, 0x51}
+	// SelDeposit is deposit().
+	SelDeposit = [4]byte{0xd0, 0xe3, 0x0d, 0xb0}
+	// SelWithdraw is withdraw(uint256).
+	SelWithdraw = [4]byte{0x2e, 0x1a, 0x7d, 0x4d}
+	// SelClaim is claim().
+	SelClaim = [4]byte{0x4e, 0x71, 0xd9, 0x2d}
+	// SelMint is mint(address,uint256).
+	SelMint = [4]byte{0x40, 0xc1, 0x0f, 0x19}
+)
+
+// TxConfig tunes a TxGenerator.
+type TxConfig struct {
+	// Seed initializes the generator's RNG stream. The stream is
+	// independent of Config.Seed's contract stream even for equal seeds, so
+	// tx traffic never perturbs contract corpora.
+	Seed int64
+	// DrainerShare is the fraction of generated payloads that are drainer
+	// families (default 0.08).
+	DrainerShare float64
+	// AttackerPool is how many distinct attacker (spender/operator)
+	// addresses the drainer campaigns reuse (default 12). Address reuse
+	// across payloads is the drainers' signature weakness.
+	AttackerPool int
+}
+
+func (c *TxConfig) fillDefaults() {
+	if c.DrainerShare <= 0 {
+		c.DrainerShare = 0.08
+	}
+	if c.AttackerPool <= 0 {
+		c.AttackerPool = 12
+	}
+}
+
+// TxGenerator produces seed-deterministic transaction calldata: benign
+// token/DeFi traffic and drainer payload families
+// (approve/permit/setApprovalForAll with max-allowance arguments and a
+// small reused attacker pool), each draw labelled with payload-level ground
+// truth. The generator owns a dedicated RNG stream — constructing or
+// draining it leaves every contract-corpus stream untouched.
+type TxGenerator struct {
+	cfg       TxConfig
+	rng       *rand.Rand
+	attackers [][20]byte
+}
+
+// txStreamSalt decorrelates the tx RNG stream from the contract stream
+// seeded with the same experiment seed.
+const txStreamSalt = 0x7478_6765_6e // "txgen"
+
+// NewTxGenerator builds a generator for the config.
+func NewTxGenerator(cfg TxConfig) *TxGenerator {
+	cfg.fillDefaults()
+	g := &TxGenerator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed ^ txStreamSalt)),
+	}
+	g.attackers = make([][20]byte, cfg.AttackerPool)
+	for i := range g.attackers {
+		g.rng.Read(g.attackers[i][:])
+	}
+	return g
+}
+
+// Rand exposes the generator's RNG stream (tx placement draws from it so
+// one seed fixes the whole traffic build).
+func (g *TxGenerator) Rand() *rand.Rand { return g.rng }
+
+// Config returns the generator's resolved configuration.
+func (g *TxGenerator) Config() TxConfig { return g.cfg }
+
+// RandomSender draws a random externally-owned sender address.
+func (g *TxGenerator) RandomSender() [20]byte {
+	var a [20]byte
+	g.rng.Read(a[:])
+	return a
+}
+
+// Calldata draws one payload and its ground-truth class.
+func (g *TxGenerator) Calldata() (data []byte, drainer bool) {
+	if g.rng.Float64() < g.cfg.DrainerShare {
+		return g.drainerCalldata(), true
+	}
+	return g.benignCalldata(), false
+}
+
+// attacker picks a (reused) drainer address.
+func (g *TxGenerator) attacker() [20]byte {
+	return g.attackers[g.rng.Intn(len(g.attackers))]
+}
+
+// drainerCalldata emits one of the drainer payload families.
+func (g *TxGenerator) drainerCalldata() []byte {
+	switch p := g.rng.Float64(); {
+	case p < 0.40:
+		// approve(attacker, max): unlimited ERC-20 allowance.
+		return g.abiCall(SelApprove, g.addrWord(g.attacker()), g.maxUintWord())
+	case p < 0.65:
+		// permit(owner, attacker, max, far deadline, v, r, s): the victim's
+		// signature moved off-chain; the tx itself is submitted by the
+		// drainer.
+		return g.abiCall(SelPermit,
+			g.addrWord(g.RandomSender()),
+			g.addrWord(g.attacker()),
+			g.maxUintWord(),
+			g.uintWord(8), // deadline far in the future
+			g.smallWord(uint64(27+g.rng.Intn(2))),
+			g.randWord(),
+			g.randWord(),
+		)
+	case p < 0.90:
+		// setApprovalForAll(attacker, true): whole-collection NFT drain.
+		return g.abiCall(SelSetApprovalForAll, g.addrWord(g.attacker()), g.smallWord(1))
+	default:
+		// increaseAllowance(attacker, max).
+		return g.abiCall(SelIncreaseAllowance, g.addrWord(g.attacker()), g.maxUintWord())
+	}
+}
+
+// benignCalldata emits ordinary token/DeFi traffic. A thin tail of benign
+// approvals carries large amounts, so the classes genuinely overlap instead
+// of separating on a single byte pattern.
+func (g *TxGenerator) benignCalldata() []byte {
+	switch p := g.rng.Float64(); {
+	case p < 0.15:
+		return nil // plain value transfer
+	case p < 0.45:
+		return g.abiCall(SelTransfer, g.addrWord(g.RandomSender()), g.uintWord(4+g.rng.Intn(8)))
+	case p < 0.60:
+		mag := 4 + g.rng.Intn(10)
+		if g.rng.Float64() < 0.05 {
+			mag = 24 // rare honest "a lot" approval
+		}
+		return g.abiCall(SelApprove, g.addrWord(g.RandomSender()), g.uintWord(mag))
+	case p < 0.68:
+		return g.abiCall(SelDeposit)
+	case p < 0.76:
+		return g.abiCall(SelWithdraw, g.uintWord(4+g.rng.Intn(8)))
+	case p < 0.82:
+		return g.abiCall(SelClaim)
+	case p < 0.90:
+		return g.abiCall(SelTransferFrom,
+			g.addrWord(g.RandomSender()), g.addrWord(g.RandomSender()), g.uintWord(4+g.rng.Intn(8)))
+	default:
+		// Long-tail protocol call: a random selector with a few well-formed
+		// argument words.
+		var sel [4]byte
+		g.rng.Read(sel[:])
+		words := make([][32]byte, 1+g.rng.Intn(4))
+		for i := range words {
+			if g.rng.Float64() < 0.5 {
+				words[i] = g.addrWord(g.RandomSender())
+			} else {
+				words[i] = g.uintWord(2 + g.rng.Intn(12))
+			}
+		}
+		return g.abiCall(sel, words...)
+	}
+}
+
+// abiCall assembles selector ++ 32-byte argument words.
+func (g *TxGenerator) abiCall(sel [4]byte, words ...[32]byte) []byte {
+	out := make([]byte, 4, 4+32*len(words))
+	copy(out, sel[:])
+	for _, w := range words {
+		out = append(out, w[:]...)
+	}
+	return out
+}
+
+// addrWord left-pads a 20-byte address into an ABI word.
+func (g *TxGenerator) addrWord(a [20]byte) [32]byte {
+	var w [32]byte
+	copy(w[12:], a[:])
+	return w
+}
+
+// uintWord draws a uint word with the given byte magnitude (1-32): the top
+// byte of the magnitude is nonzero, the rest random.
+func (g *TxGenerator) uintWord(magnitude int) [32]byte {
+	if magnitude < 1 {
+		magnitude = 1
+	}
+	if magnitude > 32 {
+		magnitude = 32
+	}
+	var w [32]byte
+	g.rng.Read(w[32-magnitude:])
+	if w[32-magnitude] == 0 {
+		w[32-magnitude] = byte(1 + g.rng.Intn(255))
+	}
+	return w
+}
+
+// smallWord encodes a small literal (bools, v of a signature).
+func (g *TxGenerator) smallWord(v uint64) [32]byte {
+	var w [32]byte
+	for i := 0; i < 8; i++ {
+		w[31-i] = byte(v >> (8 * i))
+	}
+	return w
+}
+
+// maxUintWord is the unlimited-allowance sentinel 2^256-1.
+func (g *TxGenerator) maxUintWord() [32]byte {
+	var w [32]byte
+	for i := range w {
+		w[i] = 0xff
+	}
+	return w
+}
+
+// randWord draws 32 random bytes (signature halves).
+func (g *TxGenerator) randWord() [32]byte {
+	var w [32]byte
+	g.rng.Read(w[:])
+	return w
+}

@@ -1,0 +1,104 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTxGeneratorDeterminism(t *testing.T) {
+	g1 := NewTxGenerator(TxConfig{Seed: 42})
+	g2 := NewTxGenerator(TxConfig{Seed: 42})
+	for i := 0; i < 200; i++ {
+		a, da := g1.Calldata()
+		b, db := g2.Calldata()
+		if da != db || !bytes.Equal(a, b) {
+			t.Fatalf("same seed produced different payload %d", i)
+		}
+	}
+	if NewTxGenerator(TxConfig{Seed: 1}).RandomSender() == NewTxGenerator(TxConfig{Seed: 2}).RandomSender() {
+		t.Fatal("different seeds produced identical senders")
+	}
+}
+
+func TestTxGeneratorStreamIndependence(t *testing.T) {
+	// Draining the tx generator must not change contract synthesis: the two
+	// streams share a seed but never an RNG.
+	plain := NewGenerator(DefaultConfig(42)).Contract(Phishing, 3)
+	g := NewGenerator(DefaultConfig(42))
+	tg := NewTxGenerator(TxConfig{Seed: 42})
+	for i := 0; i < 100; i++ {
+		tg.Calldata()
+	}
+	if after := g.Contract(Phishing, 3); !bytes.Equal(plain, after) {
+		t.Fatal("tx generator perturbed the contract stream")
+	}
+}
+
+func TestDrainerPayloadShapes(t *testing.T) {
+	g := NewTxGenerator(TxConfig{Seed: 7})
+	sawMax := false
+	attackers := map[[20]byte]bool{}
+	for i := 0; i < 500; i++ {
+		data, drainer := g.Calldata()
+		if !drainer {
+			continue
+		}
+		if len(data) < 4 || (len(data)-4)%32 != 0 {
+			t.Fatalf("drainer payload %d malformed: %d bytes", i, len(data))
+		}
+		var sel [4]byte
+		copy(sel[:], data)
+		switch sel {
+		case SelApprove, SelIncreaseAllowance:
+			// approve/increaseAllowance(attacker, max): second word all-ff.
+			amt := data[4+32 : 4+64]
+			if bytes.Equal(amt, bytes.Repeat([]byte{0xff}, 32)) {
+				sawMax = true
+			}
+			var a [20]byte
+			copy(a[:], data[4+12:4+32])
+			attackers[a] = true
+		case SelSetApprovalForAll:
+			if data[len(data)-1] != 1 {
+				t.Fatalf("setApprovalForAll payload %d approves false", i)
+			}
+			var a [20]byte
+			copy(a[:], data[4+12:4+32])
+			attackers[a] = true
+		case SelPermit:
+			if len(data) != 4+7*32 {
+				t.Fatalf("permit payload %d has %d bytes", i, len(data))
+			}
+		default:
+			t.Fatalf("drainer payload %d uses unexpected selector %x", i, sel)
+		}
+	}
+	if !sawMax {
+		t.Fatal("no max-allowance drainer payload seen")
+	}
+	cfg := g.Config()
+	if len(attackers) == 0 || len(attackers) > cfg.AttackerPool {
+		t.Fatalf("%d distinct attacker addresses, pool is %d", len(attackers), cfg.AttackerPool)
+	}
+}
+
+func TestBenignPayloadsWellFormed(t *testing.T) {
+	g := NewTxGenerator(TxConfig{Seed: 13, DrainerShare: 1e-9})
+	sawEmpty := false
+	for i := 0; i < 300; i++ {
+		data, drainer := g.Calldata()
+		if drainer {
+			t.Fatalf("payload %d drainer despite ~0 share", i)
+		}
+		if len(data) == 0 {
+			sawEmpty = true
+			continue
+		}
+		if len(data) < 4 || (len(data)-4)%32 != 0 {
+			t.Fatalf("benign payload %d misaligned: %d bytes", i, len(data))
+		}
+	}
+	if !sawEmpty {
+		t.Fatal("no plain value transfer seen")
+	}
+}

@@ -36,6 +36,15 @@ type ScoreVerdict struct {
 	// ModelVersion is the lifecycle version that scored (omitted when
 	// serving a bare, unversioned Detector).
 	ModelVersion string `json:"model_version,omitempty"`
+	// Modality distinguishes the scored artifact: omitted (implicitly
+	// "contract") for bytecode verdicts — keeping existing contract verdict
+	// JSON byte-for-byte identical — or "tx" for fused transaction verdicts.
+	Modality string `json:"modality,omitempty"`
+	// PayloadProb and CodeProb are the fused tx verdict's components
+	// (tx modality only; a zero contribution — empty calldata, EOA callee —
+	// is omitted).
+	PayloadProb float64 `json:"payload_prob,omitempty"`
+	CodeProb    float64 `json:"code_prob,omitempty"`
 }
 
 // ScoreResponse is the POST /score reply. Verdicts aligns with the request
@@ -54,6 +63,40 @@ func toWire(v Verdict) ScoreVerdict {
 		Confidence:   v.Confidence,
 		Model:        v.ModelName,
 		ModelVersion: v.ModelVersion,
+	}
+}
+
+// TxScoreItem is one transaction to judge: its calldata plus (optionally)
+// its callee's deployed bytecode. Either side may be empty — a plain value
+// transfer has no calldata, an EOA callee has no code — but not both.
+type TxScoreItem struct {
+	// Calldata is the 0x-prefixed hex transaction input.
+	Calldata string `json:"calldata,omitempty"`
+	// Code is the callee's 0x-prefixed hex deployed bytecode.
+	Code string `json:"code,omitempty"`
+}
+
+// TxScoreRequest is the POST /score/tx payload: one transaction, a batch, or
+// both (the single tx joins the batch at position 0, mirroring /score).
+type TxScoreRequest struct {
+	Tx  *TxScoreItem  `json:"tx,omitempty"`
+	Txs []TxScoreItem `json:"txs,omitempty"`
+}
+
+func txToWire(v TxVerdict) ScoreVerdict {
+	label := Benign
+	if v.Phishing {
+		label = Phishing
+	}
+	return ScoreVerdict{
+		Label:        label.String(),
+		Phishing:     v.Phishing,
+		Confidence:   v.Confidence,
+		Model:        v.Model,
+		ModelVersion: v.Version,
+		Modality:     "tx",
+		PayloadProb:  v.PayloadProb,
+		CodeProb:     v.CodeProb,
 	}
 }
 
@@ -135,6 +178,22 @@ func WithRetrainer(r *Retrainer) ServeOption {
 	return func(s *serveState) { s.retrainer = r }
 }
 
+// WithTxScorer attaches a transaction scorer (NewFusedTxScorer, or any
+// TxScorer), mounting the second modality's scoring surface:
+//
+//	POST /score/tx — {"tx": {"calldata": "0x..", "code": "0x.."}} and/or
+//	                 {"txs": [...]} → fused Modality="tx" verdicts
+func WithTxScorer(ts TxScorer) ServeOption {
+	return func(s *serveState) { s.txScorer = ts }
+}
+
+// WithTxWatcher attaches a transaction watcher so /metrics and /healthz
+// expose its stream counters (phishinghook_tx_* series) alongside the
+// contract-side state.
+func WithTxWatcher(w *TxWatcher) ServeOption {
+	return func(s *serveState) { s.txWatcher = w }
+}
+
 // WithClusterRole labels this process's place in the scoring cluster —
 // "replica" when fronted by a `phishinghook route` ring, "standalone" (the
 // default) otherwise. The role is reported on /healthz and /readyz so ring
@@ -151,6 +210,8 @@ func WithClusterRole(role string) ServeOption {
 type serveState struct {
 	watcher   *monitor.Watcher
 	backfill  *Backfill
+	txScorer  TxScorer
+	txWatcher *TxWatcher
 	lifecycle *Lifecycle
 	retrainer *Retrainer
 	pprof     bool
@@ -240,6 +301,11 @@ func NewScoreHandler(d ScoreBackend, opts ...ServeOption) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	if state.txScorer != nil {
+		mux.HandleFunc("/score/tx", func(w http.ResponseWriter, r *http.Request) {
+			serveTxScore(w, r, state.txScorer)
+		})
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		hits, misses := d.CacheStats()
 		body := map[string]any{
@@ -263,6 +329,9 @@ func NewScoreHandler(d ScoreBackend, opts ...ServeOption) http.Handler {
 		}
 		if state.backfill != nil {
 			body["backfill"] = state.backfill.Stats()
+		}
+		if state.txWatcher != nil {
+			body["tx_monitor"] = state.txWatcher.Stats()
 		}
 		writeJSON(w, http.StatusOK, body)
 	})
@@ -299,6 +368,72 @@ func NewScoreHandler(d ScoreBackend, opts ...ServeOption) http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// serveTxScore handles POST /score/tx: decode the single+batch request,
+// fuse-score each (calldata, code) pair, and answer Modality="tx" verdicts
+// in request order.
+func serveTxScore(w http.ResponseWriter, r *http.Request, ts TxScorer) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req TxScoreRequest
+	body := http.MaxBytesReader(w, r.Body, maxScoreBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "bad JSON: %v", err)
+		return
+	}
+	items := req.Txs
+	hasSingle := req.Tx != nil
+	if hasSingle {
+		items = append([]TxScoreItem{*req.Tx}, items...)
+	}
+	if len(items) == 0 {
+		httpError(w, http.StatusBadRequest, "no tx in request")
+		return
+	}
+	if len(items) > maxScoreBatch {
+		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(items), maxScoreBatch)
+		return
+	}
+	type decoded struct{ calldata, code []byte }
+	txs := make([]decoded, len(items))
+	for i, item := range items {
+		var err error
+		if item.Calldata != "" {
+			if txs[i].calldata, err = DecodeHex(item.Calldata); err != nil {
+				httpError(w, http.StatusBadRequest, "tx %d calldata: %v", i, err)
+				return
+			}
+		}
+		if item.Code != "" {
+			if txs[i].code, err = DecodeHex(item.Code); err != nil {
+				httpError(w, http.StatusBadRequest, "tx %d code: %v", i, err)
+				return
+			}
+		}
+	}
+	t0 := time.Now()
+	resp := ScoreResponse{Verdicts: make([]ScoreVerdict, len(txs))}
+	for i := range txs {
+		v, err := ts.ScoreTx(r.Context(), txs[i].calldata, txs[i].code)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "score tx %d: %v", i, err)
+			return
+		}
+		resp.Verdicts[i] = txToWire(v)
+	}
+	resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+	if hasSingle {
+		resp.Verdict = &resp.Verdicts[0]
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // mountAdmin wires the champion/challenger admin surface onto the mux.
@@ -400,8 +535,42 @@ func writeMetrics(w http.ResponseWriter, d ScoreBackend, state *serveState) {
 		}
 		writeShardSeries(&b, s.Shards)
 	}
+	if tw := state.txWatcher; tw != nil {
+		writeTxSeries(&b, metric, tw.Stats())
+		// The phishinghook_rpc_endpoint_* family is owned by whichever
+		// ingestion workload is attached first (watcher, then backfill);
+		// the tx watcher contributes its plane only when it is alone.
+		if state.watcher == nil && state.backfill == nil {
+			writeEndpointSeries(&b, tw.Endpoints())
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())
+}
+
+// writeTxSeries renders the transaction-stream counters.
+func writeTxSeries(b *strings.Builder, metric func(name, help, typ string, v float64), s TxWatcherStats) {
+	metric("phishinghook_tx_cursor_block", "Last block whose visible txs are all judged.", "gauge", float64(s.Cursor))
+	metric("phishinghook_tx_polls_total", "Pending-tx feed polls performed.", "counter", float64(s.Polls))
+	metric("phishinghook_tx_seen_total", "Transactions delivered by the feed.", "counter", float64(s.TxsSeen))
+	metric("phishinghook_tx_scored_total", "Transactions run through the fused scorer.", "counter", float64(s.TxsScored))
+	metric("phishinghook_tx_dedup_hits_total", "Feed replays skipped as already judged.", "counter", float64(s.DedupHits))
+	metric("phishinghook_tx_alerts_total", "Transaction alerts emitted.", "counter", float64(s.Alerts))
+	metric("phishinghook_tx_poisoned_total", "Transactions abandoned after repeated score failures.", "counter", float64(s.Poisoned))
+	metric("phishinghook_tx_errors_total", "RPC/score/sink errors on the tx stream.", "counter", float64(s.Errors))
+	metric("phishinghook_tx_feed_reopens_total", "Pending-tx filter reinstalls after loss.", "counter", float64(s.FeedReopens))
+	metric("phishinghook_tx_code_cache_hits_total", "Callee-bytecode cache hits.", "counter", float64(s.CodeCacheHits))
+	metric("phishinghook_tx_code_cache_misses_total", "Callee-bytecode cache misses.", "counter", float64(s.CodeCacheMisses))
+	fmt.Fprintf(b, "# HELP phishinghook_tx_score_latency_ms Fused tx score latency quantile upper bounds.\n"+
+		"# TYPE phishinghook_tx_score_latency_ms summary\n"+
+		"phishinghook_tx_score_latency_ms{quantile=\"0.5\"} %g\n"+
+		"phishinghook_tx_score_latency_ms{quantile=\"0.99\"} %g\n",
+		s.ScoreP50MS, s.ScoreP99MS)
+	if s.ModelVersion != "" {
+		fmt.Fprintf(b, "# HELP phishinghook_tx_model_version Lifecycle version behind the most recent fused score.\n"+
+			"# TYPE phishinghook_tx_model_version gauge\n"+
+			"phishinghook_tx_model_version{version=%q} 1\n", s.ModelVersion)
+	}
 }
 
 // writeMonitorSeries renders the shared ingestion-pipeline counters — the

@@ -1,9 +1,11 @@
 package phishinghook
 
 import (
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
+	"strings"
 
 	"github.com/phishinghook/phishinghook/internal/chain"
 	"github.com/phishinghook/phishinghook/internal/dataset"
@@ -45,6 +47,13 @@ type SimulationConfig struct {
 	MatchTemporal bool
 	// RateLimit enables the label service's token bucket (queries/s).
 	RateLimit float64
+	// TxPerMonth is the transaction-traffic volume per study month (the
+	// second modality's substrate). 0 disables the tx log; the pending-tx
+	// feed then serves an empty stream.
+	TxPerMonth int
+	// TxDrainerShare is the fraction of tx traffic carrying drainer
+	// payloads (default 0.08 when TxPerMonth > 0).
+	TxDrainerShare float64
 }
 
 // DefaultSimulationConfig is a laptop-scale corpus (≈1,200 contracts) used
@@ -59,6 +68,7 @@ func DefaultSimulationConfig(seed int64) SimulationConfig {
 		LabelNoise:       0.015,
 		DriftStrength:    0.35,
 		ProxyFraction:    0.08,
+		TxPerMonth:       300,
 	}
 }
 
@@ -70,6 +80,9 @@ func PaperScaleConfig(seed int64) SimulationConfig {
 	cfg.ObtainedPhishing = 17455
 	cfg.UniquePhishing = 3458
 	cfg.Benign = 3542
+	// Mempool traffic dwarfs deployment traffic — the tx modality's whole
+	// reason to exist.
+	cfg.TxPerMonth = 2000
 	return cfg
 }
 
@@ -111,6 +124,18 @@ func StartSimulation(cfg SimulationConfig) (*Simulation, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("phishinghook: build chain: %w", err)
+	}
+	if cfg.TxPerMonth > 0 {
+		err = chain.BuildTxTraffic(c, chain.TxTrafficConfig{
+			Generator: synth.NewTxGenerator(synth.TxConfig{
+				Seed:         cfg.Seed,
+				DrainerShare: cfg.TxDrainerShare,
+			}),
+			PerMonth: chain.UniformTxTraffic(cfg.TxPerMonth * synth.NumMonths),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("phishinghook: build tx traffic: %w", err)
+		}
 	}
 	svc := explorer.NewService(c, explorer.ServiceConfig{
 		LabelNoise: cfg.LabelNoise,
@@ -268,6 +293,61 @@ func (s *Simulation) Dataset() *Dataset {
 	}
 	rng := rand.New(rand.NewSource(s.cfg.Seed + 7))
 	return ds.Dedup().Balance(rng)
+}
+
+// NumTxs returns the visible transaction-log size (the full log on a frozen
+// chain, the released prefix in live mode).
+func (s *Simulation) NumTxs() int { return len(s.chain.TxsInRange(0, ^uint64(0))) }
+
+// TxGroundTruth reports whether the transaction with the given 0x-hex hash
+// is truly malicious — a drainer payload OR a call into a phishing contract
+// (the fused modality's target class) — for measuring tx-alert precision.
+// ok is false for unknown (or not yet released) hashes.
+func (s *Simulation) TxGroundTruth(txHash string) (malicious, ok bool) {
+	raw, err := hex.DecodeString(strings.TrimPrefix(strings.TrimPrefix(txHash, "0x"), "0X"))
+	if err != nil || len(raw) != 32 {
+		return false, false
+	}
+	var h [32]byte
+	copy(h[:], raw)
+	tx, ok := s.chain.TxByHash(h)
+	if !ok {
+		return false, false
+	}
+	if tx.Drainer {
+		return true, true
+	}
+	if ct, found := s.chain.Lookup(tx.To); found && ct.Phishing {
+		return true, true
+	}
+	return false, true
+}
+
+// TxDataset materializes a calldata training set from the visible tx log:
+// one sample per non-empty payload, labeled with the payload-level ground
+// truth (Drainer — the callee's class is the other modality's job). Samples
+// are balanced but not deduplicated: identical benign payloads (bare
+// deposit()/withdraw() calls) are legitimate mass behavior, not crawl
+// artifacts like contract clones.
+func (s *Simulation) TxDataset() *Dataset {
+	ds := &dataset.Dataset{}
+	for _, tx := range s.chain.TxsInRange(0, ^uint64(0)) {
+		if len(tx.Calldata) == 0 {
+			continue
+		}
+		lbl := dataset.Benign
+		if tx.Drainer {
+			lbl = dataset.Phishing
+		}
+		ds.Samples = append(ds.Samples, dataset.Sample{
+			Address:  tx.HashHex(),
+			Bytecode: tx.Calldata,
+			Label:    lbl,
+			Month:    chain.MonthOfBlock(tx.Block),
+		})
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 11))
+	return ds.Balance(rng)
 }
 
 // RawDataset returns the full crawl without dedup or balancing (for the
