@@ -1,0 +1,633 @@
+package phishinghook
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/phishinghook/phishinghook/internal/chaos"
+	"github.com/phishinghook/phishinghook/internal/ethrpc"
+)
+
+// Chaos-plane re-exports: the deterministic fault injector lives in
+// internal/chaos; these aliases let embedders and the CLI declare schedules
+// and bind injectors without reaching into internal packages.
+type (
+	// ChaosSchedule is a named, seeded fault plan.
+	ChaosSchedule = chaos.Schedule
+	// ChaosWindow is one fault interval within a schedule.
+	ChaosWindow = chaos.Window
+	// ChaosInjector binds a schedule onto the stack's fault seams.
+	ChaosInjector = chaos.Injector
+	// ChaosKind is a concrete fault (blackout, malformed, write-torn, ...).
+	ChaosKind = chaos.Kind
+	// ChaosScope is a fault seam (rpc, replica, store, sink).
+	ChaosScope = chaos.Scope
+)
+
+// NamedChaosSchedule builds a built-in schedule; unit scales every window
+// boundary (see chaos.Named).
+func NamedChaosSchedule(name string, seed int64, unit time.Duration) (ChaosSchedule, error) {
+	return chaos.Named(name, seed, unit)
+}
+
+// NewChaosInjector builds an injector over a schedule.
+func NewChaosInjector(s ChaosSchedule) *ChaosInjector { return chaos.NewInjector(s) }
+
+// ChaosScheduleNames lists the built-in schedules.
+func ChaosScheduleNames() []string { return chaos.ScheduleNames() }
+
+// Soak fixture scale: small enough that two full passes (baseline + chaos)
+// train and replay in seconds, large enough that every window sees traffic.
+const (
+	chaosUniquePhish = 160
+	chaosTxPerMonth  = 600
+	chaosLiveMonths  = 1
+	chaosClockTick   = 10 * time.Millisecond
+)
+
+// ChaosSoakConfig configures one chaos soak: a scenario (which pipeline) run
+// twice over the same simulated chain — once clean, once under a fault
+// schedule — with the two alert sets diffed for loss and duplication.
+type ChaosSoakConfig struct {
+	// Scenario picks the pipeline under test: "txwatch" (default — the
+	// pending-tx stream), "watch" (contract watcher), "backfill" (sharded
+	// range scan), or "cluster" (tx stream scoring through a router over
+	// chaos-wrapped replicas).
+	Scenario string
+	// Schedule is a built-in schedule name (default "soak").
+	Schedule string
+	// Plan, when non-nil, overrides Schedule with a hand-built fault plan
+	// (tests compose exactly the windows they assert on).
+	Plan *ChaosSchedule
+	// Seed drives the simulation, the models and the fault schedule.
+	Seed int64
+	// Unit scales schedule windows (default 250ms): a window declared at
+	// [2,6) opens at 500ms and closes at 1.5s into the run.
+	Unit time.Duration
+	// PollInterval is the watcher poll cadence (default Unit/10). The
+	// recovery verdict is measured in these units.
+	PollInterval time.Duration
+	// Threshold is the alert threshold (default 0.7).
+	Threshold float64
+	// Endpoints is how many chaos-wrapped RPC endpoints back the fetch
+	// plane (default 3).
+	Endpoints int
+	// Replicas sizes the scoring cluster in the cluster scenario
+	// (default 3).
+	Replicas int
+	// Kill restarts the pipeline from its checkpoint halfway through the
+	// schedule (default via DefaultChaosSoakConfig: true), so torn-write
+	// windows exercise the CRC/rollback load path, not just the save path.
+	Kill bool
+	// Dir is the scratch directory for checkpoints and the alert WAL
+	// (empty: a temp dir, removed afterwards).
+	Dir string
+	// Logf receives progress lines (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+// DefaultChaosSoakConfig returns the soak defaults for a seed.
+func DefaultChaosSoakConfig(seed int64) ChaosSoakConfig {
+	return ChaosSoakConfig{
+		Scenario:  "txwatch",
+		Schedule:  "soak",
+		Seed:      seed,
+		Unit:      250 * time.Millisecond,
+		Threshold: 0.7,
+		Endpoints: 3,
+		Replicas:  3,
+		Kill:      true,
+	}
+}
+
+func (c *ChaosSoakConfig) fill() error {
+	if c.Scenario == "" {
+		c.Scenario = "txwatch"
+	}
+	switch c.Scenario {
+	case "txwatch", "watch", "backfill", "cluster":
+	default:
+		return fmt.Errorf("phishinghook: unknown chaos scenario %q (want txwatch, watch, backfill or cluster)", c.Scenario)
+	}
+	if c.Schedule == "" {
+		c.Schedule = "soak"
+	}
+	if c.Unit <= 0 {
+		c.Unit = 250 * time.Millisecond
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = c.Unit / 10
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.7
+	}
+	if c.Endpoints <= 0 {
+		c.Endpoints = 3
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// ChaosSoakReport is the soak's verdict sheet. The invariants the chaos
+// plane exists to prove: Lost == 0 (every baseline alert still delivered,
+// WAL replay and poison drain accounted), Duplicates == 0 (exactly-once
+// survived every fault and the mid-run kill), and after a full endpoint
+// blackout the cursor moves again within a couple of polling windows.
+type ChaosSoakReport struct {
+	Scenario  string  `json:"scenario"`
+	Schedule  string  `json:"schedule"`
+	Seed      int64   `json:"seed"`
+	UnitMS    float64 `json:"unit_ms"`
+	HorizonMS float64 `json:"horizon_ms"`
+	// Faults counts what the injector actually fired, by kind — the proof
+	// the run exercised its schedule.
+	Faults map[string]uint64 `json:"faults_injected"`
+
+	// BaselineAlerts is the clean pass's distinct alert count; Alerts the
+	// chaos pass's. Lost/Extra/Duplicates diff the two.
+	BaselineAlerts int `json:"baseline_alerts"`
+	Alerts         int `json:"alerts"`
+	Lost           int `json:"lost_alerts"`
+	Extra          int `json:"extra_alerts"`
+	Duplicates     int `json:"duplicate_alerts"`
+
+	// WAL is the chaos pass's alert journal: spills during sink outages,
+	// replays once the sink heals.
+	WAL AlertWALStats `json:"wal"`
+	// BreakerTrips sums hard circuit-breaker openings across the fetch
+	// plane's endpoints.
+	BreakerTrips uint64 `json:"breaker_trips"`
+	// PoisonDrained counts quarantined txs recovered by the post-fault
+	// drain (tx scenarios).
+	PoisonDrained int `json:"poison_drained,omitempty"`
+	// WatchdogEjections / DegradedTx are the router's degraded-mode
+	// counters (cluster scenario).
+	WatchdogEjections uint64 `json:"watchdog_ejections,omitempty"`
+	DegradedTx        uint64 `json:"degraded_tx_verdicts,omitempty"`
+
+	// RecoveryMS is the gap between the last full-RPC-blackout window
+	// closing and the cursor's next advance: -1 when the schedule has no
+	// full blackout, -2 when the cursor never advanced again (failed
+	// recovery). RecoveryPolls is the same gap in polling windows.
+	RecoveryMS    float64 `json:"recovery_ms"`
+	RecoveryPolls float64 `json:"recovery_polls"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+}
+
+// RunChaosSoak runs one scenario twice — clean, then under the named fault
+// schedule with a mid-run kill/resume when configured — and returns the
+// verdict sheet. The baseline pass defines the expected alert set; scoring
+// is deterministic, so any difference under chaos is the resilience layer's
+// failure (or, for Extra, a degraded-mode substitution worth inspecting).
+func RunChaosSoak(ctx context.Context, cfg ChaosSoakConfig) (*ChaosSoakReport, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	sched, err := chaos.Named(cfg.Schedule, cfg.Seed, cfg.Unit)
+	if cfg.Plan != nil {
+		sched, err = *cfg.Plan, nil
+		if sched.Name != "" {
+			cfg.Schedule = sched.Name
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	simCfg := DefaultSimulationConfig(cfg.Seed)
+	simCfg.ObtainedPhishing = 2 * chaosUniquePhish
+	simCfg.UniquePhishing = chaosUniquePhish
+	simCfg.Benign = chaosUniquePhish
+	simCfg.TxPerMonth = chaosTxPerMonth
+	sim, err := StartSimulation(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sim.Close()
+
+	live := cfg.Scenario != "backfill"
+	if live {
+		// Train on the released past, replay the final month live.
+		if err := sim.GoLive(NumMonths - chaosLiveMonths); err != nil {
+			return nil, err
+		}
+	}
+	cspec, err := ModelByName("Random Forest")
+	if err != nil {
+		return nil, err
+	}
+	codeDet, err := Train(cspec, sim.Dataset(), WithDetectorSeed(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	var fused TxScorer
+	if cfg.Scenario == "txwatch" || cfg.Scenario == "cluster" {
+		pspec, err := CalldataModel()
+		if err != nil {
+			return nil, err
+		}
+		payloadDet, err := Train(pspec, sim.TxDataset(), WithDetectorSeed(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		if fused, err = NewFusedTxScorer(payloadDet, codeDet); err != nil {
+			return nil, err
+		}
+	}
+
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "phishinghook-chaos")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	t0 := time.Now()
+	cfg.Logf("chaos soak: scenario=%s schedule=%s seed=%d horizon=%s", cfg.Scenario, cfg.Schedule, cfg.Seed, sched.Horizon())
+	base, err := runChaosPass(ctx, &cfg, sched, sim, live, codeDet, fused, dir, nil)
+	if err != nil {
+		return nil, fmt.Errorf("baseline pass: %w", err)
+	}
+	cfg.Logf("baseline pass: %d alerts", len(base.counts))
+	inj := chaos.NewInjector(sched)
+	res, err := runChaosPass(ctx, &cfg, sched, sim, live, codeDet, fused, dir, inj)
+	if err != nil {
+		return nil, fmt.Errorf("chaos pass: %w", err)
+	}
+	cfg.Logf("chaos pass: %d alerts, wal %+v, %d breaker trips", len(res.counts), res.wal, res.breaker)
+
+	rep := &ChaosSoakReport{
+		Scenario:          cfg.Scenario,
+		Schedule:          cfg.Schedule,
+		Seed:              cfg.Seed,
+		UnitMS:            float64(cfg.Unit.Microseconds()) / 1000,
+		HorizonMS:         float64(sched.Horizon().Microseconds()) / 1000,
+		Faults:            map[string]uint64{},
+		BaselineAlerts:    len(base.counts),
+		Alerts:            len(res.counts),
+		WAL:               res.wal,
+		BreakerTrips:      res.breaker,
+		PoisonDrained:     res.drained,
+		WatchdogEjections: res.ejections,
+		DegradedTx:        res.degraded,
+		RecoveryMS:        res.recoveryMS,
+		ElapsedMS:         float64(time.Since(t0).Microseconds()) / 1000,
+	}
+	for k, v := range inj.Counts() {
+		rep.Faults[string(k)] = v
+	}
+	for id := range base.counts {
+		if res.counts[id] == 0 {
+			rep.Lost++
+		}
+	}
+	for id, n := range res.counts {
+		if base.counts[id] == 0 {
+			rep.Extra++
+		}
+		if n > 1 {
+			rep.Duplicates++
+		}
+	}
+	if rep.RecoveryMS > 0 {
+		rep.RecoveryPolls = rep.RecoveryMS / (float64(cfg.PollInterval.Microseconds()) / 1000)
+	}
+	return rep, nil
+}
+
+// passResult is one pass's raw outcome.
+type passResult struct {
+	counts     map[string]int // alert identity -> delivery count
+	wal        AlertWALStats
+	breaker    uint64
+	ejections  uint64
+	degraded   uint64
+	drained    int
+	recoveryMS float64
+}
+
+// soakInstance is one resumable pipeline incarnation within a pass.
+type soakInstance struct {
+	run    func(context.Context) error
+	cursor func() uint64
+	eps    func() []ethrpc.EndpointStats
+	drain  func(context.Context) int
+}
+
+// runChaosPass runs one scenario to completion: clean when inj is nil,
+// faulted (chaos endpoints + WAL sink + store faults + optional mid-run
+// kill/resume) otherwise.
+func runChaosPass(ctx context.Context, cfg *ChaosSoakConfig, sched ChaosSchedule, sim *Simulation, live bool, codeDet *Detector, fused TxScorer, dir string, inj *chaos.Injector) (pr passResult, err error) {
+	ctx, cancel := context.WithTimeout(ctx, 3*time.Minute)
+	defer cancel()
+	pr = passResult{counts: map[string]int{}, recoveryMS: -1}
+	label := "baseline"
+	if inj != nil {
+		label = "chaos"
+	}
+
+	var urls []string
+	if inj != nil {
+		urls = sim.AddWrappedRPCEndpoints(cfg.Endpoints, func(i int, h http.Handler) http.Handler {
+			return inj.WrapHandler(chaos.ScopeRPC, i, h)
+		})
+		defer inj.BindStore()()
+	} else {
+		urls = sim.AddRPCEndpoints(cfg.Endpoints, 0, 0)
+	}
+
+	idOf := func(a Alert) string { return a.TxHash }
+	if cfg.Scenario == "watch" || cfg.Scenario == "backfill" {
+		idOf = func(a Alert) string { return a.Address }
+	}
+	var mu sync.Mutex
+	recorder := NewFuncSink(func(a Alert) error {
+		mu.Lock()
+		pr.counts[idOf(a)]++
+		mu.Unlock()
+		return nil
+	})
+	sink := recorder
+	var wal *AlertWAL
+	if inj != nil {
+		w, werr := OpenAlertWAL(dir+"/"+label+".wal", inj.WrapSink(0, recorder))
+		if werr != nil {
+			return pr, werr
+		}
+		defer w.Close()
+		sink = w
+		wal = w
+	}
+	ckpt := dir + "/" + label + ".ckpt"
+
+	// The live clock releases the final month over the schedule horizon plus
+	// a recovery margin, so faults always overlap real traffic.
+	horizon := sched.Horizon()
+	target := horizon + 4*cfg.Unit
+	var startBlock, stopAt uint64
+	if live {
+		if err := sim.GoLive(NumMonths - chaosLiveMonths); err != nil {
+			return pr, err
+		}
+		startBlock = sim.HeadBlock()
+		stopAt = sim.TailBlock()
+		ticks := int(target / chaosClockTick)
+		if ticks < 1 {
+			ticks = 1
+		}
+		clock, cerr := sim.NewClock(LiveClockConfig{
+			Seed:          cfg.Seed,
+			BlocksPerTick: int(stopAt-startBlock)/ticks + 1,
+			Interval:      chaosClockTick,
+		})
+		if cerr != nil {
+			return pr, cerr
+		}
+		clockCtx, clockStop := context.WithCancel(ctx)
+		defer clockStop()
+		go clock.Run(clockCtx)
+	}
+
+	// Cluster scenario: scoring goes through a router over (chaos-wrapped)
+	// replicas; the replica seam is where hang/crash windows bind.
+	var router *ClusterRouter
+	scorer := fused
+	if cfg.Scenario == "cluster" {
+		repURLs := make([]string, cfg.Replicas)
+		for i := range repURLs {
+			var h http.Handler = NewScoreHandler(codeDet, WithTxScorer(fused))
+			if inj != nil {
+				h = inj.WrapHandler(chaos.ScopeReplica, i, h)
+			}
+			srv := httptest.NewServer(h)
+			defer srv.Close()
+			repURLs[i] = srv.URL
+		}
+		var rerr error
+		router, rerr = NewClusterRouter(ClusterConfig{
+			Replicas:         repURLs,
+			Timeout:          4 * cfg.PollInterval,
+			WatchdogCooldown: 4 * cfg.PollInterval,
+		})
+		if rerr != nil {
+			return pr, rerr
+		}
+		rsrv := httptest.NewServer(router.Handler())
+		defer rsrv.Close()
+		scorer = NewRemoteScorer(rsrv.URL, WithScoreRetries(3, cfg.PollInterval/2))
+	}
+
+	makeInst := func() (soakInstance, error) {
+		switch cfg.Scenario {
+		case "txwatch", "cluster":
+			w, err := NewTxWatcher(scorer, TxWatcherConfig{
+				RPCURLs:         urls,
+				PollInterval:    cfg.PollInterval,
+				Threshold:       cfg.Threshold,
+				CheckpointPath:  ckpt,
+				CheckpointEvery: cfg.Unit / 5,
+				StartBlock:      startBlock,
+				StopAtBlock:     stopAt,
+				BreakerStreak:   4,
+				BreakerCooldown: cfg.PollInterval,
+				RetryBackoff:    cfg.PollInterval / 4,
+				Sinks:           []AlertSink{sink},
+			})
+			if err != nil {
+				return soakInstance{}, err
+			}
+			return soakInstance{
+				run:    w.Run,
+				cursor: w.Cursor,
+				eps:    w.Endpoints,
+				drain:  func(ctx context.Context) int { return w.DrainPoison(ctx).Scored },
+			}, nil
+		case "watch":
+			w, err := NewWatcher(codeDet, WatcherConfig{
+				RPCURLs:         urls,
+				ExplorerURL:     sim.ExplorerURL(),
+				PollInterval:    cfg.PollInterval,
+				Threshold:       cfg.Threshold,
+				CheckpointPath:  ckpt,
+				CheckpointEvery: cfg.Unit / 5,
+				WindowBlocks:    20_000,
+				StartBlock:      startBlock,
+				StopAtBlock:     stopAt,
+				BreakerStreak:   4,
+				BreakerCooldown: cfg.PollInterval,
+				RetryBackoff:    cfg.PollInterval / 4,
+				Sinks:           []AlertSink{sink},
+			})
+			if err != nil {
+				return soakInstance{}, err
+			}
+			return soakInstance{run: w.Run, cursor: w.Cursor, eps: w.Endpoints}, nil
+		case "backfill":
+			from, _ := sim.StudyWindow()
+			b, err := NewBackfill(codeDet, BackfillConfig{
+				RPCURLs:         urls,
+				ExplorerURL:     sim.ExplorerURL(),
+				From:            from,
+				To:              sim.TailBlock(),
+				WindowBlocks:    20_000,
+				Threshold:       cfg.Threshold,
+				CheckpointPath:  ckpt,
+				CheckpointEvery: cfg.Unit / 5,
+				BreakerStreak:   4,
+				BreakerCooldown: cfg.PollInterval,
+				RetryBackoff:    cfg.PollInterval / 4,
+				Sinks:           []AlertSink{sink},
+			})
+			if err != nil {
+				return soakInstance{}, err
+			}
+			return soakInstance{run: b.Run, cursor: b.Cursor, eps: b.Endpoints}, nil
+		}
+		return soakInstance{}, fmt.Errorf("phishinghook: unknown scenario %q", cfg.Scenario)
+	}
+
+	// Cursor sampler: the recovery verdict needs to know when progress
+	// resumed after the blackout window closed, across instance swaps.
+	type sample struct {
+		t time.Time
+		c uint64
+	}
+	var (
+		smu     sync.Mutex
+		samples []sample
+		current atomic.Pointer[soakInstance]
+	)
+	if inj != nil {
+		samplerCtx, samplerStop := context.WithCancel(ctx)
+		defer samplerStop()
+		go func() {
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-samplerCtx.Done():
+					return
+				case <-tick.C:
+					inst := current.Load()
+					if inst == nil {
+						continue
+					}
+					c := inst.cursor()
+					smu.Lock()
+					if len(samples) == 0 || samples[len(samples)-1].c != c {
+						samples = append(samples, sample{time.Now(), c})
+					}
+					smu.Unlock()
+				}
+			}
+		}()
+	}
+
+	inst, err := makeInst()
+	if err != nil {
+		return pr, err
+	}
+	current.Store(&inst)
+	var injStart time.Time
+	if inj != nil {
+		inj.Start()
+		injStart = time.Now()
+	}
+	if inj != nil && cfg.Kill {
+		// Kill mid-schedule and resume from the checkpoint: the torn-write
+		// windows now exercise CRC validation and last-good rollback on
+		// load, and exactly-once must hold across the restart.
+		killCtx, killCancel := context.WithTimeout(ctx, horizon/2)
+		rerr := inst.run(killCtx)
+		killCancel()
+		if rerr != nil && ctx.Err() != nil {
+			return pr, rerr
+		}
+		cfg.Logf("%s pass: killed at %s, resuming from checkpoint", label, horizon/2)
+		inst2, merr := makeInst()
+		if merr != nil {
+			return pr, merr
+		}
+		current.Store(&inst2)
+		if rerr := inst2.run(ctx); rerr != nil {
+			return pr, fmt.Errorf("resume: %w", rerr)
+		}
+		inst = inst2
+	} else {
+		if rerr := inst.run(ctx); rerr != nil {
+			return pr, rerr
+		}
+	}
+
+	// Post-fault cleanup path: drain the tx quarantine (faults are over, so
+	// retries succeed and fire their first-and-only alerts), then replay
+	// whatever the WAL spilled during sink outages.
+	if inj != nil && inst.drain != nil {
+		pr.drained = inst.drain(ctx)
+	}
+	if wal != nil {
+		for i := 0; i < 5; i++ {
+			_, remaining, rerr := wal.Replay()
+			if rerr != nil || remaining == 0 {
+				break
+			}
+		}
+		pr.wal = wal.Stats()
+	}
+	for _, ep := range inst.eps() {
+		pr.breaker += ep.BreakerTrips
+	}
+	if router != nil {
+		s := router.Stats()
+		pr.ejections = s.Ejections
+		pr.degraded = s.Degraded
+	}
+
+	if inj != nil {
+		if end, ok := fullBlackoutEnd(sched); ok {
+			endWall := injStart.Add(end)
+			smu.Lock()
+			var cursorAtEnd uint64
+			pr.recoveryMS = -2
+			for _, s := range samples {
+				if !s.t.After(endWall) {
+					cursorAtEnd = s.c
+					continue
+				}
+				if s.c > cursorAtEnd {
+					pr.recoveryMS = float64(s.t.Sub(endWall).Microseconds()) / 1000
+					break
+				}
+			}
+			smu.Unlock()
+		}
+	}
+	return pr, nil
+}
+
+// fullBlackoutEnd returns when the last all-endpoint RPC blackout closes.
+func fullBlackoutEnd(sched ChaosSchedule) (time.Duration, bool) {
+	var end time.Duration
+	found := false
+	for _, w := range sched.Windows {
+		if w.Scope == chaos.ScopeRPC && w.Kind == chaos.KindBlackout && w.Target == -1 && w.To > end {
+			end = w.To
+			found = true
+		}
+	}
+	return end, found
+}

@@ -37,6 +37,12 @@ func WithScoreRetries(attempts int, backoff time.Duration) ClusterScoreOption {
 	return cluster.WithScoreRetries(attempts, backoff)
 }
 
+// WithScoreFallbacks adds alternate base URLs a score client rotates onto
+// after a transient fault (its primary dying mid-response).
+func WithScoreFallbacks(bases ...string) ClusterScoreOption {
+	return cluster.WithScoreFallbacks(bases...)
+}
+
 // NewClusterRouter builds a consistent-hash scoring router over replica
 // base URLs.
 func NewClusterRouter(cfg ClusterConfig) (*ClusterRouter, error) { return cluster.NewRouter(cfg) }

@@ -46,6 +46,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -96,6 +97,8 @@ func main() {
 		err = cmdTxWatch(args)
 	case "backfill":
 		err = cmdBackfill(args)
+	case "chaos":
+		err = cmdChaos(args)
 	case "retrain":
 		err = cmdRetrain(args)
 	default:
@@ -108,7 +111,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate|train|score|serve|route|watch|txwatch|backfill|retrain> [flags]
+	fmt.Fprintln(os.Stderr, `usage: phishinghook <gather|label|extract|disasm|dataset|evaluate|train|score|serve|route|watch|txwatch|backfill|chaos|retrain> [flags]
 run "phishinghook <command> -h" for command flags
 
 route consistent-hashes /score across serve replicas (cluster-wide cache):
@@ -125,6 +128,11 @@ backfill scores every historical deployment in a block range, sharded over
 an adaptive multi-endpoint fetch plane and resumable from its checkpoint:
   phishinghook backfill -from 18250000 -to 19000000 -shards 8 \
       -endpoints https://node-a,https://node-b -checkpoint backfill.cursor
+
+chaos soaks a pipeline under a deterministic fault schedule (endpoint
+blackouts, malformed bodies, torn checkpoint writes, sink outages, hung
+replicas) and verdicts it on lost alerts, duplicates and recovery time:
+  phishinghook chaos -scenario txwatch -schedule soak -seed 1 -out chaos.json
 
 retrain trains a fresh version into a -store directory as the shadow
 challenger; a server on the same store picks it up via POST /admin/reload
@@ -1264,5 +1272,74 @@ func cmdWatch(args []string) error {
 	fmt.Printf("watched %d blocks in %s: %d contracts seen, %d scored, %d dedup hits, %d alerts, %d dropped, %d errors, score p50=%.2fms p99=%.2fms\n",
 		s.BlocksSeen, time.Since(t0).Round(time.Millisecond), s.ContractsSeen, s.ContractsScored,
 		s.DedupHits, s.Alerts, s.Dropped, s.Errors, s.ScoreP50MS, s.ScoreP99MS)
+	return nil
+}
+
+// cmdChaos runs one chaos soak: the chosen pipeline twice over the same
+// simulated chain — clean, then under the named fault schedule — and prints
+// the lost/duplicate/recovery verdicts.
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	scenario := fs.String("scenario", "txwatch", "pipeline under test: txwatch, watch, backfill or cluster")
+	schedule := fs.String("schedule", "soak", "fault schedule: "+strings.Join(ph.ChaosScheduleNames(), ", "))
+	seed := fs.Int64("seed", 1, "simulation / schedule seed")
+	unit := fs.Duration("unit", 250*time.Millisecond, "schedule time unit (window boundaries scale with it)")
+	poll := fs.Duration("poll", 0, "watcher poll interval (default unit/10)")
+	threshold := fs.Float64("threshold", 0.7, "alert threshold")
+	eps := fs.Int("endpoints", 3, "chaos-wrapped RPC endpoints backing the fetch plane")
+	replicas := fs.Int("replicas", 3, "scoring replicas (cluster scenario)")
+	kill := fs.Bool("kill", true, "kill and resume from checkpoint mid-schedule")
+	out := fs.String("out", "", "write the full report JSON here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := ph.DefaultChaosSoakConfig(*seed)
+	cfg.Scenario = *scenario
+	cfg.Schedule = *schedule
+	cfg.Unit = *unit
+	cfg.PollInterval = *poll
+	cfg.Threshold = *threshold
+	cfg.Endpoints = *eps
+	cfg.Replicas = *replicas
+	cfg.Kill = *kill
+	cfg.Logf = log.Printf
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := ph.RunChaosSoak(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chaos %s/%s: %d baseline alerts, %d under chaos — %d lost, %d duplicate, %d extra\n",
+		rep.Scenario, rep.Schedule, rep.BaselineAlerts, rep.Alerts, rep.Lost, rep.Duplicates, rep.Extra)
+	fmt.Printf("  wal: %d spilled, %d replayed, %d deduped, %d pending; breaker trips: %d; poison drained: %d\n",
+		rep.WAL.Spilled, rep.WAL.Replayed, rep.WAL.Deduped, rep.WAL.Pending, rep.BreakerTrips, rep.PoisonDrained)
+	if rep.WatchdogEjections > 0 || rep.DegradedTx > 0 {
+		fmt.Printf("  router: %d watchdog ejections, %d degraded tx verdicts\n", rep.WatchdogEjections, rep.DegradedTx)
+	}
+	switch {
+	case rep.RecoveryMS == -1:
+		fmt.Println("  recovery: n/a (schedule has no full blackout)")
+	case rep.RecoveryMS == -2:
+		fmt.Println("  recovery: FAILED — cursor never advanced after blackout")
+	default:
+		fmt.Printf("  recovery: %.0fms after blackout end (%.1f polling windows)\n", rep.RecoveryMS, rep.RecoveryPolls)
+	}
+	for kind, n := range rep.Faults {
+		fmt.Printf("  fault %-14s ×%d\n", kind, n)
+	}
+	if *out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+	if rep.Lost > 0 || rep.Duplicates > 0 {
+		return fmt.Errorf("chaos soak failed: %d lost, %d duplicate alerts", rep.Lost, rep.Duplicates)
+	}
 	return nil
 }

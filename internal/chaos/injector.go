@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/phishinghook/phishinghook/internal/lifecycle"
+)
+
+// Injector binds a Schedule onto a running clock and hands out the fault
+// hooks (HTTP middleware, write fault, sink wrapper). Safe for concurrent
+// use; all fault sites in the process share one injector so the schedule
+// reads as one global timeline.
+type Injector struct {
+	sched Schedule
+
+	mu    sync.Mutex
+	start time.Time // zero until Start; no faults fire before it
+	rng   *rand.Rand
+
+	counts sync.Map // Kind -> *atomic.Uint64, faults actually injected
+}
+
+// NewInjector builds an injector over the schedule. Nothing fires until
+// Start.
+func NewInjector(sched Schedule) *Injector {
+	return &Injector{
+		sched: sched,
+		rng:   rand.New(rand.NewSource(sched.Seed)),
+	}
+}
+
+// Schedule returns the bound schedule.
+func (in *Injector) Schedule() Schedule { return in.sched }
+
+// Start marks t0: window offsets are measured from here. Calling it again
+// restarts the timeline.
+func (in *Injector) Start() {
+	in.mu.Lock()
+	in.start = time.Now()
+	in.mu.Unlock()
+}
+
+// Elapsed returns the injector clock (0 before Start).
+func (in *Injector) Elapsed() time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.start.IsZero() {
+		return 0
+	}
+	return time.Since(in.start)
+}
+
+// active returns the windows open right now for scope/target, and the
+// remaining time of the longest one (for hang sizing). Target -1 windows
+// match every target.
+func (in *Injector) active(scope Scope, target int) (open []Window, remain time.Duration) {
+	in.mu.Lock()
+	start := in.start
+	in.mu.Unlock()
+	if start.IsZero() {
+		return nil, 0
+	}
+	now := time.Since(start)
+	for _, w := range in.sched.Windows {
+		if w.Scope != scope {
+			continue
+		}
+		if w.Target != -1 && w.Target != target {
+			continue
+		}
+		if now < w.From || now >= w.To {
+			continue
+		}
+		open = append(open, w)
+		if r := w.To - now; r > remain {
+			remain = r
+		}
+	}
+	return open, remain
+}
+
+// roll draws one Bernoulli sample from the injector's seeded stream.
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	in.mu.Lock()
+	v := in.rng.Float64()
+	in.mu.Unlock()
+	return v < p
+}
+
+// count records one injected fault of the given kind.
+func (in *Injector) count(k Kind) {
+	c, _ := in.counts.LoadOrStore(k, new(atomic.Uint64))
+	c.(*atomic.Uint64).Add(1)
+}
+
+// Counts snapshots how many faults of each kind actually fired — the soak
+// harness's proof that a run exercised what its schedule declared.
+func (in *Injector) Counts() map[Kind]uint64 {
+	out := make(map[Kind]uint64)
+	in.counts.Range(func(k, v any) bool {
+		out[k.(Kind)] = v.(*atomic.Uint64).Load()
+		return true
+	})
+	return out
+}
+
+// ErrWriteFault is the injected failure returned by write-fail windows;
+// errors.Is against it distinguishes chaos from real disk trouble in test
+// assertions.
+var ErrWriteFault = errors.New("chaos: injected write failure")
+
+// WriteFault returns the hook for lifecycle.SetWriteFault: inside a
+// write-fail window every WriteFileAtomic in the process fails; inside a
+// write-torn window only a prefix of the blob (fraction P, default half,
+// always at least one byte short) reaches disk.
+func (in *Injector) WriteFault() lifecycle.WriteFault {
+	return func(path string, blob []byte) ([]byte, error) {
+		open, _ := in.active(ScopeStore, 0)
+		for _, w := range open {
+			switch w.Kind {
+			case KindWriteFail:
+				in.count(KindWriteFail)
+				return nil, ErrWriteFault
+			case KindWriteTorn:
+				frac := w.P
+				if frac <= 0 || frac >= 1 {
+					frac = 0.5
+				}
+				n := int(float64(len(blob)) * frac)
+				if n >= len(blob) {
+					n = len(blob) - 1
+				}
+				if n < 0 {
+					n = 0
+				}
+				in.count(KindWriteTorn)
+				return blob[:n], nil
+			}
+		}
+		return blob, nil
+	}
+}
+
+// BindStore installs the injector's write fault process-wide and returns the
+// restore func; defer it so a failed soak cannot leak torn writes into later
+// tests.
+func (in *Injector) BindStore() (restore func()) {
+	lifecycle.SetWriteFault(in.WriteFault())
+	return func() { lifecycle.SetWriteFault(nil) }
+}

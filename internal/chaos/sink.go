@@ -1,0 +1,49 @@
+package chaos
+
+import (
+	"errors"
+	"time"
+
+	"github.com/phishinghook/phishinghook/internal/monitor"
+)
+
+// ErrSinkFault is the injected delivery failure sink-error windows return;
+// the WAL journal is expected to spill on it exactly as it would on a real
+// webhook outage.
+var ErrSinkFault = errors.New("chaos: injected sink outage")
+
+// WrapSink wraps an alert sink with the injector's sink-fault windows for
+// the given target index: inside a sink-error window every Emit fails;
+// inside a sink-hang window Emit blocks for the window's Extra (default
+// 100ms) before delivering honestly.
+func (in *Injector) WrapSink(target int, inner monitor.Sink) monitor.Sink {
+	return &faultySink{in: in, target: target, inner: inner}
+}
+
+type faultySink struct {
+	in     *Injector
+	target int
+	inner  monitor.Sink
+}
+
+func (fs *faultySink) Emit(a monitor.Alert) error {
+	open, remain := fs.in.active(ScopeSink, fs.target)
+	for _, w := range open {
+		switch w.Kind {
+		case KindSinkError:
+			fs.in.count(KindSinkError)
+			return ErrSinkFault
+		case KindSinkHang:
+			d := w.Extra
+			if d <= 0 {
+				d = 100 * time.Millisecond
+			}
+			if d > remain {
+				d = remain
+			}
+			fs.in.count(KindSinkHang)
+			time.Sleep(d)
+		}
+	}
+	return fs.inner.Emit(a)
+}

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"syscall"
 	"time"
 
 	"github.com/phishinghook/phishinghook/internal/ethrpc"
@@ -15,12 +18,49 @@ import (
 // replica — the wire format is identical). It is the client the watcher
 // mounts when monitoring through the cluster: transient faults and 429s are
 // retried with the same typed classification and Retry-After honoring as
-// every other retry loop in the system.
+// every other retry loop in the system. A mid-response disconnect (the
+// server died after the headers: EOF, connection reset) is a typed transient
+// ReplicaFault, never a raw transport error — and when fallback bases are
+// configured, each transient failure rotates the next attempt onto the next
+// base instead of hammering the one that just dropped the connection.
 type ScoreClient struct {
-	base     string
+	bases    []string // rotation order; bases[0] is the configured primary
 	httpc    *http.Client
 	attempts int
 	backoff  time.Duration
+}
+
+// ReplicaFault is a typed transient failure of one exchange against a
+// scoring base: the transport died, the response arrived torn, or the body
+// ended mid-stream. The retry loop rotates to the next base on it.
+type ReplicaFault struct {
+	Base string // the base URL the exchange ran against
+	Kind string // "transport", "disconnect", "torn", "mismatch"
+	Err  error
+}
+
+// Error implements error.
+func (f *ReplicaFault) Error() string {
+	return fmt.Sprintf("cluster: %s fault on %s: %v", f.Kind, f.Base, f.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (f *ReplicaFault) Unwrap() error { return f.Err }
+
+// replicaFault wraps err as a transient, typed fault.
+func replicaFault(base, kind string, err error) error {
+	return ethrpc.MarkTransient(&ReplicaFault{Base: base, Kind: kind, Err: err})
+}
+
+// disconnectKind distinguishes a mid-response disconnect from other decode
+// failures: an EOF or connection reset while the body streams means the
+// replica (or router) went away under us, not that it sent garbage.
+func disconnectKind(err error) string {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return "disconnect"
+	}
+	return "torn"
 }
 
 // ScoreClientOption configures a ScoreClient.
@@ -39,6 +79,19 @@ func WithScoreRetries(attempts int, backoff time.Duration) ScoreClientOption {
 	}
 }
 
+// WithScoreFallbacks appends alternate router/replica base URLs. After a
+// transient fault the retry loop rotates onto the next base, so a watcher
+// survives its primary router dying mid-response without surfacing an error.
+func WithScoreFallbacks(bases ...string) ScoreClientOption {
+	return func(c *ScoreClient) {
+		for _, b := range bases {
+			if b != "" {
+				c.bases = append(c.bases, b)
+			}
+		}
+	}
+}
+
 // WithScoreHTTPClient substitutes the transport (tests).
 func WithScoreHTTPClient(h *http.Client) ScoreClientOption {
 	return func(c *ScoreClient) { c.httpc = h }
@@ -47,7 +100,7 @@ func WithScoreHTTPClient(h *http.Client) ScoreClientOption {
 // NewScoreClient builds a client for the given router/replica base URL.
 func NewScoreClient(base string, opts ...ScoreClientOption) *ScoreClient {
 	c := &ScoreClient{
-		base:     base,
+		bases:    []string{base},
 		httpc:    &http.Client{Timeout: 30 * time.Second, Transport: ethrpc.NewPooledTransport()},
 		attempts: 4,
 		backoff:  50 * time.Millisecond,
@@ -62,21 +115,23 @@ func NewScoreClient(base string, opts ...ScoreClientOption) *ScoreClient {
 // faults (replica restarts mid-roll, router admission 429s) before giving
 // up. All-or-nothing: on success the verdicts align with hexes.
 func (c *ScoreClient) ScoreHexBatch(ctx context.Context, hexes []string) ([]Verdict, error) {
-	return c.retry(ctx, func() ([]Verdict, error) { return c.post(ctx, hexes) })
+	return c.retry(ctx, func(base string) ([]Verdict, error) { return c.post(ctx, base, hexes) })
 }
 
 // ScoreTxBatch scores transactions (hex calldata + hex callee bytecode;
 // either side may be empty) through /score/tx with the same retry loop.
 // All-or-nothing: on success the fused verdicts align with items.
 func (c *ScoreClient) ScoreTxBatch(ctx context.Context, items []TxScoreItem) ([]Verdict, error) {
-	return c.retry(ctx, func() ([]Verdict, error) { return c.postTx(ctx, items) })
+	return c.retry(ctx, func(base string) ([]Verdict, error) { return c.postTx(ctx, base, items) })
 }
 
 // retry drives one exchange function through the attempts/backoff schedule,
-// honoring a 429's Retry-After and stopping on authoritative errors.
-func (c *ScoreClient) retry(ctx context.Context, do func() ([]Verdict, error)) ([]Verdict, error) {
+// honoring a 429's Retry-After, stopping on authoritative errors, and
+// rotating to the next configured base after each transient fault.
+func (c *ScoreClient) retry(ctx context.Context, do func(base string) ([]Verdict, error)) ([]Verdict, error) {
 	var lastErr error
 	backoff := c.backoff
+	base := 0
 	for attempt := 0; attempt < c.attempts; attempt++ {
 		if attempt > 0 {
 			select {
@@ -86,7 +141,7 @@ func (c *ScoreClient) retry(ctx context.Context, do func() ([]Verdict, error)) (
 			}
 			backoff *= 2
 		}
-		verdicts, err := do()
+		verdicts, err := do(c.bases[base])
 		if err == nil {
 			return verdicts, nil
 		}
@@ -94,60 +149,51 @@ func (c *ScoreClient) retry(ctx context.Context, do func() ([]Verdict, error)) (
 		if !ethrpc.IsTransient(err) {
 			return nil, err
 		}
+		base = (base + 1) % len(c.bases)
 	}
 	return nil, fmt.Errorf("cluster: score failed after %d attempts: %w", c.attempts, lastErr)
 }
 
 // post runs one exchange, classified like the router's replica exchanges:
-// 429 → RateLimitError (transient, Retry-After attached), transport/5xx/torn
-// → transient, anything else authoritative.
-func (c *ScoreClient) post(ctx context.Context, hexes []string) ([]Verdict, error) {
+// 429 → RateLimitError (transient, Retry-After attached), transport/5xx/
+// disconnect/torn → typed transient ReplicaFault, anything else
+// authoritative.
+func (c *ScoreClient) post(ctx context.Context, base string, hexes []string) ([]Verdict, error) {
 	body, err := json.Marshal(scoreRequest{Bytecodes: hexes})
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/score", bytes.NewReader(body))
+	sr, err := c.exchange(ctx, base, "/score", body)
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpc.Do(req)
-	if err != nil {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		return nil, ethrpc.MarkTransient(fmt.Errorf("transport: %w", err))
-	}
-	defer resp.Body.Close()
-	switch {
-	case resp.StatusCode == http.StatusTooManyRequests:
-		ra := ethrpc.ParseRetryAfter(resp.Header.Get("Retry-After"))
-		return nil, ethrpc.MarkTransient(&ethrpc.RateLimitError{RetryAfter: ra})
-	case resp.StatusCode >= 500:
-		return nil, ethrpc.MarkTransient(fmt.Errorf("status %d", resp.StatusCode))
-	case resp.StatusCode != http.StatusOK:
-		var e errorResponse
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
-	}
-	var sr scoreResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, ethrpc.MarkTransient(fmt.Errorf("torn response: %w", err))
-	}
 	if len(sr.Verdicts) != len(hexes) {
-		return nil, ethrpc.MarkTransient(fmt.Errorf("%d verdicts for %d bytecodes", len(sr.Verdicts), len(hexes)))
+		return nil, replicaFault(base, "mismatch", fmt.Errorf("%d verdicts for %d bytecodes", len(sr.Verdicts), len(hexes)))
 	}
 	return sr.Verdicts, nil
 }
 
 // postTx runs one /score/tx exchange with the same outcome classification
 // as post.
-func (c *ScoreClient) postTx(ctx context.Context, items []TxScoreItem) ([]Verdict, error) {
+func (c *ScoreClient) postTx(ctx context.Context, base string, items []TxScoreItem) ([]Verdict, error) {
 	body, err := json.Marshal(txScoreRequest{Txs: items})
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/score/tx", bytes.NewReader(body))
+	sr, err := c.exchange(ctx, base, "/score/tx", body)
+	if err != nil {
+		return nil, err
+	}
+	if len(sr.Verdicts) != len(items) {
+		return nil, replicaFault(base, "mismatch", fmt.Errorf("%d verdicts for %d txs", len(sr.Verdicts), len(items)))
+	}
+	return sr.Verdicts, nil
+}
+
+// exchange POSTs one JSON body against base+path and decodes the verdict
+// envelope, applying the shared outcome classification.
+func (c *ScoreClient) exchange(ctx context.Context, base, path string, body []byte) (*scoreResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +203,7 @@ func (c *ScoreClient) postTx(ctx context.Context, items []TxScoreItem) ([]Verdic
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		return nil, ethrpc.MarkTransient(fmt.Errorf("transport: %w", err))
+		return nil, replicaFault(base, "transport", err)
 	}
 	defer resp.Body.Close()
 	switch {
@@ -165,7 +211,7 @@ func (c *ScoreClient) postTx(ctx context.Context, items []TxScoreItem) ([]Verdic
 		ra := ethrpc.ParseRetryAfter(resp.Header.Get("Retry-After"))
 		return nil, ethrpc.MarkTransient(&ethrpc.RateLimitError{RetryAfter: ra})
 	case resp.StatusCode >= 500:
-		return nil, ethrpc.MarkTransient(fmt.Errorf("status %d", resp.StatusCode))
+		return nil, replicaFault(base, "transport", fmt.Errorf("status %d", resp.StatusCode))
 	case resp.StatusCode != http.StatusOK:
 		var e errorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&e)
@@ -173,12 +219,12 @@ func (c *ScoreClient) postTx(ctx context.Context, items []TxScoreItem) ([]Verdic
 	}
 	var sr scoreResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, ethrpc.MarkTransient(fmt.Errorf("torn response: %w", err))
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, replicaFault(base, disconnectKind(err), err)
 	}
-	if len(sr.Verdicts) != len(items) {
-		return nil, ethrpc.MarkTransient(fmt.Errorf("%d verdicts for %d txs", len(sr.Verdicts), len(items)))
-	}
-	return sr.Verdicts, nil
+	return &sr, nil
 }
 
 // ReplicaState is one replica's answer to the cluster survey.

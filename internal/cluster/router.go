@@ -93,6 +93,24 @@ type Config struct {
 	// ReadyTimeout bounds how long a rolling promote waits for one replica
 	// to report ready again after a reload/promote step (default 15s).
 	ReadyTimeout time.Duration
+	// WatchdogStreak ejects a replica from owner scheduling after this many
+	// consecutive timed-out sub-batches (default 3, negative disables). The
+	// watchdog is the hang-without-crash complement to the plane's circuit
+	// breaker: a crashed replica refuses connections and trips the breaker,
+	// but a hung one eats the full Timeout per exchange — AIMD halves its
+	// window yet the owner bonus keeps steering keys at it. Ejection demotes
+	// it behind its ring neighbors for WatchdogCooldown, then re-probes.
+	WatchdogStreak int
+	// WatchdogCooldown is how long an ejected replica stays demoted before
+	// the next sub-batch re-probes it (default 5s).
+	WatchdogCooldown time.Duration
+	// DisableTxFallback turns off the code-only degraded mode on /score/tx.
+	// By default a tx sub-batch whose fused scoring fails on every candidate
+	// (the calldata half faulting replica-side) is re-answered from the
+	// callee bytecodes alone via /score — alerts keep flowing on code
+	// evidence, with PayloadProb reported as zero, until the fused path
+	// recovers.
+	DisableTxFallback bool
 	// HTTPClient substitutes the transport (tests). Timeout still applies
 	// per exchange via context.
 	HTTPClient *http.Client
@@ -115,6 +133,14 @@ type Router struct {
 	rejected atomic.Uint64 // admissions refused with 429
 	rehashes atomic.Uint64 // sub-batches served off-owner (failover/hedge win)
 	errored  atomic.Uint64 // sub-batches failed after all retries
+	ejected  atomic.Uint64 // watchdog ejections of hung replicas
+	degraded atomic.Uint64 // tx verdicts answered by the code-only fallback
+
+	// Hung-replica watchdog state: consecutive-timeout streak and the
+	// demotion deadline per replica base URL.
+	wmu     sync.Mutex
+	wstreak map[string]int
+	wuntil  map[string]time.Time
 }
 
 // NewRouter builds a router over the replica set.
@@ -146,6 +172,12 @@ func NewRouter(cfg Config) (*Router, error) {
 	if cfg.ReadyTimeout <= 0 {
 		cfg.ReadyTimeout = 15 * time.Second
 	}
+	if cfg.WatchdogStreak == 0 {
+		cfg.WatchdogStreak = 3
+	}
+	if cfg.WatchdogCooldown <= 0 {
+		cfg.WatchdogCooldown = 5 * time.Second
+	}
 	ring, err := NewRing(cfg.Replicas, cfg.Vnodes)
 	if err != nil {
 		return nil, err
@@ -167,7 +199,81 @@ func NewRouter(cfg Config) (*Router, error) {
 	if httpc == nil {
 		httpc = &http.Client{Transport: ethrpc.NewPooledTransport()}
 	}
-	return &Router{cfg: cfg, ring: ring, plane: plane, httpc: httpc, started: time.Now()}, nil
+	return &Router{
+		cfg:     cfg,
+		ring:    ring,
+		plane:   plane,
+		httpc:   httpc,
+		started: time.Now(),
+		wstreak: make(map[string]int),
+		wuntil:  make(map[string]time.Time),
+	}, nil
+}
+
+// watchdogObserve feeds one sub-batch outcome into the hung-replica watchdog.
+// Only full-exchange timeouts count toward the streak — refused connections
+// and torn responses are the circuit breaker's domain, and a hedge loser's
+// cancellation is neither. Any success resets the replica completely.
+func (rt *Router) watchdogObserve(base string, err error) {
+	if rt.cfg.WatchdogStreak < 0 {
+		return
+	}
+	rt.wmu.Lock()
+	defer rt.wmu.Unlock()
+	if err == nil {
+		delete(rt.wstreak, base)
+		delete(rt.wuntil, base)
+		return
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	rt.wstreak[base]++
+	if rt.wstreak[base] >= rt.cfg.WatchdogStreak {
+		rt.wstreak[base] = 0
+		rt.wuntil[base] = time.Now().Add(rt.cfg.WatchdogCooldown)
+		rt.ejected.Add(1)
+	}
+}
+
+// watchdogEjected reports whether base is currently demoted; an expired
+// demotion is cleared so the next sub-batch re-probes the replica.
+func (rt *Router) watchdogEjected(base string) bool {
+	rt.wmu.Lock()
+	defer rt.wmu.Unlock()
+	until, ok := rt.wuntil[base]
+	if !ok {
+		return false
+	}
+	if time.Now().Before(until) {
+		return true
+	}
+	delete(rt.wuntil, base)
+	return false
+}
+
+// demoteEjected reorders a neighborhood candidate list so watchdog-ejected
+// replicas sort behind responsive ones: a hung owner loses both its sticky
+// bonus and its place in line, but stays reachable as the last resort. When
+// every candidate is ejected the original order stands — answering slowly
+// beats refusing.
+func (rt *Router) demoteEjected(cands []*ethrpc.Node) []*ethrpc.Node {
+	if rt.cfg.WatchdogStreak < 0 || len(cands) < 2 {
+		return cands
+	}
+	live := make([]*ethrpc.Node, 0, len(cands))
+	var dead []*ethrpc.Node
+	for _, n := range cands {
+		if rt.watchdogEjected(n.Name()) {
+			dead = append(dead, n)
+		} else {
+			live = append(live, n)
+		}
+	}
+	if len(live) == 0 {
+		return cands
+	}
+	return append(live, dead...)
 }
 
 // Ring returns the router's hash ring (read-only).
@@ -183,6 +289,10 @@ type Stats struct {
 	Rehashes uint64                 `json:"rehashes"`
 	Errors   uint64                 `json:"errors"`
 	Pending  int64                  `json:"pending"`
+	// Ejections counts hung-replica watchdog demotions; Degraded counts tx
+	// verdicts answered by the code-only fallback while /score/tx faulted.
+	Ejections uint64 `json:"watchdog_ejections"`
+	Degraded  uint64 `json:"degraded_tx_verdicts"`
 }
 
 // Stats snapshots the router.
@@ -196,6 +306,9 @@ func (rt *Router) Stats() Stats {
 		Rehashes: rt.rehashes.Load(),
 		Errors:   rt.errored.Load(),
 		Pending:  rt.pending.Load(),
+
+		Ejections: rt.ejected.Load(),
+		Degraded:  rt.degraded.Load(),
 	}
 	for i := range s.Keyspace {
 		s.Keyspace[i] = rt.ring.OwnedFraction(i)
@@ -235,6 +348,7 @@ func (rt *Router) route(ctx context.Context, codes [][]byte, hexes []string) ([]
 			for j, ri := range hood {
 				g.cands[j] = nodes[ri]
 			}
+			g.cands = rt.demoteEjected(g.cands)
 			groups[gk] = g
 		}
 		g.idx = append(g.idx, i)
@@ -251,6 +365,7 @@ func (rt *Router) route(ctx context.Context, codes [][]byte, hexes []string) ([]
 			owner := g.cands[0]
 			verdicts, err := ethrpc.PlaneDo(ctx, rt.plane, g.cands, func(ctx context.Context, n *ethrpc.Node) ([]Verdict, error) {
 				vs, err := rt.post(ctx, n.Name(), g.hexes)
+				rt.watchdogObserve(n.Name(), err)
 				if err == nil && n != owner {
 					rt.rehashes.Add(1)
 				}
@@ -315,6 +430,7 @@ func (rt *Router) routeTx(ctx context.Context, items []TxScoreItem, keys [][32]b
 			for j, ri := range hood {
 				g.cands[j] = nodes[ri]
 			}
+			g.cands = rt.demoteEjected(g.cands)
 			groups[gk] = g
 		}
 		g.idx = append(g.idx, i)
@@ -331,11 +447,18 @@ func (rt *Router) routeTx(ctx context.Context, items []TxScoreItem, keys [][32]b
 			owner := g.cands[0]
 			verdicts, err := ethrpc.PlaneDo(ctx, rt.plane, g.cands, func(ctx context.Context, n *ethrpc.Node) ([]Verdict, error) {
 				vs, err := rt.postTx(ctx, n.Name(), g.items)
+				rt.watchdogObserve(n.Name(), err)
 				if err == nil && n != owner {
 					rt.rehashes.Add(1)
 				}
 				return vs, err
 			})
+			if err != nil && !rt.cfg.DisableTxFallback && ctx.Err() == nil {
+				if fvs, ferr := rt.txCodeFallback(ctx, g.items); ferr == nil {
+					rt.degraded.Add(uint64(len(fvs)))
+					verdicts, err = fvs, nil
+				}
+			}
 			if err != nil {
 				rt.errored.Add(1)
 				errCh <- fmt.Errorf("cluster: tx sub-batch of %d via %s: %w", len(g.items), owner.Name(), err)
@@ -351,6 +474,48 @@ func (rt *Router) routeTx(ctx context.Context, items []TxScoreItem, keys [][32]b
 	close(errCh)
 	if err := <-errCh; err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// txCodeFallback re-answers a failed /score/tx sub-batch from the code half
+// alone: the callee bytecodes go through the ordinary /score path (which may
+// land on any healthy replica) and the payload probability is reported as
+// zero. EOA callees — no code to judge, no calldata scorer reachable —
+// degrade to an explicit benign zero-confidence verdict. The point is that a
+// replica-side calldata-model fault does not silence code-evidenced alerts;
+// fused confidence returns when /score/tx recovers.
+func (rt *Router) txCodeFallback(ctx context.Context, items []TxScoreItem) ([]Verdict, error) {
+	out := make([]Verdict, len(items))
+	var codes [][]byte
+	var hexes []string
+	var pos []int
+	for i, it := range items {
+		code, err := evm.DecodeHex(it.Code)
+		if err != nil || len(code) == 0 {
+			out[i] = Verdict{Label: "benign", Modality: "tx"}
+			continue
+		}
+		codes = append(codes, code)
+		hexes = append(hexes, it.Code)
+		pos = append(pos, i)
+	}
+	if len(codes) > 0 {
+		vs, err := rt.route(ctx, codes, hexes)
+		if err != nil {
+			return nil, err
+		}
+		for j, v := range vs {
+			out[pos[j]] = Verdict{
+				Label:        v.Label,
+				Phishing:     v.Phishing,
+				Confidence:   v.Confidence,
+				Model:        v.Model,
+				ModelVersion: v.ModelVersion,
+				Modality:     "tx",
+				CodeProb:     v.Confidence,
+			}
+		}
 	}
 	return out, nil
 }
@@ -684,6 +849,8 @@ func (rt *Router) writeMetrics(w http.ResponseWriter) {
 	metric("phishinghook_cluster_rehash_total", "Sub-batches served by a ring neighbor instead of the key owner.", "counter", float64(s.Rehashes))
 	metric("phishinghook_cluster_errors_total", "Sub-batches failed after all retries.", "counter", float64(s.Errors))
 	metric("phishinghook_cluster_pending", "Bytecodes admitted and awaiting verdicts.", "gauge", float64(s.Pending))
+	metric("phishinghook_cluster_watchdog_ejections_total", "Hung-replica watchdog demotions.", "counter", float64(s.Ejections))
+	metric("phishinghook_cluster_degraded_tx_total", "Tx verdicts answered by the code-only fallback.", "counter", float64(s.Degraded))
 	series := func(name, help, typ string, value func(ethrpc.EndpointStats) float64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 		for _, ep := range s.Replicas {
@@ -708,6 +875,8 @@ func (rt *Router) writeMetrics(w http.ResponseWriter) {
 		func(e ethrpc.EndpointStats) float64 { return float64(e.Inflight) })
 	series("phishinghook_cluster_replica_health", "Success EWMA per replica.", "gauge",
 		func(e ethrpc.EndpointStats) float64 { return e.Health })
+	series("phishinghook_cluster_replica_breaker_trips_total", "Circuit-breaker openings per replica.", "counter",
+		func(e ethrpc.EndpointStats) float64 { return float64(e.BreakerTrips) })
 	fmt.Fprintf(&b, "# HELP phishinghook_cluster_ring_vnodes Virtual nodes per replica.\n# TYPE phishinghook_cluster_ring_vnodes gauge\n")
 	for _, name := range rt.ring.Replicas() {
 		fmt.Fprintf(&b, "phishinghook_cluster_ring_vnodes{replica=%q} %d\n", name, rt.ring.Vnodes())

@@ -32,10 +32,13 @@ type MultiClient struct {
 type MultiOption func(*multiConfig)
 
 type multiConfig struct {
-	attempts int
-	backoff  time.Duration
-	hedge    time.Duration
-	maxLimit int
+	attempts        int
+	backoff         time.Duration
+	hedge           time.Duration
+	maxLimit        int
+	breakerStreak   int
+	breakerCooldown time.Duration
+	breakerSet      bool
 }
 
 // WithMultiRetries sets plane-level attempts per call (default 4) and the
@@ -70,6 +73,19 @@ func WithMaxConcurrency(n int) MultiOption {
 	}
 }
 
+// WithMultiBreaker tunes the per-endpoint circuit breaker: streak 0 keeps
+// the default of 8 consecutive hard failures, negative disables; cooldown 0
+// keeps the 2s default. Chaos soaks shrink the cooldown toward the polling
+// interval so recovery after a full blackout is bounded by polls, not by
+// the breaker's re-probe timer.
+func WithMultiBreaker(streak int, cooldown time.Duration) MultiOption {
+	return func(c *multiConfig) {
+		c.breakerStreak = streak
+		c.breakerCooldown = cooldown
+		c.breakerSet = true
+	}
+}
+
 // aimdInitialLimit is where every node's window starts: low enough to probe
 // politely, high enough that growth finds the ceiling within a few hundred
 // calls.
@@ -92,6 +108,13 @@ func NewMultiClient(endpoints []string, opts ...MultiOption) (*MultiClient, erro
 	planeOpts := []PlaneOption{WithPlaneRetries(cfg.attempts, cfg.backoff), WithPlaneHedge(cfg.hedge)}
 	if cfg.maxLimit > 0 {
 		planeOpts = append(planeOpts, WithPlaneMaxConcurrency(cfg.maxLimit))
+	}
+	if cfg.breakerSet {
+		streak := cfg.breakerStreak
+		if streak == 0 {
+			streak = 8
+		}
+		planeOpts = append(planeOpts, WithPlaneBreaker(streak, cfg.breakerCooldown))
 	}
 	plane, err := NewPlane(endpoints, planeOpts...)
 	if err != nil {

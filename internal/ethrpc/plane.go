@@ -24,6 +24,11 @@ type EndpointStats struct {
 	Limit       float64 `json:"limit"`    // current AIMD window (0 = uncapped single-endpoint mode)
 	Inflight    int     `json:"inflight"` // calls currently charged against the window
 	Health      float64 `json:"health"`   // success EWMA
+	// BreakerTrips counts hard circuit-breaker openings (malformed-response
+	// or transport-fault streaks); BreakerOpen reports whether the node is
+	// currently excluded from scheduling.
+	BreakerTrips uint64 `json:"breaker_trips,omitempty"`
+	BreakerOpen  bool   `json:"breaker_open,omitempty"`
 }
 
 // Plane is the endpoint-generic adaptive scheduler underneath every fan-out
@@ -45,6 +50,8 @@ type Plane struct {
 	maxLimit        float64
 	honorRetryAfter bool
 	ownerBonus      float64
+	breakerStreak   int
+	breakerCooldown time.Duration
 
 	mu      sync.Mutex
 	waiters int
@@ -62,14 +69,23 @@ type Node struct {
 	inflight  int
 	health    float64 // success EWMA in (0, 1]
 	lastHalve time.Time
+	// Circuit breaker: failStreak counts consecutive hard failures
+	// (malformed responses, refused connections — the classFailure outcomes
+	// AIMD's congestion control never sees). At the plane's streak threshold
+	// the breaker trips: breakerUntil excludes the node from scheduling
+	// until the cooldown passes, after which a single half-open probe
+	// decides between closing it (success) and re-arming it (failure).
+	failStreak   int
+	breakerUntil time.Time
 
 	// Observability counters.
-	requests    atomic.Uint64
-	successes   atomic.Uint64
-	rateLimited atomic.Uint64
-	timeouts    atomic.Uint64
-	failures    atomic.Uint64
-	hedges      atomic.Uint64
+	requests     atomic.Uint64
+	successes    atomic.Uint64
+	rateLimited  atomic.Uint64
+	timeouts     atomic.Uint64
+	failures     atomic.Uint64
+	hedges       atomic.Uint64
+	breakerTrips atomic.Uint64
 }
 
 // Name returns the node's identity (an endpoint URL, a replica base URL).
@@ -79,6 +95,19 @@ func (n *Node) Name() string { return n.name }
 // stable key callers use to map a node back onto their own per-upstream
 // state (a *Client, an admin URL).
 func (n *Node) Index() int { return n.index }
+
+// breakerBlockedLocked reports whether the breaker excludes the node from
+// scheduling right now: open until the cooldown passes, then half-open — a
+// single probe admitted at a time.
+func (n *Node) breakerBlockedLocked(now time.Time) bool {
+	if n.breakerUntil.IsZero() {
+		return false
+	}
+	if now.Before(n.breakerUntil) {
+		return true
+	}
+	return n.inflight > 0
+}
 
 // CountOutcome records err against the node's outcome counters without
 // touching the scheduler (no window, no health, no slot release) — the
@@ -129,6 +158,20 @@ func WithPlaneRetryAfter() PlaneOption {
 	return func(p *Plane) { p.honorRetryAfter = true }
 }
 
+// WithPlaneBreaker tunes the per-node circuit breaker: streak consecutive
+// hard failures (malformed responses, refused connections — the faults AIMD
+// never halves on) trip the node out of scheduling for cooldown, after which
+// one half-open probe decides whether it rejoins. streak <= 0 disables the
+// breaker. The default is 8 failures / 2s.
+func WithPlaneBreaker(streak int, cooldown time.Duration) PlaneOption {
+	return func(p *Plane) {
+		p.breakerStreak = streak
+		if cooldown > 0 {
+			p.breakerCooldown = cooldown
+		}
+	}
+}
+
 // WithPlaneOwnerAffinity adds bonus to the first candidate's selection score
 // when scheduling within an explicit candidate list — the consistent-hash
 // router's owner preference: the key's owner holds its cache line, so it
@@ -147,10 +190,12 @@ func NewPlane(names []string, opts ...PlaneOption) (*Plane, error) {
 		return nil, fmt.Errorf("ethrpc: Plane needs at least one node")
 	}
 	p := &Plane{
-		attempts: 4,
-		backoff:  50 * time.Millisecond,
-		maxLimit: 64,
-		waitCh:   make(chan struct{}),
+		attempts:        4,
+		backoff:         50 * time.Millisecond,
+		maxLimit:        64,
+		breakerStreak:   8,
+		breakerCooldown: 2 * time.Second,
+		waitCh:          make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(p)
@@ -174,19 +219,22 @@ func (p *Plane) Nodes() []*Node { return p.nodes }
 // name.
 func (p *Plane) Stats() []EndpointStats {
 	out := make([]EndpointStats, len(p.nodes))
+	now := time.Now()
 	p.mu.Lock()
 	for i, n := range p.nodes {
 		out[i] = EndpointStats{
-			URL:         n.name,
-			Requests:    n.requests.Load(),
-			Successes:   n.successes.Load(),
-			RateLimited: n.rateLimited.Load(),
-			Timeouts:    n.timeouts.Load(),
-			Failures:    n.failures.Load(),
-			Hedges:      n.hedges.Load(),
-			Limit:       n.limit,
-			Inflight:    n.inflight,
-			Health:      n.health,
+			URL:          n.name,
+			Requests:     n.requests.Load(),
+			Successes:    n.successes.Load(),
+			RateLimited:  n.rateLimited.Load(),
+			Timeouts:     n.timeouts.Load(),
+			Failures:     n.failures.Load(),
+			Hedges:       n.hedges.Load(),
+			Limit:        n.limit,
+			Inflight:     n.inflight,
+			Health:       n.health,
+			BreakerTrips: n.breakerTrips.Load(),
+			BreakerOpen:  !n.breakerUntil.IsZero() && now.Before(n.breakerUntil),
 		}
 	}
 	p.mu.Unlock()
@@ -388,8 +436,13 @@ func (p *Plane) Finish(n *Node, err error) {
 			n.limit = p.maxLimit
 		}
 		n.health += (1 - n.health) * healthGain
+		// A success — in particular a half-open probe landing — closes the
+		// breaker and zeroes the streak.
+		n.failStreak = 0
+		n.breakerUntil = time.Time{}
 	case classCongestion:
-		// Multiplicative decrease, once per congestion event.
+		// Multiplicative decrease, once per congestion event. 429/timeout is
+		// AIMD's domain, not the breaker's: a throttled node is alive.
 		if time.Since(n.lastHalve) >= aimdHalveCooldown {
 			n.limit /= 2
 			if n.limit < 1 {
@@ -400,6 +453,17 @@ func (p *Plane) Finish(n *Node, err error) {
 		n.health *= 1 - healthGain
 	case classFailure:
 		n.health *= 1 - healthGain
+		n.failStreak++
+		if p.breakerStreak > 0 && n.failStreak >= p.breakerStreak {
+			now := time.Now()
+			// Count a trip only on the closed→open (or half-open reprobe
+			// failure) edge; failures draining from requests already in
+			// flight when the breaker opened just extend the window.
+			if n.breakerUntil.IsZero() || now.After(n.breakerUntil) {
+				n.breakerTrips.Add(1)
+			}
+			n.breakerUntil = now.Add(p.breakerCooldown)
+		}
 	}
 	if n.health < 0.01 {
 		n.health = 0.01 // floor so a recovered node can climb back
@@ -432,6 +496,16 @@ func (p *Plane) Acquire(ctx context.Context, within []*Node, avoid *Node) (*Node
 			p.mu.Unlock()
 			return n, nil
 		}
+		// When every candidate is breaker-open nothing is in flight to wake
+		// us, so also wait out the soonest cooldown expiry.
+		var reopen <-chan time.Time
+		if until, ok := p.soonestReopenLocked(within); ok {
+			d := time.Until(until)
+			if d < 0 {
+				d = 0
+			}
+			reopen = time.After(d)
+		}
 		p.waiters++
 		ch := p.waitCh
 		p.mu.Unlock()
@@ -442,10 +516,31 @@ func (p *Plane) Acquire(ctx context.Context, within []*Node, avoid *Node) (*Node
 			p.mu.Unlock()
 			return nil, ctx.Err()
 		case <-ch:
+		case <-reopen:
 		}
 		p.mu.Lock()
 		p.waiters--
 	}
+}
+
+// soonestReopenLocked returns the earliest breaker cooldown expiry among the
+// candidates, ok=false when no breaker is pending reopen.
+func (p *Plane) soonestReopenLocked(within []*Node) (time.Time, bool) {
+	cands := within
+	if cands == nil {
+		cands = p.nodes
+	}
+	var soonest time.Time
+	now := time.Now()
+	for _, n := range cands {
+		if n.breakerUntil.IsZero() || !now.Before(n.breakerUntil) {
+			continue
+		}
+		if soonest.IsZero() || n.breakerUntil.Before(soonest) {
+			soonest = n.breakerUntil
+		}
+	}
+	return soonest, !soonest.IsZero()
 }
 
 // TryAcquire charges a slot on the best candidate other than avoid without
@@ -476,15 +571,16 @@ func (p *Plane) pickLocked(within []*Node, avoid *Node) *Node {
 	if cands == nil {
 		cands = p.nodes
 	}
+	now := time.Now()
 	// Sticky owner: with affinity configured, a healthy owner is the only
 	// choice — callers block until its window frees rather than spilling
 	// the key onto a cache-cold neighbor. Neighbors become eligible the
-	// moment the owner decays below the health floor (kill, 429 storm) or
-	// is explicitly avoided (a retry after the owner just failed, or a
-	// hedge racing a straggler).
+	// moment the owner decays below the health floor (kill, 429 storm),
+	// trips its breaker, or is explicitly avoided (a retry after the owner
+	// just failed, or a hedge racing a straggler).
 	if within != nil && p.ownerBonus > 0 {
 		owner := cands[0]
-		if owner != avoid && owner.health >= ownerStickyFloor {
+		if owner != avoid && owner.health >= ownerStickyFloor && !owner.breakerBlockedLocked(now) {
 			if owner.inflight < int(owner.limit) {
 				return owner
 			}
@@ -494,7 +590,7 @@ func (p *Plane) pickLocked(within []*Node, avoid *Node) *Node {
 	var best *Node
 	var bestScore float64
 	for i, n := range cands {
-		if n == avoid || n.inflight >= int(n.limit) {
+		if n == avoid || n.inflight >= int(n.limit) || n.breakerBlockedLocked(now) {
 			continue
 		}
 		spare := (n.limit - float64(n.inflight)) / n.limit

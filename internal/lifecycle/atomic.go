@@ -1,0 +1,80 @@
+package lifecycle
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// WriteFault intercepts WriteFileAtomic for deterministic fault injection
+// (the chaos plane). It may rewrite the blob about to be published — a
+// truncated return simulates a torn write that a crash froze on disk — or
+// fail the write outright by returning an error. Production runs never
+// install one.
+type WriteFault func(path string, blob []byte) ([]byte, error)
+
+// writeFault holds the process-wide injected fault; nil means writes are
+// honest. An atomic pointer so soak tests can install and clear it while
+// watchers checkpoint concurrently.
+var writeFault atomic.Pointer[WriteFault]
+
+// SetWriteFault installs (or, with nil, clears) the process-wide write fault
+// hook. Chaos testing only: every WriteFileAtomic caller in the process —
+// store manifests, model blobs, watcher and tx checkpoints — routes through
+// the hook while it is set.
+func SetWriteFault(f WriteFault) {
+	if f == nil {
+		writeFault.Store(nil)
+		return
+	}
+	writeFault.Store(&f)
+}
+
+// WriteFileAtomic publishes blob under path so that a crash at any point
+// leaves either the old contents or the new — never a torn mix: the bytes go
+// to a temp file in the same directory, are fsynced, renamed over path, and
+// the parent directory is fsynced so the rename itself survives power loss.
+// (Rename alone only orders the directory entry in memory; without the
+// directory fsync a crash can roll the name back to the old inode or to
+// nothing.)
+func WriteFileAtomic(path string, blob []byte) error {
+	if fp := writeFault.Load(); fp != nil {
+		injected, err := (*fp)(path, blob)
+		if err != nil {
+			return err
+		}
+		blob = injected
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(blob)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir fsyncs a directory, making a just-committed rename crash-durable.
+// Best effort: filesystems that refuse directory fsync (some network mounts)
+// degrade to the rename's own guarantees rather than failing the write.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

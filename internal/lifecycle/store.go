@@ -156,7 +156,7 @@ func (s *Store) Put(blob []byte, meta Meta) (Version, error) {
 		Size:        int64(len(blob)),
 		CreatedUnix: time.Now().Unix(),
 	}
-	if err := writeFileAtomic(s.blobPath(v.ID), blob); err != nil {
+	if err := WriteFileAtomic(s.blobPath(v.ID), blob); err != nil {
 		return Version{}, fmt.Errorf("lifecycle: store %s: %w", v.ID, err)
 	}
 	next := s.m
@@ -344,35 +344,9 @@ func (s *Store) persistLocked(next manifest) error {
 	if err != nil {
 		return fmt.Errorf("lifecycle: marshal manifest: %w", err)
 	}
-	if err := writeFileAtomic(s.manifestPath(), append(blob, '\n')); err != nil {
+	if err := WriteFileAtomic(s.manifestPath(), append(blob, '\n')); err != nil {
 		return fmt.Errorf("lifecycle: persist manifest: %w", err)
 	}
 	s.m = next
-	return nil
-}
-
-// writeFileAtomic writes via temp file + fsync + rename so a crash can never
-// publish torn contents under the final name.
-func writeFileAtomic(path string, blob []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+"-*")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(blob)
-	if werr == nil {
-		werr = tmp.Sync()
-	}
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr != nil {
-			return werr
-		}
-		return cerr
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
 	return nil
 }

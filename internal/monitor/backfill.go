@@ -51,6 +51,14 @@ type BackfillConfig struct {
 	CheckpointPath string
 	// CheckpointEvery rate-limits checkpoint writes (default 1s).
 	CheckpointEvery time.Duration
+	// BreakerStreak/BreakerCooldown tune the plane's per-endpoint circuit
+	// breaker (0 keeps the defaults of 8 failures / 2s; negative streak
+	// disables).
+	BreakerStreak   int
+	BreakerCooldown time.Duration
+	// RetryBackoff is the base delay between the plane's per-call retry
+	// attempts (0 keeps the 50ms default).
+	RetryBackoff time.Duration
 }
 
 func (c *BackfillConfig) fillDefaults() error {
@@ -135,7 +143,14 @@ func NewBackfill(scorer Scorer, cfg BackfillConfig) (*Backfill, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	rpc, err := ethrpc.NewMultiClient(cfg.RPCURLs, ethrpc.WithHedge(cfg.Hedge))
+	mopts := []ethrpc.MultiOption{ethrpc.WithHedge(cfg.Hedge)}
+	if cfg.BreakerStreak != 0 || cfg.BreakerCooldown > 0 {
+		mopts = append(mopts, ethrpc.WithMultiBreaker(cfg.BreakerStreak, cfg.BreakerCooldown))
+	}
+	if cfg.RetryBackoff > 0 {
+		mopts = append(mopts, ethrpc.WithMultiRetries(0, cfg.RetryBackoff))
+	}
+	rpc, err := ethrpc.NewMultiClient(cfg.RPCURLs, mopts...)
 	if err != nil {
 		return nil, err
 	}

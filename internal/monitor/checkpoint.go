@@ -1,11 +1,14 @@
 package monitor
 
 import (
+	"bytes"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
-	"path/filepath"
+
+	"github.com/phishinghook/phishinghook/internal/lifecycle"
 )
 
 // checkpoint is the persisted ingestion state. Cursor is the last block
@@ -58,57 +61,108 @@ func (cp *checkpoint) decodeSeen() ([][32]byte, error) {
 
 const checkpointVersion = 1
 
-// saveCheckpoint writes atomically (temp file + rename) so a crash mid-write
-// can never leave a torn cursor behind.
-func saveCheckpoint(path string, cp checkpoint) error {
+// crcTrailer precedes the hex CRC32 on the checkpoint's second line. The
+// trailer lets the loader tell a torn or bit-rotted file from a good one
+// instead of trusting whatever json.Unmarshal makes of the damage; files
+// without it (written before the trailer existed) still load.
+const crcTrailer = "crc32 "
+
+// lastGoodSuffix names the retained previous checkpoint. A file that fails
+// CRC or parse validation rolls back to it: the watcher restarts from an
+// older cursor and rescans a bounded window instead of refusing to start.
+const lastGoodSuffix = ".good"
+
+// encodeCheckpoint renders the on-disk form: one JSON line plus a CRC32
+// trailer line covering it.
+func encodeCheckpoint(cp checkpoint) ([]byte, error) {
 	cp.Version = checkpointVersion
 	blob, err := json.Marshal(cp)
 	if err != nil {
-		return fmt.Errorf("monitor: marshal checkpoint: %w", err)
+		return nil, fmt.Errorf("monitor: marshal checkpoint: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".cursor-*")
-	if err != nil {
-		return fmt.Errorf("monitor: checkpoint temp file: %w", err)
-	}
-	_, werr := tmp.Write(append(blob, '\n'))
-	if werr == nil {
-		// Flush data before the rename publishes the name, or a crash can
-		// leave a durable directory entry pointing at torn contents.
-		werr = tmp.Sync()
-	}
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr != nil {
-			return fmt.Errorf("monitor: write checkpoint: %w", werr)
+	sum := crc32.ChecksumIEEE(blob)
+	return append(blob, fmt.Sprintf("\n%s%08x\n", crcTrailer, sum)...), nil
+}
+
+// decodeCheckpoint parses and validates one checkpoint file's bytes.
+func decodeCheckpoint(path string, blob []byte) (checkpoint, error) {
+	body := blob
+	if i := bytes.Index(blob, []byte("\n" + crcTrailer)); i >= 0 {
+		body = blob[:i]
+		hexSum := bytes.TrimSpace(blob[i+1+len(crcTrailer):])
+		var want uint32
+		if _, err := fmt.Sscanf(string(hexSum), "%08x", &want); err != nil {
+			return checkpoint{}, fmt.Errorf("monitor: checkpoint %s has a malformed CRC trailer", path)
 		}
-		return fmt.Errorf("monitor: close checkpoint: %w", cerr)
+		if got := crc32.ChecksumIEEE(body); got != want {
+			return checkpoint{}, fmt.Errorf("monitor: checkpoint %s fails CRC (stored %08x, computed %08x) — torn write", path, want, got)
+		}
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	var cp checkpoint
+	if err := json.Unmarshal(body, &cp); err != nil {
+		return checkpoint{}, fmt.Errorf("monitor: parse checkpoint %s: %w", path, err)
+	}
+	if cp.Version != checkpointVersion {
+		return checkpoint{}, fmt.Errorf("monitor: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
+	}
+	return cp, nil
+}
+
+// saveCheckpoint publishes atomically (temp + fsync + rename + directory
+// fsync via the shared lifecycle helper) with a CRC trailer, after rotating
+// the current file — if it still validates — to the last-good name. The
+// rotation is what makes a torn publish recoverable: load falls back to the
+// previous cursor and rescans the gap.
+func saveCheckpoint(path string, cp checkpoint) error {
+	blob, err := encodeCheckpoint(cp)
+	if err != nil {
+		return err
+	}
+	if prev, err := os.ReadFile(path); err == nil {
+		if _, derr := decodeCheckpoint(path, prev); derr == nil {
+			// Only a checkpoint that validates today is worth keeping as the
+			// rollback target; rotating damage over a good .good would lose
+			// the one copy that can still restart us.
+			os.Rename(path, path+lastGoodSuffix)
+		}
+	}
+	if err := lifecycle.WriteFileAtomic(path, blob); err != nil {
 		return fmt.Errorf("monitor: commit checkpoint: %w", err)
 	}
 	return nil
 }
 
 // loadCheckpoint reads a checkpoint; a missing file returns ok=false with no
-// error (a fresh watcher).
+// error (a fresh watcher). A file that fails CRC or parse validation falls
+// back to the retained last-good copy: the caller resumes from the older
+// cursor (a bounded rescan — dedup keeps alerting exactly-once) instead of
+// refusing to start.
 func loadCheckpoint(path string) (checkpoint, bool, error) {
 	blob, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
+		// The primary may be missing mid-rotation (crash between rename and
+		// publish); the last-good copy still resumes us.
+		if prev, gerr := os.ReadFile(path + lastGoodSuffix); gerr == nil {
+			cp, derr := decodeCheckpoint(path+lastGoodSuffix, prev)
+			if derr == nil {
+				return cp, true, nil
+			}
+		}
 		return checkpoint{}, false, nil
 	}
 	if err != nil {
 		return checkpoint{}, false, fmt.Errorf("monitor: read checkpoint: %w", err)
 	}
-	var cp checkpoint
-	if err := json.Unmarshal(blob, &cp); err != nil {
-		return checkpoint{}, false, fmt.Errorf("monitor: parse checkpoint %s: %w", path, err)
+	cp, derr := decodeCheckpoint(path, blob)
+	if derr == nil {
+		return cp, true, nil
 	}
-	if cp.Version != checkpointVersion {
-		return checkpoint{}, false, fmt.Errorf("monitor: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
+	if prev, gerr := os.ReadFile(path + lastGoodSuffix); gerr == nil {
+		if good, gderr := decodeCheckpoint(path+lastGoodSuffix, prev); gderr == nil {
+			return good, true, nil
+		}
 	}
-	return cp, true, nil
+	return checkpoint{}, false, derr
 }
 
 // txModality is the tx watcher's checkpoint marker.

@@ -122,6 +122,16 @@ type Config struct {
 	DropWhenFull bool
 	// Sinks receive alerts. Sink errors are counted, never fatal.
 	Sinks []Sink
+	// BreakerStreak/BreakerCooldown tune the plane's per-endpoint circuit
+	// breaker (0 keeps the defaults of 8 failures / 2s; negative streak
+	// disables). Chaos soaks shrink the cooldown toward PollInterval so
+	// post-blackout recovery is bounded by polls, not by the re-probe timer.
+	BreakerStreak   int
+	BreakerCooldown time.Duration
+	// RetryBackoff is the base delay between the plane's per-call retry
+	// attempts (0 keeps the 50ms default). Chaos soaks shrink it below
+	// PollInterval so one retrying call cannot outlast a polling window.
+	RetryBackoff time.Duration
 }
 
 func (c *Config) fillDefaults() error {
@@ -187,7 +197,14 @@ func New(scorer Scorer, cfg Config) (*Watcher, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	rpc, err := ethrpc.NewMultiClient(cfg.endpoints(), ethrpc.WithHedge(cfg.Hedge))
+	mopts := []ethrpc.MultiOption{ethrpc.WithHedge(cfg.Hedge)}
+	if cfg.BreakerStreak != 0 || cfg.BreakerCooldown > 0 {
+		mopts = append(mopts, ethrpc.WithMultiBreaker(cfg.BreakerStreak, cfg.BreakerCooldown))
+	}
+	if cfg.RetryBackoff > 0 {
+		mopts = append(mopts, ethrpc.WithMultiRetries(0, cfg.RetryBackoff))
+	}
+	rpc, err := ethrpc.NewMultiClient(cfg.endpoints(), mopts...)
 	if err != nil {
 		return nil, err
 	}

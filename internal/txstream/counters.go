@@ -90,6 +90,9 @@ type Stats struct {
 	Alerts uint64 `json:"alerts"`
 	// Poisoned counts txs abandoned after repeatedly failing to score.
 	Poisoned uint64 `json:"poisoned"`
+	// PoisonPending is the current quarantine size (poisoned, not yet
+	// drained via /admin/poison).
+	PoisonPending int `json:"poison_pending"`
 	// Errors counts RPC/score/sink failures.
 	Errors uint64 `json:"errors"`
 	// FeedReopens counts filter reinstalls after a node forgot the filter.

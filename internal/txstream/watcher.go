@@ -61,6 +61,16 @@ type Config struct {
 	CodeCacheSize int
 	// Sinks receive alerts. Sink errors are counted, never fatal.
 	Sinks []monitor.Sink
+	// BreakerStreak/BreakerCooldown tune the plane's per-endpoint circuit
+	// breaker (0 keeps the defaults of 8 failures / 2s; negative streak
+	// disables). Chaos soaks shrink the cooldown toward PollInterval so
+	// post-blackout recovery is bounded by polls, not by the re-probe timer.
+	BreakerStreak   int
+	BreakerCooldown time.Duration
+	// RetryBackoff is the base delay between the plane's per-call retry
+	// attempts (0 keeps the 50ms default). Chaos soaks shrink it below
+	// PollInterval so one retrying call cannot outlast a polling window.
+	RetryBackoff time.Duration
 }
 
 func (c *Config) fillDefaults() error {
@@ -108,6 +118,7 @@ type Watcher struct {
 	rpc    *ethrpc.MultiClient
 	codes  *lru.Cache[chain.Address, []byte]
 	ctr    counters
+	poison *poisonSet
 
 	mu      sync.Mutex
 	cursor  uint64
@@ -129,7 +140,14 @@ func New(scorer Scorer, cfg Config) (*Watcher, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	rpc, err := ethrpc.NewMultiClient(cfg.endpoints(), ethrpc.WithHedge(cfg.Hedge))
+	mopts := []ethrpc.MultiOption{ethrpc.WithHedge(cfg.Hedge)}
+	if cfg.BreakerStreak != 0 || cfg.BreakerCooldown > 0 {
+		mopts = append(mopts, ethrpc.WithMultiBreaker(cfg.BreakerStreak, cfg.BreakerCooldown))
+	}
+	if cfg.RetryBackoff > 0 {
+		mopts = append(mopts, ethrpc.WithMultiRetries(0, cfg.RetryBackoff))
+	}
+	rpc, err := ethrpc.NewMultiClient(cfg.endpoints(), mopts...)
 	if err != nil {
 		return nil, err
 	}
@@ -138,6 +156,7 @@ func New(scorer Scorer, cfg Config) (*Watcher, error) {
 		scorer: scorer,
 		rpc:    rpc,
 		codes:  lru.New[chain.Address, []byte](cfg.CodeCacheSize),
+		poison: newPoisonSet(),
 		cursor: cfg.StartBlock,
 		seen:   make(map[[32]byte]bool),
 	}
@@ -199,6 +218,7 @@ func (w *Watcher) Stats() Stats {
 		DedupHits:       w.ctr.dedupHits.Load(),
 		Alerts:          w.ctr.alerts.Load(),
 		Poisoned:        w.ctr.poisoned.Load(),
+		PoisonPending:   w.poison.len(),
 		Errors:          w.ctr.errors.Load(),
 		FeedReopens:     w.ctr.feedReopens.Load(),
 		SeenUnique:      judged,
@@ -402,8 +422,10 @@ func (w *Watcher) judgeTx(ctx context.Context, feed *ethrpc.TxFeed, tx *ethrpc.P
 	}
 	if err != nil {
 		// Poisoned: repeatedly unscorable. Mark judged so the cursor can
-		// advance past it; it will never alert.
+		// advance past it; it will not alert unless an operator drains the
+		// quarantine after fixing the underlying fault.
 		w.ctr.poisoned.Add(1)
+		w.poison.add(*tx, err)
 		w.markJudged(tx.Hash, "")
 		return
 	}

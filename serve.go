@@ -360,6 +360,9 @@ func NewScoreHandler(d ScoreBackend, opts ...ServeOption) http.Handler {
 	if state.lifecycle != nil {
 		mountAdmin(mux, state.lifecycle)
 	}
+	if state.txWatcher != nil {
+		mountPoisonAdmin(mux, state.txWatcher)
+	}
 	if state.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -691,6 +694,44 @@ func writeLifecycleMetrics(b *strings.Builder, metric func(name, help, typ strin
 	metric("phishinghook_shadow_mean_abs_delta", "Mean |P_champion - P_challenger| over compared traffic.", "gauge", s.Shadow.MeanAbsDelta)
 	metric("phishinghook_shadow_dropped_total", "Shadow replays shed on a full queue.", "counter", float64(s.Shadow.Dropped))
 	metric("phishinghook_shadow_errors_total", "Challenger score failures.", "counter", float64(s.Shadow.Errors))
+}
+
+// mountPoisonAdmin wires the tx quarantine's operator surface onto the mux:
+//
+//	GET  /admin/poison                    — the quarantined txs (judged after
+//	                                        exhausting score retries, never
+//	                                        alerted) with their last errors
+//	POST /admin/poison {"action":"drain"} — retry every entry against the
+//	                                        current scorer/plane; recovered
+//	                                        txs alert (their first time) and
+//	                                        leave the set
+func mountPoisonAdmin(mux *http.ServeMux, tw *TxWatcher) {
+	mux.HandleFunc("/admin/poison", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			entries := tw.PoisonList()
+			writeJSON(w, http.StatusOK, map[string]any{"pending": len(entries), "entries": entries})
+		case http.MethodPost:
+			var req struct {
+				Action string `json:"action"`
+			}
+			if r.Body != nil {
+				_ = json.NewDecoder(r.Body).Decode(&req)
+			}
+			if req.Action == "" {
+				req.Action = r.URL.Query().Get("action")
+			}
+			switch req.Action {
+			case "", "drain", "retry":
+				res := tw.DrainPoison(r.Context())
+				writeJSON(w, http.StatusOK, map[string]any{"drain": res, "pending": len(tw.PoisonList())})
+			default:
+				httpError(w, http.StatusBadRequest, "unknown poison action %q (want drain)", req.Action)
+			}
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "use GET to list, POST to drain")
+		}
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

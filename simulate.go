@@ -4,6 +4,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 
@@ -229,6 +230,26 @@ func (s *Simulation) AddRPCEndpoints(n int, itemsPerSec, burst float64) []string
 			opts = append(opts, ethrpc.WithServerRateLimit(itemsPerSec, burst))
 		}
 		srv := httptest.NewServer(ethrpc.NewServer(s.chain, 1, opts...))
+		s.extraRPC = append(s.extraRPC, srv)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+// AddWrappedRPCEndpoints starts n additional JSON-RPC servers over the same
+// chain state, each fronted by wrap(i, handler) — the chaos plane's
+// injection point: the wrapper sees every exchange and may delay, corrupt,
+// truncate or abort it before (or instead of) the real node handler. A nil
+// wrap degrades to AddRPCEndpoints without rate limiting. Close shuts the
+// extra servers down with the rest of the simulation.
+func (s *Simulation) AddWrappedRPCEndpoints(n int, wrap func(i int, h http.Handler) http.Handler) []string {
+	urls := make([]string, n)
+	for i := range urls {
+		var h http.Handler = ethrpc.NewServer(s.chain, 1)
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		srv := httptest.NewServer(h)
 		s.extraRPC = append(s.extraRPC, srv)
 		urls[i] = srv.URL
 	}

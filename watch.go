@@ -110,6 +110,21 @@ func NewChanSink(ch chan<- Alert) AlertSink { return monitor.ChanSink(ch) }
 // NewMultiSink fans each alert out to every sink.
 func NewMultiSink(sinks ...AlertSink) AlertSink { return monitor.MultiSink(sinks...) }
 
+// AlertWAL is a write-ahead alert journal around an inner sink: alerts the
+// sink refuses spill to an fsynced journal file and replay on recovery (or
+// after a restart) instead of being dropped.
+type AlertWAL = monitor.WALSink
+
+// AlertWALStats snapshots a journal's spill/replay counters.
+type AlertWALStats = monitor.WALStats
+
+// OpenAlertWAL opens (creating) the journal at path around inner. Entries a
+// previous process left behind replay on the first healthy emit or an
+// explicit Replay call.
+func OpenAlertWAL(path string, inner AlertSink) (*AlertWAL, error) {
+	return monitor.OpenWALSink(path, inner)
+}
+
 // CurrentHead fetches the node's head block (eth_blockNumber) — used to seed
 // a fresh watcher's cursor at "now" so its first scan doesn't replay chain
 // history.
