@@ -49,9 +49,9 @@ type chaosRun struct {
 
 // chaosReport is the BENCH_chaos.json envelope consumed by the CI soak step.
 type chaosReport struct {
-	GOOS   string `json:"goos"`
-	GOARCH string `json:"goarch"`
-	Seed   int64  `json:"seed"`
+	GOOS   string  `json:"goos"`
+	GOARCH string  `json:"goarch"`
+	Seed   int64   `json:"seed"`
 	UnitMS float64 `json:"unit_ms"`
 	PollMS float64 `json:"poll_ms"`
 

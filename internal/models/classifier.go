@@ -16,12 +16,37 @@ import (
 	"bytes"
 	"encoding"
 	"encoding/gob"
+	"errors"
 	"fmt"
 
 	"github.com/phishinghook/phishinghook/internal/dataset"
 	"github.com/phishinghook/phishinghook/internal/features"
 	"github.com/phishinghook/phishinghook/internal/nn"
 )
+
+// ErrEmptyInput reports a ScoreFeatures call with an empty feature vector —
+// e.g. empty bytecode reaching a sequence model, which would otherwise
+// panic in nn.MeanPool or divide by zero windows.
+var ErrEmptyInput = errors.New("models: empty feature input")
+
+// ShapeMismatchError reports a parameter snapshot that does not fit the
+// freshly built architecture (corrupt gob, or a save from a model built
+// with a different NeuralConfig). Param is empty when the tensor counts
+// themselves disagree.
+type ShapeMismatchError struct {
+	// Param names the mismatched tensor ("" = tensor count mismatch).
+	Param string
+	// Have is the freshly built size (or count), Snapshot the stored one.
+	Have, Snapshot int
+}
+
+// Error implements error.
+func (e *ShapeMismatchError) Error() string {
+	if e.Param == "" {
+		return fmt.Sprintf("models: parameter count mismatch: have %d, snapshot %d", e.Have, e.Snapshot)
+	}
+	return fmt.Sprintf("models: parameter %q size mismatch: have %d, snapshot %d", e.Param, e.Have, e.Snapshot)
+}
 
 // Family is the paper's model taxonomy.
 type Family int
@@ -116,15 +141,16 @@ func saveParams(ps []*nn.Param) [][]float64 {
 	return out
 }
 
-// loadParams restores a positional snapshot into freshly built parameters.
+// loadParams restores a positional snapshot into freshly built parameters,
+// rejecting any shape drift with a typed error so corrupt or wrong-arch
+// gobs can never panic downstream or silently truncate weights.
 func loadParams(ps []*nn.Param, ws [][]float64) error {
 	if len(ps) != len(ws) {
-		return fmt.Errorf("models: parameter count mismatch: have %d, snapshot %d", len(ps), len(ws))
+		return &ShapeMismatchError{Have: len(ps), Snapshot: len(ws)}
 	}
 	for i, p := range ps {
 		if len(p.W) != len(ws[i]) {
-			return fmt.Errorf("models: parameter %q size mismatch: have %d, snapshot %d",
-				p.Name, len(p.W), len(ws[i]))
+			return &ShapeMismatchError{Param: p.Name, Have: len(p.W), Snapshot: len(ws[i])}
 		}
 		copy(p.W, ws[i])
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/phishinghook/phishinghook/internal/evm"
 	"github.com/phishinghook/phishinghook/internal/features"
 	"github.com/phishinghook/phishinghook/internal/nn"
+	"github.com/phishinghook/phishinghook/internal/nn/flat"
 )
 
 // escort reproduces ESCORT's two-phase design (Sendner et al., NDSS'23):
@@ -18,6 +19,7 @@ import (
 // social-engineering construct, not a code-structure defect.
 type escort struct {
 	cfg NeuralConfig
+	flatServing
 
 	fz         *features.OpcodeSeqFeaturizer
 	emb        *nn.Embedding
@@ -135,7 +137,7 @@ func (m *escort) Fit(train *dataset.Dataset) error {
 		return logits, func(dl []float64) { backH(dl) }
 	}, m.cfg)
 	m.fitted = true
-	return nil
+	return compileFlat(m)
 }
 
 // Predict implements Classifier.
@@ -156,14 +158,45 @@ func (m *escort) Predict(test *dataset.Dataset) ([]int, error) {
 // Featurizer implements Scorer.
 func (m *escort) Featurizer() features.Featurizer { return m.fz }
 
-// ScoreFeatures implements Scorer.
+// ScoreFeatures implements Scorer: the compiled flat program when one is
+// installed, the closure forward otherwise.
 func (m *escort) ScoreFeatures(x []float64) (float64, error) {
 	if !m.fitted {
 		return 0, errNotFitted(m.Name())
 	}
+	if p := m.program(); p != nil {
+		return m.scoreWith(p, x)
+	}
+	return m.scoreRef(x)
+}
+
+// scoreRef implements flatModel: the closure-forward reference.
+func (m *escort) scoreRef(x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmptyInput
+	}
 	feat, _ := m.forwardExtractor(features.IDs(x))
 	logits, _ := m.branch.Forward(feat)
 	return nn.Softmax(logits)[1], nil
+}
+
+// scoreWith implements flatModel.
+func (m *escort) scoreWith(p *flat.Program, x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmptyInput
+	}
+	return p.Forward(x)
+}
+
+// flatBuilder implements flatModel: fused embed+meanpool, two fused
+// Dense+ReLU stages, branch head.
+func (m *escort) flatBuilder() *flat.Builder {
+	b := flat.NewBuilder(m.fz.Dim())
+	h := b.EmbedMean(m.emb, m.fz.SeqLen)
+	h = b.Dense(m.enc1, h, flat.ReLU)
+	h = b.Dense(m.enc2, h, flat.ReLU)
+	b.Logits(m.branch, h)
+	return b
 }
 
 // escortState is the serialized fitted model: extractor and branch-head
@@ -213,5 +246,5 @@ func (m *escort) UnmarshalBinary(data []byte) error {
 	}
 	m.fz = osf
 	m.fitted = true
-	return nil
+	return compileFlat(m)
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/phishinghook/phishinghook/internal/dataset"
 	"github.com/phishinghook/phishinghook/internal/features"
 	"github.com/phishinghook/phishinghook/internal/nn"
+	"github.com/phishinghook/phishinghook/internal/nn/flat"
 )
 
 // scsGuard is the SCSGuard language model: hex-bigram embedding, multi-head
@@ -14,6 +15,7 @@ import (
 // INFOCOM'22 Workshops).
 type scsGuard struct {
 	cfg NeuralConfig
+	flatServing
 
 	fz     *features.BigramSeqFeaturizer
 	emb    *nn.Embedding
@@ -77,7 +79,7 @@ func (m *scsGuard) Fit(train *dataset.Dataset) error {
 		return m.forward(seqs[i])
 	}, m.cfg)
 	m.fitted = true
-	return nil
+	return compileFlat(m)
 }
 
 // Predict implements Classifier.
@@ -101,13 +103,44 @@ func (m *scsGuard) Featurizer() features.Featurizer {
 	return m.fz
 }
 
-// ScoreFeatures implements Scorer.
+// ScoreFeatures implements Scorer: the compiled flat program when one is
+// installed, the closure forward otherwise.
 func (m *scsGuard) ScoreFeatures(x []float64) (float64, error) {
 	if !m.fitted {
 		return 0, errNotFitted(m.Name())
 	}
+	if p := m.program(); p != nil {
+		return m.scoreWith(p, x)
+	}
+	return m.scoreRef(x)
+}
+
+// scoreRef implements flatModel: the closure-forward reference.
+func (m *scsGuard) scoreRef(x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmptyInput
+	}
 	logits, _ := m.forward(features.IDs(x))
 	return nn.Softmax(logits)[1], nil
+}
+
+// scoreWith implements flatModel.
+func (m *scsGuard) scoreWith(p *flat.Program, x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmptyInput
+	}
+	return p.Forward(x)
+}
+
+// flatBuilder implements flatModel: embed, bidirectional self-attention,
+// GRU summarizer, head.
+func (m *scsGuard) flatBuilder() *flat.Builder {
+	b := flat.NewBuilder(m.fz.Dim())
+	e := b.EmbedSeq(m.emb, m.fz.SeqLen, nil)
+	att := b.SelfAttn(m.attn, e, false)
+	h := b.GRU(m.gru, att)
+	b.Logits(m.head, h)
+	return b
 }
 
 // MarshalBinary implements Persistable.
@@ -143,7 +176,7 @@ func (m *scsGuard) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	m.fitted = true
-	return nil
+	return compileFlat(m)
 }
 
 // Variant selects the paper's sequence-handling mode for GPT-2 and T5.
@@ -175,6 +208,7 @@ type transformerLM struct {
 	kind    string // "gpt2" | "t5"
 	variant Variant
 	cfg     NeuralConfig
+	flatServing
 
 	fz     *features.OpcodeSeqFeaturizer
 	emb    *nn.Embedding
@@ -329,7 +363,7 @@ func (m *transformerLM) Fit(train *dataset.Dataset) error {
 		return m.forward(seqs[i])
 	}, m.cfg)
 	m.fitted = true
-	return nil
+	return compileFlat(m)
 }
 
 // Predict implements Classifier. β variants average window probabilities.
@@ -356,18 +390,85 @@ func (m *transformerLM) Predict(test *dataset.Dataset) ([]int, error) {
 func (m *transformerLM) Featurizer() features.Featurizer { return m.fz }
 
 // ScoreFeatures implements Scorer. β variants average window probabilities
-// over the windows present in the flat layout, mirroring Predict.
+// over the windows present in the flat layout, mirroring Predict. Serving
+// goes through the compiled per-window flat program when one is installed.
 func (m *transformerLM) ScoreFeatures(x []float64) (float64, error) {
 	if !m.fitted {
 		return 0, errNotFitted(m.name)
 	}
+	if p := m.program(); p != nil {
+		return m.scoreWith(p, x)
+	}
+	return m.scoreRef(x)
+}
+
+// scoreRef implements flatModel: the closure-forward reference.
+func (m *transformerLM) scoreRef(x []float64) (float64, error) {
 	wins := m.fz.SplitWindows(x)
+	if len(wins) == 0 {
+		return 0, ErrEmptyInput
+	}
 	var pPhish float64
 	for _, w := range wins {
 		logits, _ := m.forward(w)
 		pPhish += nn.Softmax(logits)[1]
 	}
 	return pPhish / float64(len(wins)), nil
+}
+
+// scoreWith implements flatModel: the program scores one SeqLen window, so
+// the β layout is walked in place with SplitWindows' exact semantics
+// (trailing all-PAD windows absent, first window always present) without
+// materializing window copies.
+func (m *transformerLM) scoreWith(p *flat.Program, x []float64) (float64, error) {
+	seqLen := m.fz.SeqLen
+	var pPhish float64
+	n := 0
+	for base := 0; base+seqLen <= len(x); base += seqLen {
+		win := x[base : base+seqLen]
+		if base > 0 {
+			allPad := true
+			for _, v := range win {
+				if int(v) != features.PadID {
+					allPad = false
+					break
+				}
+			}
+			if allPad {
+				break
+			}
+		}
+		p1, err := p.Forward(win)
+		if err != nil {
+			return 0, err
+		}
+		pPhish += p1
+		n++
+	}
+	if n == 0 {
+		return 0, ErrEmptyInput
+	}
+	return pPhish / float64(n), nil
+}
+
+// flatBuilder implements flatModel: one SeqLen window through fused
+// embed+positional, the block stack, then the kind-specific read-out.
+func (m *transformerLM) flatBuilder() *flat.Builder {
+	b := flat.NewBuilder(m.fz.SeqLen)
+	x := b.EmbedSeq(m.emb, m.fz.SeqLen, m.pos)
+	causal := m.kind == "gpt2"
+	for _, blk := range m.blocks {
+		b.Block(blk, x, causal)
+	}
+	var h flat.Buf
+	if m.kind == "gpt2" {
+		h = b.MeanPool(x)
+	} else {
+		h = b.CrossQuery(m.decAttn, m.decQuery, x)
+	}
+	h = b.LayerNorm(m.norm, h)
+	b.Logits(m.head, h)
+	return b
 }
 
 // MarshalBinary implements Persistable.
@@ -401,5 +502,5 @@ func (m *transformerLM) UnmarshalBinary(data []byte) error {
 	}
 	m.fz = osf
 	m.fitted = true
-	return nil
+	return compileFlat(m)
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/phishinghook/phishinghook/internal/dataset"
 	"github.com/phishinghook/phishinghook/internal/features"
 	"github.com/phishinghook/phishinghook/internal/nn"
+	"github.com/phishinghook/phishinghook/internal/nn/flat"
 )
 
 // ecaEffNet is the ECA+EfficientNet vision model: bytecode rendered as an
@@ -15,6 +16,7 @@ import (
 // the EfficientNet-B0 + ECA design of Zhou et al. scaled to CPU width.
 type ecaEffNet struct {
 	cfg NeuralConfig
+	flatServing
 
 	fz           features.Featurizer
 	conv1, conv2 *nn.Conv2D
@@ -94,7 +96,7 @@ func (m *ecaEffNet) Fit(train *dataset.Dataset) error {
 		return m.forward(imgs[i])
 	}, m.cfg)
 	m.fitted = true
-	return nil
+	return compileFlat(m)
 }
 
 // Predict implements Classifier.
@@ -114,13 +116,47 @@ func (m *ecaEffNet) Predict(test *dataset.Dataset) ([]int, error) {
 // Featurizer implements Scorer.
 func (m *ecaEffNet) Featurizer() features.Featurizer { return m.fz }
 
-// ScoreFeatures implements Scorer.
+// ScoreFeatures implements Scorer: the compiled flat program when one is
+// installed, the closure forward otherwise.
 func (m *ecaEffNet) ScoreFeatures(x []float64) (float64, error) {
 	if !m.fitted {
 		return 0, errNotFitted(m.Name())
 	}
+	if p := m.program(); p != nil {
+		return m.scoreWith(p, x)
+	}
+	return m.scoreRef(x)
+}
+
+// scoreRef implements flatModel: the closure-forward reference.
+func (m *ecaEffNet) scoreRef(x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmptyInput
+	}
 	logits, _ := m.forward(nn.FromFlatRGB(x, m.cfg.ImageSide))
 	return nn.Softmax(logits)[1], nil
+}
+
+// scoreWith implements flatModel.
+func (m *ecaEffNet) scoreWith(p *flat.Program, x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmptyInput
+	}
+	return p.Forward(x)
+}
+
+// flatBuilder implements flatModel: channels-first input, two fused
+// conv+ReLU stages each gated in place by ECA, global pool, head.
+func (m *ecaEffNet) flatBuilder() *flat.Builder {
+	b := flat.NewBuilder(m.cfg.ImageSide * m.cfg.ImageSide * 3)
+	img := b.ImageInput(m.cfg.ImageSide)
+	c1 := b.Conv(m.conv1, img, true)
+	b.ECA(m.eca1, c1)
+	c2 := b.Conv(m.conv2, c1, true)
+	b.ECA(m.eca2, c2)
+	pooled := b.GAP(c2)
+	b.Logits(m.head, pooled)
+	return b
 }
 
 // neuralState is the shared serialized form of the fixed-architecture
@@ -160,7 +196,7 @@ func (m *ecaEffNet) UnmarshalBinary(data []byte) error {
 	}
 	m.fz = fz
 	m.fitted = true
-	return nil
+	return compileFlat(m)
 }
 
 // vit is a Vision Transformer: patch embedding, CLS token, learned
@@ -173,6 +209,7 @@ type vit struct {
 	cfg      NeuralConfig
 	featKind features.Kind
 	fz       features.Featurizer
+	flatServing
 
 	patchProj *nn.Dense
 	cls, pos  *nn.Param
@@ -320,7 +357,7 @@ func (m *vit) Fit(train *dataset.Dataset) error {
 		return m.forward(imgs[i])
 	}, m.cfg)
 	m.fitted = true
-	return nil
+	return compileFlat(m)
 }
 
 // Predict implements Classifier.
@@ -339,13 +376,47 @@ func (m *vit) Predict(test *dataset.Dataset) ([]int, error) {
 // Featurizer implements Scorer.
 func (m *vit) Featurizer() features.Featurizer { return m.fz }
 
-// ScoreFeatures implements Scorer.
+// ScoreFeatures implements Scorer: the compiled flat program when one is
+// installed, the closure forward otherwise.
 func (m *vit) ScoreFeatures(x []float64) (float64, error) {
 	if !m.fitted {
 		return 0, errNotFitted(m.name)
 	}
+	if p := m.program(); p != nil {
+		return m.scoreWith(p, x)
+	}
+	return m.scoreRef(x)
+}
+
+// scoreRef implements flatModel: the closure-forward reference.
+func (m *vit) scoreRef(x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmptyInput
+	}
 	logits, _ := m.forward(x)
 	return nn.Softmax(logits)[1], nil
+}
+
+// scoreWith implements flatModel.
+func (m *vit) scoreWith(p *flat.Program, x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmptyInput
+	}
+	return p.Forward(x)
+}
+
+// flatBuilder implements flatModel: fused patch gather+projection+CLS+pos,
+// the block stack, mean pool, final norm, head.
+func (m *vit) flatBuilder() *flat.Builder {
+	b := flat.NewBuilder(m.cfg.ImageSide * m.cfg.ImageSide * 3)
+	seq := b.PatchViT(m.patchProj, m.cls, m.pos, m.cfg.ImageSide, m.cfg.Patch)
+	for _, blk := range m.blocks {
+		b.Block(blk, seq, false)
+	}
+	pooled := b.MeanPool(seq)
+	normed := b.LayerNorm(m.finalNorm, pooled)
+	b.Logits(m.head, normed)
+	return b
 }
 
 // MarshalBinary implements Persistable.
@@ -378,5 +449,5 @@ func (m *vit) UnmarshalBinary(data []byte) error {
 	}
 	m.fz = fz
 	m.fitted = true
-	return nil
+	return compileFlat(m)
 }

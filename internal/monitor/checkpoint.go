@@ -87,7 +87,7 @@ func encodeCheckpoint(cp checkpoint) ([]byte, error) {
 // decodeCheckpoint parses and validates one checkpoint file's bytes.
 func decodeCheckpoint(path string, blob []byte) (checkpoint, error) {
 	body := blob
-	if i := bytes.Index(blob, []byte("\n" + crcTrailer)); i >= 0 {
+	if i := bytes.Index(blob, []byte("\n"+crcTrailer)); i >= 0 {
 		body = blob[:i]
 		hexSum := bytes.TrimSpace(blob[i+1+len(crcTrailer):])
 		var want uint32

@@ -1,0 +1,758 @@
+package flat
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/phishinghook/phishinghook/internal/nn"
+)
+
+// The ops mirror the closure layers' float64 arithmetic — same grouping and
+// special forms (division-not-multiplication pooling, the branch-stable
+// sigmoid, per-head max-shifted softmax) — with one deliberate deviation:
+// dot products accumulate over four independent lanes (see mat.dot) and the
+// softmax normalizes by a single reciprocal, so the F64 tier tracks the
+// training forward to ~1e-15 instead of bit-exactly. Both reassociations
+// are noise against the 1e-6 parity budget and buy the pipelined inner
+// loops the whole package exists for.
+
+// cvt converts a float64 weight slice to the program's element type.
+func cvt[T num](src []float64) []T {
+	out := make([]T, len(src))
+	for i, v := range src {
+		out[i] = T(v)
+	}
+	return out
+}
+
+// sigmoidT mirrors mat.Sigmoid's overflow-stable branches in float64.
+func sigmoidT[T num](x T) T {
+	v := float64(x)
+	if v >= 0 {
+		z := math.Exp(-v)
+		return T(1 / (1 + z))
+	}
+	z := math.Exp(v)
+	return T(z / (1 + z))
+}
+
+// geluT mirrors nn.GELU's tanh approximation in float64.
+func geluT[T num](x T) T {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	v := float64(x)
+	return T(0.5 * v * (1 + math.Tanh(c*(v+0.044715*v*v*v))))
+}
+
+// layerNormRow normalizes one row with nn.LayerNorm's arithmetic (float64
+// population statistics, lnEps = 1e-5).
+func layerNormRow[T num](x, y, gain, bias []T) {
+	const lnEps = 1e-5
+	n := float64(len(x))
+	mean := 0.0
+	for _, v := range x {
+		mean += float64(v)
+	}
+	mean /= n
+	va := 0.0
+	for _, v := range x {
+		d := float64(v) - mean
+		va += d * d
+	}
+	va /= n
+	inv := 1 / math.Sqrt(va+lnEps)
+	for i, v := range x {
+		xhat := (float64(v) - mean) * inv
+		y[i] = T(xhat*float64(gain[i]) + float64(bias[i]))
+	}
+}
+
+// tokenID converts one input float to a clamped embedding row index
+// (featurizers emit in-vocabulary IDs; clamping makes hostile inputs safe
+// where the closure path would index out of range).
+func tokenID(v float64, vocab int) int {
+	id := int(v)
+	if id < 0 || id >= vocab {
+		id = 1 // features.UnkID
+	}
+	return id
+}
+
+// opInput copies the raw program input into a vector buffer.
+type opInput[T num] struct {
+	out int
+}
+
+func (o *opInput[T]) run(a *arena[T], x []float64) {
+	dst := a.bufs[o.out]
+	for i, v := range x {
+		dst[i] = T(v)
+	}
+}
+
+// opEmbedSeq embeds input tokens into a sequence buffer, fusing the
+// positional add when present.
+type opEmbedSeq[T num] struct {
+	w           []T
+	pos         []T // nil: no positional table
+	vocab, dim  int
+	seqLen, out int
+}
+
+func (o *opEmbedSeq[T]) run(a *arena[T], x []float64) {
+	out := a.bufs[o.out]
+	for t := 0; t < o.seqLen; t++ {
+		id := tokenID(x[t], o.vocab)
+		row := o.w[id*o.dim : (id+1)*o.dim]
+		dst := out[t*o.dim : (t+1)*o.dim]
+		if o.pos != nil {
+			pr := o.pos[t*o.dim : (t+1)*o.dim]
+			for i, v := range row {
+				dst[i] = v + pr[i]
+			}
+		} else {
+			copy(dst, row)
+		}
+	}
+}
+
+// opEmbedMean fuses embedding lookup with mean pooling (the ESCORT front).
+type opEmbedMean[T num] struct {
+	w           []T
+	vocab, dim  int
+	seqLen, out int
+}
+
+func (o *opEmbedMean[T]) run(a *arena[T], x []float64) {
+	out := a.bufs[o.out]
+	clear(out)
+	for t := 0; t < o.seqLen; t++ {
+		id := tokenID(x[t], o.vocab)
+		row := o.w[id*o.dim : (id+1)*o.dim]
+		for i, v := range row {
+			out[i] += v
+		}
+	}
+	inv := T(1 / float64(o.seqLen))
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// opDense applies y = act(Wx + b) over a vector buffer.
+type opDense[T num] struct {
+	m       mat[T]
+	b       []T
+	act     Act
+	in, out int
+}
+
+func (o *opDense[T]) run(a *arena[T], x []float64) {
+	xv := a.bufs[o.in]
+	y := a.bufs[o.out]
+	o.m.matvec(xv, o.b, y)
+	if o.act == ReLU {
+		for i, s := range y {
+			if !(s > 0) {
+				y[i] = 0
+			}
+		}
+	}
+}
+
+// opLayerNorm normalizes a vector buffer.
+type opLayerNorm[T num] struct {
+	gain, bias []T
+	in, out    int
+}
+
+func (o *opLayerNorm[T]) run(a *arena[T], _ []float64) {
+	layerNormRow(a.bufs[o.in], a.bufs[o.out], o.gain, o.bias)
+}
+
+// opGRU runs the recurrence over a sequence buffer, writing the final
+// hidden state. Gate vectors live in preplanned scratch.
+type opGRU[T num] struct {
+	wz, uz, wr, ur, wh, uh mat[T]
+	bz, br, bh             []T
+	inDim, hidden, seqLen  int
+	in, out                int
+	zB, rB, rhB, htB       int
+}
+
+func (o *opGRU[T]) run(a *arena[T], _ []float64) {
+	seq := a.bufs[o.in]
+	h := a.bufs[o.out]
+	clear(h)
+	z, r, rh, ht := a.bufs[o.zB], a.bufs[o.rB], a.bufs[o.rhB], a.bufs[o.htB]
+	for t := 0; t < o.seqLen; t++ {
+		xt := seq[t*o.inDim : (t+1)*o.inDim]
+		o.wz.matvec(xt, nil, z)
+		o.uz.matvecAcc(h, o.bz, z)
+		o.wr.matvec(xt, nil, r)
+		o.ur.matvecAcc(h, o.br, r)
+		sigmoidSlice(z)
+		sigmoidSlice(r)
+		for j := 0; j < o.hidden; j++ {
+			rh[j] = r[j] * h[j]
+		}
+		o.wh.matvec(xt, nil, ht)
+		o.uh.matvecAcc(rh, o.bh, ht)
+		tanhSlice(ht)
+		for j := 0; j < o.hidden; j++ {
+			h[j] = (1-z[j])*h[j] + z[j]*ht[j]
+		}
+	}
+}
+
+// attnCore is the shared multi-head attention machinery: projection into
+// flat Q/K/V buffers and per-query-row softmax-weighted context.
+type attnCore[T num] struct {
+	wq, wk, wv, wo mat[T]
+	bq, bk, bv, bo []T
+	heads, dim     int
+	seqLen         int
+	qB, kB, vB     int // qB < 0: no Q buffer (cross-attention)
+	scoresB, ctxB  int
+	causal         bool
+}
+
+// projectRow fills dst[i] = m.row(i)·src + b[i].
+func projectRow[T num](m *mat[T], b []T, src, dst []T) {
+	m.matvec(src, b, dst)
+}
+
+// project fills the K/V (and, when planned, Q) buffers from a sequence.
+func (c *attnCore[T]) project(a *arena[T], src []T) {
+	k, v := a.bufs[c.kB], a.bufs[c.vB]
+	var q []T
+	if c.qB >= 0 {
+		q = a.bufs[c.qB]
+	}
+	for s := 0; s < c.seqLen; s++ {
+		xs := src[s*c.dim : (s+1)*c.dim]
+		if q != nil {
+			projectRow(&c.wq, c.bq, xs, q[s*c.dim:(s+1)*c.dim])
+		}
+		projectRow(&c.wk, c.bk, xs, k[s*c.dim:(s+1)*c.dim])
+		projectRow(&c.wv, c.bv, xs, v[s*c.dim:(s+1)*c.dim])
+	}
+}
+
+// attendRow computes softmax(qrow·Kᵀ/√dk)·V over positions [0,limit) into
+// the ctx scratch and returns it. Mirrors nn's attend: per-head max-shifted
+// softmax, masked positions contribute exactly nothing.
+func (c *attnCore[T]) attendRow(a *arena[T], qrow []T, limit int) []T {
+	ctx := a.bufs[c.ctxB]
+	clear(ctx)
+	scores := a.bufs[c.scoresB]
+	k, v := a.bufs[c.kB], a.bufs[c.vB]
+	dk := c.dim / c.heads
+	scale := 1 / math.Sqrt(float64(dk))
+	for h := 0; h < c.heads; h++ {
+		off := h * dk
+		qh := qrow[off : off+dk]
+		var maxV T
+		for t := 0; t < limit; t++ {
+			krow := k[t*c.dim+off : t*c.dim+off+dk : t*c.dim+off+dk]
+			var d0, d1, d2, d3 float64
+			j := 0
+			for ; j+4 <= dk; j += 4 {
+				d0 += float64(qh[j]) * float64(krow[j])
+				d1 += float64(qh[j+1]) * float64(krow[j+1])
+				d2 += float64(qh[j+2]) * float64(krow[j+2])
+				d3 += float64(qh[j+3]) * float64(krow[j+3])
+			}
+			dot := (d0 + d1) + (d2 + d3)
+			for ; j < dk; j++ {
+				dot += float64(qh[j]) * float64(krow[j])
+			}
+			s := T(dot * scale)
+			scores[t] = s
+			if t == 0 || s > maxV {
+				maxV = s
+			}
+		}
+		sum := softmaxShifted(scores[:limit], maxV)
+		// One reciprocal instead of a division per attention weight; the
+		// products land within 1ulp of the closure's per-element divisions.
+		inv := 1 / sum
+		ch := ctx[off : off+dk]
+		for t := 0; t < limit; t++ {
+			av := scores[t] * inv
+			if av == 0 {
+				continue
+			}
+			vrow := v[t*c.dim+off : t*c.dim+off+dk]
+			for j, vv := range vrow {
+				ch[j] += av * vv
+			}
+		}
+	}
+	return ctx
+}
+
+// limitAt mirrors the closure's causal mask: position s sees [0, s+1)
+// unless that already covers the whole sequence.
+func (c *attnCore[T]) limitAt(s int) int {
+	if c.causal && s+1 < c.seqLen {
+		return s + 1
+	}
+	return c.seqLen
+}
+
+// opSelfAttn applies bare multi-head self-attention (SCSGuard's encoder).
+type opSelfAttn[T num] struct {
+	core    attnCore[T]
+	in, out int
+}
+
+func (o *opSelfAttn[T]) run(a *arena[T], _ []float64) {
+	src := a.bufs[o.in]
+	o.core.project(a, src)
+	out := a.bufs[o.out]
+	q := a.bufs[o.core.qB]
+	dim := o.core.dim
+	for s := 0; s < o.core.seqLen; s++ {
+		ctx := o.core.attendRow(a, q[s*dim:(s+1)*dim], o.core.limitAt(s))
+		projectRow(&o.core.wo, o.core.bo, ctx, out[s*dim:(s+1)*dim])
+	}
+}
+
+// opBlock applies one pre-norm transformer block in place:
+// x += Wo·attn(LN1(x)); x += FF2(GELU(FF1(LN2(x)))).
+type opBlock[T num] struct {
+	g1, b1, g2, b2 []T
+	core           attnCore[T]
+	ff1, ff2       mat[T]
+	fb1, fb2       []T
+	dim, ffDim     int
+	seq            int
+	n1B, n2B, midB int
+}
+
+func (o *opBlock[T]) run(a *arena[T], _ []float64) {
+	x := a.bufs[o.seq]
+	n1 := a.bufs[o.n1B]
+	dim := o.dim
+	for s := 0; s < o.core.seqLen; s++ {
+		layerNormRow(x[s*dim:(s+1)*dim], n1[s*dim:(s+1)*dim], o.g1, o.b1)
+	}
+	o.core.project(a, n1)
+	q := a.bufs[o.core.qB]
+	for s := 0; s < o.core.seqLen; s++ {
+		ctx := o.core.attendRow(a, q[s*dim:(s+1)*dim], o.core.limitAt(s))
+		o.core.wo.matvecAcc(ctx, o.core.bo, x[s*dim:(s+1)*dim])
+	}
+	n2 := a.bufs[o.n2B]
+	mid := a.bufs[o.midB]
+	for s := 0; s < o.core.seqLen; s++ {
+		xr := x[s*dim : (s+1)*dim]
+		layerNormRow(xr, n2, o.g2, o.b2)
+		o.ff1.matvec(n2, o.fb1, mid[:o.ffDim])
+		geluSlice(mid[:o.ffDim])
+		o.ff2.matvecAcc(mid[:o.ffDim], o.fb2, xr)
+	}
+}
+
+// opCrossQuery attends one learned query over a sequence (T5's decoder
+// read). The query's Wq projection is constant and folded at compile time.
+type opCrossQuery[T num] struct {
+	core    attnCore[T]
+	qproj   []T
+	in, out int
+}
+
+func (o *opCrossQuery[T]) run(a *arena[T], _ []float64) {
+	o.core.project(a, a.bufs[o.in])
+	ctx := o.core.attendRow(a, o.qproj, o.core.seqLen)
+	projectRow(&o.core.wo, o.core.bo, ctx, a.bufs[o.out])
+}
+
+// opMeanPool averages a sequence buffer into a vector.
+type opMeanPool[T num] struct {
+	rows, cols int
+	in, out    int
+}
+
+func (o *opMeanPool[T]) run(a *arena[T], _ []float64) {
+	seq := a.bufs[o.in]
+	out := a.bufs[o.out]
+	clear(out)
+	for t := 0; t < o.rows; t++ {
+		row := seq[t*o.cols : (t+1)*o.cols]
+		for i, v := range row {
+			out[i] += v
+		}
+	}
+	inv := T(1 / float64(o.rows))
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// opImageInput converts the pixel-major side×side×3 input into a
+// channels-first image buffer (nn.FromFlatRGB's layout).
+type opImageInput[T num] struct {
+	side, out int
+}
+
+func (o *opImageInput[T]) run(a *arena[T], x []float64) {
+	img := a.bufs[o.out]
+	side := o.side
+	plane := side * side
+	for y := 0; y < side; y++ {
+		for xx := 0; xx < side; xx++ {
+			base := (y*side + xx) * 3
+			for c := 0; c < 3; c++ {
+				img[c*plane+y*side+xx] = T(x[base+c])
+			}
+		}
+	}
+}
+
+// opConv is the direct-loop convolution with fused bias and optional fused
+// ReLU. Quantized kernels are dequantized once per output channel into a
+// planned scratch row (each weight is reused oh×ow times, so the dequant
+// cost is noise next to the MACs).
+type opConv[T num] struct {
+	m                         mat[T] // rows = outC, cols = inC·K·K
+	b                         []T
+	inC, outC, k, stride, pad int
+	h, w, oh, ow              int
+	relu                      bool
+	in, out, rowB             int
+	// Per-kx output-column bounds (see bounds): they depend only on kx, so
+	// hoisting them out of run removes two integer divisions per kernel tap
+	// per row.
+	oxLo, oxHi []int32
+}
+
+// bounds precomputes, for each kernel column kx, the [lo, hi) range of
+// output columns whose source column kx-pad+ox·stride lands inside the
+// image.
+func (o *opConv[T]) bounds() {
+	o.oxLo = make([]int32, o.k)
+	o.oxHi = make([]int32, o.k)
+	for kx := 0; kx < o.k; kx++ {
+		d := kx - o.pad
+		lo := 0
+		if d < 0 {
+			lo = (-d + o.stride - 1) / o.stride
+		}
+		hi := o.ow
+		if h := (o.w - d + o.stride - 1) / o.stride; h < hi {
+			hi = h
+		}
+		if hi < lo {
+			hi = lo
+		}
+		o.oxLo[kx], o.oxHi[kx] = int32(lo), int32(hi)
+	}
+}
+
+func (o *opConv[T]) run(a *arena[T], _ []float64) {
+	src := a.bufs[o.in]
+	dst := a.bufs[o.out]
+	for oc := 0; oc < o.outC; oc++ {
+		wrow := o.m.row(oc, a.bufs[o.rowB])
+		bias := o.b[oc]
+		for oy := 0; oy < o.oh; oy++ {
+			drow := dst[(oc*o.oh+oy)*o.ow : (oc*o.oh+oy+1)*o.ow]
+			for ox := range drow {
+				drow[ox] = bias
+			}
+			for ic := 0; ic < o.inC; ic++ {
+				for ky := 0; ky < o.k; ky++ {
+					iy := oy*o.stride + ky - o.pad
+					if iy < 0 || iy >= o.h {
+						continue
+					}
+					srcRow := src[(ic*o.h+iy)*o.w : (ic*o.h+iy+1)*o.w]
+					wOff := (ic*o.k + ky) * o.k
+					// Each kernel tap sweeps the whole output row: the
+					// boundary clipping lives in the precomputed ox
+					// bounds, so the inner loop is branch-free with
+					// per-element accumulation order identical to the
+					// naive form.
+					for kx := 0; kx < o.k; kx++ {
+						wv := wrow[wOff+kx]
+						d := kx - o.pad
+						oxLo, oxHi := int(o.oxLo[kx]), int(o.oxHi[kx])
+						if o.stride == 1 {
+							sr := srcRow[oxLo+d : oxHi+d]
+							dr := drow[oxLo:oxHi]
+							for i, sv := range sr {
+								dr[i] += wv * sv
+							}
+							continue
+						}
+						dr := drow[oxLo:oxHi]
+						si := oxLo*o.stride + d
+						for i := range dr {
+							dr[i] += wv * srcRow[si]
+							si += o.stride
+						}
+					}
+				}
+			}
+			if o.relu {
+				for ox := range drow {
+					if !(drow[ox] > 0) {
+						drow[ox] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// opECA applies Efficient Channel Attention in place.
+type opECA[T num] struct {
+	w          []T
+	k          int
+	c, h, wd   int
+	img        int
+	gapB, attB int
+}
+
+func (o *opECA[T]) run(a *arena[T], _ []float64) {
+	img := a.bufs[o.img]
+	gap := a.bufs[o.gapB]
+	att := a.bufs[o.attB]
+	plane := o.h * o.wd
+	spatial := T(float64(plane))
+	for c := 0; c < o.c; c++ {
+		s := T(0)
+		for _, v := range img[c*plane : (c+1)*plane] {
+			s += v
+		}
+		gap[c] = s / spatial
+	}
+	half := o.k / 2
+	for c := 0; c < o.c; c++ {
+		s := T(0)
+		for j := 0; j < o.k; j++ {
+			idx := c + j - half
+			if idx >= 0 && idx < o.c {
+				s += o.w[j] * gap[idx]
+			}
+		}
+		att[c] = sigmoidT(s)
+	}
+	for c := 0; c < o.c; c++ {
+		g := att[c]
+		ch := img[c*plane : (c+1)*plane]
+		for i := range ch {
+			ch[i] *= g
+		}
+	}
+}
+
+// opGAP reduces an image buffer to per-channel means.
+type opGAP[T num] struct {
+	c, h, w int
+	in, out int
+}
+
+func (o *opGAP[T]) run(a *arena[T], _ []float64) {
+	img := a.bufs[o.in]
+	out := a.bufs[o.out]
+	plane := o.h * o.w
+	spatial := T(float64(plane))
+	for c := 0; c < o.c; c++ {
+		s := T(0)
+		for _, v := range img[c*plane : (c+1)*plane] {
+			s += v
+		}
+		out[c] = s / spatial
+	}
+}
+
+// opPatchViT fuses ViT input assembly: patches are projected straight from
+// the pixel-major input through a precomputed gather table, with the CLS
+// token and positional embeddings added in the same pass.
+type opPatchViT[T num] struct {
+	m                mat[T] // rows = dim, cols = patch·patch·3
+	b, cls, pos      []T
+	side, patch, dim int
+	idx              []int32 // patch-relative input offsets, gather order
+	out              int
+}
+
+func (o *opPatchViT[T]) run(a *arena[T], x []float64) {
+	out := a.bufs[o.out]
+	for i := 0; i < o.dim; i++ {
+		out[i] = o.cls[i] + o.pos[i]
+	}
+	per := o.side / o.patch
+	t := 1
+	for py := 0; py < per; py++ {
+		for px := 0; px < per; px++ {
+			base := (py*o.patch*o.side + px*o.patch) * 3
+			dst := out[t*o.dim : (t+1)*o.dim]
+			pr := o.pos[t*o.dim : (t+1)*o.dim]
+			for i := 0; i < o.dim; i++ {
+				dst[i] = o.m.dotGather(i, x, base, o.idx) + o.b[i] + pr[i]
+			}
+			t++
+		}
+	}
+}
+
+// newAttnCore builds the shared attention state from an nn layer and the
+// planned scratch handles [q,] k, v, scores, ctx.
+func newAttnCore[T num](m *nn.MultiHeadAttention, seqLen int, scratch []Buf, causal, hasQ, quant bool) attnCore[T] {
+	c := attnCore[T]{
+		wq: newMat[T](m.Wq.W.W, m.Dim, m.Dim, quant),
+		wk: newMat[T](m.Wk.W.W, m.Dim, m.Dim, quant),
+		wv: newMat[T](m.Wv.W.W, m.Dim, m.Dim, quant),
+		wo: newMat[T](m.Wo.W.W, m.Dim, m.Dim, quant),
+		bq: cvt[T](m.Wq.B.W), bk: cvt[T](m.Wk.B.W),
+		bv: cvt[T](m.Wv.B.W), bo: cvt[T](m.Wo.B.W),
+		heads: m.Heads, dim: m.Dim, seqLen: seqLen, causal: causal,
+	}
+	if hasQ {
+		c.qB, c.kB, c.vB = int(scratch[0]), int(scratch[1]), int(scratch[2])
+		c.scoresB, c.ctxB = int(scratch[3]), int(scratch[4])
+	} else {
+		c.qB = -1
+		c.kB, c.vB = int(scratch[0]), int(scratch[1])
+		c.scoresB, c.ctxB = int(scratch[2]), int(scratch[3])
+	}
+	return c
+}
+
+// instantiate converts one recorded spec into a typed op, reading buffer
+// geometry off the builder's shape plan.
+func instantiate[T num](b *Builder, spec opSpec, quant bool) (op[T], error) {
+	switch spec.kind {
+	case kInput:
+		return &opInput[T]{out: int(spec.out)}, nil
+	case kEmbedSeq:
+		o := &opEmbedSeq[T]{
+			w: cvt[T](spec.emb.W.W), vocab: spec.emb.Vocab, dim: spec.emb.Dim,
+			seqLen: spec.seqLen, out: int(spec.out),
+		}
+		if spec.pos != nil {
+			o.pos = cvt[T](spec.pos.W)
+		}
+		return o, nil
+	case kEmbedMean:
+		return &opEmbedMean[T]{
+			w: cvt[T](spec.emb.W.W), vocab: spec.emb.Vocab, dim: spec.emb.Dim,
+			seqLen: spec.seqLen, out: int(spec.out),
+		}, nil
+	case kDense:
+		return &opDense[T]{
+			m: newMat[T](spec.dense.W.W, spec.dense.Out, spec.dense.In, quant),
+			b: cvt[T](spec.dense.B.W), act: spec.act,
+			in: int(spec.in), out: int(spec.out),
+		}, nil
+	case kLayerNorm:
+		return &opLayerNorm[T]{
+			gain: cvt[T](spec.ln.Gain.W), bias: cvt[T](spec.ln.Bias.W),
+			in: int(spec.in), out: int(spec.out),
+		}, nil
+	case kGRU:
+		g := spec.gru
+		return &opGRU[T]{
+			wz: newMat[T](g.Wz.W, g.Hidden, g.In, quant),
+			uz: newMat[T](g.Uz.W, g.Hidden, g.Hidden, quant),
+			wr: newMat[T](g.Wr.W, g.Hidden, g.In, quant),
+			ur: newMat[T](g.Ur.W, g.Hidden, g.Hidden, quant),
+			wh: newMat[T](g.Wh.W, g.Hidden, g.In, quant),
+			uh: newMat[T](g.Uh.W, g.Hidden, g.Hidden, quant),
+			bz: cvt[T](g.Bz.W), br: cvt[T](g.Br.W), bh: cvt[T](g.Bh.W),
+			inDim: g.In, hidden: g.Hidden, seqLen: spec.seqLen,
+			in: int(spec.in), out: int(spec.out),
+			zB: int(spec.scratch[0]), rB: int(spec.scratch[1]),
+			rhB: int(spec.scratch[2]), htB: int(spec.scratch[3]),
+		}, nil
+	case kSelfAttn:
+		return &opSelfAttn[T]{
+			core: newAttnCore[T](spec.mha, spec.seqLen, spec.scratch, spec.causal, true, quant),
+			in:   int(spec.in), out: int(spec.out),
+		}, nil
+	case kBlock:
+		blk := spec.blk
+		return &opBlock[T]{
+			g1: cvt[T](blk.Norm1.Gain.W), b1: cvt[T](blk.Norm1.Bias.W),
+			g2: cvt[T](blk.Norm2.Gain.W), b2: cvt[T](blk.Norm2.Bias.W),
+			core: newAttnCore[T](blk.Attn, spec.seqLen, spec.scratch[1:6], spec.causal, true, quant),
+			ff1:  newMat[T](blk.FF1.W.W, blk.FFDim, blk.Dim, quant),
+			ff2:  newMat[T](blk.FF2.W.W, blk.Dim, blk.FFDim, quant),
+			fb1:  cvt[T](blk.FF1.B.W), fb2: cvt[T](blk.FF2.B.W),
+			dim: blk.Dim, ffDim: blk.FFDim,
+			seq: int(spec.in),
+			n1B: int(spec.scratch[0]), n2B: int(spec.scratch[6]), midB: int(spec.scratch[7]),
+		}, nil
+	case kCrossQuery:
+		m := spec.mha
+		// Fold Wq·query + bq in float64: it is input-independent.
+		qproj := make([]float64, m.Dim)
+		for o := 0; o < m.Dim; o++ {
+			s := m.Wq.B.W[o]
+			row := m.Wq.W.W[o*m.Dim : (o+1)*m.Dim]
+			for i, qv := range spec.cls.W {
+				s += row[i] * qv
+			}
+			qproj[o] = s
+		}
+		return &opCrossQuery[T]{
+			core:  newAttnCore[T](m, spec.seqLen, spec.scratch, false, false, quant),
+			qproj: cvt[T](qproj),
+			in:    int(spec.in), out: int(spec.out),
+		}, nil
+	case kMeanPool:
+		sh := b.shapeOf(spec.in)
+		return &opMeanPool[T]{rows: sh.rows, cols: sh.cols, in: int(spec.in), out: int(spec.out)}, nil
+	case kImageInput:
+		return &opImageInput[T]{side: spec.side, out: int(spec.out)}, nil
+	case kConv:
+		c := spec.conv
+		in, out := b.shapeOf(spec.in), b.shapeOf(spec.out)
+		cv := &opConv[T]{
+			m:   newMat[T](c.W.W, c.OutC, c.InC*c.K*c.K, quant),
+			b:   cvt[T](c.B.W),
+			inC: c.InC, outC: c.OutC, k: c.K, stride: c.Stride, pad: c.Pad,
+			h: in.imH, w: in.imW, oh: out.imH, ow: out.imW,
+			relu: spec.relu,
+			in:   int(spec.in), out: int(spec.out), rowB: int(spec.scratch[0]),
+		}
+		cv.bounds()
+		return cv, nil
+	case kECA:
+		sh := b.shapeOf(spec.in)
+		return &opECA[T]{
+			w: cvt[T](spec.eca.W.W), k: spec.eca.K,
+			c: sh.imC, h: sh.imH, wd: sh.imW,
+			img:  int(spec.in),
+			gapB: int(spec.scratch[0]), attB: int(spec.scratch[1]),
+		}, nil
+	case kGAP:
+		sh := b.shapeOf(spec.in)
+		return &opGAP[T]{c: sh.imC, h: sh.imH, w: sh.imW, in: int(spec.in), out: int(spec.out)}, nil
+	case kPatchViT:
+		d := spec.dense
+		p, side := spec.patch, spec.side
+		idx := make([]int32, p*p*3)
+		// Gather order mirrors vit.patches: y, then x, then channel.
+		n := 0
+		for dy := 0; dy < p; dy++ {
+			for dx := 0; dx < p; dx++ {
+				for c := 0; c < 3; c++ {
+					idx[n] = int32((dy*side+dx)*3 + c)
+					n++
+				}
+			}
+		}
+		return &opPatchViT[T]{
+			m: newMat[T](d.W.W, d.Out, d.In, quant),
+			b: cvt[T](d.B.W), cls: cvt[T](spec.cls.W), pos: cvt[T](spec.pos.W),
+			side: side, patch: p, dim: d.Out, idx: idx,
+			out: int(spec.out),
+		}, nil
+	default:
+		return nil, fmt.Errorf("flat: unknown op kind %d", int(spec.kind))
+	}
+}

@@ -1,0 +1,340 @@
+package flat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// mat is a row-major weight matrix in one of two storages: dense (w) or
+// int8-quantized with one symmetric scale per output row (q, qs). Dot
+// products accumulate over four independent lanes so the additions pipeline
+// instead of serializing on one dependency chain; the reassociation moves
+// the result ~1e-16 relative to the closure layers' left-to-right order,
+// noise against the 1e-6 parity budget. Quantized dots accumulate over int8
+// values and apply the row scale once.
+type mat[T num] struct {
+	rows, cols int
+	w          []T
+	q          []int8
+	qs         []T
+}
+
+// newMat builds a matrix from float64 training weights.
+func newMat[T num](w []float64, rows, cols int, quant bool) mat[T] {
+	if !quant {
+		return mat[T]{rows: rows, cols: cols, w: cvt[T](w)}
+	}
+	q := make([]int8, rows*cols)
+	qs := make([]T, rows)
+	for o := 0; o < rows; o++ {
+		row := w[o*cols : (o+1)*cols]
+		amax := 0.0
+		for _, v := range row {
+			if a := math.Abs(v); a > amax {
+				amax = a
+			}
+		}
+		if amax == 0 {
+			continue // all-zero row: scale 0, quantized zeros
+		}
+		scale := amax / 127
+		qs[o] = T(scale)
+		for i, v := range row {
+			q[o*cols+i] = int8(math.RoundToEven(v / scale))
+		}
+	}
+	return mat[T]{rows: rows, cols: cols, q: q, qs: qs}
+}
+
+// dotLanes is the shared 4-lane kernel over a dense row.
+func dotLanes[T num](row, x []T) T {
+	x = x[:len(row)]
+	var s0, s1, s2, s3 T
+	i := 0
+	for ; i+4 <= len(row); i += 4 {
+		s0 += row[i] * x[i]
+		s1 += row[i+1] * x[i+1]
+		s2 += row[i+2] * x[i+2]
+		s3 += row[i+3] * x[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(row); i++ {
+		s += row[i] * x[i]
+	}
+	return s
+}
+
+// dot returns row(o)·x with a zero initial accumulator (mat.Dot's form).
+func (m *mat[T]) dot(o int, x []T) T {
+	if m.w != nil {
+		return dotLanes(m.w[o*m.cols:(o+1)*m.cols], x)
+	}
+	row := m.q[o*m.cols : (o+1)*m.cols]
+	x = x[:len(row)]
+	var s0, s1, s2, s3 T
+	i := 0
+	for ; i+4 <= len(row); i += 4 {
+		s0 += T(row[i]) * x[i]
+		s1 += T(row[i+1]) * x[i+1]
+		s2 += T(row[i+2]) * x[i+2]
+		s3 += T(row[i+3]) * x[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(row); i++ {
+		s += T(row[i]) * x[i]
+	}
+	return s * m.qs[o]
+}
+
+// dotBias returns row(o)·x + bias.
+func (m *mat[T]) dotBias(o int, x []T, bias T) T {
+	return m.dot(o, x) + bias
+}
+
+// matvec computes dst[i] = row(i)·x + b[i] for every row (b may be nil).
+// The dense path processes two rows per pass with two column lanes each —
+// four independent accumulator chains sharing one stream of x loads — which
+// beats len(dst) separate dot calls on the short rows the deep models are
+// made of.
+func (m *mat[T]) matvec(x, b, dst []T) {
+	if m.w == nil {
+		for i := range dst {
+			s := m.dot(i, x)
+			if b != nil {
+				s += b[i]
+			}
+			dst[i] = s
+		}
+		return
+	}
+	cols := m.cols
+	x = x[:cols]
+	o := 0
+	for ; o+2 <= len(dst); o += 2 {
+		r0 := m.w[o*cols : (o+1)*cols]
+		r1 := m.w[(o+1)*cols : (o+2)*cols : (o+2)*cols]
+		var a0, a1, c0, c1 T
+		j := 0
+		for ; j+2 <= cols; j += 2 {
+			x0, x1 := x[j], x[j+1]
+			a0 += r0[j] * x0
+			a1 += r0[j+1] * x1
+			c0 += r1[j] * x0
+			c1 += r1[j+1] * x1
+		}
+		s0, s1 := a0+a1, c0+c1
+		for ; j < cols; j++ {
+			s0 += r0[j] * x[j]
+			s1 += r1[j] * x[j]
+		}
+		if b != nil {
+			s0 += b[o]
+			s1 += b[o+1]
+		}
+		dst[o], dst[o+1] = s0, s1
+	}
+	if o < len(dst) {
+		s := dotLanes(m.w[o*cols:(o+1)*cols], x)
+		if b != nil {
+			s += b[o]
+		}
+		dst[o] = s
+	}
+}
+
+// matvecAcc computes dst[i] = (dst[i] + row(i)·x) + b[i] (b may be nil) —
+// the accumulate form the GRU gates and residual adds need.
+func (m *mat[T]) matvecAcc(x, b, dst []T) {
+	if m.w == nil {
+		for i := range dst {
+			s := dst[i] + m.dot(i, x)
+			if b != nil {
+				s += b[i]
+			}
+			dst[i] = s
+		}
+		return
+	}
+	cols := m.cols
+	x = x[:cols]
+	o := 0
+	for ; o+2 <= len(dst); o += 2 {
+		r0 := m.w[o*cols : (o+1)*cols]
+		r1 := m.w[(o+1)*cols : (o+2)*cols : (o+2)*cols]
+		var a0, a1, c0, c1 T
+		j := 0
+		for ; j+2 <= cols; j += 2 {
+			x0, x1 := x[j], x[j+1]
+			a0 += r0[j] * x0
+			a1 += r0[j+1] * x1
+			c0 += r1[j] * x0
+			c1 += r1[j+1] * x1
+		}
+		s0, s1 := a0+a1, c0+c1
+		for ; j < cols; j++ {
+			s0 += r0[j] * x[j]
+			s1 += r1[j] * x[j]
+		}
+		s0, s1 = dst[o]+s0, dst[o+1]+s1
+		if b != nil {
+			s0 += b[o]
+			s1 += b[o+1]
+		}
+		dst[o], dst[o+1] = s0, s1
+	}
+	if o < len(dst) {
+		s := dst[o] + dotLanes(m.w[o*cols:(o+1)*cols], x)
+		if b != nil {
+			s += b[o]
+		}
+		dst[o] = s
+	}
+}
+
+// dotGather returns row(o)·x[base+idx[j]] — a dot product over a strided
+// gather of the raw float64 program input (the ViT patch projection).
+func (m *mat[T]) dotGather(o int, x []float64, base int, idx []int32) T {
+	if m.w != nil {
+		row := m.w[o*m.cols : (o+1)*m.cols]
+		var s0, s1 T
+		j := 0
+		for ; j+2 <= len(idx); j += 2 {
+			s0 += row[j] * T(x[base+int(idx[j])])
+			s1 += row[j+1] * T(x[base+int(idx[j+1])])
+		}
+		s := s0 + s1
+		for ; j < len(idx); j++ {
+			s += row[j] * T(x[base+int(idx[j])])
+		}
+		return s
+	}
+	row := m.q[o*m.cols : (o+1)*m.cols]
+	var s T
+	for j, off := range idx {
+		s += T(row[j]) * T(x[base+int(off)])
+	}
+	return s * m.qs[o]
+}
+
+// row returns row o as a dense slice, dequantizing into scratch when the
+// matrix is quantized (the convolution's per-output-channel kernel).
+func (m *mat[T]) row(o int, scratch []T) []T {
+	if m.w != nil {
+		return m.w[o*m.cols : (o+1)*m.cols]
+	}
+	row := m.q[o*m.cols : (o+1)*m.cols]
+	s := m.qs[o]
+	out := scratch[:m.cols]
+	for i, v := range row {
+		out[i] = T(v) * s
+	}
+	return out
+}
+
+// Gate is the accuracy bar a lossy (F32/Int8) program must clear against
+// the float64 reference before it may serve.
+type Gate struct {
+	// MaxAbsDeltaP bounds the worst-case probability shift on the holdout.
+	MaxAbsDeltaP float64
+	// MaxAUCDelta bounds how much holdout AUC may drop (ref − candidate).
+	MaxAUCDelta float64
+}
+
+// DefaultGate is the serving default: probabilities move < 0.02 anywhere
+// and ranking quality gives up < 0.01 AUC.
+var DefaultGate = Gate{MaxAbsDeltaP: 0.02, MaxAUCDelta: 0.01}
+
+// Report is the gate evaluation outcome.
+type Report struct {
+	Precision    string  `json:"precision"`
+	Samples      int     `json:"samples"`
+	MaxAbsDeltaP float64 `json:"max_abs_delta_p"`
+	RefAUC       float64 `json:"ref_auc"`
+	CandAUC      float64 `json:"cand_auc"`
+	AUCDelta     float64 `json:"auc_delta"` // ref − cand; positive = regression
+	Pass         bool    `json:"pass"`
+}
+
+// GateError reports a candidate program that failed its accuracy gate.
+type GateError struct {
+	Report Report
+	Gate   Gate
+}
+
+// Error implements error.
+func (e *GateError) Error() string {
+	return fmt.Sprintf("flat: %s program failed accuracy gate: max|Δp|=%.4g (limit %.4g), AUC %.4f→%.4f Δ=%.4g (limit %.4g)",
+		e.Report.Precision, e.Report.MaxAbsDeltaP, e.Gate.MaxAbsDeltaP,
+		e.Report.RefAUC, e.Report.CandAUC, e.Report.AUCDelta, e.Gate.MaxAUCDelta)
+}
+
+// Evaluate scores a candidate's holdout probabilities against the float64
+// reference. labels may be nil (or single-class), in which case only the
+// probability-shift bound applies.
+func Evaluate(prec Precision, ref, cand []float64, labels []int, g Gate) Report {
+	r := Report{Precision: prec.String(), Samples: len(ref)}
+	for i := range ref {
+		if d := math.Abs(ref[i] - cand[i]); d > r.MaxAbsDeltaP {
+			r.MaxAbsDeltaP = d
+		}
+	}
+	r.Pass = r.MaxAbsDeltaP <= g.MaxAbsDeltaP
+	if twoClass(labels) && len(labels) == len(ref) {
+		r.RefAUC = AUC(ref, labels)
+		r.CandAUC = AUC(cand, labels)
+		r.AUCDelta = r.RefAUC - r.CandAUC
+		r.Pass = r.Pass && r.AUCDelta <= g.MaxAUCDelta
+	}
+	return r
+}
+
+// twoClass reports whether labels holds both classes.
+func twoClass(labels []int) bool {
+	var pos, neg bool
+	for _, l := range labels {
+		if l == 1 {
+			pos = true
+		} else {
+			neg = true
+		}
+	}
+	return pos && neg
+}
+
+// AUC computes the area under the ROC curve by the rank-sum (Mann-Whitney)
+// identity with tie-averaged ranks.
+func AUC(scores []float64, labels []int) float64 {
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1 // 1-based tie-averaged rank
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	var rankSum float64
+	var np, nn int
+	for i, l := range labels {
+		if l == 1 {
+			rankSum += ranks[i]
+			np++
+		} else {
+			nn++
+		}
+	}
+	if np == 0 || nn == 0 {
+		return 0.5
+	}
+	return (rankSum - float64(np)*float64(np+1)/2) / (float64(np) * float64(nn))
+}
