@@ -1,0 +1,62 @@
+package phishinghook
+
+import (
+	"context"
+
+	"github.com/phishinghook/phishinghook/internal/adversary"
+)
+
+// Adversary-plane facade: semantics-preserving bytecode evasion attacks and
+// the hardening they justify, re-exported so operators can red-team a
+// serving surface with the same API shape as the rest of the package.
+//
+//	det, _ := phishinghook.Train(spec, ds,
+//	    phishinghook.WithCanonicalFeatures(),
+//	    phishinghook.WithAdversarialAugment(0.5),
+//	    phishinghook.WithEvasionTelemetry())
+//	res, _ := phishinghook.RunAttack(det, holdout, phishinghook.AttackConfig{Seed: 1})
+//	fmt.Printf("evasion rate %.2f\n", res.EvasionRate)
+type (
+	// AttackConfig tunes an evasion attack run (see adversary.Config).
+	AttackConfig = adversary.Config
+	// AttackResult aggregates an attack run's outcome.
+	AttackResult = adversary.Result
+	// AttackTrace is one sample's attack record.
+	AttackTrace = adversary.SampleTrace
+	// BytecodeMutator is one semantics-preserving bytecode transformation.
+	BytecodeMutator = adversary.Mutator
+)
+
+// Attack search strategies.
+const (
+	AttackGreedy = adversary.Greedy
+	AttackRandom = adversary.Random
+)
+
+// AttackMutators returns the full evasion-mutator catalog.
+func AttackMutators() []BytecodeMutator { return adversary.Mutators() }
+
+// NewAttackTarget adapts a scoring surface — *Detector or *Swappable — into
+// the attacker's black-box view: P(phishing) plus the serving-time suspect
+// flag (an evasion that trips telemetry is not an evasion).
+func NewAttackTarget(s CodeScorer) adversary.Target {
+	return adversary.TargetFunc(func(code []byte) (float64, bool, error) {
+		v, err := s.Score(context.Background(), code)
+		if err != nil {
+			return 0, false, err
+		}
+		return v.PhishProb(), v.EvasionSuspect, nil
+	})
+}
+
+// RunAttack red-teams a scoring surface over the given flagged samples.
+func RunAttack(s CodeScorer, samples [][]byte, cfg AttackConfig) (AttackResult, error) {
+	return adversary.Run(NewAttackTarget(s), samples, cfg)
+}
+
+// AugmentDataset extends ds with adversarially mutated phishing clones —
+// the standalone form of WithAdversarialAugment for callers who manage
+// training data themselves.
+func AugmentDataset(ds *Dataset, frac float64, seed int64) *Dataset {
+	return adversary.Augment(ds, frac, seed)
+}

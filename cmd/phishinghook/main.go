@@ -357,6 +357,7 @@ func cmdTrain(args []string) error {
 	rpcURL, explURL, seed, start := endpoints(fs)
 	model := fs.String("model", "Random Forest", "model name (see 'evaluate -models all')")
 	out := fs.String("o", "detector.bin", "output detector path")
+	harden := fs.Bool("harden", false, "adversarially harden: canonical (reachable-only) featurization + mutated-phishing training augmentation; the mode persists in the saved detector")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -377,7 +378,11 @@ func cmdTrain(args []string) error {
 	}
 	ds := sim.Dataset()
 	t0 := time.Now()
-	det, err := ph.Train(spec, ds, ph.WithDetectorSeed(*seed))
+	trainOpts := []ph.DetectorOption{ph.WithDetectorSeed(*seed)}
+	if *harden {
+		trainOpts = append(trainOpts, ph.WithCanonicalFeatures(), ph.WithAdversarialAugment(0.5))
+	}
+	det, err := ph.Train(spec, ds, trainOpts...)
 	if err != nil {
 		return err
 	}
@@ -397,8 +402,8 @@ func cmdTrain(args []string) error {
 
 // loadOrTrainDetector resolves the detector a serving command uses: a saved
 // file when given, otherwise a fresh model trained on the simulation.
-func loadOrTrainDetector(path, model string, seed int64, sim *ph.Simulation, rpcURL string) (*ph.Detector, error) {
-	opts := []ph.DetectorOption{ph.WithDetectorSeed(seed), ph.WithRPC(rpcURL)}
+func loadOrTrainDetector(path, model string, seed int64, sim *ph.Simulation, rpcURL string, extra ...ph.DetectorOption) (*ph.Detector, error) {
+	opts := append([]ph.DetectorOption{ph.WithDetectorSeed(seed), ph.WithRPC(rpcURL)}, extra...)
 	if path != "" {
 		file, err := os.Open(path)
 		if err != nil {
@@ -680,6 +685,7 @@ func cmdServe(args []string) error {
 	adminListen := fs.String("admin-listen", "", "separate listener for the /admin endpoints (with -store); empty mounts them on -listen, which exposes model control to every scoring client")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling)")
 	role := fs.String("role", "standalone", `cluster role reported on /healthz and /readyz ("replica" when fronted by phishinghook route)`)
+	telemetry := fs.Bool("telemetry", false, "stamp evasion telemetry (dead_code_ratio, score_divergence, evasion_suspect) on verdicts and the phishinghook_adversary_* metrics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -728,7 +734,11 @@ func cmdServe(args []string) error {
 		fmt.Printf("serving %s@%s from store %s on http://%s  (POST /score, GET /healthz, GET /metrics)\n",
 			backend.ModelName(), champ, *storeDir, *listen)
 	} else {
-		det, err := loadOrTrainDetector(*detPath, *model, *seed, sim, *rpcURL)
+		var detOpts []ph.DetectorOption
+		if *telemetry {
+			detOpts = append(detOpts, ph.WithEvasionTelemetry())
+		}
+		det, err := loadOrTrainDetector(*detPath, *model, *seed, sim, *rpcURL, detOpts...)
 		if err != nil {
 			return err
 		}

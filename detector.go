@@ -10,7 +10,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/phishinghook/phishinghook/internal/adversary"
 	"github.com/phishinghook/phishinghook/internal/ethrpc"
+	"github.com/phishinghook/phishinghook/internal/evm"
 	"github.com/phishinghook/phishinghook/internal/features"
 	"github.com/phishinghook/phishinghook/internal/lru"
 	"github.com/phishinghook/phishinghook/internal/models"
@@ -28,6 +30,20 @@ type Verdict struct {
 	// verdict; empty when scoring through a bare Detector rather than a
 	// versioned Swappable handle.
 	ModelVersion string
+	// DeadCodeRatio is the fraction of the bytecode unreachable from the
+	// entry point — the raw material of dead-code evasion. Populated only
+	// when the detector runs with WithEvasionTelemetry.
+	DeadCodeRatio float64
+	// ScoreDivergence is |P(raw) − P(canonical)|: how far the score moves
+	// when unreachable bytes and encoding games are stripped. Near zero for
+	// honest contracts; large when dead code is steering the model.
+	// Populated only under WithEvasionTelemetry.
+	ScoreDivergence float64
+	// EvasionSuspect flags verdicts whose telemetry looks adversarial
+	// (excess dead code, raw/canonical divergence, or an EIP-1167 proxy
+	// whose behaviour lives at another address). A benign label with this
+	// flag set should not be trusted unattended.
+	EvasionSuspect bool
 }
 
 // IsPhishing reports whether the verdict flags the contract.
@@ -51,12 +67,15 @@ func (v Verdict) String() string {
 type DetectorOption func(*detectorConfig)
 
 type detectorConfig struct {
-	seed      int64
-	neural    NeuralConfig
-	neuralSet bool
-	cacheSize int
-	workers   int
-	rpcURL    string
+	seed        int64
+	neural      NeuralConfig
+	neuralSet   bool
+	cacheSize   int
+	workers     int
+	rpcURL      string
+	canonical   bool
+	telemetry   bool
+	augmentFrac float64
 }
 
 // WithDetectorSeed sets the training seed (default 1).
@@ -92,6 +111,33 @@ func WithRPC(url string) DetectorOption {
 	return func(c *detectorConfig) { c.rpcURL = url }
 }
 
+// WithCanonicalFeatures featurizes only the code reachable from the entry
+// point, with push widths and jump-target encodings normalized. Dead-code
+// islands, width games and benign grafts then collapse back onto the
+// original program before the model ever sees them. Applies to both
+// training and serving; the choice is persisted by Save so a loaded
+// detector always featurizes the way it was trained.
+func WithCanonicalFeatures() DetectorOption {
+	return func(c *detectorConfig) { c.canonical = true }
+}
+
+// WithEvasionTelemetry computes per-verdict evasion telemetry: the
+// dead-code ratio, the raw-vs-canonical score divergence, and a suspect
+// flag (also raised for EIP-1167 minimal proxies, whose behaviour lives at
+// another address entirely). Telemetry costs one extra featurize+infer on
+// cache misses; cache hits stay allocation-free.
+func WithEvasionTelemetry() DetectorOption {
+	return func(c *detectorConfig) { c.telemetry = true }
+}
+
+// WithAdversarialAugment extends the training set with mutated clones of
+// the given fraction of phishing samples (see adversary.Augment), teaching
+// raw-feature models that dead-code dilution and encoding noise still mean
+// phishing. Ignored at load time — augmentation is a training-time choice.
+func WithAdversarialAugment(frac float64) DetectorOption {
+	return func(c *detectorConfig) { c.augmentFrac = frac }
+}
+
 func resolveDetectorConfig(opts []DetectorOption) detectorConfig {
 	cfg := detectorConfig{
 		seed:      1,
@@ -115,11 +161,73 @@ type Detector struct {
 	neural    NeuralConfig
 	scorer    models.Scorer
 	fz        features.Featurizer
-	cache     *lru.Sharded[float64]
+	cache     *lru.Sharded[scoreMemo]
 	workers   int
 	rpc       *ethrpc.Client
+	canonical bool
+	telemetry bool
 	scored    atomic.Uint64
+	adv       adversaryCounters
 }
+
+// scoreMemo is the cache value: everything a verdict needs, so a hit skips
+// featurization, inference and canonicalization alike.
+type scoreMemo struct {
+	p       float64 // serving probability (canonical when enabled)
+	dead    float64 // dead-code ratio
+	div     float64 // |raw − canonical| score divergence
+	suspect bool
+	proxy   bool
+}
+
+// adversaryCounters aggregates serving-time evasion telemetry for the
+// /metrics endpoint. Ratios are accumulated in micro-units so the hot path
+// stays lock-free.
+type adversaryCounters struct {
+	scored    atomic.Uint64 // verdicts with telemetry computed
+	suspects  atomic.Uint64
+	proxies   atomic.Uint64
+	deadMicro atomic.Uint64 // Σ dead-code ratio × 1e6
+	divMicro  atomic.Uint64 // Σ score divergence × 1e6
+}
+
+// AdversaryStats is a snapshot of serving-time evasion telemetry.
+type AdversaryStats struct {
+	// Scored counts verdicts that carried telemetry; Suspects those
+	// flagged, Proxies the EIP-1167 minimal proxies among them.
+	Scored, Suspects, Proxies uint64
+	// MeanDeadRatio and MeanDivergence average the respective telemetry
+	// over all scored verdicts (0 when nothing was scored).
+	MeanDeadRatio, MeanDivergence float64
+}
+
+// AdversaryStats reports cumulative evasion telemetry. All zeros unless the
+// detector runs with WithEvasionTelemetry.
+func (d *Detector) AdversaryStats() AdversaryStats {
+	s := AdversaryStats{
+		Scored:   d.adv.scored.Load(),
+		Suspects: d.adv.suspects.Load(),
+		Proxies:  d.adv.proxies.Load(),
+	}
+	if s.Scored > 0 {
+		s.MeanDeadRatio = float64(d.adv.deadMicro.Load()) / 1e6 / float64(s.Scored)
+		s.MeanDivergence = float64(d.adv.divMicro.Load()) / 1e6 / float64(s.Scored)
+	}
+	return s
+}
+
+// Suspect thresholds. Clean contracts from both classes measure dead-code
+// ratios around 0.03 (max ≈ 0.08, the metadata trailer), and their
+// raw-vs-canonical scores track closely; mutants that matter push one of
+// these well past 0.3.
+const (
+	deadRatioSuspect  = 0.30
+	divergenceSuspect = 0.30
+)
+
+// canonScratch pools canonicalization buffers so telemetry/canonical
+// scoring on cache misses reuses one slab per P instead of allocating.
+var canonScratch = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 
 // Train fits the spec's model on the dataset and returns a serving-ready
 // Detector — the "train once" half of the API; Score and friends are the
@@ -134,10 +242,29 @@ func Train(spec ModelSpec, ds *Dataset, opts ...DetectorOption) (*Detector, erro
 	if !ok {
 		return nil, fmt.Errorf("phishinghook: model %s does not support serving", spec.Name)
 	}
+	if cfg.augmentFrac > 0 {
+		ds = adversary.Augment(ds, cfg.augmentFrac, cfg.seed)
+	}
+	if cfg.canonical {
+		ds = canonicalizeDataset(ds)
+	}
 	if err := clf.Fit(ds); err != nil {
 		return nil, fmt.Errorf("phishinghook: train %s: %w", spec.Name, err)
 	}
 	return newDetector(spec.Name, scorer, cfg)
+}
+
+// canonicalizeDataset rewrites every sample's bytecode to canonical form so
+// a canonical-features detector is fit on exactly what it will featurize at
+// serving time.
+func canonicalizeDataset(ds *Dataset) *Dataset {
+	out := &Dataset{Samples: make([]Sample, len(ds.Samples))}
+	copy(out.Samples, ds.Samples)
+	for i := range out.Samples {
+		canon, _ := evm.Canonicalize(out.Samples[i].Bytecode, nil)
+		out.Samples[i].Bytecode = canon
+	}
+	return out
 }
 
 // autoCacheSize marks "use the default entry count". Entries hold only a
@@ -162,8 +289,10 @@ func newDetector(name string, scorer models.Scorer, cfg detectorConfig) (*Detect
 		neural:    cfg.neural,
 		scorer:    scorer,
 		fz:        fz,
-		cache:     lru.NewSharded[float64](entries),
+		cache:     lru.NewSharded[scoreMemo](entries),
 		workers:   cfg.workers,
+		canonical: cfg.canonical,
+		telemetry: cfg.telemetry,
 	}
 	if cfg.rpcURL != "" {
 		d.rpc = ethrpc.NewClient(cfg.rpcURL)
@@ -185,24 +314,72 @@ func (d *Detector) CacheStats() (hits, misses uint64) { return d.cache.Stats() }
 // Score/ScoreHex/ScoreAddress/ScoreBatch element counts once on success).
 func (d *Detector) ScoreCount() uint64 { return d.scored.Load() }
 
-// scoreFor resolves P(phishing) for one bytecode, memoizing the model
+// scoreFor resolves the score memo for one bytecode, memoizing the model
 // output through the sharded LRU. Models are deterministic read-only
-// functions of the features, so caching p makes a hit skip both the
-// featurizer and the ensemble; the SHA-256 digest keys the cache directly
-// ([32]byte, no string conversion), so that hit allocates nothing. The
-// feature vector itself is transient — nothing reads it back, so it is not
-// retained.
-func (d *Detector) scoreFor(code []byte) (float64, error) {
+// functions of the features, so caching the memo makes a hit skip the
+// featurizer, the ensemble and — in canonical/telemetry modes — the
+// canonicalizer too; the SHA-256 digest keys the cache directly ([32]byte,
+// no string conversion), so that hit allocates nothing. The key is always
+// the digest of the RAW bytes: canonicalization happens only on a miss, so
+// the hardened hot path keeps the untouched-cache profile.
+func (d *Detector) scoreFor(code []byte) (scoreMemo, error) {
 	key := sha256.Sum256(code)
-	if p, ok := d.cache.Get(key); ok {
-		return p, nil
+	if m, ok := d.cache.Get(key); ok {
+		return m, nil
 	}
-	p, err := d.scorer.ScoreFeatures(d.fz.Transform(code))
+	m, err := d.computeMemo(code)
 	if err != nil {
-		return 0, err
+		return scoreMemo{}, err
 	}
-	d.cache.Add(key, p)
-	return p, nil
+	d.cache.Add(key, m)
+	return m, nil
+}
+
+// computeMemo does the actual featurize+infer work on a cache miss.
+func (d *Detector) computeMemo(code []byte) (scoreMemo, error) {
+	var m scoreMemo
+	if !d.canonical && !d.telemetry {
+		p, err := d.scorer.ScoreFeatures(d.fz.Transform(code))
+		if err != nil {
+			return m, err
+		}
+		m.p = p
+		return m, nil
+	}
+
+	bufp := canonScratch.Get().(*[]byte)
+	canon, dead := evm.Canonicalize(code, (*bufp)[:0])
+	m.dead = dead
+	canonP, err := d.scorer.ScoreFeatures(d.fz.Transform(canon))
+	if d.telemetry {
+		// Matched on the canonical form so push-width and dead-code games
+		// played on a proxy frame can't slip it past the flag.
+		m.proxy = evm.IsCanonicalProxy(canon)
+	}
+	if cap(canon) > cap(*bufp) {
+		*bufp = canon
+	}
+	canonScratch.Put(bufp)
+	if err != nil {
+		return scoreMemo{}, err
+	}
+
+	m.p = canonP
+	if d.telemetry {
+		rawP, err := d.scorer.ScoreFeatures(d.fz.Transform(code))
+		if err != nil {
+			return scoreMemo{}, err
+		}
+		if !d.canonical {
+			m.p = rawP
+		}
+		m.div = rawP - canonP
+		if m.div < 0 {
+			m.div = -m.div
+		}
+		m.suspect = m.dead >= deadRatioSuspect || m.div >= divergenceSuspect || m.proxy
+	}
+	return m, nil
 }
 
 // Score classifies one deployed bytecode.
@@ -213,13 +390,27 @@ func (d *Detector) Score(ctx context.Context, code []byte) (Verdict, error) {
 	if len(code) == 0 {
 		return Verdict{}, fmt.Errorf("phishinghook: score: empty bytecode")
 	}
-	p, err := d.scoreFor(code)
+	m, err := d.scoreFor(code)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("phishinghook: score: %w", err)
 	}
-	v := Verdict{Label: Benign, Confidence: 1 - p, ModelName: d.modelName}
-	if p >= 0.5 {
-		v.Label, v.Confidence = Phishing, p
+	v := Verdict{Label: Benign, Confidence: 1 - m.p, ModelName: d.modelName}
+	if m.p >= 0.5 {
+		v.Label, v.Confidence = Phishing, m.p
+	}
+	if d.telemetry {
+		v.DeadCodeRatio = m.dead
+		v.ScoreDivergence = m.div
+		v.EvasionSuspect = m.suspect
+		d.adv.scored.Add(1)
+		d.adv.deadMicro.Add(uint64(m.dead * 1e6))
+		d.adv.divMicro.Add(uint64(m.div * 1e6))
+		if m.suspect {
+			d.adv.suspects.Add(1)
+		}
+		if m.proxy {
+			d.adv.proxies.Add(1)
+		}
 	}
 	d.scored.Add(1)
 	return v, nil
@@ -307,13 +498,17 @@ feed:
 	return out, nil
 }
 
-// detectorFile is the gob envelope Save writes.
+// detectorFile is the gob envelope Save writes. Canonical rides along
+// without a version bump: gob leaves absent fields at their zero value, so
+// files written before the flag existed load as raw-feature detectors —
+// which is what they were.
 type detectorFile struct {
-	Magic   string
-	Version int
-	Model   string
-	Neural  NeuralConfig
-	Clf     []byte
+	Magic     string
+	Version   int
+	Model     string
+	Neural    NeuralConfig
+	Canonical bool
+	Clf       []byte
 }
 
 const (
@@ -333,17 +528,19 @@ func (d *Detector) Save(w io.Writer) error {
 		return fmt.Errorf("phishinghook: save %s: %w", d.modelName, err)
 	}
 	return gob.NewEncoder(w).Encode(detectorFile{
-		Magic:   detectorMagic,
-		Version: detectorVersion,
-		Model:   d.modelName,
-		Neural:  d.neural,
-		Clf:     clf,
+		Magic:     detectorMagic,
+		Version:   detectorVersion,
+		Model:     d.modelName,
+		Neural:    d.neural,
+		Canonical: d.canonical,
+		Clf:       clf,
 	})
 }
 
 // LoadDetector rebuilds a detector saved by Save. Serving options
-// (WithFeatureCache, WithScoreWorkers, WithRPC) apply; the neural sizing
-// is restored from the file.
+// (WithFeatureCache, WithScoreWorkers, WithRPC, WithEvasionTelemetry)
+// apply; the neural sizing and featurization mode are restored from the
+// file.
 func LoadDetector(r io.Reader, opts ...DetectorOption) (*Detector, error) {
 	var f detectorFile
 	if err := gob.NewDecoder(r).Decode(&f); err != nil {
@@ -361,6 +558,9 @@ func LoadDetector(r io.Reader, opts ...DetectorOption) (*Detector, error) {
 	}
 	cfg := resolveDetectorConfig(opts)
 	cfg.neural = f.Neural
+	// Featurization mode follows the training run, not the load options: a
+	// model fit on canonical features must see canonical features forever.
+	cfg.canonical = f.Canonical
 	clf := spec.New(f.Neural.Seed, f.Neural)
 	p, ok := clf.(models.Persistable)
 	if !ok {

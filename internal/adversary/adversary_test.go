@@ -1,0 +1,282 @@
+package adversary
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/phishinghook/phishinghook/internal/dataset"
+	"github.com/phishinghook/phishinghook/internal/evm"
+	"github.com/phishinghook/phishinghook/internal/synth"
+)
+
+// corpus returns a deterministic batch of phishing-class contracts.
+func corpus(t testing.TB, n int) [][]byte {
+	t.Helper()
+	g := synth.NewGenerator(synth.DefaultConfig(7))
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = g.Contract(synth.Phishing, i%synth.NumMonths)
+	}
+	return out
+}
+
+func TestMutatorsPreserveReachableTrace(t *testing.T) {
+	codes := corpus(t, 8)
+	for _, m := range Mutators() {
+		if m.Name() == "proxy-wrap" {
+			continue // account-level wrap, checked separately
+		}
+		rng := rand.New(rand.NewSource(11))
+		applied := 0
+		for i, code := range codes {
+			mut, err := m.Apply(code, rng)
+			if err != nil {
+				continue
+			}
+			applied++
+			if bytes.Equal(mut, code) {
+				t.Errorf("%s: mutant %d identical to original", m.Name(), i)
+			}
+			if err := ValidatePreserving(code, mut); err != nil {
+				t.Errorf("%s: mutant %d failed validation: %v", m.Name(), i, err)
+			}
+			if len(mut) > MaxMutantBytes {
+				t.Errorf("%s: mutant %d exceeds EIP-170 (%d bytes)", m.Name(), i, len(mut))
+			}
+		}
+		if applied == 0 {
+			t.Errorf("%s: applied to no corpus contract", m.Name())
+		}
+	}
+}
+
+func TestMutantsPerturbLinearFeatures(t *testing.T) {
+	// The whole point: the linear opcode walk must see different bytes
+	// while the reachable walk sees the same program.
+	code := corpus(t, 1)[0]
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range Mutators() {
+		mut, err := m.Apply(code, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		var a, b [256]int
+		evm.WalkOps(code, func(op evm.Opcode) { a[op]++ })
+		evm.WalkOps(mut, func(op evm.Opcode) { b[op]++ })
+		if a == b {
+			t.Errorf("%s: opcode histogram unchanged", m.Name())
+		}
+	}
+}
+
+func TestProxyWrap(t *testing.T) {
+	code := corpus(t, 1)[0]
+	rng := rand.New(rand.NewSource(5))
+	mut, err := (proxyWrap{}).Apply(code, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := evm.IsMinimalProxy(mut); !ok {
+		t.Fatalf("proxy wrap output is not an EIP-1167 proxy: %x", mut)
+	}
+	// Wrapping a proxy again is refused.
+	if _, err := (proxyWrap{}).Apply(mut, rng); err != ErrNotApplicable {
+		t.Fatalf("double wrap: got %v, want ErrNotApplicable", err)
+	}
+}
+
+func TestMutationStreamDeterminism(t *testing.T) {
+	// Same seed ⇒ bit-identical mutation stream, mutator by mutator.
+	codes := corpus(t, 4)
+	for _, m := range Mutators() {
+		r1 := rand.New(rand.NewSource(42))
+		r2 := rand.New(rand.NewSource(42))
+		for _, code := range codes {
+			a, errA := m.Apply(code, r1)
+			b, errB := m.Apply(code, r2)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("%s: error divergence %v vs %v", m.Name(), errA, errB)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%s: mutation stream not deterministic", m.Name())
+			}
+		}
+	}
+}
+
+func TestMutantsNeverDedupCollide(t *testing.T) {
+	// The watcher dedups on sha256(raw bytes); every variant must land in
+	// its own cell so each gets scored independently.
+	code := corpus(t, 1)[0]
+	rng := rand.New(rand.NewSource(9))
+	seen := map[[32]byte]bool{sha256.Sum256(code): true}
+	for round := 0; round < 4; round++ {
+		for _, m := range Mutators() {
+			mut, err := m.Apply(code, rng)
+			if err != nil {
+				continue
+			}
+			key := sha256.Sum256(mut)
+			if seen[key] {
+				t.Fatalf("%s: round %d mutant collides with a previous digest", m.Name(), round)
+			}
+			seen[key] = true
+		}
+	}
+	if len(seen) < 10 {
+		t.Fatalf("only %d distinct digests generated", len(seen))
+	}
+}
+
+func TestCanonicalizationNeutralizesMutants(t *testing.T) {
+	// Hardening guarantee: canonical(mutant) == canonical(original) for
+	// every bytecode-level mutator (proxy wrap is handled by telemetry).
+	codes := corpus(t, 6)
+	rng := rand.New(rand.NewSource(17))
+	for _, m := range AugmentMutators() {
+		for i, code := range codes {
+			mut, err := m.Apply(code, rng)
+			if err != nil {
+				continue
+			}
+			a, _ := evm.Canonicalize(code, nil)
+			b, _ := evm.Canonicalize(mut, nil)
+			if !bytes.Equal(a, b) {
+				t.Errorf("%s: canonical form of mutant %d diverges", m.Name(), i)
+			}
+		}
+	}
+}
+
+// linearTarget is a toy detector scoring on a raw opcode histogram: the
+// phishing probability rises with the share of CALL/SELFDESTRUCT-family
+// opcodes over the linear walk — exactly the feature family the paper's
+// histogram models use, and exactly what dead benign code dilutes.
+type linearTarget struct{ canonical bool }
+
+func (l linearTarget) ScoreCode(code []byte) (float64, bool, error) {
+	if l.canonical {
+		code, _ = evm.Canonicalize(code, nil)
+	}
+	total, hot := 0, 0
+	evm.WalkOps(code, func(op evm.Opcode) {
+		total++
+		switch op {
+		case evm.CALL, evm.SELFDESTRUCT, evm.DELEGATECALL, evm.SELFBALANCE, evm.CALLVALUE:
+			hot++
+		}
+	})
+	if total == 0 {
+		return 0, false, nil
+	}
+	p := 12 * float64(hot) / float64(total)
+	if p > 1 {
+		p = 1
+	}
+	return p, false, nil
+}
+
+func TestAttackEvadesLinearTargetButNotCanonical(t *testing.T) {
+	codes := corpus(t, 10)
+	cfg := Config{Seed: 1, Budget: 40, Mutators: AugmentMutators()}
+	raw, err := Run(linearTarget{}, codes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Attempted == 0 {
+		t.Fatal("toy target flagged nothing; corpus or target broken")
+	}
+	if raw.EvasionRate < 0.5 {
+		t.Fatalf("raw-feature evasion rate %.2f, want >= 0.5 (drop %.3f)", raw.EvasionRate, raw.MeanDrop)
+	}
+	canon, err := Run(linearTarget{canonical: true}, codes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Attempted > 0 && canon.EvasionRate > 0.5*raw.EvasionRate {
+		t.Fatalf("canonical evasion rate %.2f vs raw %.2f: hardening ineffective", canon.EvasionRate, raw.EvasionRate)
+	}
+}
+
+func TestAttackTraceDeterminismAcrossWorkers(t *testing.T) {
+	codes := corpus(t, 6)
+	base := Config{Seed: 13, Budget: 24}
+	seq, err := Run(linearTarget{}, codes, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Workers = 4
+	got, err := Run(linearTarget{}, codes, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, got) {
+		t.Fatalf("attack result differs across worker counts:\nseq: %+v\npar: %+v", seq, got)
+	}
+	again, err := Run(linearTarget{}, codes, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, again) {
+		t.Fatal("attack result not reproducible with same seed")
+	}
+}
+
+func TestCalldataMutatorsPreserveSelectorPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	data := make([]byte, 4+64)
+	rng.Read(data)
+	for _, m := range CalldataMutators() {
+		mut := m.Apply(data, rng)
+		if len(mut) <= len(data) {
+			t.Errorf("%s: mutant not longer than original", m.Name())
+		}
+		if !bytes.Equal(mut[:len(data)], data) {
+			t.Errorf("%s: original calldata prefix not preserved", m.Name())
+		}
+	}
+	// Selector-only calldata survives too.
+	sel := []byte{0xa9, 0x05, 0x9c, 0xbb}
+	for _, m := range CalldataMutators() {
+		mut := m.Apply(sel, rng)
+		if !bytes.Equal(mut[:4], sel) {
+			t.Errorf("%s: selector clobbered", m.Name())
+		}
+	}
+}
+
+func TestAugmentGrowsOnlyPhishing(t *testing.T) {
+	g := synth.NewGenerator(synth.DefaultConfig(3))
+	ds := &dataset.Dataset{}
+	for i := 0; i < 30; i++ {
+		m := i % synth.NumMonths
+		ds.Samples = append(ds.Samples,
+			dataset.Sample{Address: fmt.Sprintf("0xb%03d", i), Bytecode: g.Contract(synth.Benign, m), Label: dataset.Benign, Month: m},
+			dataset.Sample{Address: fmt.Sprintf("0xp%03d", i), Bytecode: g.Contract(synth.Phishing, m), Label: dataset.Phishing, Month: m},
+		)
+	}
+	out := Augment(ds, 0.5, 99)
+	nb0, np0 := ds.Counts()
+	nb1, np1 := out.Counts()
+	if nb1 != nb0 {
+		t.Fatalf("benign count changed: %d -> %d", nb0, nb1)
+	}
+	if np1 <= np0 {
+		t.Fatalf("phishing count did not grow: %d -> %d", np0, np1)
+	}
+	// Deterministic.
+	again := Augment(ds, 0.5, 99)
+	if len(again.Samples) != len(out.Samples) {
+		t.Fatal("augment not deterministic")
+	}
+	for i := range out.Samples {
+		if !bytes.Equal(out.Samples[i].Bytecode, again.Samples[i].Bytecode) {
+			t.Fatalf("augment sample %d differs across runs", i)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package adversary
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Target is the attacker's view of a detector: a black-box probability
+// oracle plus the serving-time suspicion flag. An attack only counts as an
+// evasion when the final mutant scores benign *and* slips past telemetry —
+// a flagged verdict still pages an operator.
+type Target interface {
+	ScoreCode(code []byte) (prob float64, suspect bool, err error)
+}
+
+// TargetFunc adapts a plain function to Target.
+type TargetFunc func(code []byte) (float64, bool, error)
+
+// ScoreCode implements Target.
+func (f TargetFunc) ScoreCode(code []byte) (float64, bool, error) { return f(code) }
+
+// Strategy selects the search loop.
+type Strategy int
+
+const (
+	// Greedy score-descent: each round scores one candidate per mutator
+	// from the current best mutant and adopts the lowest-scoring one.
+	Greedy Strategy = iota + 1
+	// Random chains: independent restarts applying a random mutation chain
+	// to the original, keeping the best endpoint.
+	Random
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Greedy:
+		return "greedy"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config tunes an attack run. The zero value of every field has a usable
+// default; Seed 0 is a valid seed.
+type Config struct {
+	// Seed drives every random choice. Per-sample streams are derived from
+	// it, so results are bit-identical regardless of Workers.
+	Seed int64
+	// Budget caps Target queries per sample (default 48).
+	Budget int
+	// Strategy selects greedy descent (default) or random chains.
+	Strategy Strategy
+	// Mutators is the catalog to search over (default Mutators()).
+	Mutators []Mutator
+	// Threshold is the benign/phishing decision boundary (default 0.5).
+	Threshold float64
+	// MaxChain bounds random-strategy chain length (default 4).
+	MaxChain int
+	// Workers parallelizes over samples (default 1). Determinism is
+	// preserved: every sample's search stream depends only on Seed and its
+	// index.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget <= 0 {
+		c.Budget = 48
+	}
+	if c.Strategy == 0 {
+		c.Strategy = Greedy
+	}
+	if len(c.Mutators) == 0 {
+		c.Mutators = Mutators()
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.MaxChain <= 0 {
+		c.MaxChain = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// SampleTrace records one sample's attack outcome.
+type SampleTrace struct {
+	// Index is the sample's position in the input slice.
+	Index int `json:"index"`
+	// Skipped marks samples the target already scored benign (or failed to
+	// score) — there is nothing to evade.
+	Skipped bool `json:"skipped,omitempty"`
+	// StartScore and FinalScore bracket the descent.
+	StartScore float64 `json:"start_score"`
+	FinalScore float64 `json:"final_score"`
+	// Evaded reports a final mutant under the threshold and unflagged.
+	Evaded bool `json:"evaded"`
+	// Queries is the number of Target calls spent.
+	Queries int `json:"queries"`
+	// Chain lists the adopted mutators in application order.
+	Chain []string `json:"chain,omitempty"`
+}
+
+// Result aggregates an attack run against one target.
+type Result struct {
+	// Attempted counts samples the target initially flagged (the attack
+	// population); Evaded those driven benign within budget.
+	Attempted int `json:"attempted"`
+	Evaded    int `json:"evaded"`
+	// EvasionRate is Evaded/Attempted (0 when nothing was attempted).
+	EvasionRate float64 `json:"evasion_rate"`
+	// MeanDrop is the mean score degradation over attempted samples.
+	MeanDrop float64 `json:"mean_drop"`
+	// Queries sums Target calls across all samples.
+	Queries int `json:"queries"`
+	// Traces has one entry per input sample, in input order.
+	Traces []SampleTrace `json:"traces,omitempty"`
+}
+
+// sampleSeed derives the per-sample RNG stream: splitmix-style so adjacent
+// indices land far apart, independent of worker scheduling.
+func sampleSeed(seed int64, idx int) int64 {
+	z := uint64(seed) + uint64(idx+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Run attacks every sample and aggregates the outcome. An error from the
+// target aborts only that sample's search (recorded as skipped); the run
+// itself fails only on an empty catalog.
+func Run(t Target, samples [][]byte, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Mutators) == 0 {
+		return Result{}, errors.New("adversary: no mutators configured")
+	}
+	traces := make([]SampleTrace, len(samples))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				traces[i] = attackOne(t, samples[i], i, cfg)
+			}
+		}()
+	}
+	for i := range samples {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var res Result
+	res.Traces = traces
+	var drop float64
+	for _, tr := range traces {
+		res.Queries += tr.Queries
+		if tr.Skipped {
+			continue
+		}
+		res.Attempted++
+		drop += tr.StartScore - tr.FinalScore
+		if tr.Evaded {
+			res.Evaded++
+		}
+	}
+	if res.Attempted > 0 {
+		res.EvasionRate = float64(res.Evaded) / float64(res.Attempted)
+		res.MeanDrop = drop / float64(res.Attempted)
+	}
+	return res, nil
+}
+
+// attackOne runs the configured search for one sample.
+func attackOne(t Target, code []byte, idx int, cfg Config) SampleTrace {
+	rng := rand.New(rand.NewSource(sampleSeed(cfg.Seed, idx)))
+	tr := SampleTrace{Index: idx}
+	p0, susp0, err := t.ScoreCode(code)
+	tr.Queries++
+	if err != nil || p0 < cfg.Threshold {
+		tr.Skipped = true
+		tr.StartScore, tr.FinalScore = p0, p0
+		return tr
+	}
+	tr.StartScore = p0
+	cur, curP, curSusp := code, p0, susp0
+	bestChain := []string(nil)
+
+	evaded := func(p float64, susp bool) bool { return p < cfg.Threshold && !susp }
+
+	switch cfg.Strategy {
+	case Random:
+		deadRounds := 0
+		for tr.Queries < cfg.Budget && !evaded(curP, curSusp) && deadRounds < 16 {
+			chain := make([]string, 0, cfg.MaxChain)
+			mut := code
+			for k, n := 0, 1+rng.Intn(cfg.MaxChain); k < n; k++ {
+				m := cfg.Mutators[rng.Intn(len(cfg.Mutators))]
+				next, err := m.Apply(mut, rng)
+				if err != nil {
+					continue
+				}
+				mut = next
+				chain = append(chain, m.Name())
+			}
+			if len(chain) == 0 {
+				deadRounds++
+				continue
+			}
+			deadRounds = 0
+			p, susp, err := t.ScoreCode(mut)
+			tr.Queries++
+			if err != nil {
+				continue
+			}
+			if p < curP || (evaded(p, susp) && !evaded(curP, curSusp)) {
+				cur, curP, curSusp, bestChain = mut, p, susp, chain
+			}
+		}
+	default: // Greedy
+		stalls := 0
+		for tr.Queries < cfg.Budget && !evaded(curP, curSusp) && stalls < 3 {
+			var (
+				roundCode []byte
+				roundP    = math.Inf(1)
+				roundSusp bool
+				roundName string
+			)
+			for _, m := range cfg.Mutators {
+				if tr.Queries >= cfg.Budget {
+					break
+				}
+				mut, err := m.Apply(cur, rng)
+				if err != nil {
+					continue
+				}
+				p, susp, err := t.ScoreCode(mut)
+				tr.Queries++
+				if err != nil {
+					continue
+				}
+				better := p < roundP
+				if evaded(p, susp) != evaded(roundP, roundSusp) {
+					better = evaded(p, susp)
+				}
+				if better {
+					roundCode, roundP, roundSusp, roundName = mut, p, susp, m.Name()
+				}
+			}
+			if roundCode == nil {
+				break
+			}
+			if roundP < curP-1e-12 || (evaded(roundP, roundSusp) && !evaded(curP, curSusp)) {
+				cur, curP, curSusp = roundCode, roundP, roundSusp
+				bestChain = append(bestChain, roundName)
+				stalls = 0
+			} else {
+				stalls++
+			}
+		}
+	}
+	_ = cur
+	tr.FinalScore = curP
+	tr.Evaded = evaded(curP, curSusp)
+	tr.Chain = bestChain
+	return tr
+}

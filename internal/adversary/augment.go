@@ -1,0 +1,53 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/phishinghook/phishinghook/internal/dataset"
+)
+
+// Augment returns a copy of ds extended with adversarially mutated clones
+// of a fraction of its phishing samples, each carrying the phishing label —
+// the training-time half of the hardening story. Mutants are appended (the
+// originals stay), drawn deterministically from seed, and built from
+// AugmentMutators (no proxy wrap: proxy bytes carry no class signal).
+//
+// With canonical featurization on, most mutants collapse back onto their
+// originals in feature space — augmentation then mainly covers the residual
+// surface (trailer shape, identity noise) and keeps raw-feature models
+// honest when canonicalization is off.
+func Augment(ds *dataset.Dataset, frac float64, seed int64) *dataset.Dataset {
+	if ds == nil || frac <= 0 {
+		return ds
+	}
+	rng := rand.New(rand.NewSource(seed))
+	muts := AugmentMutators()
+	out := &dataset.Dataset{Samples: make([]dataset.Sample, len(ds.Samples), len(ds.Samples)+len(ds.Samples)/2)}
+	copy(out.Samples, ds.Samples)
+	for i, s := range ds.Samples {
+		if s.Label != dataset.Phishing || rng.Float64() >= frac {
+			continue
+		}
+		code := s.Bytecode
+		applied := 0
+		for k, n := 0, 1+rng.Intn(3); k < n; k++ {
+			mut, err := muts[rng.Intn(len(muts))].Apply(code, rng)
+			if err != nil {
+				continue
+			}
+			code = mut
+			applied++
+		}
+		if applied == 0 {
+			continue
+		}
+		out.Samples = append(out.Samples, dataset.Sample{
+			Address:  fmt.Sprintf("%s-adv%d", s.Address, i),
+			Bytecode: code,
+			Label:    s.Label,
+			Month:    s.Month,
+		})
+	}
+	return out
+}

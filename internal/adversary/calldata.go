@@ -1,0 +1,63 @@
+package adversary
+
+import "math/rand"
+
+// Calldata mutators for the transaction modality. A transaction's first
+// four bytes select the function; everything the callee actually reads is
+// ABI-decoded from fixed offsets — trailing bytes beyond the encoded
+// arguments are ignored by the EVM, so padding them perturbs the calldata
+// featurizer's bigram and shape features while the call's effect is
+// unchanged. Every mutator here preserves the original bytes as a prefix
+// (selector included), which is the semantics contract.
+
+// CalldataMutator is one selector-preserving calldata transformation.
+type CalldataMutator interface {
+	Name() string
+	Apply(data []byte, rng *rand.Rand) []byte
+}
+
+// CalldataMutators returns the calldata catalog in deterministic order.
+func CalldataMutators() []CalldataMutator {
+	return []CalldataMutator{zeroPad{}, randomPad{}, echoPad{}}
+}
+
+// zeroPad appends 1..4 words of zeros — the shape solc itself produces for
+// dynamic-type padding, so it is indistinguishable from honest traffic.
+type zeroPad struct{}
+
+func (zeroPad) Name() string { return "calldata-zero-pad" }
+
+func (zeroPad) Apply(data []byte, rng *rand.Rand) []byte {
+	out := append(make([]byte, 0, len(data)+128), data...)
+	return append(out, make([]byte, 32*(1+rng.Intn(4)))...)
+}
+
+// randomPad appends 8..96 random bytes, scattering the hashed-bigram
+// buckets.
+type randomPad struct{}
+
+func (randomPad) Name() string { return "calldata-random-pad" }
+
+func (randomPad) Apply(data []byte, rng *rand.Rand) []byte {
+	pad := make([]byte, 8+rng.Intn(89))
+	rng.Read(pad)
+	out := append(make([]byte, 0, len(data)+len(pad)), data...)
+	return append(out, pad...)
+}
+
+// echoPad appends a copy of a random slice of the argument region, shifting
+// length/entropy shape statistics without introducing new byte values.
+type echoPad struct{}
+
+func (echoPad) Name() string { return "calldata-echo-pad" }
+
+func (echoPad) Apply(data []byte, rng *rand.Rand) []byte {
+	out := append(make([]byte, 0, len(data)*2), data...)
+	if len(data) <= 4 {
+		return append(out, make([]byte, 32)...)
+	}
+	args := data[4:]
+	start := rng.Intn(len(args))
+	end := start + 1 + rng.Intn(len(args)-start)
+	return append(out, args[start:end]...)
+}

@@ -59,6 +59,9 @@ type scoreResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Kind is a machine-readable tag on typed policy rejections (e.g.
+	// "bytecode_too_large"); empty — and omitted — on ordinary errors.
+	Kind string `json:"kind,omitempty"`
 }
 
 // Config tunes a Router.
@@ -611,10 +614,19 @@ func (rt *Router) post(ctx context.Context, base string, hexes []string) ([]Verd
 
 // Same request bounds as the replica-side handler (serve.go): the router
 // enforces them before fan-out so an oversized request is refused in one
-// place.
+// place. The per-item caps mirror serve.go's input hardening — EIP-170 for
+// deployed bytecode, a work bound for calldata — so a hostile item never
+// even reaches a replica.
 const (
-	maxScoreBatch     = 1024
-	maxScoreBodyBytes = 64 << 20
+	maxScoreBatch      = 1024
+	maxScoreBodyBytes  = 64 << 20
+	maxScoreItemBytes  = 24576
+	maxTxCalldataBytes = 128 << 10
+)
+
+const (
+	errKindBytecodeTooLarge = "bytecode_too_large"
+	errKindCalldataTooLarge = "calldata_too_large"
 )
 
 // retryAfterSeconds is the jittered backpressure hint attached to a 429:
@@ -726,6 +738,11 @@ func (rt *Router) handleScore(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bytecode %d: empty", i)
 			return
 		}
+		if len(code) > maxScoreItemBytes {
+			writeErrorKind(w, http.StatusRequestEntityTooLarge, errKindBytecodeTooLarge,
+				"bytecode %d: %d bytes exceeds the EIP-170 deployed-code cap %d", i, len(code), maxScoreItemBytes)
+			return
+		}
 		codes[i] = code
 	}
 
@@ -793,13 +810,24 @@ func (rt *Router) handleTxScore(w http.ResponseWriter, r *http.Request) {
 	for i, it := range items {
 		// Either side may be empty (EOA callee / plain transfer); both
 		// hexes still have to parse before fan-out.
-		if _, err := evm.DecodeHex(it.Calldata); err != nil {
+		calldata, err := evm.DecodeHex(it.Calldata)
+		if err != nil {
 			writeError(w, http.StatusBadRequest, "tx %d calldata: %v", i, err)
+			return
+		}
+		if len(calldata) > maxTxCalldataBytes {
+			writeErrorKind(w, http.StatusRequestEntityTooLarge, errKindCalldataTooLarge,
+				"tx %d: calldata of %d bytes exceeds cap %d", i, len(calldata), maxTxCalldataBytes)
 			return
 		}
 		code, err := evm.DecodeHex(it.Code)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "tx %d code: %v", i, err)
+			return
+		}
+		if len(code) > maxScoreItemBytes {
+			writeErrorKind(w, http.StatusRequestEntityTooLarge, errKindBytecodeTooLarge,
+				"tx %d: code of %d bytes exceeds the EIP-170 deployed-code cap %d", i, len(code), maxScoreItemBytes)
 			return
 		}
 		keys[i] = KeyOf(code)
@@ -897,4 +925,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeErrorKind is writeError plus the machine-readable kind tag.
+func writeErrorKind(w http.ResponseWriter, status int, kind, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Kind: kind})
 }

@@ -1,0 +1,333 @@
+package evm
+
+// Reachability analysis and canonicalization — the foundation of the
+// adversary plane (internal/adversary, DESIGN.md §12).
+//
+// An attacker who controls deployment bytecode can perturb every
+// opcode-distribution feature without changing what the contract does:
+// append dead code behind the metadata trailer, widen PUSH immediates with
+// leading zeros, graft benign-looking fragments that no jump ever reaches.
+// All of those live in the bytes the linear disassembly visits but outside
+// the code that can execute. The defense is to featurize only the
+// executable part in a normal form:
+//
+//   - reachable walk: depth-first over basic blocks starting at pc 0,
+//     following JUMPI fall-throughs and every pushed constant that lands on
+//     a valid JUMPDEST (the EVM's jump-validity rule). Solidity resolves
+//     jump targets to pushed label constants, so for compiler-shaped code
+//     this recovers exactly the executable instruction set.
+//   - canonical form: reachable instructions in ascending offset order,
+//     PUSH immediates re-encoded at minimal width (PUSH1 0x00 → PUSH0),
+//     and pushed jump targets replaced by the ordinal index of their
+//     JUMPDEST among reachable JUMPDESTs — so re-laying-out the same
+//     program at different offsets or padding its immediates yields
+//     byte-identical canonical code.
+//
+// Both run on pooled scratch; Canonicalize appends into a caller buffer so
+// the serving hot path stays allocation-free.
+
+import "sync"
+
+// reachScratch holds the per-analysis bitsets (one bit per byte offset) and
+// worklist, pooled to keep the canonical serving path at 0 allocs/op.
+type reachScratch struct {
+	visited  []uint64 // instruction starts reachable from entry
+	jumpdest []uint64 // valid JUMPDESTs (not embedded in PUSH immediates)
+	work     []int32
+	dests    []int32 // ascending reachable JUMPDEST offsets
+}
+
+var reachPool = sync.Pool{New: func() any { return new(reachScratch) }}
+
+func (r *reachScratch) reset(n int) {
+	words := (n + 63) / 64
+	if cap(r.visited) < words {
+		r.visited = make([]uint64, words)
+		r.jumpdest = make([]uint64, words)
+	}
+	r.visited = r.visited[:words]
+	r.jumpdest = r.jumpdest[:words]
+	for i := range r.visited {
+		r.visited[i] = 0
+		r.jumpdest[i] = 0
+	}
+	r.work = r.work[:0]
+	r.dests = r.dests[:0]
+}
+
+func bitSet(b []uint64, i int)      { b[i>>6] |= 1 << (i & 63) }
+func bitGet(b []uint64, i int) bool { return b[i>>6]&(1<<(i&63)) != 0 }
+
+// pushValueInt interprets a PUSH immediate as a non-negative int, reporting
+// ok=false when the value exceeds the int range relevant for code offsets.
+func pushValueInt(operand []byte) (int, bool) {
+	i := 0
+	for i < len(operand) && operand[i] == 0 {
+		i++
+	}
+	if len(operand)-i > 4 {
+		return 0, false
+	}
+	v := 0
+	for ; i < len(operand); i++ {
+		v = v<<8 | int(operand[i])
+	}
+	return v, true
+}
+
+// analyze fills the visited and jumpdest bitsets and the ascending
+// reachable-JUMPDEST list for code.
+func (r *reachScratch) analyze(code []byte) {
+	r.reset(len(code))
+	if len(code) == 0 {
+		return
+	}
+	// Valid JUMPDESTs come from the linear parse (EVM jump-validity rule).
+	for pc := 0; pc < len(code); {
+		b := code[pc]
+		if Opcode(b) == JUMPDEST {
+			bitSet(r.jumpdest, pc)
+		}
+		pc += 1 + int(opPush[b])
+	}
+	// Fixpoint over block entries: pc 0 plus every pushed constant that
+	// lands on a valid JUMPDEST. JUMPI falls through; terminators and
+	// undefined bytes end the block.
+	r.work = append(r.work, 0)
+	for len(r.work) > 0 {
+		pc := int(r.work[len(r.work)-1])
+		r.work = r.work[:len(r.work)-1]
+		for pc < len(code) && !bitGet(r.visited, pc) {
+			bitSet(r.visited, pc)
+			b := code[pc]
+			if n := int(opPush[b]); n > 0 {
+				end := pc + 1 + n
+				if end > len(code) {
+					end = len(code)
+				}
+				if v, ok := pushValueInt(code[pc+1 : end]); ok && v < len(code) &&
+					bitGet(r.jumpdest, v) && !bitGet(r.visited, v) {
+					r.work = append(r.work, int32(v))
+				}
+				pc = end
+				continue
+			}
+			op := Opcode(b)
+			if op.IsTerminator() || !opDefined[b] {
+				break
+			}
+			pc++
+		}
+	}
+	for pc := 0; pc < len(code); pc++ {
+		if bitGet(r.visited, pc) && bitGet(r.jumpdest, pc) {
+			r.dests = append(r.dests, int32(pc))
+		}
+	}
+}
+
+// destOrdinal returns the index of offset v among reachable JUMPDESTs, or
+// -1 when v is not one.
+func (r *reachScratch) destOrdinal(v int) int {
+	lo, hi := 0, len(r.dests)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(r.dests[mid]) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.dests) && int(r.dests[lo]) == v {
+		return lo
+	}
+	return -1
+}
+
+// ReachableWalk streams the instructions reachable from entry (pc 0) in
+// ascending offset order, with the same (pc, op, operand) contract as Walk.
+func ReachableWalk(code []byte, fn func(pc int, op Opcode, operand []byte)) {
+	r := reachPool.Get().(*reachScratch)
+	r.analyze(code)
+	emitReachable(code, r, fn)
+	reachPool.Put(r)
+}
+
+func emitReachable(code []byte, r *reachScratch, fn func(pc int, op Opcode, operand []byte)) {
+	for pc := 0; pc < len(code); pc++ {
+		if !bitGet(r.visited, pc) {
+			continue
+		}
+		b := code[pc]
+		start := pc + 1
+		end := start + int(opPush[b])
+		if end > len(code) {
+			end = len(code)
+		}
+		var operand []byte
+		if end > start {
+			operand = code[start:end:end]
+		}
+		fn(pc, Opcode(b), operand)
+		pc = end - 1
+	}
+}
+
+// ReachableJumpdests appends the ascending byte offsets of JUMPDESTs
+// reachable from entry to dst and returns the extended slice.
+func ReachableJumpdests(code []byte, dst []int) []int {
+	r := reachPool.Get().(*reachScratch)
+	r.analyze(code)
+	for _, d := range r.dests {
+		dst = append(dst, int(d))
+	}
+	reachPool.Put(r)
+	return dst
+}
+
+// Canonicalize appends the canonical executable form of code to dst and
+// returns the extended slice together with the dead-byte ratio — the
+// fraction of code bytes outside any reachable instruction (dead islands,
+// padding, the metadata trailer). Stack-identity sequences (PUSH;POP,
+// DUP1;POP, SWAP1;SWAP1) are erased to fixpoint on the way out. Canonical
+// code is a feature-space normal form, not a runnable program: offsets
+// shift and jump targets become ordinals, but two semantically identical
+// layouts of the same program canonicalize to identical bytes.
+func Canonicalize(code []byte, dst []byte) ([]byte, float64) {
+	r := reachPool.Get().(*reachScratch)
+	r.analyze(code)
+	live := 0
+	// starts tracks each emitted instruction's offset in dst so identity
+	// pairs can cancel against the previous instruction (reusing the
+	// worklist backing, which analyze has drained).
+	starts := r.work[:0]
+	emitReachable(code, r, func(pc int, op Opcode, operand []byte) {
+		live += 1 + len(operand)
+		// Identity erasure, to fixpoint via backtracking: (PUSHn x, POP),
+		// (DUP1, POP) and (SWAP1, SWAP1) are runtime no-ops wherever live
+		// code executes them (the stack is deep enough by construction, or
+		// the program would already have aborted), so stuffing them in is
+		// pure feature noise. None of these opcodes is a terminator, so
+		// layout adjacency here is execution adjacency; neither element can
+		// be a jump target (only JUMPDESTs are).
+		if len(starts) > 0 {
+			prev := Opcode(dst[starts[len(starts)-1]])
+			if (op == POP && (prev.IsPush() || prev == DUP1)) ||
+				(op == SWAP1 && prev == SWAP1) {
+				dst = dst[:starts[len(starts)-1]]
+				starts = starts[:len(starts)-1]
+				return
+			}
+		}
+		starts = append(starts, int32(len(dst)))
+		if !op.IsPush() {
+			dst = append(dst, byte(op))
+			return
+		}
+		if v, ok := pushValueInt(operand); ok {
+			if ord := r.destOrdinal(v); ord >= 0 {
+				dst = appendMinPush(dst, uint64(ord))
+				return
+			}
+			dst = appendMinPush(dst, uint64(v))
+			return
+		}
+		// Wide non-zero immediate (topics, addresses): strip leading zeros.
+		i := 0
+		for i < len(operand) && operand[i] == 0 {
+			i++
+		}
+		dst = append(dst, byte(PUSH1)+byte(len(operand)-i-1))
+		dst = append(dst, operand[i:]...)
+	})
+	r.work = starts
+	reachPool.Put(r)
+	ratio := 0.0
+	if len(code) > 0 {
+		ratio = 1 - float64(live)/float64(len(code))
+	}
+	return dst, ratio
+}
+
+// appendMinPush appends the minimal-width PUSH encoding of v (PUSH0 for 0).
+func appendMinPush(dst []byte, v uint64) []byte {
+	if v == 0 {
+		return append(dst, byte(PUSH0))
+	}
+	var buf [8]byte
+	n := 0
+	for x := v; x > 0; x >>= 8 {
+		n++
+	}
+	for i := n - 1; i >= 0; i-- {
+		buf[i] = byte(v)
+		v >>= 8
+	}
+	dst = append(dst, byte(PUSH1)+byte(n-1))
+	return append(dst, buf[:n]...)
+}
+
+// eip1167Prefix and eip1167Suffix frame the 20-byte implementation address
+// of an EIP-1167 minimal proxy.
+var (
+	eip1167Prefix = []byte{0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x73}
+	eip1167Suffix = []byte{0x5a, 0xf4, 0x3d, 0x82, 0x80, 0x3e, 0x90, 0x3d, 0x91, 0x60, 0x2b, 0x57, 0xfd, 0x5b, 0xf3}
+)
+
+// proxyShape is the EIP-1167 forwarder as an opcode sequence. 0 entries are
+// wildcards for the two pushes (the implementation address, minimally
+// re-encoded, and the revert-branch target, an ordinal after Canonicalize).
+var proxyShape = [...]Opcode{
+	CALLDATASIZE, RETURNDATASIZE, RETURNDATASIZE, CALLDATACOPY,
+	RETURNDATASIZE, RETURNDATASIZE, RETURNDATASIZE, CALLDATASIZE, RETURNDATASIZE,
+	0, GAS, DELEGATECALL,
+	RETURNDATASIZE, DUP3, DUP1, RETURNDATACOPY, SWAP1, RETURNDATASIZE, SWAP2,
+	0, JUMPI, REVERT, JUMPDEST, RETURN,
+}
+
+// IsCanonicalProxy reports whether canon — the output of Canonicalize — is
+// the EIP-1167 forwarder. Matching the canonical form instead of the raw
+// 45-byte frame makes the check immune to the encoding games the mutator
+// catalog plays: widened pushes re-encode minimally, stack noise erases,
+// and anything appended after the terminal RETURN is unreachable, so every
+// dressed-up variant of a proxy canonicalizes back to this shape.
+func IsCanonicalProxy(canon []byte) bool {
+	i := 0
+	ok := true
+	Walk(canon, func(pc int, op Opcode, operand []byte) {
+		if !ok || i >= len(proxyShape) {
+			ok = false
+			return
+		}
+		want := proxyShape[i]
+		if want == 0 {
+			ok = op.IsPush()
+		} else {
+			ok = op == want
+		}
+		i++
+	})
+	return ok && i == len(proxyShape)
+}
+
+// IsMinimalProxy reports whether code is an EIP-1167 minimal proxy and
+// returns its implementation address. Proxies are opaque to bytes-only
+// scoring — two proxies differ only in the implementation address — so the
+// serving layer flags them instead of trusting their score.
+func IsMinimalProxy(code []byte) (impl [20]byte, ok bool) {
+	if len(code) != 45 {
+		return impl, false
+	}
+	for i, b := range eip1167Prefix {
+		if code[i] != b {
+			return impl, false
+		}
+	}
+	for i, b := range eip1167Suffix {
+		if code[30+i] != b {
+			return impl, false
+		}
+	}
+	copy(impl[:], code[10:30])
+	return impl, true
+}

@@ -1,0 +1,171 @@
+package evm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// prog builds bytecode from opcode bytes inline.
+func prog(b ...byte) []byte { return b }
+
+func TestReachableWalkFollowsPushedTargets(t *testing.T) {
+	// PUSH1 4; JUMP; INVALID; JUMPDEST; STOP — the INVALID at offset 3 is
+	// dead, the block at 4 is reached through the pushed constant.
+	code := prog(0x60, 0x04, 0x56, 0xfe, 0x5b, 0x00)
+	var pcs []int
+	ReachableWalk(code, func(pc int, op Opcode, _ []byte) { pcs = append(pcs, pc) })
+	want := []int{0, 2, 4, 5}
+	if len(pcs) != len(want) {
+		t.Fatalf("reachable pcs = %v, want %v", pcs, want)
+	}
+	for i := range want {
+		if pcs[i] != want[i] {
+			t.Fatalf("reachable pcs = %v, want %v", pcs, want)
+		}
+	}
+}
+
+func TestCanonicalizeNormalizesLayout(t *testing.T) {
+	// The same program with a PUSH1 vs a zero-padded PUSH2 target (which
+	// shifts the JUMPDEST) must canonicalize to identical bytes.
+	a := prog(0x60, 0x04, 0x56, 0xfe, 0x5b, 0x00)
+	b := prog(0x61, 0x00, 0x05, 0x56, 0xfe, 0x5b, 0x00)
+	ca, _ := Canonicalize(a, nil)
+	cb, _ := Canonicalize(b, nil)
+	if !bytes.Equal(ca, cb) {
+		t.Fatalf("canonical forms differ: %x vs %x", ca, cb)
+	}
+	// Target became the JUMPDEST's ordinal (0 → PUSH0), dead INVALID gone.
+	want := prog(0x5f, 0x56, 0x5b, 0x00)
+	if !bytes.Equal(ca, want) {
+		t.Fatalf("canonical = %x, want %x", ca, want)
+	}
+}
+
+func TestCanonicalizeDropsDeadCode(t *testing.T) {
+	base := prog(0x60, 0x04, 0x56, 0xfe, 0x5b, 0x00)
+	island := append(append([]byte{}, base...), 0x5b, 0x34, 0x34, 0x34, 0x01, 0x01)
+	cBase, rBase := Canonicalize(base, nil)
+	cIsl, rIsl := Canonicalize(island, nil)
+	if !bytes.Equal(cBase, cIsl) {
+		t.Fatalf("dead island changed canonical form: %x vs %x", cBase, cIsl)
+	}
+	if rIsl <= rBase {
+		t.Fatalf("dead ratio did not grow: base %.3f island %.3f", rBase, rIsl)
+	}
+}
+
+func TestCanonicalizeJumpiFallthrough(t *testing.T) {
+	// PUSH1 6; PUSH1 0; JUMPI; STOP; JUMPDEST; STOP — wait: JUMPI target
+	// discovery plus fall-through must both be walked.
+	code := prog(0x60, 0x05, 0x5f, 0x57, 0x00, 0x5b, 0x00)
+	var pcs []int
+	ReachableWalk(code, func(pc int, _ Opcode, _ []byte) { pcs = append(pcs, pc) })
+	want := []int{0, 2, 3, 4, 5, 6}
+	if len(pcs) != len(want) {
+		t.Fatalf("reachable pcs = %v, want %v", pcs, want)
+	}
+}
+
+func TestCanonicalizeEmptyAndMinPush(t *testing.T) {
+	if c, r := Canonicalize(nil, nil); len(c) != 0 || r != 0 {
+		t.Fatalf("empty canonical = %x ratio %.2f", c, r)
+	}
+	// PUSH2 0x0000 normalizes to PUSH0, PUSH4 0x00000012 to PUSH1 0x12.
+	code := prog(0x61, 0x00, 0x00, 0x63, 0x00, 0x00, 0x00, 0x12, 0x00)
+	c, _ := Canonicalize(code, nil)
+	want := prog(0x5f, 0x60, 0x12, 0x00)
+	if !bytes.Equal(c, want) {
+		t.Fatalf("canonical = %x, want %x", c, want)
+	}
+}
+
+func TestReachableJumpdests(t *testing.T) {
+	code := prog(0x60, 0x04, 0x56, 0xfe, 0x5b, 0x00)
+	ds := ReachableJumpdests(code, nil)
+	if len(ds) != 1 || ds[0] != 4 {
+		t.Fatalf("reachable jumpdests = %v, want [4]", ds)
+	}
+}
+
+func TestIsMinimalProxy(t *testing.T) {
+	var impl [20]byte
+	for i := range impl {
+		impl[i] = byte(i + 1)
+	}
+	code := make([]byte, 0, 45)
+	code = append(code, eip1167Prefix...)
+	code = append(code, impl[:]...)
+	code = append(code, eip1167Suffix...)
+	got, ok := IsMinimalProxy(code)
+	if !ok || got != impl {
+		t.Fatalf("IsMinimalProxy = %x, %v", got, ok)
+	}
+	if _, ok := IsMinimalProxy(code[:44]); ok {
+		t.Fatal("truncated proxy accepted")
+	}
+	if _, ok := IsMinimalProxy(make([]byte, 45)); ok {
+		t.Fatal("zero blob accepted as proxy")
+	}
+}
+
+func TestIsCanonicalProxy(t *testing.T) {
+	var impl [20]byte
+	for i := range impl {
+		impl[i] = byte(i + 1)
+	}
+	proxy := make([]byte, 0, 45)
+	proxy = append(proxy, eip1167Prefix...)
+	proxy = append(proxy, impl[:]...)
+	proxy = append(proxy, eip1167Suffix...)
+
+	canon, _ := Canonicalize(proxy, nil)
+	if !IsCanonicalProxy(canon) {
+		t.Fatalf("canonical form of a minimal proxy not recognized: %x", canon)
+	}
+
+	// The robustness that the raw 45-byte frame check lacks: widen the
+	// implementation PUSH20 to a zero-padded PUSH21 (46 bytes, fails
+	// IsMinimalProxy) — the canonical form still matches.
+	widened := make([]byte, 0, 46)
+	widened = append(widened, eip1167Prefix[:9]...)
+	widened = append(widened, 0x74, 0x00) // PUSH21 with a leading zero byte
+	widened = append(widened, impl[:]...)
+	widened = append(widened, eip1167Suffix...)
+	widened[len(widened)-5] = 0x2c // re-link the shifted revert-branch JUMPDEST
+	if _, ok := IsMinimalProxy(widened); ok {
+		t.Fatal("widened proxy unexpectedly matches the exact frame")
+	}
+	wc, _ := Canonicalize(widened, nil)
+	if !IsCanonicalProxy(wc) {
+		t.Fatalf("canonical form of width-padded proxy not recognized: %x", wc)
+	}
+
+	// Non-proxy programs — including ones containing DELEGATECALL — do not
+	// match the shape.
+	other, _ := Canonicalize(prog(0x60, 0x04, 0x56, 0xfe, 0x5b, 0xf4, 0x00), nil)
+	if IsCanonicalProxy(other) {
+		t.Fatal("non-proxy program matched the proxy shape")
+	}
+	if IsCanonicalProxy(nil) {
+		t.Fatal("empty code matched the proxy shape")
+	}
+	// A truncated proxy shape must not match either.
+	if IsCanonicalProxy(canon[:len(canon)-1]) {
+		t.Fatal("truncated proxy shape matched")
+	}
+}
+
+func BenchmarkCanonicalize(b *testing.B) {
+	// A realistic mid-size program shape: dispatcher plus dead trailer.
+	code := prog(0x60, 0x04, 0x56, 0xfe, 0x5b, 0x00)
+	for i := 0; i < 6; i++ {
+		code = append(code, code...)
+	}
+	dst := make([]byte, 0, len(code))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = Canonicalize(code, dst[:0])
+	}
+}

@@ -393,13 +393,14 @@ func (p *Pipeline) scoreLoop() {
 			p.ctr.contractsScored.Add(1)
 			if v.Phishing && v.Confidence >= p.cfg.Threshold {
 				p.emit(Alert{
-					Address:      job.addr,
-					CodeHash:     hex.EncodeToString(job.hash[:]),
-					Block:        job.head,
-					Confidence:   v.Confidence,
-					Model:        v.Model,
-					ModelVersion: v.Version,
-					Time:         time.Now(),
+					Address:        job.addr,
+					CodeHash:       hex.EncodeToString(job.hash[:]),
+					Block:          job.head,
+					Confidence:     v.Confidence,
+					Model:          v.Model,
+					ModelVersion:   v.Version,
+					EvasionSuspect: v.EvasionSuspect,
+					Time:           time.Now(),
 				})
 			}
 		}

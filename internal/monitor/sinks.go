@@ -35,6 +35,10 @@ type Alert struct {
 	Modality string `json:"modality,omitempty"`
 	// TxHash is the alerting transaction's hash (tx modality only).
 	TxHash string `json:"tx_hash,omitempty"`
+	// EvasionSuspect marks verdicts whose telemetry looked adversarial
+	// (excess dead code, raw/canonical divergence, minimal proxy). Omitted
+	// when unset so pre-existing alert JSON is unchanged.
+	EvasionSuspect bool `json:"evasion_suspect,omitempty"`
 	// Time is the wall-clock emission time.
 	Time time.Time `json:"time"`
 }

@@ -54,6 +54,12 @@ type Verdict struct {
 	// checkpoint so every verdict stays attributable across hot swaps and
 	// restarts.
 	Version string
+	// DeadCodeRatio, ScoreDivergence and EvasionSuspect carry the
+	// detector's evasion telemetry when it runs hardened (all zero
+	// otherwise); the suspect flag rides onto alerts.
+	DeadCodeRatio   float64
+	ScoreDivergence float64
+	EvasionSuspect  bool
 }
 
 // Scorer judges one deployed bytecode. Implementations must be safe for

@@ -25,21 +25,99 @@ import (
 	"github.com/phishinghook/phishinghook/internal/evm"
 )
 
-// builder incrementally assembles bytecode from instructions.
+// builder incrementally assembles bytecode from instructions. Jump targets
+// are real: jumpTarget() and pushLabel() emit PUSH2 placeholders that are
+// patched with the byte offset of an actual JUMPDEST, the way solc resolves
+// labels at assembly time. This matters downstream — the adversary plane's
+// reachable-walk analysis (internal/evm) follows pushed constants that land
+// on valid JUMPDESTs, so function bodies are only discoverable if dispatcher
+// targets genuinely point at them.
 type builder struct {
 	code []byte
 	rng  *rand.Rand
+	// autoPatch holds offsets of PUSH2 immediates emitted by jumpTarget(),
+	// each resolved to the offset of the next JUMPDEST appended.
+	autoPatch []int
+	// labelRefs maps a label id to the PUSH2 immediate offsets awaiting its
+	// bind; labelOff is the bound offset (-1 while unbound).
+	labelRefs map[int][]int
+	labelOff  []int
+	// bindQueue holds label ids that bind to the next JUMPDEST appended.
+	bindQueue []int
 }
 
 func newBuilder(rng *rand.Rand) *builder {
 	return &builder{code: make([]byte, 0, 1024), rng: rng}
 }
 
-// op appends bare (operand-free) opcodes.
+// op appends bare (operand-free) opcodes, resolving pending jump targets
+// whenever a JUMPDEST lands.
 func (b *builder) op(ops ...evm.Opcode) {
 	for _, o := range ops {
+		if o == evm.JUMPDEST {
+			b.resolveAt(len(b.code))
+		}
 		b.code = append(b.code, byte(o))
 	}
+}
+
+// resolveAt patches every pending auto target and queued label with the
+// offset of the JUMPDEST about to be appended.
+func (b *builder) resolveAt(off int) {
+	if off > 0xFFFF {
+		panic("synth: jump target offset exceeds PUSH2 range")
+	}
+	for _, pos := range b.autoPatch {
+		binary.BigEndian.PutUint16(b.code[pos:pos+2], uint16(off))
+	}
+	b.autoPatch = b.autoPatch[:0]
+	for _, id := range b.bindQueue {
+		b.labelOff[id] = off
+		for _, pos := range b.labelRefs[id] {
+			binary.BigEndian.PutUint16(b.code[pos:pos+2], uint16(off))
+		}
+		delete(b.labelRefs, id)
+	}
+	b.bindQueue = b.bindQueue[:0]
+}
+
+// newLabel allocates an unbound label id.
+func (b *builder) newLabel() int {
+	b.labelOff = append(b.labelOff, -1)
+	return len(b.labelOff) - 1
+}
+
+// pushLabel emits PUSH2 <label>, patched once the label binds.
+func (b *builder) pushLabel(id int) {
+	b.code = append(b.code, byte(evm.PUSH2), 0, 0)
+	pos := len(b.code) - 2
+	if off := b.labelOff[id]; off >= 0 {
+		binary.BigEndian.PutUint16(b.code[pos:pos+2], uint16(off))
+		return
+	}
+	if b.labelRefs == nil {
+		b.labelRefs = make(map[int][]int)
+	}
+	b.labelRefs[id] = append(b.labelRefs[id], pos)
+}
+
+// bindNext binds the label to the next JUMPDEST appended.
+func (b *builder) bindNext(id int) { b.bindQueue = append(b.bindQueue, id) }
+
+// finalize resolves any still-pending jump targets by appending a terminal
+// JUMPDEST; STOP sequence (a label with no later JUMPDEST, e.g. a fragment
+// ending in a guard JUMPI as the last body). Call before the metadata
+// trailer.
+func (b *builder) finalize() {
+	if len(b.autoPatch) == 0 && len(b.bindQueue) == 0 && len(b.labelRefs) == 0 {
+		return
+	}
+	if len(b.labelRefs) > 0 {
+		// Labels are bound via bindQueue by construction; a leftover ref
+		// means a pushLabel whose bindNext never ran.
+		panic("synth: unbound label reference at finalize")
+	}
+	b.op(evm.JUMPDEST, evm.STOP)
 }
 
 // push appends a PUSHn instruction carrying the given immediate bytes.
@@ -84,10 +162,13 @@ func (b *builder) pushSmall() {
 	}
 }
 
-// jumpTarget pushes a plausible 2-byte jump destination. The generated
-// contracts are analysed statically, never executed, so targets only need to
-// look like compiler output.
-func (b *builder) jumpTarget() { b.push2(uint16(b.rng.Intn(0x0800) + 0x40)) }
+// jumpTarget pushes a 2-byte jump destination that resolves to the next
+// JUMPDEST appended — the forward-branch shape solc emits for guards
+// (JUMPI over a revert to the continuation label).
+func (b *builder) jumpTarget() {
+	b.code = append(b.code, byte(evm.PUSH2), 0, 0)
+	b.autoPatch = append(b.autoPatch, len(b.code)-2)
+}
 
 // shuffleTail inserts a short random stack-shuffling run (DUP/SWAP/POP),
 // mimicking the register allocation noise that makes real compiled bodies of

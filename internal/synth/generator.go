@@ -311,11 +311,18 @@ func (g *Generator) Contract(class Class, month int) []byte {
 		b.op(evm.JUMPDEST, evm.POP)
 	}
 
-	// Selector dispatcher.
+	// Selector dispatcher. Each selector compare jumps to its body's entry
+	// JUMPDEST via a label resolved at body emission, as compiled dispatch
+	// does — the reachable-walk analysis discovers bodies through exactly
+	// these pushed offsets.
 	nBodies := g.cfg.MinBodies + g.rng.Intn(g.cfg.MaxBodies-g.cfg.MinBodies+1)
+	bodyLabels := make([]int, nBodies)
+	for i := range bodyLabels {
+		bodyLabels[i] = b.newLabel()
+	}
 	b.push1(0x04)
 	b.op(evm.CALLDATASIZE, evm.LT)
-	b.jumpTarget()
+	b.jumpTarget() // calldata too short -> fallback revert
 	b.op(evm.JUMPI)
 	b.op(evm.PUSH0, evm.CALLDATALOAD)
 	b.push1(0xE0)
@@ -324,7 +331,7 @@ func (g *Generator) Contract(class Class, month int) []byte {
 		b.op(evm.DUP1)
 		b.push4(b.selector())
 		b.op(evm.EQ)
-		b.jumpTarget()
+		b.pushLabel(bodyLabels[i])
 		b.op(evm.JUMPI)
 	}
 	b.op(evm.JUMPDEST)
@@ -332,8 +339,10 @@ func (g *Generator) Contract(class Class, month int) []byte {
 
 	// Function bodies drawn from the class-conditional distribution.
 	for i := 0; i < nBodies; i++ {
+		b.bindNext(bodyLabels[i])
 		sampleKind(g.rng, w).emit(b)
 	}
+	b.finalize()
 
 	// Metadata trailer: INVALID then pseudo-CBOR bytes, like solc's
 	// 0xfe + ipfs-hash tail.
@@ -356,6 +365,19 @@ func MinimalProxy(impl [20]byte) []byte {
 	code = append(code, 0x5a, 0xf4, 0x3d, 0x82, 0x80, 0x3e, 0x90, 0x3d, 0x91, 0x60, 0x2b, 0x57, 0xfd, 0x5b, 0xf3)
 	return code
 }
+
+// BenignFragment assembles one standalone function-body blob drawn from the
+// benign fragment distribution, with internal jump targets fully resolved.
+// The adversary plane grafts these as dead-code islands onto phishing
+// bytecode to pull opcode-distribution features toward the benign class.
+func BenignFragment(rng *rand.Rand) []byte {
+	b := newBuilder(rng)
+	sampleKind(rng, benignFragmentWeights).emit(b)
+	b.finalize()
+	return b.bytes()
+}
+
+var benignFragmentWeights = baseWeights(benignProfile)
 
 // RandomAddress draws a 20-byte address from the generator's RNG stream
 // (used by callers that need implementation addresses for proxies).

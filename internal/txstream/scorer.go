@@ -43,6 +43,13 @@ type TxVerdict struct {
 	// Version is the lifecycle version behind the code score (the
 	// hot-swappable half of the fusion).
 	Version string
+	// DeadCodeRatio, ScoreDivergence and EvasionSuspect relay the code
+	// side's evasion telemetry (zero for EOA callees or an unhardened
+	// detector). Calldata has no reachability notion, so the payload half
+	// contributes nothing here.
+	DeadCodeRatio   float64
+	ScoreDivergence float64
+	EvasionSuspect  bool
 }
 
 // PhishProb recovers the fused P(phishing).
@@ -129,6 +136,9 @@ func (f *Fused) ScoreTx(ctx context.Context, calldata, code []byte) (TxVerdict, 
 		out.CodeProb = phishProb(cv)
 		codeModel = cv.Model
 		out.Version = cv.Version
+		out.DeadCodeRatio = cv.DeadCodeRatio
+		out.ScoreDivergence = cv.ScoreDivergence
+		out.EvasionSuspect = cv.EvasionSuspect
 	}
 	fused := 1 - (1-out.PayloadProb)*(1-out.CodeProb)
 	out.Phishing = fused >= 0.5

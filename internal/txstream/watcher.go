@@ -433,15 +433,16 @@ func (w *Watcher) judgeTx(ctx context.Context, feed *ethrpc.TxFeed, tx *ethrpc.P
 	w.ctr.txsScored.Add(1)
 	if p := v.PhishProb(); p >= w.cfg.Threshold {
 		alert := monitor.Alert{
-			Address:      tx.To.String(),
-			CodeHash:     codeHashHex(code),
-			Block:        tx.Block,
-			Confidence:   p,
-			Model:        v.Model,
-			ModelVersion: v.Version,
-			Modality:     "tx",
-			TxHash:       tx.HashHex(),
-			Time:         time.Now().UTC(),
+			Address:        tx.To.String(),
+			CodeHash:       codeHashHex(code),
+			Block:          tx.Block,
+			Confidence:     p,
+			Model:          v.Model,
+			ModelVersion:   v.Version,
+			Modality:       "tx",
+			TxHash:         tx.HashHex(),
+			EvasionSuspect: v.EvasionSuspect,
+			Time:           time.Now().UTC(),
 		}
 		for _, s := range w.cfg.Sinks {
 			if serr := s.Emit(alert); serr != nil {

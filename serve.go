@@ -45,6 +45,12 @@ type ScoreVerdict struct {
 	// is omitted).
 	PayloadProb float64 `json:"payload_prob,omitempty"`
 	CodeProb    float64 `json:"code_prob,omitempty"`
+	// Evasion telemetry (WithEvasionTelemetry only). All omitempty: a
+	// detector without telemetry emits verdict JSON byte-for-byte identical
+	// to before the fields existed.
+	DeadCodeRatio   float64 `json:"dead_code_ratio,omitempty"`
+	ScoreDivergence float64 `json:"score_divergence,omitempty"`
+	EvasionSuspect  bool    `json:"evasion_suspect,omitempty"`
 }
 
 // ScoreResponse is the POST /score reply. Verdicts aligns with the request
@@ -58,11 +64,14 @@ type ScoreResponse struct {
 
 func toWire(v Verdict) ScoreVerdict {
 	return ScoreVerdict{
-		Label:        v.Label.String(),
-		Phishing:     v.IsPhishing(),
-		Confidence:   v.Confidence,
-		Model:        v.ModelName,
-		ModelVersion: v.ModelVersion,
+		Label:           v.Label.String(),
+		Phishing:        v.IsPhishing(),
+		Confidence:      v.Confidence,
+		Model:           v.ModelName,
+		ModelVersion:    v.ModelVersion,
+		DeadCodeRatio:   v.DeadCodeRatio,
+		ScoreDivergence: v.ScoreDivergence,
+		EvasionSuspect:  v.EvasionSuspect,
 	}
 }
 
@@ -89,14 +98,17 @@ func txToWire(v TxVerdict) ScoreVerdict {
 		label = Phishing
 	}
 	return ScoreVerdict{
-		Label:        label.String(),
-		Phishing:     v.Phishing,
-		Confidence:   v.Confidence,
-		Model:        v.Model,
-		ModelVersion: v.Version,
-		Modality:     "tx",
-		PayloadProb:  v.PayloadProb,
-		CodeProb:     v.CodeProb,
+		Label:           label.String(),
+		Phishing:        v.Phishing,
+		Confidence:      v.Confidence,
+		Model:           v.Model,
+		ModelVersion:    v.Version,
+		Modality:        "tx",
+		PayloadProb:     v.PayloadProb,
+		CodeProb:        v.CodeProb,
+		DeadCodeRatio:   v.DeadCodeRatio,
+		ScoreDivergence: v.ScoreDivergence,
+		EvasionSuspect:  v.EvasionSuspect,
 	}
 }
 
@@ -107,6 +119,23 @@ func txToWire(v TxVerdict) ScoreVerdict {
 const (
 	maxScoreBatch     = 1024
 	maxScoreBodyBytes = 64 << 20
+)
+
+// Per-item input hardening. A deployed EVM contract is capped at 24576
+// bytes by EIP-170, so anything larger is not bytecode that can exist on
+// chain — reject it at the boundary instead of burning featurizer time on
+// it. Calldata has no protocol cap, but block gas limits keep honest
+// payloads far below 128KB; the cap bounds worst-case work per item. Both
+// rejections are typed ("kind" in the error body) so clients can tell a
+// policy rejection from a malformed request.
+const (
+	maxScoreItemBytes  = 24576
+	maxTxCalldataBytes = 128 << 10
+)
+
+const (
+	errKindBytecodeTooLarge = "bytecode_too_large"
+	errKindCalldataTooLarge = "calldata_too_large"
 )
 
 // ScoreBackend is the surface NewScoreHandler serves: both *Detector (one
@@ -281,6 +310,11 @@ func NewScoreHandler(d ScoreBackend, opts ...ServeOption) http.Handler {
 				httpError(w, http.StatusBadRequest, "bytecode %d: empty", i)
 				return
 			}
+			if len(code) > maxScoreItemBytes {
+				httpErrorKind(w, http.StatusRequestEntityTooLarge, errKindBytecodeTooLarge,
+					"bytecode %d: %d bytes exceeds the EIP-170 deployed-code cap %d", i, len(code), maxScoreItemBytes)
+				return
+			}
 			codes[i] = code
 		}
 		t0 := time.Now()
@@ -414,10 +448,20 @@ func serveTxScore(w http.ResponseWriter, r *http.Request, ts TxScorer) {
 				httpError(w, http.StatusBadRequest, "tx %d calldata: %v", i, err)
 				return
 			}
+			if len(txs[i].calldata) > maxTxCalldataBytes {
+				httpErrorKind(w, http.StatusRequestEntityTooLarge, errKindCalldataTooLarge,
+					"tx %d: calldata of %d bytes exceeds cap %d", i, len(txs[i].calldata), maxTxCalldataBytes)
+				return
+			}
 		}
 		if item.Code != "" {
 			if txs[i].code, err = DecodeHex(item.Code); err != nil {
 				httpError(w, http.StatusBadRequest, "tx %d code: %v", i, err)
+				return
+			}
+			if len(txs[i].code) > maxScoreItemBytes {
+				httpErrorKind(w, http.StatusRequestEntityTooLarge, errKindBytecodeTooLarge,
+					"tx %d: code of %d bytes exceeds the EIP-170 deployed-code cap %d", i, len(txs[i].code), maxScoreItemBytes)
 				return
 			}
 		}
@@ -508,6 +552,14 @@ func writeMetrics(w http.ResponseWriter, d ScoreBackend, state *serveState) {
 	metric("phishinghook_scores_total", "Bytecodes scored by the detector.", "counter", float64(d.ScoreCount()))
 	metric("phishinghook_feature_cache_hits_total", "Feature-cache hits.", "counter", float64(hits))
 	metric("phishinghook_feature_cache_misses_total", "Feature-cache misses.", "counter", float64(misses))
+	if as, ok := d.(interface{ AdversaryStats() AdversaryStats }); ok {
+		s := as.AdversaryStats()
+		metric("phishinghook_adversary_scored_total", "Verdicts served with evasion telemetry.", "counter", float64(s.Scored))
+		metric("phishinghook_adversary_suspects_total", "Verdicts flagged evasion-suspect.", "counter", float64(s.Suspects))
+		metric("phishinghook_adversary_proxies_total", "EIP-1167 minimal proxies scored.", "counter", float64(s.Proxies))
+		metric("phishinghook_adversary_mean_dead_ratio", "Mean dead-code ratio over telemetry-scored verdicts.", "gauge", s.MeanDeadRatio)
+		metric("phishinghook_adversary_mean_divergence", "Mean raw-vs-canonical score divergence over telemetry-scored verdicts.", "gauge", s.MeanDivergence)
+	}
 	if sw, ok := d.(*Swappable); ok {
 		writeLifecycleMetrics(&b, metric, sw.SwapStats())
 	}
@@ -742,6 +794,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// httpErrorKind is httpError plus a machine-readable "kind" so clients can
+// branch on policy rejections without parsing the message. Plain httpError
+// bodies stay exactly as they were.
+func httpErrorKind(w http.ResponseWriter, status int, kind, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...), "kind": kind})
 }
 
 // Server wraps http.Server with the production posture a scoring replica

@@ -355,6 +355,16 @@ func (s *Swappable) ScoreCount() uint64 {
 	return dep.det.ScoreCount()
 }
 
+// AdversaryStats returns the champion detector's evasion telemetry (all
+// zeros before deployment or when telemetry is off).
+func (s *Swappable) AdversaryStats() AdversaryStats {
+	dep := s.cur.Load()
+	if dep == nil {
+		return AdversaryStats{}
+	}
+	return dep.det.AdversaryStats()
+}
+
 // shadowLoop periodically drains the replay queue against whatever
 // challenger is installed when each job surfaces. It deliberately never
 // blocks on the queue itself (see shadowDrainEvery).

@@ -59,10 +59,13 @@ func (a codeScorer) ScoreCode(ctx context.Context, code []byte) (monitor.Verdict
 		return monitor.Verdict{}, err
 	}
 	return monitor.Verdict{
-		Phishing:   v.IsPhishing(),
-		Confidence: v.Confidence,
-		Model:      v.ModelName,
-		Version:    v.ModelVersion,
+		Phishing:        v.IsPhishing(),
+		Confidence:      v.Confidence,
+		Model:           v.ModelName,
+		Version:         v.ModelVersion,
+		DeadCodeRatio:   v.DeadCodeRatio,
+		ScoreDivergence: v.ScoreDivergence,
+		EvasionSuspect:  v.EvasionSuspect,
 	}, nil
 }
 
